@@ -1,0 +1,93 @@
+"""E9 — scalability sweep over the cascaded-PAND family (extends Section 5.2).
+
+The paper makes its state-space argument on a single instance (3 modules of 4
+basic events).  This benchmark sweeps the family and records, per instance,
+the peak intermediate I/O-IMC of the compositional pipeline next to the size
+of the monolithic DIFTree chain.  The expected shape: the monolithic chain
+grows exponentially with the number of basic events while the compositional
+peak stays small (the per-module chains lump to their failure-count skeleton).
+"""
+
+import pytest
+
+from repro import CompositionalAnalyzer
+from repro.baselines import MonolithicMarkovGenerator
+from repro.systems import cascaded_pand_family
+
+from conftest import record
+
+MISSION_TIME = 1.0
+
+#: (number of AND modules, basic events per module)
+SWEEP = [(3, 2), (3, 3), (3, 4), (4, 3)]
+
+
+@pytest.mark.benchmark(group="scalability-compositional")
+@pytest.mark.parametrize("num_modules,events_per_module", SWEEP)
+def test_compositional_scaling(benchmark, num_modules, events_per_module):
+    tree = cascaded_pand_family(num_modules, events_per_module)
+
+    def run():
+        analyzer = CompositionalAnalyzer(tree)
+        return analyzer.unreliability(MISSION_TIME), analyzer.statistics
+
+    value, statistics = benchmark(run)
+    record(
+        benchmark,
+        experiment="E9 (scalability, compositional)",
+        num_modules=num_modules,
+        events_per_module=events_per_module,
+        basic_events=num_modules * events_per_module,
+        unreliability=value,
+        peak_product_states=statistics.peak_product_states,
+        peak_product_transitions=statistics.peak_product_transitions,
+    )
+    assert 0.0 <= value <= 1.0
+    # The compositional peak grows mildly with the module size, never
+    # exponentially in the total number of basic events.
+    assert statistics.peak_product_states < 60 * events_per_module * num_modules
+
+
+@pytest.mark.benchmark(group="scalability-monolithic")
+@pytest.mark.parametrize("num_modules,events_per_module", SWEEP)
+def test_monolithic_scaling(benchmark, num_modules, events_per_module):
+    tree = cascaded_pand_family(num_modules, events_per_module)
+
+    def run():
+        return MonolithicMarkovGenerator(tree).build()
+
+    built = benchmark(run)
+    record(
+        benchmark,
+        experiment="E9 (scalability, DIFTree monolithic)",
+        num_modules=num_modules,
+        events_per_module=events_per_module,
+        basic_events=num_modules * events_per_module,
+        states=built.num_states,
+        transitions=built.num_transitions,
+    )
+    # Exponential growth in the number of basic events: at least one state per
+    # subset of basic events that can fail before the system does.
+    assert built.num_states >= 2 ** (num_modules * (events_per_module - 1))
+
+
+@pytest.mark.benchmark(group="scalability-comparison")
+def test_paper_instance_gap(benchmark):
+    """The headline comparison on the paper's own instance (3 x 4)."""
+    tree = cascaded_pand_family(3, 4)
+
+    def run():
+        analyzer = CompositionalAnalyzer(tree)
+        peak = analyzer.statistics.peak_product_states
+        monolithic = MonolithicMarkovGenerator(tree).build()
+        return peak, monolithic.num_states
+
+    peak, monolithic_states = benchmark(run)
+    record(
+        benchmark,
+        experiment="E9 (state-space gap on the CPS instance)",
+        compositional_peak_states=peak,
+        monolithic_states=monolithic_states,
+        reduction_factor=monolithic_states / peak,
+    )
+    assert monolithic_states / peak > 20.0

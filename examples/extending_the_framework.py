@@ -1,0 +1,117 @@
+"""Defining a brand-new DFT element (paper Section 7).
+
+The paper argues that extending the DFT language only requires a new
+elementary I/O-IMC — composition, aggregation and analysis stay untouched.
+This example demonstrates exactly that workflow below the public DFT API:
+
+* we define a **two-phase basic event** whose failure rate increases after an
+  exponentially distributed "wear-in" period (a tiny phase-type distribution —
+  the paper's future-work item (3) suggests phase-type failure times),
+* we wire it, by hand, into a community with an ordinary AND gate and the
+  analysis monitor,
+* we run the standard compositional aggregation and compute the unreliability,
+  cross-checking against a direct CTMC solution of the same phase-type model.
+
+Run with::
+
+    python examples/extending_the_framework.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from repro.core import compositional_aggregate, signals
+from repro.core.semantics import MonitorBehavior, StaticGateBehavior
+from repro.ctmc import ctmc_from_ioimc
+from repro.ioimc import ActionSignature, ElementBehavior
+
+
+class TwoPhaseBasicEvent(ElementBehavior):
+    """A basic event that wears in: rate ``early`` first, ``late`` afterwards.
+
+    States: ``early`` --wear--> ``late`` --late_rate--> ``firing`` --f!--> ``fired``
+    (and the early phase can also fail directly with ``early_rate``).
+    """
+
+    def __init__(self, name: str, early_rate: float, late_rate: float, wear_rate: float):
+        self.name = f"TwoPhaseBE({name})"
+        self.element_name = name
+        self.early_rate = early_rate
+        self.late_rate = late_rate
+        self.wear_rate = wear_rate
+        self.fire_action = signals.fire(name)
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(outputs=frozenset({self.fire_action}))
+
+    def initial_state(self):
+        return "early"
+
+    def on_input(self, state, action):
+        return state
+
+    def urgent(self, state):
+        if state == "firing":
+            return ((self.fire_action, "fired"),)
+        return ()
+
+    def markovian(self, state):
+        if state == "early":
+            return ((self.wear_rate, "late"), (self.early_rate, "firing"))
+        if state == "late":
+            return ((self.late_rate, "firing"),)
+        return ()
+
+
+def phase_type_cdf(early, late, wear, time):
+    """Ground truth for a single two-phase component."""
+    generator = np.array(
+        [
+            [-(early + wear), wear, early],
+            [0.0, -late, late],
+            [0.0, 0.0, 0.0],
+        ]
+    )
+    return float(linalg.expm(generator * time)[0, 2])
+
+
+def main() -> None:
+    print("A new element: the two-phase (wear-in) basic event")
+    print("---------------------------------------------------")
+    component_a = TwoPhaseBasicEvent("A", early_rate=0.2, late_rate=2.0, wear_rate=1.0)
+    component_b = TwoPhaseBasicEvent("B", early_rate=0.5, late_rate=1.5, wear_rate=0.7)
+    and_gate = StaticGateBehavior(
+        "Top",
+        input_fire_actions=[signals.fire("A"), signals.fire("B")],
+        threshold=2,
+        fire_action=signals.fire("Top"),
+    )
+    monitor = MonitorBehavior("Top", fire_action=signals.fire("Top"))
+
+    community = [behavior.to_ioimc() for behavior in (component_a, component_b, and_gate, monitor)]
+    for model in community:
+        print("  elementary model:", model.summary())
+
+    final, stats = compositional_aggregate(community)
+    print("  aggregation     :", stats.summary())
+
+    ctmc = ctmc_from_ioimc(final)
+    for time in (0.5, 1.0, 2.0):
+        value = ctmc.probability_of_label("failed", time)
+        expected = phase_type_cdf(0.2, 2.0, 1.0, time) * phase_type_cdf(0.5, 1.5, 0.7, time)
+        print(
+            f"  t={time}: unreliability = {value:.6f} "
+            f"(independent phase-type product: {expected:.6f})"
+        )
+    print()
+    print(
+        "The new element needed ~30 lines; composition, aggregation and the\n"
+        "CTMC analysis were reused unchanged — the extensibility the paper\n"
+        "claims in Section 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

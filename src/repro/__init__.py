@@ -1,0 +1,66 @@
+"""repro — compositional Dynamic Fault Tree analysis via I/O-IMC.
+
+A from-scratch reproduction of
+
+    H. Boudali, P. Crouzen, M. Stoelinga.
+    "Dynamic Fault Tree analysis using Input/Output Interactive Markov Chains."
+    DSN 2007.
+
+The package is organised in layers:
+
+* :mod:`repro.ioimc`     — the I/O-IMC process calculus (composition, hiding,
+  maximal progress, bisimulation aggregation);
+* :mod:`repro.ctmc`      — CTMC / CTMDP numerical analysis;
+* :mod:`repro.dft`       — the DFT object model and the Galileo format;
+* :mod:`repro.core`      — the paper's contribution: DFT semantics in terms of
+  I/O-IMC, compositional aggregation, reliability analysis;
+* :mod:`repro.baselines` — the DIFTree-style monolithic/modular baseline;
+* :mod:`repro.systems`   — the paper's case studies and parametric generators.
+
+Quick start::
+
+    from repro.dft import FaultTreeBuilder
+    from repro.core import CompositionalAnalyzer
+
+    builder = FaultTreeBuilder("two-pumps")
+    builder.basic_event("PA", failure_rate=1.0)
+    builder.basic_event("PB", failure_rate=1.0)
+    builder.basic_event("PS", failure_rate=1.0, dormancy=0.0)
+    builder.spare_gate("PumpA", primary="PA", spares=["PS"])
+    builder.spare_gate("PumpB", primary="PB", spares=["PS"])
+    builder.and_gate("System", ["PumpA", "PumpB"])
+    tree = builder.build(top="System")
+
+    print(CompositionalAnalyzer(tree).unreliability(time=1.0))
+"""
+
+from . import ctmc, dft, errors, ioimc
+from .core import (
+    AnalysisOptions,
+    CompositionalAnalyzer,
+    detect_nondeterminism,
+    mean_time_to_failure,
+    unavailability,
+    unreliability,
+    unreliability_bounds,
+)
+from .dft import DynamicFaultTree, FaultTreeBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisOptions",
+    "CompositionalAnalyzer",
+    "DynamicFaultTree",
+    "FaultTreeBuilder",
+    "__version__",
+    "ctmc",
+    "detect_nondeterminism",
+    "dft",
+    "errors",
+    "ioimc",
+    "mean_time_to_failure",
+    "unavailability",
+    "unreliability",
+    "unreliability_bounds",
+]

@@ -1,0 +1,33 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.monolithic` — DIFTree's whole-tree Markov-chain
+  generation (the state-space-explosion comparison point of Section 5.2), also
+  used by the test-suite as an independent implementation of the DFT semantics;
+* :mod:`repro.baselines.bdd` — a compact ROBDD engine used to solve static
+  modules;
+* :mod:`repro.baselines.diftree` — the modular DIFTree analysis combining the
+  two, including its restriction that only static contexts may detach
+  sub-modules.
+"""
+
+from .bdd import BDDManager, BDDNode
+from .diftree import DiftreeAnalyzer, DiftreeResult, ModuleSolution, diftree_unreliability
+from .monolithic import (
+    MonolithicMarkovGenerator,
+    MonolithicResult,
+    MonolithicState,
+    monolithic_unreliability,
+)
+
+__all__ = [
+    "BDDManager",
+    "BDDNode",
+    "DiftreeAnalyzer",
+    "DiftreeResult",
+    "ModuleSolution",
+    "MonolithicMarkovGenerator",
+    "MonolithicResult",
+    "MonolithicState",
+    "diftree_unreliability",
+    "monolithic_unreliability",
+]

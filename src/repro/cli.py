@@ -1,0 +1,212 @@
+"""Command-line interface of the reproduction.
+
+The CLI mirrors the workflow of the paper's tool chain: read a DFT in Galileo
+format, convert it into an I/O-IMC community, run compositional aggregation
+and report reliability measures.  Sub-commands:
+
+``analyze``
+    Unreliability (or bounds, for non-deterministic trees) at one or more
+    mission times, plus optional unavailability / MTTF, with composition
+    statistics.
+``baseline``
+    The DIFTree-style modular analysis of the same file, for comparison.
+``modules``
+    The independent modules of the tree and how DIFTree would cut it.
+``community``
+    List the I/O-IMC community generated for the tree (one line per member).
+``dot``
+    Export the fault tree (or the final aggregated I/O-IMC) as Graphviz dot.
+
+Run ``python -m repro --help`` for the full synopsis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional
+
+from . import __version__
+from .baselines import DiftreeAnalyzer
+from .core import AnalysisOptions, CompositionalAnalyzer
+from .dft import diftree_modules, galileo, independent_modules
+from .dft.visualization import to_dot
+from .errors import ReproError
+from .ioimc import AggregationOptions
+
+
+def _load_tree(path: str):
+    if path == "-":
+        return galileo.parse(sys.stdin.read(), name="<stdin>")
+    return galileo.parse_file(path)
+
+
+def _add_tree_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "tree",
+        help="path to a Galileo .dft file ('-' reads the description from stdin)",
+    )
+
+
+def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
+    return AnalysisOptions(
+        ordering=args.ordering,
+        aggregation=AggregationOptions(method=args.aggregation),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+def command_analyze(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
+    print(f"Fault tree : {tree.summary()}")
+    print(f"Community  : {analyzer.community.summary()}")
+    print(f"Aggregation: {analyzer.statistics.summary()}")
+    for time in args.time:
+        if analyzer.is_nondeterministic:
+            low, high = analyzer.unreliability_bounds(time)
+            print(f"Unreliability(t={time:g}) in [{low:.6f}, {high:.6f}]")
+        else:
+            print(f"Unreliability(t={time:g}) = {analyzer.unreliability(time):.6f}")
+    if args.mttf:
+        print(f"Mean time to failure = {analyzer.mean_time_to_failure():.6f}")
+    if args.unavailability:
+        print(f"Steady-state unavailability = {analyzer.unavailability():.6f}")
+    return 0
+
+
+def command_baseline(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    result = DiftreeAnalyzer(tree).analyze(args.time[0])
+    for module in result.modules:
+        print("  " + module.summary())
+    print(result.summary())
+    return 0
+
+
+def command_modules(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    print("Independent modules:", ", ".join(independent_modules(tree)) or "(none)")
+    print("DIFTree cut:")
+    for module in diftree_modules(tree):
+        kind = "dynamic" if module.dynamic else "static"
+        detached = f", detaches {', '.join(module.detached)}" if module.detached else ""
+        print(f"  {module.root}: {kind}, {module.size} elements{detached}")
+    return 0
+
+
+def command_community(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
+    for member in analyzer.community.members:
+        print(f"  [{member.kind:<20}] {member.model.summary()}")
+    print(analyzer.community.summary())
+    return 0
+
+
+def command_dot(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    if args.final_model:
+        analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
+        output = analyzer.final_ioimc.to_dot()
+    else:
+        output = to_dot(tree)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output)
+    else:
+        print(output)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compositional dynamic fault tree analysis via I/O-IMC "
+        "(reproduction of Boudali, Crouzen & Stoelinga, DSN 2007).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ordering",
+            choices=["linked", "smallest", "sequential"],
+            default="linked",
+            help="composition ordering strategy (default: linked)",
+        )
+        sub.add_argument(
+            "--aggregation",
+            choices=["weak", "strong", "tau", "none"],
+            default="weak",
+            help="aggregation method applied after every composition (default: weak)",
+        )
+
+    analyze = subparsers.add_parser("analyze", help="compute unreliability / MTTF / unavailability")
+    _add_tree_argument(analyze)
+    analyze.add_argument(
+        "--time",
+        type=float,
+        nargs="+",
+        default=[1.0],
+        help="mission time(s) at which to evaluate the unreliability (default: 1.0)",
+    )
+    analyze.add_argument("--mttf", action="store_true", help="also report the mean time to failure")
+    analyze.add_argument(
+        "--unavailability",
+        action="store_true",
+        help="also report the steady-state unavailability (repairable trees)",
+    )
+    add_common(analyze)
+    analyze.set_defaults(handler=command_analyze)
+
+    baseline = subparsers.add_parser("baseline", help="run the DIFTree-style modular baseline")
+    _add_tree_argument(baseline)
+    baseline.add_argument("--time", type=float, nargs="+", default=[1.0])
+    baseline.set_defaults(handler=command_baseline)
+
+    modules = subparsers.add_parser("modules", help="show the tree's independent modules")
+    _add_tree_argument(modules)
+    modules.set_defaults(handler=command_modules)
+
+    community = subparsers.add_parser("community", help="list the generated I/O-IMC community")
+    _add_tree_argument(community)
+    add_common(community)
+    community.set_defaults(handler=command_community)
+
+    dot = subparsers.add_parser("dot", help="export the tree (or final model) as Graphviz dot")
+    _add_tree_argument(dot)
+    dot.add_argument("--output", "-o", help="write to a file instead of stdout")
+    dot.add_argument(
+        "--final-model",
+        action="store_true",
+        help="export the final aggregated I/O-IMC instead of the fault tree",
+    )
+    add_common(dot)
+    dot.set_defaults(handler=command_dot)
+    return parser
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: compositional DFT analysis via I/O-IMC.
+
+* :mod:`repro.core.semantics` — elementary I/O-IMC behaviour of every element,
+* :mod:`repro.core.conversion` — DFT to I/O-IMC community (signal wiring,
+  activation contexts, auxiliaries),
+* :mod:`repro.core.aggregation` — the compositional aggregation engine,
+* :mod:`repro.core.analysis` — unreliability / unavailability / MTTF,
+* :mod:`repro.core.nondeterminism` — detection of inherent non-determinism.
+"""
+
+from . import signals
+from .aggregation import (
+    CompositionStatistics,
+    CompositionStep,
+    CompositionalAggregationOptions,
+    CompositionalAggregator,
+    compositional_aggregate,
+)
+from .analysis import (
+    AnalysisOptions,
+    CompositionalAnalyzer,
+    mean_time_to_failure,
+    unavailability,
+    unreliability,
+    unreliability_bounds,
+)
+from .conversion import (
+    Community,
+    CommunityMember,
+    ConversionOptions,
+    DftToIoimcConverter,
+    convert,
+)
+from .nondeterminism import NondeterminismReport, detect_nondeterminism
+
+__all__ = [
+    "AnalysisOptions",
+    "Community",
+    "CommunityMember",
+    "CompositionStatistics",
+    "CompositionStep",
+    "CompositionalAggregationOptions",
+    "CompositionalAggregator",
+    "CompositionalAnalyzer",
+    "ConversionOptions",
+    "DftToIoimcConverter",
+    "NondeterminismReport",
+    "compositional_aggregate",
+    "convert",
+    "detect_nondeterminism",
+    "mean_time_to_failure",
+    "signals",
+    "unavailability",
+    "unreliability",
+    "unreliability_bounds",
+]

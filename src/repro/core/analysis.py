@@ -1,0 +1,223 @@
+"""Top-level DFT analysis API (Step 6 of the paper's algorithm).
+
+:class:`CompositionalAnalyzer` drives the complete pipeline
+
+    DFT  ->  I/O-IMC community  ->  compositional aggregation  ->  CTMC/CTMDP
+         ->  unreliability / unavailability / MTTF
+
+and caches the intermediate artefacts so that several measures can be computed
+from one aggregation run.  Thin convenience functions (:func:`unreliability`,
+:func:`unavailability`, :func:`mean_time_to_failure`) cover the common cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
+from ..dft.tree import DynamicFaultTree
+from ..errors import AnalysisError, NondeterminismError
+from ..ioimc.model import IOIMC
+from ..ioimc.reduction import AggregationOptions
+from . import signals
+from .aggregation import (
+    CompositionStatistics,
+    CompositionalAggregationOptions,
+    CompositionalAggregator,
+)
+from .conversion import Community, ConversionOptions, DftToIoimcConverter
+
+
+@dataclass
+class AnalysisOptions:
+    """Options of the full compositional analysis pipeline."""
+
+    conversion: ConversionOptions = field(default_factory=ConversionOptions)
+    aggregation: AggregationOptions = field(default_factory=AggregationOptions)
+    ordering: str = "linked"
+
+    def composition_options(self) -> CompositionalAggregationOptions:
+        return CompositionalAggregationOptions(
+            ordering=self.ordering,
+            aggregation=self.aggregation,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """A single numeric result together with provenance information."""
+
+    value: float
+    measure: str
+    time: Optional[float]
+    statistics: CompositionStatistics
+
+    def __float__(self) -> float:
+        return self.value
+
+
+class CompositionalAnalyzer:
+    """Analyses a DFT with the compositional I/O-IMC pipeline."""
+
+    def __init__(self, tree: DynamicFaultTree, options: Optional[AnalysisOptions] = None):
+        self.tree = tree
+        self.options = options or AnalysisOptions()
+        self._community: Optional[Community] = None
+        self._final: Optional[IOIMC] = None
+        self._statistics: Optional[CompositionStatistics] = None
+        self._markov: Optional[Union[CTMC, CTMDP]] = None
+
+    # ------------------------------------------------------------- pipeline
+    @property
+    def community(self) -> Community:
+        """The I/O-IMC community of the fault tree (cached)."""
+        if self._community is None:
+            converter = DftToIoimcConverter(self.tree, self.options.conversion)
+            self._community = converter.convert()
+        return self._community
+
+    @property
+    def final_ioimc(self) -> IOIMC:
+        """The single aggregated I/O-IMC of the whole system (cached)."""
+        if self._final is None:
+            aggregator = CompositionalAggregator(
+                self.community.models(), self.options.composition_options()
+            )
+            self._final, self._statistics = aggregator.run()
+        return self._final
+
+    @property
+    def statistics(self) -> CompositionStatistics:
+        """Composition statistics (peak intermediate sizes, per-step records)."""
+        self.final_ioimc
+        assert self._statistics is not None
+        return self._statistics
+
+    @property
+    def markov_model(self) -> Union[CTMC, CTMDP]:
+        """The final CTMC, or CTMDP if non-determinism remains (cached)."""
+        if self._markov is None:
+            final = self.final_ioimc
+            try:
+                self._markov = ctmc_from_ioimc(final)
+            except NondeterminismError:
+                self._markov = ctmdp_from_ioimc(final)
+        return self._markov
+
+    @property
+    def is_nondeterministic(self) -> bool:
+        """True iff the aggregated model is a CTMDP rather than a CTMC."""
+        return isinstance(self.markov_model, CTMDP)
+
+    # ------------------------------------------------------------- measures
+    def unreliability(self, time: float) -> float:
+        """Probability that the system has failed by ``time``.
+
+        Raises :class:`~repro.errors.AnalysisError` if the model is
+        non-deterministic; use :meth:`unreliability_bounds` in that case.
+        """
+        model = self.markov_model
+        if isinstance(model, CTMDP):
+            raise AnalysisError(
+                "the model is non-deterministic (CTMDP); use unreliability_bounds() "
+                "to obtain the interval of possible values"
+            )
+        return model.probability_of_label(signals.FAILED_LABEL, time)
+
+    def unreliability_bounds(self, time: float) -> Tuple[float, float]:
+        """(min, max) probability of system failure by ``time``.
+
+        For a deterministic model both bounds coincide with the unreliability.
+        """
+        model = self.markov_model
+        if isinstance(model, CTMC):
+            value = model.probability_of_label(signals.FAILED_LABEL, time)
+            return value, value
+        return model.reachability_bounds(signals.FAILED_LABEL, time)
+
+    def unreliability_curve(self, times: Sequence[float]) -> np.ndarray:
+        """Unreliability at each of the given mission times."""
+        model = self.markov_model
+        if isinstance(model, CTMDP):
+            raise AnalysisError(
+                "the model is non-deterministic (CTMDP); evaluate bounds per time point"
+            )
+        return np.array(
+            [model.probability_of_label(signals.FAILED_LABEL, float(t)) for t in times]
+        )
+
+    def unavailability(self, time: Optional[float] = None) -> float:
+        """Unavailability of a repairable system.
+
+        With ``time`` given this is the probability of being failed at that
+        instant; without it, the steady-state (long-run) unavailability.
+        """
+        model = self.markov_model
+        if isinstance(model, CTMDP):
+            raise AnalysisError("unavailability of non-deterministic models is not supported")
+        if time is not None:
+            return model.probability_of_label(signals.FAILED_LABEL, time)
+        return model.steady_state_probability_of_label(signals.FAILED_LABEL)
+
+    def mean_time_to_failure(self) -> float:
+        """Expected time until the system first fails."""
+        model = self.markov_model
+        if isinstance(model, CTMDP):
+            raise AnalysisError("MTTF of non-deterministic models is not supported")
+        return model.mean_time_to_label(signals.FAILED_LABEL)
+
+    # ------------------------------------------------------------- reporting
+    def report(self, time: float = 1.0) -> str:
+        """Human-readable multi-line report used by the examples."""
+        lines = [
+            f"Fault tree       : {self.tree.summary()}",
+            f"Community        : {self.community.summary()}",
+            f"Aggregation      : {self.statistics.summary()}",
+            f"Final model      : {self.final_ioimc.num_states} states, "
+            f"{self.final_ioimc.num_transitions} transitions",
+        ]
+        if self.is_nondeterministic:
+            low, high = self.unreliability_bounds(time)
+            lines.append(
+                f"Unreliability(t={time:g}) in [{low:.6f}, {high:.6f}] (non-deterministic model)"
+            )
+        else:
+            lines.append(f"Unreliability(t={time:g}) = {self.unreliability(time):.6f}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# convenience functions
+# ---------------------------------------------------------------------------
+
+def unreliability(
+    tree: DynamicFaultTree, time: float, options: Optional[AnalysisOptions] = None
+) -> float:
+    """Unreliability of ``tree`` at mission ``time`` via the compositional pipeline."""
+    return CompositionalAnalyzer(tree, options).unreliability(time)
+
+
+def unreliability_bounds(
+    tree: DynamicFaultTree, time: float, options: Optional[AnalysisOptions] = None
+) -> Tuple[float, float]:
+    """Unreliability bounds (identical for deterministic models)."""
+    return CompositionalAnalyzer(tree, options).unreliability_bounds(time)
+
+
+def unavailability(
+    tree: DynamicFaultTree,
+    time: Optional[float] = None,
+    options: Optional[AnalysisOptions] = None,
+) -> float:
+    """(Steady-state) unavailability of a repairable fault tree."""
+    return CompositionalAnalyzer(tree, options).unavailability(time)
+
+
+def mean_time_to_failure(
+    tree: DynamicFaultTree, options: Optional[AnalysisOptions] = None
+) -> float:
+    """Mean time to failure of ``tree``."""
+    return CompositionalAnalyzer(tree, options).mean_time_to_failure()

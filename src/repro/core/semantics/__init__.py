@@ -1,0 +1,31 @@
+"""Elementary I/O-IMC behaviours of every DFT element and auxiliary.
+
+Each behaviour is a small, self-contained description of one element's I/O-IMC
+(Section 4 of the paper); :mod:`repro.core.conversion` instantiates and wires
+them into a community.  Adding a new DFT element (Section 7) means adding a
+behaviour class here and a wiring rule in the conversion — nothing else.
+"""
+
+from .auxiliaries import (
+    ActivationAuxiliaryBehavior,
+    InhibitionAuxiliaryBehavior,
+    MonitorBehavior,
+)
+from .basic_event import BasicEventBehavior
+from .fdep import FiringAuxiliaryBehavior
+from .pand import PandGateBehavior
+from .spare import SpareGateBehavior, SpareGateState
+from .static_gates import RepairableStaticGateBehavior, StaticGateBehavior
+
+__all__ = [
+    "ActivationAuxiliaryBehavior",
+    "BasicEventBehavior",
+    "FiringAuxiliaryBehavior",
+    "InhibitionAuxiliaryBehavior",
+    "MonitorBehavior",
+    "PandGateBehavior",
+    "RepairableStaticGateBehavior",
+    "SpareGateBehavior",
+    "SpareGateState",
+    "StaticGateBehavior",
+]

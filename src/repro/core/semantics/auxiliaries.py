@@ -1,0 +1,163 @@
+"""Auxiliary I/O-IMC models: activation auxiliary, inhibition auxiliary, monitor.
+
+* The **activation auxiliary** (AA, Section 4 of the paper) merges the claim
+  signals ``a_{S,G}`` of every spare gate sharing a spare ``S`` (or, more
+  generally, all activation sources of an element) into the single activation
+  signal ``a_S`` the element listens to.  It is "essentially an OR gate" over
+  activation signals.
+* The **inhibition auxiliary** (IA, Section 7.1, Figure 12) intercepts the
+  isolated failure signal of an element ``B``: if an inhibitor fails first,
+  ``B``'s failure is never broadcast; otherwise the auxiliary forwards it.
+  Mutual exclusivity of two failure modes is obtained with two symmetric IAs.
+* The **monitor** is an analysis-level element: it listens to the firing (and,
+  for repairable systems, repair) signal of the top event and labels its
+  states, so that after hiding every signal the final closed model still knows
+  which states are system-failure states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+from ..signals import FAILED_LABEL
+
+
+class ActivationAuxiliaryBehavior(ElementBehavior):
+    """Merges several activation sources into a single activation signal."""
+
+    def __init__(self, element_name: str, source_actions: Sequence[str], activation_action: str):
+        if not source_actions:
+            raise ValueError(
+                f"activation auxiliary of {element_name!r} needs at least one source"
+            )
+        self.element_name = element_name
+        self.name = f"AA({element_name})"
+        self.source_actions = tuple(source_actions)
+        self.activation_action = activation_action
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset(self.source_actions),
+            outputs=frozenset({self.activation_action}),
+        )
+
+    def initial_state(self) -> str:
+        return "waiting"
+
+    def on_input(self, state: str, action: str) -> str:
+        if state == "waiting":
+            return "activating"
+        return state
+
+    def urgent(self, state: str) -> Iterable[Tuple[str, str]]:
+        if state == "activating":
+            return ((self.activation_action, "activated"),)
+        return ()
+
+    def markovian(self, state: str) -> Iterable[Tuple[float, str]]:
+        return ()
+
+    def state_name(self, state: str) -> str:
+        return f"AA({self.element_name}):{state}"
+
+
+class InhibitionAuxiliaryBehavior(ElementBehavior):
+    """The inhibition auxiliary ``IA_B`` of Figure 12.
+
+    If any inhibitor fires before ``B``'s own (isolated) failure, the auxiliary
+    moves to an absorbing *inhibited* state and ``B`` never fails from the
+    community's point of view.  Otherwise the failure is forwarded.
+    """
+
+    def __init__(
+        self,
+        target_name: str,
+        isolated_fire_action: str,
+        inhibitor_fire_actions: Sequence[str],
+        fire_action: str,
+    ):
+        if not inhibitor_fire_actions:
+            raise ValueError(
+                f"inhibition auxiliary of {target_name!r} needs at least one inhibitor"
+            )
+        self.target_name = target_name
+        self.name = f"IA({target_name})"
+        self.isolated_fire_action = isolated_fire_action
+        self.inhibitor_fire_actions = tuple(inhibitor_fire_actions)
+        self.fire_action = fire_action
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset({self.isolated_fire_action, *self.inhibitor_fire_actions}),
+            outputs=frozenset({self.fire_action}),
+        )
+
+    def initial_state(self) -> str:
+        return "waiting"
+
+    def on_input(self, state: str, action: str) -> str:
+        if state != "waiting":
+            return state
+        if action == self.isolated_fire_action:
+            return "firing"
+        if action in self.inhibitor_fire_actions:
+            return "inhibited"
+        return state
+
+    def urgent(self, state: str) -> Iterable[Tuple[str, str]]:
+        if state == "firing":
+            return ((self.fire_action, "fired"),)
+        return ()
+
+    def markovian(self, state: str) -> Iterable[Tuple[float, str]]:
+        return ()
+
+    def state_name(self, state: str) -> str:
+        return f"IA({self.target_name}):{state}"
+
+
+class MonitorBehavior(ElementBehavior):
+    """Labels system states as failed/operational for the analysis layer."""
+
+    def __init__(
+        self,
+        watched_name: str,
+        fire_action: str,
+        repair_action: Optional[str] = None,
+        label: str = FAILED_LABEL,
+    ):
+        self.watched_name = watched_name
+        self.name = f"Monitor({watched_name})"
+        self.fire_action = fire_action
+        self.repair_action = repair_action
+        self.label = label
+
+    def signature(self) -> ActionSignature:
+        inputs = {self.fire_action}
+        if self.repair_action is not None:
+            inputs.add(self.repair_action)
+        return ActionSignature(inputs=frozenset(inputs))
+
+    def initial_state(self) -> str:
+        return "operational"
+
+    def on_input(self, state: str, action: str) -> str:
+        if action == self.fire_action:
+            return "failed"
+        if self.repair_action is not None and action == self.repair_action:
+            return "operational"
+        return state
+
+    def urgent(self, state: str) -> Iterable[Tuple[str, str]]:
+        return ()
+
+    def markovian(self, state: str) -> Iterable[Tuple[float, str]]:
+        return ()
+
+    def labels(self, state: str) -> Iterable[str]:
+        return (self.label,) if state == "failed" else ()
+
+    def state_name(self, state: str) -> str:
+        return f"Monitor({self.watched_name}):{state}"

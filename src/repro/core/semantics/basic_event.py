@@ -1,0 +1,115 @@
+"""Elementary I/O-IMC behaviour of basic events.
+
+Figure 3 of the paper shows the models of cold, warm and hot basic events;
+Figure 13 shows the repairable variant.  The behaviour below covers all of
+them uniformly:
+
+* while *dormant* the component fails with rate ``alpha * lambda`` (no
+  Markovian transition at all for a cold event);
+* the activation input switches it to *active* mode where it fails with rate
+  ``lambda``;
+* once the failure rate fires the model is in the *firing* state and urgently
+  outputs its firing signal, then rests in the absorbing *fired* state;
+* a repairable event leaves the fired state with rate ``mu``, urgently
+  announces its repair signal and returns to the operational mode it would be
+  in given its activation status.
+
+Elements that are always active (not part of any spare module) simply have no
+activation input and start in active mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ...dft.elements import BasicEvent
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+
+# state := (mode, phase)
+#   mode  in {"dormant", "active"}
+#   phase in {"operational", "firing", "fired", "announcing_repair"}
+_OPERATIONAL = "operational"
+_FIRING = "firing"
+_FIRED = "fired"
+_ANNOUNCING_REPAIR = "announcing_repair"
+
+
+class BasicEventBehavior(ElementBehavior):
+    """Behaviour of a (possibly repairable) basic event.
+
+    Parameters
+    ----------
+    event:
+        The :class:`~repro.dft.elements.BasicEvent` being modelled.
+    fire_action:
+        Output action announcing the failure (``fail_X`` or ``failstar_X``).
+    activation_action:
+        Input action activating the event, or ``None`` if it is always active.
+    repair_action:
+        Output action announcing a repair; required iff the event is repairable.
+    """
+
+    def __init__(
+        self,
+        event: BasicEvent,
+        fire_action: str,
+        activation_action: Optional[str] = None,
+        repair_action: Optional[str] = None,
+    ):
+        if event.is_repairable and repair_action is None:
+            raise ValueError(
+                f"basic event {event.name!r} is repairable but no repair action was wired"
+            )
+        self.event = event
+        self.name = f"BE({event.name})"
+        self.fire_action = fire_action
+        self.activation_action = activation_action
+        self.repair_action = repair_action if event.is_repairable else None
+
+    # ----------------------------------------------------------- behaviour API
+    def signature(self) -> ActionSignature:
+        inputs = set()
+        if self.activation_action is not None:
+            inputs.add(self.activation_action)
+        outputs = {self.fire_action}
+        if self.repair_action is not None:
+            outputs.add(self.repair_action)
+        return ActionSignature(inputs=frozenset(inputs), outputs=frozenset(outputs))
+
+    def initial_state(self) -> Tuple[str, str]:
+        mode = "active" if self.activation_action is None else "dormant"
+        return (mode, _OPERATIONAL)
+
+    def on_input(self, state: Tuple[str, str], action: str) -> Tuple[str, str]:
+        mode, phase = state
+        if action == self.activation_action:
+            return ("active", phase)
+        return state
+
+    def urgent(self, state: Tuple[str, str]) -> Iterable[Tuple[str, Tuple[str, str]]]:
+        mode, phase = state
+        if phase == _FIRING:
+            return ((self.fire_action, (mode, _FIRED)),)
+        if phase == _ANNOUNCING_REPAIR:
+            return ((self.repair_action, (mode, _OPERATIONAL)),)
+        return ()
+
+    def markovian(self, state: Tuple[str, str]) -> Iterable[Tuple[float, Tuple[str, str]]]:
+        mode, phase = state
+        transitions = []
+        if phase == _OPERATIONAL:
+            rate = (
+                self.event.failure_rate
+                if mode == "active"
+                else self.event.dormant_rate
+            )
+            if rate > 0.0:
+                transitions.append((rate, (mode, _FIRING)))
+        elif phase == _FIRED and self.repair_action is not None:
+            transitions.append((self.event.repair_rate, (mode, _ANNOUNCING_REPAIR)))
+        return transitions
+
+    def state_name(self, state: Tuple[str, str]) -> str:
+        mode, phase = state
+        return f"{self.event.name}:{mode}/{phase}"

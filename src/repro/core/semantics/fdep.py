@@ -1,0 +1,70 @@
+"""Firing auxiliary for functional dependencies (Figure 5 of the paper).
+
+The FDEP gate itself has a dummy output and no behaviour of its own.  Instead,
+every *dependent* element ``A`` gets a firing auxiliary ``FA_A`` that governs
+when ``A``'s failure is broadcast to the rest of the community:
+
+* the dependent element's own model is rewired to emit the isolated signal
+  ``f*_A`` (``failstar_A``),
+* the firing auxiliary listens to ``f*_A`` and to the firing signals of all
+  triggers ``T`` of FDEP gates that list ``A`` as a dependent,
+* as soon as any of them fires, the auxiliary urgently outputs ``f_A``
+  (``fail_A``) — the signal every consumer of ``A`` listens to.
+
+The auxiliary is "essentially an OR gate" (paper, footnote 8 analogue for the
+activation auxiliary); allowing triggers to be arbitrary gates (Section 6.2)
+needs no change at all — the trigger signal is just another input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+
+
+class FiringAuxiliaryBehavior(ElementBehavior):
+    """The firing auxiliary ``FA_X`` of a functionally dependent element."""
+
+    def __init__(
+        self,
+        dependent_name: str,
+        isolated_fire_action: str,
+        trigger_fire_actions: Sequence[str],
+        fire_action: str,
+    ):
+        if not trigger_fire_actions:
+            raise ValueError(
+                f"firing auxiliary of {dependent_name!r} needs at least one trigger"
+            )
+        self.dependent_name = dependent_name
+        self.name = f"FA({dependent_name})"
+        self.isolated_fire_action = isolated_fire_action
+        self.trigger_fire_actions = tuple(trigger_fire_actions)
+        self.fire_action = fire_action
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset({self.isolated_fire_action, *self.trigger_fire_actions}),
+            outputs=frozenset({self.fire_action}),
+        )
+
+    def initial_state(self) -> str:
+        return "waiting"
+
+    def on_input(self, state: str, action: str) -> str:
+        if state == "waiting":
+            return "firing"
+        return state
+
+    def urgent(self, state: str) -> Iterable[Tuple[str, str]]:
+        if state == "firing":
+            return ((self.fire_action, "fired"),)
+        return ()
+
+    def markovian(self, state: str) -> Iterable[Tuple[float, str]]:
+        return ()
+
+    def state_name(self, state: str) -> str:
+        return f"FA({self.dependent_name}):{state}"

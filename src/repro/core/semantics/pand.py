@@ -1,0 +1,79 @@
+"""Elementary I/O-IMC behaviour of the priority-AND gate (Figure 4).
+
+The PAND gate fires once all its inputs have failed *and* they failed in
+left-to-right order.  As soon as an input fails before its left neighbour the
+gate moves to an operational absorbing state (marked ``X`` in the paper's
+figure) and can never fail.
+
+The behaviour generalises the two-input model of Figure 4 to any number of
+inputs: the state tracks how long the correctly-ordered prefix of failed
+inputs currently is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+
+# state := ("progress", k)  -- the first k inputs failed, in order
+#        | ("firing",)      -- all inputs failed in order, about to announce
+#        | ("fired",)       -- failure announced (absorbing)
+#        | ("disabled",)    -- wrong order observed (operational, absorbing)
+
+
+class PandGateBehavior(ElementBehavior):
+    """Behaviour of an n-input priority-AND gate."""
+
+    def __init__(self, name: str, input_fire_actions: Sequence[str], fire_action: str):
+        if len(input_fire_actions) < 2:
+            raise ValueError(f"PAND gate {name!r} needs at least two inputs")
+        if len(set(input_fire_actions)) != len(input_fire_actions):
+            raise ValueError(f"PAND gate {name!r}: duplicate input firing signals")
+        self.gate_name = name
+        self.name = f"PAND({name})"
+        self.input_fire_actions = tuple(input_fire_actions)
+        self.fire_action = fire_action
+        self._position = {action: i for i, action in enumerate(self.input_fire_actions)}
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset(self.input_fire_actions),
+            outputs=frozenset({self.fire_action}),
+        )
+
+    def initial_state(self):
+        return ("progress", 0)
+
+    def on_input(self, state, action: str):
+        if state[0] != "progress":
+            return state
+        if action not in self._position:
+            return state
+        prefix = state[1]
+        position = self._position[action]
+        if position == prefix:
+            prefix += 1
+            if prefix == len(self.input_fire_actions):
+                return ("firing",)
+            return ("progress", prefix)
+        if position < prefix:
+            # This input already failed; a repeated signal cannot occur for
+            # non-repairable elements, ignore it defensively.
+            return state
+        # An input failed before its left neighbour: the gate is disabled.
+        return ("disabled",)
+
+    def urgent(self, state) -> Iterable[Tuple[str, object]]:
+        if state[0] == "firing":
+            return ((self.fire_action, ("fired",)),)
+        return ()
+
+    def markovian(self, state) -> Iterable[Tuple[float, object]]:
+        return ()
+
+    def state_name(self, state) -> str:
+        if state[0] == "progress":
+            return f"{self.gate_name}:progress[{state[1]}]"
+        return f"{self.gate_name}:{state[0]}"

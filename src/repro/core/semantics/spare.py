@@ -1,0 +1,228 @@
+"""Elementary I/O-IMC behaviour of the (shared, possibly complex) spare gate.
+
+This is the richest elementary model of the framework (Figure 11 of the paper
+shows the instance with one primary, one shared spare and one competing gate).
+The behaviour implemented here handles the fully general case — any number of
+spares, each shared with any set of other spare gates, and the gate itself
+being usable as a spare module of another gate (Section 6.1).
+
+Semantics (documented here because the paper describes it only by example):
+
+* The gate starts out using its primary.  The primary's activation is *wired*
+  to the gate's own activation by the conversion layer, so the gate never
+  emits an activation signal for the primary.
+* When the unit the gate is currently using fails, the gate looks for a
+  replacement among its spares, in the declared order:
+
+  - if the gate is **active** it *claims* the first spare that is neither
+    failed nor taken by emitting the claim signal ``a_{S,G}``; that single
+    signal both informs competing gates (they mark the spare as taken) and —
+    via the spare's activation auxiliary — activates the spare;
+  - if the gate is **dormant** it does not claim anything: the paper's
+    activation principle is that a dormant module must not switch on
+    components.  It waits; if it is activated later it claims then.
+
+* The gate hears the claim signals of competing gates and marks the
+  corresponding spare as taken.  Because the claim transition and the state
+  update are a single atomic output transition, two gates racing for the same
+  spare resolve the conflict by interleaving: whichever claim happens first is
+  heard by the other gate, which then looks further (this is also where the
+  non-determinism of Figure 6(b) comes from — both interleavings remain).
+* The gate **fires** (announces its own failure) as soon as the unit it is
+  using has failed and no spare is available any more — regardless of its
+  activation status: a dormant module whose components are exhausted must
+  still tell its parent that it is unusable.
+* Spares that have failed announce it through their firing signals; a failed
+  spare that the gate is currently using triggers the same replacement logic.
+* Once fired the gate is absorbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+
+#: Status of a spare from the point of view of this gate.
+AVAILABLE = "available"
+TAKEN = "taken"      # claimed by a competing gate
+FAILED = "failed"    # the spare itself announced failure
+MINE = "mine"        # claimed by this gate (currently in use)
+
+#: What the gate is currently using.
+PRIMARY = "primary"
+NOTHING = "nothing"
+
+
+@dataclass(frozen=True)
+class SpareGateState:
+    """Immutable abstract state of the spare gate behaviour."""
+
+    activated: bool
+    primary_failed: bool
+    using: object                 # PRIMARY, NOTHING or the index of a spare
+    spare_status: Tuple[str, ...]
+    fired: bool
+
+    def with_(self, **changes) -> "SpareGateState":
+        values = {
+            "activated": self.activated,
+            "primary_failed": self.primary_failed,
+            "using": self.using,
+            "spare_status": self.spare_status,
+            "fired": self.fired,
+        }
+        values.update(changes)
+        return SpareGateState(**values)
+
+
+class SpareGateBehavior(ElementBehavior):
+    """Behaviour of a spare gate with shared spares.
+
+    Parameters
+    ----------
+    name:
+        Gate name.
+    primary_fire_action:
+        Firing signal of the primary unit.
+    spare_fire_actions:
+        Firing signals of the spares, in allocation order.
+    claim_actions:
+        For each spare, the claim signal this gate outputs when taking it
+        (``a_{S,G}``).
+    competitor_claim_actions:
+        For each spare, the claim signals of *other* gates sharing it (inputs).
+    fire_action:
+        The gate's own firing signal.
+    activation_action:
+        Input that activates the gate itself (``None`` if always active).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        primary_fire_action: str,
+        spare_fire_actions: Sequence[str],
+        claim_actions: Sequence[str],
+        competitor_claim_actions: Mapping[int, Sequence[str]],
+        fire_action: str,
+        activation_action: Optional[str] = None,
+    ):
+        if not spare_fire_actions:
+            raise ValueError(f"spare gate {name!r} needs at least one spare")
+        if len(claim_actions) != len(spare_fire_actions):
+            raise ValueError(
+                f"spare gate {name!r}: need one claim action per spare"
+            )
+        self.gate_name = name
+        self.name = f"Spare({name})"
+        self.primary_fire_action = primary_fire_action
+        self.spare_fire_actions = tuple(spare_fire_actions)
+        self.claim_actions = tuple(claim_actions)
+        self.competitor_claim_actions: Dict[int, Tuple[str, ...]] = {
+            index: tuple(actions) for index, actions in competitor_claim_actions.items()
+        }
+        self.fire_action = fire_action
+        self.activation_action = activation_action
+
+        self._spare_index_by_fire = {
+            action: index for index, action in enumerate(self.spare_fire_actions)
+        }
+        self._spare_index_by_competitor: Dict[str, int] = {}
+        for index, actions in self.competitor_claim_actions.items():
+            for action in actions:
+                self._spare_index_by_competitor[action] = index
+
+    # ----------------------------------------------------------- behaviour API
+    def signature(self) -> ActionSignature:
+        inputs = {self.primary_fire_action}
+        inputs.update(self.spare_fire_actions)
+        for actions in self.competitor_claim_actions.values():
+            inputs.update(actions)
+        if self.activation_action is not None:
+            inputs.add(self.activation_action)
+        outputs = {self.fire_action}
+        outputs.update(self.claim_actions)
+        return ActionSignature(inputs=frozenset(inputs), outputs=frozenset(outputs))
+
+    def initial_state(self) -> SpareGateState:
+        return SpareGateState(
+            activated=self.activation_action is None,
+            primary_failed=False,
+            using=PRIMARY,
+            spare_status=tuple(AVAILABLE for _ in self.spare_fire_actions),
+            fired=False,
+        )
+
+    # ------------------------------------------------------------------ inputs
+    def on_input(self, state: SpareGateState, action: str) -> SpareGateState:
+        if state.fired:
+            return state
+        if action == self.activation_action:
+            return state.with_(activated=True)
+        if action == self.primary_fire_action:
+            new_state = state.with_(primary_failed=True)
+            if state.using == PRIMARY:
+                new_state = new_state.with_(using=NOTHING)
+            return new_state
+        if action in self._spare_index_by_fire:
+            index = self._spare_index_by_fire[action]
+            status = list(state.spare_status)
+            status[index] = FAILED
+            new_state = state.with_(spare_status=tuple(status))
+            if state.using == index:
+                new_state = new_state.with_(using=NOTHING)
+            return new_state
+        if action in self._spare_index_by_competitor:
+            index = self._spare_index_by_competitor[action]
+            if state.spare_status[index] == AVAILABLE:
+                status = list(state.spare_status)
+                status[index] = TAKEN
+                return state.with_(spare_status=tuple(status))
+            return state
+        return state
+
+    # ----------------------------------------------------------------- outputs
+    def _first_available_spare(self, state: SpareGateState) -> Optional[int]:
+        for index, status in enumerate(state.spare_status):
+            if status == AVAILABLE:
+                return index
+        return None
+
+    def _needs_replacement(self, state: SpareGateState) -> bool:
+        return state.using == NOTHING
+
+    def urgent(self, state: SpareGateState) -> Iterable[Tuple[str, SpareGateState]]:
+        if state.fired or not self._needs_replacement(state):
+            return ()
+        candidate = self._first_available_spare(state)
+        if candidate is not None and state.activated:
+            status = list(state.spare_status)
+            status[candidate] = MINE
+            claimed = state.with_(using=candidate, spare_status=tuple(status))
+            return ((self.claim_actions[candidate], claimed),)
+        if candidate is None:
+            # Current unit failed and nothing is left to claim: the gate fails,
+            # whether it is activated or not.
+            return ((self.fire_action, state.with_(fired=True)),)
+        return ()
+
+    def markovian(self, state: SpareGateState) -> Iterable[Tuple[float, SpareGateState]]:
+        return ()
+
+    def state_name(self, state: SpareGateState) -> str:
+        using = state.using if isinstance(state.using, str) else f"spare{state.using}"
+        flags = []
+        if state.activated:
+            flags.append("act")
+        if state.primary_failed:
+            flags.append("pfail")
+        if state.fired:
+            flags.append("fired")
+        return (
+            f"{self.gate_name}:{using}"
+            f"[{','.join(state.spare_status)}]"
+            f"{{{','.join(flags)}}}"
+        )

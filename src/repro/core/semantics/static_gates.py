@@ -1,0 +1,165 @@
+"""Elementary I/O-IMC behaviours of the static gates (AND, OR, K/M voting).
+
+The non-repairable behaviour listens to the firing signals of its inputs and,
+once enough of them have failed, urgently emits its own firing signal and rests
+in an absorbing fired state.  The AND gate is the special case ``K = M``, the
+OR gate is ``K = 1``.
+
+The repairable variant (Figure 14 of the paper shows the AND instance) tracks
+the *current* set of failed inputs: whenever the failure condition starts or
+stops holding, the gate urgently announces its failure or repair signal.  The
+behaviour generalises Figure 14 from AND to any K/M threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from ...ioimc.actions import ActionSignature
+from ...ioimc.behavior import ElementBehavior
+
+# Non-repairable state := ("collecting", failed_inputs) | ("firing", ...) | ("fired",)
+# Repairable state     := (failed_inputs, announced_failed)
+
+
+class StaticGateBehavior(ElementBehavior):
+    """Behaviour of a non-repairable K-out-of-M gate (AND/OR/voting).
+
+    Parameters
+    ----------
+    name:
+        Name of the gate (for diagnostics).
+    input_fire_actions:
+        Firing signals of the gate's inputs.
+    threshold:
+        Number of failed inputs needed for the gate to fail (``1`` = OR,
+        ``len(inputs)`` = AND).
+    fire_action:
+        Output firing signal of the gate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_fire_actions: Sequence[str],
+        threshold: int,
+        fire_action: str,
+    ):
+        if not 1 <= threshold <= len(input_fire_actions):
+            raise ValueError(
+                f"gate {name!r}: threshold {threshold} incompatible with "
+                f"{len(input_fire_actions)} inputs"
+            )
+        if len(set(input_fire_actions)) != len(input_fire_actions):
+            raise ValueError(f"gate {name!r}: duplicate input firing signals")
+        self.gate_name = name
+        self.name = f"Gate({name})"
+        self.input_fire_actions = tuple(input_fire_actions)
+        self.threshold = threshold
+        self.fire_action = fire_action
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset(self.input_fire_actions),
+            outputs=frozenset({self.fire_action}),
+        )
+
+    def initial_state(self):
+        return ("collecting", frozenset())
+
+    def on_input(self, state, action: str):
+        kind = state[0]
+        if kind != "collecting":
+            return state
+        failed = state[1] | {action}
+        if len(failed) >= self.threshold:
+            return ("firing", failed)
+        return ("collecting", failed)
+
+    def urgent(self, state) -> Iterable[Tuple[str, object]]:
+        if state[0] == "firing":
+            return ((self.fire_action, ("fired",)),)
+        return ()
+
+    def markovian(self, state) -> Iterable[Tuple[float, object]]:
+        return ()
+
+    def state_name(self, state) -> str:
+        if state[0] == "fired":
+            return f"{self.gate_name}:fired"
+        count = len(state[1])
+        return f"{self.gate_name}:{state[0]}[{count}]"
+
+
+class RepairableStaticGateBehavior(ElementBehavior):
+    """Behaviour of a repairable K-out-of-M gate.
+
+    The gate watches the failure *and* repair signals of its inputs and keeps
+    its announced output status consistent with the current set of failed
+    inputs: crossing the threshold upwards triggers the firing signal, crossing
+    it downwards triggers the repair signal.
+
+    Inputs that can never be repaired simply have no entry in
+    ``repair_to_fire``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_fire_actions: Sequence[str],
+        repair_to_fire: Dict[str, str],
+        threshold: int,
+        fire_action: str,
+        repair_action: str,
+    ):
+        if not 1 <= threshold <= len(input_fire_actions):
+            raise ValueError(
+                f"gate {name!r}: threshold {threshold} incompatible with "
+                f"{len(input_fire_actions)} inputs"
+            )
+        unknown = set(repair_to_fire.values()) - set(input_fire_actions)
+        if unknown:
+            raise ValueError(
+                f"gate {name!r}: repair signals reference unknown inputs {sorted(unknown)}"
+            )
+        self.gate_name = name
+        self.name = f"RepairableGate({name})"
+        self.input_fire_actions = tuple(input_fire_actions)
+        self.input_repair_actions = tuple(repair_to_fire)
+        self._repair_to_fire: Dict[str, str] = dict(repair_to_fire)
+        self.threshold = threshold
+        self.fire_action = fire_action
+        self.repair_action = repair_action
+
+    def signature(self) -> ActionSignature:
+        return ActionSignature(
+            inputs=frozenset(self.input_fire_actions) | frozenset(self.input_repair_actions),
+            outputs=frozenset({self.fire_action, self.repair_action}),
+        )
+
+    def initial_state(self) -> Tuple[FrozenSet[str], bool]:
+        return (frozenset(), False)
+
+    def on_input(self, state: Tuple[FrozenSet[str], bool], action: str):
+        failed, announced = state
+        if action in self.input_fire_actions:
+            return (failed | {action}, announced)
+        if action in self.input_repair_actions:
+            return (failed - {self._repair_to_fire[action]}, announced)
+        return state
+
+    def urgent(self, state) -> Iterable[Tuple[str, object]]:
+        failed, announced = state
+        is_failed = len(failed) >= self.threshold
+        if is_failed and not announced:
+            return ((self.fire_action, (failed, True)),)
+        if not is_failed and announced:
+            return ((self.repair_action, (failed, False)),)
+        return ()
+
+    def markovian(self, state) -> Iterable[Tuple[float, object]]:
+        return ()
+
+    def state_name(self, state) -> str:
+        failed, announced = state
+        return f"{self.gate_name}:failed={len(failed)},announced={announced}"

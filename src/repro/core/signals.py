@@ -1,0 +1,57 @@
+"""Naming conventions for the signals wiring a DFT's I/O-IMC community.
+
+Each DFT element communicates with the rest of the community through a small
+set of actions (Section 4 of the paper):
+
+* ``fail_X``   — the *firing* signal ``f_X``: element ``X`` announces its failure;
+* ``failstar_X`` — ``f*_X``: the failure of ``X`` "in isolation", used when a
+  firing auxiliary (functional dependency) or inhibition auxiliary intercepts
+  the element's own failure before re-broadcasting it as ``fail_X``;
+* ``act_X``    — the *activation* signal ``a_X``: element ``X`` switches from
+  dormant to active mode;
+* ``claim_S_by_G`` — ``a_{S,G}``: spare gate ``G`` claims (and thereby
+  activates) spare ``S``; other gates sharing ``S`` listen to it to learn that
+  the spare is taken, and the activation auxiliary of ``S`` merges all claim
+  signals into ``act_S``;
+* ``rep_X``    — the repair signal ``r_X`` of the repairable extension
+  (Section 7.2).
+
+Keeping the naming in one module guarantees the conversion, the aggregation
+engine and the tests all agree on the wiring.
+"""
+
+from __future__ import annotations
+
+
+def fire(name: str) -> str:
+    """The firing (failure) signal ``f_X`` of element ``name``."""
+    return f"fail_{name}"
+
+
+def fire_isolated(name: str) -> str:
+    """The isolated firing signal ``f*_X`` (input to a firing/inhibition auxiliary)."""
+    return f"failstar_{name}"
+
+
+def activate(name: str) -> str:
+    """The activation signal ``a_X`` of element ``name``."""
+    return f"act_{name}"
+
+
+def claim(spare: str, gate: str) -> str:
+    """The claim/activation signal ``a_{S,G}``: ``gate`` takes ``spare``."""
+    return f"claim_{spare}_by_{gate}"
+
+
+def repair(name: str) -> str:
+    """The repair signal ``r_X`` of element ``name``."""
+    return f"rep_{name}"
+
+
+def repair_isolated(name: str) -> str:
+    """The isolated repair signal (only used by repairable auxiliaries)."""
+    return f"repstar_{name}"
+
+
+#: Label carried by monitor states in which the system has failed.
+FAILED_LABEL = "failed"

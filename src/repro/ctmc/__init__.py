@@ -1,0 +1,38 @@
+"""Numerical analysis of continuous-time Markov chains and decision processes.
+
+This package hosts the solver layer used once a DFT has been reduced to a
+single closed model: transient analysis via uniformisation (unreliability),
+steady-state analysis (unavailability of repairable systems), expected hitting
+times (mean time to failure) and CTMDP time-bounded reachability bounds for
+non-deterministic models.
+"""
+
+from .builders import ctmc_from_ioimc, ctmdp_from_ioimc, markov_model_from_ioimc
+from .ctmc import CTMC
+from .ctmdp import CTMDP
+from .steady_state import (
+    bottom_strongly_connected_components,
+    steady_state_distribution,
+)
+from .transient import (
+    poisson_terms,
+    probability_reach_label,
+    transient_distribution,
+    transient_distribution_expm,
+    unreliability_curve,
+)
+
+__all__ = [
+    "CTMC",
+    "CTMDP",
+    "bottom_strongly_connected_components",
+    "ctmc_from_ioimc",
+    "ctmdp_from_ioimc",
+    "markov_model_from_ioimc",
+    "poisson_terms",
+    "probability_reach_label",
+    "steady_state_distribution",
+    "transient_distribution",
+    "transient_distribution_expm",
+    "unreliability_curve",
+]

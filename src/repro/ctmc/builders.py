@@ -1,0 +1,119 @@
+"""Conversion of closed I/O-IMC into CTMCs or CTMDPs.
+
+After compositional aggregation the analysis layer is left with a *closed*
+model: no input actions remain (every signal has been connected and hidden),
+only Markovian transitions, urgent internal/output moves and state labels.
+Two cases arise (Section 5, step 6 of the paper's algorithm):
+
+* every vanishing state has a single urgent move — the model "reduces to a
+  CTMC" and is converted by eliminating the vanishing states;
+* some vanishing state offers several urgent moves — the model is a CTMDP and
+  only bounds on the measure can be computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ModelError, NondeterminismError
+from ..ioimc.actions import ActionType
+from ..ioimc.model import IOIMC
+from .ctmc import CTMC
+from .ctmdp import CTMDP
+
+
+def _urgent_successors(model: IOIMC, state: int) -> Tuple[int, ...]:
+    """Targets of urgent (output or internal) transitions of ``state``."""
+    successors = []
+    for action, target in model.interactive_out(state):
+        if model.signature.classify(action) is not ActionType.INPUT:
+            if target != state:
+                successors.append(target)
+    return tuple(dict.fromkeys(successors))
+
+
+def _require_closed(model: IOIMC) -> None:
+    if model.signature.inputs:
+        raise ModelError(
+            "the model still has input actions and is therefore not closed: "
+            + ", ".join(sorted(model.signature.inputs))
+        )
+
+
+def ctmdp_from_ioimc(model: IOIMC) -> CTMDP:
+    """Interpret a closed I/O-IMC as a CTMDP (vanishing states keep choices)."""
+    _require_closed(model)
+    ctmdp = CTMDP(model.num_states, model.initial)
+    for state in model.states():
+        ctmdp.set_labels(state, model.labels(state))
+        urgent = _urgent_successors(model, state)
+        if urgent:
+            # Maximal progress: urgent moves pre-empt Markovian transitions.
+            ctmdp.set_choices(state, urgent)
+        else:
+            for rate, target in model.markovian_out(state):
+                ctmdp.add_rate(state, target, rate)
+    return ctmdp
+
+
+def ctmc_from_ioimc(model: IOIMC) -> CTMC:
+    """Interpret a closed, deterministic I/O-IMC as a CTMC.
+
+    Vanishing states (urgent moves only) are eliminated by redirecting their
+    incoming transitions to the unique tangible state they lead to.  If any
+    vanishing state offers a choice between several urgent moves a
+    :class:`~repro.errors.NondeterminismError` is raised — the caller should
+    fall back to :func:`ctmdp_from_ioimc`.
+    """
+    _require_closed(model)
+
+    nondeterministic = []
+    forward: Dict[int, int] = {}
+    for state in model.states():
+        urgent = _urgent_successors(model, state)
+        if len(urgent) > 1:
+            nondeterministic.append(state)
+        elif len(urgent) == 1:
+            forward[state] = urgent[0]
+    if nondeterministic:
+        raise NondeterminismError(
+            "the closed model contains non-deterministic urgent choices in "
+            f"{len(nondeterministic)} state(s); analyse it as a CTMDP instead",
+            states=tuple(nondeterministic),
+        )
+
+    def resolve(state: int) -> int:
+        seen = set()
+        while state in forward:
+            if state in seen:
+                raise ModelError(
+                    "the model diverges: a cycle of instantaneous internal moves "
+                    f"involves state {state}"
+                )
+            seen.add(state)
+            state = forward[state]
+        return state
+
+    tangible = [state for state in model.states() if state not in forward]
+    index = {state: i for i, state in enumerate(tangible)}
+
+    ctmc = CTMC(max(len(tangible), 1), 0)
+    for state in tangible:
+        ctmc.set_labels(index[state], model.labels(state))
+        ctmc.set_state_name(index[state], model.state_name(state))
+    for state in tangible:
+        for rate, target in model.markovian_out(state):
+            resolved = resolve(target)
+            if resolved == state:
+                continue
+            ctmc.add_rate(index[state], index[resolved], rate)
+    ctmc.set_initial(index[resolve(model.initial)])
+    return ctmc
+
+
+def markov_model_from_ioimc(model: IOIMC) -> Union[CTMC, CTMDP]:
+    """Return a CTMC when possible, otherwise a CTMDP."""
+    try:
+        return ctmc_from_ioimc(model)
+    except NondeterminismError:
+        return ctmdp_from_ioimc(model)

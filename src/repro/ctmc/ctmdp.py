@@ -1,0 +1,219 @@
+"""Continuous-time Markov decision processes with vanishing choice states.
+
+When a DFT contains inherent non-determinism (Section 4.4 of the paper, e.g.
+an FDEP trigger that fails two inputs of a PAND gate "simultaneously"), the
+aggregated closed model is not a CTMC: some *vanishing* states offer a
+non-deterministic choice between several immediate internal moves.  The paper
+follows Baier et al. (2005) and computes *bounds* on the reliability measure —
+the best and worst value over all resolutions of the non-determinism.
+
+The model class here is tailored to exactly that structure:
+
+* **tangible** states carry Markovian transitions and let time pass,
+* **vanishing** states carry a non-empty set of instantaneous successor
+  states; the scheduler picks one, no time passes.
+
+Time-bounded reachability bounds are computed by uniformisation-based value
+iteration: the tangible dynamics are uniformised with a global rate and, after
+every step, vanishing states take the max (or min) over their successors'
+values.  For time-abstract schedulers this is exact up to the Poisson
+truncation error; it is reported as the optimistic/pessimistic bound pair used
+in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError, ModelError
+from .transient import poisson_terms
+
+
+class CTMDP:
+    """A CTMC enriched with vanishing non-deterministic choice states."""
+
+    def __init__(self, num_states: int, initial: int = 0):
+        if num_states <= 0:
+            raise ModelError("a CTMDP needs at least one state")
+        if not 0 <= initial < num_states:
+            raise ModelError(f"initial state {initial} out of range")
+        self._num_states = num_states
+        self._initial = initial
+        self._rates: List[Dict[int, float]] = [dict() for _ in range(num_states)]
+        self._choices: List[Tuple[int, ...]] = [() for _ in range(num_states)]
+        self._labels: List[FrozenSet[str]] = [frozenset() for _ in range(num_states)]
+
+    # ------------------------------------------------------------------ build
+    def add_rate(self, source: int, target: int, rate: float) -> None:
+        self._check(source)
+        self._check(target)
+        if not rate > 0.0:
+            raise ModelError(f"rates must be positive, got {rate}")
+        if self._choices[source]:
+            raise ModelError(
+                f"state {source} is a vanishing choice state and cannot carry rates"
+            )
+        if source == target:
+            return
+        self._rates[source][target] = self._rates[source].get(target, 0.0) + rate
+
+    def set_choices(self, source: int, targets: Iterable[int]) -> None:
+        """Declare ``source`` vanishing with the given instantaneous successors."""
+        self._check(source)
+        target_tuple = tuple(dict.fromkeys(targets))
+        for target in target_tuple:
+            self._check(target)
+        if not target_tuple:
+            raise ModelError("a vanishing state needs at least one successor")
+        if self._rates[source]:
+            raise ModelError(
+                f"state {source} carries Markovian rates and cannot be vanishing"
+            )
+        self._choices[source] = target_tuple
+
+    def set_labels(self, state: int, labels: Iterable[str]) -> None:
+        self._check(state)
+        self._labels[state] = frozenset(labels)
+
+    def set_initial(self, state: int) -> None:
+        self._check(state)
+        self._initial = state
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    @property
+    def initial(self) -> int:
+        return self._initial
+
+    def states(self) -> range:
+        return range(self._num_states)
+
+    def labels(self, state: int) -> FrozenSet[str]:
+        self._check(state)
+        return self._labels[state]
+
+    def is_vanishing(self, state: int) -> bool:
+        self._check(state)
+        return bool(self._choices[state])
+
+    def choices(self, state: int) -> Tuple[int, ...]:
+        self._check(state)
+        return self._choices[state]
+
+    def rates_from(self, state: int) -> Sequence[Tuple[int, float]]:
+        self._check(state)
+        return tuple(self._rates[state].items())
+
+    def exit_rate(self, state: int) -> float:
+        self._check(state)
+        return sum(self._rates[state].values())
+
+    def states_with_label(self, label: str) -> FrozenSet[int]:
+        return frozenset(s for s in self.states() if label in self._labels[s])
+
+    @property
+    def has_nondeterminism(self) -> bool:
+        return any(len(choice) > 1 for choice in self._choices)
+
+    # --------------------------------------------------------------- analysis
+    def _resolve_vanishing(self, values: np.ndarray, maximize: bool) -> np.ndarray:
+        """Propagate values through vanishing states until a fixpoint.
+
+        Vanishing states take the max/min of their successors.  Chains of
+        vanishing states are handled by iterating; a cycle of vanishing states
+        (a divergence of internal moves) is rejected.
+        """
+        resolved = values.copy()
+        vanishing = [s for s in self.states() if self._choices[s]]
+        for _round in range(self._num_states + 1):
+            changed = False
+            for state in vanishing:
+                candidates = [resolved[target] for target in self._choices[state]]
+                best = max(candidates) if maximize else min(candidates)
+                if not np.isclose(best, resolved[state], rtol=0.0, atol=1e-15):
+                    resolved[state] = best
+                    changed = True
+            if not changed:
+                return resolved
+        raise AnalysisError(
+            "vanishing states do not stabilise: the model contains a cycle of "
+            "instantaneous internal moves"
+        )
+
+    def time_bounded_reachability(
+        self,
+        label: str,
+        time: float,
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+    ) -> float:
+        """Optimal probability of residing in a ``label``-state at ``time``.
+
+        The goal states are made absorbing first (so the value is the
+        probability of having reached the goal by ``time``, matching the
+        unreliability semantics of absorbing DFT failure states).
+        """
+        if time < 0.0:
+            raise AnalysisError("mission time must be non-negative")
+        goal = self.states_with_label(label)
+        if not goal:
+            return 0.0
+
+        uniformization_rate = max(
+            (self.exit_rate(s) for s in self.states() if s not in goal), default=0.0
+        )
+        values = np.array([1.0 if s in goal else 0.0 for s in self.states()])
+        values = self._resolve_vanishing(values, maximize)
+        if time == 0.0 or uniformization_rate == 0.0:
+            return float(values[self._initial])
+
+        weights = poisson_terms(uniformization_rate * time, tolerance)
+        # Backward value iteration: values[k] holds the probability of reaching
+        # the goal within the remaining k uniformisation steps.
+        result = np.zeros(self._num_states)
+        accumulated = 0.0
+        current = values
+        for weight in weights:
+            result += weight * current
+            accumulated += weight
+            nxt = current.copy()
+            for state in self.states():
+                if state in goal or self._choices[state]:
+                    continue
+                exit_rate = self.exit_rate(state)
+                total = (1.0 - exit_rate / uniformization_rate) * current[state]
+                for target, rate in self._rates[state].items():
+                    total += (rate / uniformization_rate) * current[target]
+                nxt[state] = total
+            current = self._resolve_vanishing(nxt, maximize)
+        # Account for the truncated tail pessimistically/optimistically: the
+        # remaining mass contributes at most its weight.
+        value = float(result[self._initial])
+        if maximize:
+            value = min(1.0, value + (1.0 - accumulated))
+        return max(0.0, min(1.0, value))
+
+    def reachability_bounds(
+        self, label: str, time: float, tolerance: float = 1e-10
+    ) -> Tuple[float, float]:
+        """(minimum, maximum) probability of having reached ``label`` by ``time``."""
+        lower = self.time_bounded_reachability(label, time, maximize=False, tolerance=tolerance)
+        upper = self.time_bounded_reachability(label, time, maximize=True, tolerance=tolerance)
+        return lower, upper
+
+    # ---------------------------------------------------------------- helpers
+    def _check(self, state: int) -> None:
+        if not 0 <= state < self._num_states:
+            raise ModelError(f"state {state} out of range (0..{self._num_states - 1})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        vanishing = sum(1 for s in self.states() if self._choices[s])
+        return (
+            f"CTMDP(states={self.num_states}, vanishing={vanishing}, "
+            f"nondeterministic={self.has_nondeterminism})"
+        )

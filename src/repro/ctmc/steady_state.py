@@ -1,0 +1,139 @@
+"""Steady-state analysis of CTMCs.
+
+Repairable DFTs (Section 7.2 of the paper) are analysed for *unavailability*,
+the long-run fraction of time the system spends in failed states.  For an
+irreducible CTMC this is the unique stationary distribution; for chains with a
+single terminal (bottom) strongly-connected component reachable with
+probability one we return the stationary distribution of that component.
+Chains with several terminal components (e.g. an absorbing failure state next
+to a recurrent repairable part) have no unique long-run distribution and an
+:class:`~repro.errors.AnalysisError` is raised.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .ctmc import CTMC
+
+
+def _strongly_connected_components(ctmc: CTMC) -> List[List[int]]:
+    """Tarjan's algorithm (iterative) over the transition graph."""
+    index_counter = 0
+    stack: List[int] = []
+    lowlink = [0] * ctmc.num_states
+    index = [-1] * ctmc.num_states
+    on_stack = [False] * ctmc.num_states
+    components: List[List[int]] = []
+
+    for root in ctmc.states():
+        if index[root] != -1:
+            continue
+        work = [(root, iter([t for t, _r in ctmc.rates_from(root)]))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if index[successor] == -1:
+                    index[successor] = lowlink[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append(
+                        (successor, iter([t for t, _r in ctmc.rates_from(successor)]))
+                    )
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def bottom_strongly_connected_components(ctmc: CTMC) -> List[List[int]]:
+    """Terminal SCCs (no transition leaving the component)."""
+    bottoms = []
+    for component in _strongly_connected_components(ctmc):
+        members = set(component)
+        is_bottom = all(
+            target in members
+            for state in component
+            for target, _rate in ctmc.rates_from(state)
+        )
+        if is_bottom:
+            bottoms.append(sorted(component))
+    return bottoms
+
+
+def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
+    """Long-run state distribution of ``ctmc``.
+
+    The chain must have exactly one bottom strongly-connected component
+    reachable from the initial state; the stationary distribution of that
+    component (zero elsewhere) is returned.
+    """
+    reachable = ctmc._forward_reachable(ctmc.initial)
+    bottoms = [
+        component
+        for component in bottom_strongly_connected_components(ctmc)
+        if any(state in reachable for state in component)
+    ]
+    if not bottoms:
+        raise AnalysisError("the chain has no reachable bottom component")
+    if len(bottoms) > 1:
+        raise AnalysisError(
+            "the chain has several reachable terminal components; the long-run "
+            "distribution depends on which one is entered"
+        )
+    component = bottoms[0]
+    distribution = np.zeros(ctmc.num_states)
+    if len(component) == 1:
+        distribution[component[0]] = 1.0
+        return distribution
+
+    index = {state: i for i, state in enumerate(component)}
+    n = len(component)
+    generator = np.zeros((n, n))
+    for state in component:
+        i = index[state]
+        for target, rate in ctmc.rates_from(state):
+            j = index[target]
+            generator[i, j] += rate
+            generator[i, i] -= rate
+    # Solve pi Q = 0 with sum(pi) = 1: replace one column by the normalisation.
+    system = generator.T.copy()
+    system[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    try:
+        pi = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise AnalysisError("failed to solve the stationary equations") from exc
+    if np.any(pi < -1e-9):
+        raise AnalysisError("stationary distribution has negative entries")
+    pi = np.clip(pi, 0.0, None)
+    pi = pi / pi.sum()
+    for state, i in index.items():
+        distribution[state] = pi[i]
+    return distribution

@@ -1,0 +1,69 @@
+"""Dynamic fault tree object model.
+
+The package provides the DFT element classes, the tree container with
+structural queries and validation, a fluent builder, independent-module
+detection and the Galileo textual format.
+"""
+
+from . import galileo, visualization
+from .builder import FaultTreeBuilder
+from .elements import (
+    AndGate,
+    BasicEvent,
+    CONSTRAINT_GATES,
+    DYNAMIC_GATES,
+    Element,
+    FdepGate,
+    Gate,
+    InhibitionConstraint,
+    LOGIC_GATES,
+    OrGate,
+    PandGate,
+    STATIC_GATES,
+    SeqGate,
+    SpareGate,
+    VotingGate,
+    is_basic_event,
+    is_dynamic,
+    is_gate,
+    is_static,
+)
+from .modules import (
+    Module,
+    diftree_modules,
+    independent_modules,
+    is_independent_module,
+    module_is_dynamic,
+)
+from .tree import DynamicFaultTree
+
+__all__ = [
+    "AndGate",
+    "BasicEvent",
+    "CONSTRAINT_GATES",
+    "DYNAMIC_GATES",
+    "DynamicFaultTree",
+    "Element",
+    "FaultTreeBuilder",
+    "FdepGate",
+    "Gate",
+    "InhibitionConstraint",
+    "LOGIC_GATES",
+    "Module",
+    "OrGate",
+    "PandGate",
+    "STATIC_GATES",
+    "SeqGate",
+    "SpareGate",
+    "VotingGate",
+    "diftree_modules",
+    "galileo",
+    "independent_modules",
+    "is_basic_event",
+    "is_dynamic",
+    "is_gate",
+    "is_independent_module",
+    "is_static",
+    "module_is_dynamic",
+    "visualization",
+]

@@ -1,0 +1,124 @@
+"""A small fluent builder for dynamic fault trees.
+
+The builder removes the boiler-plate of creating element dataclasses and
+wiring them into a :class:`~repro.dft.tree.DynamicFaultTree`.  It is the API
+used throughout the examples::
+
+    builder = FaultTreeBuilder("pump-unit")
+    builder.basic_event("PA", failure_rate=1.0)
+    builder.basic_event("PB", failure_rate=1.0)
+    builder.basic_event("PS", failure_rate=1.0, dormancy=0.0)
+    builder.spare_gate("PumpA", primary="PA", spares=["PS"])
+    builder.spare_gate("PumpB", primary="PB", spares=["PS"])
+    builder.and_gate("PumpUnit", ["PumpA", "PumpB"])
+    tree = builder.build(top="PumpUnit")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import FaultTreeError
+from .elements import (
+    AndGate,
+    BasicEvent,
+    FdepGate,
+    InhibitionConstraint,
+    OrGate,
+    PandGate,
+    SeqGate,
+    SpareGate,
+    VotingGate,
+)
+from .tree import DynamicFaultTree
+
+
+class FaultTreeBuilder:
+    """Accumulates elements and produces a validated :class:`DynamicFaultTree`."""
+
+    def __init__(self, name: str = "dft"):
+        self._tree = DynamicFaultTree(name)
+
+    # ----------------------------------------------------------- basic events
+    def basic_event(
+        self,
+        name: str,
+        failure_rate: float,
+        dormancy: float = 1.0,
+        repair_rate: Optional[float] = None,
+    ) -> str:
+        """Add a basic event and return its name."""
+        self._tree.add(
+            BasicEvent(
+                name=name,
+                failure_rate=failure_rate,
+                dormancy=dormancy,
+                repair_rate=repair_rate,
+            )
+        )
+        return name
+
+    def basic_events(
+        self,
+        names: Iterable[str],
+        failure_rate: float,
+        dormancy: float = 1.0,
+        repair_rate: Optional[float] = None,
+    ) -> List[str]:
+        """Add several identical basic events (convenient for symmetric trees)."""
+        return [
+            self.basic_event(name, failure_rate, dormancy, repair_rate) for name in names
+        ]
+
+    # ------------------------------------------------------------------ gates
+    def and_gate(self, name: str, inputs: Sequence[str]) -> str:
+        self._tree.add(AndGate(name=name, inputs=tuple(inputs)))
+        return name
+
+    def or_gate(self, name: str, inputs: Sequence[str]) -> str:
+        self._tree.add(OrGate(name=name, inputs=tuple(inputs)))
+        return name
+
+    def voting_gate(self, name: str, inputs: Sequence[str], threshold: int) -> str:
+        self._tree.add(VotingGate(name=name, inputs=tuple(inputs), threshold=threshold))
+        return name
+
+    def pand_gate(self, name: str, inputs: Sequence[str]) -> str:
+        self._tree.add(PandGate(name=name, inputs=tuple(inputs)))
+        return name
+
+    def spare_gate(self, name: str, primary: str, spares: Sequence[str]) -> str:
+        self._tree.add(SpareGate(name=name, primary=primary, spares=tuple(spares)))
+        return name
+
+    def fdep(self, name: str, trigger: str, dependents: Sequence[str]) -> str:
+        self._tree.add(FdepGate(name=name, trigger=trigger, dependents=tuple(dependents)))
+        return name
+
+    def seq_gate(self, name: str, inputs: Sequence[str]) -> str:
+        self._tree.add(SeqGate(name=name, inputs=tuple(inputs)))
+        return name
+
+    def inhibition(self, name: str, inhibitor: str, target: str) -> str:
+        self._tree.add(InhibitionConstraint(name=name, inhibitor=inhibitor, target=target))
+        return name
+
+    def mutual_exclusion(self, name: str, first: str, second: str) -> List[str]:
+        """Two symmetric inhibitions: ``first`` and ``second`` exclude each other."""
+        return [
+            self.inhibition(f"{name}_{first}_inhibits_{second}", first, second),
+            self.inhibition(f"{name}_{second}_inhibits_{first}", second, first),
+        ]
+
+    # ------------------------------------------------------------------ build
+    def build(self, top: str, validate: bool = True) -> DynamicFaultTree:
+        """Finalize the tree with ``top`` as the top event."""
+        self._tree.set_top(top)
+        if validate:
+            self._tree.validate()
+        return self._tree
+
+    @property
+    def tree(self) -> DynamicFaultTree:
+        """The partially built tree (no top event required)."""
+        return self._tree

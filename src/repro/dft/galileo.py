@@ -1,0 +1,272 @@
+"""Reading and writing the Galileo textual DFT format.
+
+The paper's tool chain "takes as input a DFT specified in the Galileo DFT
+format" (Section 5.1).  The format is line oriented::
+
+    toplevel "System";
+    "System" or "CPU" "Motors" "Pumps";
+    "CPU" wsp "P" "B";
+    "Trigger" or "CS" "SS";
+    "CPUfdep" fdep "Trigger" "P" "B";
+    "P" lambda=0.5 dorm=0.5;
+
+* the first non-comment line names the top event,
+* every other line either defines a gate (``name gatetype inputs...``) or a
+  basic event (``name param=value ...``),
+* lines are terminated by ``;``; ``//`` starts a comment; names may be quoted.
+
+Supported gate keywords: ``and``, ``or``, ``pand``, ``seq``, ``fdep``,
+``wsp``/``csp``/``hsp``/``spare`` (all mapped to :class:`SpareGate` — the
+spares' dormancy lives on the basic events), the voting pattern ``KofM``
+(e.g. ``2of3``), and the extension keyword ``inhibit`` (first input inhibits
+the second, Section 7.1 of the paper).
+
+Supported basic-event parameters: ``lambda`` (failure rate), ``dorm``
+(dormancy factor, default 1) and ``repair`` (repair rate, extension of
+Section 7.2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GalileoSyntaxError
+from .elements import (
+    AndGate,
+    BasicEvent,
+    FdepGate,
+    InhibitionConstraint,
+    OrGate,
+    PandGate,
+    SeqGate,
+    SpareGate,
+    VotingGate,
+)
+from .tree import DynamicFaultTree
+
+_VOTING_RE = re.compile(r"^(\d+)of(\d+)$", re.IGNORECASE)
+_PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([-+0-9.eE]+)$")
+
+_SPARE_KEYWORDS = {"wsp", "csp", "hsp", "spare"}
+_GATE_KEYWORDS = {"and", "or", "pand", "seq", "fdep", "inhibit"} | _SPARE_KEYWORDS
+
+
+def _strip_comments(text: str) -> List[Tuple[int, str]]:
+    """Return (line number, content) pairs with comments removed."""
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if line:
+            lines.append((number, line))
+    return lines
+
+
+def _tokenize(line: str, number: int) -> List[str]:
+    """Split a statement into tokens, honouring double quotes."""
+    tokens = []
+    current = ""
+    in_quotes = False
+    for char in line:
+        if char == '"':
+            in_quotes = not in_quotes
+            continue
+        if char.isspace() and not in_quotes:
+            if current:
+                tokens.append(current)
+                current = ""
+            continue
+        current += char
+    if in_quotes:
+        raise GalileoSyntaxError("unterminated quoted name", number)
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+def _parse_parameters(name: str, tokens: Sequence[str], number: int) -> BasicEvent:
+    params: Dict[str, float] = {}
+    for token in tokens:
+        match = _PARAM_RE.match(token)
+        if not match:
+            raise GalileoSyntaxError(
+                f"cannot parse basic event parameter {token!r} of {name!r}", number
+            )
+        key = match.group(1).lower()
+        try:
+            value = float(match.group(2))
+        except ValueError:
+            raise GalileoSyntaxError(
+                f"parameter {key!r} of {name!r} has a non-numeric value", number
+            ) from None
+        params[key] = value
+    if "prob" in params:
+        raise GalileoSyntaxError(
+            f"basic event {name!r} uses a constant failure probability (prob=); "
+            "only exponential failure distributions (lambda=) are supported",
+            number,
+        )
+    if "lambda" not in params:
+        raise GalileoSyntaxError(
+            f"basic event {name!r} is missing its failure rate (lambda=)", number
+        )
+    known = {"lambda", "dorm", "repair"}
+    unknown = set(params) - known
+    if unknown:
+        raise GalileoSyntaxError(
+            f"basic event {name!r} has unsupported parameters: " + ", ".join(sorted(unknown)),
+            number,
+        )
+    return BasicEvent(
+        name=name,
+        failure_rate=params["lambda"],
+        dormancy=params.get("dorm", 1.0),
+        repair_rate=params.get("repair"),
+    )
+
+
+def parse(text: str, name: str = "galileo") -> DynamicFaultTree:
+    """Parse a Galileo description into a :class:`DynamicFaultTree`."""
+    statements: List[Tuple[int, str]] = []
+    for number, line in _strip_comments(text):
+        for statement in line.split(";"):
+            statement = statement.strip()
+            if statement:
+                statements.append((number, statement))
+
+    if not statements:
+        raise GalileoSyntaxError("the description contains no statements")
+
+    tree = DynamicFaultTree(name)
+    toplevel: Optional[str] = None
+
+    for number, statement in statements:
+        tokens = _tokenize(statement, number)
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head.lower() == "toplevel":
+            if len(tokens) != 2:
+                raise GalileoSyntaxError("toplevel expects exactly one element name", number)
+            if toplevel is not None:
+                raise GalileoSyntaxError("toplevel declared twice", number)
+            toplevel = tokens[1]
+            continue
+
+        if len(tokens) < 2:
+            raise GalileoSyntaxError(f"incomplete definition of {head!r}", number)
+
+        keyword = tokens[1]
+        lowered = keyword.lower()
+        voting_match = _VOTING_RE.match(lowered)
+
+        if lowered in _GATE_KEYWORDS or voting_match:
+            inputs = tokens[2:]
+            if voting_match:
+                threshold = int(voting_match.group(1))
+                declared = int(voting_match.group(2))
+                if declared != len(inputs):
+                    raise GalileoSyntaxError(
+                        f"voting gate {head!r} declares {declared} inputs but lists "
+                        f"{len(inputs)}",
+                        number,
+                    )
+                tree.add(VotingGate(name=head, inputs=tuple(inputs), threshold=threshold))
+            elif lowered == "and":
+                tree.add(AndGate(name=head, inputs=tuple(inputs)))
+            elif lowered == "or":
+                tree.add(OrGate(name=head, inputs=tuple(inputs)))
+            elif lowered == "pand":
+                tree.add(PandGate(name=head, inputs=tuple(inputs)))
+            elif lowered == "seq":
+                tree.add(SeqGate(name=head, inputs=tuple(inputs)))
+            elif lowered == "fdep":
+                if len(inputs) < 2:
+                    raise GalileoSyntaxError(
+                        f"FDEP gate {head!r} needs a trigger and at least one dependent",
+                        number,
+                    )
+                tree.add(
+                    FdepGate(name=head, trigger=inputs[0], dependents=tuple(inputs[1:]))
+                )
+            elif lowered == "inhibit":
+                if len(inputs) != 2:
+                    raise GalileoSyntaxError(
+                        f"inhibit {head!r} needs exactly an inhibitor and a target", number
+                    )
+                tree.add(
+                    InhibitionConstraint(name=head, inhibitor=inputs[0], target=inputs[1])
+                )
+            elif lowered in _SPARE_KEYWORDS:
+                if len(inputs) < 2:
+                    raise GalileoSyntaxError(
+                        f"spare gate {head!r} needs a primary and at least one spare", number
+                    )
+                tree.add(
+                    SpareGate(name=head, primary=inputs[0], spares=tuple(inputs[1:]))
+                )
+            continue
+
+        # Otherwise it must be a basic event definition.
+        tree.add(_parse_parameters(head, tokens[1:], number))
+
+    if toplevel is None:
+        raise GalileoSyntaxError("missing toplevel declaration")
+    if toplevel not in tree:
+        raise GalileoSyntaxError(f"toplevel element {toplevel!r} is never defined")
+    tree.set_top(toplevel)
+    tree.validate()
+    return tree
+
+
+def parse_file(path: str, name: Optional[str] = None) -> DynamicFaultTree:
+    """Parse a Galileo file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse(text, name=name if name is not None else path)
+
+
+def _format_float(value: float) -> str:
+    return f"{value:.10g}"
+
+
+def write(tree: DynamicFaultTree) -> str:
+    """Serialise ``tree`` in Galileo syntax (inverse of :func:`parse`)."""
+    lines = [f'toplevel "{tree.top}";']
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent):
+            parts = [f'"{name}"', f"lambda={_format_float(element.failure_rate)}"]
+            if element.dormancy != 1.0:
+                parts.append(f"dorm={_format_float(element.dormancy)}")
+            if element.repair_rate is not None:
+                parts.append(f"repair={_format_float(element.repair_rate)}")
+            lines.append(" ".join(parts) + ";")
+            continue
+        if isinstance(element, AndGate):
+            keyword = "and"
+        elif isinstance(element, OrGate):
+            keyword = "or"
+        elif isinstance(element, VotingGate):
+            keyword = f"{element.threshold}of{len(element.inputs)}"
+        elif isinstance(element, PandGate):
+            keyword = "pand"
+        elif isinstance(element, SeqGate):
+            keyword = "seq"
+        elif isinstance(element, SpareGate):
+            keyword = "wsp"
+        elif isinstance(element, FdepGate):
+            keyword = "fdep"
+        elif isinstance(element, InhibitionConstraint):
+            keyword = "inhibit"
+        else:  # pragma: no cover - defensive
+            raise GalileoSyntaxError(f"cannot serialise element {name!r}")
+        inputs = " ".join(f'"{child}"' for child in element.inputs)
+        lines.append(f'"{name}" {keyword} {inputs};')
+    return "\n".join(lines) + "\n"
+
+
+def write_file(tree: DynamicFaultTree, path: str) -> None:
+    """Write ``tree`` to ``path`` in Galileo syntax."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write(tree))

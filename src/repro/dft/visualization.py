@@ -1,0 +1,100 @@
+"""Graphviz export of dynamic fault trees.
+
+Produces a ``dot`` digraph in the visual style of the paper's figures: basic
+events as circles, static gates as boxes, dynamic gates as double boxes,
+constraint gates (FDEP, inhibition) as dashed boxes with dashed edges to the
+elements they constrain.  Intended for documentation and debugging; rendering
+requires an external Graphviz installation (not a dependency).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .elements import (
+    AndGate,
+    BasicEvent,
+    FdepGate,
+    InhibitionConstraint,
+    OrGate,
+    PandGate,
+    SeqGate,
+    SpareGate,
+    VotingGate,
+)
+from .tree import DynamicFaultTree
+
+
+def _gate_label(element) -> str:
+    if isinstance(element, AndGate):
+        return "AND"
+    if isinstance(element, OrGate):
+        return "OR"
+    if isinstance(element, VotingGate):
+        return f"{element.threshold}/{len(element.inputs)}"
+    if isinstance(element, PandGate):
+        return "PAND"
+    if isinstance(element, SpareGate):
+        return "SPARE"
+    if isinstance(element, SeqGate):
+        return "SEQ"
+    if isinstance(element, FdepGate):
+        return "FDEP"
+    if isinstance(element, InhibitionConstraint):
+        return "INHIBIT"
+    return type(element).__name__
+
+
+def to_dot(tree: DynamicFaultTree) -> str:
+    """Render ``tree`` as a Graphviz digraph string."""
+    lines: List[str] = [f'digraph "{tree.name}" {{', "  rankdir=BT;"]
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent):
+            label = f"{name}\\nλ={element.failure_rate:g}"
+            if element.dormancy != 1.0:
+                label += f", α={element.dormancy:g}"
+            if element.repair_rate is not None:
+                label += f", μ={element.repair_rate:g}"
+            lines.append(f'  "{name}" [shape=circle, label="{label}"];')
+        elif isinstance(element, (FdepGate, InhibitionConstraint)):
+            lines.append(
+                f'  "{name}" [shape=box, style=dashed, label="{name}\\n{_gate_label(element)}"];'
+            )
+        else:
+            peripheries = 2 if isinstance(element, (PandGate, SpareGate, SeqGate)) else 1
+            lines.append(
+                f'  "{name}" [shape=box, peripheries={peripheries}, '
+                f'label="{name}\\n{_gate_label(element)}"];'
+            )
+    if tree.has_top:
+        lines.append(f'  "{tree.top}" [penwidth=2];')
+
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent):
+            continue
+        if isinstance(element, FdepGate):
+            lines.append(f'  "{element.trigger}" -> "{name}" [style=dashed, label="trigger"];')
+            for dependent in element.dependents:
+                lines.append(f'  "{name}" -> "{dependent}" [style=dashed, dir=forward];')
+            continue
+        if isinstance(element, InhibitionConstraint):
+            lines.append(f'  "{element.inhibitor}" -> "{name}" [style=dashed, label="inhibitor"];')
+            lines.append(f'  "{name}" -> "{element.target}" [style=dashed];')
+            continue
+        if isinstance(element, SpareGate):
+            lines.append(f'  "{element.primary}" -> "{name}" [label="primary"];')
+            for spare in element.spares:
+                lines.append(f'  "{spare}" -> "{name}" [label="spare", style=dotted];')
+            continue
+        for child in element.inputs:
+            lines.append(f'  "{child}" -> "{name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(tree: DynamicFaultTree, path: str) -> None:
+    """Write the dot rendering of ``tree`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(tree))

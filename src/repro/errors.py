@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any failure originating in this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An I/O-IMC (or CTMC/CTMDP) is malformed or used inconsistently."""
+
+
+class SignatureError(ModelError):
+    """An action signature is inconsistent (overlapping action sets, unknown
+    actions referenced by transitions, ...)."""
+
+
+class CompositionError(ModelError):
+    """Two I/O-IMC cannot be parallel composed (e.g. both control the same
+    output action)."""
+
+
+class NondeterminismError(ReproError):
+    """A closed model that was expected to be a CTMC contains a
+    non-deterministic choice between internal transitions.
+
+    The paper (Section 4.4) treats this as a feature: the analysis detects the
+    non-determinism and falls back to CTMDP bounds.  This exception carries the
+    offending states so tooling can report where the non-determinism comes
+    from.
+    """
+
+    def __init__(self, message: str, states: tuple = ()):  # type: ignore[type-arg]
+        super().__init__(message)
+        self.states = tuple(states)
+
+
+class FaultTreeError(ReproError):
+    """A dynamic fault tree definition is invalid (cycles, bad arities,
+    unknown references, malformed parameters)."""
+
+
+class GalileoSyntaxError(FaultTreeError):
+    """The textual Galileo representation of a DFT could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ConversionError(ReproError):
+    """The DFT could not be converted into an I/O-IMC community."""
+
+
+class AnalysisError(ReproError):
+    """A numerical analysis step failed or was requested on an unsuitable
+    model (e.g. steady-state analysis of a reducible absorbing chain)."""

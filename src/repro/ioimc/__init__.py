@@ -1,0 +1,59 @@
+"""Input/output interactive Markov chains (I/O-IMC).
+
+This package provides the process-algebraic substrate of the reproduction:
+models (:class:`IOIMC`), action signatures, declarative element behaviours,
+parallel composition, hiding, maximal progress and bisimulation-based
+aggregation.  It knows nothing about fault trees; the DFT semantics lives in
+:mod:`repro.core`.
+"""
+
+from .actions import ActionSignature, ActionType, format_action, signature
+from .behavior import ElementBehavior, ExplicitBehavior, build_ioimc
+from .bisimulation import (
+    minimize_strong,
+    minimize_weak,
+    quotient_strong,
+    quotient_weak,
+    strong_bisimulation_partition,
+    weak_bisimulation_partition,
+)
+from .composition import closed_actions, hide_closed, parallel, parallel_many
+from .maximal_progress import apply_maximal_progress, count_pruned_transitions
+from .model import IOIMC, InteractiveTransition, MarkovianTransition
+from .reduction import (
+    AggregationOptions,
+    AggregationStatistics,
+    aggregate,
+    compress_deterministic_tau,
+    remove_internal_self_loops,
+)
+
+__all__ = [
+    "ActionSignature",
+    "ActionType",
+    "AggregationOptions",
+    "AggregationStatistics",
+    "ElementBehavior",
+    "ExplicitBehavior",
+    "IOIMC",
+    "InteractiveTransition",
+    "MarkovianTransition",
+    "aggregate",
+    "apply_maximal_progress",
+    "build_ioimc",
+    "closed_actions",
+    "compress_deterministic_tau",
+    "count_pruned_transitions",
+    "format_action",
+    "hide_closed",
+    "minimize_strong",
+    "minimize_weak",
+    "parallel",
+    "parallel_many",
+    "quotient_strong",
+    "quotient_weak",
+    "remove_internal_self_loops",
+    "signature",
+    "strong_bisimulation_partition",
+    "weak_bisimulation_partition",
+]

@@ -1,0 +1,192 @@
+"""Actions and action signatures of input/output interactive Markov chains.
+
+An I/O-IMC communicates with its environment through *actions*.  Following the
+paper (Section 3) an action is either
+
+* an **input** action (written ``a?``): the model reacts to it and must always
+  be able to do so (input-enabledness), it may not delay or refuse it;
+* an **output** action (written ``a!``): the model decides when to perform it;
+  output actions are *immediate* (urgent) — no time passes in a state with an
+  enabled output transition;
+* an **internal** action (written ``a;``): invisible computation steps, also
+  immediate.  Internal actions arise primarily from *hiding* output actions
+  after composition.
+
+The :class:`ActionSignature` groups the three (disjoint) action sets of a
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import SignatureError
+
+
+class ActionType(enum.Enum):
+    """Kind of an action within a particular action signature."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+    @property
+    def decoration(self) -> str:
+        """Suffix used in the paper's notation (``?``, ``!`` or ``;``)."""
+        if self is ActionType.INPUT:
+            return "?"
+        if self is ActionType.OUTPUT:
+            return "!"
+        return ";"
+
+
+def format_action(action: str, kind: ActionType) -> str:
+    """Render ``action`` with the paper's decoration, e.g. ``fA!``."""
+    return f"{action}{kind.decoration}"
+
+
+@dataclass(frozen=True)
+class ActionSignature:
+    """The (disjoint) input/output/internal action sets of an I/O-IMC.
+
+    Instances are immutable; the transformation helpers (:meth:`hide`,
+    :meth:`rename`, :meth:`merge`) return new signatures.
+    """
+
+    inputs: frozenset = field(default_factory=frozenset)
+    outputs: frozenset = field(default_factory=frozenset)
+    internals: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        inputs = frozenset(self.inputs)
+        outputs = frozenset(self.outputs)
+        internals = frozenset(self.internals)
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "outputs", outputs)
+        object.__setattr__(self, "internals", internals)
+        overlap = (inputs & outputs) | (inputs & internals) | (outputs & internals)
+        if overlap:
+            raise SignatureError(
+                "action signature sets must be disjoint; offending actions: "
+                + ", ".join(sorted(overlap))
+            )
+
+    # ------------------------------------------------------------------ views
+    @property
+    def visible(self) -> frozenset:
+        """Actions observable by the environment (inputs and outputs)."""
+        return self.inputs | self.outputs
+
+    @property
+    def all_actions(self) -> frozenset:
+        """Every action mentioned in the signature."""
+        return self.inputs | self.outputs | self.internals
+
+    @property
+    def locally_controlled(self) -> frozenset:
+        """Actions whose occurrence the model itself decides (urgent)."""
+        return self.outputs | self.internals
+
+    def classify(self, action: str) -> ActionType:
+        """Return the :class:`ActionType` of ``action``.
+
+        Raises :class:`~repro.errors.SignatureError` if the action is unknown.
+        """
+        if action in self.inputs:
+            return ActionType.INPUT
+        if action in self.outputs:
+            return ActionType.OUTPUT
+        if action in self.internals:
+            return ActionType.INTERNAL
+        raise SignatureError(f"action {action!r} is not part of the signature")
+
+    def __contains__(self, action: object) -> bool:
+        return action in self.all_actions
+
+    # --------------------------------------------------------- transformations
+    def hide(self, actions: Iterable[str]) -> "ActionSignature":
+        """Turn the given *output* actions into internal actions.
+
+        Hiding an action that is not an output of this signature is an error;
+        inputs cannot be hidden because the environment still needs to drive
+        them.
+        """
+        to_hide = frozenset(actions)
+        unknown = to_hide - self.outputs
+        if unknown:
+            raise SignatureError(
+                "only output actions can be hidden; not outputs: "
+                + ", ".join(sorted(unknown))
+            )
+        return ActionSignature(
+            inputs=self.inputs,
+            outputs=self.outputs - to_hide,
+            internals=self.internals | to_hide,
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "ActionSignature":
+        """Rename actions according to ``mapping`` (unmentioned actions kept).
+
+        The rename must not merge two previously distinct actions into one.
+        """
+        def apply(actions: frozenset) -> frozenset:
+            return frozenset(mapping.get(a, a) for a in actions)
+
+        renamed = ActionSignature(
+            inputs=apply(self.inputs),
+            outputs=apply(self.outputs),
+            internals=apply(self.internals),
+        )
+        if len(renamed.all_actions) != len(self.all_actions):
+            raise SignatureError("renaming must not merge distinct actions")
+        return renamed
+
+    def merge(self, other: "ActionSignature") -> "ActionSignature":
+        """Signature of the parallel composition with ``other``.
+
+        Outputs of either component stay outputs; an input that is an output of
+        the other component is *connected* and becomes an output of the
+        composite (the composite still emits it so further components can
+        listen); remaining inputs stay inputs; internal actions are unioned.
+        """
+        if self.outputs & other.outputs:
+            raise SignatureError(
+                "components share output actions: "
+                + ", ".join(sorted(self.outputs & other.outputs))
+            )
+        outputs = self.outputs | other.outputs
+        inputs = (self.inputs | other.inputs) - outputs
+        internals = self.internals | other.internals
+        if internals & (inputs | outputs):
+            raise SignatureError(
+                "internal actions of one component clash with visible actions "
+                "of the other: "
+                + ", ".join(sorted(internals & (inputs | outputs)))
+            )
+        return ActionSignature(inputs=inputs, outputs=outputs, internals=internals)
+
+    # ------------------------------------------------------------------ dunder
+    def __str__(self) -> str:
+        parts = []
+        for action in sorted(self.inputs):
+            parts.append(format_action(action, ActionType.INPUT))
+        for action in sorted(self.outputs):
+            parts.append(format_action(action, ActionType.OUTPUT))
+        for action in sorted(self.internals):
+            parts.append(format_action(action, ActionType.INTERNAL))
+        return "{" + ", ".join(parts) + "}"
+
+
+def signature(
+    inputs: Iterable[str] = (),
+    outputs: Iterable[str] = (),
+    internals: Iterable[str] = (),
+) -> ActionSignature:
+    """Convenience constructor for :class:`ActionSignature`."""
+    return ActionSignature(
+        inputs=frozenset(inputs),
+        outputs=frozenset(outputs),
+        internals=frozenset(internals),
+    )

@@ -1,0 +1,325 @@
+"""Strong and weak bisimulation minimisation for I/O-IMC.
+
+Aggregation — replacing an I/O-IMC by its bisimulation quotient — is what makes
+the compositional approach of the paper scale: after every composition step the
+intermediate model is minimised, so the state space of the product never comes
+close to the monolithic Markov chain built by DIFTree.
+
+Two equivalences are implemented:
+
+* **Strong bisimulation** — interactive transitions must be matched step by
+  step and the aggregate Markovian rate into every equivalence class must
+  coincide (ordinary lumpability).  Simple, always applicable.
+* **Weak bisimulation** — internal (hidden) actions are abstracted away: weak
+  interactive moves (``τ* a τ*``) must be matched, and only *stable* states
+  (states without internal transitions) reached via internal moves need to
+  agree on their Markovian rate classes.  This is the equivalence used in the
+  paper; it merges the interleaving diamonds created by hiding synchronised
+  failure/activation signals and therefore reduces much more aggressively.
+
+Both are computed by signature-based partition refinement.  The quotient
+constructions preserve state labels and the analysed reliability measures.
+
+Maximal progress should be applied *before* minimisation (the reduction
+pipeline in :mod:`repro.ioimc.reduction` does so); the algorithms here work on
+the transitions they are given.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .actions import ActionType
+from .model import IOIMC
+
+Partition = List[FrozenSet[int]]
+
+#: Number of significant digits used when comparing aggregate Markovian rates.
+_RATE_DIGITS = 10
+
+
+def _canonical_rate(value: float) -> float:
+    """Round ``value`` to a canonical representation for signature comparison."""
+    if value == 0.0:
+        return 0.0
+    magnitude = int(math.floor(math.log10(abs(value))))
+    return round(value, _RATE_DIGITS - magnitude)
+
+
+def _initial_blocks(model: IOIMC, respect_labels: bool) -> Dict[int, int]:
+    """Initial partition map: states grouped by their label sets."""
+    if not respect_labels:
+        return {state: 0 for state in model.states()}
+    block_ids: Dict[FrozenSet[str], int] = {}
+    block_of: Dict[int, int] = {}
+    for state in model.states():
+        labels = model.labels(state)
+        if labels not in block_ids:
+            block_ids[labels] = len(block_ids)
+        block_of[state] = block_ids[labels]
+    return block_of
+
+
+def _blocks_from_map(block_of: Dict[int, int]) -> Partition:
+    grouped: Dict[int, set] = {}
+    for state, block in block_of.items():
+        grouped.setdefault(block, set()).add(state)
+    return [frozenset(states) for _block, states in sorted(grouped.items())]
+
+
+def _refine(block_of: Dict[int, int], signatures: Dict[int, object]) -> Tuple[Dict[int, int], bool]:
+    """Split blocks by signature; return the new map and whether it changed."""
+    next_ids: Dict[Tuple[int, object], int] = {}
+    new_map: Dict[int, int] = {}
+    for state, old_block in block_of.items():
+        key = (old_block, signatures[state])
+        if key not in next_ids:
+            next_ids[key] = len(next_ids)
+        new_map[state] = next_ids[key]
+    changed = len(next_ids) != len(set(block_of.values()))
+    return new_map, changed
+
+
+# ---------------------------------------------------------------------------
+# strong bisimulation
+# ---------------------------------------------------------------------------
+
+def strong_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Partition:
+    """Coarsest strong bisimulation partition of ``model``.
+
+    Interactive signature: for every action the set of target blocks (implicit
+    input self-loops included).  Markovian signature: aggregate rate into every
+    block.
+    """
+    block_of = _initial_blocks(model, respect_labels)
+    inputs = model.signature.inputs
+    while True:
+        signatures: Dict[int, object] = {}
+        for state in model.states():
+            interactive: Dict[str, set] = {}
+            enabled = model.actions_enabled(state)
+            for action, target in model.interactive_out(state):
+                interactive.setdefault(action, set()).add(block_of[target])
+            for action in inputs:
+                if action not in enabled:
+                    interactive.setdefault(action, set()).add(block_of[state])
+            # Ordinary lumpability: rates into the state's own class are
+            # irrelevant (movement inside the class does not change the class,
+            # and the rates towards every other class are required to agree).
+            rates: Dict[int, float] = {}
+            own_block = block_of[state]
+            for rate, target in model.markovian_out(state):
+                if block_of[target] == own_block:
+                    continue
+                rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+            signatures[state] = (
+                frozenset((action, frozenset(blocks)) for action, blocks in interactive.items()),
+                frozenset((block, _canonical_rate(total)) for block, total in rates.items()),
+            )
+        block_of, changed = _refine(block_of, signatures)
+        if not changed:
+            return _blocks_from_map(block_of)
+
+
+# ---------------------------------------------------------------------------
+# weak bisimulation
+# ---------------------------------------------------------------------------
+
+def _internal_closure(model: IOIMC) -> List[FrozenSet[int]]:
+    """For every state, the set of states reachable via internal transitions."""
+    closures: List[FrozenSet[int]] = []
+    internal_succ = [model.internal_successors(state) for state in model.states()]
+    for start in model.states():
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for target in internal_succ[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        closures.append(frozenset(seen))
+    return closures
+
+
+def _weak_visible_reach(
+    model: IOIMC, closures: Sequence[FrozenSet[int]]
+) -> List[Dict[str, FrozenSet[int]]]:
+    """For every state and visible action, the states reachable via ``τ* a τ*``.
+
+    Implicit input self-loops are taken into account: a state that has no
+    explicit transition for an input action can still (weakly) perform it and
+    stay (modulo trailing internal moves).
+    """
+    inputs = model.signature.inputs
+    reach: List[Dict[str, FrozenSet[int]]] = []
+    for state in model.states():
+        per_action: Dict[str, set] = {}
+        for mid in closures[state]:
+            enabled = model.actions_enabled(mid)
+            for action, target in model.interactive_out(mid):
+                if model.signature.classify(action) is ActionType.INTERNAL:
+                    continue
+                per_action.setdefault(action, set()).update(closures[target])
+            for action in inputs:
+                if action not in enabled:
+                    per_action.setdefault(action, set()).update(closures[mid])
+        reach.append({action: frozenset(states) for action, states in per_action.items()})
+    return reach
+
+
+def weak_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Partition:
+    """Coarsest weak bisimulation partition of ``model``.
+
+    The signature of a state consists of
+
+    * for every visible action, the blocks reachable via a weak move,
+    * the blocks reachable via internal moves alone,
+    * the set of canonical Markovian rate vectors of the *stable* states
+      reachable via internal moves (maximal progress means only those states
+      can let time pass).
+    """
+    closures = _internal_closure(model)
+    visible_reach = _weak_visible_reach(model, closures)
+    stable = [model.is_stable(state) for state in model.states()]
+
+    block_of = _initial_blocks(model, respect_labels)
+    while True:
+        signatures: Dict[int, object] = {}
+        for state in model.states():
+            visible_sig = frozenset(
+                (action, frozenset(block_of[target] for target in targets))
+                for action, targets in visible_reach[state].items()
+            )
+            tau_sig = frozenset(block_of[target] for target in closures[state])
+            rate_vectors = set()
+            for target in closures[state]:
+                if not stable[target]:
+                    continue
+                rates: Dict[int, float] = {}
+                own_block = block_of[target]
+                for rate, succ in model.markovian_out(target):
+                    if block_of[succ] == own_block:
+                        continue  # ordinary lumpability: ignore intra-class rates
+                    rates[block_of[succ]] = rates.get(block_of[succ], 0.0) + rate
+                rate_vectors.add(
+                    frozenset((block, _canonical_rate(total)) for block, total in rates.items())
+                )
+            signatures[state] = (visible_sig, tau_sig, frozenset(rate_vectors))
+        block_of, changed = _refine(block_of, signatures)
+        if not changed:
+            return _blocks_from_map(block_of)
+
+
+# ---------------------------------------------------------------------------
+# quotient construction
+# ---------------------------------------------------------------------------
+
+def _block_map(partition: Partition) -> Dict[int, int]:
+    block_of: Dict[int, int] = {}
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_id
+    return block_of
+
+
+def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
+    """Quotient of ``model`` under a strong bisimulation partition."""
+    block_of = _block_map(partition)
+    quotient = IOIMC(name if name is not None else model.name, model.signature)
+    representatives = [min(block) for block in partition]
+    for block_id, block in enumerate(partition):
+        rep = representatives[block_id]
+        quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
+    for block_id, block in enumerate(partition):
+        rep = representatives[block_id]
+        for action, target in model.interactive_out(rep):
+            target_block = block_of[target]
+            if (
+                target_block == block_id
+                and model.signature.classify(action) is ActionType.INPUT
+            ):
+                continue  # implicit input self-loop
+            quotient.add_interactive(block_id, action, target_block)
+        rates: Dict[int, float] = {}
+        for rate, target in model.markovian_out(rep):
+            if block_of[target] == block_id:
+                continue  # intra-class movement is invisible in the quotient
+            rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+        for target_block, total in rates.items():
+            quotient.add_markovian(block_id, total, target_block)
+    quotient.set_initial(block_of[model.initial])
+    return quotient
+
+
+def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
+    """Quotient of ``model`` under a weak bisimulation partition.
+
+    Per block the construction uses a representative's *weak* transitions:
+
+    * visible actions: one transition per block weakly reachable (input
+      self-block loops stay implicit);
+    * internal moves: one ``τ`` transition per distinct block reachable via
+      internal moves (self-block loops are dropped — weak bisimulation is
+      insensitive to them);
+    * Markovian transitions: blocks containing a stable state carry that
+      state's aggregate rate vector (all stable members of a block agree);
+      blocks without stable states are vanishing and get no rates.
+    """
+    block_of = _block_map(partition)
+    closures = _internal_closure(model)
+    visible_reach = _weak_visible_reach(model, closures)
+    stable = [model.is_stable(state) for state in model.states()]
+
+    internal_actions = sorted(model.signature.internals)
+    tau_action = internal_actions[0] if internal_actions else None
+
+    quotient = IOIMC(name if name is not None else model.name, model.signature)
+    for block_id, block in enumerate(partition):
+        rep = min(block)
+        quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
+
+    for block_id, block in enumerate(partition):
+        rep = min(block)
+        stable_member = next((state for state in sorted(block) if stable[state]), None)
+
+        for action, targets in visible_reach[rep].items():
+            kind = model.signature.classify(action)
+            target_blocks = {block_of[target] for target in targets}
+            for target_block in sorted(target_blocks):
+                if target_block == block_id and kind is ActionType.INPUT:
+                    continue  # implicit input self-loop
+                quotient.add_interactive(block_id, action, target_block)
+
+        tau_targets = {block_of[target] for target in closures[rep]} - {block_id}
+        if tau_targets and tau_action is None:
+            raise AssertionError(
+                "internal moves present but the signature declares no internal action"
+            )
+        for target_block in sorted(tau_targets):
+            quotient.add_interactive(block_id, tau_action, target_block)
+
+        if stable_member is not None:
+            rates: Dict[int, float] = {}
+            for rate, target in model.markovian_out(stable_member):
+                if block_of[target] == block_id:
+                    continue  # intra-class movement is invisible in the quotient
+                rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+            for target_block, total in rates.items():
+                quotient.add_markovian(block_id, total, target_block)
+
+    quotient.set_initial(block_of[model.initial])
+    return quotient
+
+
+def minimize_strong(model: IOIMC, respect_labels: bool = True) -> IOIMC:
+    """Minimise ``model`` modulo strong bisimulation."""
+    partition = strong_bisimulation_partition(model, respect_labels=respect_labels)
+    return quotient_strong(model, partition).restrict_to_reachable(model.name)
+
+
+def minimize_weak(model: IOIMC, respect_labels: bool = True) -> IOIMC:
+    """Minimise ``model`` modulo weak bisimulation."""
+    partition = weak_bisimulation_partition(model, respect_labels=respect_labels)
+    return quotient_weak(model, partition).restrict_to_reachable(model.name)

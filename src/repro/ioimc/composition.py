@@ -1,0 +1,173 @@
+"""Parallel composition of input/output interactive Markov chains.
+
+Composition follows the input/output automata discipline used by the paper
+(Section 3):
+
+* Components synchronise on *shared visible actions*.  If the action is an
+  output of one component, that component decides when it happens and every
+  component having it as an input reacts immediately (input-enabledness makes
+  this always possible).  The action remains an output of the composite so
+  that further components can still listen to it.
+* An action that is an input of several components and an output of none is
+  driven by the environment; all listening components react simultaneously and
+  the action stays an input of the composite.
+* Two components may never share an output action
+  (:class:`~repro.errors.CompositionError`).
+* Markovian transitions and non-shared actions interleave.
+* Internal actions never synchronise.
+
+The composite is built by reachability exploration from the pair of initial
+states, so unreachable parts of the naive product are never materialised.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CompositionError, SignatureError
+from .actions import ActionSignature, ActionType
+from .model import IOIMC
+
+
+def parallel(left: IOIMC, right: IOIMC, name: Optional[str] = None) -> IOIMC:
+    """Parallel compose two I/O-IMC and return the reachable composite."""
+    try:
+        signature = left.signature.merge(right.signature)
+    except SignatureError as exc:
+        raise CompositionError(
+            f"cannot compose {left.name!r} and {right.name!r}: {exc}"
+        ) from exc
+
+    composite = IOIMC(name if name is not None else f"{left.name}||{right.name}", signature)
+
+    index: Dict[Tuple[int, int], int] = {}
+    worklist: List[Tuple[int, int]] = []
+
+    def intern(pair: Tuple[int, int]) -> int:
+        if pair not in index:
+            s, t = pair
+            index[pair] = composite.add_state(
+                labels=left.labels(s) | right.labels(t),
+                name=f"{left.state_name(s)}|{right.state_name(t)}",
+            )
+            worklist.append(pair)
+        return index[pair]
+
+    shared_visible = left.signature.visible & right.signature.visible
+    left_only_visible = left.signature.visible - shared_visible
+    right_only_visible = right.signature.visible - shared_visible
+
+    initial = (left.initial, right.initial)
+    composite.set_initial(intern(initial))
+
+    while worklist:
+        s, t = pair = worklist.pop()
+        source = index[pair]
+
+        # Markovian transitions interleave.
+        for rate, s_next in left.markovian_out(s):
+            composite.add_markovian(source, rate, intern((s_next, t)))
+        for rate, t_next in right.markovian_out(t):
+            composite.add_markovian(source, rate, intern((s, t_next)))
+
+        # Internal transitions interleave and never synchronise.
+        for action, s_next in left.interactive_out(s):
+            if left.signature.classify(action) is ActionType.INTERNAL:
+                composite.add_interactive(source, action, intern((s_next, t)))
+        for action, t_next in right.interactive_out(t):
+            if right.signature.classify(action) is ActionType.INTERNAL:
+                composite.add_interactive(source, action, intern((s, t_next)))
+
+        # Non-shared visible actions interleave (only explicit transitions;
+        # implicit input self-loops of the composite stay implicit).
+        for action in left_only_visible & left.actions_enabled(s):
+            for s_next in left.interactive_on(s, action):
+                composite.add_interactive(source, action, intern((s_next, t)))
+        for action in right_only_visible & right.actions_enabled(t):
+            for t_next in right.interactive_on(t, action):
+                composite.add_interactive(source, action, intern((s, t_next)))
+
+        # Shared visible actions synchronise.
+        for action in shared_visible:
+            left_out = action in left.signature.outputs
+            right_out = action in right.signature.outputs
+            if left_out:
+                driver_moves = left.interactive_on(s, action)
+                if not driver_moves:
+                    continue
+                reactions = right.interactive_on(t, action) or (t,)
+                for s_next in driver_moves:
+                    for t_next in reactions:
+                        composite.add_interactive(source, action, intern((s_next, t_next)))
+            elif right_out:
+                driver_moves = right.interactive_on(t, action)
+                if not driver_moves:
+                    continue
+                reactions = left.interactive_on(s, action) or (s,)
+                for t_next in driver_moves:
+                    for s_next in reactions:
+                        composite.add_interactive(source, action, intern((s_next, t_next)))
+            else:
+                # Input of both components: driven by the environment.
+                left_moves = left.interactive_on(s, action)
+                right_moves = right.interactive_on(t, action)
+                if not left_moves and not right_moves:
+                    continue
+                for s_next in left_moves or (s,):
+                    for t_next in right_moves or (t,):
+                        if (s_next, t_next) != (s, t):
+                            composite.add_interactive(source, action, intern((s_next, t_next)))
+
+    composite.validate()
+    return composite
+
+
+def parallel_many(models: Sequence[IOIMC], name: Optional[str] = None) -> IOIMC:
+    """Compose a sequence of I/O-IMC left to right.
+
+    This is the naive composition order; the compositional aggregation engine
+    in :mod:`repro.core.aggregation` interleaves composition with hiding and
+    minimisation instead.
+    """
+    if not models:
+        raise CompositionError("cannot compose an empty collection of I/O-IMC")
+    if len(models) == 1:
+        single = models[0].copy()
+        if name is not None:
+            single.name = name
+        return single
+    composite = reduce(parallel, models)
+    if name is not None:
+        composite.name = name
+    return composite
+
+
+def closed_actions(models: Iterable[IOIMC], keep: Iterable[str] = ()) -> frozenset:
+    """Output actions of ``models`` that no model outside the set listens to.
+
+    These are the actions that can safely be hidden once all the given models
+    have been composed.  ``keep`` lists actions that must stay observable
+    regardless (e.g. the monitored top-level failure signal).
+    """
+    keep_set = frozenset(keep)
+    outputs: set = set()
+    inputs: set = set()
+    for model in models:
+        outputs |= model.signature.outputs
+        inputs |= model.signature.inputs
+    return frozenset((outputs - keep_set) - (inputs - outputs))
+
+
+def hide_closed(model: IOIMC, external_inputs: Iterable[str], keep: Iterable[str] = ()) -> IOIMC:
+    """Hide every output of ``model`` not listened to by the remaining community.
+
+    ``external_inputs`` is the union of input actions of all models that have
+    not been composed into ``model`` yet; ``keep`` contains actions that must
+    never be hidden (monitored signals).
+    """
+    external = frozenset(external_inputs) | frozenset(keep)
+    hideable = model.signature.outputs - external
+    if not hideable:
+        return model
+    return model.hide(hideable, name=model.name)

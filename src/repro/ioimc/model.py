@@ -1,0 +1,378 @@
+"""The input/output interactive Markov chain (I/O-IMC) model.
+
+An I/O-IMC is a continuous-time Markov chain extended with interactive
+transitions labelled by input, output or internal actions (Section 3 of the
+paper).  This module provides an explicit-state representation together with
+the basic structural operations used throughout the library:
+
+* building models state by state (:meth:`IOIMC.add_state`,
+  :meth:`IOIMC.add_interactive`, :meth:`IOIMC.add_markovian`),
+* querying transitions and stability of states,
+* hiding and renaming actions,
+* restriction to reachable states,
+* export to Graphviz ``dot`` for inspection.
+
+Conventions
+-----------
+
+* States are integers ``0 .. num_states - 1``.
+* **Input-enabledness**: an input action of the signature without an explicit
+  transition from a state is an implicit self-loop, exactly as the paper omits
+  such transitions "for clarity".  Only state-changing (or deliberately
+  recorded) input transitions are stored.
+* **Urgency**: output and internal actions are immediate.  The model class
+  itself does not enforce maximal progress; the reduction pipeline
+  (:mod:`repro.ioimc.maximal_progress`) prunes Markovian transitions of
+  unstable states.
+* States may carry a frozenset of string *labels* (atomic propositions, e.g.
+  ``"failed"``) used by the analysis layer and respected by bisimulation
+  minimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import ModelError, SignatureError
+from .actions import ActionSignature, ActionType, format_action
+
+
+@dataclass(frozen=True)
+class InteractiveTransition:
+    """An interactive transition ``source --action--> target``."""
+
+    source: int
+    action: str
+    target: int
+
+
+@dataclass(frozen=True)
+class MarkovianTransition:
+    """A Markovian transition ``source --rate--> target`` (rate > 0)."""
+
+    source: int
+    rate: float
+    target: int
+
+
+class IOIMC:
+    """Explicit-state input/output interactive Markov chain.
+
+    Parameters
+    ----------
+    name:
+        Human readable name, used in diagnostics and composition bookkeeping.
+    signature:
+        The :class:`~repro.ioimc.actions.ActionSignature` of the model.
+    """
+
+    def __init__(self, name: str, signature: ActionSignature):
+        self.name = name
+        self.signature = signature
+        self._interactive: List[Dict[str, List[int]]] = []
+        self._markovian: List[Dict[int, float]] = []
+        self._labels: List[FrozenSet[str]] = []
+        self._state_names: List[Optional[str]] = []
+        self._initial: Optional[int] = None
+
+    # ------------------------------------------------------------------ build
+    def add_state(
+        self,
+        labels: Iterable[str] = (),
+        name: Optional[str] = None,
+        initial: bool = False,
+    ) -> int:
+        """Add a state and return its index."""
+        index = len(self._interactive)
+        self._interactive.append({})
+        self._markovian.append({})
+        self._labels.append(frozenset(labels))
+        self._state_names.append(name)
+        if initial:
+            self._initial = index
+        return index
+
+    def add_interactive(self, source: int, action: str, target: int) -> None:
+        """Add an interactive transition; the action must be in the signature."""
+        self._check_state(source)
+        self._check_state(target)
+        if action not in self.signature:
+            raise SignatureError(
+                f"action {action!r} is not in the signature of {self.name!r}"
+            )
+        targets = self._interactive[source].setdefault(action, [])
+        if target not in targets:
+            targets.append(target)
+
+    def add_markovian(self, source: int, rate: float, target: int) -> None:
+        """Add a Markovian transition; parallel transitions accumulate rates."""
+        self._check_state(source)
+        self._check_state(target)
+        if not rate > 0.0:
+            raise ModelError(f"Markovian rates must be positive, got {rate}")
+        self._markovian[source][target] = self._markovian[source].get(target, 0.0) + rate
+
+    def set_initial(self, state: int) -> None:
+        self._check_state(state)
+        self._initial = state
+
+    def set_labels(self, state: int, labels: Iterable[str]) -> None:
+        self._check_state(state)
+        self._labels[state] = frozenset(labels)
+
+    def set_state_name(self, state: int, name: str) -> None:
+        self._check_state(state)
+        self._state_names[state] = name
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_states(self) -> int:
+        return len(self._interactive)
+
+    @property
+    def num_transitions(self) -> int:
+        interactive = sum(
+            len(targets) for per_state in self._interactive for targets in per_state.values()
+        )
+        markovian = sum(len(per_state) for per_state in self._markovian)
+        return interactive + markovian
+
+    @property
+    def initial(self) -> int:
+        if self._initial is None:
+            raise ModelError(f"I/O-IMC {self.name!r} has no initial state")
+        return self._initial
+
+    @property
+    def has_initial(self) -> bool:
+        return self._initial is not None
+
+    def states(self) -> range:
+        return range(self.num_states)
+
+    def labels(self, state: int) -> FrozenSet[str]:
+        self._check_state(state)
+        return self._labels[state]
+
+    def state_name(self, state: int) -> str:
+        self._check_state(state)
+        name = self._state_names[state]
+        return name if name is not None else str(state)
+
+    def interactive_out(self, state: int) -> Iterator[Tuple[str, int]]:
+        """Iterate over explicit interactive transitions ``(action, target)``."""
+        self._check_state(state)
+        for action, targets in self._interactive[state].items():
+            for target in targets:
+                yield action, target
+
+    def interactive_on(self, state: int, action: str) -> Tuple[int, ...]:
+        """Explicit targets of ``action`` from ``state`` (no implicit loops)."""
+        self._check_state(state)
+        return tuple(self._interactive[state].get(action, ()))
+
+    def markovian_out(self, state: int) -> Iterator[Tuple[float, int]]:
+        """Iterate over Markovian transitions ``(rate, target)``."""
+        self._check_state(state)
+        for target, rate in self._markovian[state].items():
+            yield rate, target
+
+    def exit_rate(self, state: int) -> float:
+        """Total Markovian exit rate of ``state``."""
+        self._check_state(state)
+        return sum(self._markovian[state].values())
+
+    def actions_enabled(self, state: int) -> FrozenSet[str]:
+        """Actions with an explicit interactive transition from ``state``."""
+        self._check_state(state)
+        return frozenset(self._interactive[state])
+
+    def internal_successors(self, state: int) -> Tuple[int, ...]:
+        """Targets of internal transitions from ``state``."""
+        return tuple(
+            target
+            for action, target in self.interactive_out(state)
+            if self.signature.classify(action) is ActionType.INTERNAL
+        )
+
+    def is_stable(self, state: int) -> bool:
+        """A state is stable if it has no internal transition enabled."""
+        return not self.internal_successors(state)
+
+    def is_urgent(self, state: int) -> bool:
+        """A state is urgent if an output or internal transition is enabled.
+
+        In an urgent state no time may pass (maximal progress), hence its
+        Markovian transitions can never fire.
+        """
+        for action, _target in self.interactive_out(state):
+            if self.signature.classify(action) is not ActionType.INPUT:
+                return True
+        return False
+
+    def transitions(self) -> Iterator[object]:
+        """Iterate over all transitions as dataclass records."""
+        for state in self.states():
+            for action, target in self.interactive_out(state):
+                yield InteractiveTransition(state, action, target)
+            for rate, target in self.markovian_out(state):
+                yield MarkovianTransition(state, rate, target)
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`ModelError` if bad."""
+        if self._initial is None:
+            raise ModelError(f"I/O-IMC {self.name!r} has no initial state")
+        for state in self.states():
+            for action, targets in self._interactive[state].items():
+                if action not in self.signature:
+                    raise SignatureError(
+                        f"state {state} of {self.name!r} uses unknown action {action!r}"
+                    )
+                for target in targets:
+                    if not 0 <= target < self.num_states:
+                        raise ModelError(
+                            f"interactive transition from {state} targets missing state {target}"
+                        )
+            for target, rate in self._markovian[state].items():
+                if not rate > 0.0:
+                    raise ModelError(f"non-positive Markovian rate at state {state}")
+                if not 0 <= target < self.num_states:
+                    raise ModelError(
+                        f"Markovian transition from {state} targets missing state {target}"
+                    )
+
+    # -------------------------------------------------------- transformations
+    def copy(self, name: Optional[str] = None) -> "IOIMC":
+        """Deep copy of the model (optionally renamed)."""
+        clone = IOIMC(name if name is not None else self.name, self.signature)
+        for state in self.states():
+            clone.add_state(labels=self._labels[state], name=self._state_names[state])
+        for state in self.states():
+            for action, target in self.interactive_out(state):
+                clone.add_interactive(state, action, target)
+            for rate, target in self.markovian_out(state):
+                clone.add_markovian(state, rate, target)
+        if self._initial is not None:
+            clone.set_initial(self._initial)
+        return clone
+
+    def hide(self, actions: Iterable[str], name: Optional[str] = None) -> "IOIMC":
+        """Return a copy in which the given output actions are internal."""
+        to_hide = frozenset(actions)
+        hidden = IOIMC(
+            name if name is not None else f"hide({self.name})",
+            self.signature.hide(to_hide),
+        )
+        for state in self.states():
+            hidden.add_state(labels=self._labels[state], name=self._state_names[state])
+        for state in self.states():
+            for action, target in self.interactive_out(state):
+                hidden.add_interactive(state, action, target)
+            for rate, target in self.markovian_out(state):
+                hidden.add_markovian(state, rate, target)
+        if self._initial is not None:
+            hidden.set_initial(self._initial)
+        return hidden
+
+    def rename_actions(
+        self, mapping: Mapping[str, str], name: Optional[str] = None
+    ) -> "IOIMC":
+        """Return a copy with actions renamed according to ``mapping``."""
+        renamed = IOIMC(
+            name if name is not None else self.name,
+            self.signature.rename(mapping),
+        )
+        for state in self.states():
+            renamed.add_state(labels=self._labels[state], name=self._state_names[state])
+        for state in self.states():
+            for action, target in self.interactive_out(state):
+                renamed.add_interactive(state, mapping.get(action, action), target)
+            for rate, target in self.markovian_out(state):
+                renamed.add_markovian(state, rate, target)
+        if self._initial is not None:
+            renamed.set_initial(self._initial)
+        return renamed
+
+    def reachable_states(self) -> FrozenSet[int]:
+        """States reachable from the initial state via any transition."""
+        frontier = [self.initial]
+        seen = {self.initial}
+        while frontier:
+            state = frontier.pop()
+            successors = [target for _a, target in self.interactive_out(state)]
+            successors.extend(target for _r, target in self.markovian_out(state))
+            for target in successors:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def restrict_to_reachable(self, name: Optional[str] = None) -> "IOIMC":
+        """Return a copy containing only states reachable from the initial state."""
+        reachable = sorted(self.reachable_states())
+        remap = {old: new for new, old in enumerate(reachable)}
+        restricted = IOIMC(name if name is not None else self.name, self.signature)
+        for old in reachable:
+            restricted.add_state(labels=self._labels[old], name=self._state_names[old])
+        for old in reachable:
+            for action, target in self.interactive_out(old):
+                if target in remap:
+                    restricted.add_interactive(remap[old], action, remap[target])
+            for rate, target in self.markovian_out(old):
+                if target in remap:
+                    restricted.add_markovian(remap[old], rate, remap[target])
+        restricted.set_initial(remap[self.initial])
+        return restricted
+
+    def relabel_states(self, labelling: Mapping[int, Iterable[str]]) -> "IOIMC":
+        """Return a copy with the labels of the given states replaced."""
+        clone = self.copy()
+        for state, labels in labelling.items():
+            clone.set_labels(state, labels)
+        return clone
+
+    # ----------------------------------------------------------------- export
+    def to_dot(self) -> str:
+        """Render the model as a Graphviz ``dot`` digraph (for documentation)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for state in self.states():
+            shape = "doublecircle" if "failed" in self._labels[state] else "circle"
+            label = self.state_name(state)
+            if self._labels[state]:
+                label += "\\n" + ",".join(sorted(self._labels[state]))
+            lines.append(f'  s{state} [shape={shape}, label="{label}"];')
+        if self._initial is not None:
+            lines.append("  init [shape=point];")
+            lines.append(f"  init -> s{self.initial};")
+        for state in self.states():
+            for action, target in self.interactive_out(state):
+                kind = self.signature.classify(action)
+                lines.append(
+                    f'  s{state} -> s{target} [label="{format_action(action, kind)}"];'
+                )
+            for rate, target in self.markovian_out(state):
+                lines.append(
+                    f'  s{state} -> s{target} [label="{rate:g}", style=dashed];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line summary used by the aggregation statistics and benches."""
+        return (
+            f"{self.name}: {self.num_states} states, "
+            f"{self.num_transitions} transitions, signature {self.signature}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IOIMC({self.name!r}, states={self.num_states}, transitions={self.num_transitions})"
+
+    # ---------------------------------------------------------------- private
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.num_states:
+            raise ModelError(
+                f"state {state} does not exist in {self.name!r} "
+                f"(has {self.num_states} states)"
+            )

@@ -1,0 +1,54 @@
+"""The paper's case studies and parametric benchmark families."""
+
+from .cas import CAS_RATES, CAS_UNITS, PAPER_UNRELIABILITY_AT_1 as CAS_PAPER_UNRELIABILITY, cardiac_assist_system
+from .complex_spares import and_spare_system, fdep_gate_trigger_system, nested_spare_system
+from .cps import (
+    CPS_MODULES,
+    PAPER_COMPOSITIONAL_PEAK_STATES,
+    PAPER_COMPOSITIONAL_PEAK_TRANSITIONS,
+    PAPER_DIFTREE_STATES,
+    PAPER_DIFTREE_TRANSITIONS,
+    PAPER_UNRELIABILITY_AT_1 as CPS_PAPER_UNRELIABILITY,
+    cascaded_pand_system,
+)
+from .figure2 import figure2_models, model_a, model_b
+from .generators import (
+    and_of_or_family,
+    cascaded_pand_family,
+    fdep_cascade_family,
+    spare_chain_family,
+)
+from .mutex import inhibition_pair, mutually_exclusive_switch
+from .nondeterminism import pand_race_system, shared_spare_race_system
+from .repairable import repairable_and_system, repairable_plant, repairable_voting_system
+
+__all__ = [
+    "CAS_PAPER_UNRELIABILITY",
+    "CAS_RATES",
+    "CAS_UNITS",
+    "CPS_MODULES",
+    "CPS_PAPER_UNRELIABILITY",
+    "PAPER_COMPOSITIONAL_PEAK_STATES",
+    "PAPER_COMPOSITIONAL_PEAK_TRANSITIONS",
+    "PAPER_DIFTREE_STATES",
+    "PAPER_DIFTREE_TRANSITIONS",
+    "and_of_or_family",
+    "and_spare_system",
+    "cardiac_assist_system",
+    "cascaded_pand_family",
+    "cascaded_pand_system",
+    "fdep_cascade_family",
+    "fdep_gate_trigger_system",
+    "figure2_models",
+    "inhibition_pair",
+    "model_a",
+    "model_b",
+    "mutually_exclusive_switch",
+    "nested_spare_system",
+    "pand_race_system",
+    "repairable_and_system",
+    "repairable_plant",
+    "repairable_voting_system",
+    "shared_spare_race_system",
+    "spare_chain_family",
+]

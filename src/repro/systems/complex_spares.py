@@ -1,0 +1,83 @@
+"""The modular model-building examples of Section 6, Figure 10.
+
+Three configurations illustrate the restrictions the I/O-IMC framework lifts:
+
+* :func:`and_spare_system` (Figure 10a) — a spare gate whose primary and spare
+  are AND modules of two basic events each: the whole spare module is dormant
+  until the primary module has failed.
+* :func:`nested_spare_system` (Figure 10b) — the spare module is itself a
+  spare gate; activation is passed only to its primary, its own spare stays
+  dormant until needed.
+* :func:`fdep_gate_trigger_system` (Figure 10c) — an FDEP gate whose dependent
+  event is a *gate*: the trigger fails the sub-system as a whole without
+  touching the components below it.
+"""
+
+from __future__ import annotations
+
+from ..dft.builder import FaultTreeBuilder
+from ..dft.tree import DynamicFaultTree
+
+
+def and_spare_system(
+    primary_rate: float = 1.0,
+    spare_rate: float = 1.0,
+    spare_dormancy: float = 0.0,
+) -> DynamicFaultTree:
+    """Figure 10a: primary and spare are AND gates over two basic events."""
+    builder = FaultTreeBuilder("complex-spare-and")
+    builder.basic_event("A", primary_rate)
+    builder.basic_event("B", primary_rate)
+    builder.basic_event("C", spare_rate, dormancy=spare_dormancy)
+    builder.basic_event("D", spare_rate, dormancy=spare_dormancy)
+    builder.and_gate("primary", ["A", "B"])
+    builder.and_gate("spare", ["C", "D"])
+    builder.spare_gate("system", primary="primary", spares=["spare"])
+    return builder.build(top="system")
+
+
+def nested_spare_system(
+    primary_rate: float = 1.0,
+    spare_rate: float = 1.0,
+    spare_dormancy: float = 0.5,
+) -> DynamicFaultTree:
+    """Figure 10b: the spare module is itself a (warm) spare gate.
+
+    When the outer gate activates the module, only the inner primary ``C`` is
+    switched on; the inner spare ``D`` stays dormant until ``C`` fails.
+    """
+    builder = FaultTreeBuilder("complex-spare-nested")
+    builder.basic_event("A", primary_rate)
+    builder.basic_event("B", primary_rate)
+    builder.basic_event("C", spare_rate, dormancy=spare_dormancy)
+    builder.basic_event("D", spare_rate, dormancy=spare_dormancy)
+    builder.spare_gate("primary", primary="A", spares=["B"])
+    builder.spare_gate("spare", primary="C", spares=["D"])
+    builder.spare_gate("system", primary="primary", spares=["spare"])
+    return builder.build(top="system")
+
+
+def fdep_gate_trigger_system(
+    trigger_rate: float = 0.5,
+    component_rate: float = 1.0,
+) -> DynamicFaultTree:
+    """Figure 10c: an FDEP whose dependent event is a gate.
+
+    The trigger ``T`` fails the sub-system ``A`` (an AND over ``B`` and ``C``)
+    as a whole, but none of the components below it: the basic event ``C`` is
+    shared with a second sub-system ``CE`` that is *not* affected by the
+    trigger.  Because the system needs *both* sub-systems to fail, the
+    difference between "the trigger fails the gate" and "the trigger fails the
+    gate's components" is observable in the unreliability (failing the
+    components would drag ``CE`` down as well).
+    """
+    builder = FaultTreeBuilder("fdep-gate-dependent")
+    builder.basic_event("T", trigger_rate)
+    builder.basic_event("B", component_rate)
+    builder.basic_event("C", component_rate)
+    builder.basic_event("E", component_rate)
+    builder.and_gate("A", ["B", "C"])
+    builder.and_gate("CE", ["C", "E"])
+    builder.fdep("F", trigger="T", dependents=["A"])
+    builder.and_gate("system", ["A", "CE"])
+    return builder.build(top="system")

@@ -1,0 +1,61 @@
+"""The hand-drawn composition example of Figure 2.
+
+Figure 2 of the paper shows two small I/O-IMC ``A`` and ``B``:
+
+* ``A`` outputs action ``a`` and then performs an internal step;
+* ``B`` waits for ``a`` (input), races it against a Markovian delay ``lambda``
+  and finally outputs ``b``.
+
+Their parallel composition (synchronising on ``a``), the hiding of ``a`` and
+the aggregation of the result — four interleaving states collapse into one —
+is the paper's illustration of compositional aggregation.  The builders below
+reconstruct the two models so that the benchmark ``bench_fig2_composition``
+can replay exactly that pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ioimc import IOIMC, signature
+
+
+def model_a(rate: float = 1.0) -> IOIMC:
+    """I/O-IMC ``A`` of Figure 2: ``1 --a!--> 2 --a;--> 3`` style process.
+
+    The paper draws ``A`` as a three-state process whose only visible step is
+    the output ``a!`` followed by an internal move.
+    """
+    model = IOIMC("A", signature(outputs=["a"], internals=["internal_a"]))
+    s1 = model.add_state(name="1", initial=True)
+    s2 = model.add_state(name="2")
+    s3 = model.add_state(name="3")
+    model.add_interactive(s1, "a", s2)
+    model.add_interactive(s2, "internal_a", s3)
+    return model
+
+
+def model_b(rate: float = 1.0) -> IOIMC:
+    """I/O-IMC ``B`` of Figure 2.
+
+    ``B`` can receive ``a`` in every state (input-enabledness); from its
+    initial state it races the input against an exponential delay, and once
+    both have happened it outputs ``b``.
+    """
+    model = IOIMC("B", signature(inputs=["a"], outputs=["b"]))
+    s1 = model.add_state(name="1", initial=True)
+    s2 = model.add_state(name="2")
+    s3 = model.add_state(name="3")
+    s4 = model.add_state(name="4")
+    s5 = model.add_state(name="5")
+    model.add_markovian(s1, rate, s2)
+    model.add_interactive(s1, "a", s3)
+    model.add_interactive(s2, "a", s4)
+    model.add_markovian(s3, rate, s4)
+    model.add_interactive(s4, "b", s5)
+    return model
+
+
+def figure2_models(rate: float = 1.0) -> Tuple[IOIMC, IOIMC]:
+    """Both models of Figure 2."""
+    return model_a(rate), model_b(rate)

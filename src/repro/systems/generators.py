@@ -1,0 +1,120 @@
+"""Parametric DFT families for scalability experiments.
+
+The paper's scalability argument (Section 5.2) is made on a single instance of
+the cascaded PAND system.  The generators below extend that instance into
+families so the benchmark suite can sweep problem sizes and chart how the
+compositional peak state space grows compared to the monolithic chain:
+
+* :func:`cascaded_pand_family` — ``k`` AND modules of ``m`` identical basic
+  events feeding a left-deep cascade of PAND gates (the paper's CPS is
+  ``k=3, m=4``);
+* :func:`and_of_or_family` — a purely static benchmark (AND of ORs) used to
+  sanity-check the static-analysis path and the BDD baseline;
+* :func:`spare_chain_family` — ``k`` subsystems sharing a pool of spares, a
+  stress test for the spare-gate semantics and the claim-signal wiring;
+* :func:`fdep_cascade_family` — a chain of functional dependencies, stressing
+  the firing-auxiliary wiring.
+"""
+
+from __future__ import annotations
+
+from ..dft.builder import FaultTreeBuilder
+from ..dft.tree import DynamicFaultTree
+
+
+def cascaded_pand_family(
+    num_modules: int = 3, events_per_module: int = 4, failure_rate: float = 1.0
+) -> DynamicFaultTree:
+    """A generalised cascaded PAND system.
+
+    ``num_modules`` AND modules ``M1 .. Mk`` are combined by a left-deep chain
+    of PAND gates: ``PAND(M1, PAND(M2, ... PAND(M_{k-1}, M_k)))``.  With
+    ``num_modules=3`` and ``events_per_module=4`` this is exactly the CPS of
+    Figure 8 (up to element names).
+    """
+    if num_modules < 2:
+        raise ValueError("the cascade needs at least two modules")
+    if events_per_module < 1:
+        raise ValueError("each module needs at least one basic event")
+    builder = FaultTreeBuilder(f"cascaded-pand-{num_modules}x{events_per_module}")
+    module_names = []
+    for module_index in range(1, num_modules + 1):
+        name = f"M{module_index}"
+        events = [f"{name}_{i}" for i in range(1, events_per_module + 1)]
+        builder.basic_events(events, failure_rate=failure_rate)
+        builder.and_gate(name, events)
+        module_names.append(name)
+    # Build the right-nested cascade bottom-up.
+    current = module_names[-1]
+    for index in range(num_modules - 2, 0, -1):
+        gate_name = f"P{index + 1}"
+        builder.pand_gate(gate_name, [module_names[index], current])
+        current = gate_name
+    builder.pand_gate("system", [module_names[0], current])
+    return builder.build(top="system")
+
+
+def and_of_or_family(
+    num_branches: int = 3, events_per_branch: int = 3, failure_rate: float = 1.0
+) -> DynamicFaultTree:
+    """A static AND-of-ORs tree (no dynamic gates at all)."""
+    if num_branches < 1 or events_per_branch < 1:
+        raise ValueError("the family needs at least one branch and one event per branch")
+    builder = FaultTreeBuilder(f"and-of-or-{num_branches}x{events_per_branch}")
+    branch_names = []
+    for branch in range(1, num_branches + 1):
+        events = [f"B{branch}_{i}" for i in range(1, events_per_branch + 1)]
+        builder.basic_events(events, failure_rate=failure_rate)
+        builder.or_gate(f"Branch{branch}", events)
+        branch_names.append(f"Branch{branch}")
+    builder.and_gate("system", branch_names)
+    return builder.build(top="system")
+
+
+def spare_chain_family(
+    num_subsystems: int = 3,
+    num_shared_spares: int = 1,
+    failure_rate: float = 1.0,
+    spare_dormancy: float = 0.0,
+) -> DynamicFaultTree:
+    """``num_subsystems`` spare gates competing for a pool of shared spares.
+
+    The system fails once every subsystem has failed (AND of the spare gates).
+    """
+    if num_subsystems < 1:
+        raise ValueError("the spare chain needs at least one subsystem")
+    if num_shared_spares < 1:
+        raise ValueError("the spare chain needs at least one shared spare")
+    builder = FaultTreeBuilder(
+        f"spare-chain-{num_subsystems}primaries-{num_shared_spares}spares"
+    )
+    spares = [f"S{i}" for i in range(1, num_shared_spares + 1)]
+    for spare in spares:
+        builder.basic_event(spare, failure_rate, dormancy=spare_dormancy)
+    gate_names = []
+    for index in range(1, num_subsystems + 1):
+        builder.basic_event(f"P{index}", failure_rate)
+        builder.spare_gate(f"G{index}", primary=f"P{index}", spares=spares)
+        gate_names.append(f"G{index}")
+    builder.and_gate("system", gate_names)
+    return builder.build(top="system")
+
+
+def fdep_cascade_family(
+    depth: int = 3, failure_rate: float = 1.0, trigger_rate: float = 0.5
+) -> DynamicFaultTree:
+    """A chain of functional dependencies: trigger ``T1`` fails ``C1`` which
+    triggers ``C2`` and so on; the system is an AND over all components."""
+    if depth < 1:
+        raise ValueError("the cascade needs at least one stage")
+    builder = FaultTreeBuilder(f"fdep-cascade-{depth}")
+    builder.basic_event("T1", trigger_rate)
+    components = []
+    for stage in range(1, depth + 1):
+        component = f"C{stage}"
+        builder.basic_event(component, failure_rate)
+        components.append(component)
+        trigger = "T1" if stage == 1 else f"C{stage - 1}"
+        builder.fdep(f"F{stage}", trigger=trigger, dependents=[component])
+    builder.and_gate("system", components)
+    return builder.build(top="system")

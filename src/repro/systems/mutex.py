@@ -1,0 +1,50 @@
+"""Inhibition and mutual exclusivity (Section 7.1, Figure 12).
+
+The motivating example is a switch with two failure modes — *failing to open*
+and *failing to close* — which are mutually exclusive: the switch can fail in
+one mode or the other, never both.  Modelling the two modes as independent
+basic events over-counts double failures; two symmetric inhibition auxiliaries
+make them exclusive.
+"""
+
+from __future__ import annotations
+
+from ..dft.builder import FaultTreeBuilder
+from ..dft.tree import DynamicFaultTree
+
+
+def inhibition_pair(
+    inhibitor_rate: float = 1.0, target_rate: float = 1.0
+) -> DynamicFaultTree:
+    """Figure 12: ``A`` inhibits ``B``; the system fails when ``B`` fails.
+
+    ``B`` only fails if it beats ``A``; the unreliability therefore equals the
+    probability that ``B`` fails before ``A`` *and* before the mission time.
+    """
+    builder = FaultTreeBuilder("inhibition-pair")
+    builder.basic_event("A", inhibitor_rate)
+    builder.basic_event("B", target_rate)
+    builder.inhibition("IA_B", inhibitor="A", target="B")
+    builder.or_gate("system", ["B"])
+    return builder.build(top="system")
+
+
+def mutually_exclusive_switch(
+    fail_open_rate: float = 0.3,
+    fail_closed_rate: float = 0.7,
+    pump_rate: float = 1.0,
+) -> DynamicFaultTree:
+    """A switch with mutually exclusive failure modes inside a small system.
+
+    The switch can *fail open* (SO) or *fail closed* (SC) but never both.
+    Failing closed dooms the system immediately; failing open only matters if
+    the backup pump is also lost.
+    """
+    builder = FaultTreeBuilder("mutually-exclusive-switch")
+    builder.basic_event("SO", fail_open_rate)
+    builder.basic_event("SC", fail_closed_rate)
+    builder.basic_event("Pump", pump_rate)
+    builder.mutual_exclusion("switch_modes", "SO", "SC")
+    builder.and_gate("OpenAndPump", ["SO", "Pump"])
+    builder.or_gate("system", ["SC", "OpenAndPump"])
+    return builder.build(top="system")

@@ -1,0 +1,50 @@
+"""The inherently non-deterministic configurations of Section 4.4, Figure 6.
+
+Both configurations use an FDEP gate whose trigger fails two elements
+"simultaneously":
+
+* :func:`pand_race_system` (Figure 6a) — the two dependent events are the
+  inputs of a PAND gate.  Whether the gate counts the simultaneous failure as
+  "in order" decides whether the system fails, so the unreliability is only
+  bounded by an interval.
+* :func:`shared_spare_race_system` (Figure 6b) — the dependent events are the
+  primaries of two spare gates sharing a single spare.  The race decides which
+  gate grabs the spare; with a symmetric top gate the measure is insensitive
+  to it (the bounds coincide), which is itself an instructive outcome.
+"""
+
+from __future__ import annotations
+
+from ..dft.builder import FaultTreeBuilder
+from ..dft.tree import DynamicFaultTree
+
+
+def pand_race_system(
+    trigger_rate: float = 1.0, component_rate: float = 1.0
+) -> DynamicFaultTree:
+    """Figure 6a: an FDEP trigger failing both inputs of a PAND gate."""
+    builder = FaultTreeBuilder("fdep-pand-race")
+    builder.basic_event("T", trigger_rate)
+    builder.basic_event("A", component_rate)
+    builder.basic_event("B", component_rate)
+    builder.pand_gate("system", ["A", "B"])
+    builder.fdep("F", trigger="T", dependents=["A", "B"])
+    return builder.build(top="system")
+
+
+def shared_spare_race_system(
+    trigger_rate: float = 1.0,
+    component_rate: float = 1.0,
+    spare_rate: float = 1.0,
+) -> DynamicFaultTree:
+    """Figure 6b: an FDEP trigger failing the primaries of two gates sharing a spare."""
+    builder = FaultTreeBuilder("fdep-shared-spare-race")
+    builder.basic_event("T", trigger_rate)
+    builder.basic_event("A", component_rate)
+    builder.basic_event("B", component_rate)
+    builder.basic_event("S", spare_rate, dormancy=0.0)
+    builder.spare_gate("WSP_A", primary="A", spares=["S"])
+    builder.spare_gate("WSP_B", primary="B", spares=["S"])
+    builder.fdep("F", trigger="T", dependents=["A", "B"])
+    builder.or_gate("system", ["WSP_A", "WSP_B"])
+    return builder.build(top="system")

@@ -1,0 +1,66 @@
+"""Repairable systems of Section 7.2, Figures 13-15.
+
+The paper extends the framework with repair by modifying only the elementary
+I/O-IMC: a repairable basic event leaves its fired state with rate ``mu`` and
+announces a repair signal; gates listen to both failure and repair signals.
+The canonical example (Figure 15) is an AND gate over two repairable basic
+events, whose composition/aggregation yields the small birth-death CTMC of
+Figure 15b; the measure of interest becomes system *unavailability*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dft.builder import FaultTreeBuilder
+from ..dft.tree import DynamicFaultTree
+
+
+def repairable_and_system(
+    failure_rate: float = 1.0, repair_rate: float = 2.0
+) -> DynamicFaultTree:
+    """Figure 15a: an AND gate over two repairable basic events.
+
+    The steady-state unavailability has the closed form
+    ``(lambda / (lambda + mu)) ** 2``, which the tests use as ground truth.
+    """
+    builder = FaultTreeBuilder("repairable-and")
+    builder.basic_event("A", failure_rate, repair_rate=repair_rate)
+    builder.basic_event("B", failure_rate, repair_rate=repair_rate)
+    builder.and_gate("system", ["A", "B"])
+    return builder.build(top="system")
+
+
+def repairable_voting_system(
+    num_components: int = 3,
+    threshold: int = 2,
+    failure_rate: float = 1.0,
+    repair_rate: float = 5.0,
+) -> DynamicFaultTree:
+    """A K-out-of-N repairable system (majority-voting style redundancy)."""
+    builder = FaultTreeBuilder("repairable-voting")
+    names = [f"C{i}" for i in range(1, num_components + 1)]
+    builder.basic_events(names, failure_rate=failure_rate, repair_rate=repair_rate)
+    builder.voting_gate("system", names, threshold=threshold)
+    return builder.build(top="system")
+
+
+def repairable_plant(
+    line_failure_rates: Sequence[float] = (0.1, 0.1),
+    pump_failure_rate: float = 0.5,
+    repair_rate: float = 2.0,
+) -> DynamicFaultTree:
+    """A small repairable production plant: two lines, each needing its pump,
+    and a shared power feed; the plant is down when both lines are down or the
+    power feed is down."""
+    builder = FaultTreeBuilder("repairable-plant")
+    builder.basic_event("Power", 0.05, repair_rate=repair_rate)
+    for index, rate in enumerate(line_failure_rates, start=1):
+        builder.basic_event(f"Line{index}", rate, repair_rate=repair_rate)
+        builder.basic_event(f"Pump{index}", pump_failure_rate, repair_rate=repair_rate)
+        builder.or_gate(f"LineDown{index}", [f"Line{index}", f"Pump{index}"])
+    builder.and_gate(
+        "BothLinesDown", [f"LineDown{i}" for i in range(1, len(line_failure_rates) + 1)]
+    )
+    builder.or_gate("system", ["Power", "BothLinesDown"])
+    return builder.build(top="system")

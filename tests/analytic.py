@@ -1,0 +1,97 @@
+"""Closed-form ground-truth formulas used by several test modules.
+
+All formulas assume exponentially distributed failure times and statistically
+independent components unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import linalg
+
+
+def exp_cdf(rate: float, time: float) -> float:
+    """P(failure by ``time``) of a single exponential component."""
+    return 1.0 - math.exp(-rate * time)
+
+
+def and_unreliability(rates: Sequence[float], time: float) -> float:
+    """All components failed by ``time``."""
+    value = 1.0
+    for rate in rates:
+        value *= exp_cdf(rate, time)
+    return value
+
+
+def or_unreliability(rates: Sequence[float], time: float) -> float:
+    """At least one component failed by ``time``."""
+    return 1.0 - math.exp(-sum(rates) * time)
+
+
+def voting_unreliability(rates: Sequence[float], threshold: int, time: float) -> float:
+    """At least ``threshold`` of the components failed by ``time`` (brute force)."""
+    n = len(rates)
+    probability = 0.0
+    for mask in range(2 ** n):
+        failed = [i for i in range(n) if mask & (1 << i)]
+        if len(failed) < threshold:
+            continue
+        term = 1.0
+        for i in range(n):
+            p = exp_cdf(rates[i], time)
+            term *= p if i in failed else (1.0 - p)
+        probability += term
+    return probability
+
+
+def pand_two_unreliability(rate_a: float, rate_b: float, time: float) -> float:
+    """P(A fails before B and B fails before ``time``) for independent exponentials.
+
+    ``P = ∫_0^t rate_a e^{-rate_a a} (F_B(t) - F_B(a)) da`` evaluated in closed
+    form.
+    """
+    lam_a, lam_b, t = rate_a, rate_b, time
+    # Direct integral: ∫_0^t lam_a e^{-lam_a a} (e^{-lam_b a} - e^{-lam_b t}) da
+    combined = lam_a + lam_b
+    part1 = lam_a / combined * (1.0 - math.exp(-combined * t))
+    part2 = math.exp(-lam_b * t) * (1.0 - math.exp(-lam_a * t))
+    return part1 - part2
+
+
+def cold_spare_unreliability(primary_rate: float, spare_rate: float, time: float) -> float:
+    """Primary then cold spare: hypo-exponential CDF."""
+    if math.isclose(primary_rate, spare_rate):
+        lam = primary_rate
+        return 1.0 - math.exp(-lam * time) * (1.0 + lam * time)
+    a, b = primary_rate, spare_rate
+    return 1.0 - (b * math.exp(-a * time) - a * math.exp(-b * time)) / (b - a)
+
+
+def warm_spare_unreliability(
+    primary_rate: float, spare_rate: float, dormancy: float, time: float
+) -> float:
+    """Warm spare gate via its exact 4-state CTMC."""
+    dormant_rate = dormancy * spare_rate
+    generator = np.array(
+        [
+            [-(primary_rate + dormant_rate), primary_rate, dormant_rate, 0.0],
+            [0.0, -spare_rate, 0.0, spare_rate],
+            [0.0, 0.0, -primary_rate, primary_rate],
+            [0.0, 0.0, 0.0, 0.0],
+        ]
+    )
+    return float(linalg.expm(generator * time)[0, 3])
+
+
+def repairable_component_unavailability(failure_rate: float, repair_rate: float) -> float:
+    """Steady-state unavailability of one repairable component."""
+    return failure_rate / (failure_rate + repair_rate)
+
+
+def ctmc_transient_probability(generator: np.ndarray, initial: int, goal: Sequence[int], time: float) -> float:
+    """Reference transient probability via a dense matrix exponential."""
+    matrix = linalg.expm(np.asarray(generator, dtype=float) * time)
+    return float(sum(matrix[initial, g] for g in goal))

@@ -1,0 +1,137 @@
+"""Tests for the ROBDD engine."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import BDDManager
+from repro.errors import AnalysisError
+
+
+class TestBasicOperations:
+    def test_terminals(self):
+        manager = BDDManager(["x"])
+        assert manager.zero.is_terminal and manager.zero.value == 0
+        assert manager.one.is_terminal and manager.one.value == 1
+
+    def test_variable_node(self):
+        manager = BDDManager(["x"])
+        node = manager.var("x")
+        assert node.low is manager.zero
+        assert node.high is manager.one
+
+    def test_unknown_variable(self):
+        manager = BDDManager(["x"])
+        with pytest.raises(AnalysisError):
+            manager.var("y")
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(AnalysisError):
+            BDDManager(["x", "x"])
+
+    def test_hash_consing(self):
+        manager = BDDManager(["x", "y"])
+        a = manager.apply_and(manager.var("x"), manager.var("y"))
+        b = manager.apply_and(manager.var("x"), manager.var("y"))
+        assert a is b
+
+    def test_and_or_not_laws(self):
+        manager = BDDManager(["x", "y"])
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.apply_and(x, manager.one) is x
+        assert manager.apply_and(x, manager.zero) is manager.zero
+        assert manager.apply_or(x, manager.zero) is x
+        assert manager.apply_or(x, manager.one) is manager.one
+        assert manager.apply_not(manager.apply_not(x)) is x
+        # De Morgan
+        lhs = manager.apply_not(manager.apply_and(x, y))
+        rhs = manager.apply_or(manager.apply_not(x), manager.apply_not(y))
+        assert lhs is rhs
+
+    def test_reduction_removes_redundant_tests(self):
+        manager = BDDManager(["x", "y"])
+        x = manager.var("x")
+        # ite(y, x, x) == x regardless of y.
+        assert manager.ite(manager.var("y"), x, x) is x
+
+
+class TestProbability:
+    def test_single_variable(self):
+        manager = BDDManager(["x"])
+        assert manager.probability(manager.var("x"), {"x": 0.3}) == pytest.approx(0.3)
+
+    def test_and_probability(self):
+        manager = BDDManager(["x", "y"])
+        node = manager.apply_and(manager.var("x"), manager.var("y"))
+        assert manager.probability(node, {"x": 0.3, "y": 0.5}) == pytest.approx(0.15)
+
+    def test_or_probability(self):
+        manager = BDDManager(["x", "y"])
+        node = manager.apply_or(manager.var("x"), manager.var("y"))
+        assert manager.probability(node, {"x": 0.3, "y": 0.5}) == pytest.approx(
+            1 - 0.7 * 0.5
+        )
+
+    def test_voting_probability_matches_enumeration(self):
+        names = ["a", "b", "c", "d"]
+        probabilities = {"a": 0.1, "b": 0.25, "c": 0.4, "d": 0.6}
+        manager = BDDManager(names)
+        node = manager.at_least(2, [manager.var(n) for n in names])
+        expected = 0.0
+        for assignment in itertools.product([0, 1], repeat=4):
+            if sum(assignment) < 2:
+                continue
+            term = 1.0
+            for name, value in zip(names, assignment):
+                term *= probabilities[name] if value else 1 - probabilities[name]
+            expected += term
+        assert manager.probability(node, probabilities) == pytest.approx(expected)
+
+    def test_missing_probability_rejected(self):
+        manager = BDDManager(["x"])
+        with pytest.raises(AnalysisError):
+            manager.probability(manager.var("x"), {})
+
+    def test_invalid_probability_rejected(self):
+        manager = BDDManager(["x"])
+        with pytest.raises(AnalysisError):
+            manager.probability(manager.var("x"), {"x": 1.5})
+
+    def test_terminal_probabilities(self):
+        manager = BDDManager(["x"])
+        assert manager.probability(manager.one, {}) == 1.0
+        assert manager.probability(manager.zero, {}) == 0.0
+
+
+class TestStructuralQueries:
+    def test_node_count(self):
+        manager = BDDManager(["x", "y", "z"])
+        node = manager.conjoin([manager.var(n) for n in ["x", "y", "z"]])
+        assert manager.node_count(node) == 3
+        assert manager.node_count(manager.one) == 0
+
+    def test_minimal_cut_sets_and(self):
+        manager = BDDManager(["x", "y"])
+        node = manager.apply_and(manager.var("x"), manager.var("y"))
+        assert manager.minimal_cut_sets(node) == [frozenset({"x", "y"})]
+
+    def test_minimal_cut_sets_or(self):
+        manager = BDDManager(["x", "y"])
+        node = manager.apply_or(manager.var("x"), manager.var("y"))
+        cut_sets = {frozenset(c) for c in manager.minimal_cut_sets(node)}
+        assert cut_sets == {frozenset({"x"}), frozenset({"y"})}
+
+    def test_minimal_cut_sets_voting(self):
+        manager = BDDManager(["a", "b", "c"])
+        node = manager.at_least(2, [manager.var(n) for n in ["a", "b", "c"]])
+        cut_sets = {frozenset(c) for c in manager.minimal_cut_sets(node)}
+        assert cut_sets == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_at_least_edge_cases(self):
+        manager = BDDManager(["a"])
+        assert manager.at_least(0, [manager.var("a")]) is manager.one
+        assert manager.at_least(2, [manager.var("a")]) is manager.zero

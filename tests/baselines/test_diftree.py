@@ -1,0 +1,88 @@
+"""Tests for the modular DIFTree baseline."""
+
+import pytest
+
+from repro.baselines import DiftreeAnalyzer, diftree_unreliability
+from repro.dft import FaultTreeBuilder
+from repro.errors import AnalysisError
+from repro.systems import cardiac_assist_system, cascaded_pand_system
+from tests import analytic
+
+
+class TestStaticSolving:
+    def test_static_tree_solved_with_bdd(self, and_tree):
+        analyzer = DiftreeAnalyzer(and_tree)
+        result = analyzer.analyze(1.0)
+        assert result.unreliability == pytest.approx(
+            analytic.and_unreliability([1.0, 2.0], 1.0), abs=1e-12
+        )
+        assert all(not module.dynamic for module in result.modules)
+        assert result.largest_chain_states == 0
+
+    def test_nested_static_modules(self):
+        builder = FaultTreeBuilder("nested")
+        builder.basic_events(["A", "B", "C", "D"], failure_rate=2.0)
+        builder.or_gate("Left", ["A", "B"])
+        builder.or_gate("Right", ["C", "D"])
+        builder.and_gate("Top", ["Left", "Right"])
+        tree = builder.build("Top")
+        result = DiftreeAnalyzer(tree).analyze(0.5)
+        expected = analytic.or_unreliability([2.0, 2.0], 0.5) ** 2
+        assert result.unreliability == pytest.approx(expected, abs=1e-12)
+        assert len(result.modules) == 3
+
+    def test_voting_tree(self):
+        builder = FaultTreeBuilder("vote")
+        builder.basic_events(["A", "B", "C"], failure_rate=1.0)
+        builder.voting_gate("Top", ["A", "B", "C"], threshold=2)
+        tree = builder.build("Top")
+        assert diftree_unreliability(tree, 1.0) == pytest.approx(
+            analytic.voting_unreliability([1.0, 1.0, 1.0], 2, 1.0), abs=1e-12
+        )
+
+
+class TestDynamicSolving:
+    def test_dynamic_tree_single_module(self, cold_spare_tree):
+        result = DiftreeAnalyzer(cold_spare_tree).analyze(1.0)
+        assert len(result.modules) == 1
+        assert result.modules[0].dynamic
+        assert result.unreliability == pytest.approx(
+            analytic.cold_spare_unreliability(1.0, 2.0, 1.0), abs=1e-9
+        )
+
+    def test_cas_module_structure(self):
+        result = DiftreeAnalyzer(cardiac_assist_system()).analyze(1.0)
+        dynamic = [m for m in result.modules if m.dynamic]
+        static = [m for m in result.modules if not m.dynamic]
+        assert {m.root for m in dynamic} == {"CPU_unit", "Motor_unit", "Pump_unit"}
+        assert {m.root for m in static} == {"system"}
+        # The paper reports the pump unit as the biggest module chain (8 states).
+        pump = next(m for m in dynamic if m.root == "Pump_unit")
+        assert pump.states == 8
+
+    def test_cas_value_matches_paper(self):
+        assert diftree_unreliability(cardiac_assist_system(), 1.0) == pytest.approx(
+            0.6579, abs=5e-5
+        )
+
+    def test_cps_is_monolithic_and_matches_paper_sizes(self):
+        result = DiftreeAnalyzer(cascaded_pand_system()).analyze(1.0)
+        assert len(result.modules) == 1
+        module = result.modules[0]
+        assert module.dynamic
+        assert module.states == 4113
+        assert module.transitions == 24608
+        assert result.unreliability == pytest.approx(0.00135, abs=5e-5)
+
+    def test_repairable_tree_rejected(self, repairable_and_tree):
+        with pytest.raises(AnalysisError):
+            DiftreeAnalyzer(repairable_and_tree)
+
+    def test_negative_time_rejected(self, and_tree):
+        with pytest.raises(AnalysisError):
+            DiftreeAnalyzer(and_tree).analyze(-1.0)
+
+    def test_result_summary(self, and_tree):
+        result = DiftreeAnalyzer(and_tree).analyze(1.0)
+        assert "DIFTree" in result.summary()
+        assert all("module" in m.summary() for m in result.modules)

@@ -1,0 +1,153 @@
+"""Tests for the monolithic (DIFTree-style) Markov-chain generator."""
+
+import pytest
+
+from repro.baselines import MonolithicMarkovGenerator, monolithic_unreliability
+from repro.dft import FaultTreeBuilder
+from repro.errors import AnalysisError
+from tests import analytic
+
+
+class TestStateSpace:
+    def test_and_tree_states(self, and_tree):
+        result = MonolithicMarkovGenerator(and_tree).build()
+        # Subsets of {A, B}: 4 states; the all-failed state is absorbing.
+        assert result.num_states == 4
+        assert result.num_transitions == 4
+        assert result.num_failed_states == 1
+
+    def test_or_tree_stops_at_failure(self, or_tree):
+        result = MonolithicMarkovGenerator(or_tree).build()
+        # Failure after a single event: 1 initial + 2 failed states.
+        assert result.num_states == 3
+        assert result.num_failed_states == 2
+
+    def test_expand_failed_states_grows_the_chain(self, or_tree):
+        absorbed = MonolithicMarkovGenerator(or_tree).build(expand_failed_states=False)
+        expanded = MonolithicMarkovGenerator(or_tree).build(expand_failed_states=True)
+        assert expanded.num_states >= absorbed.num_states
+
+    def test_repairable_tree_rejected(self, repairable_and_tree):
+        with pytest.raises(AnalysisError):
+            MonolithicMarkovGenerator(repairable_and_tree)
+
+    def test_summary(self, and_tree):
+        result = MonolithicMarkovGenerator(and_tree).build()
+        assert "states" in result.summary()
+
+
+class TestNumericalAgreement:
+    def test_and(self, and_tree):
+        assert monolithic_unreliability(and_tree, 1.0) == pytest.approx(
+            analytic.and_unreliability([1.0, 2.0], 1.0), abs=1e-9
+        )
+
+    def test_pand_in_order(self, pand_tree):
+        assert monolithic_unreliability(pand_tree, 1.0) == pytest.approx(
+            analytic.pand_two_unreliability(1.0, 2.0, 1.0), abs=1e-9
+        )
+
+    def test_cold_spare(self, cold_spare_tree):
+        assert monolithic_unreliability(cold_spare_tree, 1.0) == pytest.approx(
+            analytic.cold_spare_unreliability(1.0, 2.0, 1.0), abs=1e-9
+        )
+
+    def test_warm_spare(self, warm_spare_tree):
+        assert monolithic_unreliability(warm_spare_tree, 1.0) == pytest.approx(
+            analytic.warm_spare_unreliability(1.0, 2.0, 0.5, 1.0), abs=1e-9
+        )
+
+    def test_fdep(self, fdep_tree):
+        expected = analytic.exp_cdf(1.5, 1.0) * analytic.exp_cdf(1.0, 1.0)
+        assert monolithic_unreliability(fdep_tree, 1.0) == pytest.approx(expected, abs=1e-9)
+
+    def test_shared_spare(self, shared_spare_tree):
+        generator = [
+            [-2.0, 2.0, 0.0, 0.0],
+            [0.0, -2.0, 2.0, 0.0],
+            [0.0, 0.0, -1.0, 1.0],
+            [0.0, 0.0, 0.0, 0.0],
+        ]
+        expected = analytic.ctmc_transient_probability(generator, 0, [3], 1.0)
+        assert monolithic_unreliability(shared_spare_tree, 1.0) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+
+class TestStepperSemantics:
+    def test_initial_activation(self, cold_spare_tree):
+        generator = MonolithicMarkovGenerator(cold_spare_tree)
+        state = generator.initial_state()
+        assert "P" in state.active
+        assert "S" not in state.active
+        # Only the primary can fail initially (the spare is cold).
+        assert [name for name, _ in generator.enabled_failures(state)] == ["P"]
+
+    def test_spare_activated_after_primary_failure(self, cold_spare_tree):
+        generator = MonolithicMarkovGenerator(cold_spare_tree)
+        state = generator.fail(generator.initial_state(), "P")
+        assert "S" in state.active
+        assert dict(state.using)["Top"] == "S"
+        assert not generator.is_system_failed(state)
+        state = generator.fail(state, "S")
+        assert generator.is_system_failed(state)
+
+    def test_shared_spare_taken_once(self, shared_spare_tree):
+        generator = MonolithicMarkovGenerator(shared_spare_tree)
+        state = generator.fail(generator.initial_state(), "PA")
+        assert dict(state.using)["GateA"] == "PS"
+        assert "PS" in state.taken
+        # GateB's primary fails next: the spare is gone, GateB fails.
+        state = generator.fail(state, "PB")
+        assert dict(state.using)["GateB"] is None
+        assert "GateB" in state.failed
+        assert not generator.is_system_failed(state)  # AND needs both gates
+        state = generator.fail(state, "PS")
+        assert generator.is_system_failed(state)
+
+    def test_pand_wrong_order_disables(self, pand_tree):
+        generator = MonolithicMarkovGenerator(pand_tree)
+        state = generator.fail(generator.initial_state(), "B")
+        state = generator.fail(state, "A")
+        assert not generator.is_system_failed(state)
+        assert dict(state.pand_progress)["Top"] == -1
+
+    def test_fdep_simultaneity_resolved_left_to_right(self):
+        builder = FaultTreeBuilder("race")
+        builder.basic_events(["T", "A", "B"], failure_rate=1.0)
+        builder.pand_gate("Top", ["A", "B"])
+        builder.fdep("F", trigger="T", dependents=["A", "B"])
+        tree = builder.build("Top")
+        generator = MonolithicMarkovGenerator(tree)
+        state = generator.fail(generator.initial_state(), "T")
+        # Deterministic resolution: A and B count as failing in order.
+        assert generator.is_system_failed(state)
+
+    def test_inhibition_prevents_failure(self):
+        builder = FaultTreeBuilder("inhibit")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.inhibition("I", inhibitor="A", target="B")
+        builder.or_gate("Top", ["B"])
+        tree = builder.build("Top")
+        generator = MonolithicMarkovGenerator(tree)
+        state = generator.fail(generator.initial_state(), "A")
+        assert "B" in state.inhibited
+        assert [name for name, _ in generator.enabled_failures(state)] == []
+
+    def test_seq_keeps_later_events_frozen(self):
+        builder = FaultTreeBuilder("seq")
+        builder.basic_events(["A", "B"], failure_rate=1.0)
+        builder.seq_gate("Top", ["A", "B"])
+        tree = builder.build("Top")
+        generator = MonolithicMarkovGenerator(tree)
+        initial = generator.initial_state()
+        assert [name for name, _ in generator.enabled_failures(initial)] == ["A"]
+        after_a = generator.fail(initial, "A")
+        assert [name for name, _ in generator.enabled_failures(after_a)] == ["B"]
+
+    def test_double_failure_rejected(self, and_tree):
+        generator = MonolithicMarkovGenerator(and_tree)
+        state = generator.fail(generator.initial_state(), "A")
+        with pytest.raises(AnalysisError):
+            generator.fail(state, "A")

@@ -1,0 +1,117 @@
+"""Shared fixtures of the test-suite.
+
+The fixtures provide small, well-understood fault trees and I/O-IMC used by
+many test modules.  Analytical ground-truth helpers live in
+``tests/analytic.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dft import FaultTreeBuilder
+from repro.ioimc import IOIMC, signature
+
+
+@pytest.fixture
+def and_tree():
+    """AND of two hot basic events with rates 1 and 2."""
+    builder = FaultTreeBuilder("and2")
+    builder.basic_event("A", 1.0)
+    builder.basic_event("B", 2.0)
+    builder.and_gate("Top", ["A", "B"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def or_tree():
+    """OR of two hot basic events with rates 1 and 2."""
+    builder = FaultTreeBuilder("or2")
+    builder.basic_event("A", 1.0)
+    builder.basic_event("B", 2.0)
+    builder.or_gate("Top", ["A", "B"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def pand_tree():
+    """PAND of two hot basic events with rates 1 and 2 (left input first)."""
+    builder = FaultTreeBuilder("pand2")
+    builder.basic_event("A", 1.0)
+    builder.basic_event("B", 2.0)
+    builder.pand_gate("Top", ["A", "B"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def cold_spare_tree():
+    """Cold spare: primary rate 1, cold spare rate 2."""
+    builder = FaultTreeBuilder("csp")
+    builder.basic_event("P", 1.0)
+    builder.basic_event("S", 2.0, dormancy=0.0)
+    builder.spare_gate("Top", primary="P", spares=["S"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def warm_spare_tree():
+    """Warm spare: primary rate 1, spare rate 2 with dormancy 0.5."""
+    builder = FaultTreeBuilder("wsp")
+    builder.basic_event("P", 1.0)
+    builder.basic_event("S", 2.0, dormancy=0.5)
+    builder.spare_gate("Top", primary="P", spares=["S"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def shared_spare_tree():
+    """Two spare gates sharing one cold spare, combined by an AND."""
+    builder = FaultTreeBuilder("shared")
+    builder.basic_event("PA", 1.0)
+    builder.basic_event("PB", 1.0)
+    builder.basic_event("PS", 1.0, dormancy=0.0)
+    builder.spare_gate("GateA", primary="PA", spares=["PS"])
+    builder.spare_gate("GateB", primary="PB", spares=["PS"])
+    builder.and_gate("Top", ["GateA", "GateB"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def fdep_tree():
+    """AND(A, B) where A is functionally dependent on trigger T."""
+    builder = FaultTreeBuilder("fdep")
+    builder.basic_event("T", 0.5)
+    builder.basic_event("A", 1.0)
+    builder.basic_event("B", 1.0)
+    builder.and_gate("Top", ["A", "B"])
+    builder.fdep("F", trigger="T", dependents=["A"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def repairable_and_tree():
+    """AND of two repairable basic events (Figure 15a)."""
+    builder = FaultTreeBuilder("repairable")
+    builder.basic_event("A", 1.0, repair_rate=2.0)
+    builder.basic_event("B", 1.0, repair_rate=2.0)
+    builder.and_gate("Top", ["A", "B"])
+    return builder.build("Top")
+
+
+@pytest.fixture
+def simple_ioimc_pair():
+    """A tiny producer/consumer pair of I/O-IMC communicating over ``a``."""
+    producer = IOIMC("producer", signature(outputs=["a"]))
+    p0 = producer.add_state(initial=True)
+    p1 = producer.add_state()
+    p2 = producer.add_state()
+    producer.add_markovian(p0, 2.0, p1)
+    producer.add_interactive(p1, "a", p2)
+
+    consumer = IOIMC("consumer", signature(inputs=["a"], outputs=["b"]))
+    c0 = consumer.add_state(initial=True)
+    c1 = consumer.add_state()
+    c2 = consumer.add_state(labels=["failed"])
+    consumer.add_interactive(c0, "a", c1)
+    consumer.add_interactive(c1, "b", c2)
+    return producer, consumer

@@ -1,0 +1,123 @@
+"""Tests for the elementary I/O-IMC of basic events (paper Figures 3 and 13)."""
+
+import pytest
+
+from repro.core.semantics import BasicEventBehavior
+from repro.dft import BasicEvent
+from repro.ioimc import ActionType
+
+
+def build(event, **kwargs):
+    return BasicEventBehavior(event, **kwargs).to_ioimc()
+
+
+class TestHotBasicEvent:
+    def test_structure(self):
+        model = build(BasicEvent("A", 2.0), fire_action="fail_A")
+        # operational -> firing -> fired
+        assert model.num_states == 3
+        assert model.signature.outputs == frozenset({"fail_A"})
+        assert model.signature.inputs == frozenset()
+
+    def test_single_markovian_rate(self):
+        model = build(BasicEvent("A", 2.0), fire_action="fail_A")
+        rates = [rate for s in model.states() for rate, _ in model.markovian_out(s)]
+        assert rates == [2.0]
+
+    def test_firing_state_is_urgent(self):
+        model = build(BasicEvent("A", 2.0), fire_action="fail_A")
+        firing = [
+            s
+            for s in model.states()
+            if "fail_A" in model.actions_enabled(s)
+        ]
+        assert len(firing) == 1
+        assert model.is_urgent(firing[0])
+
+
+class TestColdBasicEvent:
+    def test_dormant_state_has_no_rate(self):
+        event = BasicEvent("C", 3.0, dormancy=0.0)
+        model = build(event, fire_action="fail_C", activation_action="act_C")
+        assert model.exit_rate(model.initial) == 0.0
+
+    def test_activation_enables_failure(self):
+        event = BasicEvent("C", 3.0, dormancy=0.0)
+        model = build(event, fire_action="fail_C", activation_action="act_C")
+        (active_state,) = model.interactive_on(model.initial, "act_C")
+        assert model.exit_rate(active_state) == pytest.approx(3.0)
+
+    def test_cold_event_has_four_states(self):
+        event = BasicEvent("C", 3.0, dormancy=0.0)
+        model = build(event, fire_action="fail_C", activation_action="act_C")
+        # dormant, active, firing, fired (firing/fired reached only when active)
+        assert model.num_states == 4
+
+
+class TestWarmBasicEvent:
+    def test_dormant_rate_scaled_by_dormancy(self):
+        event = BasicEvent("W", 2.0, dormancy=0.25)
+        model = build(event, fire_action="fail_W", activation_action="act_W")
+        assert model.exit_rate(model.initial) == pytest.approx(0.5)
+
+    def test_active_rate_full(self):
+        event = BasicEvent("W", 2.0, dormancy=0.25)
+        model = build(event, fire_action="fail_W", activation_action="act_W")
+        (active_state,) = model.interactive_on(model.initial, "act_W")
+        assert model.exit_rate(active_state) == pytest.approx(2.0)
+
+    def test_warm_event_can_fire_from_dormant_mode(self):
+        event = BasicEvent("W", 2.0, dormancy=0.25)
+        model = build(event, fire_action="fail_W", activation_action="act_W")
+        # From the initial (dormant) state the Markovian transition leads to a
+        # state that urgently outputs the firing signal.
+        ((rate, firing_state),) = list(model.markovian_out(model.initial))
+        assert "fail_W" in model.actions_enabled(firing_state)
+
+
+class TestAlwaysActiveEvent:
+    def test_no_activation_input_when_always_active(self):
+        model = build(BasicEvent("A", 1.0, dormancy=0.0), fire_action="fail_A")
+        assert model.signature.inputs == frozenset()
+        # An always-active cold event behaves like a hot one.
+        assert model.exit_rate(model.initial) == pytest.approx(1.0)
+
+
+class TestRepairableBasicEvent:
+    def test_requires_repair_action(self):
+        with pytest.raises(ValueError):
+            BasicEventBehavior(BasicEvent("R", 1.0, repair_rate=2.0), fire_action="fail_R")
+
+    def test_fired_state_not_absorbing(self):
+        event = BasicEvent("R", 1.0, repair_rate=2.0)
+        model = build(event, fire_action="fail_R", repair_action="rep_R")
+        # After firing, a Markovian repair transition exists.
+        fired_states = [
+            s
+            for s in model.states()
+            if model.exit_rate(s) == pytest.approx(2.0)
+        ]
+        assert fired_states, "the fired state must carry the repair rate"
+
+    def test_repair_announced_then_operational(self):
+        event = BasicEvent("R", 1.0, repair_rate=2.0)
+        model = build(event, fire_action="fail_R", repair_action="rep_R")
+        announcing = [
+            s for s in model.states() if "rep_R" in model.actions_enabled(s)
+        ]
+        assert len(announcing) == 1
+        (target,) = model.interactive_on(announcing[0], "rep_R")
+        # Back to an operational state with the failure rate enabled.
+        assert model.exit_rate(target) == pytest.approx(1.0)
+
+    def test_repairable_cycle_is_closed(self):
+        event = BasicEvent("R", 1.0, repair_rate=2.0)
+        model = build(event, fire_action="fail_R", repair_action="rep_R")
+        # 4 states: operational, firing, fired, announcing-repair.
+        assert model.num_states == 4
+
+    def test_non_repairable_ignores_repair_action_argument(self):
+        model = BasicEventBehavior(
+            BasicEvent("A", 1.0), fire_action="fail_A", repair_action="rep_A"
+        ).to_ioimc()
+        assert "rep_A" not in model.signature.outputs

@@ -1,0 +1,239 @@
+"""Tests for the elementary I/O-IMC of static gates, PAND, FDEP and auxiliaries."""
+
+import pytest
+
+from repro.core.semantics import (
+    ActivationAuxiliaryBehavior,
+    FiringAuxiliaryBehavior,
+    InhibitionAuxiliaryBehavior,
+    MonitorBehavior,
+    PandGateBehavior,
+    RepairableStaticGateBehavior,
+    StaticGateBehavior,
+)
+
+
+def fire_path(model, actions):
+    """Follow the given input actions from the initial state, interleaving the
+    urgent output transitions, and return the set of output actions emitted."""
+    state = model.initial
+    emitted = []
+    for action in actions:
+        targets = model.interactive_on(state, action)
+        state = targets[0] if targets else state
+        # Take urgent outputs greedily.
+        while True:
+            outputs = [
+                (a, t)
+                for a, t in model.interactive_out(state)
+                if a in model.signature.outputs
+            ]
+            if not outputs:
+                break
+            emitted.append(outputs[0][0])
+            state = outputs[0][1]
+    return emitted, state
+
+
+class TestStaticGateBehavior:
+    def test_and_gate_fires_after_all_inputs(self):
+        model = StaticGateBehavior("G", ["fa", "fb"], threshold=2, fire_action="fg").to_ioimc()
+        emitted, _ = fire_path(model, ["fa"])
+        assert emitted == []
+        emitted, _ = fire_path(model, ["fa", "fb"])
+        assert emitted == ["fg"]
+
+    def test_or_gate_fires_on_first_input(self):
+        model = StaticGateBehavior("G", ["fa", "fb"], threshold=1, fire_action="fg").to_ioimc()
+        emitted, _ = fire_path(model, ["fb"])
+        assert emitted == ["fg"]
+
+    def test_voting_gate_threshold(self):
+        model = StaticGateBehavior(
+            "G", ["f1", "f2", "f3"], threshold=2, fire_action="fg"
+        ).to_ioimc()
+        emitted, _ = fire_path(model, ["f1"])
+        assert emitted == []
+        emitted, _ = fire_path(model, ["f1", "f3"])
+        assert emitted == ["fg"]
+
+    def test_gate_fires_exactly_once(self):
+        model = StaticGateBehavior("G", ["fa", "fb"], threshold=1, fire_action="fg").to_ioimc()
+        emitted, _ = fire_path(model, ["fa", "fb"])
+        assert emitted == ["fg"]
+
+    def test_no_markovian_transitions(self):
+        model = StaticGateBehavior("G", ["fa", "fb"], threshold=2, fire_action="fg").to_ioimc()
+        assert all(model.exit_rate(s) == 0.0 for s in model.states())
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGateBehavior("G", ["fa"], threshold=2, fire_action="fg")
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGateBehavior("G", ["fa", "fa"], threshold=1, fire_action="fg")
+
+
+class TestRepairableStaticGateBehavior:
+    def test_fail_and_repair_cycle(self):
+        model = RepairableStaticGateBehavior(
+            "G",
+            input_fire_actions=["fa", "fb"],
+            repair_to_fire={"ra": "fa", "rb": "fb"},
+            threshold=2,
+            fire_action="fg",
+            repair_action="rg",
+        ).to_ioimc()
+        emitted, state = fire_path(model, ["fa", "fb"])
+        assert emitted == ["fg"]
+        emitted, _ = fire_path(model, ["fa", "fb", "ra"])
+        assert emitted == ["fg", "rg"]
+
+    def test_repair_below_threshold_noop(self):
+        model = RepairableStaticGateBehavior(
+            "G",
+            input_fire_actions=["fa", "fb"],
+            repair_to_fire={"ra": "fa", "rb": "fb"},
+            threshold=2,
+            fire_action="fg",
+            repair_action="rg",
+        ).to_ioimc()
+        emitted, _ = fire_path(model, ["fa", "ra"])
+        assert emitted == []
+
+    def test_partial_repair_keeps_or_gate_failed(self):
+        model = RepairableStaticGateBehavior(
+            "G",
+            input_fire_actions=["fa", "fb"],
+            repair_to_fire={"ra": "fa", "rb": "fb"},
+            threshold=1,
+            fire_action="fg",
+            repair_action="rg",
+        ).to_ioimc()
+        emitted, _ = fire_path(model, ["fa", "fb", "ra"])
+        # Still one failed input: no repair announcement yet.
+        assert emitted == ["fg"]
+        emitted, _ = fire_path(model, ["fa", "fb", "ra", "rb"])
+        assert emitted == ["fg", "rg"]
+
+    def test_unknown_repair_reference_rejected(self):
+        with pytest.raises(ValueError):
+            RepairableStaticGateBehavior(
+                "G",
+                input_fire_actions=["fa"],
+                repair_to_fire={"rb": "fb"},
+                threshold=1,
+                fire_action="fg",
+                repair_action="rg",
+            )
+
+
+class TestPandGateBehavior:
+    def test_in_order_failure_fires(self):
+        model = PandGateBehavior("P", ["fa", "fb"], "fp").to_ioimc()
+        emitted, _ = fire_path(model, ["fa", "fb"])
+        assert emitted == ["fp"]
+
+    def test_out_of_order_disables(self):
+        model = PandGateBehavior("P", ["fa", "fb"], "fp").to_ioimc()
+        emitted, state = fire_path(model, ["fb", "fa"])
+        assert emitted == []
+        # The disabled state is operational and absorbing.
+        assert model.exit_rate(state) == 0.0
+        assert not list(model.interactive_out(state))
+
+    def test_three_input_order(self):
+        model = PandGateBehavior("P", ["f1", "f2", "f3"], "fp").to_ioimc()
+        emitted, _ = fire_path(model, ["f1", "f2", "f3"])
+        assert emitted == ["fp"]
+        emitted, _ = fire_path(model, ["f1", "f3"])
+        assert emitted == []
+
+    def test_structure_matches_figure4(self):
+        # Two-input PAND: progress 0, progress 1, firing, fired, disabled.
+        model = PandGateBehavior("P", ["fa", "fb"], "fp").to_ioimc()
+        assert model.num_states == 5
+
+    def test_single_input_rejected(self):
+        with pytest.raises(ValueError):
+            PandGateBehavior("P", ["fa"], "fp")
+
+
+class TestFiringAuxiliary:
+    def test_own_failure_forwarded(self):
+        model = FiringAuxiliaryBehavior("A", "failstar_A", ["fail_T"], "fail_A").to_ioimc()
+        emitted, _ = fire_path(model, ["failstar_A"])
+        assert emitted == ["fail_A"]
+
+    def test_trigger_fails_dependent(self):
+        model = FiringAuxiliaryBehavior("A", "failstar_A", ["fail_T"], "fail_A").to_ioimc()
+        emitted, _ = fire_path(model, ["fail_T"])
+        assert emitted == ["fail_A"]
+
+    def test_fires_only_once(self):
+        model = FiringAuxiliaryBehavior("A", "failstar_A", ["fail_T"], "fail_A").to_ioimc()
+        emitted, _ = fire_path(model, ["fail_T", "failstar_A"])
+        assert emitted == ["fail_A"]
+
+    def test_multiple_triggers(self):
+        model = FiringAuxiliaryBehavior(
+            "A", "failstar_A", ["fail_T1", "fail_T2"], "fail_A"
+        ).to_ioimc()
+        emitted, _ = fire_path(model, ["fail_T2"])
+        assert emitted == ["fail_A"]
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            FiringAuxiliaryBehavior("A", "failstar_A", [], "fail_A")
+
+
+class TestInhibitionAuxiliary:
+    def test_target_first_forwards(self):
+        model = InhibitionAuxiliaryBehavior("B", "failstar_B", ["fail_A"], "fail_B").to_ioimc()
+        emitted, _ = fire_path(model, ["failstar_B"])
+        assert emitted == ["fail_B"]
+
+    def test_inhibitor_first_blocks(self):
+        model = InhibitionAuxiliaryBehavior("B", "failstar_B", ["fail_A"], "fail_B").to_ioimc()
+        emitted, _ = fire_path(model, ["fail_A", "failstar_B"])
+        assert emitted == []
+
+    def test_needs_an_inhibitor(self):
+        with pytest.raises(ValueError):
+            InhibitionAuxiliaryBehavior("B", "failstar_B", [], "fail_B")
+
+
+class TestActivationAuxiliary:
+    def test_any_source_activates(self):
+        model = ActivationAuxiliaryBehavior("S", ["claim_S_by_G1", "claim_S_by_G2"], "act_S").to_ioimc()
+        emitted, _ = fire_path(model, ["claim_S_by_G2"])
+        assert emitted == ["act_S"]
+
+    def test_activates_only_once(self):
+        model = ActivationAuxiliaryBehavior("S", ["c1", "c2"], "act_S").to_ioimc()
+        emitted, _ = fire_path(model, ["c1", "c2"])
+        assert emitted == ["act_S"]
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            ActivationAuxiliaryBehavior("S", [], "act_S")
+
+
+class TestMonitor:
+    def test_failure_labelling(self):
+        model = MonitorBehavior("Top", "fail_Top").to_ioimc()
+        assert model.labels(model.initial) == frozenset()
+        (failed,) = model.interactive_on(model.initial, "fail_Top")
+        assert "failed" in model.labels(failed)
+
+    def test_non_repairable_failed_state_absorbing(self):
+        model = MonitorBehavior("Top", "fail_Top").to_ioimc()
+        (failed,) = model.interactive_on(model.initial, "fail_Top")
+        assert not list(model.interactive_out(failed))
+
+    def test_repairable_monitor_toggles(self):
+        model = MonitorBehavior("Top", "fail_Top", repair_action="rep_Top").to_ioimc()
+        (failed,) = model.interactive_on(model.initial, "fail_Top")
+        (repaired,) = model.interactive_on(failed, "rep_Top")
+        assert repaired == model.initial

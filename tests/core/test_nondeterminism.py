@@ -1,0 +1,53 @@
+"""Tests for non-determinism detection (paper Section 4.4, Figure 6)."""
+
+import pytest
+
+from repro.core import detect_nondeterminism
+from repro.systems import pand_race_system, shared_spare_race_system
+from tests import analytic
+
+
+class TestPandRace:
+    def test_detected(self):
+        report = detect_nondeterminism(pand_race_system(), time=1.0)
+        assert report.nondeterministic
+        assert report.choice_states >= 1
+        assert report.spread > 0.0
+        assert "non-deterministic" in report.summary()
+
+    def test_bounds_bracket_the_two_resolutions(self):
+        """The lower bound corresponds to never counting the simultaneous
+        failure as ordered, the upper bound to always counting it."""
+        report = detect_nondeterminism(pand_race_system(), time=1.0)
+        low, high = report.bounds
+        # Without the trigger the PAND value would be the ordered-failure
+        # probability of two exponentials with the trigger folded in; the
+        # bounds must bracket both extremes strictly.
+        assert 0.0 < low < high < 1.0
+        # The pessimistic bound includes every trigger-first scenario, so it is
+        # at least the probability that the trigger fires before time 1.
+        assert high >= analytic.exp_cdf(1.0, 1.0) * 0.5
+
+    def test_deterministic_system_reports_point_value(self, and_tree):
+        report = detect_nondeterminism(and_tree, time=1.0)
+        assert not report.nondeterministic
+        assert report.choice_states == 0
+        assert report.spread == pytest.approx(0.0)
+        assert report.bounds[0] == pytest.approx(
+            analytic.and_unreliability([1.0, 2.0], 1.0), abs=1e-9
+        )
+        assert "deterministic" in report.summary()
+
+
+class TestSharedSpareRace:
+    def test_race_is_measure_insensitive_with_symmetric_top(self):
+        """Figure 6b: which gate grabs the spare is non-deterministic, but with
+        a symmetric OR top the unreliability does not depend on it; the
+        interval collapses (possibly after aggregation removed the choice)."""
+        report = detect_nondeterminism(shared_spare_race_system(), time=1.0)
+        low, high = report.bounds
+        assert high - low == pytest.approx(0.0, abs=1e-6)
+
+    def test_bounds_are_probabilities(self):
+        report = detect_nondeterminism(shared_spare_race_system(), time=2.0)
+        assert 0.0 <= report.bounds[0] <= report.bounds[1] <= 1.0

@@ -1,0 +1,32 @@
+"""Tests for the signal naming conventions."""
+
+from repro.core import signals
+
+
+class TestSignals:
+    def test_names_are_distinct(self):
+        assert signals.fire("A") != signals.fire_isolated("A")
+        assert signals.fire("A") != signals.activate("A")
+        assert signals.fire("A") != signals.repair("A")
+        assert signals.repair("A") != signals.repair_isolated("A")
+
+    def test_names_embed_element(self):
+        for function in (
+            signals.fire,
+            signals.fire_isolated,
+            signals.activate,
+            signals.repair,
+            signals.repair_isolated,
+        ):
+            assert "Pump" in function("Pump")
+
+    def test_claim_embeds_both_parties(self):
+        action = signals.claim("Spare", "Gate")
+        assert "Spare" in action and "Gate" in action
+        assert signals.claim("S", "G1") != signals.claim("S", "G2")
+
+    def test_distinct_elements_get_distinct_signals(self):
+        assert signals.fire("A") != signals.fire("B")
+
+    def test_failed_label_constant(self):
+        assert isinstance(signals.FAILED_LABEL, str) and signals.FAILED_LABEL

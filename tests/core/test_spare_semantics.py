@@ -1,0 +1,160 @@
+"""Tests for the spare-gate elementary behaviour (paper Figure 11, Section 6.1)."""
+
+import pytest
+
+from repro.core.semantics import SpareGateBehavior
+
+
+def make_gate(activation=None, competitors=None):
+    return SpareGateBehavior(
+        "G",
+        primary_fire_action="fail_P",
+        spare_fire_actions=["fail_S"],
+        claim_actions=["claim_S_by_G"],
+        competitor_claim_actions=competitors or {},
+        fire_action="fail_G",
+        activation_action=activation,
+    )
+
+
+def make_two_spare_gate():
+    return SpareGateBehavior(
+        "G",
+        primary_fire_action="fail_P",
+        spare_fire_actions=["fail_S1", "fail_S2"],
+        claim_actions=["claim_S1_by_G", "claim_S2_by_G"],
+        competitor_claim_actions={},
+        fire_action="fail_G",
+        activation_action=None,
+    )
+
+
+def outputs_of(behavior, state):
+    return [action for action, _ in behavior.urgent(state)]
+
+
+class TestActiveGate:
+    def test_initially_silent(self):
+        gate = make_gate()
+        assert outputs_of(gate, gate.initial_state()) == []
+
+    def test_primary_failure_triggers_claim(self):
+        gate = make_gate()
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        assert outputs_of(gate, state) == ["claim_S_by_G"]
+
+    def test_claim_then_spare_failure_fires(self):
+        gate = make_gate()
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        action, state = next(iter(gate.urgent(state)))
+        assert action == "claim_S_by_G"
+        state = gate.on_input(state, "fail_S")
+        assert outputs_of(gate, state) == ["fail_G"]
+
+    def test_spare_failure_before_primary_is_recorded(self):
+        gate = make_gate()
+        state = gate.on_input(gate.initial_state(), "fail_S")
+        assert outputs_of(gate, state) == []
+        state = gate.on_input(state, "fail_P")
+        # No spare left: the gate fails without claiming.
+        assert outputs_of(gate, state) == ["fail_G"]
+
+    def test_spares_claimed_in_declared_order(self):
+        gate = make_two_spare_gate()
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        assert outputs_of(gate, state) == ["claim_S1_by_G"]
+
+    def test_second_spare_claimed_after_first_fails(self):
+        gate = make_two_spare_gate()
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        _action, state = next(iter(gate.urgent(state)))
+        state = gate.on_input(state, "fail_S1")
+        assert outputs_of(gate, state) == ["claim_S2_by_G"]
+
+    def test_fired_state_absorbing(self):
+        gate = make_gate()
+        state = gate.on_input(gate.initial_state(), "fail_S")
+        state = gate.on_input(state, "fail_P")
+        _action, state = next(iter(gate.urgent(state)))
+        assert state.fired
+        # Further inputs are ignored.
+        assert gate.on_input(state, "fail_P") == state
+        assert outputs_of(gate, state) == []
+
+
+class TestSharedSpare:
+    def test_competitor_claim_marks_spare_taken(self):
+        gate = make_gate(competitors={0: ["claim_S_by_H"]})
+        state = gate.on_input(gate.initial_state(), "claim_S_by_H")
+        assert state.spare_status == ("taken",)
+        state = gate.on_input(state, "fail_P")
+        # Nothing left to claim: fail immediately.
+        assert outputs_of(gate, state) == ["fail_G"]
+
+    def test_own_claim_not_overridden_by_competitor(self):
+        gate = make_gate(competitors={0: ["claim_S_by_H"]})
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        _action, state = next(iter(gate.urgent(state)))
+        assert state.spare_status == ("mine",)
+        after = gate.on_input(state, "claim_S_by_H")
+        assert after.spare_status == ("mine",)
+
+    def test_signature_contains_competitor_inputs(self):
+        gate = make_gate(competitors={0: ["claim_S_by_H"]})
+        signature = gate.signature()
+        assert "claim_S_by_H" in signature.inputs
+        assert "claim_S_by_G" in signature.outputs
+
+
+class TestDormantGate:
+    def test_dormant_gate_does_not_claim(self):
+        gate = make_gate(activation="act_G")
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        assert outputs_of(gate, state) == []
+
+    def test_activation_triggers_pending_claim(self):
+        gate = make_gate(activation="act_G")
+        state = gate.on_input(gate.initial_state(), "fail_P")
+        state = gate.on_input(state, "act_G")
+        assert outputs_of(gate, state) == ["claim_S_by_G"]
+
+    def test_dormant_gate_still_fails_when_exhausted(self):
+        gate = make_gate(activation="act_G")
+        state = gate.on_input(gate.initial_state(), "fail_S")
+        state = gate.on_input(state, "fail_P")
+        assert outputs_of(gate, state) == ["fail_G"]
+
+    def test_dormant_gate_fails_when_spare_taken(self):
+        gate = make_gate(activation="act_G", competitors={0: ["claim_S_by_H"]})
+        state = gate.on_input(gate.initial_state(), "claim_S_by_H")
+        state = gate.on_input(state, "fail_P")
+        assert outputs_of(gate, state) == ["fail_G"]
+
+
+class TestValidation:
+    def test_needs_spares(self):
+        with pytest.raises(ValueError):
+            SpareGateBehavior(
+                "G",
+                primary_fire_action="fail_P",
+                spare_fire_actions=[],
+                claim_actions=[],
+                competitor_claim_actions={},
+                fire_action="fail_G",
+            )
+
+    def test_claims_match_spares(self):
+        with pytest.raises(ValueError):
+            SpareGateBehavior(
+                "G",
+                primary_fire_action="fail_P",
+                spare_fire_actions=["fail_S"],
+                claim_actions=[],
+                competitor_claim_actions={},
+                fire_action="fail_G",
+            )
+
+    def test_explored_model_is_finite_and_small(self):
+        model = make_gate(activation="act_G", competitors={0: ["claim_S_by_H"]}).to_ioimc()
+        assert model.num_states <= 40
+        model.validate()

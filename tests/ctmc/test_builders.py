@@ -1,0 +1,123 @@
+"""Tests for the conversion of closed I/O-IMC into CTMC / CTMDP."""
+
+import math
+
+import pytest
+
+from repro.ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc, markov_model_from_ioimc
+from repro.errors import ModelError, NondeterminismError
+from repro.ioimc import IOIMC, signature
+
+
+def closed_model_with_vanishing_chain() -> IOIMC:
+    model = IOIMC("closed", signature(internals=["tau"]))
+    s0 = model.add_state(initial=True)
+    s1 = model.add_state()
+    s2 = model.add_state()
+    s3 = model.add_state(labels=["failed"])
+    model.add_markovian(s0, 2.0, s1)
+    model.add_interactive(s1, "tau", s2)
+    model.add_markovian(s2, 3.0, s3)
+    return model
+
+
+def closed_model_with_choice() -> IOIMC:
+    model = IOIMC("choice", signature(internals=["tau"]))
+    s0 = model.add_state(initial=True)
+    s1 = model.add_state()
+    s2 = model.add_state(labels=["failed"])
+    s3 = model.add_state()
+    model.add_markovian(s0, 1.0, s1)
+    model.add_interactive(s1, "tau", s2)
+    model.add_interactive(s1, "tau", s3)
+    return model
+
+
+class TestCtmcConversion:
+    def test_vanishing_states_eliminated(self):
+        ctmc = ctmc_from_ioimc(closed_model_with_vanishing_chain())
+        assert isinstance(ctmc, CTMC)
+        assert ctmc.num_states == 3
+        assert ctmc.probability_of_label("failed", 1.0) > 0.0
+
+    def test_open_model_rejected(self):
+        model = IOIMC("open", signature(inputs=["a"]))
+        model.add_state(initial=True)
+        with pytest.raises(ModelError):
+            ctmc_from_ioimc(model)
+        with pytest.raises(ModelError):
+            ctmdp_from_ioimc(model)
+
+    def test_outputs_treated_as_urgent(self):
+        model = IOIMC("out", signature(outputs=["boom"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        s2 = model.add_state(labels=["failed"])
+        model.add_markovian(s0, 1.0, s1)
+        model.add_interactive(s1, "boom", s2)
+        ctmc = ctmc_from_ioimc(model)
+        assert ctmc.num_states == 2
+        assert ctmc.probability_of_label("failed", 1.0) == pytest.approx(
+            1.0 - math.exp(-1.0), abs=1e-9
+        )
+
+    def test_nondeterminism_detected(self):
+        with pytest.raises(NondeterminismError) as excinfo:
+            ctmc_from_ioimc(closed_model_with_choice())
+        assert excinfo.value.states  # offending states are reported
+
+    def test_divergent_tau_cycle_rejected(self):
+        model = IOIMC("diverge", signature(internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_interactive(s1, "tau", s1)
+        # A tau self-loop is filtered out (not a real move), so this is fine.
+        ctmc = ctmc_from_ioimc(model)
+        assert ctmc.num_states == 2
+
+        cyclic = IOIMC("cycle", signature(internals=["tau"]))
+        c0 = cyclic.add_state(initial=True)
+        c1 = cyclic.add_state()
+        c2 = cyclic.add_state()
+        cyclic.add_markovian(c0, 1.0, c1)
+        cyclic.add_interactive(c1, "tau", c2)
+        cyclic.add_interactive(c2, "tau", c1)
+        with pytest.raises(ModelError):
+            ctmc_from_ioimc(cyclic)
+
+    def test_initial_vanishing_state_resolved(self):
+        model = IOIMC("vanish-init", signature(internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        s2 = model.add_state(labels=["failed"])
+        model.add_interactive(s0, "tau", s1)
+        model.add_markovian(s1, 5.0, s2)
+        ctmc = ctmc_from_ioimc(model)
+        assert ctmc.num_states == 2
+        assert ctmc.exit_rate(ctmc.initial) == pytest.approx(5.0)
+
+
+class TestCtmdpConversion:
+    def test_choice_states_preserved(self):
+        ctmdp = ctmdp_from_ioimc(closed_model_with_choice())
+        assert isinstance(ctmdp, CTMDP)
+        assert ctmdp.has_nondeterminism
+        low, high = ctmdp.reachability_bounds("failed", 10.0)
+        assert low == pytest.approx(0.0, abs=1e-9)
+        assert high == pytest.approx(1.0 - math.exp(-10.0), abs=1e-6)
+
+    def test_markov_model_dispatch(self):
+        assert isinstance(markov_model_from_ioimc(closed_model_with_vanishing_chain()), CTMC)
+        assert isinstance(markov_model_from_ioimc(closed_model_with_choice()), CTMDP)
+
+    def test_maximal_progress_in_ctmdp(self):
+        model = IOIMC("urgent", signature(internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state(labels=["failed"])
+        s2 = model.add_state()
+        model.add_interactive(s0, "tau", s1)
+        model.add_markovian(s0, 100.0, s2)  # pre-empted by the internal move
+        ctmdp = ctmdp_from_ioimc(model)
+        assert ctmdp.is_vanishing(0)
+        assert ctmdp.exit_rate(0) == 0.0

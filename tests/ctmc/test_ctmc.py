@@ -1,0 +1,115 @@
+"""Tests for the CTMC container and its measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import CTMC
+from repro.errors import AnalysisError, ModelError
+
+
+def two_state_chain(rate: float = 2.0) -> CTMC:
+    chain = CTMC(2, initial=0)
+    chain.add_rate(0, 1, rate)
+    chain.set_labels(1, ["failed"])
+    return chain
+
+
+def birth_death(failure: float = 1.0, repair: float = 3.0) -> CTMC:
+    chain = CTMC(2, initial=0)
+    chain.add_rate(0, 1, failure)
+    chain.add_rate(1, 0, repair)
+    chain.set_labels(1, ["failed"])
+    return chain
+
+
+class TestConstruction:
+    def test_requires_at_least_one_state(self):
+        with pytest.raises(ModelError):
+            CTMC(0)
+
+    def test_initial_in_range(self):
+        with pytest.raises(ModelError):
+            CTMC(2, initial=5)
+
+    def test_rates_accumulate(self):
+        chain = CTMC(2)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(0, 1, 2.0)
+        assert chain.exit_rate(0) == pytest.approx(3.0)
+
+    def test_self_loops_ignored(self):
+        chain = CTMC(2)
+        chain.add_rate(0, 0, 4.0)
+        assert chain.exit_rate(0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        chain = CTMC(2)
+        with pytest.raises(ModelError):
+            chain.add_rate(0, 1, -1.0)
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = birth_death()
+        generator = chain.generator_matrix().toarray()
+        assert np.allclose(generator.sum(axis=1), 0.0)
+
+    def test_uniformized_matrix_is_stochastic(self):
+        chain = birth_death()
+        matrix, rate = chain.uniformized_matrix()
+        assert rate == pytest.approx(3.0)
+        assert np.allclose(matrix.toarray().sum(axis=1), 1.0)
+
+    def test_labels_and_queries(self):
+        chain = two_state_chain()
+        assert chain.states_with_label("failed") == frozenset({1})
+        assert chain.is_absorbing(1)
+        assert not chain.is_absorbing(0)
+        assert chain.max_exit_rate() == pytest.approx(2.0)
+
+
+class TestMeasures:
+    def test_transient_two_state(self):
+        chain = two_state_chain(rate=2.0)
+        for t in (0.0, 0.3, 1.0, 2.5):
+            assert chain.probability_of_label("failed", t) == pytest.approx(
+                1.0 - math.exp(-2.0 * t), abs=1e-10
+            )
+
+    def test_steady_state_birth_death(self):
+        chain = birth_death(failure=1.0, repair=3.0)
+        assert chain.steady_state_probability_of_label("failed") == pytest.approx(0.25)
+
+    def test_mean_time_to_failure_single_step(self):
+        chain = two_state_chain(rate=2.0)
+        assert chain.mean_time_to_label("failed") == pytest.approx(0.5)
+
+    def test_mean_time_to_failure_series(self):
+        # Hypoexponential: MTTF = 1/2 + 1/4
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 2.0)
+        chain.add_rate(1, 2, 4.0)
+        chain.set_labels(2, ["failed"])
+        assert chain.mean_time_to_label("failed") == pytest.approx(0.75)
+
+    def test_mttf_zero_when_starting_failed(self):
+        chain = two_state_chain()
+        chain.set_initial(1)
+        assert chain.mean_time_to_label("failed") == 0.0
+
+    def test_mttf_infinite_raises(self):
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)   # absorbing non-goal state 1
+        chain.set_labels(2, ["failed"])
+        with pytest.raises(AnalysisError):
+            chain.mean_time_to_label("failed")
+
+    def test_mttf_unknown_label(self):
+        chain = two_state_chain()
+        with pytest.raises(AnalysisError):
+            chain.mean_time_to_label("unknown")
+
+    def test_initial_distribution_and_indicator(self):
+        chain = two_state_chain()
+        assert chain.initial_distribution().tolist() == [1.0, 0.0]
+        assert chain.indicator([1]).tolist() == [0.0, 1.0]

@@ -1,0 +1,106 @@
+"""Tests for the CTMDP model and time-bounded reachability bounds."""
+
+import math
+
+import pytest
+
+from repro.ctmc import CTMC, CTMDP
+from repro.errors import AnalysisError, ModelError
+
+
+def deterministic_ctmdp(rate: float = 2.0) -> CTMDP:
+    model = CTMDP(3, initial=0)
+    model.add_rate(0, 1, rate)
+    model.set_choices(1, [2])
+    model.set_labels(2, ["failed"])
+    return model
+
+
+def racing_ctmdp() -> CTMDP:
+    """After an exponential delay a scheduler chooses between a safe and a
+    failing branch; the failing branch leads to a goal state."""
+    model = CTMDP(4, initial=0)
+    model.add_rate(0, 1, 1.0)
+    model.set_choices(1, [2, 3])
+    model.set_labels(3, ["failed"])
+    return model
+
+
+class TestConstruction:
+    def test_choices_and_rates_exclusive(self):
+        model = CTMDP(3)
+        model.add_rate(0, 1, 1.0)
+        with pytest.raises(ModelError):
+            model.set_choices(0, [2])
+        model.set_choices(1, [2])
+        with pytest.raises(ModelError):
+            model.add_rate(1, 2, 1.0)
+
+    def test_empty_choice_rejected(self):
+        model = CTMDP(2)
+        with pytest.raises(ModelError):
+            model.set_choices(0, [])
+
+    def test_nondeterminism_flag(self):
+        assert not deterministic_ctmdp().has_nondeterminism
+        assert racing_ctmdp().has_nondeterminism
+
+    def test_self_loop_rates_ignored(self):
+        model = CTMDP(2)
+        model.add_rate(0, 0, 5.0)
+        assert model.exit_rate(0) == 0.0
+
+
+class TestReachability:
+    def test_deterministic_model_matches_ctmc(self):
+        rate = 2.0
+        model = deterministic_ctmdp(rate)
+        for t in (0.2, 1.0, 3.0):
+            expected = 1.0 - math.exp(-rate * t)
+            low, high = model.reachability_bounds("failed", t)
+            assert low == pytest.approx(expected, abs=1e-6)
+            assert high == pytest.approx(expected, abs=1e-6)
+
+    def test_bounds_order(self):
+        model = racing_ctmdp()
+        low, high = model.reachability_bounds("failed", 1.0)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_racing_bounds_are_extreme(self):
+        model = racing_ctmdp()
+        t = 1.5
+        low, high = model.reachability_bounds("failed", t)
+        # The minimising scheduler always avoids the failure, the maximising
+        # one always picks it (and then it is just the exponential delay).
+        assert low == pytest.approx(0.0, abs=1e-9)
+        assert high == pytest.approx(1.0 - math.exp(-t), abs=1e-6)
+
+    def test_goal_at_time_zero(self):
+        model = deterministic_ctmdp()
+        model.set_labels(0, ["failed"])
+        assert model.time_bounded_reachability("failed", 0.0) == pytest.approx(1.0)
+
+    def test_no_goal_states(self):
+        model = deterministic_ctmdp()
+        assert model.time_bounded_reachability("nothing", 1.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            deterministic_ctmdp().time_bounded_reachability("failed", -1.0)
+
+    def test_vanishing_cycle_yields_zero(self):
+        # A cycle of vanishing states that can never reach the goal is benign:
+        # the value iteration stabilises at probability zero.
+        model = CTMDP(3, initial=0)
+        model.set_choices(0, [1])
+        model.set_choices(1, [0])
+        model.set_labels(2, ["failed"])
+        assert model.time_bounded_reachability("failed", 1.0) == 0.0
+
+    def test_initial_vanishing_state(self):
+        model = CTMDP(3, initial=0)
+        model.set_choices(0, [1, 2])
+        model.set_labels(2, ["failed"])
+        low, high = model.reachability_bounds("failed", 5.0)
+        assert low == pytest.approx(0.0)
+        assert high == pytest.approx(1.0)

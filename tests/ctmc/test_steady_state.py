@@ -1,0 +1,87 @@
+"""Tests for steady-state analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import CTMC, bottom_strongly_connected_components, steady_state_distribution
+from repro.errors import AnalysisError
+
+
+class TestBottomComponents:
+    def test_single_absorbing_state(self):
+        chain = CTMC(2, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        bottoms = bottom_strongly_connected_components(chain)
+        assert bottoms == [[1]]
+
+    def test_recurrent_pair(self):
+        chain = CTMC(2, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 0, 2.0)
+        bottoms = bottom_strongly_connected_components(chain)
+        assert bottoms == [[0, 1]]
+
+    def test_two_terminal_components(self):
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(0, 2, 1.0)
+        bottoms = bottom_strongly_connected_components(chain)
+        assert sorted(map(tuple, bottoms)) == [(1,), (2,)]
+
+
+class TestSteadyState:
+    def test_birth_death(self):
+        chain = CTMC(2, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 0, 4.0)
+        pi = steady_state_distribution(chain)
+        assert pi[1] == pytest.approx(0.2)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_three_state_cycle(self):
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 2, 1.0)
+        chain.add_rate(2, 0, 1.0)
+        pi = steady_state_distribution(chain)
+        assert np.allclose(pi, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_cycle_with_different_rates(self):
+        chain = CTMC(2, initial=0)
+        chain.add_rate(0, 1, 2.0)
+        chain.add_rate(1, 0, 1.0)
+        pi = steady_state_distribution(chain)
+        # Sojourn proportional to 1/rate: pi0 : pi1 = 1/2 : 1
+        assert pi[0] == pytest.approx(1 / 3)
+        assert pi[1] == pytest.approx(2 / 3)
+
+    def test_absorbing_state_gets_all_mass(self):
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 2, 1.0)
+        pi = steady_state_distribution(chain)
+        assert pi[2] == pytest.approx(1.0)
+
+    def test_transient_component_excluded(self):
+        # State 0 is transient; the recurrent class is {1, 2}.
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 2, 1.0)
+        chain.add_rate(2, 1, 1.0)
+        pi = steady_state_distribution(chain)
+        assert pi[0] == pytest.approx(0.0)
+        assert pi[1] + pi[2] == pytest.approx(1.0)
+
+    def test_multiple_reachable_terminal_components_rejected(self):
+        chain = CTMC(3, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(0, 2, 1.0)
+        with pytest.raises(AnalysisError):
+            steady_state_distribution(chain)
+
+    def test_unreachable_second_component_is_fine(self):
+        chain = CTMC(4, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(2, 3, 1.0)  # unreachable island
+        pi = steady_state_distribution(chain)
+        assert pi[1] == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Tests for transient analysis (uniformisation vs. matrix exponential)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    CTMC,
+    poisson_terms,
+    probability_reach_label,
+    transient_distribution,
+    transient_distribution_expm,
+    unreliability_curve,
+)
+from repro.errors import AnalysisError
+
+
+def erlang_chain(stages: int = 3, rate: float = 2.0) -> CTMC:
+    chain = CTMC(stages + 1, initial=0)
+    for stage in range(stages):
+        chain.add_rate(stage, stage + 1, rate)
+    chain.set_labels(stages, ["failed"])
+    return chain
+
+
+class TestPoissonTerms:
+    def test_terms_sum_to_one(self):
+        for rate in (0.1, 1.0, 7.3, 50.0, 400.0):
+            terms = poisson_terms(rate, 1e-12)
+            assert terms.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_zero_rate(self):
+        assert poisson_terms(0.0, 1e-12).tolist() == [1.0]
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(AnalysisError):
+            poisson_terms(-1.0, 1e-12)
+
+
+class TestTransient:
+    def test_matches_matrix_exponential(self):
+        chain = erlang_chain()
+        for t in (0.1, 0.7, 2.0, 5.0):
+            uniform = transient_distribution(chain, t)
+            dense = transient_distribution_expm(chain, t)
+            assert np.allclose(uniform, dense, atol=1e-9)
+
+    def test_time_zero(self):
+        chain = erlang_chain()
+        distribution = transient_distribution(chain, 0.0)
+        assert distribution.tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_distribution(erlang_chain(), -1.0)
+
+    def test_distribution_sums_to_one(self):
+        chain = erlang_chain(stages=5, rate=0.7)
+        distribution = transient_distribution(chain, 3.0)
+        assert distribution.sum() == pytest.approx(1.0, abs=1e-12)
+        assert (distribution >= 0).all()
+
+    def test_custom_initial_distribution(self):
+        chain = erlang_chain()
+        start = np.array([0.0, 1.0, 0.0, 0.0])
+        distribution = transient_distribution(chain, 0.5, initial_distribution=start)
+        assert distribution[0] == pytest.approx(0.0)
+
+    def test_bad_initial_distribution_rejected(self):
+        chain = erlang_chain()
+        with pytest.raises(AnalysisError):
+            transient_distribution(chain, 1.0, initial_distribution=np.array([0.5, 0.5]))
+        with pytest.raises(AnalysisError):
+            transient_distribution(
+                chain, 1.0, initial_distribution=np.array([0.5, 0.1, 0.1, 0.1])
+            )
+
+    def test_chain_without_transitions(self):
+        chain = CTMC(1)
+        distribution = transient_distribution(chain, 10.0)
+        assert distribution.tolist() == [1.0]
+
+    def test_erlang_closed_form(self):
+        # Erlang(2, rate): P(T <= t) = 1 - e^{-rt}(1 + rt)
+        chain = erlang_chain(stages=2, rate=3.0)
+        t = 0.8
+        probability = transient_distribution(chain, t)[2]
+        assert probability == pytest.approx(
+            1.0 - math.exp(-3.0 * t) * (1.0 + 3.0 * t), abs=1e-10
+        )
+
+
+class TestReachability:
+    def test_reach_equals_occupancy_for_absorbing_goal(self):
+        chain = erlang_chain()
+        t = 1.3
+        assert probability_reach_label(chain, "failed", t) == pytest.approx(
+            float(transient_distribution(chain, t)[3]), abs=1e-10
+        )
+
+    def test_reach_differs_for_recurrent_goal(self):
+        chain = CTMC(2, initial=0)
+        chain.add_rate(0, 1, 1.0)
+        chain.add_rate(1, 0, 10.0)
+        chain.set_labels(1, ["failed"])
+        t = 2.0
+        occupancy = float(transient_distribution(chain, t)[1])
+        visited = probability_reach_label(chain, "failed", t)
+        assert visited > occupancy
+
+    def test_reach_without_goal_states(self):
+        chain = erlang_chain()
+        assert probability_reach_label(chain, "nothing", 1.0) == 0.0
+
+    def test_unreliability_curve_monotone_for_absorbing_failures(self):
+        chain = erlang_chain()
+        times = [0.0, 0.5, 1.0, 2.0, 4.0]
+        curve = unreliability_curve(chain, "failed", times)
+        assert list(curve) == sorted(curve)
+        assert curve[0] == pytest.approx(0.0)

@@ -1,0 +1,78 @@
+"""Tests for the fluent fault-tree builder."""
+
+import pytest
+
+from repro.dft import FaultTreeBuilder, SpareGate, VotingGate
+from repro.errors import FaultTreeError
+
+
+class TestBuilder:
+    def test_quickstart_example(self):
+        builder = FaultTreeBuilder("pumps")
+        builder.basic_event("PA", failure_rate=1.0)
+        builder.basic_event("PB", failure_rate=1.0)
+        builder.basic_event("PS", failure_rate=1.0, dormancy=0.0)
+        builder.spare_gate("PumpA", primary="PA", spares=["PS"])
+        builder.spare_gate("PumpB", primary="PB", spares=["PS"])
+        builder.and_gate("System", ["PumpA", "PumpB"])
+        tree = builder.build(top="System")
+        assert tree.top == "System"
+        assert len(tree) == 6
+        assert isinstance(tree.element("PumpA"), SpareGate)
+
+    def test_basic_events_bulk(self):
+        builder = FaultTreeBuilder("bulk")
+        names = builder.basic_events(["A", "B", "C"], failure_rate=2.0, dormancy=0.5)
+        assert names == ["A", "B", "C"]
+        builder.and_gate("Top", names)
+        tree = builder.build("Top")
+        assert all(tree.element(n).dormancy == 0.5 for n in names)
+
+    def test_voting_gate(self):
+        builder = FaultTreeBuilder("vote")
+        builder.basic_events(["A", "B", "C"], failure_rate=1.0)
+        builder.voting_gate("Top", ["A", "B", "C"], threshold=2)
+        tree = builder.build("Top")
+        gate = tree.element("Top")
+        assert isinstance(gate, VotingGate) and gate.threshold == 2
+
+    def test_mutual_exclusion_creates_two_constraints(self):
+        builder = FaultTreeBuilder("mutex")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        names = builder.mutual_exclusion("modes", "A", "B")
+        builder.or_gate("Top", ["A", "B"])
+        tree = builder.build("Top")
+        assert len(names) == 2
+        assert len(tree.inhibitions()) == 2
+        inhibitor_target_pairs = {(c.inhibitor, c.target) for c in tree.inhibitions()}
+        assert inhibitor_target_pairs == {("A", "B"), ("B", "A")}
+
+    def test_build_validates_by_default(self):
+        builder = FaultTreeBuilder("broken")
+        builder.and_gate("Top", ["Ghost"])
+        with pytest.raises(FaultTreeError):
+            builder.build("Top")
+
+    def test_build_can_skip_validation(self):
+        builder = FaultTreeBuilder("broken")
+        builder.and_gate("Top", ["Ghost"])
+        tree = builder.build("Top", validate=False)
+        assert tree.top == "Top"
+
+    def test_partial_tree_accessible(self):
+        builder = FaultTreeBuilder("partial")
+        builder.basic_event("A", 1.0)
+        assert "A" in builder.tree
+
+    def test_seq_and_fdep_and_inhibition(self):
+        builder = FaultTreeBuilder("mixed")
+        builder.basic_events(["A", "B", "C", "T"], failure_rate=1.0)
+        builder.seq_gate("Seq", ["A", "B"])
+        builder.fdep("F", trigger="T", dependents=["C"])
+        builder.inhibition("I", inhibitor="A", target="C")
+        builder.or_gate("Top", ["Seq", "C"])
+        tree = builder.build("Top")
+        assert len(tree.seq_gates()) == 1
+        assert len(tree.fdep_gates()) == 1
+        assert len(tree.inhibitions()) == 1

@@ -1,0 +1,123 @@
+"""Tests for independent-module detection and DIFTree modularisation."""
+
+from repro.dft import (
+    FaultTreeBuilder,
+    diftree_modules,
+    independent_modules,
+    is_independent_module,
+    module_is_dynamic,
+)
+from repro.dft.modules import module_members
+from repro.systems import cardiac_assist_system, cascaded_pand_system
+
+
+class TestModuleMembers:
+    def test_plain_subtree(self, and_tree):
+        assert module_members(and_tree, "Top") == frozenset({"Top", "A", "B"})
+
+    def test_fdep_pulls_in_trigger_cone(self):
+        cas = cardiac_assist_system()
+        members = module_members(cas, "CPU_unit")
+        assert {"CPU_unit", "P", "B", "CPU_fdep", "Trigger", "CS", "SS"} <= members
+
+    def test_unrelated_constraint_not_included(self):
+        cas = cardiac_assist_system()
+        members = module_members(cas, "Pump_unit")
+        assert "CPU_fdep" not in members
+        assert "Trigger" not in members
+
+
+class TestIndependence:
+    def test_cas_units_are_independent(self):
+        cas = cardiac_assist_system()
+        for unit in ("CPU_unit", "Motor_unit", "Pump_unit"):
+            assert is_independent_module(cas, unit)
+
+    def test_shared_element_breaks_independence(self):
+        cas = cardiac_assist_system()
+        # MA is shared between Switch (PAND) and Motors (spare gate).
+        assert not is_independent_module(cas, "Motors")
+        assert not is_independent_module(cas, "Switch")
+
+    def test_shared_spare_breaks_independence(self):
+        cas = cardiac_assist_system()
+        assert not is_independent_module(cas, "Pump_A")
+        assert is_independent_module(cas, "Pump_unit")
+
+    def test_cps_modules_are_independent(self):
+        cps = cascaded_pand_system()
+        for module in ("A", "B", "C", "D", "system"):
+            assert is_independent_module(cps, module)
+
+    def test_independent_modules_listing(self):
+        cps = cascaded_pand_system()
+        modules = independent_modules(cps)
+        assert set(modules) == {"A", "B", "C", "D", "system"}
+
+    def test_cross_module_fdep_breaks_independence(self):
+        builder = FaultTreeBuilder("cross")
+        builder.basic_events(["A", "B", "T"], failure_rate=1.0)
+        builder.and_gate("Left", ["A", "T"])
+        builder.and_gate("Right", ["B"])
+        builder.fdep("F", trigger="T", dependents=["B"])
+        builder.or_gate("Top", ["Left", "Right"])
+        tree = builder.build("Top")
+        # The trigger T sits below Left but fails B below Right.
+        assert not is_independent_module(tree, "Left")
+        assert not is_independent_module(tree, "Right")
+
+
+class TestDynamicClassification:
+    def test_static_module(self, and_tree):
+        assert not module_is_dynamic(and_tree, "Top")
+
+    def test_spare_module_is_dynamic(self, cold_spare_tree):
+        assert module_is_dynamic(cold_spare_tree, "Top")
+
+    def test_fdep_makes_module_dynamic(self, fdep_tree):
+        assert module_is_dynamic(fdep_tree, "Top")
+
+
+class TestDiftreeModules:
+    def test_cas_splits_into_four_modules(self):
+        cas = cardiac_assist_system()
+        modules = diftree_modules(cas)
+        roots = {module.root: module for module in modules}
+        assert set(roots) == {"system", "CPU_unit", "Motor_unit", "Pump_unit"}
+        assert not roots["system"].dynamic
+        assert roots["system"].detached == ("CPU_unit", "Motor_unit", "Pump_unit")
+        for unit in ("CPU_unit", "Motor_unit", "Pump_unit"):
+            assert roots[unit].dynamic
+
+    def test_cps_is_one_monolithic_module(self):
+        cps = cascaded_pand_system()
+        modules = diftree_modules(cps)
+        assert len(modules) == 1
+        module = modules[0]
+        assert module.root == "system"
+        assert module.dynamic
+        assert module.size == len(cps)
+
+    def test_fully_static_tree_single_module(self, and_tree):
+        modules = diftree_modules(and_tree)
+        assert len(modules) == 1
+        assert not modules[0].dynamic
+
+    def test_static_tree_with_nested_or_modules(self):
+        builder = FaultTreeBuilder("static-nested")
+        builder.basic_events(["A", "B", "C", "D"], failure_rate=1.0)
+        builder.or_gate("Left", ["A", "B"])
+        builder.or_gate("Right", ["C", "D"])
+        builder.and_gate("Top", ["Left", "Right"])
+        tree = builder.build("Top")
+        modules = diftree_modules(tree)
+        roots = {module.root for module in modules}
+        assert roots == {"Top", "Left", "Right"}
+        assert all(not module.dynamic for module in modules)
+
+    def test_dynamic_branch_under_static_top(self, shared_spare_tree):
+        modules = diftree_modules(shared_spare_tree)
+        # GateA/GateB share the spare PS, so neither is independent: the AND
+        # top swallows everything into a single dynamic module.
+        assert len(modules) == 1
+        assert modules[0].dynamic

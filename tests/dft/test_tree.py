@@ -1,0 +1,186 @@
+"""Tests for the DynamicFaultTree container."""
+
+import pytest
+
+from repro.dft import (
+    AndGate,
+    BasicEvent,
+    DynamicFaultTree,
+    FaultTreeBuilder,
+    FdepGate,
+    OrGate,
+    PandGate,
+    SpareGate,
+)
+from repro.errors import FaultTreeError
+
+
+def small_tree() -> DynamicFaultTree:
+    tree = DynamicFaultTree("small")
+    tree.add(BasicEvent("A", 1.0))
+    tree.add(BasicEvent("B", 2.0))
+    tree.add(AndGate("Top", ("A", "B")))
+    tree.set_top("Top")
+    return tree
+
+
+class TestStructure:
+    def test_add_and_lookup(self):
+        tree = small_tree()
+        assert len(tree) == 3
+        assert "A" in tree
+        assert tree.element("A").failure_rate == 1.0
+        assert set(tree.names()) == {"A", "B", "Top"}
+
+    def test_duplicate_names_rejected(self):
+        tree = small_tree()
+        with pytest.raises(FaultTreeError):
+            tree.add(BasicEvent("A", 3.0))
+
+    def test_unknown_element_rejected(self):
+        tree = small_tree()
+        with pytest.raises(FaultTreeError):
+            tree.element("missing")
+        with pytest.raises(FaultTreeError):
+            tree.set_top("missing")
+
+    def test_children_and_parents(self):
+        tree = small_tree()
+        assert tree.children("Top") == ("A", "B")
+        assert tree.parents("A") == ("Top",)
+        assert tree.logic_parents("A") == ("Top",)
+
+    def test_descendants(self):
+        tree = small_tree()
+        assert tree.descendants("Top") == frozenset({"Top", "A", "B"})
+        assert tree.descendants("Top", include_self=False) == frozenset({"A", "B"})
+        assert tree.basic_events_below("Top") == ("A", "B")
+
+    def test_topological_order(self):
+        tree = small_tree()
+        order = tree.topological_order()
+        assert order.index("A") < order.index("Top")
+        assert order.index("B") < order.index("Top")
+
+    def test_cycle_detected(self):
+        tree = DynamicFaultTree("cyclic")
+        tree.add(AndGate("X", ("Y",)))
+        tree.add(AndGate("Y", ("X",)))
+        tree.set_top("X")
+        with pytest.raises(FaultTreeError):
+            tree.topological_order()
+
+    def test_missing_reference_detected(self):
+        tree = DynamicFaultTree("dangling")
+        tree.add(AndGate("Top", ("Ghost",)))
+        tree.set_top("Top")
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_top_event_required(self):
+        tree = DynamicFaultTree("topless")
+        tree.add(BasicEvent("A", 1.0))
+        with pytest.raises(FaultTreeError):
+            _ = tree.top
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_summary_mentions_counts(self):
+        assert "3 elements" in small_tree().summary()
+
+
+class TestQueries:
+    def test_element_kind_queries(self):
+        builder = FaultTreeBuilder("kinds")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.basic_event("S", 1.0, dormancy=0.0)
+        builder.spare_gate("G", primary="A", spares=["S"])
+        builder.pand_gate("P", ["G", "B"])
+        builder.fdep("F", trigger="B", dependents=["A"])
+        tree = builder.build("P")
+        assert len(tree.basic_events()) == 3
+        assert len(tree.spare_gates()) == 1
+        assert len(tree.fdep_gates()) == 1
+        assert tree.spare_gates_using("S")[0].name == "G"
+        assert tree.spare_gates_with_primary("A")[0].name == "G"
+        assert tree.is_spare_of_some_gate("S")
+        assert not tree.is_spare_of_some_gate("A")
+        assert tree.fdep_triggers_of("A") == ("B",)
+        assert not tree.is_static
+        assert not tree.is_repairable
+        assert len(tree.dynamic_elements()) == 3  # spare, pand, fdep
+
+    def test_static_and_repairable_flags(self):
+        builder = FaultTreeBuilder("static")
+        builder.basic_event("A", 1.0, repair_rate=1.0)
+        builder.basic_event("B", 1.0)
+        builder.or_gate("Top", ["A", "B"])
+        tree = builder.build("Top")
+        assert tree.is_static
+        assert tree.is_repairable
+
+    def test_inhibitors_of(self):
+        builder = FaultTreeBuilder("inh")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.inhibition("I", inhibitor="A", target="B")
+        builder.or_gate("Top", ["B"])
+        tree = builder.build("Top")
+        assert tree.inhibitors_of("B") == ("A",)
+        assert tree.inhibitors_of("A") == ()
+
+
+class TestValidation:
+    def test_constraint_gate_as_logic_input_rejected(self):
+        tree = DynamicFaultTree("bad")
+        tree.add(BasicEvent("T", 1.0))
+        tree.add(BasicEvent("A", 1.0))
+        tree.add(FdepGate("F", trigger="T", dependents=("A",)))
+        tree.add(OrGate("Top", ("F",)))
+        tree.set_top("Top")
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_constraint_gate_as_top_rejected(self):
+        tree = DynamicFaultTree("bad-top")
+        tree.add(BasicEvent("T", 1.0))
+        tree.add(BasicEvent("A", 1.0))
+        tree.add(FdepGate("F", trigger="T", dependents=("A",)))
+        tree.set_top("F")
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_disconnected_element_warns(self):
+        tree = small_tree()
+        tree.add(BasicEvent("Lonely", 1.0))
+        warnings = tree.validate()
+        assert any("Lonely" in warning for warning in warnings)
+
+    def test_shared_spare_module_internals_warn(self):
+        builder = FaultTreeBuilder("sharing")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.basic_event("C", 1.0)
+        builder.and_gate("Module", ["B", "C"])
+        builder.spare_gate("G", primary="A", spares=["Module"])
+        # C is also used directly by the top gate: the spare module is not
+        # independent any more.
+        builder.or_gate("Top", ["G", "C"])
+        tree = builder.tree
+        tree.set_top("Top")
+        warnings = tree.validate()
+        assert any("not independent" in warning for warning in warnings)
+
+    def test_primary_also_spare_warns(self):
+        builder = FaultTreeBuilder("ps")
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.basic_event("C", 1.0)
+        builder.spare_gate("G1", primary="A", spares=["B"])
+        builder.spare_gate("G2", primary="C", spares=["A"])
+        builder.and_gate("Top", ["G1", "G2"])
+        tree = builder.tree
+        tree.set_top("Top")
+        warnings = tree.validate()
+        assert any("primary" in warning for warning in warnings)

@@ -1,0 +1,50 @@
+"""Tests for the Graphviz export of fault trees."""
+
+from repro.dft.visualization import to_dot, write_dot
+from repro.systems import (
+    cardiac_assist_system,
+    mutually_exclusive_switch,
+    repairable_and_system,
+)
+
+
+class TestDotExport:
+    def test_all_elements_present(self):
+        cas = cardiac_assist_system()
+        dot = to_dot(cas)
+        for name in cas.names():
+            assert f'"{name}"' in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_gate_styles(self):
+        dot = to_dot(cardiac_assist_system())
+        assert "PAND" in dot
+        assert "SPARE" in dot
+        assert "FDEP" in dot
+        assert "peripheries=2" in dot       # dynamic gates
+        assert "style=dashed" in dot        # constraint gates / edges
+
+    def test_spare_edges_annotated(self):
+        dot = to_dot(cardiac_assist_system())
+        assert 'label="primary"' in dot
+        assert 'label="spare"' in dot
+
+    def test_basic_event_parameters_shown(self):
+        dot = to_dot(repairable_and_system(failure_rate=1.5, repair_rate=2.5))
+        assert "λ=1.5" in dot
+        assert "μ=2.5" in dot
+
+    def test_inhibition_rendered(self):
+        dot = to_dot(mutually_exclusive_switch())
+        assert "INHIBIT" in dot
+        assert 'label="inhibitor"' in dot
+
+    def test_top_event_highlighted(self):
+        dot = to_dot(cardiac_assist_system())
+        assert "penwidth=2" in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "cas.dot"
+        write_dot(cardiac_assist_system(), str(path))
+        assert path.read_text().startswith("digraph")

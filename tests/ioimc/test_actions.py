@@ -1,0 +1,109 @@
+"""Tests for action signatures."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.ioimc import ActionSignature, ActionType, format_action, signature
+
+
+class TestActionSignature:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SignatureError):
+            ActionSignature(inputs=frozenset({"a"}), outputs=frozenset({"a"}))
+
+    def test_internal_overlap_rejected(self):
+        with pytest.raises(SignatureError):
+            ActionSignature(inputs=frozenset({"a"}), internals=frozenset({"a"}))
+
+    def test_classify(self):
+        sig = signature(inputs=["in1"], outputs=["out1"], internals=["tau1"])
+        assert sig.classify("in1") is ActionType.INPUT
+        assert sig.classify("out1") is ActionType.OUTPUT
+        assert sig.classify("tau1") is ActionType.INTERNAL
+
+    def test_classify_unknown_raises(self):
+        sig = signature(inputs=["a"])
+        with pytest.raises(SignatureError):
+            sig.classify("missing")
+
+    def test_contains(self):
+        sig = signature(inputs=["a"], outputs=["b"])
+        assert "a" in sig
+        assert "b" in sig
+        assert "c" not in sig
+
+    def test_visible_and_locally_controlled(self):
+        sig = signature(inputs=["a"], outputs=["b"], internals=["c"])
+        assert sig.visible == frozenset({"a", "b"})
+        assert sig.locally_controlled == frozenset({"b", "c"})
+        assert sig.all_actions == frozenset({"a", "b", "c"})
+
+    def test_str_uses_paper_decorations(self):
+        sig = signature(inputs=["a"], outputs=["b"], internals=["c"])
+        rendered = str(sig)
+        assert "a?" in rendered
+        assert "b!" in rendered
+        assert "c;" in rendered
+
+
+class TestHiding:
+    def test_hide_moves_outputs_to_internal(self):
+        sig = signature(outputs=["a", "b"])
+        hidden = sig.hide(["a"])
+        assert hidden.outputs == frozenset({"b"})
+        assert hidden.internals == frozenset({"a"})
+
+    def test_hide_rejects_inputs(self):
+        sig = signature(inputs=["a"], outputs=["b"])
+        with pytest.raises(SignatureError):
+            sig.hide(["a"])
+
+    def test_hide_rejects_unknown(self):
+        sig = signature(outputs=["b"])
+        with pytest.raises(SignatureError):
+            sig.hide(["nope"])
+
+
+class TestRenaming:
+    def test_rename_keeps_kinds(self):
+        sig = signature(inputs=["a"], outputs=["b"])
+        renamed = sig.rename({"a": "x", "b": "y"})
+        assert renamed.inputs == frozenset({"x"})
+        assert renamed.outputs == frozenset({"y"})
+
+    def test_rename_must_not_merge(self):
+        sig = signature(inputs=["a", "b"])
+        with pytest.raises(SignatureError):
+            sig.rename({"a": "b"})
+
+
+class TestMerging:
+    def test_connected_action_becomes_output(self):
+        left = signature(outputs=["a"])
+        right = signature(inputs=["a"], outputs=["b"])
+        merged = left.merge(right)
+        assert merged.outputs == frozenset({"a", "b"})
+        assert merged.inputs == frozenset()
+
+    def test_shared_inputs_stay_inputs(self):
+        left = signature(inputs=["a"])
+        right = signature(inputs=["a"])
+        merged = left.merge(right)
+        assert merged.inputs == frozenset({"a"})
+
+    def test_shared_outputs_rejected(self):
+        left = signature(outputs=["a"])
+        right = signature(outputs=["a"])
+        with pytest.raises(SignatureError):
+            left.merge(right)
+
+    def test_internal_clash_rejected(self):
+        left = signature(internals=["x"])
+        right = signature(inputs=["x"])
+        with pytest.raises(SignatureError):
+            left.merge(right)
+
+    def test_format_action(self):
+        assert format_action("fail_A", ActionType.OUTPUT) == "fail_A!"
+        assert format_action("fail_A", ActionType.INPUT) == "fail_A?"
+        assert format_action("fail_A", ActionType.INTERNAL) == "fail_A;"

@@ -1,0 +1,145 @@
+"""Tests for the declarative behaviour framework."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ioimc import ActionType, ElementBehavior, ExplicitBehavior, build_ioimc, signature
+
+
+class CounterBehavior(ElementBehavior):
+    """Counts ``tick`` inputs up to a bound, then outputs ``full``."""
+
+    name = "counter"
+
+    def __init__(self, bound: int = 2):
+        self.bound = bound
+
+    def signature(self):
+        return signature(inputs=["tick"], outputs=["full"])
+
+    def initial_state(self):
+        return 0
+
+    def on_input(self, state, action):
+        if isinstance(state, int) and state < self.bound:
+            return state + 1
+        return state
+
+    def urgent(self, state):
+        if state == self.bound:
+            return (("full", "done"),)
+        return ()
+
+    def markovian(self, state):
+        return ()
+
+
+class TimerBehavior(ElementBehavior):
+    """A Markovian delay followed by an output."""
+
+    name = "timer"
+
+    def __init__(self, rate: float):
+        self.rate = rate
+
+    def signature(self):
+        return signature(outputs=["elapsed"])
+
+    def initial_state(self):
+        return "waiting"
+
+    def on_input(self, state, action):
+        return state
+
+    def urgent(self, state):
+        if state == "firing":
+            return (("elapsed", "done"),)
+        return ()
+
+    def markovian(self, state):
+        if state == "waiting":
+            return ((self.rate, "firing"),)
+        return ()
+
+    def labels(self, state):
+        return ("done",) if state == "done" else ()
+
+
+class TestBuildIoimc:
+    def test_counter_structure(self):
+        model = build_ioimc(CounterBehavior(bound=2))
+        # states: 0, 1, 2, "done"
+        assert model.num_states == 4
+        assert model.signature.inputs == frozenset({"tick"})
+        assert model.signature.outputs == frozenset({"full"})
+
+    def test_input_self_loops_left_implicit(self):
+        model = build_ioimc(CounterBehavior(bound=1))
+        # The "done" state reacts to tick by staying put: no explicit transition.
+        done_states = [s for s in model.states() if not list(model.interactive_out(s))]
+        assert done_states  # absorbing state exists with no explicit transitions
+
+    def test_timer_markovian_and_labels(self):
+        model = build_ioimc(TimerBehavior(4.0))
+        assert model.num_states == 3
+        rates = [rate for s in model.states() for rate, _ in model.markovian_out(s)]
+        assert rates == [4.0]
+        labelled = [s for s in model.states() if "done" in model.labels(s)]
+        assert len(labelled) == 1
+
+    def test_exploration_bound(self):
+        class Unbounded(ElementBehavior):
+            name = "unbounded"
+
+            def signature(self):
+                return signature(internals=["step"])
+
+            def initial_state(self):
+                return 0
+
+            def on_input(self, state, action):
+                return state
+
+            def urgent(self, state):
+                return (("step", state + 1),)
+
+            def markovian(self, state):
+                return ()
+
+        with pytest.raises(ModelError):
+            build_ioimc(Unbounded(), max_states=50)
+
+    def test_to_ioimc_convenience(self):
+        model = CounterBehavior(bound=3).to_ioimc()
+        assert model.num_states == 5
+
+
+class TestExplicitBehavior:
+    def test_round_trip_tables(self):
+        behavior = ExplicitBehavior(
+            name="explicit",
+            signature=signature(inputs=["a"], outputs=["b"]),
+            initial="s0",
+            inputs={("s0", "a"): "s1"},
+            urgent={"s1": [("b", "s2")]},
+            markovian={"s0": [(1.5, "s3")]},
+            labels={"s2": ("failed",)},
+        )
+        model = build_ioimc(behavior)
+        assert model.num_states == 4
+        assert model.signature.classify("b") is ActionType.OUTPUT
+        failed = [s for s in model.states() if "failed" in model.labels(s)]
+        assert len(failed) == 1
+
+    def test_unspecified_input_is_self_loop(self):
+        behavior = ExplicitBehavior(
+            name="loop",
+            signature=signature(inputs=["a"]),
+            initial="only",
+            inputs={},
+            urgent={},
+            markovian={},
+        )
+        model = build_ioimc(behavior)
+        assert model.num_states == 1
+        assert list(model.interactive_out(0)) == []

@@ -1,0 +1,165 @@
+"""Tests for strong and weak bisimulation minimisation."""
+
+import pytest
+
+from repro.ioimc import (
+    IOIMC,
+    minimize_strong,
+    minimize_weak,
+    parallel,
+    signature,
+    strong_bisimulation_partition,
+    weak_bisimulation_partition,
+)
+from repro.systems import figure2_models
+
+
+def erlang_like_chain() -> IOIMC:
+    """Two parallel branches with identical rates that should lump together."""
+    model = IOIMC("erlang", signature(outputs=["done"]))
+    s0 = model.add_state(initial=True)
+    a1 = model.add_state()
+    a2 = model.add_state()
+    goal = model.add_state(labels=["failed"])
+    model.add_markovian(s0, 1.0, a1)
+    model.add_markovian(s0, 1.0, a2)
+    model.add_markovian(a1, 2.0, goal)
+    model.add_markovian(a2, 2.0, goal)
+    model.add_interactive(goal, "done", goal)
+    return model
+
+
+class TestStrongBisimulation:
+    def test_symmetric_branches_lump(self):
+        partition = strong_bisimulation_partition(erlang_like_chain())
+        # a1 and a2 are equivalent: 3 blocks in total.
+        assert len(partition) == 3
+
+    def test_minimize_strong_counts(self):
+        minimized = minimize_strong(erlang_like_chain())
+        assert minimized.num_states == 3
+        # Aggregate rate from the initial block into the middle block is 2.
+        rates = dict()
+        for rate, target in minimized.markovian_out(minimized.initial):
+            rates[target] = rate
+        assert list(rates.values()) == [pytest.approx(2.0)]
+
+    def test_labels_respected(self):
+        model = IOIMC("labels", signature())
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state(labels=["failed"])
+        s2 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_markovian(s0, 1.0, s2)
+        partition = strong_bisimulation_partition(model)
+        assert len(partition) == 3  # labelled and unlabelled targets stay apart
+
+    def test_labels_can_be_ignored(self):
+        # Without labels nothing distinguishes the three states observably:
+        # ordinary lumpability collapses the whole (unlabelled) chain.
+        model = IOIMC("labels", signature())
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state(labels=["failed"])
+        s2 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_markovian(s0, 1.0, s2)
+        partition = strong_bisimulation_partition(model, respect_labels=False)
+        assert len(partition) == 1
+        assert len(strong_bisimulation_partition(model, respect_labels=True)) == 3
+
+    def test_absorbing_failed_region_lumps(self):
+        """States that only keep failing internally collapse into one block."""
+        model = IOIMC("absorbing", signature())
+        s0 = model.add_state(initial=True)
+        f1 = model.add_state(labels=["failed"])
+        f2 = model.add_state(labels=["failed"])
+        f3 = model.add_state(labels=["failed"])
+        model.add_markovian(s0, 1.0, f1)
+        model.add_markovian(f1, 5.0, f2)   # movement inside the failed region
+        model.add_markovian(f2, 7.0, f3)
+        minimized = minimize_strong(model)
+        assert minimized.num_states == 2
+
+    def test_different_rates_not_lumped(self):
+        model = IOIMC("rates", signature())
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        s2 = model.add_state()
+        goal = model.add_state(labels=["failed"])
+        model.add_markovian(s0, 1.0, s1)
+        model.add_markovian(s0, 1.0, s2)
+        model.add_markovian(s1, 2.0, goal)
+        model.add_markovian(s2, 3.0, goal)
+        partition = strong_bisimulation_partition(model)
+        assert len(partition) == 4
+
+
+class TestWeakBisimulation:
+    def test_figure2_aggregation(self):
+        """The composition of Figure 2 aggregates: the four interleaving states
+        that all move with rate lambda to the same successor collapse."""
+        model_a, model_b = figure2_models(rate=1.5)
+        composed = parallel(model_a, model_b).hide(["a"])
+        weak = minimize_weak(composed)
+        strong = minimize_strong(composed)
+        assert weak.num_states <= strong.num_states
+        assert weak.num_states <= 4
+
+    def test_internal_chain_collapses(self):
+        model = IOIMC("chain", signature(outputs=["done"], internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        s2 = model.add_state()
+        s3 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_interactive(s1, "tau", s2)
+        model.add_interactive(s2, "tau", s3)
+        model.add_interactive(s3, "done", s3)
+        weak = minimize_weak(model)
+        # s1, s2, s3 are weakly bisimilar (they can all do "done" weakly and
+        # never let time pass before that).
+        assert weak.num_states == 2
+
+    def test_weak_respects_visible_actions(self):
+        model = IOIMC("visible", signature(outputs=["x", "y"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        s2 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_markovian(s0, 1.0, s2)
+        model.add_interactive(s1, "x", s1)
+        model.add_interactive(s2, "y", s2)
+        partition = weak_bisimulation_partition(model)
+        assert len(partition) == 3
+
+    def test_weak_partition_refines_initial_labels(self):
+        model = IOIMC("labels", signature(internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state(labels=["failed"])
+        model.add_interactive(s0, "tau", s1)
+        partition = weak_bisimulation_partition(model)
+        assert len(partition) == 2
+
+    def test_tau_divergence_handled(self):
+        model = IOIMC("divergent", signature(internals=["tau"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        model.add_interactive(s0, "tau", s1)
+        model.add_interactive(s1, "tau", s0)
+        weak = minimize_weak(model)
+        assert weak.num_states >= 1  # must not crash or lose the initial state
+
+
+class TestMeasurePreservation:
+    def test_weak_and_strong_agree_on_transient_measure(self, simple_ioimc_pair):
+        from repro.ctmc import markov_model_from_ioimc
+
+        producer, consumer = simple_ioimc_pair
+        composed = parallel(producer, consumer).hide(["a", "b"])
+        weak = minimize_weak(composed)
+        strong = minimize_strong(composed)
+        p_weak = markov_model_from_ioimc(weak).probability_of_label("failed", 1.0)
+        p_strong = markov_model_from_ioimc(strong).probability_of_label("failed", 1.0)
+        p_raw = markov_model_from_ioimc(composed).probability_of_label("failed", 1.0)
+        assert p_weak == pytest.approx(p_strong, abs=1e-12)
+        assert p_weak == pytest.approx(p_raw, abs=1e-12)

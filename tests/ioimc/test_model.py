@@ -1,0 +1,151 @@
+"""Tests for the explicit I/O-IMC model class."""
+
+import pytest
+
+from repro.errors import ModelError, SignatureError
+from repro.ioimc import IOIMC, ActionType, signature
+
+
+def build_small_model() -> IOIMC:
+    model = IOIMC("m", signature(inputs=["go"], outputs=["done"], internals=["step"]))
+    s0 = model.add_state(initial=True, name="start")
+    s1 = model.add_state(name="working")
+    s2 = model.add_state(labels=["failed"], name="finished")
+    model.add_interactive(s0, "go", s1)
+    model.add_markovian(s1, 3.0, s2)
+    model.add_interactive(s2, "done", s2)
+    return model
+
+
+class TestConstruction:
+    def test_states_and_transitions_counted(self):
+        model = build_small_model()
+        assert model.num_states == 3
+        assert model.num_transitions == 3
+
+    def test_initial_state_required(self):
+        model = IOIMC("empty", signature())
+        model.add_state()
+        with pytest.raises(ModelError):
+            _ = model.initial
+
+    def test_unknown_action_rejected(self):
+        model = build_small_model()
+        with pytest.raises(SignatureError):
+            model.add_interactive(0, "unknown", 1)
+
+    def test_non_positive_rate_rejected(self):
+        model = build_small_model()
+        with pytest.raises(ModelError):
+            model.add_markovian(0, 0.0, 1)
+        with pytest.raises(ModelError):
+            model.add_markovian(0, -1.0, 1)
+
+    def test_missing_state_rejected(self):
+        model = build_small_model()
+        with pytest.raises(ModelError):
+            model.add_interactive(0, "go", 99)
+
+    def test_parallel_markovian_rates_accumulate(self):
+        model = IOIMC("acc", signature())
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        model.add_markovian(s0, 1.0, s1)
+        model.add_markovian(s0, 2.5, s1)
+        assert model.exit_rate(s0) == pytest.approx(3.5)
+        assert model.num_transitions == 1
+
+    def test_duplicate_interactive_transition_stored_once(self):
+        model = build_small_model()
+        model.add_interactive(0, "go", 1)
+        assert len(list(model.interactive_out(0))) == 1
+
+    def test_labels_and_names(self):
+        model = build_small_model()
+        assert model.labels(2) == frozenset({"failed"})
+        assert model.state_name(0) == "start"
+        model.set_labels(0, ["x"])
+        assert model.labels(0) == frozenset({"x"})
+
+
+class TestQueries:
+    def test_stability_and_urgency(self):
+        model = build_small_model()
+        assert model.is_stable(0)
+        assert not model.is_urgent(0)  # only an input enabled
+        assert model.is_urgent(2)      # output enabled
+        assert model.is_stable(2)      # but no internal transition
+
+    def test_internal_makes_state_unstable(self):
+        model = IOIMC("tau", signature(internals=["step"]))
+        s0 = model.add_state(initial=True)
+        s1 = model.add_state()
+        model.add_interactive(s0, "step", s1)
+        assert not model.is_stable(s0)
+        assert model.is_urgent(s0)
+
+    def test_exit_rate(self):
+        model = build_small_model()
+        assert model.exit_rate(1) == pytest.approx(3.0)
+        assert model.exit_rate(0) == 0.0
+
+    def test_actions_enabled(self):
+        model = build_small_model()
+        assert model.actions_enabled(0) == frozenset({"go"})
+
+    def test_transitions_iterator(self):
+        model = build_small_model()
+        records = list(model.transitions())
+        assert len(records) == 3
+
+
+class TestTransformations:
+    def test_copy_is_deep(self):
+        model = build_small_model()
+        clone = model.copy("clone")
+        clone.add_state()
+        assert clone.num_states == model.num_states + 1
+        assert clone.name == "clone"
+
+    def test_hide_turns_outputs_internal(self):
+        model = build_small_model()
+        hidden = model.hide(["done"])
+        assert "done" in hidden.signature.internals
+        assert hidden.num_transitions == model.num_transitions
+
+    def test_rename_actions(self):
+        model = build_small_model()
+        renamed = model.rename_actions({"go": "start_signal"})
+        assert "start_signal" in renamed.signature.inputs
+        assert renamed.interactive_on(0, "start_signal") == (1,)
+
+    def test_restrict_to_reachable(self):
+        model = build_small_model()
+        orphan = model.add_state(name="orphan")
+        assert orphan in model.states()
+        restricted = model.restrict_to_reachable()
+        assert restricted.num_states == 3
+
+    def test_reachable_states(self):
+        model = build_small_model()
+        assert model.reachable_states() == frozenset({0, 1, 2})
+
+    def test_relabel_states(self):
+        model = build_small_model()
+        relabelled = model.relabel_states({0: ["fresh"]})
+        assert relabelled.labels(0) == frozenset({"fresh"})
+        assert model.labels(0) == frozenset()
+
+    def test_validate_passes_on_well_formed_model(self):
+        model = build_small_model()
+        model.validate()
+
+    def test_to_dot_mentions_all_states(self):
+        model = build_small_model()
+        dot = model.to_dot()
+        assert dot.count("shape=") >= 3
+        assert "digraph" in dot
+
+    def test_summary_contains_counts(self):
+        model = build_small_model()
+        assert "3 states" in model.summary()

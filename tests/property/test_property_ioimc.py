@@ -1,0 +1,174 @@
+"""Property-based tests for the I/O-IMC calculus (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctmc import markov_model_from_ioimc
+from repro.ioimc import (
+    AggregationOptions,
+    IOIMC,
+    aggregate,
+    minimize_strong,
+    minimize_weak,
+    parallel,
+    signature,
+)
+
+
+@st.composite
+def random_closed_ioimc(draw, max_states: int = 6):
+    """A random closed model mixing Markovian and internal transitions.
+
+    The last state is labelled ``failed``.  All interactive transitions are
+    internal, so the model can be interpreted directly as a CTMC (possibly a
+    CTMDP when internal choices appear).
+    """
+    num_states = draw(st.integers(min_value=2, max_value=max_states))
+    model = IOIMC("random", signature(internals=["tau"]))
+    for index in range(num_states):
+        model.add_state(labels=["failed"] if index == num_states - 1 else ())
+    model.set_initial(0)
+    rate_strategy = st.floats(min_value=0.1, max_value=4.0, allow_nan=False)
+    for source in range(num_states - 1):
+        kind = draw(st.sampled_from(["markovian", "internal", "both", "none"]))
+        targets = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_states - 1),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        for target in targets:
+            if target == source:
+                continue
+            if kind in ("markovian", "both"):
+                model.add_markovian(source, draw(rate_strategy), target)
+            # Internal moves only go "forward" so the generated models are free
+            # of divergent (Zeno) cycles of instantaneous transitions, which do
+            # not occur in DFT communities either.
+            if kind in ("internal", "both") and target > source:
+                model.add_interactive(source, "tau", target)
+    # Guarantee the failed state is reachable from the initial state.
+    model.add_markovian(0, draw(rate_strategy), num_states - 1)
+    return model
+
+
+@st.composite
+def random_producer_consumer(draw):
+    """A pair of open models communicating over a single action."""
+    rate = draw(st.floats(min_value=0.2, max_value=3.0))
+    producer = IOIMC("producer", signature(outputs=["a"]))
+    p0 = producer.add_state(initial=True)
+    p1 = producer.add_state()
+    p2 = producer.add_state()
+    producer.add_markovian(p0, rate, p1)
+    producer.add_interactive(p1, "a", p2)
+
+    consumer = IOIMC("consumer", signature(inputs=["a"]))
+    c0 = consumer.add_state(initial=True)
+    stages = draw(st.integers(min_value=1, max_value=3))
+    previous = c0
+    consumer_rate = draw(st.floats(min_value=0.2, max_value=3.0))
+    for _ in range(stages):
+        nxt = consumer.add_state()
+        consumer.add_markovian(previous, consumer_rate, nxt)
+        previous = nxt
+    failed = consumer.add_state(labels=["failed"])
+    consumer.add_interactive(previous, "a", failed)
+    return producer, consumer
+
+
+def failure_bounds(model, time=1.0):
+    """(min, max) probability of occupying a failed state at ``time``.
+
+    Works uniformly for deterministic (CTMC) and non-deterministic (CTMDP)
+    closed models.
+    """
+    markov = markov_model_from_ioimc(model)
+    if hasattr(markov, "probability_of_label"):
+        value = markov.probability_of_label("failed", time)
+        return value, value
+    return markov.reachability_bounds("failed", time)
+
+
+def failure_probability(model, time=1.0):
+    low, high = failure_bounds(model, time)
+    return (low + high) / 2.0
+
+
+class TestAggregationPreservesMeasures:
+    @settings(max_examples=40, deadline=None)
+    @given(model=random_closed_ioimc(), time=st.floats(min_value=0.1, max_value=3.0))
+    def test_weak_aggregation_preserves_failure_probability(self, model, time):
+        """Both the best- and worst-case failure probabilities are preserved.
+
+        Aggregation may turn a (spuriously) non-deterministic model into a
+        deterministic one; in that case the original bounds must already have
+        coincided with the reduced value.
+        """
+        reduced, _stats = aggregate(model)
+        raw_low, raw_high = failure_bounds(model, time)
+        red_low, red_high = failure_bounds(reduced, time)
+        assert red_low == pytest.approx(raw_low, abs=1e-6)
+        assert red_high == pytest.approx(raw_high, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=random_closed_ioimc())
+    def test_aggregation_never_grows_the_model(self, model):
+        reduced, stats = aggregate(model)
+        assert reduced.num_states <= model.num_states
+        assert stats.states_after <= stats.states_before
+
+    @settings(max_examples=30, deadline=None)
+    @given(model=random_closed_ioimc())
+    def test_minimisation_is_idempotent(self, model):
+        once, _ = aggregate(model)
+        twice, _ = aggregate(once)
+        assert twice.num_states == once.num_states
+
+    @settings(max_examples=30, deadline=None)
+    @given(model=random_closed_ioimc())
+    def test_weak_at_most_strong_states(self, model):
+        weak, _ = aggregate(model, AggregationOptions(method="weak"))
+        strong, _ = aggregate(model, AggregationOptions(method="strong"))
+        assert weak.num_states <= strong.num_states
+
+
+class TestCompositionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(pair=random_producer_consumer(), time=st.floats(min_value=0.2, max_value=2.0))
+    def test_composition_is_commutative_for_the_measure(self, pair, time):
+        producer, consumer = pair
+        left = parallel(producer, consumer).hide(["a"])
+        right = parallel(consumer, producer).hide(["a"])
+        assert failure_probability(left, time) == pytest.approx(
+            failure_probability(right, time), abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=random_producer_consumer())
+    def test_composite_size_bounded_by_product(self, pair):
+        producer, consumer = pair
+        composite = parallel(producer, consumer)
+        assert composite.num_states <= producer.num_states * consumer.num_states
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=random_producer_consumer(), time=st.floats(min_value=0.2, max_value=2.0))
+    def test_aggregating_components_first_preserves_the_measure(self, pair, time):
+        producer, consumer = pair
+        direct = parallel(producer, consumer).hide(["a"])
+        minimized = parallel(minimize_weak(producer), minimize_weak(consumer)).hide(["a"])
+        assert failure_probability(minimized, time) == pytest.approx(
+            failure_probability(direct, time), abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=random_producer_consumer())
+    def test_strong_minimisation_of_composite_sound(self, pair):
+        producer, consumer = pair
+        composite = parallel(producer, consumer).hide(["a"])
+        reduced = minimize_strong(composite)
+        assert failure_probability(reduced) == pytest.approx(
+            failure_probability(composite), abs=1e-9
+        )

@@ -1,0 +1,126 @@
+"""Tests for the predefined case-study builders and parametric generators."""
+
+import pytest
+
+from repro.dft import PandGate, SpareGate
+from repro.systems import (
+    and_of_or_family,
+    and_spare_system,
+    cardiac_assist_system,
+    cascaded_pand_family,
+    cascaded_pand_system,
+    fdep_cascade_family,
+    fdep_gate_trigger_system,
+    figure2_models,
+    inhibition_pair,
+    mutually_exclusive_switch,
+    nested_spare_system,
+    pand_race_system,
+    repairable_and_system,
+    repairable_plant,
+    repairable_voting_system,
+    shared_spare_race_system,
+    spare_chain_family,
+)
+
+
+class TestPaperSystems:
+    def test_cas_structure(self):
+        cas = cardiac_assist_system()
+        assert cas.top == "system"
+        assert len(cas.basic_events()) == 10
+        assert {g.name for g in cas.spare_gates()} == {"CPU_unit", "Motors", "Pump_A", "Pump_B"}
+        assert cas.element("B").dormancy == 0.5
+        assert cas.element("MB").is_cold
+        assert cas.validate() == []
+
+    def test_cps_structure(self):
+        cps = cascaded_pand_system()
+        assert len(cps.basic_events()) == 12
+        assert isinstance(cps.element("system"), PandGate)
+        assert isinstance(cps.element("B"), PandGate)
+        assert cps.validate() == []
+
+    def test_cps_parametrisation(self):
+        small = cascaded_pand_system(events_per_module=2)
+        assert len(small.basic_events()) == 6
+        with pytest.raises(ValueError):
+            cascaded_pand_system(events_per_module=0)
+
+    def test_figure2_models(self):
+        model_a, model_b = figure2_models(rate=2.0)
+        assert "a" in model_a.signature.outputs
+        assert "a" in model_b.signature.inputs
+        assert "b" in model_b.signature.outputs
+        model_a.validate()
+        model_b.validate()
+
+    def test_complex_spare_systems_validate(self):
+        for factory in (and_spare_system, nested_spare_system, fdep_gate_trigger_system):
+            tree = factory()
+            assert tree.validate() == []
+
+    def test_nested_spare_uses_spare_gate_as_spare(self):
+        tree = nested_spare_system()
+        system = tree.element("system")
+        assert isinstance(system, SpareGate)
+        assert isinstance(tree.element(system.spares[0]), SpareGate)
+
+    def test_nondeterminism_systems_validate(self):
+        assert pand_race_system().validate() == []
+        assert shared_spare_race_system().validate() == []
+
+    def test_repairable_systems(self):
+        assert repairable_and_system().is_repairable
+        assert repairable_voting_system(5, 3).is_repairable
+        assert repairable_plant().is_repairable
+        assert repairable_plant().validate() == []
+
+    def test_mutex_systems(self):
+        pair = inhibition_pair()
+        assert len(pair.inhibitions()) == 1
+        switch = mutually_exclusive_switch()
+        assert len(switch.inhibitions()) == 2
+        assert switch.validate() == []
+
+
+class TestGenerators:
+    def test_cascaded_pand_family_matches_cps(self):
+        family = cascaded_pand_family(num_modules=3, events_per_module=4)
+        cps = cascaded_pand_system()
+        assert len(family.basic_events()) == len(cps.basic_events())
+        assert len([g for g in family.gates() if isinstance(g, PandGate)]) == 2
+
+    def test_cascaded_pand_family_grows(self):
+        family = cascaded_pand_family(num_modules=5, events_per_module=2)
+        assert len(family.basic_events()) == 10
+        assert len([g for g in family.gates() if isinstance(g, PandGate)]) == 4
+        assert family.validate() == []
+
+    def test_cascaded_pand_family_validation(self):
+        with pytest.raises(ValueError):
+            cascaded_pand_family(num_modules=1)
+        with pytest.raises(ValueError):
+            cascaded_pand_family(events_per_module=0)
+
+    def test_and_of_or_family(self):
+        tree = and_of_or_family(num_branches=4, events_per_branch=2)
+        assert tree.is_static
+        assert len(tree.basic_events()) == 8
+        with pytest.raises(ValueError):
+            and_of_or_family(num_branches=0)
+
+    def test_spare_chain_family(self):
+        tree = spare_chain_family(num_subsystems=3, num_shared_spares=2)
+        assert len(tree.spare_gates()) == 3
+        assert len(tree.basic_events()) == 5
+        assert tree.validate() == []
+        with pytest.raises(ValueError):
+            spare_chain_family(num_shared_spares=0)
+
+    def test_fdep_cascade_family(self):
+        tree = fdep_cascade_family(depth=4)
+        assert len(tree.fdep_gates()) == 4
+        assert tree.validate() == []
+        with pytest.raises(ValueError):
+            fdep_cascade_family(depth=0)

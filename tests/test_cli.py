@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dft import galileo
+from repro.systems import (
+    cardiac_assist_system,
+    pand_race_system,
+    repairable_and_system,
+)
+
+
+@pytest.fixture
+def cas_file(tmp_path):
+    path = tmp_path / "cas.dft"
+    galileo.write_file(cardiac_assist_system(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def repairable_file(tmp_path):
+    path = tmp_path / "repairable.dft"
+    galileo.write_file(repairable_and_system(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def nondeterministic_file(tmp_path):
+    path = tmp_path / "race.dft"
+    galileo.write_file(pand_race_system(), str(path))
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_reports_unreliability(self, cas_file, capsys):
+        assert main(["analyze", cas_file, "--time", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "Unreliability(t=1) = 0.657900" in output
+        assert "Aggregation" in output
+
+    def test_multiple_times_and_mttf(self, cas_file, capsys):
+        assert main(["analyze", cas_file, "--time", "0.5", "2.0", "--mttf"]) == 0
+        output = capsys.readouterr().out
+        assert "t=0.5" in output and "t=2" in output
+        assert "Mean time to failure" in output
+
+    def test_unavailability_flag(self, repairable_file, capsys):
+        assert main(["analyze", repairable_file, "--unavailability"]) == 0
+        output = capsys.readouterr().out
+        assert "unavailability = 0.111111" in output
+
+    def test_nondeterministic_tree_reports_bounds(self, nondeterministic_file, capsys):
+        assert main(["analyze", nondeterministic_file]) == 0
+        output = capsys.readouterr().out
+        assert "in [" in output
+
+    def test_ordering_and_aggregation_options(self, cas_file, capsys):
+        assert main(
+            ["analyze", cas_file, "--ordering", "smallest", "--aggregation", "strong"]
+        ) == 0
+        assert "Unreliability" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["analyze", "/does/not/exist.dft"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.dft"
+        path.write_text('toplevel "X";\n"X" unknown_gate "A";\n')
+        assert main(["analyze", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_baseline(self, cas_file, capsys):
+        assert main(["baseline", cas_file]) == 0
+        output = capsys.readouterr().out
+        assert "DIFTree unreliability" in output
+        assert "0.657900" in output
+
+    def test_modules(self, cas_file, capsys):
+        assert main(["modules", cas_file]) == 0
+        output = capsys.readouterr().out
+        assert "Independent modules" in output
+        assert "CPU_unit" in output
+        assert "detaches" in output
+
+    def test_community(self, cas_file, capsys):
+        assert main(["community", cas_file]) == 0
+        output = capsys.readouterr().out
+        assert "monitor" in output
+        assert "community of 23 I/O-IMC" in output
+
+    def test_dot_to_stdout(self, cas_file, capsys):
+        assert main(["dot", cas_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_dot_final_model_to_file(self, cas_file, tmp_path, capsys):
+        output_path = tmp_path / "final.dot"
+        assert main(["dot", cas_file, "--final-model", "-o", str(output_path)]) == 0
+        assert output_path.read_text().startswith("digraph")
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
