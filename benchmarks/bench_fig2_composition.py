@@ -8,6 +8,7 @@ pipeline and records the sizes of the intermediate models.
 
 import pytest
 
+from repro.core import compositional_aggregate
 from repro.ioimc import minimize_weak, parallel
 from repro.systems import figure2_models
 
@@ -36,3 +37,37 @@ def test_fig2_compose_hide_aggregate(benchmark):
     )
     assert aggregated.num_states < composed.num_states
     assert "b" in aggregated.signature.outputs
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("ordering", ["linked", "modular"])
+def test_fig2_engine_orderings(benchmark, ordering):
+    """The aggregation engine on the Figure 2 pair, per ordering strategy.
+
+    The two-model community has no fault tree, so ``modular`` exercises its
+    index-driven degradation path; its peak must not exceed ``linked``.
+    """
+
+    def run():
+        model_a, model_b = figure2_models(rate=1.0)
+        return compositional_aggregate(
+            [model_a, model_b], ordering=ordering, keep_visible=["b"]
+        )
+
+    final, statistics = benchmark(run)
+    reference_final, reference_stats = run()
+    record(
+        benchmark,
+        experiment="E1 (Figure 2, engine ordering)",
+        ordering=ordering,
+        final_states=final.num_states,
+        peak_product_states=statistics.peak_product_states,
+        peak_product_transitions=statistics.peak_product_transitions,
+    )
+    assert final.num_states == reference_final.num_states
+    if ordering == "modular":
+        model_a, model_b = figure2_models(rate=1.0)
+        _linked_final, linked_stats = compositional_aggregate(
+            [model_a, model_b], ordering="linked", keep_visible=["b"]
+        )
+        assert statistics.peak_product_states <= linked_stats.peak_product_states

@@ -8,9 +8,11 @@ grows exponentially with the number of basic events while the compositional
 peak stays small (the per-module chains lump to their failure-count skeleton).
 """
 
+import time
+
 import pytest
 
-from repro import CompositionalAnalyzer
+from repro import AnalysisOptions, CompositionalAnalyzer
 from repro.baselines import MonolithicMarkovGenerator
 from repro.systems import cascaded_pand_family
 
@@ -69,6 +71,109 @@ def test_monolithic_scaling(benchmark, num_modules, events_per_module):
     # Exponential growth in the number of basic events: at least one state per
     # subset of basic events that can fail before the system does.
     assert built.num_states >= 2 ** (num_modules * (events_per_module - 1))
+
+
+@pytest.mark.benchmark(group="scalability-ordering")
+@pytest.mark.parametrize("num_modules,events_per_module", SWEEP)
+def test_modular_plan_peak_not_worse_than_linked(
+    benchmark, num_modules, events_per_module
+):
+    """The precomputed modular plan must not inflate the peak product."""
+    tree = cascaded_pand_family(num_modules, events_per_module)
+
+    def run():
+        analyzer = CompositionalAnalyzer(tree, AnalysisOptions(ordering="modular"))
+        analyzer.final_ioimc
+        return analyzer.statistics
+
+    modular_stats = benchmark(run)
+    linked = CompositionalAnalyzer(tree, AnalysisOptions(ordering="linked"))
+    linked.final_ioimc
+    linked_stats = linked.statistics
+    record(
+        benchmark,
+        experiment="E11 (modular plan vs linked ordering)",
+        num_modules=num_modules,
+        events_per_module=events_per_module,
+        modular_peak_product_states=modular_stats.peak_product_states,
+        linked_peak_product_states=linked_stats.peak_product_states,
+        modular_peak_product_transitions=modular_stats.peak_product_transitions,
+        linked_peak_product_transitions=linked_stats.peak_product_transitions,
+    )
+    assert modular_stats.peak_product_states <= linked_stats.peak_product_states
+
+
+@pytest.mark.benchmark(group="scalability-fusion")
+def test_fused_composition_faster_than_compose_then_reduce(benchmark):
+    """Fusing maximal progress into the product exploration beats composing
+    first and reducing afterwards, and never inflates the recorded peaks."""
+    tree = cascaded_pand_family(3, 6)
+
+    def run_fused():
+        analyzer = CompositionalAnalyzer(
+            tree, AnalysisOptions(ordering="modular", fuse=True)
+        )
+        return analyzer.unreliability(MISSION_TIME), analyzer.statistics
+
+    value, fused_stats = benchmark(run_fused)
+
+    start = time.perf_counter()
+    unfused = CompositionalAnalyzer(
+        tree, AnalysisOptions(ordering="modular", fuse=False)
+    )
+    unfused_value = unfused.unreliability(MISSION_TIME)
+    unfused_elapsed = time.perf_counter() - start
+
+    # Isolated composition step on the two largest community members: the
+    # fused exploration must beat composing first and reducing afterwards.
+    from repro.core import convert
+    from repro.ioimc import (
+        apply_maximal_progress,
+        parallel,
+        remove_internal_self_loops,
+    )
+
+    models = sorted(convert(tree).models(), key=lambda m: -m.num_states)
+    left, right = models[0], models[1]
+
+    def best_of(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - t0)
+        return result, min(times)
+
+    fused_model, fused_step = best_of(lambda: parallel(left, right, fuse=True))
+    reduced_model, unfused_step = best_of(
+        lambda: remove_internal_self_loops(
+            apply_maximal_progress(parallel(left, right))
+        ).restrict_to_reachable()
+    )
+
+    record(
+        benchmark,
+        experiment="E12 (fused compose+maximal-progress vs compose-then-reduce)",
+        unreliability=value,
+        fused_peak_product_states=fused_stats.peak_product_states,
+        fused_peak_product_transitions=fused_stats.peak_product_transitions,
+        unfused_peak_product_states=unfused.statistics.peak_product_states,
+        unfused_peak_product_transitions=unfused.statistics.peak_product_transitions,
+        unfused_pipeline_wall_seconds=unfused_elapsed,
+        fused_step_wall_seconds=fused_step,
+        compose_then_reduce_step_wall_seconds=unfused_step,
+    )
+    assert value == pytest.approx(unfused_value, abs=1e-9)
+    assert fused_stats.peak_product_states <= unfused.statistics.peak_product_states
+    assert (
+        fused_stats.peak_product_transitions
+        <= unfused.statistics.peak_product_transitions
+    )
+    assert fused_model.num_states == reduced_model.num_states
+    # The wall-clock comparison (fused ~1.6-2.3x faster on the development
+    # machine) is recorded above rather than asserted: timing assertions flake
+    # on loaded CI runners, and the structural assertions already pin that the
+    # fused route produces the identical, never-larger model.
 
 
 @pytest.mark.benchmark(group="scalability-comparison")

@@ -1,0 +1,164 @@
+"""Smoke benchmark: the Figure 2 pipeline plus a scalability spot-check.
+
+Writes ``BENCH_fig2.json`` (in the current directory, or the path given as
+the first argument) recording the numbers the perf trajectory tracks:
+
+* Figure 2 compose/hide/aggregate sizes and wall time,
+* peak product sizes of the ``modular`` vs ``linked`` orderings on a
+  cascaded-PAND family instance,
+* wall time of the fused compose+maximal-progress path vs the unfused
+  compose-then-reduce baseline.
+
+Runs on a plain Python interpreter — no pytest-benchmark required — so CI can
+execute it as a single cheap step::
+
+    PYTHONPATH=src python benchmarks/smoke_fig2.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from repro import AnalysisOptions, CompositionalAnalyzer
+from repro.core import convert
+from repro.ioimc import (
+    apply_maximal_progress,
+    minimize_weak,
+    parallel,
+    remove_internal_self_loops,
+)
+from repro.systems import cascaded_pand_family, figure2_models
+
+MISSION_TIME = 1.0
+FAMILY_INSTANCE = (3, 5)  # (AND modules, basic events per module)
+
+
+def _timed(fn, repeats: int = 3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def bench_figure2() -> dict:
+    def run():
+        model_a, model_b = figure2_models(rate=1.0)
+        composed = parallel(model_a, model_b)
+        hidden = composed.hide(["a"])
+        aggregated = minimize_weak(hidden)
+        return composed, aggregated
+
+    (composed, aggregated), seconds = _timed(run)
+    return {
+        "composed_states": composed.num_states,
+        "composed_transitions": composed.num_transitions,
+        "aggregated_states": aggregated.num_states,
+        "aggregated_transitions": aggregated.num_transitions,
+        "wall_seconds": seconds,
+    }
+
+
+def bench_orderings(num_modules: int, events_per_module: int) -> dict:
+    tree = cascaded_pand_family(num_modules, events_per_module)
+    result = {"num_modules": num_modules, "events_per_module": events_per_module}
+    for ordering in ("linked", "modular"):
+        def run():
+            analyzer = CompositionalAnalyzer(tree, AnalysisOptions(ordering=ordering))
+            value = analyzer.unreliability(MISSION_TIME)
+            return value, analyzer.statistics
+
+        (value, statistics), seconds = _timed(run)
+        result[ordering] = {
+            "unreliability": value,
+            "peak_product_states": statistics.peak_product_states,
+            "peak_product_transitions": statistics.peak_product_transitions,
+            "peak_reduced_states": statistics.peak_reduced_states,
+            "wall_seconds": seconds,
+        }
+    return result
+
+
+def bench_fusion(num_modules: int, events_per_module: int) -> dict:
+    tree = cascaded_pand_family(num_modules, events_per_module)
+    result = {"num_modules": num_modules, "events_per_module": events_per_module}
+    for label, fuse in (("fused", True), ("compose_then_reduce", False)):
+        def run():
+            analyzer = CompositionalAnalyzer(
+                tree, AnalysisOptions(ordering="modular", fuse=fuse)
+            )
+            value = analyzer.unreliability(MISSION_TIME)
+            return value, analyzer.statistics
+
+        (value, statistics), seconds = _timed(run)
+        result[label] = {
+            "unreliability": value,
+            "peak_product_states": statistics.peak_product_states,
+            "peak_product_transitions": statistics.peak_product_transitions,
+            "wall_seconds": seconds,
+        }
+    return result
+
+
+def bench_fusion_step(num_modules: int, events_per_module: int) -> dict:
+    """Isolated composition step: fused exploration vs compose-then-reduce.
+
+    Composes the two largest community members both ways; the results are
+    state-for-state identical, only the route differs.
+    """
+    tree = cascaded_pand_family(num_modules, events_per_module)
+    models = sorted(convert(tree).models(), key=lambda m: -m.num_states)
+    left, right = models[0], models[1]
+
+    def fused():
+        return parallel(left, right, fuse=True)
+
+    def compose_then_reduce():
+        product = parallel(left, right)
+        product = apply_maximal_progress(product)
+        product = remove_internal_self_loops(product)
+        return product.restrict_to_reachable()
+
+    fused_model, fused_seconds = _timed(fused, repeats=5)
+    reduced_model, unfused_seconds = _timed(compose_then_reduce, repeats=5)
+    assert fused_model.num_states == reduced_model.num_states
+    return {
+        "left_states": left.num_states,
+        "right_states": right.num_states,
+        "result_states": fused_model.num_states,
+        "result_transitions": fused_model.num_transitions,
+        "fused_wall_seconds": fused_seconds,
+        "compose_then_reduce_wall_seconds": unfused_seconds,
+        "speedup": unfused_seconds / fused_seconds if fused_seconds else None,
+    }
+
+
+def main(argv) -> int:
+    output_path = argv[1] if len(argv) > 1 else "BENCH_fig2.json"
+    report = {
+        "python": platform.python_version(),
+        "figure2": bench_figure2(),
+        "orderings": bench_orderings(*FAMILY_INSTANCE),
+        "fusion": bench_fusion(*FAMILY_INSTANCE),
+        "fusion_step": bench_fusion_step(3, 6),
+    }
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    orderings = report["orderings"]
+    if orderings["modular"]["peak_product_states"] > orderings["linked"]["peak_product_states"]:
+        print("FAIL: modular ordering exceeded the linked peak", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -52,6 +52,7 @@ def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
     return AnalysisOptions(
         ordering=args.ordering,
         aggregation=AggregationOptions(method=args.aggregation),
+        fuse=not getattr(args, "no_fuse", False),
     )
 
 
@@ -138,15 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--ordering",
-            choices=["linked", "smallest", "sequential"],
+            choices=["linked", "smallest", "sequential", "modular"],
             default="linked",
-            help="composition ordering strategy (default: linked)",
+            help="composition ordering strategy (default: linked; 'modular' "
+            "follows the tree's independent-module decomposition)",
         )
         sub.add_argument(
             "--aggregation",
             choices=["weak", "strong", "tau", "none"],
             default="weak",
             help="aggregation method applied after every composition (default: weak)",
+        )
+        sub.add_argument(
+            "--no-fuse",
+            action="store_true",
+            help="disable fused maximal progress during composition "
+            "(compose-then-reduce baseline)",
         )
 
     analyze = subparsers.add_parser("analyze", help="compute unreliability / MTTF / unavailability")

@@ -32,8 +32,10 @@ from .conversion import (
     convert,
 )
 from .nondeterminism import NondeterminismReport, detect_nondeterminism
+from .planning import AggregationPlan, PlanNode, SharedActionIndex, build_plan
 
 __all__ = [
+    "AggregationPlan",
     "AnalysisOptions",
     "Community",
     "CommunityMember",
@@ -45,6 +47,9 @@ __all__ = [
     "ConversionOptions",
     "DftToIoimcConverter",
     "NondeterminismReport",
+    "PlanNode",
+    "SharedActionIndex",
+    "build_plan",
     "compositional_aggregate",
     "convert",
     "detect_nondeterminism",

@@ -4,7 +4,8 @@ Given the community of I/O-IMC produced by :mod:`repro.core.conversion`, the
 engine repeatedly
 
 1. picks two I/O-IMC (according to a configurable ordering strategy),
-2. parallel composes them,
+2. parallel composes them (with maximal progress fused into the exploration
+   by default, see :func:`repro.ioimc.composition.parallel`),
 3. hides every output signal that no remaining community member listens to,
 4. aggregates the result (weak bisimulation by default),
 
@@ -21,6 +22,16 @@ Ordering strategies
     action).  Because children and parents share their firing signals, this
     effectively walks the fault tree bottom-up and keeps intermediate products
     small — it is the automated counterpart of the paper's per-module analysis.
+    Candidate pairs come from the incrementally maintained
+    :class:`~repro.core.planning.SharedActionIndex`, not from an ``O(k^2)``
+    rescan of all pairs.
+``modular``
+    Follow a precomputed :class:`~repro.core.planning.AggregationPlan`: the
+    independent modules of the fault tree are collapsed innermost-first, each
+    group ordered by the shared-action index; the cross-module residue is
+    composed last.  Requires the :class:`~repro.core.conversion.Community`
+    (for the tree and member provenance); without it the strategy degrades to
+    ``linked``.
 ``smallest``
     Compose the pair with the smallest state-count product, whether or not the
     two models communicate.
@@ -32,14 +43,15 @@ Ordering strategies
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CompositionError
 from ..ioimc.composition import parallel
 from ..ioimc.model import IOIMC
 from ..ioimc.reduction import AggregationOptions, aggregate
+from .planning import AggregationPlan, PlanNode, SharedActionIndex, build_plan
 
-ORDERING_STRATEGIES = ("linked", "smallest", "sequential")
+ORDERING_STRATEGIES = ("linked", "smallest", "sequential", "modular")
 
 
 @dataclass
@@ -104,6 +116,10 @@ class CompositionalAggregationOptions:
     aggregation: AggregationOptions = field(default_factory=AggregationOptions)
     #: Output actions that must never be hidden (observable to the end).
     keep_visible: Tuple[str, ...] = ()
+    #: Fuse maximal progress + internal self-loop elimination into the
+    #: composition exploration (lowers peak product sizes; disable to measure
+    #: the compose-then-reduce baseline).
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if self.ordering not in ORDERING_STRATEGIES:
@@ -113,120 +129,213 @@ class CompositionalAggregationOptions:
             )
 
 
+class _Workspace:
+    """The live models of a run, keyed, with the shared-action index."""
+
+    def __init__(self) -> None:
+        self.models: Dict[int, IOIMC] = {}
+        self.order: List[int] = []  # insertion order (sequential/smallest picks)
+        self.index = SharedActionIndex()
+        self._next_key = 0
+
+    def add(self, model: IOIMC) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self.models[key] = model
+        self.order.append(key)
+        self.index.add(key, model)
+        return key
+
+    def pop(self, key: int) -> IOIMC:
+        model = self.models.pop(key)
+        self.order.remove(key)
+        self.index.remove(key)
+        return model
+
+    def external_inputs(self) -> set:
+        """Union of the input actions of all live models."""
+        inputs: set = set()
+        for model in self.models.values():
+            inputs |= model.signature.inputs
+        return inputs
+
+
 class CompositionalAggregator:
-    """Reduces a community of I/O-IMC to a single aggregated I/O-IMC."""
+    """Reduces a community of I/O-IMC to a single aggregated I/O-IMC.
+
+    ``community`` (optional) supplies the fault tree and member provenance
+    needed by the ``modular`` ordering; the models must then be exactly
+    ``community.models()``.
+    """
 
     def __init__(
         self,
         models: Sequence[IOIMC],
         options: Optional[CompositionalAggregationOptions] = None,
+        community=None,
     ):
         if not models:
             raise CompositionError("the community is empty")
         self._models: List[IOIMC] = list(models)
+        self._community = community
         self.options = options or CompositionalAggregationOptions()
 
     # ------------------------------------------------------------ public API
     def run(self) -> Tuple[IOIMC, CompositionStatistics]:
         """Execute the full compose/hide/aggregate loop."""
         statistics = CompositionStatistics()
-        models = list(self._models)
 
-        if len(models) == 1:
+        if len(self._models) == 1:
             only, _stats = aggregate(
-                self._hide(models[0], remaining=[]), self.options.aggregation
+                self._hide(self._models[0], external_inputs=set()),
+                self.options.aggregation,
             )
             statistics.final_states = only.num_states
             statistics.final_transitions = only.num_transitions
             return only, statistics
 
-        while len(models) > 1:
-            left_index, right_index = self._pick_pair(models)
-            left = models[left_index]
-            right = models[right_index]
-            remaining = [
-                model
-                for index, model in enumerate(models)
-                if index not in (left_index, right_index)
-            ]
+        workspace = _Workspace()
+        keys = [workspace.add(model) for model in self._models]
 
-            composite = parallel(left, right)
-            product_states = composite.num_states
-            product_transitions = composite.num_transitions
+        plan = self._plan(keys)
+        if plan is not None:
+            final_key = self._collapse(plan.root, workspace, statistics, keys)
+        else:
+            final_key = self._collapse_group(keys, workspace, statistics)
 
-            hidden_before = composite.signature.outputs
-            composite = self._hide(composite, remaining)
-            hidden_actions = tuple(sorted(hidden_before - composite.signature.outputs))
-
-            composite, _agg_stats = aggregate(composite, self.options.aggregation)
-
-            statistics.steps.append(
-                CompositionStep(
-                    left=left.name,
-                    right=right.name,
-                    product_states=product_states,
-                    product_transitions=product_transitions,
-                    hidden_actions=hidden_actions,
-                    reduced_states=composite.num_states,
-                    reduced_transitions=composite.num_transitions,
-                )
-            )
-            models = remaining + [composite]
-
-        final = models[0]
+        final = workspace.models[final_key]
         statistics.final_states = final.num_states
         statistics.final_transitions = final.num_transitions
         return final, statistics
 
+    # ------------------------------------------------------------- plan mode
+    def _plan(self, keys: Sequence[int]) -> Optional[AggregationPlan]:
+        """The aggregation plan, or ``None`` when running a flat strategy."""
+        if self.options.ordering != "modular":
+            return None
+        community = self._community
+        if community is None or len(community.members) != len(keys):
+            return None  # no provenance: degrade gracefully to "linked"
+        return build_plan(community)
+
+    def _collapse(
+        self,
+        node: PlanNode,
+        workspace: _Workspace,
+        statistics: CompositionStatistics,
+        keys: Sequence[int],
+    ) -> int:
+        """Collapse a plan node (children first) to a single model key."""
+        group = [self._collapse(child, workspace, statistics, keys) for child in node.children]
+        group.extend(keys[index] for index in node.member_indices)
+        return self._collapse_group(group, workspace, statistics)
+
+    # ------------------------------------------------------------- flat mode
+    def _collapse_group(
+        self,
+        group: List[int],
+        workspace: _Workspace,
+        statistics: CompositionStatistics,
+    ) -> int:
+        """Compose/hide/aggregate the given keys down to a single key."""
+        group = list(group)
+        while len(group) > 1:
+            key_a, key_b = self._pick_pair(group, workspace)
+            group.remove(key_a)
+            group.remove(key_b)
+            group.append(self._step(key_a, key_b, workspace, statistics))
+        return group[0]
+
+    def _step(
+        self,
+        key_a: int,
+        key_b: int,
+        workspace: _Workspace,
+        statistics: CompositionStatistics,
+    ) -> int:
+        """One compose/hide/aggregate iteration on the workspace."""
+        left = workspace.pop(key_a)
+        right = workspace.pop(key_b)
+
+        composite = parallel(
+            left,
+            right,
+            fuse=self.options.fuse and self.options.aggregation.method != "none",
+            urgent_outputs=self.options.aggregation.urgent_outputs,
+        )
+        product_states = composite.num_states
+        product_transitions = composite.num_transitions
+
+        hidden_before = composite.signature.outputs
+        composite = self._hide(composite, workspace.external_inputs())
+        hidden_actions = tuple(sorted(hidden_before - composite.signature.outputs))
+
+        composite, _agg_stats = aggregate(composite, self.options.aggregation)
+
+        statistics.steps.append(
+            CompositionStep(
+                left=left.name,
+                right=right.name,
+                product_states=product_states,
+                product_transitions=product_transitions,
+                hidden_actions=hidden_actions,
+                reduced_states=composite.num_states,
+                reduced_transitions=composite.num_transitions,
+            )
+        )
+        return workspace.add(composite)
+
     # ---------------------------------------------------------------- helpers
-    def _hide(self, model: IOIMC, remaining: Sequence[IOIMC]) -> IOIMC:
+    def _hide(self, model: IOIMC, external_inputs: Iterable[str]) -> IOIMC:
         """Hide outputs of ``model`` that no remaining member listens to."""
-        external_inputs = set()
-        for other in remaining:
-            external_inputs |= set(other.signature.inputs)
-        keep = set(self.options.keep_visible) | external_inputs
+        keep = set(self.options.keep_visible) | set(external_inputs)
         hideable = model.signature.outputs - keep
         if not hideable:
             return model
         return model.hide(hideable, name=model.name)
 
-    def _pick_pair(self, models: Sequence[IOIMC]) -> Tuple[int, int]:
+    def _pick_pair(self, group: Sequence[int], workspace: _Workspace) -> Tuple[int, int]:
         strategy = self.options.ordering
         if strategy == "sequential":
-            return 0, 1
-        best: Optional[Tuple[int, int]] = None
-        best_key: Optional[Tuple[int, int]] = None
-        fallback: Optional[Tuple[int, int]] = None
-        fallback_key: Optional[int] = None
-        for i in range(len(models)):
-            for j in range(i + 1, len(models)):
-                product = models[i].num_states * models[j].num_states
-                shared = self._shared_actions(models[i], models[j])
-                if strategy == "smallest":
-                    if fallback_key is None or product < fallback_key:
-                        fallback_key = product
-                        fallback = (i, j)
-                    continue
-                # "linked": prefer communicating pairs, smallest product first.
-                if shared:
-                    key = (product, -shared)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best = (i, j)
-                if fallback_key is None or product < fallback_key:
-                    fallback_key = product
-                    fallback = (i, j)
+            group_set = set(group)
+            ordered = [key for key in workspace.order if key in group_set]
+            return ordered[0], ordered[1]
         if strategy == "smallest":
-            assert fallback is not None
-            return fallback
+            return self._pick_smallest(group, workspace)
+        # "linked" and "modular" groups: smallest communicating pair from the
+        # shared-action index; fall back to the smallest product overall when
+        # nothing communicates.
+        models = workspace.models
+        index = workspace.index
+        best: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[int, int, int, int]] = None
+        for key_a, key_b in index.communicating_pairs(frozenset(group)):
+            product = models[key_a].num_states * models[key_b].num_states
+            shared = index.shared_count(key_a, key_b)
+            candidate = (product, -shared, key_a, key_b)
+            if best_key is None or candidate < best_key:
+                best_key = candidate
+                best = (key_a, key_b)
         if best is not None:
             return best
-        assert fallback is not None
-        return fallback
+        return self._pick_smallest(group, workspace)
 
     @staticmethod
-    def _shared_actions(left: IOIMC, right: IOIMC) -> int:
-        return len(left.signature.visible & right.signature.visible)
+    def _pick_smallest(group: Sequence[int], workspace: _Workspace) -> Tuple[int, int]:
+        models = workspace.models
+        group_set = set(group)
+        ordered = [key for key in workspace.order if key in group_set]
+        best: Optional[Tuple[int, int]] = None
+        best_product: Optional[int] = None
+        for i, key_a in enumerate(ordered):
+            states_a = models[key_a].num_states
+            for key_b in ordered[i + 1 :]:
+                product = states_a * models[key_b].num_states
+                if best_product is None or product < best_product:
+                    best_product = product
+                    best = (key_a, key_b)
+        assert best is not None
+        return best
 
 
 def compositional_aggregate(
@@ -234,11 +343,14 @@ def compositional_aggregate(
     ordering: str = "linked",
     aggregation: Optional[AggregationOptions] = None,
     keep_visible: Iterable[str] = (),
+    community=None,
+    fuse: bool = True,
 ) -> Tuple[IOIMC, CompositionStatistics]:
     """Convenience wrapper around :class:`CompositionalAggregator`."""
     options = CompositionalAggregationOptions(
         ordering=ordering,
         aggregation=aggregation or AggregationOptions(),
         keep_visible=tuple(keep_visible),
+        fuse=fuse,
     )
-    return CompositionalAggregator(models, options).run()
+    return CompositionalAggregator(models, options, community=community).run()

@@ -38,11 +38,14 @@ class AnalysisOptions:
     conversion: ConversionOptions = field(default_factory=ConversionOptions)
     aggregation: AggregationOptions = field(default_factory=AggregationOptions)
     ordering: str = "linked"
+    #: Fuse maximal progress into composition (see the aggregation engine).
+    fuse: bool = True
 
     def composition_options(self) -> CompositionalAggregationOptions:
         return CompositionalAggregationOptions(
             ordering=self.ordering,
             aggregation=self.aggregation,
+            fuse=self.fuse,
         )
 
 
@@ -84,7 +87,9 @@ class CompositionalAnalyzer:
         """The single aggregated I/O-IMC of the whole system (cached)."""
         if self._final is None:
             aggregator = CompositionalAggregator(
-                self.community.models(), self.options.composition_options()
+                self.community.models(),
+                self.options.composition_options(),
+                community=self.community,
             )
             self._final, self._statistics = aggregator.run()
         return self._final

@@ -102,6 +102,16 @@ class Community:
                 return member
         raise ConversionError(f"no community member models element {element!r}")
 
+    def plan(self):
+        """The modular aggregation plan of this community.
+
+        Derived from the fault tree's independent-module decomposition; used
+        by the ``ordering="modular"`` strategy of the aggregation engine.
+        """
+        from .planning import build_plan
+
+        return build_plan(self)
+
     @property
     def total_states(self) -> int:
         return sum(member.num_states for member in self.members)

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Dict, List, Tuple, Union
 
 from ..errors import ModelError, NondeterminismError
-from ..ioimc.actions import ActionType
 from ..ioimc.model import IOIMC
 from .ctmc import CTMC
 from .ctmdp import CTMDP
@@ -24,11 +23,11 @@ from .ctmdp import CTMDP
 
 def _urgent_successors(model: IOIMC, state: int) -> Tuple[int, ...]:
     """Targets of urgent (output or internal) transitions of ``state``."""
+    urgent_ids = model.signature.urgent_ids
     successors = []
-    for action, target in model.interactive_out(state):
-        if model.signature.classify(action) is not ActionType.INPUT:
-            if target != state:
-                successors.append(target)
+    for aid, target in model.interactive_pairs(state):
+        if aid in urgent_ids and target != state:
+            successors.append(target)
     return tuple(dict.fromkeys(successors))
 
 

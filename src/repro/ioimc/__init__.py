@@ -7,7 +7,16 @@ aggregation.  It knows nothing about fault trees; the DFT semantics lives in
 :mod:`repro.core`.
 """
 
-from .actions import ActionSignature, ActionType, format_action, signature
+from .actions import (
+    ACTIONS,
+    ActionInterner,
+    ActionSignature,
+    ActionType,
+    action_name,
+    format_action,
+    intern_action,
+    signature,
+)
 from .behavior import ElementBehavior, ExplicitBehavior, build_ioimc
 from .bisimulation import (
     minimize_strong,
@@ -29,8 +38,12 @@ from .reduction import (
 )
 
 __all__ = [
+    "ACTIONS",
+    "ActionInterner",
     "ActionSignature",
     "ActionType",
+    "action_name",
+    "intern_action",
     "AggregationOptions",
     "AggregationStatistics",
     "ElementBehavior",

@@ -20,9 +20,81 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Mapping
 
 from ..errors import SignatureError
+
+
+class ActionInterner:
+    """Process-wide interning table mapping action names to small integers.
+
+    Action names are compared on every transition of every composition step;
+    interning them once lets the whole engine work on integers (set membership,
+    bit masks) instead of strings.  Ids are append-only and globally
+    consistent, so two models agree on the id of a shared action by
+    construction — no per-composition translation tables are needed.
+
+    Trade-offs of the process-global table: the bitmask views grow with the
+    total number of actions ever interned (a long-lived batch process pays a
+    few machine words per 64 known actions on each mask operation — fine for
+    thousands of actions, revisit with signature-local dense ids if a workload
+    interns millions), and ids baked into a model's transitions are only
+    meaningful in the process that created them — models must cross process
+    boundaries by name (e.g. Galileo/dot round-trips), never as pickled
+    id-based structures into a worker with a different interner.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the id of ``name``, allocating a fresh one if unseen."""
+        aid = self._ids.get(name)
+        if aid is None:
+            aid = len(self._names)
+            self._ids[name] = aid
+            self._names.append(name)
+        return aid
+
+    def lookup(self, name: str) -> int:
+        """Id of ``name`` or ``-1`` when the name was never interned."""
+        return self._ids.get(name, -1)
+
+    def name(self, aid: int) -> str:
+        """The name behind ``aid``."""
+        return self._names[aid]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+#: The global interning table shared by every model in the process.
+ACTIONS = ActionInterner()
+
+
+def intern_action(name: str) -> int:
+    """Intern ``name`` in the global table and return its id."""
+    return ACTIONS.intern(name)
+
+
+def action_name(aid: int) -> str:
+    """The action name behind a global id."""
+    return ACTIONS.name(aid)
+
+
+def _intern_all(names: Iterable[str]) -> FrozenSet[int]:
+    return frozenset(ACTIONS.intern(name) for name in names)
+
+
+def _mask_of(ids: Iterable[int]) -> int:
+    mask = 0
+    for aid in ids:
+        mask |= 1 << aid
+    return mask
 
 
 class ActionType(enum.Enum):
@@ -88,6 +160,68 @@ class ActionSignature:
     def locally_controlled(self) -> frozenset:
         """Actions whose occurrence the model itself decides (urgent)."""
         return self.outputs | self.internals
+
+    # ------------------------------------------------------------- id views
+    # The id-based views below are cached per signature instance (signatures
+    # are immutable).  They are what the hot paths — composition, bisimulation
+    # refinement, maximal progress — operate on.
+
+    @cached_property
+    def input_ids(self) -> FrozenSet[int]:
+        """Interned ids of the input actions."""
+        return _intern_all(self.inputs)
+
+    @cached_property
+    def output_ids(self) -> FrozenSet[int]:
+        """Interned ids of the output actions."""
+        return _intern_all(self.outputs)
+
+    @cached_property
+    def internal_ids(self) -> FrozenSet[int]:
+        """Interned ids of the internal actions."""
+        return _intern_all(self.internals)
+
+    @cached_property
+    def visible_ids(self) -> FrozenSet[int]:
+        """Interned ids of the visible (input or output) actions."""
+        return self.input_ids | self.output_ids
+
+    @cached_property
+    def all_ids(self) -> FrozenSet[int]:
+        """Interned ids of every action of the signature."""
+        return self.input_ids | self.output_ids | self.internal_ids
+
+    @cached_property
+    def urgent_ids(self) -> FrozenSet[int]:
+        """Interned ids of the locally controlled (output/internal) actions."""
+        return self.output_ids | self.internal_ids
+
+    @cached_property
+    def input_mask(self) -> int:
+        """Bitset over action ids: inputs."""
+        return _mask_of(self.input_ids)
+
+    @cached_property
+    def internal_mask(self) -> int:
+        """Bitset over action ids: internal actions."""
+        return _mask_of(self.internal_ids)
+
+    @cached_property
+    def urgent_mask(self) -> int:
+        """Bitset over action ids: output and internal (urgent) actions."""
+        return _mask_of(self.urgent_ids)
+
+    def classify_id(self, aid: int) -> ActionType:
+        """Return the :class:`ActionType` of an interned action id."""
+        if aid in self.input_ids:
+            return ActionType.INPUT
+        if aid in self.output_ids:
+            return ActionType.OUTPUT
+        if aid in self.internal_ids:
+            return ActionType.INTERNAL
+        raise SignatureError(
+            f"action {ACTIONS.name(aid)!r} is not part of the signature"
+        )
 
     def classify(self, action: str) -> ActionType:
         """Return the :class:`ActionType` of ``action``.

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from .actions import ActionType
+from .actions import intern_action
 from .model import IOIMC
 
 Partition = List[FrozenSet[int]]
@@ -93,28 +93,28 @@ def strong_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> 
     block.
     """
     block_of = _initial_blocks(model, respect_labels)
-    inputs = model.signature.inputs
+    input_ids = model.signature.input_ids
     while True:
         signatures: Dict[int, object] = {}
         for state in model.states():
-            interactive: Dict[str, set] = {}
-            enabled = model.actions_enabled(state)
-            for action, target in model.interactive_out(state):
-                interactive.setdefault(action, set()).add(block_of[target])
-            for action in inputs:
-                if action not in enabled:
-                    interactive.setdefault(action, set()).add(block_of[state])
+            interactive: Dict[int, set] = {}
+            enabled = model.enabled_ids(state)
+            for aid, target in model.interactive_pairs(state):
+                interactive.setdefault(aid, set()).add(block_of[target])
+            for aid in input_ids:
+                if aid not in enabled:
+                    interactive.setdefault(aid, set()).add(block_of[state])
             # Ordinary lumpability: rates into the state's own class are
             # irrelevant (movement inside the class does not change the class,
             # and the rates towards every other class are required to agree).
             rates: Dict[int, float] = {}
             own_block = block_of[state]
-            for rate, target in model.markovian_out(state):
+            for target, rate in model.markovian_dict(state).items():
                 if block_of[target] == own_block:
                     continue
                 rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
             signatures[state] = (
-                frozenset((action, frozenset(blocks)) for action, blocks in interactive.items()),
+                frozenset((aid, frozenset(blocks)) for aid, blocks in interactive.items()),
                 frozenset((block, _canonical_rate(total)) for block, total in rates.items()),
             )
         block_of, changed = _refine(block_of, signatures)
@@ -145,27 +145,28 @@ def _internal_closure(model: IOIMC) -> List[FrozenSet[int]]:
 
 def _weak_visible_reach(
     model: IOIMC, closures: Sequence[FrozenSet[int]]
-) -> List[Dict[str, FrozenSet[int]]]:
-    """For every state and visible action, the states reachable via ``τ* a τ*``.
+) -> List[Dict[int, FrozenSet[int]]]:
+    """For every state and visible action id, the states reachable via ``τ* a τ*``.
 
     Implicit input self-loops are taken into account: a state that has no
     explicit transition for an input action can still (weakly) perform it and
     stay (modulo trailing internal moves).
     """
-    inputs = model.signature.inputs
-    reach: List[Dict[str, FrozenSet[int]]] = []
+    input_ids = model.signature.input_ids
+    internal_ids = model.signature.internal_ids
+    reach: List[Dict[int, FrozenSet[int]]] = []
     for state in model.states():
-        per_action: Dict[str, set] = {}
+        per_action: Dict[int, set] = {}
         for mid in closures[state]:
-            enabled = model.actions_enabled(mid)
-            for action, target in model.interactive_out(mid):
-                if model.signature.classify(action) is ActionType.INTERNAL:
+            enabled = model.enabled_ids(mid)
+            for aid, target in model.interactive_pairs(mid):
+                if aid in internal_ids:
                     continue
-                per_action.setdefault(action, set()).update(closures[target])
-            for action in inputs:
-                if action not in enabled:
-                    per_action.setdefault(action, set()).update(closures[mid])
-        reach.append({action: frozenset(states) for action, states in per_action.items()})
+                per_action.setdefault(aid, set()).update(closures[target])
+            for aid in input_ids:
+                if aid not in enabled:
+                    per_action.setdefault(aid, set()).update(closures[mid])
+        reach.append({aid: frozenset(states) for aid, states in per_action.items()})
     return reach
 
 
@@ -199,7 +200,7 @@ def weak_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Pa
                     continue
                 rates: Dict[int, float] = {}
                 own_block = block_of[target]
-                for rate, succ in model.markovian_out(target):
+                for succ, rate in model.markovian_dict(target).items():
                     if block_of[succ] == own_block:
                         continue  # ordinary lumpability: ignore intra-class rates
                     rates[block_of[succ]] = rates.get(block_of[succ], 0.0) + rate
@@ -227,6 +228,7 @@ def _block_map(partition: Partition) -> Dict[int, int]:
 def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
     """Quotient of ``model`` under a strong bisimulation partition."""
     block_of = _block_map(partition)
+    input_ids = model.signature.input_ids
     quotient = IOIMC(name if name is not None else model.name, model.signature)
     representatives = [min(block) for block in partition]
     for block_id, block in enumerate(partition):
@@ -234,16 +236,13 @@ def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None)
         quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
     for block_id, block in enumerate(partition):
         rep = representatives[block_id]
-        for action, target in model.interactive_out(rep):
+        for aid, target in model.interactive_pairs(rep):
             target_block = block_of[target]
-            if (
-                target_block == block_id
-                and model.signature.classify(action) is ActionType.INPUT
-            ):
+            if target_block == block_id and aid in input_ids:
                 continue  # implicit input self-loop
-            quotient.add_interactive(block_id, action, target_block)
+            quotient.add_interactive_id(block_id, aid, target_block)
         rates: Dict[int, float] = {}
-        for rate, target in model.markovian_out(rep):
+        for target, rate in model.markovian_dict(rep).items():
             if block_of[target] == block_id:
                 continue  # intra-class movement is invisible in the quotient
             rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
@@ -271,9 +270,10 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
     closures = _internal_closure(model)
     visible_reach = _weak_visible_reach(model, closures)
     stable = [model.is_stable(state) for state in model.states()]
+    input_ids = model.signature.input_ids
 
     internal_actions = sorted(model.signature.internals)
-    tau_action = internal_actions[0] if internal_actions else None
+    tau_id = intern_action(internal_actions[0]) if internal_actions else None
 
     quotient = IOIMC(name if name is not None else model.name, model.signature)
     for block_id, block in enumerate(partition):
@@ -284,25 +284,25 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
         rep = min(block)
         stable_member = next((state for state in sorted(block) if stable[state]), None)
 
-        for action, targets in visible_reach[rep].items():
-            kind = model.signature.classify(action)
+        for aid, targets in visible_reach[rep].items():
+            is_input = aid in input_ids
             target_blocks = {block_of[target] for target in targets}
             for target_block in sorted(target_blocks):
-                if target_block == block_id and kind is ActionType.INPUT:
+                if target_block == block_id and is_input:
                     continue  # implicit input self-loop
-                quotient.add_interactive(block_id, action, target_block)
+                quotient.add_interactive_id(block_id, aid, target_block)
 
         tau_targets = {block_of[target] for target in closures[rep]} - {block_id}
-        if tau_targets and tau_action is None:
+        if tau_targets and tau_id is None:
             raise AssertionError(
                 "internal moves present but the signature declares no internal action"
             )
         for target_block in sorted(tau_targets):
-            quotient.add_interactive(block_id, tau_action, target_block)
+            quotient.add_interactive_id(block_id, tau_id, target_block)
 
         if stable_member is not None:
             rates: Dict[int, float] = {}
-            for rate, target in model.markovian_out(stable_member):
+            for target, rate in model.markovian_dict(stable_member).items():
                 if block_of[target] == block_id:
                     continue  # intra-class movement is invisible in the quotient
                 rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate

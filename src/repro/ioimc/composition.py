@@ -17,21 +17,52 @@ Composition follows the input/output automata discipline used by the paper
 * Internal actions never synchronise.
 
 The composite is built by reachability exploration from the pair of initial
-states, so unreachable parts of the naive product are never materialised.
+states, so unreachable parts of the naive product are never materialised.  The
+exploration runs entirely on interned action ids (see
+:mod:`repro.ioimc.actions`), never comparing action names.
+
+Fused reduction
+---------------
+
+``parallel(..., fuse=True)`` additionally applies two measure-preserving
+reductions *during* exploration instead of on the materialised product:
+
+* **maximal progress** — a composite state is urgent iff either component
+  state is urgent, so Markovian transitions of urgent composite states (and
+  every state reachable only through them) are never generated;
+* **internal self-loop elimination** — a component's internal self-loop
+  composes to a composite self-loop and is skipped.
+
+This prunes the τ-interleaving diamonds created by hiding before they are
+materialised, which lowers the *peak* product sizes the aggregation engine
+records.  The result equals ``restrict_to_reachable(remove_internal_self_loops
+(apply_maximal_progress(parallel(...))))`` state-for-state, so running the
+usual aggregation pipeline afterwards yields the identical reduced model.
 """
 
 from __future__ import annotations
 
-from functools import reduce
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CompositionError, SignatureError
-from .actions import ActionSignature, ActionType
 from .model import IOIMC
 
 
-def parallel(left: IOIMC, right: IOIMC, name: Optional[str] = None) -> IOIMC:
-    """Parallel compose two I/O-IMC and return the reachable composite."""
+def parallel(
+    left: IOIMC,
+    right: IOIMC,
+    name: Optional[str] = None,
+    *,
+    fuse: bool = False,
+    urgent_outputs: bool = True,
+) -> IOIMC:
+    """Parallel compose two I/O-IMC and return the reachable composite.
+
+    With ``fuse=True`` maximal progress and internal self-loop elimination are
+    applied on the fly (see the module docstring); ``urgent_outputs`` selects
+    the I/O-IMC urgency rule (outputs are urgent, the paper's semantics) or
+    the classical open-IMC rule (only internal actions urgent).
+    """
     try:
         signature = left.signature.merge(right.signature)
     except SignatureError as exc:
@@ -41,94 +72,130 @@ def parallel(left: IOIMC, right: IOIMC, name: Optional[str] = None) -> IOIMC:
 
     composite = IOIMC(name if name is not None else f"{left.name}||{right.name}", signature)
 
+    lsig = left.signature
+    rsig = right.signature
+    shared_ids = lsig.visible_ids & rsig.visible_ids
+    left_only_ids = lsig.visible_ids - shared_ids
+    right_only_ids = rsig.visible_ids - shared_ids
+    left_internal = lsig.internal_ids
+    right_internal = rsig.internal_ids
+    left_out = lsig.output_ids
+    right_out = rsig.output_ids
+
     index: Dict[Tuple[int, int], int] = {}
     worklist: List[Tuple[int, int]] = []
 
     def intern(pair: Tuple[int, int]) -> int:
-        if pair not in index:
+        state = index.get(pair)
+        if state is None:
             s, t = pair
-            index[pair] = composite.add_state(
+            state = composite.add_state(
                 labels=left.labels(s) | right.labels(t),
                 name=f"{left.state_name(s)}|{right.state_name(t)}",
             )
+            index[pair] = state
             worklist.append(pair)
-        return index[pair]
-
-    shared_visible = left.signature.visible & right.signature.visible
-    left_only_visible = left.signature.visible - shared_visible
-    right_only_visible = right.signature.visible - shared_visible
+        return state
 
     initial = (left.initial, right.initial)
     composite.set_initial(intern(initial))
+
+    add_interactive = composite.add_interactive_id
+    add_markovian = composite.add_markovian
 
     while worklist:
         s, t = pair = worklist.pop()
         source = index[pair]
 
-        # Markovian transitions interleave.
-        for rate, s_next in left.markovian_out(s):
-            composite.add_markovian(source, rate, intern((s_next, t)))
-        for rate, t_next in right.markovian_out(t):
-            composite.add_markovian(source, rate, intern((s, t_next)))
+        # Markovian transitions interleave — unless the composite state is
+        # urgent and fused maximal progress prunes them up front.  A composite
+        # state is urgent iff either component state is (a component's enabled
+        # output or internal transition is always enabled in the composite).
+        if fuse:
+            if urgent_outputs:
+                urgent = left.is_urgent(s) or right.is_urgent(t)
+            else:
+                urgent = not (left.is_stable(s) and right.is_stable(t))
+        else:
+            urgent = False
+        if not urgent:
+            for rate, s_next in left.markovian_out(s):
+                add_markovian(source, rate, intern((s_next, t)))
+            for rate, t_next in right.markovian_out(t):
+                add_markovian(source, rate, intern((s, t_next)))
 
-        # Internal transitions interleave and never synchronise.
-        for action, s_next in left.interactive_out(s):
-            if left.signature.classify(action) is ActionType.INTERNAL:
-                composite.add_interactive(source, action, intern((s_next, t)))
-        for action, t_next in right.interactive_out(t):
-            if right.signature.classify(action) is ActionType.INTERNAL:
-                composite.add_interactive(source, action, intern((s, t_next)))
+        # Internal and non-shared visible actions interleave (internal actions
+        # never synchronise; implicit input self-loops stay implicit).
+        for aid, s_next in left.interactive_pairs(s):
+            if aid in left_internal:
+                if fuse and s_next == s:
+                    continue  # composite internal self-loop
+                add_interactive(source, aid, intern((s_next, t)))
+            elif aid in left_only_ids:
+                add_interactive(source, aid, intern((s_next, t)))
+        for aid, t_next in right.interactive_pairs(t):
+            if aid in right_internal:
+                if fuse and t_next == t:
+                    continue  # composite internal self-loop
+                add_interactive(source, aid, intern((s, t_next)))
+            elif aid in right_only_ids:
+                add_interactive(source, aid, intern((s, t_next)))
 
-        # Non-shared visible actions interleave (only explicit transitions;
-        # implicit input self-loops of the composite stay implicit).
-        for action in left_only_visible & left.actions_enabled(s):
-            for s_next in left.interactive_on(s, action):
-                composite.add_interactive(source, action, intern((s_next, t)))
-        for action in right_only_visible & right.actions_enabled(t):
-            for t_next in right.interactive_on(t, action):
-                composite.add_interactive(source, action, intern((s, t_next)))
-
-        # Shared visible actions synchronise.
-        for action in shared_visible:
-            left_out = action in left.signature.outputs
-            right_out = action in right.signature.outputs
-            if left_out:
-                driver_moves = left.interactive_on(s, action)
+        # Shared visible actions synchronise.  Only actions enabled in at
+        # least one component can produce a transition.
+        shared_enabled = (left.enabled_ids(s) | right.enabled_ids(t)) & shared_ids
+        for aid in shared_enabled:
+            if aid in left_out:
+                driver_moves = left.interactive_on_id(s, aid)
                 if not driver_moves:
                     continue
-                reactions = right.interactive_on(t, action) or (t,)
+                reactions = right.interactive_on_id(t, aid) or (t,)
                 for s_next in driver_moves:
                     for t_next in reactions:
-                        composite.add_interactive(source, action, intern((s_next, t_next)))
-            elif right_out:
-                driver_moves = right.interactive_on(t, action)
+                        add_interactive(source, aid, intern((s_next, t_next)))
+            elif aid in right_out:
+                driver_moves = right.interactive_on_id(t, aid)
                 if not driver_moves:
                     continue
-                reactions = left.interactive_on(s, action) or (s,)
+                reactions = left.interactive_on_id(s, aid) or (s,)
                 for t_next in driver_moves:
                     for s_next in reactions:
-                        composite.add_interactive(source, action, intern((s_next, t_next)))
+                        add_interactive(source, aid, intern((s_next, t_next)))
             else:
                 # Input of both components: driven by the environment.
-                left_moves = left.interactive_on(s, action)
-                right_moves = right.interactive_on(t, action)
-                if not left_moves and not right_moves:
-                    continue
+                left_moves = left.interactive_on_id(s, aid)
+                right_moves = right.interactive_on_id(t, aid)
                 for s_next in left_moves or (s,):
                     for t_next in right_moves or (t,):
                         if (s_next, t_next) != (s, t):
-                            composite.add_interactive(source, action, intern((s_next, t_next)))
+                            add_interactive(source, aid, intern((s_next, t_next)))
 
     composite.validate()
     return composite
 
 
-def parallel_many(models: Sequence[IOIMC], name: Optional[str] = None) -> IOIMC:
-    """Compose a sequence of I/O-IMC left to right.
+def parallel_many(
+    models: Sequence[IOIMC],
+    name: Optional[str] = None,
+    *,
+    hide: bool = True,
+    keep: Iterable[str] = (),
+    fuse: bool = False,
+) -> IOIMC:
+    """Compose a sequence of I/O-IMC left to right, hiding as it goes.
 
-    This is the naive composition order; the compositional aggregation engine
-    in :mod:`repro.core.aggregation` interleaves composition with hiding and
-    minimisation instead.
+    After every intermediate fold the outputs that none of the models still to
+    be composed listens to are hidden (``hide_closed``), so the τ-diamonds
+    they would otherwise spawn can be pruned early and further compositions
+    do not have to track dead signals.  ``keep`` lists actions that must stay
+    observable regardless (e.g. a monitored top-level failure signal);
+    ``hide=False`` restores the fully visible naive fold (the escape hatch
+    used by the ordering-ablation benchmark).  ``fuse`` is forwarded to
+    :func:`parallel`.
+
+    The compositional aggregation engine in :mod:`repro.core.aggregation`
+    additionally interleaves bisimulation minimisation; this helper is the
+    light-weight variant for hand-driven pipelines and tests.
     """
     if not models:
         raise CompositionError("cannot compose an empty collection of I/O-IMC")
@@ -137,7 +204,17 @@ def parallel_many(models: Sequence[IOIMC], name: Optional[str] = None) -> IOIMC:
         if name is not None:
             single.name = name
         return single
-    composite = reduce(parallel, models)
+    keep_set = frozenset(keep)
+    composite = models[0]
+    for position in range(1, len(models)):
+        composite = parallel(composite, models[position], fuse=fuse)
+        if hide and position < len(models) - 1:
+            external: set = set()
+            for remaining in models[position + 1 :]:
+                external |= remaining.signature.inputs
+            composite = hide_closed(
+                composite, external_inputs=external, keep=keep_set
+            )
     if name is not None:
         composite.name = name
     return composite

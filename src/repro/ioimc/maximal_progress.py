@@ -27,17 +27,12 @@ def apply_maximal_progress(
         are urgent as well; if ``False`` only internal actions make a state
         urgent (the classical open-IMC rule).
     """
-    pruned = IOIMC(name if name is not None else model.name, model.signature)
+    pruned = model._skeleton(name)
     for state in model.states():
-        pruned.add_state(labels=model.labels(state), name=model.state_name(state))
-    for state in model.states():
+        pruned._set_interactive_raw(state, list(model.interactive_pairs(state)))
         urgent = model.is_urgent(state) if urgent_outputs else not model.is_stable(state)
-        for action, target in model.interactive_out(state):
-            pruned.add_interactive(state, action, target)
         if not urgent:
-            for rate, target in model.markovian_out(state):
-                pruned.add_markovian(state, rate, target)
-    pruned.set_initial(model.initial)
+            pruned._set_markovian_raw(state, dict(model.markovian_dict(state)))
     return pruned
 
 
@@ -47,5 +42,5 @@ def count_pruned_transitions(model: IOIMC, urgent_outputs: bool = True) -> int:
     for state in model.states():
         urgent = model.is_urgent(state) if urgent_outputs else not model.is_stable(state)
         if urgent:
-            removed += sum(1 for _ in model.markovian_out(state))
+            removed += len(model.markovian_dict(state))
     return removed

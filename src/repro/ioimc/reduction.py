@@ -20,10 +20,9 @@ the pipeline records before/after statistics so benchmarks can report the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ModelError
-from .actions import ActionType
 from .bisimulation import minimize_strong, minimize_weak
 from .maximal_progress import apply_maximal_progress
 from .model import IOIMC
@@ -78,17 +77,18 @@ def remove_internal_self_loops(model: IOIMC) -> IOIMC:
     self-loops; removing them keeps later reductions simple and avoids
     spurious "unstable" states.
     """
-    cleaned = IOIMC(model.name, model.signature)
+    internal = model.signature.internal_ids
+    cleaned = model._skeleton()
     for state in model.states():
-        cleaned.add_state(labels=model.labels(state), name=model.state_name(state))
-    for state in model.states():
-        for action, target in model.interactive_out(state):
-            if target == state and model.signature.classify(action) is ActionType.INTERNAL:
-                continue
-            cleaned.add_interactive(state, action, target)
-        for rate, target in model.markovian_out(state):
-            cleaned.add_markovian(state, rate, target)
-    cleaned.set_initial(model.initial)
+        cleaned._set_interactive_raw(
+            state,
+            [
+                (aid, target)
+                for aid, target in model.interactive_pairs(state)
+                if target != state or aid not in internal
+            ],
+        )
+        cleaned._set_markovian_raw(state, dict(model.markovian_dict(state)))
     return cleaned
 
 
@@ -99,17 +99,18 @@ def compress_deterministic_tau(model: IOIMC) -> IOIMC:
     redirecting their incoming transitions to their unique successor is weak
     bisimulation preserving.  Chains of such states collapse in one pass.
     """
+    internal = model.signature.internal_ids
     forward: Dict[int, int] = {}
     for state in model.states():
-        interactive = list(model.interactive_out(state))
-        if len(interactive) != 1:
+        pairs = model.interactive_pairs(state)
+        if len(pairs) != 1:
             continue
-        action, target = interactive[0]
-        if model.signature.classify(action) is not ActionType.INTERNAL:
+        aid, target = pairs[0]
+        if aid not in internal:
             continue
         if target == state:
             continue
-        if any(True for _ in model.markovian_out(state)):
+        if model.markovian_dict(state):
             continue
         forward[state] = target
 
@@ -146,10 +147,18 @@ def compress_deterministic_tau(model: IOIMC) -> IOIMC:
     for old in keep:
         compressed.add_state(labels=model.labels(old), name=model.state_name(old))
     for old in keep:
-        for action, target in model.interactive_out(old):
-            compressed.add_interactive(remap[old], action, remap[resolved[target]])
-        for rate, target in model.markovian_out(old):
-            compressed.add_markovian(remap[old], rate, remap[resolved[target]])
+        new = remap[old]
+        pairs: List[Tuple[int, int]] = []
+        for aid, target in model.interactive_pairs(old):
+            pair = (aid, remap[resolved[target]])
+            if pair not in pairs:
+                pairs.append(pair)
+        compressed._set_interactive_raw(new, pairs)
+        rates: Dict[int, float] = {}
+        for target, rate in model.markovian_dict(old).items():
+            resolved_target = remap[resolved[target]]
+            rates[resolved_target] = rates.get(resolved_target, 0.0) + rate
+        compressed._set_markovian_raw(new, rates)
     compressed.set_initial(remap[resolved[model.initial]])
     return compressed
 

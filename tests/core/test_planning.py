@@ -1,0 +1,142 @@
+"""Tests for the aggregation planner and the shared-action index."""
+
+import pytest
+
+from repro.core import (
+    CompositionalAggregator,
+    CompositionalAggregationOptions,
+    SharedActionIndex,
+    build_plan,
+    compositional_aggregate,
+    convert,
+)
+from repro.ctmc import markov_model_from_ioimc
+from repro.ioimc import IOIMC, signature
+from repro.systems import cardiac_assist_system, cascaded_pand_system
+
+
+def _small_model(name: str, inputs=(), outputs=()) -> IOIMC:
+    model = IOIMC(name, signature(inputs=inputs, outputs=outputs))
+    model.add_state(initial=True)
+    return model
+
+
+class TestSharedActionIndex:
+    def test_communicating_pairs_only(self):
+        index = SharedActionIndex()
+        index.add(0, _small_model("a", outputs=["x"]))
+        index.add(1, _small_model("b", inputs=["x"]))
+        index.add(2, _small_model("c", outputs=["y"]))
+        pairs = set(index.communicating_pairs())
+        assert pairs == {(0, 1)}
+
+    def test_remove_updates_index(self):
+        index = SharedActionIndex()
+        index.add(0, _small_model("a", outputs=["x"]))
+        index.add(1, _small_model("b", inputs=["x"]))
+        index.remove(0)
+        assert set(index.communicating_pairs()) == set()
+        assert len(index) == 1
+
+    def test_restricted_enumeration(self):
+        index = SharedActionIndex()
+        index.add(0, _small_model("a", outputs=["x"]))
+        index.add(1, _small_model("b", inputs=["x"]))
+        index.add(2, _small_model("c", inputs=["x"]))
+        assert set(index.communicating_pairs(frozenset({0, 2}))) == {(0, 2)}
+
+    def test_shared_count(self):
+        index = SharedActionIndex()
+        index.add(0, _small_model("a", outputs=["x", "y"]))
+        index.add(1, _small_model("b", inputs=["x", "y"]))
+        assert index.shared_count(0, 1) == 2
+
+
+class TestPlanStructure:
+    def test_cps_plan_collapses_modules_innermost_first(self):
+        community = convert(cascaded_pand_system())
+        plan = build_plan(community)
+        # The AND modules A, C, D and the inner PAND B are all independent
+        # modules and must be collapsed before the top residue.
+        order = plan.module_order
+        assert set(order) >= {"A", "B", "C", "D"}
+        assert order.index("C") < order.index("B")
+        assert order.index("D") < order.index("B")
+        # Every community member is assigned exactly once.
+        assigned = [
+            index for node in plan.root.walk() for index in node.member_indices
+        ]
+        assert sorted(assigned) == list(range(len(community.members)))
+
+    def test_cps_module_groups_contain_their_events(self):
+        community = convert(cascaded_pand_system())
+        plan = build_plan(community)
+        by_root = {node.root: node for node in plan.root.walk()}
+        module_a = by_root["A"]
+        elements = {community.members[i].element for i in module_a.member_indices}
+        assert elements == {"A", "A1", "A2", "A3", "A4"}
+
+    def test_describe_mentions_modules(self):
+        community = convert(cascaded_pand_system())
+        plan = build_plan(community)
+        description = plan.describe()
+        assert "A" in description and "member" in description
+
+
+class TestModularOrdering:
+    @pytest.mark.parametrize("system", [cascaded_pand_system, cardiac_assist_system])
+    def test_modular_matches_linked_measure(self, system):
+        community = convert(system())
+        linked, _ = compositional_aggregate(community.models(), ordering="linked")
+        modular, stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community
+        )
+        value_linked = markov_model_from_ioimc(linked).probability_of_label("failed", 1.0)
+        value_modular = markov_model_from_ioimc(modular).probability_of_label("failed", 1.0)
+        assert value_modular == pytest.approx(value_linked, abs=1e-9)
+        assert stats.final_states == modular.num_states
+
+    def test_modular_peak_not_worse_than_linked(self):
+        community = convert(cardiac_assist_system())
+        _, linked_stats = compositional_aggregate(community.models(), ordering="linked")
+        _, modular_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community
+        )
+        assert modular_stats.peak_product_states <= linked_stats.peak_product_states
+
+    def test_modular_without_community_degrades_to_linked(self):
+        community = convert(cascaded_pand_system())
+        modular, _ = compositional_aggregate(community.models(), ordering="modular")
+        linked, _ = compositional_aggregate(community.models(), ordering="linked")
+        assert modular.num_states == linked.num_states
+        assert modular.num_transitions == linked.num_transitions
+
+    def test_modular_is_a_known_strategy(self):
+        options = CompositionalAggregationOptions(ordering="modular")
+        assert options.ordering == "modular"
+
+    def test_fuse_toggle_preserves_measures(self):
+        community = convert(cascaded_pand_system())
+        fused, fused_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community, fuse=True
+        )
+        unfused, unfused_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community, fuse=False
+        )
+        value_fused = markov_model_from_ioimc(fused).probability_of_label("failed", 1.0)
+        value_unfused = markov_model_from_ioimc(unfused).probability_of_label("failed", 1.0)
+        assert value_fused == pytest.approx(value_unfused, abs=1e-9)
+        assert fused_stats.peak_product_transitions <= unfused_stats.peak_product_transitions
+
+
+class TestEngineWithPlan:
+    def test_aggregator_accepts_community(self):
+        community = convert(cascaded_pand_system())
+        aggregator = CompositionalAggregator(
+            community.models(),
+            CompositionalAggregationOptions(ordering="modular"),
+            community=community,
+        )
+        final, stats = aggregator.run()
+        assert final.num_states == stats.final_states
+        assert len(stats.steps) == len(community.members) - 1
