@@ -1,0 +1,67 @@
+"""Batch smoke: a random-tree corpus through the ``repro batch`` CLI.
+
+Generates a reproducible corpus of Galileo files with
+:func:`repro.systems.generators.random_corpus`, runs the ``batch``
+subcommand over a glob of them (text and JSON modes, serial and with two
+worker processes) and fails on any per-tree error or schema violation.
+
+Runs on a plain Python interpreter so CI can execute it as one cheap step::
+
+    PYTHONPATH=src python benchmarks/smoke_batch.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.dft import galileo
+from repro.systems import random_corpus
+
+CORPUS_SIZE = 8
+NUM_BASIC_EVENTS = 6
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = random_corpus(CORPUS_SIZE, num_basic_events=NUM_BASIC_EVENTS, seed=0)
+        for index, tree in enumerate(corpus):
+            galileo.write_file(tree, str(Path(tmp) / f"tree{index:02d}.dft"))
+        pattern = str(Path(tmp) / "*.dft")
+
+        # Text mode, serial.
+        code = cli_main(["batch", pattern, "--time", "0.5", "1.0"])
+        if code != 0:
+            print("FAIL: serial text batch exited non-zero", file=sys.stderr)
+            return 1
+
+        # JSON mode with two worker processes; validate the schema.
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = cli_main(["batch", pattern, "--json", "--processes", "2"])
+        if code != 0:
+            print("FAIL: parallel JSON batch exited non-zero", file=sys.stderr)
+            return 1
+        payload = json.loads(buffer.getvalue())
+        if payload.get("schema") != "repro.batch/1":
+            print("FAIL: unexpected batch schema tag", file=sys.stderr)
+            return 1
+        aggregate = payload["aggregate"]
+        if aggregate["trees"] != CORPUS_SIZE or aggregate["failed"] != 0:
+            print("FAIL: batch aggregate reports missing or failing trees", file=sys.stderr)
+            return 1
+        print(
+            f"batch smoke ok: {aggregate['trees']} trees, "
+            f"{aggregate['wall_seconds']:.3f}s wall, "
+            f"{aggregate['mean_tree_seconds']:.3f}s/tree"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

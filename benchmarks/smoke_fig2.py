@@ -7,7 +7,11 @@ the first argument) recording the numbers the perf trajectory tracks:
 * peak product sizes of the ``modular`` vs ``linked`` orderings on a
   cascaded-PAND family instance,
 * wall time of the fused compose+maximal-progress path vs the unfused
-  compose-then-reduce baseline.
+  compose-then-reduce baseline,
+* curve evaluation on the paper's cascaded-PAND CTMC: one vectorised
+  100-point uniformisation sweep vs 100 per-point calls (the two must agree
+  to 1e-9; the sweep must be faster),
+* a batch/corpus spot-check over generated random trees.
 
 Runs on a plain Python interpreter — no pytest-benchmark required — so CI can
 execute it as a single cheap step::
@@ -22,15 +26,27 @@ import platform
 import sys
 import time
 
-from repro import AnalysisOptions, CompositionalAnalyzer
-from repro.core import convert
+import numpy as np
+
+from repro import (
+    AnalysisOptions,
+    BatchStudy,
+    CompositionalAnalyzer,
+    Unreliability,
+)
+from repro.core import convert, signals
 from repro.ioimc import (
     apply_maximal_progress,
     minimize_weak,
     parallel,
     remove_internal_self_loops,
 )
-from repro.systems import cascaded_pand_family, figure2_models
+from repro.systems import (
+    cascaded_pand_family,
+    cascaded_pand_system,
+    figure2_models,
+    random_corpus,
+)
 
 MISSION_TIME = 1.0
 FAMILY_INSTANCE = (3, 5)  # (AND modules, basic events per module)
@@ -139,6 +155,51 @@ def bench_fusion_step(num_modules: int, events_per_module: int) -> dict:
     }
 
 
+def bench_curve(num_points: int = 100, horizon: float = 5.0) -> dict:
+    """100-point unreliability curve: one vectorised sweep vs per-point calls.
+
+    This is the PR's acceptance check: on the paper's cascaded-PAND system
+    the shared ``pi(0)·P^k`` series must reproduce per-point uniformisation
+    to 1e-9 while being measurably faster.
+    """
+    analyzer = CompositionalAnalyzer(cascaded_pand_system())
+    model = analyzer.markov_model
+    times = np.linspace(0.0, horizon, num_points)
+
+    def vectorised():
+        return model.probability_of_label_curve(signals.FAILED_LABEL, times)
+
+    def per_point():
+        return np.array(
+            [model.probability_of_label(signals.FAILED_LABEL, float(t)) for t in times]
+        )
+
+    curve, vectorised_seconds = _timed(vectorised)
+    reference, per_point_seconds = _timed(per_point)
+    return {
+        "num_points": num_points,
+        "states": model.num_states,
+        "vectorised_wall_seconds": vectorised_seconds,
+        "per_point_wall_seconds": per_point_seconds,
+        "speedup": per_point_seconds / vectorised_seconds if vectorised_seconds else None,
+        "max_abs_difference": float(np.max(np.abs(curve - reference))),
+    }
+
+
+def bench_batch(corpus_size: int = 6, num_basic_events: int = 6) -> dict:
+    """Corpus throughput spot-check over generated random trees."""
+    trees = random_corpus(corpus_size, num_basic_events=num_basic_events, seed=0)
+    batch = BatchStudy(trees, Unreliability([1.0]))
+    result, seconds = _timed(lambda: batch.run(), repeats=1)
+    return {
+        "corpus_size": corpus_size,
+        "num_basic_events": num_basic_events,
+        "failed": result.num_failed,
+        "wall_seconds": seconds,
+        "mean_tree_seconds": result.tree_seconds / len(result),
+    }
+
+
 def main(argv) -> int:
     output_path = argv[1] if len(argv) > 1 else "BENCH_fig2.json"
     report = {
@@ -147,6 +208,8 @@ def main(argv) -> int:
         "orderings": bench_orderings(*FAMILY_INSTANCE),
         "fusion": bench_fusion(*FAMILY_INSTANCE),
         "fusion_step": bench_fusion_step(3, 6),
+        "curve": bench_curve(),
+        "batch": bench_batch(),
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -156,6 +219,16 @@ def main(argv) -> int:
     orderings = report["orderings"]
     if orderings["modular"]["peak_product_states"] > orderings["linked"]["peak_product_states"]:
         print("FAIL: modular ordering exceeded the linked peak", file=sys.stderr)
+        return 1
+    curve = report["curve"]
+    if curve["max_abs_difference"] > 1e-9:
+        print("FAIL: vectorised curve deviates from per-point evaluation", file=sys.stderr)
+        return 1
+    if curve["vectorised_wall_seconds"] >= curve["per_point_wall_seconds"]:
+        print("FAIL: vectorised curve evaluation is not faster", file=sys.stderr)
+        return 1
+    if report["batch"]["failed"]:
+        print("FAIL: batch corpus run had failing trees", file=sys.stderr)
         return 1
     return 0
 

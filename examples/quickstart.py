@@ -4,6 +4,12 @@ The system: two pumps run in parallel and share a single cold spare pump; the
 system fails once all pumping capability is gone.  This is the shared-spare
 pattern of the paper's pump unit (Figure 7, right branch).
 
+Analysis goes through the declarative query API: bundle every measure you
+want into one :class:`~repro.core.measures.Query`, evaluate it once, and read
+values (plus provenance and timings) off the structured result.  All mission
+times share a single vectorised uniformisation sweep.  (The older
+``CompositionalAnalyzer`` facade still works, but is legacy.)
+
 Run with::
 
     python examples/quickstart.py
@@ -11,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CompositionalAnalyzer
+from repro import MTTF, Study, Unreliability
 from repro.dft import FaultTreeBuilder, galileo
 
 
@@ -33,19 +39,23 @@ def main() -> None:
     print("Galileo representation:")
     print(galileo.write(tree))
 
-    analyzer = CompositionalAnalyzer(tree)
+    # One query = one conversion, one aggregation, one transient sweep.
+    query = Unreliability([0.5, 1.0, 2.0, 5.0]) + MTTF()
+    study = Study(tree)
+    result = study.evaluate(query)
 
-    print("I/O-IMC community:", analyzer.community.summary())
-    print("Aggregation      :", analyzer.statistics.summary())
+    print("I/O-IMC community:", study.community.summary())
+    print("Aggregation      :", study.statistics.summary())
     print()
 
-    for time in (0.5, 1.0, 2.0, 5.0):
-        print(f"Unreliability at t={time:>4}: {analyzer.unreliability(time):.6f}")
-    print(f"Mean time to failure  : {analyzer.mean_time_to_failure():.6f}")
+    unreliability = result["unreliability"]
+    for time, value in zip(unreliability.times, unreliability.values):
+        print(f"Unreliability at t={time:>4}: {value:.6f}")
+    print(f"Mean time to failure  : {result['mttf'].value:.6f}")
     print()
-    print("Full report")
-    print("-----------")
-    print(analyzer.report(time=1.0))
+    print("Structured result (what `repro analyze --json` prints)")
+    print("-------------------------------------------------------")
+    print(result.to_json(indent=2, include_steps=False))
 
 
 if __name__ == "__main__":

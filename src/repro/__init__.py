@@ -19,8 +19,8 @@ The package is organised in layers:
 
 Quick start::
 
+    from repro import MTTF, Unreliability, evaluate
     from repro.dft import FaultTreeBuilder
-    from repro.core import CompositionalAnalyzer
 
     builder = FaultTreeBuilder("two-pumps")
     builder.basic_event("PA", failure_rate=1.0)
@@ -31,14 +31,27 @@ Quick start::
     builder.and_gate("System", ["PumpA", "PumpB"])
     tree = builder.build(top="System")
 
-    print(CompositionalAnalyzer(tree).unreliability(time=1.0))
+    result = evaluate(tree, Unreliability([0.5, 1.0]) + MTTF())
+    print(result["unreliability"].values, result["mttf"].value)
 """
 
 from . import ctmc, dft, errors, ioimc
 from .core import (
+    MTTF,
     AnalysisOptions,
+    BatchResult,
+    BatchStudy,
     CompositionalAnalyzer,
+    MeasureResult,
+    Query,
+    Study,
+    StudyOptions,
+    StudyResult,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
     detect_nondeterminism,
+    evaluate,
     mean_time_to_failure,
     unavailability,
     unreliability,
@@ -50,14 +63,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisOptions",
+    "BatchResult",
+    "BatchStudy",
     "CompositionalAnalyzer",
     "DynamicFaultTree",
     "FaultTreeBuilder",
+    "MTTF",
+    "MeasureResult",
+    "Query",
+    "Study",
+    "StudyOptions",
+    "StudyResult",
+    "Unavailability",
+    "Unreliability",
+    "UnreliabilityBounds",
     "__version__",
     "ctmc",
     "detect_nondeterminism",
     "dft",
     "errors",
+    "evaluate",
     "ioimc",
     "mean_time_to_failure",
     "unavailability",

@@ -5,9 +5,14 @@ format, convert it into an I/O-IMC community, run compositional aggregation
 and report reliability measures.  Sub-commands:
 
 ``analyze``
-    Unreliability (or bounds, for non-deterministic trees) at one or more
-    mission times, plus optional unavailability / MTTF, with composition
-    statistics.
+    Evaluate one declarative query (unreliability / bounds at many mission
+    times, MTTF, unavailability) against a tree — one conversion, one
+    aggregation, one vectorised transient sweep.  ``--json`` emits the full
+    structured result (schema ``repro.study/1``).
+``batch``
+    Evaluate the same query over a corpus of ``.dft`` files (shell-style
+    globs are expanded) with optional process parallelism, printing per-tree
+    rows and aggregate timing.  ``--json`` emits schema ``repro.batch/1``.
 ``baseline``
     The DIFTree-style modular analysis of the same file, for comparison.
 ``modules``
@@ -23,12 +28,23 @@ Run ``python -m repro --help`` for the full synopsis.
 from __future__ import annotations
 
 import argparse
+import glob
 import sys
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from . import __version__
 from .baselines import DiftreeAnalyzer
-from .core import AnalysisOptions, CompositionalAnalyzer
+from .core import (
+    MTTF,
+    BatchStudy,
+    MeasureResult,
+    Query,
+    Study,
+    StudyOptions,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+)
 from .dft import diftree_modules, galileo, independent_modules
 from .dft.visualization import to_dot
 from .errors import ReproError
@@ -48,12 +64,54 @@ def _add_tree_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
-    return AnalysisOptions(
+def _analysis_options(args: argparse.Namespace) -> StudyOptions:
+    return StudyOptions(
         ordering=args.ordering,
         aggregation=AggregationOptions(method=args.aggregation),
         fuse=not getattr(args, "no_fuse", False),
+        tolerance=getattr(args, "tolerance", 1e-12),
     )
+
+
+def _build_query(args: argparse.Namespace, bounds: bool) -> Query:
+    """The measure bundle requested by analyze/batch flags."""
+    measures = [UnreliabilityBounds(args.time) if bounds else Unreliability(args.time)]
+    if args.mttf:
+        measures.append(MTTF())
+    if args.unavailability:
+        measures.append(Unavailability())
+    return Query(measures)
+
+
+def _format_measure_lines(measure: MeasureResult) -> List[str]:
+    """Human-readable lines for one evaluated measure."""
+    lines: List[str] = []
+    if measure.error is not None:
+        lines.append(f"{measure.kind}: {measure.error}")
+    elif measure.kind == "unreliability":
+        assert measure.times is not None and measure.values is not None
+        for time, value in zip(measure.times, measure.values):
+            lines.append(f"Unreliability(t={time:g}) = {value:.6f}")
+    elif measure.kind == "unreliability_bounds":
+        assert measure.times is not None
+        assert measure.lower is not None and measure.upper is not None
+        for time, low, high in zip(measure.times, measure.lower, measure.upper):
+            if low == high:
+                lines.append(f"Unreliability(t={time:g}) = {low:.6f}")
+            else:
+                lines.append(f"Unreliability(t={time:g}) in [{low:.6f}, {high:.6f}]")
+    elif measure.kind == "mttf":
+        lines.append(f"Mean time to failure = {measure.value:.6f}")
+    elif measure.kind == "unavailability":
+        if measure.steady_state:
+            lines.append(f"Steady-state unavailability = {measure.value:.6f}")
+        else:
+            assert measure.times is not None and measure.values is not None
+            for time, value in zip(measure.times, measure.values):
+                lines.append(f"Unavailability(t={time:g}) = {value:.6f}")
+    else:  # pragma: no cover - future measure kinds
+        lines.append(f"{measure.kind}: {measure.to_dict()}")
+    return lines
 
 
 # ---------------------------------------------------------------------------
@@ -62,21 +120,93 @@ def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
 
 def command_analyze(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
-    analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
-    print(f"Fault tree : {tree.summary()}")
-    print(f"Community  : {analyzer.community.summary()}")
-    print(f"Aggregation: {analyzer.statistics.summary()}")
-    for time in args.time:
-        if analyzer.is_nondeterministic:
-            low, high = analyzer.unreliability_bounds(time)
-            print(f"Unreliability(t={time:g}) in [{low:.6f}, {high:.6f}]")
-        else:
-            print(f"Unreliability(t={time:g}) = {analyzer.unreliability(time):.6f}")
-    if args.mttf:
-        print(f"Mean time to failure = {analyzer.mean_time_to_failure():.6f}")
-    if args.unavailability:
-        print(f"Steady-state unavailability = {analyzer.unavailability():.6f}")
+    study = Study(tree, _analysis_options(args))
+    query = _build_query(args, bounds=args.bounds or study.is_nondeterministic)
+    # Record per-measure failures so e.g. an unsupported MTTF still lets the
+    # unreliability values the user also asked for reach the output.
+    result = study.evaluate(query, on_error="record")
+    failed = [measure for measure in result.measures if not measure.ok]
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"Fault tree : {tree.summary()}")
+        print(f"Community  : {study.community.summary()}")
+        print(f"Aggregation: {study.statistics.summary()}")
+        for measure in result.measures:
+            for line in _format_measure_lines(measure):
+                print(line)
+    if failed:
+        print(f"error: {failed[0].error}", file=sys.stderr)
+        return 2
     return 0
+
+
+def _expand_batch_sources(patterns: Iterable[str]) -> Tuple[List[str], List[str]]:
+    """Expand shell-style globs; keep plain paths as-is; dedupe.
+
+    Returns ``(paths, unmatched)`` where ``unmatched`` lists glob patterns
+    that matched no file — silently dropping those would let a typo shrink
+    the corpus without any signal.
+    """
+    paths: List[str] = []
+    unmatched: List[str] = []
+    for pattern in patterns:
+        if glob.has_magic(pattern):
+            matches = sorted(glob.glob(pattern, recursive=True))
+            if not matches:
+                unmatched.append(pattern)
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    return list(dict.fromkeys(paths)), unmatched
+
+
+def command_batch(args: argparse.Namespace) -> int:
+    paths, unmatched = _expand_batch_sources(args.trees)
+    if unmatched:
+        for pattern in unmatched:
+            print(f"error: pattern matched no files: {pattern}", file=sys.stderr)
+        return 2
+    if not paths:
+        print("error: no input files matched", file=sys.stderr)
+        return 2
+    # Bounds are the batch default measure: they are exact for deterministic
+    # trees and still well-defined when a corpus member turns out to be
+    # non-deterministic, so one query fits the whole corpus.
+    query = _build_query(args, bounds=True)
+    batch = BatchStudy(paths, query, _analysis_options(args))
+    result = batch.run(processes=args.processes)
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        name_width = max(len(row.name) for row in result.rows)
+        for row in result.rows:
+            if not row.ok:
+                print(f"{row.name:<{name_width}}  FAILED: {row.error}")
+                continue
+            assert row.result is not None
+            states = row.result.model.states
+            values = "  ".join(
+                line
+                for measure in row.result.measures
+                for line in _format_measure_lines(measure)
+            )
+            print(f"{row.name:<{name_width}}  {states:>5} states  {values}  [{row.wall_seconds:.3f}s]")
+        print(result.summary())
+    measure_failures = sum(
+        1
+        for row in result.rows
+        if row.ok
+        for measure in row.result.measures
+        if not measure.ok
+    )
+    if measure_failures:
+        print(
+            f"error: {measure_failures} measure(s) could not be evaluated "
+            "(see per-tree rows)",
+            file=sys.stderr,
+        )
+    return 0 if result.num_failed == 0 and measure_failures == 0 else 1
 
 
 def command_baseline(args: argparse.Namespace) -> int:
@@ -101,18 +231,18 @@ def command_modules(args: argparse.Namespace) -> int:
 
 def command_community(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
-    analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
-    for member in analyzer.community.members:
+    study = Study(tree, _analysis_options(args))
+    for member in study.community.members:
         print(f"  [{member.kind:<20}] {member.model.summary()}")
-    print(analyzer.community.summary())
+    print(study.community.summary())
     return 0
 
 
 def command_dot(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
     if args.final_model:
-        analyzer = CompositionalAnalyzer(tree, _analysis_options(args))
-        output = analyzer.final_ioimc.to_dot()
+        study = Study(tree, _analysis_options(args))
+        output = study.final_ioimc.to_dot()
     else:
         output = to_dot(tree)
     if args.output:
@@ -157,23 +287,65 @@ def build_parser() -> argparse.ArgumentParser:
             "(compose-then-reduce baseline)",
         )
 
-    analyze = subparsers.add_parser("analyze", help="compute unreliability / MTTF / unavailability")
-    _add_tree_argument(analyze)
-    analyze.add_argument(
-        "--time",
-        type=float,
-        nargs="+",
-        default=[1.0],
-        help="mission time(s) at which to evaluate the unreliability (default: 1.0)",
+    def add_measures(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--time",
+            type=float,
+            nargs="+",
+            default=[1.0],
+            help="mission time(s) at which to evaluate the unreliability (default: 1.0); "
+            "all times share one vectorised transient sweep",
+        )
+        sub.add_argument(
+            "--mttf", action="store_true", help="also report the mean time to failure"
+        )
+        sub.add_argument(
+            "--unavailability",
+            action="store_true",
+            help="also report the steady-state unavailability (repairable trees)",
+        )
+        sub.add_argument(
+            "--tolerance",
+            type=float,
+            default=1e-12,
+            help="truncation tolerance of the uniformisation series (default: 1e-12)",
+        )
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the structured result as JSON instead of text",
+        )
+
+    analyze = subparsers.add_parser(
+        "analyze", help="compute unreliability / bounds / MTTF / unavailability"
     )
-    analyze.add_argument("--mttf", action="store_true", help="also report the mean time to failure")
+    _add_tree_argument(analyze)
+    add_measures(analyze)
     analyze.add_argument(
-        "--unavailability",
+        "--bounds",
         action="store_true",
-        help="also report the steady-state unavailability (repairable trees)",
+        help="report (min, max) unreliability bounds even for deterministic trees",
     )
     add_common(analyze)
     analyze.set_defaults(handler=command_analyze)
+
+    batch = subparsers.add_parser(
+        "batch", help="analyse a corpus of .dft files (globs allowed)"
+    )
+    batch.add_argument(
+        "trees",
+        nargs="+",
+        help="paths or glob patterns of Galileo .dft files",
+    )
+    add_measures(batch)
+    batch.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="number of worker processes (default: 1, serial)",
+    )
+    add_common(batch)
+    batch.set_defaults(handler=command_batch)
 
     baseline = subparsers.add_parser("baseline", help="run the DIFTree-style modular baseline")
     _add_tree_argument(baseline)

@@ -4,7 +4,11 @@
 * :mod:`repro.core.conversion` — DFT to I/O-IMC community (signal wiring,
   activation contexts, auxiliaries),
 * :mod:`repro.core.aggregation` — the compositional aggregation engine,
-* :mod:`repro.core.analysis` — unreliability / unavailability / MTTF,
+* :mod:`repro.core.measures` — declarative measure specs and queries,
+* :mod:`repro.core.study` — the query engine (:class:`Study`, :func:`evaluate`,
+  :class:`BatchStudy`) with vectorised multi-time evaluation,
+* :mod:`repro.core.results` — structured, JSON-serialisable results,
+* :mod:`repro.core.analysis` — the legacy one-call-per-measure facade,
 * :mod:`repro.core.nondeterminism` — detection of inherent non-determinism.
 """
 
@@ -31,12 +35,31 @@ from .conversion import (
     DftToIoimcConverter,
     convert,
 )
+from .measures import (
+    MTTF,
+    Measure,
+    Query,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+)
 from .nondeterminism import NondeterminismReport, detect_nondeterminism
 from .planning import AggregationPlan, PlanNode, SharedActionIndex, build_plan
+from .results import (
+    BatchResult,
+    BatchRow,
+    MeasureResult,
+    ModelInfo,
+    StudyResult,
+)
+from .study import BatchStudy, Study, StudyOptions, evaluate
 
 __all__ = [
     "AggregationPlan",
     "AnalysisOptions",
+    "BatchResult",
+    "BatchRow",
+    "BatchStudy",
     "Community",
     "CommunityMember",
     "CompositionStatistics",
@@ -46,13 +69,25 @@ __all__ = [
     "CompositionalAnalyzer",
     "ConversionOptions",
     "DftToIoimcConverter",
+    "MTTF",
+    "Measure",
+    "MeasureResult",
+    "ModelInfo",
     "NondeterminismReport",
     "PlanNode",
+    "Query",
     "SharedActionIndex",
+    "Study",
+    "StudyOptions",
+    "StudyResult",
+    "Unavailability",
+    "Unreliability",
+    "UnreliabilityBounds",
     "build_plan",
     "compositional_aggregate",
     "convert",
     "detect_nondeterminism",
+    "evaluate",
     "mean_time_to_failure",
     "signals",
     "unavailability",

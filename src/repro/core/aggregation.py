@@ -66,6 +66,17 @@ class CompositionStep:
     reduced_states: int
     reduced_transitions: int
 
+    def to_dict(self) -> dict:
+        return {
+            "left": self.left,
+            "right": self.right,
+            "product_states": self.product_states,
+            "product_transitions": self.product_transitions,
+            "hidden_actions": list(self.hidden_actions),
+            "reduced_states": self.reduced_states,
+            "reduced_transitions": self.reduced_transitions,
+        }
+
 
 @dataclass
 class CompositionStatistics:
@@ -96,6 +107,20 @@ class CompositionStatistics:
         return max(
             (step.reduced_transitions for step in self.steps), default=self.final_transitions
         )
+
+    def to_dict(self, include_steps: bool = True) -> dict:
+        payload = {
+            "num_steps": len(self.steps),
+            "peak_product_states": self.peak_product_states,
+            "peak_product_transitions": self.peak_product_transitions,
+            "peak_reduced_states": self.peak_reduced_states,
+            "peak_reduced_transitions": self.peak_reduced_transitions,
+            "final_states": self.final_states,
+            "final_transitions": self.final_transitions,
+        }
+        if include_steps:
+            payload["steps"] = [step.to_dict() for step in self.steps]
+        return payload
 
     def summary(self) -> str:
         return (

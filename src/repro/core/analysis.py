@@ -1,121 +1,86 @@
-"""Top-level DFT analysis API (Step 6 of the paper's algorithm).
+"""Legacy single-measure analysis facade (Step 6 of the paper's algorithm).
 
-:class:`CompositionalAnalyzer` drives the complete pipeline
+.. note::
+   This module is the **legacy** surface kept for backwards compatibility.
+   New code should use the declarative query engine instead::
 
-    DFT  ->  I/O-IMC community  ->  compositional aggregation  ->  CTMC/CTMDP
-         ->  unreliability / unavailability / MTTF
+       from repro import MTTF, Query, Study, Unreliability, evaluate
 
-and caches the intermediate artefacts so that several measures can be computed
-from one aggregation run.  Thin convenience functions (:func:`unreliability`,
-:func:`unavailability`, :func:`mean_time_to_failure`) cover the common cases.
+       result = evaluate(tree, Unreliability([0.5, 1.0]) + MTTF())
+
+   See :mod:`repro.core.measures`, :mod:`repro.core.results` and
+   :mod:`repro.core.study`.
+
+:class:`CompositionalAnalyzer` is a thin wrapper over
+:class:`~repro.core.study.Study`: the pipeline (conversion, aggregation,
+Markov model extraction) lives in the engine and is shared; only the
+one-number-per-call measure methods live here.  ``AnalysisOptions`` is an
+alias of :class:`~repro.core.study.StudyOptions`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
+from ..ctmc import CTMC, CTMDP
 from ..dft.tree import DynamicFaultTree
-from ..errors import AnalysisError, NondeterminismError
+from ..errors import AnalysisError
 from ..ioimc.model import IOIMC
-from ..ioimc.reduction import AggregationOptions
 from . import signals
-from .aggregation import (
-    CompositionStatistics,
-    CompositionalAggregationOptions,
-    CompositionalAggregator,
-)
-from .conversion import Community, ConversionOptions, DftToIoimcConverter
+from .aggregation import CompositionStatistics
+from .conversion import Community
+from .study import Study, StudyOptions
 
-
-@dataclass
-class AnalysisOptions:
-    """Options of the full compositional analysis pipeline."""
-
-    conversion: ConversionOptions = field(default_factory=ConversionOptions)
-    aggregation: AggregationOptions = field(default_factory=AggregationOptions)
-    ordering: str = "linked"
-    #: Fuse maximal progress into composition (see the aggregation engine).
-    fuse: bool = True
-
-    def composition_options(self) -> CompositionalAggregationOptions:
-        return CompositionalAggregationOptions(
-            ordering=self.ordering,
-            aggregation=self.aggregation,
-            fuse=self.fuse,
-        )
-
-
-@dataclass
-class AnalysisResult:
-    """A single numeric result together with provenance information."""
-
-    value: float
-    measure: str
-    time: Optional[float]
-    statistics: CompositionStatistics
-
-    def __float__(self) -> float:
-        return self.value
+#: Legacy alias — the engine's options object under its historical name.
+AnalysisOptions = StudyOptions
 
 
 class CompositionalAnalyzer:
-    """Analyses a DFT with the compositional I/O-IMC pipeline."""
+    """Analyses a DFT with the compositional I/O-IMC pipeline (legacy facade)."""
 
-    def __init__(self, tree: DynamicFaultTree, options: Optional[AnalysisOptions] = None):
-        self.tree = tree
-        self.options = options or AnalysisOptions()
-        self._community: Optional[Community] = None
-        self._final: Optional[IOIMC] = None
-        self._statistics: Optional[CompositionStatistics] = None
-        self._markov: Optional[Union[CTMC, CTMDP]] = None
+    def __init__(self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None):
+        self._study = Study(tree, options)
+
+    @property
+    def tree(self) -> DynamicFaultTree:
+        return self._study.tree
+
+    @property
+    def options(self) -> StudyOptions:
+        return self._study.options
+
+    @property
+    def study(self) -> Study:
+        """The underlying query engine (shares all cached artefacts)."""
+        return self._study
 
     # ------------------------------------------------------------- pipeline
     @property
     def community(self) -> Community:
         """The I/O-IMC community of the fault tree (cached)."""
-        if self._community is None:
-            converter = DftToIoimcConverter(self.tree, self.options.conversion)
-            self._community = converter.convert()
-        return self._community
+        return self._study.community
 
     @property
     def final_ioimc(self) -> IOIMC:
         """The single aggregated I/O-IMC of the whole system (cached)."""
-        if self._final is None:
-            aggregator = CompositionalAggregator(
-                self.community.models(),
-                self.options.composition_options(),
-                community=self.community,
-            )
-            self._final, self._statistics = aggregator.run()
-        return self._final
+        return self._study.final_ioimc
 
     @property
     def statistics(self) -> CompositionStatistics:
         """Composition statistics (peak intermediate sizes, per-step records)."""
-        self.final_ioimc
-        assert self._statistics is not None
-        return self._statistics
+        return self._study.statistics
 
     @property
     def markov_model(self) -> Union[CTMC, CTMDP]:
         """The final CTMC, or CTMDP if non-determinism remains (cached)."""
-        if self._markov is None:
-            final = self.final_ioimc
-            try:
-                self._markov = ctmc_from_ioimc(final)
-            except NondeterminismError:
-                self._markov = ctmdp_from_ioimc(final)
-        return self._markov
+        return self._study.markov_model
 
     @property
     def is_nondeterministic(self) -> bool:
         """True iff the aggregated model is a CTMDP rather than a CTMC."""
-        return isinstance(self.markov_model, CTMDP)
+        return self._study.is_nondeterministic
 
     # ------------------------------------------------------------- measures
     def unreliability(self, time: float) -> float:
@@ -130,7 +95,9 @@ class CompositionalAnalyzer:
                 "the model is non-deterministic (CTMDP); use unreliability_bounds() "
                 "to obtain the interval of possible values"
             )
-        return model.probability_of_label(signals.FAILED_LABEL, time)
+        return model.probability_of_label(
+            signals.FAILED_LABEL, time, tolerance=self.options.tolerance
+        )
 
     def unreliability_bounds(self, time: float) -> Tuple[float, float]:
         """(min, max) probability of system failure by ``time``.
@@ -139,19 +106,24 @@ class CompositionalAnalyzer:
         """
         model = self.markov_model
         if isinstance(model, CTMC):
-            value = model.probability_of_label(signals.FAILED_LABEL, time)
+            value = model.probability_of_label(
+                signals.FAILED_LABEL, time, tolerance=self.options.tolerance
+            )
             return value, value
-        return model.reachability_bounds(signals.FAILED_LABEL, time)
+        return model.reachability_bounds(
+            signals.FAILED_LABEL, time, tolerance=self.options.tolerance
+        )
 
     def unreliability_curve(self, times: Sequence[float]) -> np.ndarray:
-        """Unreliability at each of the given mission times."""
+        """Unreliability at each of the given mission times (one shared sweep)."""
         model = self.markov_model
         if isinstance(model, CTMDP):
             raise AnalysisError(
-                "the model is non-deterministic (CTMDP); evaluate bounds per time point"
+                "the model is non-deterministic (CTMDP); use UnreliabilityBounds "
+                "or reachability_bounds_curve for the envelope"
             )
-        return np.array(
-            [model.probability_of_label(signals.FAILED_LABEL, float(t)) for t in times]
+        return model.probability_of_label_curve(
+            signals.FAILED_LABEL, times, tolerance=self.options.tolerance
         )
 
     def unavailability(self, time: Optional[float] = None) -> float:
@@ -164,7 +136,9 @@ class CompositionalAnalyzer:
         if isinstance(model, CTMDP):
             raise AnalysisError("unavailability of non-deterministic models is not supported")
         if time is not None:
-            return model.probability_of_label(signals.FAILED_LABEL, time)
+            return model.probability_of_label(
+                signals.FAILED_LABEL, time, tolerance=self.options.tolerance
+            )
         return model.steady_state_probability_of_label(signals.FAILED_LABEL)
 
     def mean_time_to_failure(self) -> float:
@@ -199,14 +173,14 @@ class CompositionalAnalyzer:
 # ---------------------------------------------------------------------------
 
 def unreliability(
-    tree: DynamicFaultTree, time: float, options: Optional[AnalysisOptions] = None
+    tree: DynamicFaultTree, time: float, options: Optional[StudyOptions] = None
 ) -> float:
     """Unreliability of ``tree`` at mission ``time`` via the compositional pipeline."""
     return CompositionalAnalyzer(tree, options).unreliability(time)
 
 
 def unreliability_bounds(
-    tree: DynamicFaultTree, time: float, options: Optional[AnalysisOptions] = None
+    tree: DynamicFaultTree, time: float, options: Optional[StudyOptions] = None
 ) -> Tuple[float, float]:
     """Unreliability bounds (identical for deterministic models)."""
     return CompositionalAnalyzer(tree, options).unreliability_bounds(time)
@@ -215,14 +189,14 @@ def unreliability_bounds(
 def unavailability(
     tree: DynamicFaultTree,
     time: Optional[float] = None,
-    options: Optional[AnalysisOptions] = None,
+    options: Optional[StudyOptions] = None,
 ) -> float:
     """(Steady-state) unavailability of a repairable fault tree."""
     return CompositionalAnalyzer(tree, options).unavailability(time)
 
 
 def mean_time_to_failure(
-    tree: DynamicFaultTree, options: Optional[AnalysisOptions] = None
+    tree: DynamicFaultTree, options: Optional[StudyOptions] = None
 ) -> float:
     """Mean time to failure of ``tree``."""
     return CompositionalAnalyzer(tree, options).mean_time_to_failure()

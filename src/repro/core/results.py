@@ -1,0 +1,232 @@
+"""Structured, JSON-serialisable analysis results.
+
+The engine returns typed result objects instead of bare floats so callers (and
+the CLI's ``--json`` mode) get values, bounds and provenance in one place:
+
+* :class:`MeasureResult` — the evaluated values of one measure spec,
+* :class:`ModelInfo` — the shape of the final aggregated model,
+* :class:`StudyResult` — everything computed for one tree by one query,
+* :class:`BatchRow` / :class:`BatchResult` — the corpus runner's output.
+
+``to_dict`` produces plain JSON-safe structures; ``StudyResult.to_json`` is
+what ``repro analyze --json`` prints (schema tag ``repro.study/1``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import AnalysisError
+from .aggregation import CompositionStatistics
+
+STUDY_SCHEMA = "repro.study/1"
+BATCH_SCHEMA = "repro.batch/1"
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """The evaluated value(s) of one measure.
+
+    Timed measures carry parallel ``times``/``values`` tuples (and, for bound
+    measures, ``lower``/``upper`` envelopes); time-less measures (MTTF,
+    steady-state unavailability) carry a single entry in ``values``.
+    """
+
+    kind: str
+    times: Optional[Tuple[float, ...]] = None
+    values: Optional[Tuple[float, ...]] = None
+    lower: Optional[Tuple[float, ...]] = None
+    upper: Optional[Tuple[float, ...]] = None
+    steady_state: Optional[bool] = None
+    #: Set instead of values when the engine ran with ``on_error="record"``
+    #: and this measure could not be evaluated (the others still were).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def value(self) -> float:
+        """The single scalar value (errors if the measure is a curve)."""
+        if self.error is not None:
+            raise AnalysisError(f"measure {self.kind!r} failed: {self.error}")
+        if self.values is None or len(self.values) != 1:
+            raise AnalysisError(
+                f"measure {self.kind!r} holds {0 if self.values is None else len(self.values)} "
+                "values; use .values / .lower / .upper for curves"
+            )
+        return self.values[0]
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        """The single (lower, upper) pair (errors if the measure is a curve)."""
+        if self.error is not None:
+            raise AnalysisError(f"measure {self.kind!r} failed: {self.error}")
+        if self.lower is None or self.upper is None or len(self.lower) != 1:
+            raise AnalysisError(f"measure {self.kind!r} does not hold a single bound pair")
+        return self.lower[0], self.upper[0]
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind}
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.steady_state is not None:
+            payload["steady_state"] = self.steady_state
+        if self.times is not None:
+            payload["times"] = list(self.times)
+        if self.values is not None:
+            payload["values"] = list(self.values)
+        if self.lower is not None:
+            payload["lower"] = list(self.lower)
+        if self.upper is not None:
+            payload["upper"] = list(self.upper)
+        return payload
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Shape of the final aggregated model a study evaluated its measures on."""
+
+    kind: str  # "ctmc" or "ctmdp"
+    states: int
+    nondeterministic: bool
+    final_ioimc_states: int
+    final_ioimc_transitions: int
+    community_size: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "states": self.states,
+            "nondeterministic": self.nondeterministic,
+            "final_ioimc_states": self.final_ioimc_states,
+            "final_ioimc_transitions": self.final_ioimc_transitions,
+            "community_size": self.community_size,
+        }
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything one :class:`~repro.core.study.Study` computed for one query."""
+
+    tree_name: str
+    tree_summary: str
+    measures: Tuple[MeasureResult, ...]
+    model: ModelInfo
+    statistics: CompositionStatistics
+    options: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[MeasureResult]:
+        return iter(self.measures)
+
+    def __getitem__(self, kind: str) -> MeasureResult:
+        """The first measure result of the given kind."""
+        for measure in self.measures:
+            if measure.kind == kind:
+                return measure
+        raise KeyError(kind)
+
+    def __contains__(self, kind: str) -> bool:
+        return any(measure.kind == kind for measure in self.measures)
+
+    def to_dict(self, include_steps: bool = True) -> Dict[str, object]:
+        return {
+            "schema": STUDY_SCHEMA,
+            "tree": {"name": self.tree_name, "summary": self.tree_summary},
+            "options": dict(self.options),
+            "model": self.model.to_dict(),
+            "measures": [measure.to_dict() for measure in self.measures],
+            "statistics": self.statistics.to_dict(include_steps=include_steps),
+            "timings": dict(self.timings),
+        }
+
+    def to_json(self, indent: Optional[int] = 2, include_steps: bool = True) -> str:
+        return json.dumps(self.to_dict(include_steps=include_steps), indent=indent)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """One tree's outcome inside a batch run (a result or an error)."""
+
+    name: str
+    source: Optional[str]
+    result: Optional[StudyResult]
+    error: Optional[str]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "source": self.source,
+            "ok": self.ok,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.result is not None:
+            payload["result"] = self.result.to_dict(include_steps=False)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-tree rows plus aggregate timing of one corpus run."""
+
+    rows: Tuple[BatchRow, ...]
+    wall_seconds: float
+    processes: int
+
+    def __iter__(self) -> Iterator[BatchRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for row in self.rows if row.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.rows) - self.num_ok
+
+    @property
+    def tree_seconds(self) -> float:
+        """Summed per-tree wall time (exceeds ``wall_seconds`` when parallel)."""
+        return sum(row.wall_seconds for row in self.rows)
+
+    def summary(self) -> str:
+        mean = self.tree_seconds / len(self.rows) if self.rows else 0.0
+        return (
+            f"{len(self.rows)} trees analysed ({self.num_failed} failed) in "
+            f"{self.wall_seconds:.3f}s wall ({self.tree_seconds:.3f}s tree time, "
+            f"{mean:.3f}s/tree, {self.processes} process"
+            f"{'es' if self.processes != 1 else ''})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": BATCH_SCHEMA,
+            "rows": [row.to_dict() for row in self.rows],
+            "aggregate": {
+                "trees": len(self.rows),
+                "failed": self.num_failed,
+                "wall_seconds": self.wall_seconds,
+                "tree_seconds": self.tree_seconds,
+                "mean_tree_seconds": (
+                    self.tree_seconds / len(self.rows) if self.rows else 0.0
+                ),
+                "processes": self.processes,
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

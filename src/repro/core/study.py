@@ -1,0 +1,452 @@
+"""The query engine: plan and evaluate measure queries on fault trees.
+
+A :class:`Study` owns the pipeline for one tree —
+
+    DFT  ->  I/O-IMC community  ->  compositional aggregation  ->  CTMC/CTMDP
+
+— caches every intermediate artefact, and evaluates a declarative
+:class:`~repro.core.measures.Query` against the final Markov model.  The
+engine plans shared work across the query's measures:
+
+* one conversion and one aggregation per tree, whatever the query asks for;
+* one **vectorised uniformisation sweep** over the union of all requested
+  mission times (the matvec series ``pi(0) * P^k`` is shared, only the
+  per-time Poisson weights differ — see
+  :func:`repro.ctmc.transient.transient_distributions`);
+* for non-deterministic models, one backward value-iteration sweep per bound
+  direction over all bound times, with a shared Poisson term cache.
+
+:class:`BatchStudy` lifts the engine over a corpus of trees (Galileo files or
+in-memory trees) with optional process-parallelism; the CLI's ``batch``
+subcommand is a thin shell around it.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
+from ..dft import galileo
+from ..dft.tree import DynamicFaultTree
+from ..errors import AnalysisError, NondeterminismError, ReproError
+from ..ioimc.model import IOIMC
+from ..ioimc.reduction import AggregationOptions
+from . import signals
+from .aggregation import (
+    CompositionStatistics,
+    CompositionalAggregationOptions,
+    CompositionalAggregator,
+)
+from .conversion import Community, ConversionOptions, DftToIoimcConverter
+from .measures import (
+    MTTF,
+    Measure,
+    Query,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+)
+from .results import (
+    BatchResult,
+    BatchRow,
+    MeasureResult,
+    ModelInfo,
+    StudyResult,
+)
+
+QueryLike = Union[Query, Measure, Sequence[Measure]]
+
+
+@dataclass
+class StudyOptions:
+    """Options of the full compositional analysis pipeline."""
+
+    conversion: ConversionOptions = field(default_factory=ConversionOptions)
+    aggregation: AggregationOptions = field(default_factory=AggregationOptions)
+    ordering: str = "linked"
+    #: Fuse maximal progress into composition (see the aggregation engine).
+    fuse: bool = True
+    #: Truncation tolerance of the uniformisation series.
+    tolerance: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tolerance < 1.0:
+            raise AnalysisError(
+                f"the truncation tolerance must be in (0, 1), got {self.tolerance}"
+            )
+
+    def composition_options(self) -> CompositionalAggregationOptions:
+        return CompositionalAggregationOptions(
+            ordering=self.ordering,
+            aggregation=self.aggregation,
+            fuse=self.fuse,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ordering": self.ordering,
+            "aggregation": self.aggregation.method,
+            "fuse": self.fuse,
+            "tolerance": self.tolerance,
+        }
+
+
+def _as_query(query: QueryLike) -> Query:
+    return query if isinstance(query, Query) else Query(query)
+
+
+class Study:
+    """Plans and runs the compositional pipeline for one fault tree."""
+
+    def __init__(self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None):
+        self.tree = tree
+        self.options = options or StudyOptions()
+        self._community: Optional[Community] = None
+        self._final: Optional[IOIMC] = None
+        self._statistics: Optional[CompositionStatistics] = None
+        self._markov: Optional[Union[CTMC, CTMDP]] = None
+        self._timings: Dict[str, float] = {}
+
+    # ------------------------------------------------------------- pipeline
+    @property
+    def community(self) -> Community:
+        """The I/O-IMC community of the fault tree (cached)."""
+        if self._community is None:
+            start = _time.perf_counter()
+            converter = DftToIoimcConverter(self.tree, self.options.conversion)
+            self._community = converter.convert()
+            self._timings["conversion"] = _time.perf_counter() - start
+        return self._community
+
+    @property
+    def final_ioimc(self) -> IOIMC:
+        """The single aggregated I/O-IMC of the whole system (cached)."""
+        if self._final is None:
+            community = self.community
+            start = _time.perf_counter()
+            aggregator = CompositionalAggregator(
+                community.models(),
+                self.options.composition_options(),
+                community=community,
+            )
+            self._final, self._statistics = aggregator.run()
+            self._timings["aggregation"] = _time.perf_counter() - start
+        return self._final
+
+    @property
+    def statistics(self) -> CompositionStatistics:
+        """Composition statistics (peak intermediate sizes, per-step records)."""
+        self.final_ioimc
+        assert self._statistics is not None
+        return self._statistics
+
+    @property
+    def markov_model(self) -> Union[CTMC, CTMDP]:
+        """The final CTMC, or CTMDP if non-determinism remains (cached)."""
+        if self._markov is None:
+            final = self.final_ioimc
+            start = _time.perf_counter()
+            try:
+                self._markov = ctmc_from_ioimc(final)
+            except NondeterminismError:
+                self._markov = ctmdp_from_ioimc(final)
+            self._timings["markov"] = _time.perf_counter() - start
+        return self._markov
+
+    @property
+    def is_nondeterministic(self) -> bool:
+        """True iff the aggregated model is a CTMDP rather than a CTMC."""
+        return isinstance(self.markov_model, CTMDP)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Wall-clock seconds of every pipeline stage run so far."""
+        return dict(self._timings)
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, query: QueryLike, on_error: str = "raise") -> StudyResult:
+        """Evaluate all of ``query``'s measures with shared planned work.
+
+        ``on_error="raise"`` (default) propagates the first measure that
+        cannot be evaluated (e.g. MTTF of a non-deterministic model);
+        ``on_error="record"`` evaluates every measure independently and
+        stores per-measure failures in :attr:`MeasureResult.error`, so one
+        unsupported measure does not discard the others' values (the CLI and
+        the batch runner use this mode).
+        """
+        if on_error not in ("raise", "record"):
+            raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+        query = _as_query(query)
+        model = self.markov_model
+        start = _time.perf_counter()
+        tolerance = self.options.tolerance
+
+        if isinstance(model, CTMC):
+            point_values = self._ctmc_point_values(model, query, tolerance)
+            bound_curves: Dict[float, Tuple[float, float]] = {
+                time: (value, value) for time, value in point_values.items()
+            }
+        else:
+            point_values = {}
+            bound_curves = self._ctmdp_bound_values(model, query, tolerance)
+
+        evaluated = []
+        for measure in query:
+            try:
+                evaluated.append(
+                    self._evaluate_measure(model, measure, point_values, bound_curves)
+                )
+            except AnalysisError as error:
+                if on_error == "raise":
+                    raise
+                evaluated.append(MeasureResult(kind=measure.kind, error=str(error)))
+        measures = tuple(evaluated)
+        self._timings["evaluation"] = _time.perf_counter() - start
+        self._timings["total"] = sum(
+            self._timings.get(key, 0.0)
+            for key in ("conversion", "aggregation", "markov", "evaluation")
+        )
+        return StudyResult(
+            tree_name=self.tree.name,
+            tree_summary=self.tree.summary(),
+            measures=measures,
+            model=self._model_info(model),
+            statistics=self.statistics,
+            options=self.options.to_dict(),
+            timings=self.timings,
+        )
+
+    # ------------------------------------------------------- shared planning
+    def _ctmc_point_values(
+        self, model: CTMC, query: Query, tolerance: float
+    ) -> Dict[float, float]:
+        """Failed-state occupancy at the union of all requested times (one sweep)."""
+        times = query.transient_times()
+        if not times:
+            return {}
+        curve = model.probability_of_label_curve(
+            signals.FAILED_LABEL, times, tolerance=tolerance
+        )
+        return dict(zip(times, (float(value) for value in curve)))
+
+    def _ctmdp_bound_values(
+        self, model: CTMDP, query: Query, tolerance: float
+    ) -> Dict[float, Tuple[float, float]]:
+        """Reachability bounds at the union of all bound times (one sweep pair)."""
+        times = tuple(
+            sorted(
+                {
+                    time
+                    for measure in query
+                    if isinstance(measure, UnreliabilityBounds)
+                    for time in measure.times  # type: ignore[union-attr]
+                }
+            )
+        )
+        if not times:
+            return {}
+        lower, upper = model.reachability_bounds_curve(
+            signals.FAILED_LABEL, times, tolerance=tolerance
+        )
+        return {
+            time: (float(low), float(high))
+            for time, low, high in zip(times, lower, upper)
+        }
+
+    # ------------------------------------------------------------- measures
+    def _evaluate_measure(
+        self,
+        model: Union[CTMC, CTMDP],
+        measure: Measure,
+        point_values: Dict[float, float],
+        bound_curves: Dict[float, Tuple[float, float]],
+    ) -> MeasureResult:
+        if isinstance(measure, Unreliability):
+            if isinstance(model, CTMDP):
+                raise AnalysisError(
+                    "the model is non-deterministic (CTMDP); use UnreliabilityBounds "
+                    "to obtain the interval of possible values"
+                )
+            times: Tuple[float, ...] = measure.times  # type: ignore[assignment]
+            return MeasureResult(
+                kind=measure.kind,
+                times=times,
+                values=tuple(point_values[time] for time in times),
+            )
+        if isinstance(measure, UnreliabilityBounds):
+            times = measure.times  # type: ignore[assignment]
+            lower = tuple(bound_curves[time][0] for time in times)
+            upper = tuple(bound_curves[time][1] for time in times)
+            return MeasureResult(kind=measure.kind, times=times, lower=lower, upper=upper)
+        if isinstance(measure, Unavailability):
+            if isinstance(model, CTMDP):
+                raise AnalysisError(
+                    "unavailability of non-deterministic models is not supported"
+                )
+            if measure.steady_state:
+                value = model.steady_state_probability_of_label(signals.FAILED_LABEL)
+                return MeasureResult(
+                    kind=measure.kind, values=(float(value),), steady_state=True
+                )
+            assert measure.time is not None
+            return MeasureResult(
+                kind=measure.kind,
+                times=(measure.time,),
+                values=(point_values[measure.time],),
+                steady_state=False,
+            )
+        if isinstance(measure, MTTF):
+            if isinstance(model, CTMDP):
+                raise AnalysisError("MTTF of non-deterministic models is not supported")
+            value = model.mean_time_to_label(signals.FAILED_LABEL)
+            return MeasureResult(kind=measure.kind, values=(float(value),))
+        raise AnalysisError(f"unsupported measure: {measure!r}")
+
+    def _model_info(self, model: Union[CTMC, CTMDP]) -> ModelInfo:
+        final = self.final_ioimc
+        return ModelInfo(
+            kind="ctmdp" if isinstance(model, CTMDP) else "ctmc",
+            states=model.num_states,
+            nondeterministic=isinstance(model, CTMDP),
+            final_ioimc_states=final.num_states,
+            final_ioimc_transitions=final.num_transitions,
+            community_size=len(self.community.members),
+        )
+
+
+def evaluate(
+    tree: DynamicFaultTree,
+    query: QueryLike,
+    options: Optional[StudyOptions] = None,
+) -> StudyResult:
+    """Evaluate ``query`` on ``tree`` with a fresh :class:`Study`."""
+    return Study(tree, options).evaluate(query)
+
+
+# ---------------------------------------------------------------------------
+# corpus runner
+# ---------------------------------------------------------------------------
+
+Source = Union[str, Path, DynamicFaultTree]
+
+
+@dataclass(frozen=True)
+class _BatchItem:
+    """One batch work unit: a Galileo file path or an in-memory tree.
+
+    Files are parsed inside the worker (so a corrupt file becomes that row's
+    error, not the pool's); in-memory trees travel by pickle, which preserves
+    failure rates exactly where a Galileo round-trip would quantise them.
+    """
+
+    name: str
+    path: Optional[str]
+    tree: Optional[DynamicFaultTree]
+
+
+def _evaluate_batch_item(
+    job: Tuple[_BatchItem, Query, Optional[StudyOptions]]
+) -> BatchRow:
+    item, query, options = job
+    start = _time.perf_counter()
+    try:
+        if item.path is not None:
+            tree = galileo.parse_file(item.path)
+        else:
+            assert item.tree is not None
+            tree = item.tree
+        # Record per-measure failures (an unsupported MTTF must not discard
+        # the bounds computed for the same tree); tree-level errors below
+        # still fail the whole row.
+        result = Study(tree, options).evaluate(query, on_error="record")
+        return BatchRow(
+            name=item.name,
+            source=item.path,
+            result=result,
+            error=None,
+            wall_seconds=_time.perf_counter() - start,
+        )
+    except (ReproError, OSError, UnicodeDecodeError) as error:
+        return BatchRow(
+            name=item.name,
+            source=item.path,
+            result=None,
+            error=str(error),
+            wall_seconds=_time.perf_counter() - start,
+        )
+
+
+class BatchStudy:
+    """Evaluates one query over many trees (a corpus), optionally in parallel.
+
+    ``sources`` may mix paths to Galileo ``.dft`` files and in-memory
+    :class:`~repro.dft.tree.DynamicFaultTree` objects; files are parsed in the
+    worker, in-memory trees are pickled to it (rate-exact, no Galileo
+    round-trip).
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[Source],
+        query: QueryLike,
+        options: Optional[StudyOptions] = None,
+    ):
+        self.query = _as_query(query)
+        self.options = options
+        self._items: List[_BatchItem] = []
+        for source in sources:
+            if isinstance(source, DynamicFaultTree):
+                self._items.append(_BatchItem(name=source.name, path=None, tree=source))
+            else:
+                path = str(source)
+                self._items.append(_BatchItem(name=Path(path).stem, path=path, tree=None))
+        if not self._items:
+            raise AnalysisError("a batch study needs at least one tree")
+        # Row names must be unambiguous: where two corpus members share a name
+        # (a/x.dft and b/x.dft, or two in-memory trees named alike), fall back
+        # to the full path; anything still ambiguous (identical paths, equal
+        # tree names) gets an index suffix.
+        name_counts: Dict[str, int] = {}
+        for item in self._items:
+            name_counts[item.name] = name_counts.get(item.name, 0) + 1
+        resolved = [
+            item.path
+            if name_counts[item.name] > 1 and item.path is not None
+            else item.name
+            for item in self._items
+        ]
+        resolved_counts: Dict[str, int] = {}
+        for name in resolved:
+            resolved_counts[name] = resolved_counts.get(name, 0) + 1
+        self._items = [
+            _BatchItem(
+                name=name if resolved_counts[name] == 1 else f"{name}#{index}",
+                path=item.path,
+                tree=item.tree,
+            )
+            for index, (name, item) in enumerate(zip(resolved, self._items))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def run(self, processes: Optional[int] = None) -> BatchResult:
+        """Analyse every tree; ``processes > 1`` fans out over worker processes."""
+        workers = int(processes) if processes else 1
+        jobs = [(item, self.query, self.options) for item in self._items]
+        start = _time.perf_counter()
+        if workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                rows = list(pool.map(_evaluate_batch_item, jobs))
+        else:
+            workers = 1
+            rows = [_evaluate_batch_item(job) for job in jobs]
+        return BatchResult(
+            rows=tuple(rows),
+            wall_seconds=_time.perf_counter() - start,
+            processes=workers,
+        )

@@ -15,24 +15,30 @@ from .steady_state import (
     steady_state_distribution,
 )
 from .transient import (
+    PoissonTermCache,
     poisson_terms,
+    probability_of_label_curve,
     probability_reach_label,
     transient_distribution,
     transient_distribution_expm,
+    transient_distributions,
     unreliability_curve,
 )
 
 __all__ = [
     "CTMC",
     "CTMDP",
+    "PoissonTermCache",
     "bottom_strongly_connected_components",
     "ctmc_from_ioimc",
     "ctmdp_from_ioimc",
     "markov_model_from_ioimc",
     "poisson_terms",
+    "probability_of_label_curve",
     "probability_reach_label",
     "steady_state_distribution",
     "transient_distribution",
     "transient_distribution_expm",
+    "transient_distributions",
     "unreliability_curve",
 ]

@@ -155,10 +155,24 @@ class CTMC:
 
         return transient_distribution(self, time, tolerance=tolerance)
 
+    def transient_distributions(self, times: Sequence[float], tolerance: float = 1e-12) -> np.ndarray:
+        """State distributions at all ``times`` from one uniformisation sweep."""
+        from .transient import transient_distributions
+
+        return transient_distributions(self, times, tolerance=tolerance)
+
     def probability_of_label(self, label: str, time: float, tolerance: float = 1e-12) -> float:
         """Probability of being in a ``label``-state at ``time``."""
         distribution = self.transient_distribution(time, tolerance=tolerance)
         return float(sum(distribution[s] for s in self.states_with_label(label)))
+
+    def probability_of_label_curve(
+        self, label: str, times: Sequence[float], tolerance: float = 1e-12
+    ) -> np.ndarray:
+        """Probability of being in a ``label``-state at each time (one sweep)."""
+        from .transient import probability_of_label_curve
+
+        return probability_of_label_curve(self, label, times, tolerance=tolerance)
 
     def steady_state_distribution(self) -> np.ndarray:
         """Long-run distribution (see :mod:`repro.ctmc.steady_state`)."""

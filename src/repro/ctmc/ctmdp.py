@@ -28,7 +28,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import AnalysisError, ModelError
-from .transient import poisson_terms
+from .transient import PoissonTermCache, SweepWeights, validate_times
 
 
 class CTMDP:
@@ -145,6 +145,80 @@ class CTMDP:
             "instantaneous internal moves"
         )
 
+    def time_bounded_reachability_curve(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+        term_cache: Optional[PoissonTermCache] = None,
+    ) -> np.ndarray:
+        """Optimal reach-``label`` probability at each of ``times``, one sweep.
+
+        The backward value-iteration iterates do not depend on the time point,
+        only the Poisson weights do, so all time points share one sweep up to
+        the deepest truncation (the curve analogue of
+        :func:`repro.ctmc.transient.transient_distributions`).
+        """
+        times_list = validate_times(times)
+        if not times_list:
+            return np.zeros(0)
+        goal = self.states_with_label(label)
+        if not goal:
+            return np.zeros(len(times_list))
+
+        uniformization_rate = max(
+            (self.exit_rate(s) for s in self.states() if s not in goal), default=0.0
+        )
+        values = np.array([1.0 if s in goal else 0.0 for s in self.states()])
+        values = self._resolve_vanishing(values, maximize)
+        if uniformization_rate == 0.0:
+            return np.full(len(times_list), float(values[self._initial]))
+
+        weights = SweepWeights(uniformization_rate, times_list, tolerance, term_cache)
+        depth = weights.depth
+        # Markovian step structure, hoisted out of the sweep: for every
+        # tangible non-goal state its stay-probability and jump distribution
+        # under the uniformised chain.
+        steps: List[Tuple[int, float, Tuple[Tuple[int, float], ...]]] = []
+        for state in self.states():
+            if state in goal or self._choices[state]:
+                continue
+            steps.append(
+                (
+                    state,
+                    1.0 - self.exit_rate(state) / uniformization_rate,
+                    tuple(
+                        (target, rate / uniformization_rate)
+                        for target, rate in self._rates[state].items()
+                    ),
+                )
+            )
+
+        # Backward value iteration: after k steps ``current`` holds the
+        # probability of reaching the goal within k uniformisation steps.
+        results = np.zeros(len(times_list))
+        accumulated = np.zeros(len(times_list))
+        current = values
+        for step in range(depth):
+            rows, column = weights.column(step)
+            results[rows] += column * current[self._initial]
+            accumulated[rows] += column
+            if step + 1 == depth:
+                break
+            nxt = current.copy()
+            for state, stay, jumps in steps:
+                total = stay * current[state]
+                for target, probability in jumps:
+                    total += probability * current[target]
+                nxt[state] = total
+            current = self._resolve_vanishing(nxt, maximize)
+        # Account for the truncated tail pessimistically/optimistically: the
+        # remaining mass contributes at most its weight.
+        if maximize:
+            results = np.minimum(1.0, results + (1.0 - accumulated))
+        return np.clip(results, 0.0, 1.0)
+
     def time_bounded_reachability(
         self,
         label: str,
@@ -158,53 +232,34 @@ class CTMDP:
         probability of having reached the goal by ``time``, matching the
         unreliability semantics of absorbing DFT failure states).
         """
-        if time < 0.0:
-            raise AnalysisError("mission time must be non-negative")
-        goal = self.states_with_label(label)
-        if not goal:
-            return 0.0
-
-        uniformization_rate = max(
-            (self.exit_rate(s) for s in self.states() if s not in goal), default=0.0
+        curve = self.time_bounded_reachability_curve(
+            label, [time], maximize=maximize, tolerance=tolerance
         )
-        values = np.array([1.0 if s in goal else 0.0 for s in self.states()])
-        values = self._resolve_vanishing(values, maximize)
-        if time == 0.0 or uniformization_rate == 0.0:
-            return float(values[self._initial])
+        return float(curve[0])
 
-        weights = poisson_terms(uniformization_rate * time, tolerance)
-        # Backward value iteration: values[k] holds the probability of reaching
-        # the goal within the remaining k uniformisation steps.
-        result = np.zeros(self._num_states)
-        accumulated = 0.0
-        current = values
-        for weight in weights:
-            result += weight * current
-            accumulated += weight
-            nxt = current.copy()
-            for state in self.states():
-                if state in goal or self._choices[state]:
-                    continue
-                exit_rate = self.exit_rate(state)
-                total = (1.0 - exit_rate / uniformization_rate) * current[state]
-                for target, rate in self._rates[state].items():
-                    total += (rate / uniformization_rate) * current[target]
-                nxt[state] = total
-            current = self._resolve_vanishing(nxt, maximize)
-        # Account for the truncated tail pessimistically/optimistically: the
-        # remaining mass contributes at most its weight.
-        value = float(result[self._initial])
-        if maximize:
-            value = min(1.0, value + (1.0 - accumulated))
-        return max(0.0, min(1.0, value))
+    def reachability_bounds_curve(
+        self, label: str, times: Sequence[float], tolerance: float = 1e-10
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(minimum, maximum) reach-``label`` probability curves over ``times``.
+
+        The min and max sweeps share one Poisson term cache (they use the same
+        uniformisation rate, so every weight array is computed once).
+        """
+        cache = PoissonTermCache()
+        lower = self.time_bounded_reachability_curve(
+            label, times, maximize=False, tolerance=tolerance, term_cache=cache
+        )
+        upper = self.time_bounded_reachability_curve(
+            label, times, maximize=True, tolerance=tolerance, term_cache=cache
+        )
+        return lower, upper
 
     def reachability_bounds(
         self, label: str, time: float, tolerance: float = 1e-10
     ) -> Tuple[float, float]:
         """(minimum, maximum) probability of having reached ``label`` by ``time``."""
-        lower = self.time_bounded_reachability(label, time, maximize=False, tolerance=tolerance)
-        upper = self.time_bounded_reachability(label, time, maximize=True, tolerance=tolerance)
-        return lower, upper
+        lower, upper = self.reachability_bounds_curve(label, [time], tolerance=tolerance)
+        return float(lower[0]), float(upper[0])
 
     # ---------------------------------------------------------------- helpers
     def _check(self, state: int) -> None:

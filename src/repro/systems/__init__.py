@@ -16,6 +16,8 @@ from .generators import (
     and_of_or_family,
     cascaded_pand_family,
     fdep_cascade_family,
+    random_corpus,
+    random_dft,
     spare_chain_family,
 )
 from .mutex import inhibition_pair, mutually_exclusive_switch
@@ -46,6 +48,8 @@ __all__ = [
     "mutually_exclusive_switch",
     "nested_spare_system",
     "pand_race_system",
+    "random_corpus",
+    "random_dft",
     "repairable_and_system",
     "repairable_plant",
     "repairable_voting_system",

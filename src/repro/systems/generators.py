@@ -13,10 +13,15 @@ compositional peak state space grows compared to the monolithic chain:
 * :func:`spare_chain_family` — ``k`` subsystems sharing a pool of spares, a
   stress test for the spare-gate semantics and the claim-signal wiring;
 * :func:`fdep_cascade_family` — a chain of functional dependencies, stressing
-  the firing-auxiliary wiring.
+  the firing-auxiliary wiring;
+* :func:`random_dft` / :func:`random_corpus` — reproducible pseudo-random
+  trees for the batch/corpus throughput benchmarks.
 """
 
 from __future__ import annotations
+
+import random
+from typing import List
 
 from ..dft.builder import FaultTreeBuilder
 from ..dft.tree import DynamicFaultTree
@@ -118,3 +123,75 @@ def fdep_cascade_family(
         builder.fdep(f"F{stage}", trigger=trigger, dependents=[component])
     builder.and_gate("system", components)
     return builder.build(top="system")
+
+
+def random_dft(
+    num_basic_events: int = 7,
+    seed: int = 0,
+    failure_rate: float = 1.0,
+    dynamic: bool = True,
+) -> DynamicFaultTree:
+    """A reproducible pseudo-random DFT for corpus benchmarks.
+
+    Basic events with jittered failure rates are folded bottom-up into random
+    gates of arity 2-3 (OR / AND / voting, plus PAND and cold-spare patterns
+    when ``dynamic``) until a single root remains.  Spares are never shared
+    and PAND inputs are independent, so the generated trees stay
+    deterministic (their final model is a CTMC).  The same
+    ``(num_basic_events, seed)`` pair always yields the same tree.
+    """
+    if num_basic_events < 2:
+        raise ValueError("a random tree needs at least two basic events")
+    rng = random.Random(f"random-dft:{num_basic_events}:{seed}:{failure_rate}:{dynamic}")
+    builder = FaultTreeBuilder(f"random-{num_basic_events}x{seed}")
+    events = [f"E{index}" for index in range(1, num_basic_events + 1)]
+    for event in events:
+        builder.basic_event(event, failure_rate=failure_rate * rng.uniform(0.5, 2.0))
+    leaves = set(events)
+    nodes = list(events)
+    rng.shuffle(nodes)
+    gate_counter = 0
+    while len(nodes) > 1:
+        arity = min(len(nodes), rng.choice((2, 2, 3)))
+        children = [nodes.pop() for _ in range(arity)]
+        gate_counter += 1
+        gate = f"G{gate_counter}"
+        kinds = ["or", "and", "vote"]
+        if dynamic:
+            kinds.append("pand")
+            if all(child in leaves for child in children):
+                kinds.append("spare")
+        kind = rng.choice(kinds)
+        if kind == "or":
+            builder.or_gate(gate, children)
+        elif kind == "and":
+            builder.and_gate(gate, children)
+        elif kind == "vote":
+            builder.voting_gate(gate, children, threshold=max(1, arity - 1))
+        elif kind == "pand":
+            builder.pand_gate(gate, children)
+        else:
+            builder.spare_gate(gate, primary=children[0], spares=children[1:])
+        nodes.insert(rng.randrange(len(nodes) + 1), gate)
+    return builder.build(top=nodes[0])
+
+
+def random_corpus(
+    count: int = 8,
+    num_basic_events: int = 6,
+    seed: int = 0,
+    failure_rate: float = 1.0,
+    dynamic: bool = True,
+) -> List[DynamicFaultTree]:
+    """``count`` distinct :func:`random_dft` trees (seeds ``seed .. seed+count-1``)."""
+    if count < 1:
+        raise ValueError("a corpus needs at least one tree")
+    return [
+        random_dft(
+            num_basic_events=num_basic_events,
+            seed=seed + offset,
+            failure_rate=failure_rate,
+            dynamic=dynamic,
+        )
+        for offset in range(count)
+    ]

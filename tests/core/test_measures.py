@@ -1,0 +1,113 @@
+"""Tests for the declarative measure specs and queries."""
+
+import pytest
+
+from repro.core.measures import (
+    MTTF,
+    Measure,
+    Query,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+)
+from repro.errors import AnalysisError
+
+
+class TestMeasureSpecs:
+    def test_scalar_time_is_normalised_to_tuple(self):
+        measure = Unreliability(1.0)
+        assert measure.times == (1.0,)
+
+    def test_sequence_times_are_normalised(self):
+        measure = Unreliability([1, 0.5])
+        assert measure.times == (1.0, 0.5)
+        assert all(isinstance(t, float) for t in measure.times)
+
+    def test_default_time(self):
+        assert Unreliability().times == (1.0,)
+        assert UnreliabilityBounds().times == (1.0,)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            Unreliability([-1.0])
+        with pytest.raises(AnalysisError):
+            Unavailability(-0.5)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            Unreliability([float("inf")])
+        with pytest.raises(AnalysisError):
+            Unreliability([float("nan")])
+        with pytest.raises(AnalysisError):
+            Unavailability(float("inf"))
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(AnalysisError):
+            Unreliability([])
+
+    def test_measures_compare_by_content(self):
+        assert Unreliability([1.0]) == Unreliability(1.0)
+        assert Unreliability([1.0]) != UnreliabilityBounds([1.0])
+        assert MTTF() == MTTF()
+
+    def test_unavailability_steady_state(self):
+        assert Unavailability().steady_state
+        assert not Unavailability(2.0).steady_state
+        assert Unavailability(2.0).transient_times() == (2.0,)
+        assert Unavailability().transient_times() == ()
+
+    def test_to_dict_roundtrips_kinds(self):
+        assert Unreliability([0.5]).to_dict() == {"kind": "unreliability", "times": [0.5]}
+        assert UnreliabilityBounds([2.0]).to_dict() == {
+            "kind": "unreliability_bounds",
+            "times": [2.0],
+        }
+        assert Unavailability().to_dict() == {"kind": "unavailability", "steady_state": True}
+        assert Unavailability(1.5).to_dict() == {
+            "kind": "unavailability",
+            "steady_state": False,
+            "time": 1.5,
+        }
+        assert MTTF().to_dict() == {"kind": "mttf"}
+
+
+class TestQuery:
+    def test_positional_and_iterable_construction_agree(self):
+        a, b = Unreliability([1.0]), MTTF()
+        assert Query(a, b) == Query([a, b])
+        assert Query(a, b) == Query(m for m in (a, b))
+
+    def test_nested_queries_are_flattened(self):
+        query = Query(Query(Unreliability([1.0])), MTTF())
+        assert [m.kind for m in query] == ["unreliability", "mttf"]
+
+    def test_addition_composes(self):
+        query = Unreliability([1.0]) + MTTF() + Unavailability()
+        assert isinstance(query, Query)
+        assert len(query) == 3
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(AnalysisError):
+            Query()
+
+    def test_non_measure_rejected(self):
+        with pytest.raises(AnalysisError):
+            Query("unreliability")
+
+    def test_transient_times_union_is_sorted_and_deduplicated(self):
+        query = Query(
+            Unreliability([2.0, 0.5]),
+            UnreliabilityBounds([0.5, 1.0]),
+            Unavailability(3.0),
+            MTTF(),
+        )
+        assert query.transient_times() == (0.5, 1.0, 2.0, 3.0)
+
+    def test_to_dict_lists_measures_in_order(self):
+        query = Unreliability([1.0]) + MTTF()
+        assert query.to_dict() == {
+            "measures": [{"kind": "unreliability", "times": [1.0]}, {"kind": "mttf"}]
+        }
+
+    def test_measure_is_base_class(self):
+        assert isinstance(Unreliability([1.0]), Measure)

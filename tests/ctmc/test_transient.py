@@ -7,10 +7,13 @@ import pytest
 
 from repro.ctmc import (
     CTMC,
+    PoissonTermCache,
     poisson_terms,
+    probability_of_label_curve,
     probability_reach_label,
     transient_distribution,
     transient_distribution_expm,
+    transient_distributions,
     unreliability_curve,
 )
 from repro.errors import AnalysisError
@@ -36,6 +39,16 @@ class TestPoissonTerms:
     def test_negative_rate_rejected(self):
         with pytest.raises(AnalysisError):
             poisson_terms(-1.0, 1e-12)
+
+    def test_out_of_range_tolerance_rejected(self):
+        with pytest.raises(AnalysisError):
+            poisson_terms(1.0, 0.0)
+        with pytest.raises(AnalysisError):
+            poisson_terms(1.0, 1.0)
+
+    def test_sub_epsilon_tolerance_is_clamped_not_crashing(self):
+        terms = poisson_terms(5.0, 1e-300)
+        assert terms.sum() == pytest.approx(1.0, abs=1e-12)
 
 
 class TestTransient:
@@ -119,3 +132,73 @@ class TestReachability:
         curve = unreliability_curve(chain, "failed", times)
         assert list(curve) == sorted(curve)
         assert curve[0] == pytest.approx(0.0)
+
+
+class TestVectorisedSweep:
+    def test_rows_match_per_point_distributions(self):
+        chain = erlang_chain()
+        times = [0.0, 0.3, 1.0, 2.5, 1.0]  # unsorted, with a duplicate
+        rows = transient_distributions(chain, times)
+        assert rows.shape == (5, chain.num_states)
+        for row, time in zip(rows, times):
+            assert row == pytest.approx(transient_distribution(chain, time), abs=1e-12)
+
+    def test_empty_times(self):
+        rows = transient_distributions(erlang_chain(), [])
+        assert rows.shape == (0, 4)
+        assert probability_of_label_curve(erlang_chain(), "failed", []).shape == (0,)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_distributions(erlang_chain(), [1.0, -0.5])
+
+    def test_curve_without_goal_states_is_zero(self):
+        curve = probability_of_label_curve(erlang_chain(), "nothing", [0.5, 1.0])
+        assert curve.tolist() == [0.0, 0.0]
+
+    def test_curve_matches_per_point_probability(self):
+        chain = erlang_chain(stages=4, rate=1.7)
+        times = np.linspace(0.0, 5.0, 37)
+        curve = probability_of_label_curve(chain, "failed", times)
+        expected = [chain.probability_of_label("failed", float(t)) for t in times]
+        assert curve == pytest.approx(expected, abs=1e-12)
+
+    def test_initial_distribution_is_respected(self):
+        chain = erlang_chain()
+        start = np.array([0.0, 1.0, 0.0, 0.0])
+        rows = transient_distributions(chain, [0.7], initial_distribution=start)
+        single = transient_distribution(chain, 0.7, initial_distribution=start)
+        assert rows[0] == pytest.approx(single, abs=1e-12)
+
+    def test_wildly_skewed_truncation_depths(self):
+        """One deep time point must not perturb (or bloat) the shallow ones."""
+        chain = erlang_chain(stages=3, rate=2.0)
+        times = [0.01, 0.02, 500.0, 0.05]
+        rows = transient_distributions(chain, times)
+        for row, time in zip(rows, times):
+            assert row == pytest.approx(transient_distribution(chain, time), abs=1e-12)
+
+    def test_non_finite_time_rejected_even_without_goal_states(self):
+        with pytest.raises(AnalysisError):
+            probability_of_label_curve(erlang_chain(), "nothing", [float("nan")])
+
+
+class TestPoissonTermCache:
+    def test_cache_returns_identical_arrays(self):
+        cache = PoissonTermCache()
+        first = cache.get(3.0, 1e-12)
+        second = cache.get(3.0, 1e-12)
+        assert first is second
+        assert first == pytest.approx(poisson_terms(3.0, 1e-12))
+
+    def test_cache_distinguishes_tolerance(self):
+        cache = PoissonTermCache()
+        loose = cache.get(5.0, 1e-4)
+        tight = cache.get(5.0, 1e-12)
+        assert len(loose) < len(tight)
+
+    def test_duplicate_times_share_terms_within_a_sweep(self):
+        chain = erlang_chain()
+        cache = PoissonTermCache()
+        transient_distributions(chain, [1.0, 1.0, 2.0], term_cache=cache)
+        assert len(cache._cache) == 2

@@ -17,6 +17,8 @@ from repro.systems import (
     nested_spare_system,
     pand_race_system,
     repairable_and_system,
+    random_corpus,
+    random_dft,
     repairable_plant,
     repairable_voting_system,
     shared_spare_race_system,
@@ -124,3 +126,38 @@ class TestGenerators:
         assert tree.validate() == []
         with pytest.raises(ValueError):
             fdep_cascade_family(depth=0)
+
+
+class TestRandomTrees:
+    def test_random_dft_is_reproducible(self):
+        from repro.dft import galileo
+
+        first = galileo.write(random_dft(num_basic_events=6, seed=3))
+        second = galileo.write(random_dft(num_basic_events=6, seed=3))
+        assert first == second
+        assert first != galileo.write(random_dft(num_basic_events=6, seed=4))
+
+    def test_random_dft_validates_and_is_deterministic_model(self):
+        from repro import evaluate, Unreliability
+
+        for seed in range(5):
+            tree = random_dft(num_basic_events=5, seed=seed)
+            assert tree.validate() == []
+            result = evaluate(tree, Unreliability([1.0]))
+            assert 0.0 <= result["unreliability"].value <= 1.0
+
+    def test_random_dft_static_only(self):
+        tree = random_dft(num_basic_events=6, seed=1, dynamic=False)
+        assert not any(isinstance(gate, (PandGate, SpareGate)) for gate in tree.gates())
+        assert tree.validate() == []
+
+    def test_random_dft_validation(self):
+        with pytest.raises(ValueError):
+            random_dft(num_basic_events=1)
+
+    def test_random_corpus_distinct_trees(self):
+        corpus = random_corpus(4, num_basic_events=5, seed=0)
+        assert len(corpus) == 4
+        assert len({tree.name for tree in corpus}) == 4
+        with pytest.raises(ValueError):
+            random_corpus(0)

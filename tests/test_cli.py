@@ -1,5 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -7,6 +13,7 @@ from repro.dft import galileo
 from repro.systems import (
     cardiac_assist_system,
     pand_race_system,
+    random_corpus,
     repairable_and_system,
 )
 
@@ -55,6 +62,14 @@ class TestAnalyzeCommand:
         output = capsys.readouterr().out
         assert "in [" in output
 
+    def test_unsupported_measure_still_prints_the_others(self, nondeterministic_file, capsys):
+        """--mttf on a non-deterministic tree: bounds printed, then exit 2."""
+        assert main(["analyze", nondeterministic_file, "--mttf"]) == 2
+        captured = capsys.readouterr()
+        assert "in [" in captured.out
+        assert "non-deterministic" in captured.out  # per-measure error line
+        assert "error:" in captured.err
+
     def test_ordering_and_aggregation_options(self, cas_file, capsys):
         assert main(
             ["analyze", cas_file, "--ordering", "smallest", "--aggregation", "strong"]
@@ -70,6 +85,145 @@ class TestAnalyzeCommand:
         path.write_text('toplevel "X";\n"X" unknown_gate "A";\n')
         assert main(["analyze", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyzeJson:
+    def test_json_output_schema_golden(self, cas_file, capsys):
+        """Golden test for the ``--json`` schema (repro.study/1)."""
+        assert main(["analyze", cas_file, "--time", "0.5", "1.0", "--mttf", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "schema",
+            "tree",
+            "options",
+            "model",
+            "measures",
+            "statistics",
+            "timings",
+        }
+        assert payload["schema"] == "repro.study/1"
+        assert set(payload["tree"]) == {"name", "summary"}
+        assert set(payload["options"]) == {"ordering", "aggregation", "fuse", "tolerance"}
+        assert set(payload["model"]) == {
+            "kind",
+            "states",
+            "nondeterministic",
+            "final_ioimc_states",
+            "final_ioimc_transitions",
+            "community_size",
+        }
+        assert payload["model"]["kind"] == "ctmc"
+        assert payload["model"]["nondeterministic"] is False
+        unreliability, mttf = payload["measures"]
+        assert unreliability["kind"] == "unreliability"
+        assert unreliability["times"] == [0.5, 1.0]
+        assert unreliability["values"][1] == pytest.approx(0.657900, abs=1e-6)
+        assert mttf["kind"] == "mttf"
+        assert len(mttf["values"]) == 1
+        stats = payload["statistics"]
+        assert {"num_steps", "peak_product_states", "final_states", "steps"} <= set(stats)
+        assert len(stats["steps"]) == stats["num_steps"]
+        assert {"conversion", "aggregation", "markov", "evaluation", "total"} == set(
+            payload["timings"]
+        )
+
+    def test_json_bounds_for_nondeterministic_tree(self, nondeterministic_file, capsys):
+        assert main(["analyze", nondeterministic_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"]["kind"] == "ctmdp"
+        measure = payload["measures"][0]
+        assert measure["kind"] == "unreliability_bounds"
+        assert measure["lower"][0] < measure["upper"][0]
+
+    def test_bounds_flag_on_deterministic_tree(self, cas_file, capsys):
+        assert main(["analyze", cas_file, "--bounds", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        measure = payload["measures"][0]
+        assert measure["kind"] == "unreliability_bounds"
+        assert measure["lower"][0] == pytest.approx(measure["upper"][0])
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        for index, tree in enumerate(random_corpus(3, num_basic_events=4, seed=11)):
+            galileo.write_file(tree, str(tmp_path / f"tree{index}.dft"))
+        return tmp_path
+
+    def test_batch_glob_rows_and_aggregate(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir / "*.dft"), "--time", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("Unreliability(t=1)") == 3
+        assert "3 trees analysed (0 failed)" in output
+
+    def test_batch_explicit_paths_and_processes(self, corpus_dir, capsys):
+        paths = sorted(str(p) for p in corpus_dir.glob("*.dft"))
+        assert main(["batch", *paths, "--processes", "2"]) == 0
+        assert "2 processes" in capsys.readouterr().out
+
+    def test_batch_json_schema(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir / "*.dft"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.batch/1"
+        assert payload["aggregate"]["trees"] == 3
+        assert all(row["ok"] for row in payload["rows"])
+        # batch rows keep statistics compact (no per-step records).
+        assert "steps" not in payload["rows"][0]["result"]["statistics"]
+
+    def test_batch_reports_failures_with_exit_code(self, corpus_dir, capsys):
+        (corpus_dir / "broken.dft").write_text('toplevel "X";\n"X" unknown_gate "A";\n')
+        assert main(["batch", str(corpus_dir / "*.dft")]) == 1
+        output = capsys.readouterr().out
+        assert "FAILED" in output
+        assert "1 failed" in output
+
+    def test_batch_no_match_is_an_error(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nothing-*.dft")]) == 2
+        assert "matched no files" in capsys.readouterr().err
+
+    def test_batch_partially_unmatched_glob_is_an_error(self, corpus_dir, capsys):
+        """A typo'd pattern must not silently shrink the corpus."""
+        assert main(["batch", str(corpus_dir / "*.dft"), str(corpus_dir / "*.dtf")]) == 2
+        assert "matched no files" in capsys.readouterr().err
+
+    def test_batch_prints_every_requested_measure(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir / "*.dft"), "--mttf"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("Mean time to failure") == 3
+
+    def test_batch_mixes_nondeterministic_trees(self, corpus_dir, capsys):
+        galileo.write_file(pand_race_system(), str(corpus_dir / "race.dft"))
+        assert main(["batch", str(corpus_dir / "*.dft")]) == 0
+        assert "in [" in capsys.readouterr().out
+
+    def test_batch_measure_failures_are_visible_and_nonzero(self, corpus_dir, capsys):
+        """An unsupported measure keeps the row but fails the exit code."""
+        galileo.write_file(pand_race_system(), str(corpus_dir / "race.dft"))
+        assert main(["batch", str(corpus_dir / "*.dft"), "--mttf"]) == 1
+        captured = capsys.readouterr()
+        assert "in [" in captured.out  # bounds still printed for the race tree
+        assert "0 failed" in captured.out  # no row-level failures
+        assert "could not be evaluated" in captured.err
+
+
+class TestEntryPoint:
+    def test_module_invocation_roundtrips_version(self):
+        """``python -m repro --version`` must work as a real subprocess."""
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": repo_src},
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.strip().startswith("repro ")
+
+    def test_console_script_target_resolves(self):
+        """The pyproject ``repro`` console script points at repro.cli:main."""
+        import repro.cli
+
+        assert callable(repro.cli.main)
 
 
 class TestOtherCommands:
