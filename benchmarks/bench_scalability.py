@@ -8,20 +8,42 @@ grows exponentially with the number of basic events while the compositional
 peak stays small (the per-module chains lump to their failure-count skeleton).
 """
 
+import os
 import time
 
 import pytest
 
 from repro import AnalysisOptions, CompositionalAnalyzer
 from repro.baselines import MonolithicMarkovGenerator
+from repro.ioimc import minimize_weak
 from repro.systems import cascaded_pand_family
 
 from conftest import record
+from workloads import largest_minimisation_workload
 
 MISSION_TIME = 1.0
 
 #: (number of AND modules, basic events per module)
 SWEEP = [(3, 2), (3, 3), (3, 4), (4, 3)]
+
+#: Larger configurations (more modules, deeper per-module chains) that the
+#: signature-refinement minimiser made impractical to sweep routinely; the
+#: splitter engine runs the full pipeline on them in well under a second.
+LARGE_SWEEP = [(4, 5), (5, 4), (5, 5), (6, 5)]
+
+#: Isolated weak-minimisation workloads: (modules, events) pairs whose
+#: largest tau-heavy intermediate product is minimised with both engines.
+MINIMISATION_SWEEP = [(3, 5), (3, 6)]
+
+#: The biggest tier (tens of thousands of product states) is skipped by
+#: default — the signature reference needs minutes there.  Opt in with
+#: ``RUN_BIG_BENCH=1 pytest benchmarks/bench_scalability.py``.
+BIG_MINIMISATION_SWEEP = [(3, 7), (4, 6)]
+
+big_tier = pytest.mark.skipif(
+    os.environ.get("RUN_BIG_BENCH") != "1",
+    reason="biggest scalability tier; set RUN_BIG_BENCH=1 to run",
+)
 
 
 @pytest.mark.benchmark(group="scalability-compositional")
@@ -174,6 +196,101 @@ def test_fused_composition_faster_than_compose_then_reduce(benchmark):
     # machine) is recorded above rather than asserted: timing assertions flake
     # on loaded CI runners, and the structural assertions already pin that the
     # fused route produces the identical, never-larger model.
+
+
+@pytest.mark.benchmark(group="scalability-large")
+@pytest.mark.parametrize("num_modules,events_per_module", LARGE_SWEEP)
+def test_large_configurations_full_pipeline(benchmark, num_modules, events_per_module):
+    """Full pipeline on the configurations the splitter engine unlocked.
+
+    Also records the wall time of the *peak* weak-minimisation step (the
+    largest tau-heavy intermediate product of the instance) — the number the
+    ROADMAP's "scale bench_scalability further" item tracks per PR.
+    """
+    tree = cascaded_pand_family(num_modules, events_per_module)
+
+    def run():
+        analyzer = CompositionalAnalyzer(tree, AnalysisOptions(ordering="modular"))
+        return analyzer.unreliability(MISSION_TIME), analyzer.statistics
+
+    value, statistics = benchmark(run)
+
+    workload = largest_minimisation_workload(num_modules, events_per_module)
+    start = time.perf_counter()
+    minimised = minimize_weak(workload)
+    peak_minimisation_seconds = time.perf_counter() - start
+
+    record(
+        benchmark,
+        experiment="E13 (large configurations, splitter minimiser)",
+        num_modules=num_modules,
+        events_per_module=events_per_module,
+        basic_events=num_modules * events_per_module,
+        unreliability=value,
+        peak_product_states=statistics.peak_product_states,
+        peak_reduced_states=statistics.peak_reduced_states,
+        peak_minimisation_input_states=workload.num_states,
+        peak_minimisation_output_states=minimised.num_states,
+        peak_weak_minimisation_wall_seconds=peak_minimisation_seconds,
+    )
+    assert 0.0 <= value <= 1.0
+    assert statistics.peak_product_states < 60 * events_per_module * num_modules
+
+
+def _minimisation_comparison(benchmark, num_modules, events_per_module, repeats=3):
+    workload = largest_minimisation_workload(num_modules, events_per_module)
+
+    minimised = benchmark(lambda: minimize_weak(workload))
+
+    # Same best-of-N policy on both sides: pytest-benchmark reports the min
+    # over its rounds for the splitter, so take the min of `repeats` manual
+    # runs for the signature reference (one slow outlier must not skew the
+    # recorded speedup either way).
+    reference = None
+    signature_seconds = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference = minimize_weak(workload, algorithm="signature")
+        elapsed = time.perf_counter() - start
+        signature_seconds = elapsed if signature_seconds is None else min(
+            signature_seconds, elapsed
+        )
+    splitter_seconds = benchmark.stats.stats.min
+
+    record(
+        benchmark,
+        experiment="E14 (weak minimisation: splitter vs signature engine)",
+        num_modules=num_modules,
+        events_per_module=events_per_module,
+        input_states=workload.num_states,
+        input_transitions=workload.num_transitions,
+        minimised_states=minimised.num_states,
+        timing_repeats=repeats,
+        splitter_wall_seconds=splitter_seconds,
+        signature_wall_seconds=signature_seconds,
+        speedup=signature_seconds / splitter_seconds if splitter_seconds else None,
+    )
+    # Both engines must compute the identical quotient; the wall-clock gap is
+    # recorded rather than asserted (timing assertions flake on loaded CI).
+    assert minimised.num_states == reference.num_states
+    assert minimised.num_transitions == reference.num_transitions
+
+
+@pytest.mark.benchmark(group="scalability-minimisation")
+@pytest.mark.parametrize("num_modules,events_per_module", MINIMISATION_SWEEP)
+def test_weak_minimisation_splitter_vs_signature(benchmark, num_modules, events_per_module):
+    """The isolated weak-minimisation step, both engines, mid-size tier."""
+    _minimisation_comparison(benchmark, num_modules, events_per_module)
+
+
+@big_tier
+@pytest.mark.benchmark(group="scalability-minimisation-big")
+@pytest.mark.parametrize("num_modules,events_per_module", BIG_MINIMISATION_SWEEP)
+def test_weak_minimisation_biggest_tier(benchmark, num_modules, events_per_module):
+    """The previously impractical tier (needs ``RUN_BIG_BENCH=1``)."""
+    # The signature reference needs ~a minute per run here; two repeats keep
+    # the opt-in tier under a few minutes while still discarding one outlier.
+    _minimisation_comparison(benchmark, num_modules, events_per_module, repeats=2)
 
 
 @pytest.mark.benchmark(group="scalability-comparison")

@@ -1,0 +1,41 @@
+"""Shared benchmark workload builders.
+
+Importable both from the pytest benchmarks (``bench_scalability.py``) and the
+dependency-free CI smoke script (``smoke_fig2.py``), so the two always
+measure the *same* workload — only :mod:`repro` imports allowed here.
+"""
+
+from repro.core import convert
+from repro.ioimc import parallel
+from repro.systems import cascaded_pand_family
+
+
+def largest_minimisation_workload(num_modules: int, events_per_module: int):
+    """The biggest weak-minimisation input the family instance can produce.
+
+    Mirrors the aggregation engine: the two largest module chains are each
+    fused with a consumer they communicate with, the two composites are
+    composed, and every output no remaining community member listens to is
+    hidden — a large, tau-heavy intermediate exactly like the products the
+    weak minimiser sees mid-aggregation.
+    """
+    tree = cascaded_pand_family(num_modules, events_per_module)
+    members = sorted(convert(tree).models(), key=lambda m: -m.num_states)
+    chains = members[:2]
+    used = set(chains)
+    composites = []
+    for chain in chains:
+        partner = next(
+            m
+            for m in members
+            if m not in used and (m.signature.inputs & chain.signature.outputs)
+        )
+        used.add(partner)
+        composites.append(parallel(chain, partner, fuse=True))
+    product = parallel(composites[0], composites[1], fuse=True)
+    external = set()
+    for other in members:
+        if other not in used:
+            external |= other.signature.inputs
+    hideable = product.signature.outputs - external
+    return product.hide(hideable) if hideable else product

@@ -67,7 +67,10 @@ def _add_tree_argument(parser: argparse.ArgumentParser) -> None:
 def _analysis_options(args: argparse.Namespace) -> StudyOptions:
     return StudyOptions(
         ordering=args.ordering,
-        aggregation=AggregationOptions(method=args.aggregation),
+        aggregation=AggregationOptions(
+            method=args.aggregation,
+            minimiser=getattr(args, "minimiser", "splitter"),
+        ),
         fuse=not getattr(args, "no_fuse", False),
         tolerance=getattr(args, "tolerance", 1e-12),
     )
@@ -285,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable fused maximal progress during composition "
             "(compose-then-reduce baseline)",
+        )
+        sub.add_argument(
+            "--minimiser",
+            choices=["splitter", "signature"],
+            default="splitter",
+            help="bisimulation refinement engine (default: splitter; "
+            "'signature' is the slower reference implementation)",
         )
 
     def add_measures(sub: argparse.ArgumentParser) -> None:

@@ -7,7 +7,9 @@ engine repeatedly
 2. parallel composes them (with maximal progress fused into the exploration
    by default, see :func:`repro.ioimc.composition.parallel`),
 3. hides every output signal that no remaining community member listens to,
-4. aggregates the result (weak bisimulation by default),
+4. aggregates the result (weak bisimulation by default; the splitter-based
+   refinement engine of :mod:`repro.ioimc.bisimulation` unless
+   ``AggregationOptions.minimiser`` selects the signature reference),
 
 until a single I/O-IMC is left.  The engine records the size of every
 intermediate model; the *peak* sizes are the numbers the paper reports when

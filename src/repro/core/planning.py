@@ -24,7 +24,12 @@ step; this module provides the two data structures that replace that rescan:
   index.
 
 The plan drives the ``ordering="modular"`` strategy of
-:class:`repro.core.aggregation.CompositionalAggregator`.
+:class:`repro.core.aggregation.CompositionalAggregator`.  Collapsing a
+module group is dominated by the weak minimisation after each composition
+step; that step runs on the splitter-based refinement engine (see
+``AggregationOptions.minimiser`` and :mod:`repro.ioimc.partition`), which is
+what keeps deep module nests cheap enough for the scalability sweeps in
+``benchmarks/bench_scalability.py``.
 """
 
 from __future__ import annotations

@@ -90,6 +90,7 @@ class StudyOptions:
         return {
             "ordering": self.ordering,
             "aggregation": self.aggregation.method,
+            "minimiser": self.aggregation.minimiser,
             "fuse": self.fuse,
             "tolerance": self.tolerance,
         }

@@ -19,6 +19,7 @@ from .actions import (
 )
 from .behavior import ElementBehavior, ExplicitBehavior, build_ioimc
 from .bisimulation import (
+    ALGORITHMS,
     minimize_strong,
     minimize_weak,
     quotient_strong,
@@ -29,6 +30,12 @@ from .bisimulation import (
 from .composition import closed_actions, hide_closed, parallel, parallel_many
 from .maximal_progress import apply_maximal_progress, count_pruned_transitions
 from .model import IOIMC, InteractiveTransition, MarkovianTransition
+from .partition import (
+    DEFAULT_RATE_DIGITS,
+    RefinablePartition,
+    TauCondensation,
+    canonical_rate,
+)
 from .reduction import (
     AggregationOptions,
     AggregationStatistics,
@@ -39,6 +46,11 @@ from .reduction import (
 
 __all__ = [
     "ACTIONS",
+    "ALGORITHMS",
+    "DEFAULT_RATE_DIGITS",
+    "RefinablePartition",
+    "TauCondensation",
+    "canonical_rate",
     "ActionInterner",
     "ActionSignature",
     "ActionType",

@@ -17,8 +17,29 @@ Two equivalences are implemented:
   paper; it merges the interleaving diamonds created by hiding synchronised
   failure/activation signals and therefore reduces much more aggressively.
 
-Both are computed by signature-based partition refinement.  The quotient
-constructions preserve state labels and the analysed reliability measures.
+Two refinement engines compute each partition:
+
+``algorithm="splitter"`` (default)
+    Worklist-of-splitters partition refinement on the refinable partition of
+    :mod:`repro.ioimc.partition` (Paige-Tarjan / Valmari-Franceschinis style):
+    one refinement step touches only the splitter block's (weak) in-edges
+    instead of recomputing every state's signature.  The weak variant first
+    condenses the internal-transition graph into its tau-SCCs
+    (:class:`~repro.ioimc.partition.TauCondensation`) and runs entirely on the
+    condensation — tau-closures are shared per SCC, never materialised per
+    state.
+``algorithm="signature"``
+    The seed implementation: every round recomputes every state's full
+    signature and splits blocks by signature equality.  Kept as the reference
+    for differential testing; asymptotically slower (O(rounds × states ×
+    transitions)) and, on the weak path, quadratic in memory on tau-chains
+    (per-state closure frozensets).
+
+Both engines compute the *same* coarsest partition — the property tests pin
+this on the paper's systems and on random DFT corpora.  The quotient
+constructions preserve state labels and the analysed reliability measures;
+the weak quotient is built from the tau-SCC condensation directly, so
+minimise-then-quotient does the closure work exactly once.
 
 Maximal progress should be applied *before* minimisation (the reduction
 pipeline in :mod:`repro.ioimc.reduction` does so); the algorithms here work on
@@ -27,24 +48,35 @@ the transitions they are given.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..errors import ModelError
 from .actions import intern_action
 from .model import IOIMC
+from .partition import (
+    DEFAULT_RATE_DIGITS,
+    RefinablePartition,
+    TauCondensation,
+    canonical_rate,
+    refine,
+)
 
 Partition = List[FrozenSet[int]]
 
-#: Number of significant digits used when comparing aggregate Markovian rates.
-_RATE_DIGITS = 10
+#: The available refinement engines.
+ALGORITHMS = ("splitter", "signature")
 
 
-def _canonical_rate(value: float) -> float:
-    """Round ``value`` to a canonical representation for signature comparison."""
-    if value == 0.0:
-        return 0.0
-    magnitude = int(math.floor(math.log10(abs(value))))
-    return round(value, _RATE_DIGITS - magnitude)
+def _check_algorithm(algorithm: str) -> None:
+    if algorithm not in ALGORITHMS:
+        raise ModelError(
+            f"unknown bisimulation algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+        )
+
+
+def _canonical_partition(blocks: Sequence[FrozenSet[int]]) -> Partition:
+    """Blocks ordered by smallest member — one canonical form for both engines."""
+    return sorted((frozenset(block) for block in blocks), key=min)
 
 
 def _initial_blocks(model: IOIMC, respect_labels: bool) -> Dict[int, int]:
@@ -65,10 +97,12 @@ def _blocks_from_map(block_of: Dict[int, int]) -> Partition:
     grouped: Dict[int, set] = {}
     for state, block in block_of.items():
         grouped.setdefault(block, set()).add(state)
-    return [frozenset(states) for _block, states in sorted(grouped.items())]
+    return _canonical_partition([frozenset(states) for states in grouped.values()])
 
 
-def _refine(block_of: Dict[int, int], signatures: Dict[int, object]) -> Tuple[Dict[int, int], bool]:
+def _refine_by_signature(
+    block_of: Dict[int, int], signatures: Dict[int, object]
+) -> Tuple[Dict[int, int], bool]:
     """Split blocks by signature; return the new map and whether it changed."""
     next_ids: Dict[Tuple[int, object], int] = {}
     new_map: Dict[int, int] = {}
@@ -85,13 +119,29 @@ def _refine(block_of: Dict[int, int], signatures: Dict[int, object]) -> Tuple[Di
 # strong bisimulation
 # ---------------------------------------------------------------------------
 
-def strong_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Partition:
+def strong_bisimulation_partition(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> Partition:
     """Coarsest strong bisimulation partition of ``model``.
 
-    Interactive signature: for every action the set of target blocks (implicit
-    input self-loops included).  Markovian signature: aggregate rate into every
-    block.
+    Two states are equivalent iff (respecting labels) they enable the same
+    actions into the same equivalence classes (implicit input self-loops
+    included) and their aggregate Markovian rates into every *other* class
+    coincide (ordinary lumpability).
     """
+    _check_algorithm(algorithm)
+    if algorithm == "signature":
+        return _strong_partition_signature(model, respect_labels, rate_digits)
+    return _strong_partition_splitter(model, respect_labels, rate_digits)
+
+
+def _strong_partition_signature(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Signature-refinement reference implementation (seed algorithm)."""
     block_of = _initial_blocks(model, respect_labels)
     input_ids = model.signature.input_ids
     while True:
@@ -115,11 +165,97 @@ def strong_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> 
                 rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
             signatures[state] = (
                 frozenset((aid, frozenset(blocks)) for aid, blocks in interactive.items()),
-                frozenset((block, _canonical_rate(total)) for block, total in rates.items()),
+                frozenset(
+                    (block, canonical_rate(total, rate_digits))
+                    for block, total in rates.items()
+                ),
             )
-        block_of, changed = _refine(block_of, signatures)
+        block_of, changed = _refine_by_signature(block_of, signatures)
         if not changed:
             return _blocks_from_map(block_of)
+
+
+def _strong_partition_splitter(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Worklist-of-splitters refinement (Paige-Tarjan style on states)."""
+    num_states = model.num_states
+    if num_states == 0:
+        return []
+    part = RefinablePartition(num_states)
+    if respect_labels:
+        part.split_by_key(0, model.labels)
+
+    # Reverse adjacencies: everything a splitter needs is reachable from its
+    # member states' in-edges.
+    interactive_pred: List[List[Tuple[int, int]]] = [[] for _ in range(num_states)]
+    markovian_pred: List[List[Tuple[int, float]]] = [[] for _ in range(num_states)]
+    input_ids = model.signature.input_ids
+    input_gaps: List[Tuple[int, ...]] = [()] * num_states
+    for state in range(num_states):
+        for aid, target in model.interactive_pairs(state):
+            interactive_pred[target].append((aid, state))
+        for target, rate in model.markovian_dict(state).items():
+            markovian_pred[target].append((state, rate))
+        if input_ids:
+            enabled = model.enabled_ids(state)
+            input_gaps[state] = tuple(aid for aid in input_ids if aid not in enabled)
+
+    def process(splitter: int, push) -> None:
+        states = part.members(splitter)  # snapshot: valid across splits
+        splitter_set = set(states)
+
+        # Interactive: split every block by "has an a-transition into the
+        # splitter", one action at a time.  Implicit input self-loops make a
+        # splitter member without an explicit input transition its own
+        # predecessor.
+        buckets: Dict[int, List[int]] = {}
+        for target in states:
+            for aid, source in interactive_pred[target]:
+                buckets.setdefault(aid, []).append(source)
+            for aid in input_gaps[target]:
+                buckets.setdefault(aid, []).append(target)
+        for sources in buckets.values():
+            for source in sources:
+                part.mark(source)
+            for marked, rest in part.split_marked():
+                if rest >= 0:
+                    push(marked)
+                    push(rest)
+
+        # Markovian: aggregate each predecessor's rate into the splitter and
+        # split the touched blocks by the canonical rate value.  Rates from
+        # states inside the splitter are skipped — ordinary lumpability does
+        # not constrain movement within a class (the signature engine skips
+        # the own-block rates for the same reason).
+        weights: Dict[int, float] = {}
+        for target in states:
+            for source, rate in markovian_pred[target]:
+                if source in splitter_set:
+                    continue
+                weights[source] = weights.get(source, 0.0) + rate
+        if not weights:
+            return
+        for source in weights:
+            part.mark(source)
+
+        def rate_key(source: int) -> float:
+            return canonical_rate(weights[source], rate_digits)
+
+        for marked, rest in part.split_marked():
+            # The marked part holds exactly the positive-weight states of one
+            # former block; subdivide it further by rate value.  Only blocks
+            # whose membership actually changed re-enter the worklist.
+            created = part.split_by_key(marked, rate_key)
+            if rest >= 0:
+                push(rest)
+            if rest >= 0 or created:
+                push(marked)
+            for block in created:
+                push(block)
+
+    refine(list(part.blocks()), process)
+    return part.as_sets()
 
 
 # ---------------------------------------------------------------------------
@@ -127,7 +263,13 @@ def strong_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> 
 # ---------------------------------------------------------------------------
 
 def _internal_closure(model: IOIMC) -> List[FrozenSet[int]]:
-    """For every state, the set of states reachable via internal transitions."""
+    """Per-state tau-closure frozensets — **signature reference engine only**.
+
+    The splitter engine never calls this: it shares closure information per
+    tau-SCC via :class:`~repro.ioimc.partition.TauCondensation`, which keeps
+    the weak path linear in states + transitions where these frozensets are
+    quadratic on tau-chains.
+    """
     closures: List[FrozenSet[int]] = []
     internal_succ = [model.internal_successors(state) for state in model.states()]
     for start in model.states():
@@ -146,7 +288,7 @@ def _internal_closure(model: IOIMC) -> List[FrozenSet[int]]:
 def _weak_visible_reach(
     model: IOIMC, closures: Sequence[FrozenSet[int]]
 ) -> List[Dict[int, FrozenSet[int]]]:
-    """For every state and visible action id, the states reachable via ``τ* a τ*``.
+    """Per-state ``τ* a τ*`` reach sets — **signature reference engine only**.
 
     Implicit input self-loops are taken into account: a state that has no
     explicit transition for an input action can still (weakly) perform it and
@@ -170,17 +312,45 @@ def _weak_visible_reach(
     return reach
 
 
-def weak_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Partition:
+def weak_bisimulation_partition(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> Partition:
     """Coarsest weak bisimulation partition of ``model``.
 
-    The signature of a state consists of
+    Two states are equivalent iff (respecting labels)
 
-    * for every visible action, the blocks reachable via a weak move,
-    * the blocks reachable via internal moves alone,
-    * the set of canonical Markovian rate vectors of the *stable* states
-      reachable via internal moves (maximal progress means only those states
-      can let time pass).
+    * for every visible action, the classes reachable via a weak move
+      (``τ* a τ*``, implicit input self-loops included) coincide,
+    * the classes reachable via internal moves alone coincide,
+    * the sets of canonical Markovian rate vectors of the *stable* states
+      reachable via internal moves coincide (maximal progress means only
+      those states can let time pass).
     """
+    _check_algorithm(algorithm)
+    if algorithm == "signature":
+        return _weak_partition_signature(model, respect_labels, rate_digits)
+    if _has_no_internal_transitions(model):
+        # Without internal moves every tau-closure is a singleton and every
+        # state is stable: weak and strong bisimulation coincide, and the
+        # strong splitter avoids the condensation and rate-class machinery.
+        return _strong_partition_splitter(model, respect_labels, rate_digits)
+    return _WeakSplitterEngine(model, respect_labels, rate_digits).state_partition()
+
+
+def _has_no_internal_transitions(model: IOIMC) -> bool:
+    internal_mask = model.signature.internal_mask
+    if not internal_mask:
+        return True
+    return not any(model.enabled_mask(state) & internal_mask for state in model.states())
+
+
+def _weak_partition_signature(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Signature-refinement reference implementation (seed algorithm)."""
     closures = _internal_closure(model)
     visible_reach = _weak_visible_reach(model, closures)
     stable = [model.is_stable(state) for state in model.states()]
@@ -205,12 +375,255 @@ def weak_bisimulation_partition(model: IOIMC, respect_labels: bool = True) -> Pa
                         continue  # ordinary lumpability: ignore intra-class rates
                     rates[block_of[succ]] = rates.get(block_of[succ], 0.0) + rate
                 rate_vectors.add(
-                    frozenset((block, _canonical_rate(total)) for block, total in rates.items())
+                    frozenset(
+                        (block, canonical_rate(total, rate_digits))
+                        for block, total in rates.items()
+                    )
                 )
             signatures[state] = (visible_sig, tau_sig, frozenset(rate_vectors))
-        block_of, changed = _refine(block_of, signatures)
+        block_of, changed = _refine_by_signature(block_of, signatures)
         if not changed:
             return _blocks_from_map(block_of)
+
+
+class _WeakSplitterEngine:
+    """Worklist-of-splitters weak bisimulation on the tau-SCC condensation.
+
+    The refinement works on *units* — the states of one tau-SCC sharing one
+    label set.  All states of a unit are trivially weakly bisimilar (they
+    tau-reach each other), so units are the finest granularity a split can
+    ever need; on tau-heavy fused products they are far fewer than states.
+
+    Splitters come in two kinds:
+
+    * a partition block ``B``: split every block by "can tau-reach ``B``" and,
+      per visible action ``a``, by "can weakly do ``a`` into ``B``" — both are
+      backward tau-reachability sweeps over the condensation from the SCCs
+      owning ``B`` (weak in-edges of the splitter only, never the whole
+      model);
+    * a Markovian *rate class* (stable states with equal canonical rate
+      vectors): split every block by "can tau-reach a member of the class".
+
+    When a block splits, the rate vectors of the stable states pointing into
+    the moved states (and of the moved/remaining stable states themselves,
+    whose own-class exclusion changed) are recomputed and re-bucketed; every
+    class whose membership changed re-enters the worklist.  The fixpoint is
+    stable under all three predicate families, which is exactly the signature
+    engine's equivalence.
+    """
+
+    def __init__(self, model: IOIMC, respect_labels: bool, rate_digits: int):
+        self.model = model
+        self.rate_digits = rate_digits
+        self.condensation = TauCondensation(model)
+        cond = self.condensation
+        num_states = model.num_states
+        num_sccs = cond.num_sccs
+
+        # ---- units: (SCC, label set) groups ------------------------------
+        self.unit_of_state: List[int] = [0] * num_states
+        self.unit_states: List[List[int]] = []
+        self.unit_scc: List[int] = []
+        self.unit_labels: List[FrozenSet[str]] = []
+        self.scc_units: List[List[int]] = [[] for _ in range(num_sccs)]
+        for scc in range(num_sccs):
+            if respect_labels:
+                groups: Dict[FrozenSet[str], List[int]] = {}
+                for state in cond.members[scc]:
+                    groups.setdefault(model.labels(state), []).append(state)
+                ordered = sorted(groups.items(), key=lambda item: min(item[1]))
+            else:
+                members = cond.members[scc]
+                ordered = [(model.labels(members[0]), list(members))]
+            for labels, states in ordered:
+                unit = len(self.unit_states)
+                self.unit_states.append(states)
+                self.unit_scc.append(scc)
+                self.unit_labels.append(labels)
+                self.scc_units[scc].append(unit)
+                for state in states:
+                    self.unit_of_state[state] = unit
+
+        # ---- static per-SCC indexes --------------------------------------
+        internal_ids = model.signature.internal_ids
+        input_ids = model.signature.input_ids
+        #: Visible in-edges per SCC: (action id, source SCC), deduplicated.
+        self.visible_in: List[Set[Tuple[int, int]]] = [set() for _ in range(num_sccs)]
+        #: Input actions some member of the SCC has no explicit transition for
+        #: (those members carry an implicit weak self-loop).
+        self.input_gaps: List[Set[int]] = [set() for _ in range(num_sccs)]
+        #: Stable Markovian predecessors per state (only stable states carry
+        #: rate vectors in the weak signature).
+        self.stable_pred: List[List[Tuple[int, float]]] = [[] for _ in range(num_states)]
+        self.unit_stable: List[bool] = [
+            all(model.is_stable(state) for state in states)
+            for states in self.unit_states
+        ]
+        for state in range(num_states):
+            scc = cond.scc_of[state]
+            for aid, target in model.interactive_pairs(state):
+                if aid in internal_ids:
+                    continue
+                self.visible_in[cond.scc_of[target]].add((aid, scc))
+            if input_ids:
+                enabled = model.enabled_ids(state)
+                for aid in input_ids:
+                    if aid not in enabled:
+                        self.input_gaps[scc].add(aid)
+            if model.is_stable(state):
+                for target, rate in model.markovian_dict(state).items():
+                    self.stable_pred[target].append((state, rate))
+
+        # ---- partition over units ----------------------------------------
+        self.part = RefinablePartition(len(self.unit_states))
+        if respect_labels and self.part.num_elements:
+            self.part.split_by_key(0, lambda unit: self.unit_labels[unit])
+
+        # ---- rate classes over stable units ------------------------------
+        self.class_of: Dict[int, int] = {}
+        self.class_members: List[Set[int]] = []
+        self.class_by_key: Dict[FrozenSet[Tuple[int, float]], int] = {}
+        #: Stable units whose rate vector may be stale (re-bucketed in batch
+        #: when the next rate-class splitter is processed).
+        self._dirty: Set[int] = set()
+        for unit, stable in enumerate(self.unit_stable):
+            if stable:
+                self._assign_rate_class(unit)
+
+        self._refined = False
+
+    # ------------------------------------------------------------ rate classes
+    def _vector_key(self, unit: int) -> FrozenSet[Tuple[int, float]]:
+        """Canonical rate vector of a stable unit under the current partition."""
+        state = self.unit_states[unit][0]  # stable units are singletons
+        own_block = self.part.block_of(unit)
+        rates: Dict[int, float] = {}
+        for target, rate in self.model.markovian_dict(state).items():
+            block = self.part.block_of(self.unit_of_state[target])
+            if block == own_block:
+                continue  # ordinary lumpability: ignore intra-class rates
+            rates[block] = rates.get(block, 0.0) + rate
+        return frozenset(
+            (block, canonical_rate(total, self.rate_digits))
+            for block, total in rates.items()
+        )
+
+    def _assign_rate_class(self, unit: int) -> Optional[Tuple[int, ...]]:
+        """(Re)bucket a stable unit by rate vector; return the changed classes."""
+        key = self._vector_key(unit)
+        new_class = self.class_by_key.get(key)
+        if new_class is None:
+            new_class = len(self.class_members)
+            self.class_members.append(set())
+            self.class_by_key[key] = new_class
+        old_class = self.class_of.get(unit)
+        if old_class == new_class:
+            return None
+        self.class_of[unit] = new_class
+        self.class_members[new_class].add(unit)
+        if old_class is None:
+            return (new_class,)
+        self.class_members[old_class].discard(unit)
+        return (old_class, new_class)
+
+    # ---------------------------------------------------------------- refining
+    def _mark_and_split(self, sccs: Set[int], push) -> None:
+        """Split every block by membership in the given predicate SCC set."""
+        part = self.part
+        for scc in sccs:
+            for unit in self.scc_units[scc]:
+                part.mark(unit)
+        dirty = self._dirty
+        for marked, rest in part.split_marked():
+            if rest < 0:
+                continue  # the whole block satisfied the predicate
+            push(("block", marked))
+            push(("block", rest))
+            # Exactly the rate vectors referencing the moved states change:
+            # their stable Markovian predecessors (wherever those live — this
+            # covers stable units left behind in `rest` with rates into the
+            # moved half), plus the moved stable units themselves (their
+            # own-class exclusion now ends at the new block boundary).  They
+            # are re-bucketed lazily, in batch, when the next rate-class
+            # splitter is dequeued.
+            freshly_dirty = []
+            for unit in part.members(marked):
+                if self.unit_stable[unit] and unit not in dirty:
+                    dirty.add(unit)
+                    freshly_dirty.append(unit)
+                for state in self.unit_states[unit]:
+                    for source, _rate in self.stable_pred[state]:
+                        source_unit = self.unit_of_state[source]
+                        if source_unit not in dirty:
+                            dirty.add(source_unit)
+                            freshly_dirty.append(source_unit)
+            for unit in freshly_dirty:
+                push(("rates", self.class_of[unit]))
+
+    def _flush_dirty(self, push) -> None:
+        """Re-bucket every stale stable unit; re-enqueue the changed classes."""
+        for unit in self._dirty:
+            changed = self._assign_rate_class(unit)
+            if changed:
+                for rate_class in changed:
+                    push(("rates", rate_class))
+        self._dirty.clear()
+
+    def _process(self, splitter, push) -> None:
+        cond = self.condensation
+        kind, index = splitter
+        if kind == "rates":
+            self._flush_dirty(push)
+            members = self.class_members[index]
+            if not members:
+                return  # class emptied by re-bucketing
+            seeds = {self.unit_scc[unit] for unit in members}
+            self._mark_and_split(cond.backward_closure(seeds), push)
+            return
+
+        units = self.part.members(index)  # snapshot
+        seeds = {self.unit_scc[unit] for unit in units}
+        reach = cond.backward_closure(seeds)
+        # tau predicate: can reach the splitter via internal moves alone.
+        self._mark_and_split(set(reach), push)
+        # visible predicates: a weak `a` move into the splitter is an `a`
+        # transition whose target tau-reaches the splitter (reach), taken
+        # from any state that tau-reaches the transition's source; implicit
+        # input self-loops contribute the gap SCCs inside `reach` themselves.
+        buckets: Dict[int, Set[int]] = {}
+        for scc in reach:
+            for aid, source in self.visible_in[scc]:
+                buckets.setdefault(aid, set()).add(source)
+            for aid in self.input_gaps[scc]:
+                buckets.setdefault(aid, set()).add(scc)
+        for sources in buckets.values():
+            self._mark_and_split(cond.backward_closure(sources), push)
+
+    def _run(self) -> None:
+        if self._refined:
+            return
+        splitters = [("block", block) for block in self.part.blocks()]
+        splitters.extend(("rates", index) for index in range(len(self.class_members)))
+        refine(splitters, self._process)
+        self._refined = True
+
+    # ----------------------------------------------------------------- results
+    def state_partition(self) -> Partition:
+        self._run()
+        blocks = [
+            frozenset(
+                state
+                for unit in self.part.members(block)
+                for state in self.unit_states[unit]
+            )
+            for block in self.part.blocks()
+        ]
+        return _canonical_partition(blocks)
+
+    def quotient(self, name: Optional[str] = None) -> IOIMC:
+        return _build_weak_quotient(
+            self.model, self.condensation, self.state_partition(), name
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -252,26 +665,61 @@ def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None)
     return quotient
 
 
-def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
-    """Quotient of ``model`` under a weak bisimulation partition.
+def _build_weak_quotient(
+    model: IOIMC,
+    condensation: TauCondensation,
+    partition: Partition,
+    name: str | None = None,
+) -> IOIMC:
+    """Weak quotient from a partition and the shared tau-SCC condensation.
 
-    Per block the construction uses a representative's *weak* transitions:
-
-    * visible actions: one transition per block weakly reachable (input
-      self-block loops stay implicit);
-    * internal moves: one ``τ`` transition per distinct block reachable via
-      internal moves (self-block loops are dropped — weak bisimulation is
-      insensitive to them);
-    * Markovian transitions: blocks containing a stable state carry that
-      state's aggregate rate vector (all stable members of a block agree);
-      blocks without stable states are vanishing and get no rates.
+    One id-ordered sweep over the condensation (tau successors first, see
+    :class:`~repro.ioimc.partition.TauCondensation`) computes, per SCC, the
+    blocks reachable via internal moves and via ``τ* a τ*`` per visible
+    action.  The per-SCC sets contain block ids and are interned, so shared
+    tails of tau-chains cost one object — no per-state closure frozensets.
     """
     block_of = _block_map(partition)
-    closures = _internal_closure(model)
-    visible_reach = _weak_visible_reach(model, closures)
-    stable = [model.is_stable(state) for state in model.states()]
     input_ids = model.signature.input_ids
+    internal_ids = model.signature.internal_ids
+    scc_of = condensation.scc_of
 
+    interned: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+    def intern(blocks: Set[int]) -> FrozenSet[int]:
+        key = frozenset(blocks)
+        return interned.setdefault(key, key)
+
+    num_sccs = condensation.num_sccs
+    # First pass, in id order (tau successors first): blocks reachable via
+    # internal moves alone.  Visible targets may live in later SCCs, so the
+    # visible reach needs a second pass once every tau closure is known.
+    tau_blocks: List[FrozenSet[int]] = [frozenset()] * num_sccs
+    for scc in range(num_sccs):
+        reach: Set[int] = {block_of[state] for state in condensation.members[scc]}
+        for successor in condensation.tau_succ[scc]:
+            reach |= tau_blocks[successor]
+        tau_blocks[scc] = intern(reach)
+    visible: List[Dict[int, FrozenSet[int]]] = [{} for _ in range(num_sccs)]
+    for scc in range(num_sccs):  # id order again: tau successors come first
+        per_action: Dict[int, Set[int]] = {}
+        for successor in condensation.tau_succ[scc]:
+            for aid, blocks in visible[successor].items():
+                per_action.setdefault(aid, set()).update(blocks)
+        closure_blocks = tau_blocks[scc]
+        for state in condensation.members[scc]:
+            for aid, target in model.interactive_pairs(state):
+                if aid in internal_ids:
+                    continue
+                per_action.setdefault(aid, set()).update(tau_blocks[scc_of[target]])
+            if input_ids:
+                enabled = model.enabled_ids(state)
+                for aid in input_ids:
+                    if aid not in enabled:
+                        per_action.setdefault(aid, set()).update(closure_blocks)
+        visible[scc] = {aid: intern(blocks) for aid, blocks in per_action.items()}
+
+    stable = [model.is_stable(state) for state in model.states()]
     internal_actions = sorted(model.signature.internals)
     tau_id = intern_action(internal_actions[0]) if internal_actions else None
 
@@ -282,17 +730,16 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
 
     for block_id, block in enumerate(partition):
         rep = min(block)
-        stable_member = next((state for state in sorted(block) if stable[state]), None)
+        rep_scc = scc_of[rep]
 
-        for aid, targets in visible_reach[rep].items():
+        for aid, target_blocks in visible[rep_scc].items():
             is_input = aid in input_ids
-            target_blocks = {block_of[target] for target in targets}
             for target_block in sorted(target_blocks):
                 if target_block == block_id and is_input:
                     continue  # implicit input self-loop
                 quotient.add_interactive_id(block_id, aid, target_block)
 
-        tau_targets = {block_of[target] for target in closures[rep]} - {block_id}
+        tau_targets = set(tau_blocks[rep_scc]) - {block_id}
         if tau_targets and tau_id is None:
             raise AssertionError(
                 "internal moves present but the signature declares no internal action"
@@ -300,6 +747,7 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
         for target_block in sorted(tau_targets):
             quotient.add_interactive_id(block_id, tau_id, target_block)
 
+        stable_member = next((state for state in sorted(block) if stable[state]), None)
         if stable_member is not None:
             rates: Dict[int, float] = {}
             for target, rate in model.markovian_dict(stable_member).items():
@@ -313,13 +761,61 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
     return quotient
 
 
-def minimize_strong(model: IOIMC, respect_labels: bool = True) -> IOIMC:
+def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
+    """Quotient of ``model`` under a weak bisimulation partition.
+
+    Per block the construction uses a representative's *weak* transitions:
+
+    * visible actions: one transition per block weakly reachable (input
+      self-block loops stay implicit);
+    * internal moves: one ``τ`` transition per distinct block reachable via
+      internal moves (self-block loops are dropped — weak bisimulation is
+      insensitive to them);
+    * Markovian transitions: blocks containing a stable state carry that
+      state's aggregate rate vector (all stable members of a block agree);
+      blocks without stable states are vanishing and get no rates.
+
+    The weak reach sets are derived from the tau-SCC condensation; prefer
+    :func:`minimize_weak`, which shares one condensation between the
+    partition refinement and this construction.
+    """
+    return _build_weak_quotient(model, TauCondensation(model), partition, name)
+
+
+def minimize_strong(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> IOIMC:
     """Minimise ``model`` modulo strong bisimulation."""
-    partition = strong_bisimulation_partition(model, respect_labels=respect_labels)
+    partition = strong_bisimulation_partition(
+        model, respect_labels=respect_labels, algorithm=algorithm, rate_digits=rate_digits
+    )
     return quotient_strong(model, partition).restrict_to_reachable(model.name)
 
 
-def minimize_weak(model: IOIMC, respect_labels: bool = True) -> IOIMC:
-    """Minimise ``model`` modulo weak bisimulation."""
-    partition = weak_bisimulation_partition(model, respect_labels=respect_labels)
-    return quotient_weak(model, partition).restrict_to_reachable(model.name)
+def minimize_weak(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> IOIMC:
+    """Minimise ``model`` modulo weak bisimulation.
+
+    With the default splitter engine one tau-SCC condensation is shared
+    between the partition refinement and the quotient construction, so the
+    internal-closure work happens exactly once per minimisation.
+    """
+    _check_algorithm(algorithm)
+    if algorithm == "splitter":
+        if _has_no_internal_transitions(model):
+            partition = _strong_partition_splitter(model, respect_labels, rate_digits)
+            quotient = _build_weak_quotient(model, TauCondensation(model), partition)
+        else:
+            engine = _WeakSplitterEngine(model, respect_labels, rate_digits)
+            quotient = engine.quotient()
+    else:
+        partition = _weak_partition_signature(model, respect_labels, rate_digits)
+        quotient = quotient_weak(model, partition)
+    return quotient.restrict_to_reachable(model.name)

@@ -23,9 +23,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ModelError
-from .bisimulation import minimize_strong, minimize_weak
+from .bisimulation import ALGORITHMS, minimize_strong, minimize_weak
 from .maximal_progress import apply_maximal_progress
 from .model import IOIMC
+from .partition import DEFAULT_RATE_DIGITS
 
 
 @dataclass
@@ -42,15 +43,34 @@ class AggregationOptions:
         (I/O-IMC semantics; ``True`` in the paper).
     respect_labels:
         Keep differently labelled states apart during minimisation.
+    minimiser:
+        Bisimulation refinement engine: ``"splitter"`` (default, splitter-
+        based partition refinement on the tau-SCC condensation) or
+        ``"signature"`` (the seed signature-refinement reference).
+    rate_digits:
+        Significant digits compared when two aggregate Markovian rates are
+        tested for equality during refinement (default
+        :data:`~repro.ioimc.partition.DEFAULT_RATE_DIGITS`); both engines
+        honour the same precision.
     """
 
     method: str = "weak"
     urgent_outputs: bool = True
     respect_labels: bool = True
+    minimiser: str = "splitter"
+    rate_digits: int = DEFAULT_RATE_DIGITS
 
     def __post_init__(self) -> None:
         if self.method not in {"weak", "strong", "tau", "none"}:
             raise ModelError(f"unknown aggregation method {self.method!r}")
+        if self.minimiser not in ALGORITHMS:
+            raise ModelError(
+                f"unknown minimiser {self.minimiser!r}; choose one of {ALGORITHMS}"
+            )
+        if not isinstance(self.rate_digits, int) or self.rate_digits < 1:
+            raise ModelError(
+                f"rate_digits must be a positive integer, got {self.rate_digits!r}"
+            )
 
 
 @dataclass
@@ -190,9 +210,19 @@ def aggregate(
             reduced = compress_deterministic_tau(reduced)
             reduced = reduced.restrict_to_reachable()
             if options.method == "weak":
-                reduced = minimize_weak(reduced, respect_labels=options.respect_labels)
+                reduced = minimize_weak(
+                    reduced,
+                    respect_labels=options.respect_labels,
+                    algorithm=options.minimiser,
+                    rate_digits=options.rate_digits,
+                )
             elif options.method == "strong":
-                reduced = minimize_strong(reduced, respect_labels=options.respect_labels)
+                reduced = minimize_strong(
+                    reduced,
+                    respect_labels=options.respect_labels,
+                    algorithm=options.minimiser,
+                    rate_digits=options.rate_digits,
+                )
             # re-run maximal progress: quotienting may have exposed new urgency
             reduced = apply_maximal_progress(reduced, urgent_outputs=options.urgent_outputs)
             reduced = reduced.restrict_to_reachable()

@@ -2,11 +2,15 @@
 
 import pytest
 
+from repro.errors import ModelError
 from repro.ioimc import (
     IOIMC,
+    AggregationOptions,
+    aggregate,
     minimize_strong,
     minimize_weak,
     parallel,
+    quotient_weak,
     signature,
     strong_bisimulation_partition,
     weak_bisimulation_partition,
@@ -148,6 +152,174 @@ class TestWeakBisimulation:
         model.add_interactive(s1, "tau", s0)
         weak = minimize_weak(model)
         assert weak.num_states >= 1  # must not crash or lose the initial state
+
+
+def tau_cycle_with_escape() -> IOIMC:
+    """Two tau-cycles, one of which can escape to a labelled state."""
+    model = IOIMC("cycles", signature(outputs=["out"], internals=["tau"]))
+    s0 = model.add_state(initial=True)
+    s1 = model.add_state()
+    s2 = model.add_state()
+    s3 = model.add_state()
+    goal = model.add_state(labels=["failed"])
+    model.add_interactive(s0, "tau", s1)
+    model.add_interactive(s1, "tau", s0)
+    model.add_interactive(s2, "tau", s3)
+    model.add_interactive(s3, "tau", s2)
+    model.add_interactive(s3, "out", goal)
+    model.add_markovian(s0, 1.0, s2)
+    return model
+
+
+def input_enabled_model() -> IOIMC:
+    """Inputs with and without explicit transitions (implicit self-loops)."""
+    model = IOIMC("inputs", signature(inputs=["go", "stop"], internals=["tau"]))
+    s0 = model.add_state(initial=True)
+    s1 = model.add_state()
+    s2 = model.add_state(labels=["failed"])
+    model.add_interactive(s0, "go", s1)
+    model.add_interactive(s1, "tau", s2)
+    model.add_markovian(s0, 3.0, s2)
+    return model
+
+
+def nondeterministic_tau_model() -> IOIMC:
+    """A tau choice between branches with different stable rate vectors."""
+    model = IOIMC("nondet", signature(internals=["tau"]))
+    s0 = model.add_state(initial=True)
+    left = model.add_state()
+    right = model.add_state()
+    slow = model.add_state(labels=["failed"])
+    fast = model.add_state(labels=["failed"])
+    model.add_interactive(s0, "tau", left)
+    model.add_interactive(s0, "tau", right)
+    model.add_markovian(left, 1.0, slow)
+    model.add_markovian(right, 5.0, fast)
+    return model
+
+
+DIFFERENTIAL_MODELS = [
+    ("erlang", erlang_like_chain),
+    ("figure2", lambda: parallel(*figure2_models(rate=1.5)).hide(["a"])),
+    ("tau-cycles", tau_cycle_with_escape),
+    ("inputs", input_enabled_model),
+    ("nondet", nondeterministic_tau_model),
+]
+
+
+class TestSplitterVsSignature:
+    """The splitter engine must reproduce the signature partitions exactly."""
+
+    @pytest.mark.parametrize("name,factory", DIFFERENTIAL_MODELS)
+    def test_strong_partitions_identical(self, name, factory):
+        model = factory()
+        splitter = strong_bisimulation_partition(model, algorithm="splitter")
+        reference = strong_bisimulation_partition(model, algorithm="signature")
+        assert splitter == reference
+
+    @pytest.mark.parametrize("name,factory", DIFFERENTIAL_MODELS)
+    def test_weak_partitions_identical(self, name, factory):
+        model = factory()
+        splitter = weak_bisimulation_partition(model, algorithm="splitter")
+        reference = weak_bisimulation_partition(model, algorithm="signature")
+        assert splitter == reference
+
+    @pytest.mark.parametrize("name,factory", DIFFERENTIAL_MODELS)
+    def test_weak_quotients_identical(self, name, factory):
+        model = factory()
+        splitter = minimize_weak(model, algorithm="splitter")
+        reference = minimize_weak(model, algorithm="signature")
+        assert splitter.num_states == reference.num_states
+        assert splitter.num_transitions == reference.num_transitions
+
+    @pytest.mark.parametrize("respect_labels", [True, False])
+    def test_label_handling_matches(self, respect_labels):
+        model = tau_cycle_with_escape()
+        assert weak_bisimulation_partition(
+            model, respect_labels=respect_labels, algorithm="splitter"
+        ) == weak_bisimulation_partition(
+            model, respect_labels=respect_labels, algorithm="signature"
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        model = erlang_like_chain()
+        with pytest.raises(ModelError):
+            strong_bisimulation_partition(model, algorithm="magic")
+        with pytest.raises(ModelError):
+            weak_bisimulation_partition(model, algorithm="magic")
+        with pytest.raises(ModelError):
+            minimize_weak(model, algorithm="magic")
+
+    def test_quotient_weak_standalone_matches_engine(self):
+        """quotient_weak(partition) equals the fused engine quotient."""
+        model = tau_cycle_with_escape()
+        partition = weak_bisimulation_partition(model, algorithm="signature")
+        standalone = quotient_weak(model, partition).restrict_to_reachable()
+        fused = minimize_weak(model, algorithm="splitter")
+        assert standalone.num_states == fused.num_states
+        assert standalone.num_transitions == fused.num_transitions
+
+
+def close_rate_model(delta: float) -> IOIMC:
+    """Two branches whose rates differ by ``delta`` — split or merge?"""
+    model = IOIMC("close", signature())
+    s0 = model.add_state(initial=True)
+    a = model.add_state()
+    b = model.add_state()
+    goal = model.add_state(labels=["failed"])
+    model.add_markovian(s0, 1.0, a)
+    model.add_markovian(s0, 1.0, b)
+    model.add_markovian(a, 2.0, goal)
+    model.add_markovian(b, 2.0 + delta, goal)
+    return model
+
+
+class TestRatePrecision:
+    """``rate_digits`` is honoured identically by both engines."""
+
+    @pytest.mark.parametrize("algorithm", ["splitter", "signature"])
+    def test_rates_below_precision_merge(self, algorithm):
+        model = close_rate_model(1e-12)
+        partition = strong_bisimulation_partition(model, algorithm=algorithm)
+        assert len(partition) == 3  # a and b lump: the difference is noise
+
+    @pytest.mark.parametrize("algorithm", ["splitter", "signature"])
+    def test_rates_above_precision_split(self, algorithm):
+        model = close_rate_model(1e-3)
+        partition = strong_bisimulation_partition(model, algorithm=algorithm)
+        assert len(partition) == 4
+
+    @pytest.mark.parametrize("algorithm", ["splitter", "signature"])
+    def test_custom_precision_consistent(self, algorithm):
+        model = close_rate_model(1e-3)
+        coarse = strong_bisimulation_partition(
+            model, algorithm=algorithm, rate_digits=2
+        )
+        assert len(coarse) == 3  # 2.0 vs 2.001 agree to 2 significant digits
+
+    @pytest.mark.parametrize("algorithm", ["splitter", "signature"])
+    def test_weak_engine_honours_precision(self, algorithm):
+        model = close_rate_model(1e-3)
+        fine = weak_bisimulation_partition(model, algorithm=algorithm)
+        coarse = weak_bisimulation_partition(model, algorithm=algorithm, rate_digits=2)
+        assert len(fine) == 4
+        assert len(coarse) == 3
+
+    def test_aggregation_options_surface(self):
+        model = close_rate_model(1e-3)
+        fine, _ = aggregate(model, AggregationOptions(method="strong"))
+        coarse, _ = aggregate(
+            model, AggregationOptions(method="strong", rate_digits=2)
+        )
+        assert coarse.num_states < fine.num_states
+
+    def test_invalid_rate_digits_rejected(self):
+        with pytest.raises(ModelError):
+            AggregationOptions(rate_digits=0)
+
+    def test_invalid_minimiser_rejected(self):
+        with pytest.raises(ModelError):
+            AggregationOptions(minimiser="magic")
 
 
 class TestMeasurePreservation:

@@ -76,6 +76,18 @@ class TestAnalyzeCommand:
         ) == 0
         assert "Unreliability" in capsys.readouterr().out
 
+    def test_minimiser_choice_preserves_result(self, cas_file, capsys):
+        """The signature reference engine yields the exact same report."""
+        assert main(["analyze", cas_file, "--time", "1.0"]) == 0
+        default_output = capsys.readouterr().out
+        assert (
+            main(["analyze", cas_file, "--time", "1.0", "--minimiser", "signature"])
+            == 0
+        )
+        reference_output = capsys.readouterr().out
+        assert "Unreliability(t=1) = 0.657900" in reference_output
+        assert default_output == reference_output
+
     def test_missing_file_is_an_error(self, capsys):
         assert main(["analyze", "/does/not/exist.dft"]) == 2
         assert "error:" in capsys.readouterr().err
@@ -103,7 +115,14 @@ class TestAnalyzeJson:
         }
         assert payload["schema"] == "repro.study/1"
         assert set(payload["tree"]) == {"name", "summary"}
-        assert set(payload["options"]) == {"ordering", "aggregation", "fuse", "tolerance"}
+        assert set(payload["options"]) == {
+            "ordering",
+            "aggregation",
+            "minimiser",
+            "fuse",
+            "tolerance",
+        }
+        assert payload["options"]["minimiser"] == "splitter"
         assert set(payload["model"]) == {
             "kind",
             "states",
