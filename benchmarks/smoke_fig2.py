@@ -11,7 +11,11 @@ the first argument) recording the numbers the perf trajectory tracks:
 * curve evaluation on the paper's cascaded-PAND CTMC: one vectorised
   100-point uniformisation sweep vs 100 per-point calls (the two must agree
   to 1e-9; the sweep must be faster),
-* a batch/corpus spot-check over generated random trees.
+* a batch/corpus spot-check over generated random trees,
+* a 50-sample failure-rate sweep on the CPS: the sweep engine (one
+  aggregation, per-sample CTMC instantiation) vs 50 naive full-pipeline
+  evaluations — results must agree to 1e-9 and CI gates the speedup at
+  >= 5x.
 
 Runs on a plain Python interpreter — no pytest-benchmark required — so CI can
 execute it as a single cheap step::
@@ -32,8 +36,12 @@ from repro import (
     AnalysisOptions,
     BatchStudy,
     CompositionalAnalyzer,
+    RateSweep,
+    SweepStudy,
     Unreliability,
+    evaluate,
 )
+from repro.core.sweep import substitute_parameters, with_rate_parameters
 from repro.core import convert, signals
 from repro.ioimc import (
     apply_maximal_progress,
@@ -240,6 +248,45 @@ def bench_batch(corpus_size: int = 6, num_basic_events: int = 6) -> dict:
     }
 
 
+def bench_sweep(num_samples: int = 50, mission_time: float = 1.0) -> dict:
+    """50-sample CPS rate sweep: aggregate-once engine vs naive re-runs.
+
+    This is the rate-sweep PR's acceptance number: the sweep engine shares
+    one conversion + aggregation and instantiates only the CTMC per sample,
+    so it must beat ``num_samples`` independent full-pipeline evaluations by
+    >= 5x while agreeing to 1e-9 on every sample.
+    """
+    events = {f"{m}{i}": "lam" for m in ("A", "C", "D") for i in range(1, 5)}
+    tree = with_rate_parameters(cascaded_pand_system(), events)
+    samples = [{"lam": 0.1 + 0.04 * index} for index in range(num_samples)]
+    query = Unreliability([mission_time])
+
+    def swept():
+        return SweepStudy(tree).run(RateSweep(query, samples))
+
+    def naive():
+        return [
+            evaluate(substitute_parameters(tree, sample), query) for sample in samples
+        ]
+
+    result, sweep_seconds = _timed(swept, repeats=1)
+    references, naive_seconds = _timed(naive, repeats=1)
+    worst = max(
+        abs(row["unreliability"].values[0] - ref["unreliability"].values[0])
+        for row, ref in zip(result.rows, references)
+    )
+    return {
+        "num_samples": num_samples,
+        "failed_rows": result.num_failed,
+        "shared_pipeline_seconds": result.timings["shared"],
+        "per_sample_seconds": result.timings["samples"] / num_samples,
+        "sweep_wall_seconds": sweep_seconds,
+        "naive_wall_seconds": naive_seconds,
+        "speedup": naive_seconds / sweep_seconds if sweep_seconds else None,
+        "max_abs_difference": worst,
+    }
+
+
 def main(argv) -> int:
     output_path = argv[1] if len(argv) > 1 else "BENCH_fig2.json"
     report = {
@@ -251,6 +298,7 @@ def main(argv) -> int:
         "minimisation": bench_minimisation(3, 6),
         "curve": bench_curve(),
         "batch": bench_batch(),
+        "sweep": bench_sweep(),
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -288,6 +336,22 @@ def main(argv) -> int:
         return 1
     if report["batch"]["failed"]:
         print("FAIL: batch corpus run had failing trees", file=sys.stderr)
+        return 1
+    sweep = report["sweep"]
+    if sweep["failed_rows"]:
+        print("FAIL: rate sweep had failing sample rows", file=sys.stderr)
+        return 1
+    if sweep["max_abs_difference"] > 1e-9:
+        print("FAIL: rate sweep deviates from naive per-sample re-runs", file=sys.stderr)
+        return 1
+    # Acceptance gate of the rate-sweep PR: aggregate-once must beat 50 naive
+    # pipeline runs by >= 5x (measured ~10-40x on development machines).
+    if sweep["speedup"] is None or sweep["speedup"] < 5.0:
+        print(
+            "FAIL: the rate-sweep engine is not >= 5x faster than naive "
+            f"per-sample re-runs (got {sweep['speedup']})",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

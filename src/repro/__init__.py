@@ -47,16 +47,23 @@ from .core import (
     Study,
     StudyOptions,
     StudyResult,
+    SweepResult,
+    RateSweep,
+    SweepStudy,
     Unavailability,
     Unreliability,
     UnreliabilityBounds,
     detect_nondeterminism,
     evaluate,
+    run_sweep,
+    substitute_parameters,
+    with_rate_parameters,
     mean_time_to_failure,
     unavailability,
     unreliability,
     unreliability_bounds,
 )
+from .core.sweep import sweep
 from .dft import DynamicFaultTree, FaultTreeBuilder
 
 __version__ = "1.0.0"
@@ -74,6 +81,9 @@ __all__ = [
     "Study",
     "StudyOptions",
     "StudyResult",
+    "SweepResult",
+    "RateSweep",
+    "SweepStudy",
     "Unavailability",
     "Unreliability",
     "UnreliabilityBounds",
@@ -84,6 +94,10 @@ __all__ = [
     "errors",
     "evaluate",
     "ioimc",
+    "substitute_parameters",
+    "run_sweep",
+    "sweep",
+    "with_rate_parameters",
     "mean_time_to_failure",
     "unavailability",
     "unreliability",

@@ -9,10 +9,20 @@ and report reliability measures.  Sub-commands:
     times, MTTF, unavailability) against a tree — one conversion, one
     aggregation, one vectorised transient sweep.  ``--json`` emits the full
     structured result (schema ``repro.study/1``).
+``sweep``
+    Evaluate one query at many failure-rate samples while running conversion
+    and aggregation **once**: the aggregated I/O-IMC keeps a transition ->
+    parameter map and only the CTMC generator is rebuilt per sample.
+    ``--param lam=0.1:2.0:50`` sweeps a declared Galileo parameter (or a
+    basic event by name) over a linspace grid; ``--json`` emits schema
+    ``repro.sweep/1``.
 ``batch``
     Evaluate the same query over a corpus of ``.dft`` files (shell-style
     globs are expanded) with optional process parallelism, printing per-tree
-    rows and aggregate timing.  ``--json`` emits schema ``repro.batch/1``.
+    rows and aggregate timing.  ``--json`` emits schema ``repro.batch/1``;
+    ``--output-jsonl FILE`` streams one ``repro.batch/2`` record per tree to
+    disk instead of materialising the rows (``--chunk-size`` tunes the
+    chunked scheduling).
 ``baseline``
     The DIFTree-style modular analysis of the same file, for comparison.
 ``modules``
@@ -39,12 +49,17 @@ from .core import (
     BatchStudy,
     MeasureResult,
     Query,
+    RateSweep,
     Study,
     StudyOptions,
+    SweepStudy,
     Unavailability,
     Unreliability,
     UnreliabilityBounds,
+    with_rate_parameters,
 )
+from .ctmc.builders import CtmdpSkeleton
+from .dft.elements import BasicEvent
 from .dft import diftree_modules, galileo, independent_modules
 from .dft.visualization import to_dot
 from .errors import ReproError
@@ -178,7 +193,17 @@ def command_batch(args: argparse.Namespace) -> int:
     # non-deterministic, so one query fits the whole corpus.
     query = _build_query(args, bounds=True)
     batch = BatchStudy(paths, query, _analysis_options(args))
-    result = batch.run(processes=args.processes)
+    if args.output_jsonl:
+        if args.json:
+            print(
+                "error: --json and --output-jsonl are mutually exclusive "
+                "(the streamed sink holds the rows; read it back with "
+                "repro.core.results.read_batch_jsonl)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_batch_streaming(args, batch)
+    result = batch.run(processes=args.processes, chunk_size=args.chunk_size)
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -210,6 +235,153 @@ def command_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if result.num_failed == 0 and measure_failures == 0 else 1
+
+
+def _parse_sweep_axis(spec: str) -> Tuple[str, List[float]]:
+    """Parse ``NAME=SPEC`` where SPEC is ``start:stop:count``, a comma list
+    or a single value."""
+    name, separator, body = spec.partition("=")
+    name = name.strip()
+    body = body.strip()
+    if not separator or not name or not body:
+        raise ReproError(
+            f"cannot parse sweep axis {spec!r}; expected NAME=start:stop:count, "
+            "NAME=v1,v2,... or NAME=value"
+        )
+    try:
+        if ":" in body:
+            parts = body.split(":")
+            if len(parts) != 3:
+                raise ValueError
+            start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+            if count < 1:
+                raise ValueError
+            if count == 1:
+                values = [start]
+            else:
+                step = (stop - start) / (count - 1)
+                values = [start + step * index for index in range(count)]
+        elif "," in body:
+            values = [float(part) for part in body.split(",") if part.strip()]
+            if not values:
+                raise ValueError
+        else:
+            values = [float(body)]
+    except ValueError:
+        raise ReproError(
+            f"cannot parse sweep axis {spec!r}; expected NAME=start:stop:count, "
+            "NAME=v1,v2,... or NAME=value"
+        ) from None
+    return name, values
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    axes: dict = {}
+    for spec in args.param:
+        name, values = _parse_sweep_axis(spec)
+        if name in axes:
+            print(f"error: sweep axis {name!r} given twice", file=sys.stderr)
+            return 2
+        axes[name] = values
+    # An axis naming a basic event (rather than a declared parameter) attaches
+    # a parameter of the same name to that event's failure rate, so plain
+    # Galileo files can be swept without editing them.
+    attach = [
+        name
+        for name in axes
+        if name not in tree.parameters
+        and name in tree
+        and isinstance(tree.element(name), BasicEvent)
+    ]
+    if attach:
+        tree = with_rate_parameters(tree, {name: name for name in attach})
+    # Reject unknown axes (and non-positive sample values, via RateSweep's
+    # validation below) BEFORE paying for conversion + aggregation: a typo'd
+    # parameter name on a large tree must fail in milliseconds, not minutes.
+    unknown = sorted(name for name in axes if name not in tree.parameters)
+    if unknown:
+        print(
+            "error: the sweep varies parameters the tree does not declare: "
+            + ", ".join(unknown)
+            + " (declare them with 'param <name> = <value>;' or name a basic event)",
+            file=sys.stderr,
+        )
+        return 2
+    placeholder = Unreliability(args.time)
+    samples = RateSweep.grid(placeholder, **axes).samples
+    study = SweepStudy(tree, _analysis_options(args))
+    bounds = args.bounds or isinstance(study.skeleton, CtmdpSkeleton)
+    query = _build_query(args, bounds=bounds)
+    result = study.run(RateSweep(query, samples))
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"Fault tree : {tree.summary()}")
+        print(f"Sweep      : {result.summary()}")
+        for row in result.rows:
+            point = ", ".join(f"{k}={v:g}" for k, v in row.sample.items())
+            if not row.ok:
+                print(f"[{point}]  FAILED: {row.error}")
+                continue
+            values = "  ".join(
+                line
+                for measure in row.measures
+                for line in _format_measure_lines(measure)
+            )
+            print(f"[{point}]  {values}")
+    row_failures = result.num_failed
+    measure_failures = sum(
+        1
+        for row in result.rows
+        if row.ok
+        for measure in row.measures
+        if not measure.ok
+    )
+    if row_failures or measure_failures:
+        print(
+            f"error: {row_failures} sample(s) and {measure_failures} measure(s) "
+            "could not be evaluated",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_batch_streaming(args: argparse.Namespace, batch: BatchStudy) -> int:
+    """Stream batch rows to a JSONL sink; only counters stay in memory."""
+    counters = {"measure_failures": 0}
+
+    def counted(rows):
+        # Row/failure totals live on the streamed BatchResult; per-measure
+        # failures are only visible row by row, so tally them in passing.
+        for row in rows:
+            if row.ok and row.result is not None:
+                counters["measure_failures"] += sum(
+                    1 for measure in row.result.measures if not measure.ok
+                )
+            yield row
+
+    from .core.results import write_batch_jsonl
+
+    with open(args.output_jsonl, "w", encoding="utf-8") as handle:
+        result = write_batch_jsonl(
+            counted(batch.iter_rows(processes=args.processes, chunk_size=args.chunk_size)),
+            handle,
+            processes=args.processes or 1,
+        )
+    print(
+        f"{len(result)} trees analysed ({result.num_failed} failed) in "
+        f"{result.wall_seconds:.3f}s wall; rows streamed to {args.output_jsonl} "
+        f"(schema repro.batch/2)"
+    )
+    if counters["measure_failures"]:
+        print(
+            f"error: {counters['measure_failures']} measure(s) could not be "
+            "evaluated (see the per-tree rows in the sink)",
+            file=sys.stderr,
+        )
+    return 0 if result.num_failed == 0 and counters["measure_failures"] == 0 else 1
 
 
 def command_baseline(args: argparse.Namespace) -> int:
@@ -339,6 +511,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(analyze)
     analyze.set_defaults(handler=command_analyze)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="sweep failure-rate parameters while aggregating only once",
+    )
+    _add_tree_argument(sweep)
+    sweep.add_argument(
+        "--param",
+        action="append",
+        required=True,
+        metavar="NAME=SPEC",
+        help="sweep axis: NAME=start:stop:count (linspace), NAME=v1,v2,... or "
+        "NAME=value; NAME is a declared Galileo parameter or a basic event "
+        "(which then gets a parameter attached); repeat for a grid",
+    )
+    add_measures(sweep)
+    sweep.add_argument(
+        "--bounds",
+        action="store_true",
+        help="report (min, max) unreliability bounds even for deterministic trees",
+    )
+    add_common(sweep)
+    sweep.set_defaults(handler=command_sweep)
+
     batch = subparsers.add_parser(
         "batch", help="analyse a corpus of .dft files (globs allowed)"
     )
@@ -353,6 +548,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="number of worker processes (default: 1, serial)",
+    )
+    batch.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="trees per scheduling chunk (default: sized from the corpus and "
+        "worker count)",
+    )
+    batch.add_argument(
+        "--output-jsonl",
+        metavar="FILE",
+        default=None,
+        help="stream one repro.batch/2 JSON record per tree to FILE instead of "
+        "materialising all rows in memory",
     )
     add_common(batch)
     batch.set_defaults(handler=command_batch)

@@ -51,8 +51,24 @@ from .results import (
     MeasureResult,
     ModelInfo,
     StudyResult,
+    SweepResult,
+    SweepRow,
+    read_batch_jsonl,
+    write_batch_jsonl,
 )
-from .study import BatchStudy, Study, StudyOptions, evaluate
+from .study import BatchStudy, Study, StudyOptions, evaluate, evaluate_query_on_model
+from .sweep import (
+    RateSweep,
+    SweepStudy,
+    substitute_parameters,
+    with_rate_parameters,
+)
+from .sweep import sweep as run_sweep
+# Rebind the package attribute to the submodule: exporting the convenience
+# function must not shadow `repro.core.sweep` (the module) for attribute
+# access like `repro.core.sweep.SweepStudy`.
+from . import sweep
+
 
 __all__ = [
     "AggregationPlan",
@@ -88,6 +104,17 @@ __all__ = [
     "convert",
     "detect_nondeterminism",
     "evaluate",
+    "evaluate_query_on_model",
+    "with_rate_parameters",
+    "run_sweep",
+    "sweep",
+    "substitute_parameters",
+    "write_batch_jsonl",
+    "read_batch_jsonl",
+    "SweepRow",
+    "SweepResult",
+    "SweepStudy",
+    "RateSweep",
     "mean_time_to_failure",
     "signals",
     "unavailability",

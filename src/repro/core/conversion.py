@@ -396,6 +396,8 @@ class DftToIoimcConverter:
                 failure_rate=event.failure_rate,
                 dormancy=0.0,
                 repair_rate=event.repair_rate,
+                failure_rate_param=event.failure_rate_param,
+                repair_rate_param=event.repair_rate_param,
             )
         return BasicEventBehavior(
             effective_event,

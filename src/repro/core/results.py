@@ -6,23 +6,34 @@ the CLI's ``--json`` mode) get values, bounds and provenance in one place:
 * :class:`MeasureResult` — the evaluated values of one measure spec,
 * :class:`ModelInfo` — the shape of the final aggregated model,
 * :class:`StudyResult` — everything computed for one tree by one query,
-* :class:`BatchRow` / :class:`BatchResult` — the corpus runner's output.
+* :class:`BatchRow` / :class:`BatchResult` — the corpus runner's output,
+* :class:`SweepRow` / :class:`SweepResult` — the rate-sweep engine's output.
 
 ``to_dict`` produces plain JSON-safe structures; ``StudyResult.to_json`` is
 what ``repro analyze --json`` prints (schema tag ``repro.study/1``).
+
+Streaming sinks: :func:`write_batch_jsonl` emits one self-describing JSON
+object per batch row (schema tag ``repro.batch/2``) followed by a final
+aggregate record, so million-tree corpora never materialise all rows in
+memory; :func:`read_batch_jsonl` reconstructs the equivalent
+:class:`BatchResult` (``from_dict`` counterparts exist for every row-level
+type, so the round-trip is loss-free at the JSON level).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import AnalysisError
 from .aggregation import CompositionStatistics
 
 STUDY_SCHEMA = "repro.study/1"
 BATCH_SCHEMA = "repro.batch/1"
+#: Per-row schema of the streaming JSONL batch sink.
+BATCH_ROW_SCHEMA = "repro.batch/2"
+SWEEP_SCHEMA = "repro.sweep/1"
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,22 @@ class MeasureResult:
             payload["upper"] = list(self.upper)
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MeasureResult":
+        def floats(key: str) -> Optional[Tuple[float, ...]]:
+            raw = payload.get(key)
+            return None if raw is None else tuple(float(v) for v in raw)  # type: ignore[union-attr]
+
+        return cls(
+            kind=str(payload["kind"]),
+            times=floats("times"),
+            values=floats("values"),
+            lower=floats("lower"),
+            upper=floats("upper"),
+            steady_state=payload.get("steady_state"),  # type: ignore[arg-type]
+            error=payload.get("error"),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class ModelInfo:
@@ -107,6 +134,47 @@ class ModelInfo:
             "community_size": self.community_size,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModelInfo":
+        return cls(
+            kind=str(payload["kind"]),
+            states=int(payload["states"]),  # type: ignore[arg-type]
+            nondeterministic=bool(payload["nondeterministic"]),
+            final_ioimc_states=int(payload["final_ioimc_states"]),  # type: ignore[arg-type]
+            final_ioimc_transitions=int(payload["final_ioimc_transitions"]),  # type: ignore[arg-type]
+            community_size=int(payload["community_size"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RestoredStatistics:
+    """Composition statistics read back from serialised form.
+
+    The JSON row of a batch run records the statistics *summary* (peaks and
+    final sizes, no per-step records); this stand-in replays exactly that
+    payload so a round-trip through the JSONL sink is loss-free at the JSON
+    level.  It offers the same read attributes the summary payload carries.
+    """
+
+    payload: Dict[str, object]
+
+    def to_dict(self, include_steps: bool = True) -> Dict[str, object]:
+        data = dict(self.payload)
+        if not include_steps:
+            data.pop("steps", None)
+        return data
+
+    def __getattr__(self, name: str):
+        # Never resolve private/dunder probes through the payload: pickle and
+        # deepcopy ask for __setstate__/__deepcopy__ before `payload` exists,
+        # which would otherwise recurse through this very method.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
 
 @dataclass(frozen=True)
 class StudyResult:
@@ -116,7 +184,7 @@ class StudyResult:
     tree_summary: str
     measures: Tuple[MeasureResult, ...]
     model: ModelInfo
-    statistics: CompositionStatistics
+    statistics: Union[CompositionStatistics, RestoredStatistics]
     options: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
 
@@ -147,6 +215,22 @@ class StudyResult:
     def to_json(self, indent: Optional[int] = 2, include_steps: bool = True) -> str:
         return json.dumps(self.to_dict(include_steps=include_steps), indent=indent)
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StudyResult":
+        tree = payload.get("tree", {})
+        return cls(
+            tree_name=str(tree.get("name", "")),  # type: ignore[union-attr]
+            tree_summary=str(tree.get("summary", "")),  # type: ignore[union-attr]
+            measures=tuple(
+                MeasureResult.from_dict(measure)  # type: ignore[arg-type]
+                for measure in payload.get("measures", ())
+            ),
+            model=ModelInfo.from_dict(payload["model"]),  # type: ignore[arg-type]
+            statistics=RestoredStatistics(dict(payload.get("statistics", {}))),  # type: ignore[arg-type]
+            options=dict(payload.get("options", {})),  # type: ignore[arg-type]
+            timings=dict(payload.get("timings", {})),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class BatchRow:
@@ -175,16 +259,261 @@ class BatchRow:
             payload["error"] = self.error
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BatchRow":
+        result = payload.get("result")
+        return cls(
+            name=str(payload["name"]),
+            source=payload.get("source"),  # type: ignore[arg-type]
+            result=None if result is None else StudyResult.from_dict(result),  # type: ignore[arg-type]
+            error=payload.get("error"),  # type: ignore[arg-type]
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Per-tree rows plus aggregate timing of one corpus run."""
+    """Per-tree rows plus aggregate timing of one corpus run.
+
+    A result whose rows were streamed to a JSONL sink carries ``rows=()``
+    but keeps the aggregate counters in ``streamed_trees`` /
+    ``streamed_failed`` / ``streamed_tree_seconds``, so ``len``,
+    ``num_failed`` and ``summary()`` stay truthful either way.
+    """
 
     rows: Tuple[BatchRow, ...]
     wall_seconds: float
     processes: int
+    streamed_trees: Optional[int] = None
+    streamed_failed: Optional[int] = None
+    streamed_tree_seconds: Optional[float] = None
 
     def __iter__(self) -> Iterator[BatchRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        if not self.rows and self.streamed_trees is not None:
+            return self.streamed_trees
+        return len(self.rows)
+
+    @property
+    def num_failed(self) -> int:
+        if not self.rows and self.streamed_failed is not None:
+            return self.streamed_failed
+        return sum(1 for row in self.rows if not row.ok)
+
+    @property
+    def num_ok(self) -> int:
+        return len(self) - self.num_failed
+
+    @property
+    def tree_seconds(self) -> float:
+        """Summed per-tree wall time (exceeds ``wall_seconds`` when parallel)."""
+        if not self.rows and self.streamed_tree_seconds is not None:
+            return self.streamed_tree_seconds
+        return sum(row.wall_seconds for row in self.rows)
+
+    def summary(self) -> str:
+        count = len(self)
+        mean = self.tree_seconds / count if count else 0.0
+        return (
+            f"{count} trees analysed ({self.num_failed} failed) in "
+            f"{self.wall_seconds:.3f}s wall ({self.tree_seconds:.3f}s tree time, "
+            f"{mean:.3f}s/tree, {self.processes} process"
+            f"{'es' if self.processes != 1 else ''})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        count = len(self)
+        return {
+            "schema": BATCH_SCHEMA,
+            "rows": [row.to_dict() for row in self.rows],
+            "aggregate": {
+                "trees": count,
+                "failed": self.num_failed,
+                "wall_seconds": self.wall_seconds,
+                "tree_seconds": self.tree_seconds,
+                "mean_tree_seconds": (self.tree_seconds / count if count else 0.0),
+                "processes": self.processes,
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# streaming JSONL batch sink (schema repro.batch/2)
+# ---------------------------------------------------------------------------
+
+def batch_row_record(row: BatchRow) -> Dict[str, object]:
+    """The self-describing JSONL record of one batch row."""
+    payload: Dict[str, object] = {"schema": BATCH_ROW_SCHEMA, "kind": "row"}
+    payload.update(row.to_dict())
+    return payload
+
+
+def batch_aggregate_record(
+    rows: int, failed: int, wall_seconds: float, tree_seconds: float, processes: int
+) -> Dict[str, object]:
+    """The trailing aggregate record of a streamed batch run."""
+    return {
+        "schema": BATCH_ROW_SCHEMA,
+        "kind": "aggregate",
+        "trees": rows,
+        "failed": failed,
+        "wall_seconds": wall_seconds,
+        "tree_seconds": tree_seconds,
+        "processes": processes,
+    }
+
+
+def write_batch_jsonl(
+    rows: Iterable[BatchRow], handle: IO[str], processes: int = 1
+) -> BatchResult:
+    """Stream ``rows`` to ``handle`` as JSONL and return the aggregate result.
+
+    Each row is written (and flushed) as soon as it arrives, so the memory
+    footprint is one row, not the corpus.  The returned :class:`BatchResult`
+    carries **no rows** (``rows=()``) — the rows live in the sink; use
+    :func:`read_batch_jsonl` to load them back — but it keeps the aggregate
+    counters, so ``num_failed`` / ``summary()`` report the streamed corpus.
+    """
+    import time as _time
+
+    count = 0
+    failed = 0
+    tree_seconds = 0.0
+    start = _time.perf_counter()
+    for row in rows:
+        handle.write(json.dumps(batch_row_record(row)) + "\n")
+        handle.flush()
+        count += 1
+        if not row.ok:
+            failed += 1
+        tree_seconds += row.wall_seconds
+    wall = _time.perf_counter() - start
+    handle.write(
+        json.dumps(
+            batch_aggregate_record(count, failed, wall, tree_seconds, processes)
+        )
+        + "\n"
+    )
+    handle.flush()
+    return BatchResult(
+        rows=(),
+        wall_seconds=wall,
+        processes=processes,
+        streamed_trees=count,
+        streamed_failed=failed,
+        streamed_tree_seconds=tree_seconds,
+    )
+
+
+def read_batch_jsonl(handle: IO[str]) -> BatchResult:
+    """Reconstruct a :class:`BatchResult` from a ``repro.batch/2`` JSONL sink."""
+    rows: List[BatchRow] = []
+    aggregate: Optional[Dict[str, object]] = None
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise AnalysisError(
+                f"line {line_number} of the batch sink is not valid JSON: {error}"
+            ) from error
+        schema = record.get("schema")
+        if schema != BATCH_ROW_SCHEMA:
+            raise AnalysisError(
+                f"line {line_number} of the batch sink has schema {schema!r}; "
+                f"expected {BATCH_ROW_SCHEMA!r}"
+            )
+        kind = record.get("kind")
+        if kind == "row":
+            rows.append(BatchRow.from_dict(record))
+        elif kind == "aggregate":
+            aggregate = record
+        else:
+            raise AnalysisError(
+                f"line {line_number} of the batch sink has unknown kind {kind!r}"
+            )
+    if aggregate is None:
+        # Truncated sink (e.g. the run was interrupted): reconstruct the
+        # aggregate from the rows that made it to disk.
+        return BatchResult(
+            rows=tuple(rows),
+            wall_seconds=sum(row.wall_seconds for row in rows),
+            processes=1,
+        )
+    return BatchResult(
+        rows=tuple(rows),
+        wall_seconds=float(aggregate.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+        processes=int(aggregate.get("processes", 1)),  # type: ignore[arg-type]
+    )
+
+
+# ---------------------------------------------------------------------------
+# rate-sweep results (schema repro.sweep/1)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepRow:
+    """The measures of one parameter sample inside a rate sweep."""
+
+    sample: Dict[str, float]
+    measures: Tuple[MeasureResult, ...]
+    wall_seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __getitem__(self, kind: str) -> MeasureResult:
+        for measure in self.measures:
+            if measure.kind == kind:
+                return measure
+        raise KeyError(kind)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "sample": dict(self.sample),
+            "ok": self.ok,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.measures:
+            payload["measures"] = [measure.to_dict() for measure in self.measures]
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepRow":
+        return cls(
+            sample={str(k): float(v) for k, v in payload.get("sample", {}).items()},  # type: ignore[union-attr]
+            measures=tuple(
+                MeasureResult.from_dict(measure)  # type: ignore[arg-type]
+                for measure in payload.get("measures", ())
+            ),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            error=payload.get("error"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one rate sweep computed: shared pipeline work + all samples."""
+
+    tree_name: str
+    parameters: Tuple[str, ...]
+    rows: Tuple[SweepRow, ...]
+    model: ModelInfo
+    options: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[SweepRow]:
         return iter(self.rows)
 
     def __len__(self) -> int:
@@ -198,34 +527,32 @@ class BatchResult:
     def num_failed(self) -> int:
         return len(self.rows) - self.num_ok
 
-    @property
-    def tree_seconds(self) -> float:
-        """Summed per-tree wall time (exceeds ``wall_seconds`` when parallel)."""
-        return sum(row.wall_seconds for row in self.rows)
+    def values(self, kind: str) -> List[Tuple[Dict[str, float], MeasureResult]]:
+        """(sample, measure) pairs of one measure kind over all ok rows."""
+        return [(row.sample, row[kind]) for row in self.rows if row.ok]
 
     def summary(self) -> str:
-        mean = self.tree_seconds / len(self.rows) if self.rows else 0.0
+        shared = self.timings.get("shared", 0.0)
+        samples = self.timings.get("samples", 0.0)
         return (
-            f"{len(self.rows)} trees analysed ({self.num_failed} failed) in "
-            f"{self.wall_seconds:.3f}s wall ({self.tree_seconds:.3f}s tree time, "
-            f"{mean:.3f}s/tree, {self.processes} process"
-            f"{'es' if self.processes != 1 else ''})"
+            f"{len(self.rows)} samples over {', '.join(self.parameters)} "
+            f"({self.num_failed} failed); shared pipeline {shared:.3f}s, "
+            f"all samples {samples:.3f}s"
         )
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "schema": BATCH_SCHEMA,
+            "schema": SWEEP_SCHEMA,
+            "tree": self.tree_name,
+            "parameters": list(self.parameters),
+            "options": dict(self.options),
+            "model": self.model.to_dict(),
             "rows": [row.to_dict() for row in self.rows],
             "aggregate": {
-                "trees": len(self.rows),
+                "samples": len(self.rows),
                 "failed": self.num_failed,
-                "wall_seconds": self.wall_seconds,
-                "tree_seconds": self.tree_seconds,
-                "mean_tree_seconds": (
-                    self.tree_seconds / len(self.rows) if self.rows else 0.0
-                ),
-                "processes": self.processes,
             },
+            "timings": dict(self.timings),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Tuple
 from ...dft.elements import BasicEvent
 from ...ioimc.actions import ActionSignature
 from ...ioimc.behavior import ElementBehavior
+from ...ioimc.rates import ParametricRate, RateLike
 
 # state := (mode, phase)
 #   mode  in {"dormant", "active"}
@@ -66,6 +67,25 @@ class BasicEventBehavior(ElementBehavior):
         self.fire_action = fire_action
         self.activation_action = activation_action
         self.repair_action = repair_action if event.is_repairable else None
+        # Rates bound to a declared parameter enter the model as symbolic
+        # linear forms, so the aggregated I/O-IMC keeps the transition ->
+        # parameter map the rate-sweep engine re-instantiates per sample.
+        self._active_rate: RateLike = event.failure_rate
+        self._dormant_rate: RateLike = event.dormant_rate
+        if event.failure_rate_param is not None:
+            param = event.failure_rate_param
+            self._active_rate = ParametricRate.for_parameter(param, event.failure_rate)
+            if event.dormancy > 0.0:
+                self._dormant_rate = ParametricRate.for_parameter(
+                    param, event.failure_rate, coefficient=event.dormancy
+                )
+            else:
+                self._dormant_rate = 0.0
+        self._repair_rate: RateLike = event.repair_rate if event.is_repairable else 0.0
+        if event.repair_rate_param is not None and event.repair_rate is not None:
+            self._repair_rate = ParametricRate.for_parameter(
+                event.repair_rate_param, event.repair_rate
+            )
 
     # ----------------------------------------------------------- behaviour API
     def signature(self) -> ActionSignature:
@@ -95,19 +115,15 @@ class BasicEventBehavior(ElementBehavior):
             return ((self.repair_action, (mode, _OPERATIONAL)),)
         return ()
 
-    def markovian(self, state: Tuple[str, str]) -> Iterable[Tuple[float, Tuple[str, str]]]:
+    def markovian(self, state: Tuple[str, str]) -> Iterable[Tuple[RateLike, Tuple[str, str]]]:
         mode, phase = state
         transitions = []
         if phase == _OPERATIONAL:
-            rate = (
-                self.event.failure_rate
-                if mode == "active"
-                else self.event.dormant_rate
-            )
+            rate = self._active_rate if mode == "active" else self._dormant_rate
             if rate > 0.0:
                 transitions.append((rate, (mode, _FIRING)))
         elif phase == _FIRED and self.repair_action is not None:
-            transitions.append((self.event.repair_rate, (mode, _ANNOUNCING_REPAIR)))
+            transitions.append((self._repair_rate, (mode, _ANNOUNCING_REPAIR)))
         return transitions
 
     def state_name(self, state: Tuple[str, str]) -> str:

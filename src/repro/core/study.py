@@ -24,10 +24,22 @@ subcommand is a thin shell around it.
 from __future__ import annotations
 
 import time as _time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
 from ..dft import galileo
@@ -56,6 +68,7 @@ from .results import (
     MeasureResult,
     ModelInfo,
     StudyResult,
+    write_batch_jsonl,
 )
 
 QueryLike = Union[Query, Measure, Sequence[Measure]]
@@ -98,6 +111,133 @@ class StudyOptions:
 
 def _as_query(query: QueryLike) -> Query:
     return query if isinstance(query, Query) else Query(query)
+
+
+# ---------------------------------------------------------------------------
+# model-level evaluation (shared by Study and the rate-sweep engine)
+# ---------------------------------------------------------------------------
+
+def _ctmc_point_values(
+    model: CTMC, query: Query, tolerance: float
+) -> Dict[float, float]:
+    """Failed-state occupancy at the union of all requested times (one sweep)."""
+    times = query.transient_times()
+    if not times:
+        return {}
+    curve = model.probability_of_label_curve(
+        signals.FAILED_LABEL, times, tolerance=tolerance
+    )
+    return dict(zip(times, (float(value) for value in curve)))
+
+
+def _ctmdp_bound_values(
+    model: CTMDP, query: Query, tolerance: float
+) -> Dict[float, Tuple[float, float]]:
+    """Reachability bounds at the union of all bound times (one sweep pair)."""
+    times = tuple(
+        sorted(
+            {
+                time
+                for measure in query
+                if isinstance(measure, UnreliabilityBounds)
+                for time in measure.times  # type: ignore[union-attr]
+            }
+        )
+    )
+    if not times:
+        return {}
+    lower, upper = model.reachability_bounds_curve(
+        signals.FAILED_LABEL, times, tolerance=tolerance
+    )
+    return {
+        time: (float(low), float(high))
+        for time, low, high in zip(times, lower, upper)
+    }
+
+
+def _evaluate_measure(
+    model: Union[CTMC, CTMDP],
+    measure: Measure,
+    point_values: Dict[float, float],
+    bound_curves: Dict[float, Tuple[float, float]],
+) -> MeasureResult:
+    if isinstance(measure, Unreliability):
+        if isinstance(model, CTMDP):
+            raise AnalysisError(
+                "the model is non-deterministic (CTMDP); use UnreliabilityBounds "
+                "to obtain the interval of possible values"
+            )
+        times: Tuple[float, ...] = measure.times  # type: ignore[assignment]
+        return MeasureResult(
+            kind=measure.kind,
+            times=times,
+            values=tuple(point_values[time] for time in times),
+        )
+    if isinstance(measure, UnreliabilityBounds):
+        times = measure.times  # type: ignore[assignment]
+        lower = tuple(bound_curves[time][0] for time in times)
+        upper = tuple(bound_curves[time][1] for time in times)
+        return MeasureResult(kind=measure.kind, times=times, lower=lower, upper=upper)
+    if isinstance(measure, Unavailability):
+        if isinstance(model, CTMDP):
+            raise AnalysisError(
+                "unavailability of non-deterministic models is not supported"
+            )
+        if measure.steady_state:
+            value = model.steady_state_probability_of_label(signals.FAILED_LABEL)
+            return MeasureResult(
+                kind=measure.kind, values=(float(value),), steady_state=True
+            )
+        assert measure.time is not None
+        return MeasureResult(
+            kind=measure.kind,
+            times=(measure.time,),
+            values=(point_values[measure.time],),
+            steady_state=False,
+        )
+    if isinstance(measure, MTTF):
+        if isinstance(model, CTMDP):
+            raise AnalysisError("MTTF of non-deterministic models is not supported")
+        value = model.mean_time_to_label(signals.FAILED_LABEL)
+        return MeasureResult(kind=measure.kind, values=(float(value),))
+    raise AnalysisError(f"unsupported measure: {measure!r}")
+
+
+def evaluate_query_on_model(
+    model: Union[CTMC, CTMDP],
+    query: QueryLike,
+    tolerance: float = 1e-12,
+    on_error: str = "raise",
+) -> Tuple[MeasureResult, ...]:
+    """Evaluate every measure of ``query`` directly on a Markov model.
+
+    This is the planning core of :meth:`Study.evaluate` without the pipeline:
+    one vectorised transient sweep over the union of all mission times (or one
+    bound-curve sweep pair for CTMDPs), then each measure reads its values.
+    The rate-sweep engine calls it once per instantiated sample.
+    """
+    if on_error not in ("raise", "record"):
+        raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    query = _as_query(query)
+    if isinstance(model, CTMC):
+        point_values = _ctmc_point_values(model, query, tolerance)
+        bound_curves: Dict[float, Tuple[float, float]] = {
+            time: (value, value) for time, value in point_values.items()
+        }
+    else:
+        point_values = {}
+        bound_curves = _ctmdp_bound_values(model, query, tolerance)
+    evaluated = []
+    for measure in query:
+        try:
+            evaluated.append(
+                _evaluate_measure(model, measure, point_values, bound_curves)
+            )
+        except AnalysisError as error:
+            if on_error == "raise":
+                raise
+            evaluated.append(MeasureResult(kind=measure.kind, error=str(error)))
+    return tuple(evaluated)
 
 
 class Study:
@@ -179,33 +319,12 @@ class Study:
         unsupported measure does not discard the others' values (the CLI and
         the batch runner use this mode).
         """
-        if on_error not in ("raise", "record"):
-            raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
         query = _as_query(query)
         model = self.markov_model
         start = _time.perf_counter()
-        tolerance = self.options.tolerance
-
-        if isinstance(model, CTMC):
-            point_values = self._ctmc_point_values(model, query, tolerance)
-            bound_curves: Dict[float, Tuple[float, float]] = {
-                time: (value, value) for time, value in point_values.items()
-            }
-        else:
-            point_values = {}
-            bound_curves = self._ctmdp_bound_values(model, query, tolerance)
-
-        evaluated = []
-        for measure in query:
-            try:
-                evaluated.append(
-                    self._evaluate_measure(model, measure, point_values, bound_curves)
-                )
-            except AnalysisError as error:
-                if on_error == "raise":
-                    raise
-                evaluated.append(MeasureResult(kind=measure.kind, error=str(error)))
-        measures = tuple(evaluated)
+        measures = evaluate_query_on_model(
+            model, query, tolerance=self.options.tolerance, on_error=on_error
+        )
         self._timings["evaluation"] = _time.perf_counter() - start
         self._timings["total"] = sum(
             self._timings.get(key, 0.0)
@@ -220,92 +339,6 @@ class Study:
             options=self.options.to_dict(),
             timings=self.timings,
         )
-
-    # ------------------------------------------------------- shared planning
-    def _ctmc_point_values(
-        self, model: CTMC, query: Query, tolerance: float
-    ) -> Dict[float, float]:
-        """Failed-state occupancy at the union of all requested times (one sweep)."""
-        times = query.transient_times()
-        if not times:
-            return {}
-        curve = model.probability_of_label_curve(
-            signals.FAILED_LABEL, times, tolerance=tolerance
-        )
-        return dict(zip(times, (float(value) for value in curve)))
-
-    def _ctmdp_bound_values(
-        self, model: CTMDP, query: Query, tolerance: float
-    ) -> Dict[float, Tuple[float, float]]:
-        """Reachability bounds at the union of all bound times (one sweep pair)."""
-        times = tuple(
-            sorted(
-                {
-                    time
-                    for measure in query
-                    if isinstance(measure, UnreliabilityBounds)
-                    for time in measure.times  # type: ignore[union-attr]
-                }
-            )
-        )
-        if not times:
-            return {}
-        lower, upper = model.reachability_bounds_curve(
-            signals.FAILED_LABEL, times, tolerance=tolerance
-        )
-        return {
-            time: (float(low), float(high))
-            for time, low, high in zip(times, lower, upper)
-        }
-
-    # ------------------------------------------------------------- measures
-    def _evaluate_measure(
-        self,
-        model: Union[CTMC, CTMDP],
-        measure: Measure,
-        point_values: Dict[float, float],
-        bound_curves: Dict[float, Tuple[float, float]],
-    ) -> MeasureResult:
-        if isinstance(measure, Unreliability):
-            if isinstance(model, CTMDP):
-                raise AnalysisError(
-                    "the model is non-deterministic (CTMDP); use UnreliabilityBounds "
-                    "to obtain the interval of possible values"
-                )
-            times: Tuple[float, ...] = measure.times  # type: ignore[assignment]
-            return MeasureResult(
-                kind=measure.kind,
-                times=times,
-                values=tuple(point_values[time] for time in times),
-            )
-        if isinstance(measure, UnreliabilityBounds):
-            times = measure.times  # type: ignore[assignment]
-            lower = tuple(bound_curves[time][0] for time in times)
-            upper = tuple(bound_curves[time][1] for time in times)
-            return MeasureResult(kind=measure.kind, times=times, lower=lower, upper=upper)
-        if isinstance(measure, Unavailability):
-            if isinstance(model, CTMDP):
-                raise AnalysisError(
-                    "unavailability of non-deterministic models is not supported"
-                )
-            if measure.steady_state:
-                value = model.steady_state_probability_of_label(signals.FAILED_LABEL)
-                return MeasureResult(
-                    kind=measure.kind, values=(float(value),), steady_state=True
-                )
-            assert measure.time is not None
-            return MeasureResult(
-                kind=measure.kind,
-                times=(measure.time,),
-                values=(point_values[measure.time],),
-                steady_state=False,
-            )
-        if isinstance(measure, MTTF):
-            if isinstance(model, CTMDP):
-                raise AnalysisError("MTTF of non-deterministic models is not supported")
-            value = model.mean_time_to_label(signals.FAILED_LABEL)
-            return MeasureResult(kind=measure.kind, values=(float(value),))
-        raise AnalysisError(f"unsupported measure: {measure!r}")
 
     def _model_info(self, model: Union[CTMC, CTMDP]) -> ModelInfo:
         final = self.final_ioimc
@@ -347,6 +380,13 @@ class _BatchItem:
     name: str
     path: Optional[str]
     tree: Optional[DynamicFaultTree]
+
+
+def _evaluate_batch_chunk(
+    jobs: Sequence[Tuple[_BatchItem, Query, Optional[StudyOptions]]]
+) -> List[BatchRow]:
+    """Worker entry point for chunked scheduling: one pickle per chunk."""
+    return [_evaluate_batch_item(job) for job in jobs]
 
 
 def _evaluate_batch_item(
@@ -435,17 +475,70 @@ class BatchStudy:
     def __len__(self) -> int:
         return len(self._items)
 
-    def run(self, processes: Optional[int] = None) -> BatchResult:
-        """Analyse every tree; ``processes > 1`` fans out over worker processes."""
+    def _resolve_workers(self, processes: Optional[int]) -> int:
         workers = int(processes) if processes else 1
+        if workers < 1:
+            raise AnalysisError(f"processes must be >= 1, got {processes}")
+        return workers if len(self._items) > 1 else 1
+
+    def iter_rows(
+        self,
+        processes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[BatchRow]:
+        """Yield per-tree rows as they are produced, in corpus order.
+
+        With ``processes > 1`` the corpus is cut into chunks of ``chunk_size``
+        trees (default: a multiple of the worker count) and at most a small
+        window of chunks is in flight at any time — so a million-tree corpus
+        neither materialises all rows nor floods the executor with futures.
+        """
+        workers = self._resolve_workers(processes)
         jobs = [(item, self.query, self.options) for item in self._items]
-        start = _time.perf_counter()
-        if workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                rows = list(pool.map(_evaluate_batch_item, jobs))
+        if workers == 1:
+            for job in jobs:
+                yield _evaluate_batch_item(job)
+            return
+        if chunk_size is None:
+            # Aim for ~4 chunks per worker so stragglers rebalance, but never
+            # sub-single-tree chunks.
+            chunk = max(1, min(64, len(jobs) // (workers * 4) or 1))
         else:
-            workers = 1
-            rows = [_evaluate_batch_item(job) for job in jobs]
+            chunk = int(chunk_size)
+            if chunk < 1:
+                raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
+        max_pending = workers + 2
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: Deque = deque()
+            next_index = 0
+            while next_index < len(jobs) or pending:
+                while next_index < len(jobs) and len(pending) < max_pending:
+                    batch = jobs[next_index : next_index + chunk]
+                    pending.append(pool.submit(_evaluate_batch_chunk, batch))
+                    next_index += len(batch)
+                for row in pending.popleft().result():
+                    yield row
+
+    def run(
+        self,
+        processes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        sink: Optional[TextIO] = None,
+    ) -> BatchResult:
+        """Analyse every tree; ``processes > 1`` fans out over worker processes.
+
+        With a ``sink`` (a writable text handle) rows are streamed to it as
+        ``repro.batch/2`` JSONL records instead of being collected — the
+        returned :class:`BatchResult` then carries the aggregate only
+        (``rows=()``); :func:`repro.core.results.read_batch_jsonl` loads the
+        rows back.
+        """
+        workers = self._resolve_workers(processes)
+        rows_iter = self.iter_rows(processes=workers, chunk_size=chunk_size)
+        if sink is not None:
+            return write_batch_jsonl(rows_iter, sink, processes=workers)
+        start = _time.perf_counter()
+        rows = list(rows_iter)
         return BatchResult(
             rows=tuple(rows),
             wall_seconds=_time.perf_counter() - start,

@@ -1,0 +1,345 @@
+"""Rate sweeps that reuse the aggregated I/O-IMC across all samples.
+
+Sweeping failure *rates* with the plain :class:`~repro.core.study.Study`
+re-runs the whole pipeline — conversion, composition, weak-bisimulation
+aggregation — once per sample, even though the aggregated model's *structure*
+does not depend on the rate values: rates only relabel Markovian transitions.
+This module exploits that invariance:
+
+1. declare named rate parameters on the tree (``param`` in Galileo,
+   :meth:`~repro.dft.tree.DynamicFaultTree.declare_parameter` /
+   :meth:`~repro.dft.builder.FaultTreeBuilder.parameter` in code);
+2. the conversion emits :class:`~repro.ioimc.rates.ParametricRate` forms, the
+   aggregation carries them through (structurally keyed rate classes keep the
+   quotient valid for **every** positive assignment), and the final model is
+   captured as a rate-independent skeleton
+   (:class:`~repro.ctmc.builders.CtmcSkeleton` /
+   :class:`~repro.ctmc.builders.CtmdpSkeleton`);
+3. :class:`RateSweep` evaluation instantiates only the CTMC/CTMDP generator
+   per sample and reuses the vectorised transient machinery per sample point.
+
+The cost drops from ``O(samples x pipeline)`` to
+``O(pipeline + samples x uniformisation)`` — the same amortisation the query
+engine already applies to mission times.
+
+Helpers for trees without declared parameters:
+
+* :func:`with_rate_parameters` attaches parameters to named basic events
+  (nominal = the event's current rate), so any existing tree can be swept;
+* :func:`substitute_parameters` bakes a sample into a plain tree — the naive
+  full-pipeline reference path used by the differential tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time as _time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..ctmc import CTMC, CTMDP
+from ..ctmc.builders import (
+    CtmcSkeleton,
+    CtmdpSkeleton,
+    ctmc_skeleton_from_ioimc,
+    ctmdp_skeleton_from_ioimc,
+)
+from ..dft.elements import BasicEvent
+from ..dft.tree import DynamicFaultTree
+from ..errors import AnalysisError, FaultTreeError, NondeterminismError, ReproError
+from .measures import Query
+from .results import ModelInfo, SweepResult, SweepRow
+from .study import QueryLike, Study, StudyOptions, _as_query, evaluate_query_on_model
+
+Sample = Dict[str, float]
+AxisLike = Union[float, int, Sequence[float]]
+
+
+def _check_sample_value(parameter: str, value: object) -> float:
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise AnalysisError(
+            f"sample value for parameter {parameter!r} is not a number: {value!r}"
+        ) from None
+    if not (number > 0.0 and math.isfinite(number)):
+        raise AnalysisError(
+            f"rate-sweep samples must be positive finite rates; parameter "
+            f"{parameter!r} got {number}"
+        )
+    return number
+
+
+@dataclass(frozen=True)
+class RateSweep:
+    """A declarative rate sweep: parameter samples x a query of measures.
+
+    Build one from an explicit sample list or from a grid::
+
+        RateSweep(Unreliability([1.0]), samples=[{"lam": 0.1}, {"lam": 0.2}])
+        RateSweep.grid(Unreliability([1.0]) + MTTF(), lam=np.linspace(0.1, 2, 50))
+
+    Every sample maps *declared* parameter names to positive finite rates;
+    parameters a sample leaves out keep their nominal value.
+    """
+
+    query: Query
+    samples: Tuple[Sample, ...]
+
+    def __init__(self, query: QueryLike, samples: Iterable[Mapping[str, float]]):
+        object.__setattr__(self, "query", _as_query(query))
+        normalised: List[Sample] = []
+        for sample in samples:
+            if not sample:
+                raise AnalysisError("a rate-sweep sample must assign at least one parameter")
+            normalised.append(
+                {
+                    str(parameter): _check_sample_value(parameter, value)
+                    for parameter, value in sample.items()
+                }
+            )
+        if not normalised:
+            raise AnalysisError("a rate sweep needs at least one sample")
+        object.__setattr__(self, "samples", tuple(normalised))
+
+    @classmethod
+    def grid(cls, query: QueryLike, **axes: AxisLike) -> "RateSweep":
+        """The cartesian product of per-parameter value axes."""
+        if not axes:
+            raise AnalysisError("a sweep grid needs at least one parameter axis")
+        names = list(axes)
+        columns: List[List[float]] = []
+        for name in names:
+            axis = axes[name]
+            if isinstance(axis, (int, float)):
+                axis = (axis,)
+            values = [float(value) for value in axis]
+            if not values:
+                raise AnalysisError(f"sweep axis {name!r} has no values")
+            columns.append(values)
+        samples = [
+            dict(zip(names, combination))
+            for combination in itertools.product(*columns)
+        ]
+        return cls(query, samples)
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        """Sorted union of the parameters any sample assigns."""
+        return tuple(sorted({name for sample in self.samples for name in sample}))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class SweepStudy:
+    """Plans a rate sweep: one pipeline run, one skeleton, N instantiations."""
+
+    def __init__(self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None):
+        self.tree = tree
+        self.study = Study(tree, options)
+        self._skeleton: Optional[Union[CtmcSkeleton, CtmdpSkeleton]] = None
+        self._skeleton_seconds = 0.0
+
+    # ------------------------------------------------------------- skeleton
+    @property
+    def skeleton(self) -> Union[CtmcSkeleton, CtmdpSkeleton]:
+        """The rate-independent final-model structure (cached)."""
+        if self._skeleton is None:
+            final = self.study.final_ioimc
+            start = _time.perf_counter()
+            try:
+                self._skeleton = ctmc_skeleton_from_ioimc(final)
+            except NondeterminismError:
+                self._skeleton = ctmdp_skeleton_from_ioimc(final)
+            self._skeleton_seconds = _time.perf_counter() - start
+        return self._skeleton
+
+    # ------------------------------------------------------------------ run
+    def run(self, sweep: RateSweep) -> SweepResult:
+        """Evaluate the sweep; sample failures become per-row errors."""
+        declared = self.tree.parameters
+        unknown = [name for name in sweep.parameters if name not in declared]
+        if unknown:
+            raise AnalysisError(
+                "the sweep varies parameters the tree does not declare: "
+                + ", ".join(sorted(unknown))
+                + " (declare them with 'param <name> = <value>;' or "
+                "DynamicFaultTree.declare_parameter)"
+            )
+        skeleton = self.skeleton
+        tolerance = self.study.options.tolerance
+        rows: List[SweepRow] = []
+        samples_start = _time.perf_counter()
+        for sample in sweep.samples:
+            # Unswept declared parameters keep their nominal value, so every
+            # parametric form is totally assigned.
+            assignment = dict(declared)
+            assignment.update(sample)
+            row_start = _time.perf_counter()
+            try:
+                model = skeleton.instantiate(assignment)
+                measures = evaluate_query_on_model(
+                    model, sweep.query, tolerance=tolerance, on_error="record"
+                )
+                rows.append(
+                    SweepRow(
+                        sample=dict(sample),
+                        measures=measures,
+                        wall_seconds=_time.perf_counter() - row_start,
+                    )
+                )
+            except ReproError as error:
+                rows.append(
+                    SweepRow(
+                        sample=dict(sample),
+                        measures=(),
+                        wall_seconds=_time.perf_counter() - row_start,
+                        error=str(error),
+                    )
+                )
+        samples_seconds = _time.perf_counter() - samples_start
+
+        study_timings = self.study.timings
+        shared = (
+            study_timings.get("conversion", 0.0)
+            + study_timings.get("aggregation", 0.0)
+            + self._skeleton_seconds
+        )
+        timings = {
+            "conversion": study_timings.get("conversion", 0.0),
+            "aggregation": study_timings.get("aggregation", 0.0),
+            "skeleton": self._skeleton_seconds,
+            "shared": shared,
+            "samples": samples_seconds,
+            "total": shared + samples_seconds,
+        }
+        return SweepResult(
+            tree_name=self.tree.name,
+            parameters=sweep.parameters,
+            rows=tuple(rows),
+            model=self._model_info(skeleton),
+            options=self.study.options.to_dict(),
+            timings=timings,
+        )
+
+    def _model_info(self, skeleton: Union[CtmcSkeleton, CtmdpSkeleton]) -> ModelInfo:
+        final = self.study.final_ioimc
+        nondeterministic = isinstance(skeleton, CtmdpSkeleton)
+        return ModelInfo(
+            kind="ctmdp" if nondeterministic else "ctmc",
+            states=skeleton.num_states,
+            nondeterministic=nondeterministic,
+            final_ioimc_states=final.num_states,
+            final_ioimc_transitions=final.num_transitions,
+            community_size=len(self.study.community.members),
+        )
+
+
+def sweep(
+    tree: DynamicFaultTree,
+    rate_sweep: RateSweep,
+    options: Optional[StudyOptions] = None,
+) -> SweepResult:
+    """Evaluate ``rate_sweep`` on ``tree`` with a fresh :class:`SweepStudy`."""
+    return SweepStudy(tree, options).run(rate_sweep)
+
+
+# ---------------------------------------------------------------------------
+# tree helpers (parametrising existing trees / the naive reference path)
+# ---------------------------------------------------------------------------
+
+def _rebuild(tree: DynamicFaultTree, name: Optional[str] = None) -> DynamicFaultTree:
+    clone = DynamicFaultTree(name if name is not None else tree.name)
+    return clone
+
+
+def with_rate_parameters(
+    tree: DynamicFaultTree,
+    events: Optional[Union[Iterable[str], Mapping[str, str]]] = None,
+) -> DynamicFaultTree:
+    """A copy of ``tree`` whose failure rates are bound to named parameters.
+
+    ``events`` may be an iterable of basic-event names (each gets a parameter
+    named after the event), a mapping ``event -> parameter`` (events sharing a
+    parameter must agree on the nominal rate), or ``None`` for *all* basic
+    events.  Already-declared parameters of ``tree`` are preserved.
+    """
+    if events is None:
+        mapping: Dict[str, str] = {
+            event.name: event.name for event in tree.basic_events()
+        }
+    elif isinstance(events, Mapping):
+        mapping = dict(events)
+    else:
+        mapping = {name: name for name in events}
+
+    clone = _rebuild(tree)
+    for parameter, nominal in tree.parameters.items():
+        clone.declare_parameter(parameter, nominal)
+    declared = clone.parameters
+    for event_name, parameter in mapping.items():
+        element = tree.element(event_name)
+        if not isinstance(element, BasicEvent):
+            raise FaultTreeError(
+                f"cannot attach a rate parameter to {event_name!r}: not a basic event"
+            )
+        if parameter in declared:
+            if declared[parameter] != element.failure_rate:
+                raise FaultTreeError(
+                    f"events sharing parameter {parameter!r} disagree on the "
+                    f"nominal rate ({declared[parameter]} vs {element.failure_rate})"
+                )
+        else:
+            clone.declare_parameter(parameter, element.failure_rate)
+            declared[parameter] = element.failure_rate
+
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent) and name in mapping:
+            element = replace(element, failure_rate_param=mapping[name])
+        clone.add(element)
+    clone.set_top(tree.top)
+    return clone
+
+
+def substitute_parameters(
+    tree: DynamicFaultTree, assignment: Mapping[str, float]
+) -> DynamicFaultTree:
+    """A plain (parameter-free) copy of ``tree`` with sampled rates baked in.
+
+    This is the naive full-pipeline path a sweep amortises away; the
+    differential tests evaluate it per sample and compare against the sweep
+    engine's rows.
+    """
+    declared = tree.parameters
+    unknown = [name for name in assignment if name not in declared]
+    if unknown:
+        raise FaultTreeError(
+            "cannot substitute undeclared parameters: " + ", ".join(sorted(unknown))
+        )
+    values = dict(declared)
+    for parameter, value in assignment.items():
+        values[parameter] = _check_sample_value(parameter, value)
+
+    clone = _rebuild(tree)
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent) and element.is_parametric:
+            failure = element.failure_rate
+            repair = element.repair_rate
+            if element.failure_rate_param is not None:
+                failure = values[element.failure_rate_param]
+            if element.repair_rate_param is not None:
+                repair = values[element.repair_rate_param]
+            element = replace(
+                element,
+                failure_rate=failure,
+                repair_rate=repair,
+                failure_rate_param=None,
+                repair_rate_param=None,
+            )
+        clone.add(element)
+    clone.set_top(tree.top)
+    return clone

@@ -7,7 +7,15 @@ times (mean time to failure) and CTMDP time-bounded reachability bounds for
 non-deterministic models.
 """
 
-from .builders import ctmc_from_ioimc, ctmdp_from_ioimc, markov_model_from_ioimc
+from .builders import (
+    CtmcSkeleton,
+    CtmdpSkeleton,
+    ctmc_from_ioimc,
+    ctmc_skeleton_from_ioimc,
+    ctmdp_from_ioimc,
+    ctmdp_skeleton_from_ioimc,
+    markov_model_from_ioimc,
+)
 from .ctmc import CTMC
 from .ctmdp import CTMDP
 from .steady_state import (
@@ -28,10 +36,14 @@ from .transient import (
 __all__ = [
     "CTMC",
     "CTMDP",
+    "CtmcSkeleton",
+    "CtmdpSkeleton",
     "PoissonTermCache",
     "bottom_strongly_connected_components",
     "ctmc_from_ioimc",
+    "ctmc_skeleton_from_ioimc",
     "ctmdp_from_ioimc",
+    "ctmdp_skeleton_from_ioimc",
     "markov_model_from_ioimc",
     "poisson_terms",
     "probability_of_label_curve",

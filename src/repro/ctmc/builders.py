@@ -9,14 +9,24 @@ Two cases arise (Section 5, step 6 of the paper's algorithm):
   CTMC" and is converted by eliminating the vanishing states;
 * some vanishing state offers several urgent moves — the model is a CTMDP and
   only bounds on the measure can be computed.
+
+Both conversions factor through a **skeleton**: the rate-independent
+structure (tangible states, labels, vanishing-state elimination, transition
+end-points) computed once, plus the per-transition rate values — possibly
+symbolic :class:`~repro.ioimc.rates.ParametricRate` forms.  The rate-sweep
+engine (:mod:`repro.core.sweep`) builds the skeleton once per tree and calls
+:meth:`CtmcSkeleton.instantiate` per parameter sample, which is how a sweep
+shares one conversion + aggregation across all samples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ModelError, NondeterminismError
 from ..ioimc.model import IOIMC
+from ..ioimc.rates import RateLike, evaluate_rate, rate_parameters
 from .ctmc import CTMC
 from .ctmdp import CTMDP
 
@@ -39,30 +49,121 @@ def _require_closed(model: IOIMC) -> None:
         )
 
 
+def _instantiate_edge_rate(
+    rate: RateLike, assignment: Optional[Mapping[str, float]]
+) -> float:
+    value = evaluate_rate(rate, assignment) if assignment is not None else float(rate)
+    if not value > 0.0:
+        raise ModelError(
+            f"instantiating a parametric rate produced a non-positive value "
+            f"({value}); rate-sweep samples must keep every rate positive"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class CtmcSkeleton:
+    """The rate-independent structure of a CTMC extracted from an I/O-IMC.
+
+    ``edges`` holds ``(source, target, rate)`` triples where ``rate`` may be a
+    plain float or a :class:`~repro.ioimc.rates.ParametricRate`;
+    :meth:`instantiate` evaluates the rates (under an optional parameter
+    assignment) into a fresh :class:`CTMC` without touching the structure.
+    """
+
+    num_states: int
+    initial: int
+    labels: Tuple[FrozenSet[str], ...]
+    state_names: Tuple[Optional[str], ...]
+    edges: Tuple[Tuple[int, int, RateLike], ...]
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        """Sorted union of the rate parameters the skeleton depends on."""
+        names = {name for _s, _t, rate in self.edges for name in rate_parameters(rate)}
+        return tuple(sorted(names))
+
+    def instantiate(self, assignment: Optional[Mapping[str, float]] = None) -> CTMC:
+        """A concrete CTMC with the rates evaluated under ``assignment``.
+
+        Without an assignment every parametric rate takes its nominal value.
+        """
+        ctmc = CTMC(max(self.num_states, 1), 0)
+        for state in range(self.num_states):
+            ctmc.set_labels(state, self.labels[state])
+            if self.state_names[state] is not None:
+                ctmc.set_state_name(state, self.state_names[state])
+        for source, target, rate in self.edges:
+            ctmc.add_rate(source, target, _instantiate_edge_rate(rate, assignment))
+        ctmc.set_initial(self.initial)
+        return ctmc
+
+
+@dataclass(frozen=True)
+class CtmdpSkeleton:
+    """The rate-independent structure of a CTMDP (vanishing choices kept)."""
+
+    num_states: int
+    initial: int
+    labels: Tuple[FrozenSet[str], ...]
+    choices: Tuple[Tuple[int, ...], ...]
+    edges: Tuple[Tuple[int, int, RateLike], ...]
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        names = {name for _s, _t, rate in self.edges for name in rate_parameters(rate)}
+        return tuple(sorted(names))
+
+    def instantiate(self, assignment: Optional[Mapping[str, float]] = None) -> CTMDP:
+        ctmdp = CTMDP(self.num_states, self.initial)
+        for state in range(self.num_states):
+            ctmdp.set_labels(state, self.labels[state])
+            if self.choices[state]:
+                ctmdp.set_choices(state, self.choices[state])
+        for source, target, rate in self.edges:
+            ctmdp.add_rate(source, target, _instantiate_edge_rate(rate, assignment))
+        return ctmdp
+
+
+def ctmdp_skeleton_from_ioimc(model: IOIMC) -> CtmdpSkeleton:
+    """Extract the CTMDP structure of a closed I/O-IMC (rates kept symbolic)."""
+    _require_closed(model)
+    choices: List[Tuple[int, ...]] = []
+    edges: List[Tuple[int, int, RateLike]] = []
+    labels: List[FrozenSet[str]] = []
+    for state in model.states():
+        labels.append(model.labels(state))
+        urgent = _urgent_successors(model, state)
+        choices.append(urgent)
+        if not urgent:
+            # Maximal progress: urgent moves pre-empt Markovian transitions.
+            for rate, target in model.markovian_out(state):
+                if target != state:
+                    edges.append((state, target, rate))
+    return CtmdpSkeleton(
+        num_states=model.num_states,
+        initial=model.initial,
+        labels=tuple(labels),
+        choices=tuple(choices),
+        edges=tuple(edges),
+    )
+
+
 def ctmdp_from_ioimc(model: IOIMC) -> CTMDP:
     """Interpret a closed I/O-IMC as a CTMDP (vanishing states keep choices)."""
-    _require_closed(model)
-    ctmdp = CTMDP(model.num_states, model.initial)
-    for state in model.states():
-        ctmdp.set_labels(state, model.labels(state))
-        urgent = _urgent_successors(model, state)
-        if urgent:
-            # Maximal progress: urgent moves pre-empt Markovian transitions.
-            ctmdp.set_choices(state, urgent)
-        else:
-            for rate, target in model.markovian_out(state):
-                ctmdp.add_rate(state, target, rate)
-    return ctmdp
+    return ctmdp_skeleton_from_ioimc(model).instantiate()
 
 
-def ctmc_from_ioimc(model: IOIMC) -> CTMC:
-    """Interpret a closed, deterministic I/O-IMC as a CTMC.
+def ctmc_skeleton_from_ioimc(model: IOIMC) -> CtmcSkeleton:
+    """Extract the CTMC structure of a closed, deterministic I/O-IMC.
 
     Vanishing states (urgent moves only) are eliminated by redirecting their
     incoming transitions to the unique tangible state they lead to.  If any
     vanishing state offers a choice between several urgent moves a
     :class:`~repro.errors.NondeterminismError` is raised — the caller should
-    fall back to :func:`ctmdp_from_ioimc`.
+    fall back to :func:`ctmdp_skeleton_from_ioimc`.  The elimination depends
+    only on the urgent-transition structure, never on rate values, so one
+    skeleton is valid for every parameter assignment.
     """
     _require_closed(model)
 
@@ -96,18 +197,31 @@ def ctmc_from_ioimc(model: IOIMC) -> CTMC:
     tangible = [state for state in model.states() if state not in forward]
     index = {state: i for i, state in enumerate(tangible)}
 
-    ctmc = CTMC(max(len(tangible), 1), 0)
-    for state in tangible:
-        ctmc.set_labels(index[state], model.labels(state))
-        ctmc.set_state_name(index[state], model.state_name(state))
+    labels = tuple(model.labels(state) for state in tangible)
+    state_names = tuple(model.state_name(state) for state in tangible)
+    edges: List[Tuple[int, int, RateLike]] = []
     for state in tangible:
         for rate, target in model.markovian_out(state):
             resolved = resolve(target)
             if resolved == state:
                 continue
-            ctmc.add_rate(index[state], index[resolved], rate)
-    ctmc.set_initial(index[resolve(model.initial)])
-    return ctmc
+            edges.append((index[state], index[resolved], rate))
+    return CtmcSkeleton(
+        num_states=max(len(tangible), 1),
+        initial=index[resolve(model.initial)],
+        labels=labels if labels else (frozenset(),),
+        state_names=state_names if state_names else (None,),
+        edges=tuple(edges),
+    )
+
+
+def ctmc_from_ioimc(model: IOIMC) -> CTMC:
+    """Interpret a closed, deterministic I/O-IMC as a CTMC.
+
+    See :func:`ctmc_skeleton_from_ioimc` for the vanishing-state elimination;
+    this wrapper instantiates the skeleton at the nominal rates.
+    """
+    return ctmc_skeleton_from_ioimc(model).instantiate()
 
 
 def markov_model_from_ioimc(model: IOIMC) -> Union[CTMC, CTMDP]:

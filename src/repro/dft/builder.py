@@ -39,21 +39,47 @@ class FaultTreeBuilder:
     def __init__(self, name: str = "dft"):
         self._tree = DynamicFaultTree(name)
 
+    # ------------------------------------------------------------- parameters
+    def parameter(self, name: str, nominal: float) -> str:
+        """Declare a named rate parameter (for the rate-sweep engine)."""
+        return self._tree.declare_parameter(name, nominal)
+
     # ----------------------------------------------------------- basic events
     def basic_event(
         self,
         name: str,
-        failure_rate: float,
+        failure_rate: Optional[float] = None,
         dormancy: float = 1.0,
         repair_rate: Optional[float] = None,
+        param: Optional[str] = None,
+        repair_param: Optional[str] = None,
     ) -> str:
-        """Add a basic event and return its name."""
+        """Add a basic event and return its name.
+
+        ``param`` / ``repair_param`` bind the failure / repair rate to a
+        previously declared parameter; the explicit rate may then be omitted
+        (it defaults to the parameter's nominal value).
+        """
+        if param is not None:
+            declared = self._tree.parameter(param)
+            if failure_rate is None:
+                failure_rate = declared
+        if failure_rate is None:
+            raise FaultTreeError(
+                f"basic event {name!r} needs a failure rate or a bound parameter"
+            )
+        if repair_param is not None:
+            declared = self._tree.parameter(repair_param)
+            if repair_rate is None:
+                repair_rate = declared
         self._tree.add(
             BasicEvent(
                 name=name,
                 failure_rate=failure_rate,
                 dormancy=dormancy,
                 repair_rate=repair_rate,
+                failure_rate_param=param,
+                repair_rate_param=repair_param,
             )
         )
         return name

@@ -51,15 +51,36 @@ class BasicEvent:
     repair_rate:
         Optional rate ``mu`` of an exponential repair (Section 7.2).  ``None``
         means the component is not repairable.
+    failure_rate_param:
+        Optional name of a declared rate parameter this event's failure rate
+        is bound to.  ``failure_rate`` then holds the parameter's *nominal*
+        value; the rate-sweep engine (:mod:`repro.core.sweep`) re-instantiates
+        the aggregated model for other values of the parameter without
+        re-running conversion or aggregation.
+    repair_rate_param:
+        Same, for the repair rate.
     """
 
     name: str
     failure_rate: float
     dormancy: float = 1.0
     repair_rate: Optional[float] = None
+    failure_rate_param: Optional[str] = None
+    repair_rate_param: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check_name(self.name)
+        for param in (self.failure_rate_param, self.repair_rate_param):
+            if param is not None and not (isinstance(param, str) and param.isidentifier()):
+                raise FaultTreeError(
+                    f"basic event {self.name!r}: rate parameter names must be "
+                    f"identifiers, got {param!r}"
+                )
+        if self.repair_rate_param is not None and self.repair_rate is None:
+            raise FaultTreeError(
+                f"basic event {self.name!r} binds a repair parameter but has no "
+                "repair rate"
+            )
         if not (self.failure_rate > 0.0 and math.isfinite(self.failure_rate)):
             raise FaultTreeError(
                 f"basic event {self.name!r}: failure rate must be positive and finite, "
@@ -96,6 +117,20 @@ class BasicEvent:
     @property
     def is_repairable(self) -> bool:
         return self.repair_rate is not None
+
+    @property
+    def is_parametric(self) -> bool:
+        """True iff a rate of this event is bound to a named parameter."""
+        return self.failure_rate_param is not None or self.repair_rate_param is not None
+
+    @property
+    def rate_parameters(self) -> Tuple[str, ...]:
+        """The declared parameter names this event's rates are bound to."""
+        return tuple(
+            param
+            for param in (self.failure_rate_param, self.repair_rate_param)
+            if param is not None
+        )
 
     @property
     def dormant_rate(self) -> float:

@@ -24,10 +24,24 @@ the second, Section 7.1 of the paper).
 Supported basic-event parameters: ``lambda`` (failure rate), ``dorm``
 (dormancy factor, default 1) and ``repair`` (repair rate, extension of
 Section 7.2).
+
+**Rate-parameter extension** (used by the rate-sweep engine,
+:mod:`repro.core.sweep`): a statement ``param <name> = <value>;`` declares a
+named rate parameter with its nominal value, and a basic event may bind its
+failure or repair rate to it by name instead of a number::
+
+    param lam = 0.5;
+    "P" lambda=lam dorm=0.3;
+
+The bare keyword ``param`` opens a declaration; quote the name (``"param"``)
+to use it as an ordinary element, exactly as quoting escapes other keywords.
+Parameter declarations may appear anywhere in the file; references are
+resolved after all declarations have been read.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +61,7 @@ from .tree import DynamicFaultTree
 
 _VOTING_RE = re.compile(r"^(\d+)of(\d+)$", re.IGNORECASE)
 _PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([-+0-9.eE]+)$")
+_PARAM_REF_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([A-Za-z_][A-Za-z0-9_]*)$")
 
 _SPARE_KEYWORDS = {"wsp", "csp", "hsp", "spare"}
 _GATE_KEYWORDS = {"and", "or", "pand", "seq", "fdep", "inhibit"} | _SPARE_KEYWORDS
@@ -84,21 +99,51 @@ def _tokenize(line: str, number: int) -> List[str]:
     return tokens
 
 
-def _parse_parameters(name: str, tokens: Sequence[str], number: int) -> BasicEvent:
+#: Basic-event keys that may reference a declared rate parameter by name.
+_PARAMETRISABLE_KEYS = {"lambda", "repair"}
+
+
+def _parse_parameters(
+    name: str,
+    tokens: Sequence[str],
+    number: int,
+    declared: Dict[str, float],
+) -> BasicEvent:
     params: Dict[str, float] = {}
+    bindings: Dict[str, str] = {}
     for token in tokens:
         match = _PARAM_RE.match(token)
-        if not match:
+        value: Optional[float] = None
+        if match:
+            key = match.group(1).lower()
+            try:
+                value = float(match.group(2))
+            except ValueError:
+                value = None  # e.g. `lambda=e`: fall through to reference handling
+        if value is None:
+            ref = _PARAM_REF_RE.match(token)
+            if not ref:
+                raise GalileoSyntaxError(
+                    f"cannot parse basic event parameter {token!r} of {name!r}", number
+                )
+            key = ref.group(1).lower()
+            reference = ref.group(2)
+            if key not in _PARAMETRISABLE_KEYS:
+                raise GalileoSyntaxError(
+                    f"parameter {key!r} of {name!r} has a non-numeric value", number
+                )
+            if reference not in declared:
+                raise GalileoSyntaxError(
+                    f"basic event {name!r} references undefined parameter "
+                    f"{reference!r} (declare it with 'param {reference} = <value>;')",
+                    number,
+                )
+            bindings[key] = reference
+            value = declared[reference]
+        if key in params:
             raise GalileoSyntaxError(
-                f"cannot parse basic event parameter {token!r} of {name!r}", number
+                f"basic event {name!r} sets parameter {key!r} twice", number
             )
-        key = match.group(1).lower()
-        try:
-            value = float(match.group(2))
-        except ValueError:
-            raise GalileoSyntaxError(
-                f"parameter {key!r} of {name!r} has a non-numeric value", number
-            ) from None
         params[key] = value
     if "prob" in params:
         raise GalileoSyntaxError(
@@ -122,7 +167,38 @@ def _parse_parameters(name: str, tokens: Sequence[str], number: int) -> BasicEve
         failure_rate=params["lambda"],
         dormancy=params.get("dorm", 1.0),
         repair_rate=params.get("repair"),
+        failure_rate_param=bindings.get("lambda"),
+        repair_rate_param=bindings.get("repair"),
     )
+
+
+def _parse_param_declaration(
+    tokens: Sequence[str], number: int
+) -> Tuple[str, float]:
+    """Parse ``param <name> = <value>`` (the ``=`` is optional)."""
+    body = [token for token in tokens[1:] if token != "="]
+    if len(body) == 1 and "=" in body[0]:
+        body = [part.strip() for part in body[0].split("=", 1)]
+    if len(body) != 2:
+        raise GalileoSyntaxError(
+            "param declarations have the form 'param <name> = <value>;'", number
+        )
+    name, raw_value = body
+    if not name.isidentifier():
+        raise GalileoSyntaxError(
+            f"parameter name {name!r} is not a valid identifier", number
+        )
+    try:
+        value = float(raw_value)
+    except ValueError:
+        raise GalileoSyntaxError(
+            f"parameter {name!r} has a non-numeric value {raw_value!r}", number
+        ) from None
+    if not (value > 0.0 and math.isfinite(value)):
+        raise GalileoSyntaxError(
+            f"parameter {name!r} needs a positive finite rate, got {raw_value}", number
+        )
+    return name, value
 
 
 def parse(text: str, name: str = "galileo") -> DynamicFaultTree:
@@ -140,11 +216,41 @@ def parse(text: str, name: str = "galileo") -> DynamicFaultTree:
     tree = DynamicFaultTree(name)
     toplevel: Optional[str] = None
 
-    for number, statement in statements:
-        tokens = _tokenize(statement, number)
+    # Pass 1: tokenize once and collect rate-parameter declarations (they may
+    # appear anywhere, including after the basic events that reference them).
+    # Only the *bare* keyword opens a declaration — a quoted ``"param"`` is an
+    # ordinary element name, exactly as quoting escapes every other keyword.
+    def _is_param_declaration(statement: str, tokens: List[str]) -> bool:
+        return (
+            bool(tokens)
+            and tokens[0].lower() == "param"
+            and not statement.lstrip().startswith('"')
+        )
+
+    tokenized: List[Tuple[int, str, List[str]]] = [
+        (number, statement, _tokenize(statement, number))
+        for number, statement in statements
+    ]
+    declared: Dict[str, float] = {}
+    for number, statement, tokens in tokenized:
+        if not _is_param_declaration(statement, tokens):
+            continue
+        param_name, value = _parse_param_declaration(tokens, number)
+        if param_name in declared:
+            raise GalileoSyntaxError(
+                f"rate parameter {param_name!r} is declared twice", number
+            )
+        declared[param_name] = value
+    for param_name, value in declared.items():
+        tree.declare_parameter(param_name, value)
+
+    # Pass 2: elements.
+    for number, statement, tokens in tokenized:
         if not tokens:
             continue
         head = tokens[0]
+        if _is_param_declaration(statement, tokens):
+            continue
         if head.lower() == "toplevel":
             if len(tokens) != 2:
                 raise GalileoSyntaxError("toplevel expects exactly one element name", number)
@@ -208,7 +314,7 @@ def parse(text: str, name: str = "galileo") -> DynamicFaultTree:
             continue
 
         # Otherwise it must be a basic event definition.
-        tree.add(_parse_parameters(head, tokens[1:], number))
+        tree.add(_parse_parameters(head, tokens[1:], number, declared))
 
     if toplevel is None:
         raise GalileoSyntaxError("missing toplevel declaration")
@@ -233,14 +339,23 @@ def _format_float(value: float) -> str:
 def write(tree: DynamicFaultTree) -> str:
     """Serialise ``tree`` in Galileo syntax (inverse of :func:`parse`)."""
     lines = [f'toplevel "{tree.top}";']
+    for param_name, value in tree.parameters.items():
+        lines.append(f"param {param_name} = {_format_float(value)};")
     for name in tree.names():
         element = tree.element(name)
         if isinstance(element, BasicEvent):
-            parts = [f'"{name}"', f"lambda={_format_float(element.failure_rate)}"]
+            if element.failure_rate_param is not None:
+                failure = element.failure_rate_param
+            else:
+                failure = _format_float(element.failure_rate)
+            parts = [f'"{name}"', f"lambda={failure}"]
             if element.dormancy != 1.0:
                 parts.append(f"dorm={_format_float(element.dormancy)}")
             if element.repair_rate is not None:
-                parts.append(f"repair={_format_float(element.repair_rate)}")
+                if element.repair_rate_param is not None:
+                    parts.append(f"repair={element.repair_rate_param}")
+                else:
+                    parts.append(f"repair={_format_float(element.repair_rate)}")
             lines.append(" ".join(parts) + ";")
             continue
         if isinstance(element, AndGate):

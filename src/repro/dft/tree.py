@@ -9,6 +9,7 @@ look-ups needed by the conversion to I/O-IMC and by the DIFTree baseline.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import FaultTreeError
@@ -39,6 +40,8 @@ class DynamicFaultTree:
         self.name = name
         self._elements: Dict[str, Element] = {}
         self._top: Optional[str] = top
+        #: Declared rate parameters: name -> nominal value.
+        self._parameters: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ build
     def add(self, element: Element) -> Element:
@@ -47,6 +50,27 @@ class DynamicFaultTree:
             raise FaultTreeError(f"an element named {element.name!r} already exists")
         self._elements[element.name] = element
         return element
+
+    def declare_parameter(self, name: str, nominal: float) -> str:
+        """Declare a named rate parameter with its nominal (default) value.
+
+        Basic events bind their rates to declared parameters via
+        ``failure_rate_param`` / ``repair_rate_param``; the rate-sweep engine
+        (:mod:`repro.core.sweep`) varies the declared parameters without
+        re-running the expensive aggregation.
+        """
+        if not (isinstance(name, str) and name.isidentifier()):
+            raise FaultTreeError(f"parameter names must be identifiers, got {name!r}")
+        if name in self._parameters:
+            raise FaultTreeError(f"rate parameter {name!r} is declared twice")
+        nominal = float(nominal)
+        if not (nominal > 0.0 and math.isfinite(nominal)):
+            raise FaultTreeError(
+                f"rate parameter {name!r} needs a positive finite nominal value, "
+                f"got {nominal}"
+            )
+        self._parameters[name] = nominal
+        return name
 
     def add_all(self, elements: Iterable[Element]) -> None:
         for element in elements:
@@ -91,6 +115,28 @@ class DynamicFaultTree:
 
     def basic_events(self) -> Tuple[BasicEvent, ...]:
         return tuple(e for e in self._elements.values() if isinstance(e, BasicEvent))
+
+    # ------------------------------------------------------------- parameters
+    @property
+    def parameters(self) -> Dict[str, float]:
+        """Declared rate parameters (name -> nominal value), a copy."""
+        return dict(self._parameters)
+
+    @property
+    def is_parametric(self) -> bool:
+        """True iff at least one rate parameter is declared."""
+        return bool(self._parameters)
+
+    def parameter(self, name: str) -> float:
+        """Nominal value of a declared parameter."""
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise FaultTreeError(f"unknown rate parameter {name!r}") from None
+
+    def parametric_events(self) -> Tuple[BasicEvent, ...]:
+        """Basic events with at least one rate bound to a parameter."""
+        return tuple(e for e in self.basic_events() if e.is_parametric)
 
     def gates(self) -> Tuple[Element, ...]:
         return tuple(e for e in self._elements.values() if is_gate(e))
@@ -234,6 +280,28 @@ class DynamicFaultTree:
 
         # Unknown references and cycles (topological_order raises on both).
         self.topological_order()
+
+        # Parameter bindings must refer to declared parameters, and the
+        # resolved nominal rate on the event must agree with the declaration
+        # (the builder and the Galileo reader resolve from the declaration, so
+        # a mismatch signals a hand-constructed inconsistency).
+        for event in self.basic_events():
+            for param, rate in (
+                (event.failure_rate_param, event.failure_rate),
+                (event.repair_rate_param, event.repair_rate),
+            ):
+                if param is None:
+                    continue
+                if param not in self._parameters:
+                    raise FaultTreeError(
+                        f"basic event {event.name!r} references undefined rate "
+                        f"parameter {param!r}"
+                    )
+                if rate != self._parameters[param]:
+                    raise FaultTreeError(
+                        f"basic event {event.name!r}: nominal rate {rate} disagrees "
+                        f"with parameter {param!r} = {self._parameters[param]}"
+                    )
 
         top_element = self.element(self.top)
         if isinstance(top_element, CONSTRAINT_GATES):

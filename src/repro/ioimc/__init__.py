@@ -30,6 +30,7 @@ from .bisimulation import (
 from .composition import closed_actions, hide_closed, parallel, parallel_many
 from .maximal_progress import apply_maximal_progress, count_pruned_transitions
 from .model import IOIMC, InteractiveTransition, MarkovianTransition
+from .rates import ParametricRate, evaluate_rate, rate_parameters
 from .partition import (
     DEFAULT_RATE_DIGITS,
     RefinablePartition,
@@ -51,6 +52,9 @@ __all__ = [
     "RefinablePartition",
     "TauCondensation",
     "canonical_rate",
+    "ParametricRate",
+    "evaluate_rate",
+    "rate_parameters",
     "ActionInterner",
     "ActionSignature",
     "ActionType",

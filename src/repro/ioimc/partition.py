@@ -52,19 +52,34 @@ from typing import (
     Tuple,
 )
 
+from .rates import ParametricRate
+
 #: Default number of significant digits used when comparing aggregate
 #: Markovian rates during bisimulation refinement.  Surfaced on
 #: :class:`repro.ioimc.reduction.AggregationOptions` as ``rate_digits``.
 DEFAULT_RATE_DIGITS = 10
 
 
-def canonical_rate(value: float, digits: int = DEFAULT_RATE_DIGITS) -> float:
-    """Round ``value`` to ``digits`` significant digits for rate comparison.
+def canonical_rate(value, digits: int = DEFAULT_RATE_DIGITS):
+    """Canonical, hashable key of an aggregate rate for refinement.
 
-    Rates that agree on the first ``digits`` significant digits are treated
-    as equal by both the splitter and the signature refinement engines, so
-    floating-point noise from rate aggregation cannot split blocks.
+    Plain floats are rounded to ``digits`` significant digits, so
+    floating-point noise from rate aggregation cannot split blocks; both the
+    splitter and the signature refinement engines share this tolerance.
+
+    :class:`~repro.ioimc.rates.ParametricRate` forms are keyed *structurally*
+    (each coefficient rounded the same way): two rates whose nominal values
+    coincide but whose parameter dependencies differ stay in different rate
+    classes.  This is what keeps the minimised quotient of a parametric model
+    valid for every positive parameter assignment — the rate-sweep engine
+    relies on it.
     """
+    if isinstance(value, ParametricRate):
+        return value.canonical_key(lambda v: _round_significant(v, digits))
+    return _round_significant(value, digits)
+
+
+def _round_significant(value: float, digits: int) -> float:
     if value == 0.0:
         return 0.0
     magnitude = int(math.floor(math.log10(abs(value))))

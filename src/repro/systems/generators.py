@@ -130,24 +130,51 @@ def random_dft(
     seed: int = 0,
     failure_rate: float = 1.0,
     dynamic: bool = True,
+    fdep: bool = False,
+    shared_spares: bool = False,
 ) -> DynamicFaultTree:
     """A reproducible pseudo-random DFT for corpus benchmarks.
 
     Basic events with jittered failure rates are folded bottom-up into random
     gates of arity 2-3 (OR / AND / voting, plus PAND and cold-spare patterns
-    when ``dynamic``) until a single root remains.  Spares are never shared
-    and PAND inputs are independent, so the generated trees stay
-    deterministic (their final model is a CTMC).  The same
-    ``(num_basic_events, seed)`` pair always yields the same tree.
+    when ``dynamic``) until a single root remains.  The same full argument
+    tuple always yields the same tree.
+
+    By default spares are never shared and no functional dependencies exist,
+    so the generated trees stay deterministic (their final model is a CTMC).
+    Two optional patterns stress the CTMDP/bound analysis paths:
+
+    * ``shared_spares``: occasionally fold three leaves into *two* spare
+      gates competing for one shared (cold/warm) spare — the paper's
+      Section 6.1 pattern; the claim race keeps the model deterministic but
+      exercises the claim-signal wiring;
+    * ``fdep``: after the fold, add functional dependencies whose trigger is
+      a random leaf and whose dependents are one or two other leaves.  An
+      FDEP trigger failing several elements "simultaneously" is the paper's
+      source of *inherent non-determinism* (Section 4.4), so corpora built
+      with this flag may contain trees whose final model is a CTMDP — use
+      bound measures on them.
     """
     if num_basic_events < 2:
         raise ValueError("a random tree needs at least two basic events")
-    rng = random.Random(f"random-dft:{num_basic_events}:{seed}:{failure_rate}:{dynamic}")
+    if (fdep or shared_spares) and not dynamic:
+        raise ValueError(
+            "the FDEP and shared-spare patterns are dynamic constructs; "
+            "they require dynamic=True"
+        )
+    # The pattern flags only enter the RNG key when enabled, so default
+    # corpora are bit-identical with pre-pattern releases (benchmarks and
+    # golden tests rely on that reproducibility).
+    key = f"random-dft:{num_basic_events}:{seed}:{failure_rate}:{dynamic}"
+    if fdep or shared_spares:
+        key += f":{fdep}:{shared_spares}"
+    rng = random.Random(key)
     builder = FaultTreeBuilder(f"random-{num_basic_events}x{seed}")
     events = [f"E{index}" for index in range(1, num_basic_events + 1)]
     for event in events:
         builder.basic_event(event, failure_rate=failure_rate * rng.uniform(0.5, 2.0))
     leaves = set(events)
+    spare_leaves: set = set()
     nodes = list(events)
     rng.shuffle(nodes)
     gate_counter = 0
@@ -157,10 +184,13 @@ def random_dft(
         gate_counter += 1
         gate = f"G{gate_counter}"
         kinds = ["or", "and", "vote"]
+        all_leaves = all(child in leaves for child in children)
         if dynamic:
             kinds.append("pand")
-            if all(child in leaves for child in children):
+            if all_leaves:
                 kinds.append("spare")
+        if shared_spares and all_leaves and len(children) == 3:
+            kinds.append("shared_spare")
         kind = rng.choice(kinds)
         if kind == "or":
             builder.or_gate(gate, children)
@@ -170,9 +200,48 @@ def random_dft(
             builder.voting_gate(gate, children, threshold=max(1, arity - 1))
         elif kind == "pand":
             builder.pand_gate(gate, children)
+        elif kind == "shared_spare":
+            # Two subsystems competing for one shared spare, combined by AND
+            # (the pump example of Section 6.1 in miniature).  The shared
+            # spare is replaced by a fresh cold/warm event so its dormancy is
+            # meaningful.
+            primary_a, primary_b, shared = children
+            dormancy = rng.choice((0.0, 0.5))
+            spare_name = f"S{gate_counter}"
+            builder.basic_event(
+                spare_name,
+                failure_rate=failure_rate * rng.uniform(0.5, 2.0),
+                dormancy=dormancy,
+            )
+            leaves.add(spare_name)
+            spare_leaves.update((primary_a, primary_b, shared, spare_name))
+            builder.spare_gate(f"{gate}a", primary=primary_a, spares=[spare_name])
+            builder.spare_gate(f"{gate}b", primary=primary_b, spares=[spare_name])
+            builder.and_gate(gate, [f"{gate}a", f"{gate}b"])
+            # the third child re-enters the fold as an ordinary node
+            nodes.insert(rng.randrange(len(nodes) + 1), shared)
         else:
             builder.spare_gate(gate, primary=children[0], spares=children[1:])
+            spare_leaves.update(children)
         nodes.insert(rng.randrange(len(nodes) + 1), gate)
+
+    if fdep:
+        # Dependents are leaves outside every spare module (a spare that is
+        # also functionally dependent would entangle activation and firing
+        # auxiliaries beyond what the conversion supports cleanly).
+        candidates = sorted(leaves - spare_leaves)
+        rng.shuffle(candidates)
+        num_fdeps = rng.randint(1, max(1, len(candidates) // 3))
+        fdep_counter = 0
+        for _ in range(num_fdeps):
+            if len(candidates) < 2:
+                break
+            trigger = candidates.pop()
+            num_dependents = min(len(candidates), rng.choice((1, 1, 2)))
+            dependents = [candidates.pop() for _ in range(num_dependents)]
+            fdep_counter += 1
+            builder.fdep(f"F{fdep_counter}", trigger=trigger, dependents=dependents)
+
     return builder.build(top=nodes[0])
 
 
@@ -182,6 +251,8 @@ def random_corpus(
     seed: int = 0,
     failure_rate: float = 1.0,
     dynamic: bool = True,
+    fdep: bool = False,
+    shared_spares: bool = False,
 ) -> List[DynamicFaultTree]:
     """``count`` distinct :func:`random_dft` trees (seeds ``seed .. seed+count-1``)."""
     if count < 1:
@@ -192,6 +263,8 @@ def random_corpus(
             seed=seed + offset,
             failure_rate=failure_rate,
             dynamic=dynamic,
+            fdep=fdep,
+            shared_spares=shared_spares,
         )
         for offset in range(count)
     ]

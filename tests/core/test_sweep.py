@@ -1,0 +1,223 @@
+"""Unit tests of the rate-sweep engine (`repro.core.sweep`)."""
+
+import pytest
+
+from repro import (
+    MTTF,
+    Query,
+    RateSweep,
+    SweepStudy,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+    evaluate,
+    sweep,
+)
+from repro.core.sweep import substitute_parameters, with_rate_parameters
+from repro.ctmc.builders import CtmcSkeleton, CtmdpSkeleton
+from repro.dft import FaultTreeBuilder
+from repro.errors import AnalysisError, FaultTreeError
+
+MISSION_TIMES = [0.5, 1.0, 2.0]
+
+
+def parametric_spare_tree():
+    builder = FaultTreeBuilder("spare-param")
+    builder.parameter("lam", 0.5)
+    builder.parameter("mu", 2.0)
+    builder.basic_event("A", param="lam")
+    builder.basic_event("B", failure_rate=2.0)
+    builder.basic_event("S", param="mu", dormancy=0.3)
+    builder.spare_gate("G", primary="A", spares=["S"])
+    builder.and_gate("top", ["G", "B"])
+    return builder.build(top="top")
+
+
+def nondeterministic_tree():
+    """FDEP trigger failing both PAND inputs at once (Section 4.4)."""
+    builder = FaultTreeBuilder("nondet-param")
+    builder.parameter("lam", 1.0)
+    builder.basic_event("T", param="lam")
+    builder.basic_event("X", failure_rate=1.0)
+    builder.basic_event("Y", failure_rate=1.0)
+    builder.pand_gate("top", ["X", "Y"])
+    builder.fdep("F", trigger="T", dependents=["X", "Y"])
+    return builder.build(top="top")
+
+
+class TestRateSweepSpec:
+    def test_explicit_samples_are_normalised(self):
+        rs = RateSweep(Unreliability([1.0]), [{"lam": 1}, {"lam": 0.5, "mu": 2}])
+        assert rs.parameters == ("lam", "mu")
+        assert len(rs) == 2
+        assert rs.samples[0] == {"lam": 1.0}
+
+    def test_grid_is_the_cartesian_product(self):
+        rs = RateSweep.grid(Unreliability([1.0]), lam=[0.1, 0.2], mu=[1.0, 2.0, 3.0])
+        assert len(rs) == 6
+        assert {tuple(sorted(s.items())) for s in rs.samples} == {
+            (("lam", a), ("mu", b)) for a in (0.1, 0.2) for b in (1.0, 2.0, 3.0)
+        }
+
+    def test_scalar_axis_is_accepted(self):
+        rs = RateSweep.grid(Unreliability([1.0]), lam=0.5)
+        assert rs.samples == ({"lam": 0.5},)
+
+    def test_empty_sweep_is_rejected(self):
+        with pytest.raises(AnalysisError, match="at least one sample"):
+            RateSweep(Unreliability([1.0]), [])
+
+    def test_empty_sample_is_rejected(self):
+        with pytest.raises(AnalysisError, match="at least one parameter"):
+            RateSweep(Unreliability([1.0]), [{}])
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf"), float("nan")])
+    def test_non_positive_samples_are_rejected(self, value):
+        with pytest.raises(AnalysisError, match="positive finite"):
+            RateSweep(Unreliability([1.0]), [{"lam": value}])
+
+    def test_non_numeric_sample_is_rejected(self):
+        with pytest.raises(AnalysisError, match="not a number"):
+            RateSweep(Unreliability([1.0]), [{"lam": "fast"}])
+
+
+class TestSweepEngine:
+    def test_rows_match_full_pipeline_reruns(self):
+        tree = parametric_spare_tree()
+        samples = [
+            {"lam": 0.1, "mu": 0.5},
+            {"lam": 0.5, "mu": 2.0},
+            {"lam": 2.0, "mu": 0.1},
+        ]
+        query = Unreliability(MISSION_TIMES) + MTTF()
+        result = sweep(tree, RateSweep(query, samples))
+        assert result.num_failed == 0
+        for row, sample in zip(result.rows, samples):
+            reference = evaluate(substitute_parameters(tree, sample), query)
+            for mine, theirs in zip(row.measures, reference.measures):
+                assert mine.kind == theirs.kind
+                assert mine.values == pytest.approx(theirs.values, abs=1e-9)
+
+    def test_shared_pipeline_runs_once(self):
+        tree = parametric_spare_tree()
+        study = SweepStudy(tree)
+        result = study.run(RateSweep.grid(Unreliability([1.0]), lam=[0.1, 0.2, 0.3]))
+        # one conversion + aggregation, recorded once in the shared timings
+        assert result.timings["shared"] >= result.timings["aggregation"]
+        assert len(result.rows) == 3
+        assert isinstance(study.skeleton, CtmcSkeleton)
+        assert study.skeleton.parameters == ("lam", "mu")
+
+    def test_unswept_parameters_keep_their_nominal_value(self):
+        tree = parametric_spare_tree()
+        result = sweep(tree, RateSweep(Unreliability([1.0]), [{"lam": 0.5}]))
+        nominal = evaluate(tree, Unreliability([1.0]))
+        assert result.rows[0]["unreliability"].values == pytest.approx(
+            nominal["unreliability"].values, abs=1e-12
+        )
+
+    def test_undeclared_parameter_is_rejected(self):
+        tree = parametric_spare_tree()
+        with pytest.raises(AnalysisError, match="does not declare"):
+            sweep(tree, RateSweep(Unreliability([1.0]), [{"nu": 1.0}]))
+
+    def test_unsupported_measures_become_row_level_measure_errors(self):
+        # A PAND system may never fail => MTTF diverges; the sweep must keep
+        # the unreliability values and record the MTTF failure per measure.
+        builder = FaultTreeBuilder("pand-param")
+        builder.parameter("lam", 1.0)
+        builder.basic_event("X", param="lam")
+        builder.basic_event("Y", failure_rate=1.0)
+        builder.pand_gate("top", ["Y", "X"])
+        tree = builder.build(top="top")
+        result = sweep(tree, RateSweep(Unreliability([1.0]) + MTTF(), [{"lam": 2.0}]))
+        row = result.rows[0]
+        assert row.ok
+        assert row["unreliability"].ok
+        assert not row["mttf"].ok
+
+    def test_nondeterministic_model_sweeps_bounds(self):
+        tree = nondeterministic_tree()
+        study = SweepStudy(tree)
+        assert isinstance(study.skeleton, CtmdpSkeleton)
+        samples = [{"lam": 0.5}, {"lam": 2.0}]
+        result = study.run(RateSweep(UnreliabilityBounds([1.0]), samples))
+        assert result.model.nondeterministic
+        for row, sample in zip(result.rows, samples):
+            reference = evaluate(
+                substitute_parameters(tree, sample), UnreliabilityBounds([1.0])
+            )
+            low, high = row["unreliability_bounds"].bounds
+            ref_low, ref_high = reference["unreliability_bounds"].bounds
+            assert low == pytest.approx(ref_low, abs=1e-9)
+            assert high == pytest.approx(ref_high, abs=1e-9)
+
+    def test_repair_parameter_sweeps_unavailability(self):
+        builder = FaultTreeBuilder("repairable-param")
+        builder.parameter("mu", 2.0)
+        builder.basic_event("A", failure_rate=1.0, repair_param="mu")
+        builder.basic_event("B", failure_rate=1.0, repair_rate=1.0)
+        builder.or_gate("top", ["A", "B"])
+        tree = builder.build(top="top")
+        query = Query(Unavailability())
+        samples = [{"mu": 0.5}, {"mu": 4.0}]
+        result = sweep(tree, RateSweep(query, samples))
+        for row, sample in zip(result.rows, samples):
+            reference = evaluate(substitute_parameters(tree, sample), query)
+            assert row["unavailability"].value == pytest.approx(
+                reference["unavailability"].value, abs=1e-9
+            )
+        # faster repair => lower unavailability
+        assert result.rows[1]["unavailability"].value < result.rows[0]["unavailability"].value
+
+    def test_json_payload_schema(self):
+        tree = parametric_spare_tree()
+        result = sweep(tree, RateSweep(Unreliability([1.0]), [{"lam": 1.0}]))
+        payload = result.to_dict()
+        assert payload["schema"] == "repro.sweep/1"
+        assert payload["parameters"] == ["lam"]
+        assert payload["aggregate"] == {"samples": 1, "failed": 0}
+        assert payload["rows"][0]["sample"] == {"lam": 1.0}
+
+
+class TestTreeHelpers:
+    def test_with_rate_parameters_attaches_all_events_by_default(self):
+        builder = FaultTreeBuilder("plain")
+        builder.basic_event("A", 0.5)
+        builder.basic_event("B", 1.5)
+        builder.and_gate("top", ["A", "B"])
+        tree = with_rate_parameters(builder.build(top="top"))
+        assert tree.parameters == {"A": 0.5, "B": 1.5}
+        assert tree.element("A").failure_rate_param == "A"
+
+    def test_shared_parameter_requires_equal_nominals(self):
+        builder = FaultTreeBuilder("plain")
+        builder.basic_event("A", 0.5)
+        builder.basic_event("B", 1.5)
+        builder.and_gate("top", ["A", "B"])
+        tree = builder.build(top="top")
+        with pytest.raises(FaultTreeError, match="disagree on the"):
+            with_rate_parameters(tree, {"A": "lam", "B": "lam"})
+
+    def test_with_rate_parameters_rejects_gates(self):
+        builder = FaultTreeBuilder("plain")
+        builder.basic_event("A", 0.5)
+        builder.basic_event("B", 1.5)
+        builder.and_gate("top", ["A", "B"])
+        tree = builder.build(top="top")
+        with pytest.raises(FaultTreeError, match="not a basic event"):
+            with_rate_parameters(tree, ["top"])
+
+    def test_substitute_parameters_drops_bindings(self):
+        tree = parametric_spare_tree()
+        plain = substitute_parameters(tree, {"lam": 0.25})
+        assert plain.parameters == {}
+        assert plain.element("A").failure_rate == 0.25
+        assert plain.element("A").failure_rate_param is None
+        # unswept parameter keeps its nominal
+        assert plain.element("S").failure_rate == 2.0
+
+    def test_substitute_rejects_undeclared_parameters(self):
+        tree = parametric_spare_tree()
+        with pytest.raises(FaultTreeError, match="undeclared"):
+            substitute_parameters(tree, {"nu": 1.0})

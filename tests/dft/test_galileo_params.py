@@ -1,0 +1,161 @@
+"""Galileo rate-parameter extension: `param name = value;` + references."""
+
+import pytest
+
+from repro.dft import galileo
+from repro.errors import FaultTreeError, GalileoSyntaxError
+
+PARAMETRIC = """
+toplevel "sys";
+param lam = 0.5;
+param mu = 2.0;
+"sys" and "A" "B";
+"A" lambda=lam dorm=0.25;
+"B" lambda=1.5 repair=mu;
+"""
+
+
+class TestParsing:
+    def test_declarations_are_collected(self):
+        tree = galileo.parse(PARAMETRIC)
+        assert tree.parameters == {"lam": 0.5, "mu": 2.0}
+        assert tree.is_parametric
+
+    def test_lambda_reference_resolves_to_nominal(self):
+        tree = galileo.parse(PARAMETRIC)
+        event = tree.element("A")
+        assert event.failure_rate == 0.5
+        assert event.failure_rate_param == "lam"
+        assert event.dormancy == 0.25
+
+    def test_repair_reference_resolves_to_nominal(self):
+        tree = galileo.parse(PARAMETRIC)
+        event = tree.element("B")
+        assert event.repair_rate == 2.0
+        assert event.repair_rate_param == "mu"
+        assert event.failure_rate_param is None
+
+    def test_declaration_may_follow_the_reference(self):
+        tree = galileo.parse(
+            'toplevel "sys";\n"sys" and "A" "B";\n"A" lambda=lam;\n'
+            '"B" lambda=1.0;\nparam lam = 0.25;\n'
+        )
+        assert tree.element("A").failure_rate == 0.25
+
+    def test_equals_free_form_is_accepted(self):
+        tree = galileo.parse(
+            'toplevel "A";\nparam lam 0.75;\n"A" lambda=lam;\n'
+        )
+        assert tree.parameters == {"lam": 0.75}
+
+    def test_plain_files_stay_parameter_free(self):
+        tree = galileo.parse('toplevel "A";\n"A" lambda=1.0;\n')
+        assert tree.parameters == {}
+        assert not tree.is_parametric
+
+
+class TestParseErrors:
+    def test_undefined_parameter(self):
+        with pytest.raises(GalileoSyntaxError, match="undefined parameter 'lam'"):
+            galileo.parse('toplevel "A";\n"A" lambda=lam;\n')
+
+    def test_duplicate_definition(self):
+        with pytest.raises(GalileoSyntaxError, match="declared twice"):
+            galileo.parse(
+                'toplevel "A";\nparam lam = 0.5;\nparam lam = 0.7;\n"A" lambda=lam;\n'
+            )
+
+    def test_non_positive_rate(self):
+        with pytest.raises(GalileoSyntaxError, match="positive finite rate"):
+            galileo.parse('toplevel "A";\nparam lam = -0.5;\n"A" lambda=lam;\n')
+
+    def test_zero_rate(self):
+        with pytest.raises(GalileoSyntaxError, match="positive finite rate"):
+            galileo.parse('toplevel "A";\nparam lam = 0;\n"A" lambda=lam;\n')
+
+    def test_non_numeric_value(self):
+        with pytest.raises(GalileoSyntaxError, match="non-numeric value"):
+            galileo.parse('toplevel "A";\nparam lam = fast;\n"A" lambda=1;\n')
+
+    def test_malformed_declaration(self):
+        with pytest.raises(GalileoSyntaxError, match="param <name> = <value>"):
+            galileo.parse('toplevel "A";\nparam lam;\n"A" lambda=1;\n')
+
+    def test_dormancy_cannot_reference_a_parameter(self):
+        with pytest.raises(GalileoSyntaxError, match="non-numeric value"):
+            galileo.parse(
+                'toplevel "A";\nparam d = 0.5;\n"A" lambda=1 dorm=d;\n'
+            )
+
+
+class TestRoundTrip:
+    def test_write_preserves_declarations_and_bindings(self):
+        tree = galileo.parse(PARAMETRIC)
+        text = galileo.write(tree)
+        assert "param lam = 0.5;" in text
+        assert "lambda=lam" in text
+        assert "repair=mu" in text
+        again = galileo.parse(text)
+        assert again.parameters == tree.parameters
+        assert again.element("A").failure_rate_param == "lam"
+        assert again.element("B").repair_rate_param == "mu"
+
+
+class TestTreeValidation:
+    def test_undeclared_binding_is_rejected(self):
+        from repro.dft import DynamicFaultTree
+        from repro.dft.elements import BasicEvent
+
+        tree = DynamicFaultTree("bad")
+        tree.add(BasicEvent("A", failure_rate=1.0, failure_rate_param="lam"))
+        tree.set_top("A")
+        with pytest.raises(FaultTreeError, match="undefined rate parameter"):
+            tree.validate()
+
+    def test_nominal_mismatch_is_rejected(self):
+        from repro.dft import DynamicFaultTree
+        from repro.dft.elements import BasicEvent
+
+        tree = DynamicFaultTree("bad")
+        tree.declare_parameter("lam", 0.5)
+        tree.add(BasicEvent("A", failure_rate=1.0, failure_rate_param="lam"))
+        tree.set_top("A")
+        with pytest.raises(FaultTreeError, match="disagrees with parameter"):
+            tree.validate()
+
+    def test_builder_resolves_rates_from_declarations(self):
+        from repro.dft import FaultTreeBuilder
+
+        builder = FaultTreeBuilder("ok")
+        builder.parameter("lam", 0.5)
+        builder.basic_event("A", param="lam")
+        builder.basic_event("B", failure_rate=1.0)
+        builder.and_gate("sys", ["A", "B"])
+        tree = builder.build(top="sys")
+        assert tree.element("A").failure_rate == 0.5
+        assert tree.element("A").failure_rate_param == "lam"
+
+    def test_builder_rejects_unknown_parameter(self):
+        from repro.dft import FaultTreeBuilder
+
+        builder = FaultTreeBuilder("bad")
+        with pytest.raises(FaultTreeError, match="unknown rate parameter"):
+            builder.basic_event("A", param="lam")
+
+
+class TestQuotedParamElement:
+    def test_quoted_param_is_an_ordinary_element_name(self):
+        tree = galileo.parse(
+            'toplevel "T";\n"T" and "param" "B";\n'
+            '"param" lambda=0.5;\n"B" lambda=1.0;\n'
+        )
+        assert tree.element("param").failure_rate == 0.5
+        assert tree.parameters == {}
+
+    def test_quoted_param_survives_a_round_trip(self):
+        tree = galileo.parse(
+            'toplevel "T";\n"T" and "param" "B";\n'
+            '"param" lambda=0.5;\n"B" lambda=1.0;\n'
+        )
+        again = galileo.parse(galileo.write(tree))
+        assert again.element("param").failure_rate == 0.5

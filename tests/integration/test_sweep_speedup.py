@@ -1,0 +1,58 @@
+"""The PR's acceptance check: a 50-sample rate sweep on the CPS is >= 5x
+faster than 50 independent full-pipeline evaluations, with equal results.
+
+The sweep engine runs conversion + aggregation once and re-instantiates only
+the CTMC generator per sample; the naive path re-runs the whole pipeline per
+sample.  The same numbers are recorded per PR in BENCH_fig2.json (section
+``sweep``) by ``benchmarks/smoke_fig2.py``.
+"""
+
+import time
+
+import pytest
+
+from repro import RateSweep, SweepStudy, Unreliability, evaluate
+from repro.core.sweep import substitute_parameters, with_rate_parameters
+from repro.systems import cascaded_pand_system
+
+NUM_SAMPLES = 50
+MISSION_TIME = 1.0
+#: The ISSUE's acceptance floor.  Measured ~10-40x on development machines;
+#: the margin absorbs CPU steal on shared CI runners.
+REQUIRED_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def parametric_cps():
+    events = {f"{module}{i}": "lam" for module in ("A", "C", "D") for i in range(1, 5)}
+    return with_rate_parameters(cascaded_pand_system(), events)
+
+
+def test_cps_sweep_is_5x_faster_and_equal(parametric_cps):
+    samples = [{"lam": 0.1 + 0.04 * index} for index in range(NUM_SAMPLES)]
+    query = Unreliability([MISSION_TIME])
+
+    start = time.perf_counter()
+    result = SweepStudy(parametric_cps).run(RateSweep(query, samples))
+    sweep_seconds = time.perf_counter() - start
+    assert result.num_failed == 0
+    assert len(result.rows) == NUM_SAMPLES
+
+    start = time.perf_counter()
+    references = [
+        evaluate(substitute_parameters(parametric_cps, sample), query)
+        for sample in samples
+    ]
+    naive_seconds = time.perf_counter() - start
+
+    worst = max(
+        abs(row["unreliability"].values[0] - reference["unreliability"].values[0])
+        for row, reference in zip(result.rows, references)
+    )
+    assert worst <= 1e-9
+
+    speedup = naive_seconds / sweep_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"rate sweep is only {speedup:.1f}x faster than {NUM_SAMPLES} naive "
+        f"evaluations ({sweep_seconds:.3f}s vs {naive_seconds:.3f}s)"
+    )

@@ -1,0 +1,83 @@
+"""Unit tests of the symbolic rate forms (`repro.ioimc.rates`)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ioimc import ParametricRate, canonical_rate, evaluate_rate, rate_parameters
+
+
+@pytest.fixture
+def mixed():
+    """0.25 + lam + 2*mu with nominals lam=0.5, mu=2.0."""
+    return (
+        ParametricRate.for_parameter("lam", 0.5)
+        + ParametricRate.for_parameter("mu", 2.0, coefficient=2.0)
+        + 0.25
+    )
+
+
+class TestArithmetic:
+    def test_nominal_is_maintained_through_arithmetic(self, mixed):
+        assert mixed.nominal == pytest.approx(0.25 + 0.5 + 4.0)
+        assert float(mixed) == pytest.approx(4.75)
+
+    def test_sum_merges_coefficients_per_parameter(self):
+        total = sum(ParametricRate.for_parameter("lam", 0.5) for _ in range(3))
+        assert total.coeffs == {"lam": 3.0}
+        assert total.nominal == pytest.approx(1.5)
+
+    def test_scaling_keeps_parameter_nominals(self, mixed):
+        scaled = 0.5 * mixed
+        assert scaled.nominal == pytest.approx(mixed.nominal / 2)
+        assert scaled.evaluate({"mu": 1.0}) == pytest.approx(0.5 * (0.25 + 0.5 + 2.0))
+
+    def test_comparisons_use_the_nominal(self, mixed):
+        assert mixed > 0.0
+        assert mixed > ParametricRate.for_parameter("lam", 0.5)
+
+    def test_non_positive_coefficients_are_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            ParametricRate.for_parameter("lam", 0.5, coefficient=0.0)
+
+
+class TestEvaluation:
+    def test_partial_assignment_keeps_nominals_for_absent_params(self, mixed):
+        assert mixed.evaluate({"lam": 0.7}) == pytest.approx(0.25 + 0.7 + 4.0)
+        assert mixed.evaluate({}) == pytest.approx(mixed.nominal)
+        assert mixed.evaluate({"lam": 1.0, "mu": 1.0}) == pytest.approx(0.25 + 1.0 + 2.0)
+
+    def test_evaluate_rate_passes_floats_through(self):
+        assert evaluate_rate(1.5, {"lam": 9.0}) == 1.5
+        assert rate_parameters(1.5) == ()
+
+    def test_rate_parameters(self, mixed):
+        assert mixed.parameters == ("lam", "mu")
+
+
+class TestIdentity:
+    def test_equality_and_hash_are_structural(self):
+        a = ParametricRate.for_parameter("lam", 0.5)
+        b = ParametricRate.for_parameter("lam", 0.5)
+        c = ParametricRate.for_parameter("mu", 0.5)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_canonical_keys_keep_distinct_forms_apart(self):
+        # equal nominal values, different parameter dependencies
+        a = ParametricRate.for_parameter("lam", 1.0)
+        c = ParametricRate.for_parameter("mu", 1.0)
+        assert canonical_rate(a) != canonical_rate(c)
+        assert canonical_rate(a) != canonical_rate(1.0)
+
+    def test_canonical_keys_absorb_float_noise(self):
+        a = ParametricRate.for_parameter("lam", 1.0, coefficient=0.1) * 3.0
+        b = ParametricRate.for_parameter("lam", 1.0, coefficient=0.30000000000000004)
+        assert canonical_rate(a) == canonical_rate(b)
+
+    def test_pickle_round_trip(self, mixed):
+        clone = pickle.loads(pickle.dumps(mixed))
+        assert clone == mixed
+        assert clone.nominal == mixed.nominal
+        assert clone.evaluate({"lam": 1.0}) == mixed.evaluate({"lam": 1.0})

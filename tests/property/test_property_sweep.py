@@ -1,0 +1,155 @@
+"""Differential property tests of the rate-sweep engine.
+
+The sweep engine's claim: aggregating once (with symbolic rate forms) and
+re-instantiating only the CTMC/CTMDP rates per sample yields exactly the
+measures a full pipeline re-run at that sample produces.  Pinned here against
+the naive path (:func:`substitute_parameters` + :func:`evaluate`) to <= 1e-9:
+
+* on the paper's systems (the Figure 2 composition example at the I/O-IMC
+  level, CAS, CPS) with Hypothesis-drawn rate samples;
+* on random DFT corpora, including the FDEP / shared-spare generator
+  patterns (bound measures where the model may be non-deterministic).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    RateSweep,
+    SweepStudy,
+    Unreliability,
+    UnreliabilityBounds,
+    evaluate,
+)
+from repro.core import signals
+from repro.core.sweep import substitute_parameters, with_rate_parameters
+from repro.ctmc.builders import ctmc_skeleton_from_ioimc
+from repro.ioimc import IOIMC, ParametricRate, minimize_weak, parallel, signature
+from repro.systems import (
+    cardiac_assist_system,
+    cascaded_pand_system,
+    figure2_models,
+    random_dft,
+)
+
+MISSION_TIMES = (0.5, 1.0)
+TOLERANCE = 1e-9
+
+rates = st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+# Shared pipelines: one conversion + aggregation per system for the whole
+# test module; Hypothesis only varies the cheap per-sample instantiation.
+_SWEEP_STUDIES = {}
+
+
+def _sweep_study(key, tree_factory):
+    if key not in _SWEEP_STUDIES:
+        _SWEEP_STUDIES[key] = (SweepStudy(tree_factory()), tree_factory())
+    return _SWEEP_STUDIES[key]
+
+
+class TestFigure2Composition:
+    """Figure 2 at the I/O-IMC level: the symbolic form survives compose +
+    hide + weak minimisation, and instantiation equals a numeric rebuild."""
+
+    @given(rate=rates)
+    @settings(max_examples=20, deadline=None)
+    def test_parametric_pipeline_matches_numeric_rebuild(self, rate):
+        def build(lam):
+            model_a, numeric_b = figure2_models(rate=1.0)
+            model_b = IOIMC("B", signature(inputs=["a"], outputs=["b"]))
+            states = [model_b.add_state(name=str(i + 1), initial=(i == 0)) for i in range(5)]
+            model_b.add_markovian(states[0], lam, states[1])
+            model_b.add_interactive(states[0], "a", states[2])
+            model_b.add_interactive(states[1], "a", states[3])
+            model_b.add_markovian(states[2], lam, states[3])
+            model_b.add_interactive(states[3], "b", states[4])
+            return minimize_weak(parallel(model_a, model_b).hide(["a"]))
+
+        symbolic = build(ParametricRate.for_parameter("lam", 1.0))
+        skeleton = ctmc_skeleton_from_ioimc(symbolic.hide(["b"]))
+        numeric = build(rate)
+        reference = ctmc_skeleton_from_ioimc(numeric.hide(["b"])).instantiate()
+        instantiated = skeleton.instantiate({"lam": rate})
+        assert instantiated.num_states == reference.num_states
+        for state in instantiated.states():
+            assert dict(instantiated.rates_from(state)) == pytest.approx(
+                dict(reference.rates_from(state)), abs=TOLERANCE
+            )
+
+
+class TestPaperSystems:
+    @given(scale=rates)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_cas_sweep_equals_rerun(self, scale):
+        study, tree = _sweep_study(
+            "cas", lambda: with_rate_parameters(cardiac_assist_system(), ["P", "MA", "PA"])
+        )
+        sample = {"P": scale, "MA": 0.5 * scale, "PA": 2.0 * scale}
+        result = study.run(RateSweep(Unreliability(MISSION_TIMES), [sample]))
+        reference = evaluate(
+            substitute_parameters(tree, sample), Unreliability(MISSION_TIMES)
+        )
+        assert result.rows[0]["unreliability"].values == pytest.approx(
+            reference["unreliability"].values, abs=TOLERANCE
+        )
+
+    @given(lam=rates)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_cps_sweep_equals_rerun(self, lam):
+        events = {f"{m}{i}": "lam" for m in ("A", "C", "D") for i in range(1, 5)}
+        study, tree = _sweep_study(
+            "cps", lambda: with_rate_parameters(cascaded_pand_system(), events)
+        )
+        sample = {"lam": lam}
+        result = study.run(RateSweep(Unreliability(MISSION_TIMES), [sample]))
+        reference = evaluate(
+            substitute_parameters(tree, sample), Unreliability(MISSION_TIMES)
+        )
+        assert result.rows[0]["unreliability"].values == pytest.approx(
+            reference["unreliability"].values, abs=TOLERANCE
+        )
+
+
+class TestRandomCorpora:
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        num_events=st.integers(min_value=4, max_value=6),
+        scale=rates,
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_tree_sweep_equals_rerun(self, seed, num_events, scale):
+        tree = with_rate_parameters(random_dft(num_events, seed=seed))
+        study = SweepStudy(tree)
+        events = sorted(tree.parameters)
+        sample = {
+            name: max(0.05, min(5.0, nominal * scale))
+            for name, nominal in tree.parameters.items()
+            if name in events[: max(2, len(events) // 2)]
+        }
+        result = study.run(RateSweep(Unreliability(MISSION_TIMES), [sample]))
+        reference = evaluate(
+            substitute_parameters(tree, sample), Unreliability(MISSION_TIMES)
+        )
+        assert result.rows[0]["unreliability"].values == pytest.approx(
+            reference["unreliability"].values, abs=TOLERANCE
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=20), scale=rates)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generator_patterns_sweep_bounds_equal_rerun(self, seed, scale):
+        """FDEP + shared-spare corpora may be non-deterministic: compare the
+        bound envelopes (exact on deterministic members) per sample."""
+        tree = with_rate_parameters(
+            random_dft(5, seed=seed, fdep=True, shared_spares=True)
+        )
+        study = SweepStudy(tree)
+        first = sorted(tree.parameters)[0]
+        sample = {first: max(0.05, min(5.0, tree.parameters[first] * scale))}
+        query = UnreliabilityBounds(MISSION_TIMES)
+        result = study.run(RateSweep(query, [sample]))
+        reference = evaluate(substitute_parameters(tree, sample), query)
+        row_measure = result.rows[0]["unreliability_bounds"]
+        ref_measure = reference["unreliability_bounds"]
+        assert row_measure.lower == pytest.approx(ref_measure.lower, abs=TOLERANCE)
+        assert row_measure.upper == pytest.approx(ref_measure.upper, abs=TOLERANCE)

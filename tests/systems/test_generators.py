@@ -1,0 +1,118 @@
+"""Unit tests of the random-DFT generator, including the FDEP and
+shared-spare patterns added for the CTMDP/bound analysis paths."""
+
+import pytest
+
+from repro import UnreliabilityBounds, evaluate
+from repro.dft.elements import FdepGate, SpareGate
+from repro.systems import random_corpus, random_dft
+
+SEEDS = range(8)
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plain_trees_validate(self, seed):
+        tree = random_dft(6, seed=seed)
+        tree.validate()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fdep_trees_validate(self, seed):
+        tree = random_dft(6, seed=seed, fdep=True)
+        tree.validate()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shared_spare_trees_validate(self, seed):
+        tree = random_dft(6, seed=seed, shared_spares=True)
+        tree.validate()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_combined_patterns_validate_and_analyse(self, seed):
+        tree = random_dft(6, seed=seed, fdep=True, shared_spares=True)
+        tree.validate()
+        result = evaluate(tree, UnreliabilityBounds([1.0]))
+        low, high = result["unreliability_bounds"].bounds
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_determinism_of_generation(self):
+        for kwargs in ({}, {"fdep": True}, {"shared_spares": True}):
+            first = random_dft(6, seed=3, **kwargs)
+            second = random_dft(6, seed=3, **kwargs)
+            assert first.names() == second.names()
+            assert first.summary() == second.summary()
+
+    def test_patterns_change_the_tree(self):
+        plain = random_dft(6, seed=3)
+        with_patterns = random_dft(6, seed=3, fdep=True)
+        assert plain.names() != with_patterns.names()
+
+
+class TestPatternStructure:
+    def test_fdep_corpus_contains_fdep_gates(self):
+        trees = random_corpus(10, num_basic_events=6, seed=0, fdep=True)
+        assert any(
+            isinstance(element, FdepGate)
+            for tree in trees
+            for element in tree.elements()
+        )
+
+    def test_shared_spare_corpus_contains_shared_spares(self):
+        trees = random_corpus(16, num_basic_events=7, seed=0, shared_spares=True)
+        shared = 0
+        for tree in trees:
+            gates = [e for e in tree.elements() if isinstance(e, SpareGate)]
+            for gate in gates:
+                for spare in gate.spares:
+                    if len(tree.spare_gates_using(spare)) > 1:
+                        shared += 1
+        assert shared > 0
+
+    def test_fdep_dependents_are_never_spares(self):
+        for seed in range(12):
+            tree = random_dft(7, seed=seed, fdep=True, shared_spares=True)
+            spares = {
+                spare
+                for element in tree.elements()
+                if isinstance(element, SpareGate)
+                for spare in element.spares
+            }
+            for element in tree.elements():
+                if isinstance(element, FdepGate):
+                    assert not (set(element.dependents) & spares)
+
+
+class TestNondeterminismFlags:
+    def test_plain_trees_stay_deterministic(self):
+        for seed in SEEDS:
+            result = evaluate(random_dft(6, seed=seed), UnreliabilityBounds([1.0]))
+            assert not result.model.nondeterministic
+            low, high = result["unreliability_bounds"].bounds
+            assert low == pytest.approx(high, abs=1e-12)
+
+    def test_fdep_corpus_reaches_a_nondeterministic_member(self):
+        """The pattern exists to stress the CTMDP path: some member of a
+        reasonably sized corpus must expose inherent non-determinism."""
+        found = False
+        for seed in range(24):
+            tree = random_dft(6, seed=seed, fdep=True, shared_spares=True)
+            result = evaluate(tree, UnreliabilityBounds([1.0]))
+            if result.model.nondeterministic:
+                found = True
+                low, high = result["unreliability_bounds"].bounds
+                assert low <= high
+                break
+        assert found
+
+
+class TestPatternGuards:
+    def test_patterns_require_dynamic_trees(self):
+        with pytest.raises(ValueError, match="dynamic=True"):
+            random_dft(5, seed=0, dynamic=False, fdep=True)
+        with pytest.raises(ValueError, match="dynamic=True"):
+            random_dft(5, seed=0, dynamic=False, shared_spares=True)
+
+    def test_static_trees_stay_static(self):
+        from repro.dft.elements import is_static
+
+        tree = random_dft(8, seed=2, dynamic=False)
+        assert all(is_static(element) for element in tree.elements())

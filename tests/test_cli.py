@@ -279,3 +279,192 @@ class TestOtherCommands:
             main(["--version"])
         assert excinfo.value.code == 0
         assert "repro" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    @pytest.fixture
+    def parametric_file(self, tmp_path):
+        path = tmp_path / "parametric.dft"
+        path.write_text(
+            'toplevel "sys";\n'
+            "param lam = 0.5;\n"
+            '"sys" and "A" "B";\n'
+            '"A" lambda=lam;\n'
+            '"B" lambda=1.0;\n'
+        )
+        return str(path)
+
+    def test_sweep_over_declared_parameter(self, parametric_file, capsys):
+        assert main(["sweep", parametric_file, "--param", "lam=0.1:1.0:5"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("Unreliability(t=1)") == 5
+        assert "5 samples over lam" in output
+        assert "shared pipeline" in output
+
+    def test_sweep_axis_comma_list_and_grid(self, parametric_file, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    parametric_file,
+                    "--param",
+                    "lam=0.5,1.0",
+                    "--param",
+                    "B=0.5,1.0",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert output.count("Unreliability(t=1)") == 4  # 2x2 grid
+
+    def test_sweep_attaches_parameters_to_basic_events(self, parametric_file, capsys):
+        """An axis naming a basic event sweeps that event's failure rate."""
+        assert main(["sweep", parametric_file, "--param", "B=0.5,2.0"]) == 0
+        output = capsys.readouterr().out
+        assert "[B=0.5]" in output and "[B=2]" in output
+
+    def test_sweep_json_schema(self, parametric_file, capsys):
+        assert (
+            main(["sweep", parametric_file, "--param", "lam=0.25,0.75", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.sweep/1"
+        assert payload["parameters"] == ["lam"]
+        assert payload["aggregate"] == {"samples": 2, "failed": 0}
+        assert [row["sample"]["lam"] for row in payload["rows"]] == [0.25, 0.75]
+
+    def test_sweep_results_match_analyze(self, parametric_file, capsys):
+        assert main(["sweep", parametric_file, "--param", "lam=0.5", "--json"]) == 0
+        swept = json.loads(capsys.readouterr().out)
+        assert main(["analyze", parametric_file, "--json"]) == 0
+        analysed = json.loads(capsys.readouterr().out)
+        sweep_value = swept["rows"][0]["measures"][0]["values"][0]
+        analyze_value = analysed["measures"][0]["values"][0]
+        assert sweep_value == pytest.approx(analyze_value, abs=1e-9)
+
+    def test_unknown_axis_is_a_clean_error(self, parametric_file, capsys):
+        assert main(["sweep", parametric_file, "--param", "nu=1.0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "nu" in err
+
+    def test_malformed_axis_is_a_clean_error(self, parametric_file, capsys):
+        assert main(["sweep", parametric_file, "--param", "lam"]) == 2
+        assert "cannot parse sweep axis" in capsys.readouterr().err
+
+    def test_non_positive_sample_is_a_clean_error(self, parametric_file, capsys):
+        assert main(["sweep", parametric_file, "--param", "lam=-1.0"]) == 2
+        assert "positive finite" in capsys.readouterr().err
+
+    def test_nondeterministic_tree_sweeps_bounds(self, nondeterministic_file, capsys):
+        assert main(["sweep", nondeterministic_file, "--param", "A=0.5,1.5"]) == 0
+        assert "in [" in capsys.readouterr().out
+
+
+class TestGalileoParamErrorsViaCli:
+    """Satellite check: parameter parse errors surface as clean CLI messages."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.dft"
+        path.write_text(text)
+        return str(path)
+
+    def test_undefined_parameter(self, tmp_path, capsys):
+        path = self._write(tmp_path, 'toplevel "A";\n"A" lambda=lam;\n')
+        assert main(["analyze", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "undefined parameter 'lam'" in err
+
+    def test_duplicate_definition(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            'toplevel "A";\nparam lam = 1;\nparam lam = 2;\n"A" lambda=lam;\n',
+        )
+        assert main(["analyze", path]) == 2
+        assert "declared twice" in capsys.readouterr().err
+
+    def test_non_positive_rate(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, 'toplevel "A";\nparam lam = 0;\n"A" lambda=lam;\n'
+        )
+        assert main(["analyze", path]) == 2
+        assert "positive finite rate" in capsys.readouterr().err
+
+
+class TestBatchStreamingCli:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        for index, tree in enumerate(random_corpus(3, num_basic_events=4, seed=11)):
+            galileo.write_file(tree, str(tmp_path / f"tree{index}.dft"))
+        return tmp_path
+
+    def test_output_jsonl_streams_rows(self, corpus_dir, capsys):
+        sink = corpus_dir / "rows.jsonl"
+        assert (
+            main(
+                [
+                    "batch",
+                    str(corpus_dir / "*.dft"),
+                    "--output-jsonl",
+                    str(sink),
+                    "--chunk-size",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "rows streamed to" in capsys.readouterr().out
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [record["kind"] for record in records] == ["row"] * 3 + ["aggregate"]
+        assert all(record["schema"] == "repro.batch/2" for record in records)
+
+    def test_output_jsonl_round_trips_to_batch_result(self, corpus_dir, capsys):
+        """CLI-level satellite check: the sink equals the in-memory rows."""
+        from repro.core.results import read_batch_jsonl
+
+        sink = corpus_dir / "rows.jsonl"
+        assert (
+            main(["batch", str(corpus_dir / "*.dft"), "--output-jsonl", str(sink)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["batch", str(corpus_dir / "*.dft"), "--json"]) == 0
+        in_memory = json.loads(capsys.readouterr().out)
+        with open(sink, "r", encoding="utf-8") as handle:
+            restored = read_batch_jsonl(handle)
+
+        def normalise(row_dict):
+            row_dict = dict(row_dict)
+            row_dict.pop("wall_seconds", None)
+            row_dict.pop("schema", None)
+            row_dict.pop("kind", None)
+            if row_dict.get("result"):
+                row_dict["result"] = dict(row_dict["result"])
+                row_dict["result"].pop("timings", None)
+            return row_dict
+
+        assert [normalise(row.to_dict()) for row in restored.rows] == [
+            normalise(row) for row in in_memory["rows"]
+        ]
+
+    def test_output_jsonl_keeps_error_rows_and_exit_code(self, corpus_dir, capsys):
+        (corpus_dir / "broken.dft").write_text("nonsense\n")
+        sink = corpus_dir / "rows.jsonl"
+        assert (
+            main(["batch", str(corpus_dir / "*.dft"), "--output-jsonl", str(sink)]) == 1
+        )
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        failed = [r for r in records if r["kind"] == "row" and not r["ok"]]
+        assert len(failed) == 1
+        assert failed[0]["error"]
+        assert records[-1]["failed"] == 1
+
+    def test_json_and_output_jsonl_are_mutually_exclusive(self, corpus_dir, capsys):
+        sink = corpus_dir / "rows.jsonl"
+        assert (
+            main(
+                ["batch", str(corpus_dir / "*.dft"), "--json", "--output-jsonl", str(sink)]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
