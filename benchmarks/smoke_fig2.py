@@ -249,12 +249,20 @@ def bench_batch(corpus_size: int = 6, num_basic_events: int = 6) -> dict:
 
 
 def bench_sweep(num_samples: int = 50, mission_time: float = 1.0) -> dict:
-    """50-sample CPS rate sweep: aggregate-once engine vs naive re-runs.
+    """50-sample CPS rate sweep: shared-structure kernel vs PR 4 vs naive.
 
-    This is the rate-sweep PR's acceptance number: the sweep engine shares
-    one conversion + aggregation and instantiates only the CTMC per sample,
-    so it must beat ``num_samples`` independent full-pipeline evaluations by
-    >= 5x while agreeing to 1e-9 on every sample.
+    Three engines on identical samples:
+
+    * the shared-structure kernel (one CSR pattern, per-sample data refills),
+    * the PR 4 per-sample path (full CTMC instantiation per sample,
+      ``use_kernel=False``) — the kernel must beat its per-sample cost by
+      >= 1.5x (gated in CI),
+    * ``num_samples`` naive full-pipeline evaluations — the sweep must beat
+      them by >= 20x while agreeing to 1e-9 on every sample (gated in CI).
+
+    Also records the kernel's instantiate-vs-solve per-sample split and a
+    parallel-scaling spot check (``processes=2`` must reproduce the serial
+    rows bit-for-bit).
     """
     events = {f"{m}{i}": "lam" for m in ("A", "C", "D") for i in range(1, 5)}
     tree = with_rate_parameters(cascaded_pand_system(), events)
@@ -269,17 +277,62 @@ def bench_sweep(num_samples: int = 50, mission_time: float = 1.0) -> dict:
             evaluate(substitute_parameters(tree, sample), query) for sample in samples
         ]
 
-    result, sweep_seconds = _timed(swept, repeats=1)
+    # Best-of-3 for the sweep (a fresh SweepStudy each repeat keeps the
+    # shared pipeline honestly inside the measurement; min-of discards
+    # one-off cold-cache stalls); the naive side runs 50 pipelines per
+    # repeat and is self-averaging.
+    result, sweep_seconds = _timed(swept)
     references, naive_seconds = _timed(naive, repeats=1)
     worst = max(
         abs(row["unreliability"].values[0] - ref["unreliability"].values[0])
         for row, ref in zip(result.rows, references)
     )
+
+    # Kernel vs PR 4 per-sample cost, on one warm study (pipeline excluded,
+    # best-of-3 so a one-off stall cannot skew the gated ratio either way).
+    warm = SweepStudy(tree)
+    warm.skeleton
+    kernel_result, kernel_samples_seconds = _timed(
+        lambda: warm.run(RateSweep(query, samples))
+    )
+    legacy_result, legacy_samples_seconds = _timed(
+        lambda: warm.run(RateSweep(query, samples), use_kernel=False)
+    )
+    kernel_vs_legacy_difference = max(
+        abs(a - b)
+        for mine, theirs in zip(kernel_result.rows, legacy_result.rows)
+        for a, b in zip(mine["unreliability"].values, theirs["unreliability"].values)
+    )
+
+    # Parallel scaling spot check: rows must be bit-identical to serial.
+    parallel_result, parallel_seconds = _timed(
+        lambda: warm.run(RateSweep(query, samples), processes=2), repeats=1
+    )
+    rows_identical = all(
+        mine.sample == theirs.sample and mine.measures == theirs.measures
+        for mine, theirs in zip(kernel_result.rows, parallel_result.rows)
+    )
+
     return {
         "num_samples": num_samples,
         "failed_rows": result.num_failed,
         "shared_pipeline_seconds": result.timings["shared"],
         "per_sample_seconds": result.timings["samples"] / num_samples,
+        "instantiate_seconds_per_sample": result.timings["instantiate"] / num_samples,
+        "solve_seconds_per_sample": result.timings["solve"] / num_samples,
+        "kernel_samples_seconds": kernel_samples_seconds,
+        "legacy_samples_seconds": legacy_samples_seconds,
+        "kernel_vs_legacy_difference": kernel_vs_legacy_difference,
+        "structure_speedup": (
+            legacy_samples_seconds / kernel_samples_seconds
+            if kernel_samples_seconds
+            else None
+        ),
+        "parallel": {
+            "processes": 2,
+            "samples_wall_seconds": parallel_seconds,
+            "rows_identical_to_serial": rows_identical,
+        },
         "sweep_wall_seconds": sweep_seconds,
         "naive_wall_seconds": naive_seconds,
         "speedup": naive_seconds / sweep_seconds if sweep_seconds else None,
@@ -344,12 +397,35 @@ def main(argv) -> int:
     if sweep["max_abs_difference"] > 1e-9:
         print("FAIL: rate sweep deviates from naive per-sample re-runs", file=sys.stderr)
         return 1
-    # Acceptance gate of the rate-sweep PR: aggregate-once must beat 50 naive
-    # pipeline runs by >= 5x (measured ~10-40x on development machines).
-    if sweep["speedup"] is None or sweep["speedup"] < 5.0:
+    if sweep["kernel_vs_legacy_difference"] > 1e-9:
         print(
-            "FAIL: the rate-sweep engine is not >= 5x faster than naive "
+            "FAIL: the shared-structure kernel deviates from per-sample "
+            "instantiation",
+            file=sys.stderr,
+        )
+        return 1
+    # Acceptance gate of the shared-structure kernel PR: aggregate-once plus
+    # in-place CSR refills must beat 50 naive pipeline runs by >= 20x
+    # (measured ~30x; PR 4's per-sample instantiation managed ~12x).
+    if sweep["speedup"] is None or sweep["speedup"] < 20.0:
+        print(
+            "FAIL: the rate-sweep engine is not >= 20x faster than naive "
             f"per-sample re-runs (got {sweep['speedup']})",
+            file=sys.stderr,
+        )
+        return 1
+    # The kernel itself must beat PR 4's per-sample cost by >= 1.5x
+    # (measured ~4-6x; the gate has margin for loaded shared runners).
+    if sweep["structure_speedup"] is None or sweep["structure_speedup"] < 1.5:
+        print(
+            "FAIL: the shared-structure kernel is not >= 1.5x faster per "
+            f"sample than full instantiation (got {sweep['structure_speedup']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not sweep["parallel"]["rows_identical_to_serial"]:
+        print(
+            "FAIL: parallel sweep rows differ from the serial rows",
             file=sys.stderr,
         )
         return 1

@@ -14,8 +14,11 @@ and report reliability measures.  Sub-commands:
     and aggregation **once**: the aggregated I/O-IMC keeps a transition ->
     parameter map and only the CTMC generator is rebuilt per sample.
     ``--param lam=0.1:2.0:50`` sweeps a declared Galileo parameter (or a
-    basic event by name) over a linspace grid; ``--json`` emits schema
-    ``repro.sweep/1``.
+    basic event by name) over a linspace grid; the per-sample solves run on
+    a shared-structure uniformisation kernel and fan out over worker
+    processes with ``--processes N`` (``--chunk-size`` tunes the chunked
+    scheduling; rows are bit-identical to a serial run).  ``--json`` emits
+    schema ``repro.sweep/2``.
 ``batch``
     Evaluate the same query over a corpus of ``.dft`` files (shell-style
     globs are expanded) with optional process parallelism, printing per-tree
@@ -313,7 +316,11 @@ def command_sweep(args: argparse.Namespace) -> int:
     study = SweepStudy(tree, _analysis_options(args))
     bounds = args.bounds or isinstance(study.skeleton, CtmdpSkeleton)
     query = _build_query(args, bounds=bounds)
-    result = study.run(RateSweep(query, samples))
+    result = study.run(
+        RateSweep(query, samples),
+        processes=args.processes,
+        chunk_size=args.chunk_size,
+    )
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -530,6 +537,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--bounds",
         action="store_true",
         help="report (min, max) unreliability bounds even for deterministic trees",
+    )
+    sweep.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for the per-sample solves (default: 1, serial; "
+        "rows are bit-identical to a serial run)",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="samples per scheduling chunk (default: sized from the sample "
+        "count and worker count)",
     )
     add_common(sweep)
     sweep.set_defaults(handler=command_sweep)

@@ -33,7 +33,10 @@ STUDY_SCHEMA = "repro.study/1"
 BATCH_SCHEMA = "repro.batch/1"
 #: Per-row schema of the streaming JSONL batch sink.
 BATCH_ROW_SCHEMA = "repro.batch/2"
-SWEEP_SCHEMA = "repro.sweep/1"
+#: ``repro.sweep/2`` adds the shared-structure kernel's per-row
+#: instantiate/solve timing split and the worker-process metadata of
+#: parallel sweeps; rows are otherwise unchanged from ``repro.sweep/1``.
+SWEEP_SCHEMA = "repro.sweep/2"
 
 
 @dataclass(frozen=True)
@@ -455,17 +458,25 @@ def read_batch_jsonl(handle: IO[str]) -> BatchResult:
 
 
 # ---------------------------------------------------------------------------
-# rate-sweep results (schema repro.sweep/1)
+# rate-sweep results (schema repro.sweep/2)
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class SweepRow:
-    """The measures of one parameter sample inside a rate sweep."""
+    """The measures of one parameter sample inside a rate sweep.
+
+    ``instantiate_seconds`` / ``solve_seconds`` split the row's wall time
+    into rate instantiation (CSR refill, plus a full CTMC build when a
+    measure needs it) and the uniformisation solve — the per-sample numbers
+    the shared-structure kernel optimises.
+    """
 
     sample: Dict[str, float]
     measures: Tuple[MeasureResult, ...]
     wall_seconds: float
     error: Optional[str] = None
+    instantiate_seconds: Optional[float] = None
+    solve_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -483,6 +494,10 @@ class SweepRow:
             "ok": self.ok,
             "wall_seconds": self.wall_seconds,
         }
+        if self.instantiate_seconds is not None:
+            payload["instantiate_seconds"] = self.instantiate_seconds
+        if self.solve_seconds is not None:
+            payload["solve_seconds"] = self.solve_seconds
         if self.measures:
             payload["measures"] = [measure.to_dict() for measure in self.measures]
         if self.error is not None:
@@ -491,6 +506,10 @@ class SweepRow:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SweepRow":
+        def seconds(key: str) -> Optional[float]:
+            raw = payload.get(key)
+            return None if raw is None else float(raw)  # type: ignore[arg-type]
+
         return cls(
             sample={str(k): float(v) for k, v in payload.get("sample", {}).items()},  # type: ignore[union-attr]
             measures=tuple(
@@ -499,6 +518,8 @@ class SweepRow:
             ),
             wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
             error=payload.get("error"),  # type: ignore[arg-type]
+            instantiate_seconds=seconds("instantiate_seconds"),
+            solve_seconds=seconds("solve_seconds"),
         )
 
 
@@ -512,6 +533,8 @@ class SweepResult:
     model: ModelInfo
     options: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Worker processes the samples ran on (1 = serial).
+    processes: int = 1
 
     def __iter__(self) -> Iterator[SweepRow]:
         return iter(self.rows)
@@ -537,7 +560,8 @@ class SweepResult:
         return (
             f"{len(self.rows)} samples over {', '.join(self.parameters)} "
             f"({self.num_failed} failed); shared pipeline {shared:.3f}s, "
-            f"all samples {samples:.3f}s"
+            f"all samples {samples:.3f}s, {self.processes} process"
+            f"{'es' if self.processes != 1 else ''}"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -551,6 +575,7 @@ class SweepResult:
             "aggregate": {
                 "samples": len(self.rows),
                 "failed": self.num_failed,
+                "processes": self.processes,
             },
             "timings": dict(self.timings),
         }

@@ -156,7 +156,7 @@ def _ctmdp_bound_values(
 
 
 def _evaluate_measure(
-    model: Union[CTMC, CTMDP],
+    model: Optional[Union[CTMC, CTMDP]],
     measure: Measure,
     point_values: Dict[float, float],
     bound_curves: Dict[float, Tuple[float, float]],
@@ -203,6 +203,57 @@ def _evaluate_measure(
     raise AnalysisError(f"unsupported measure: {measure!r}")
 
 
+def _measure_needs_model(measure: Measure) -> bool:
+    """True iff ``measure`` reads the generator beyond transient point values."""
+    return isinstance(measure, MTTF) or (
+        isinstance(measure, Unavailability) and measure.steady_state
+    )
+
+
+def query_needs_model(query: QueryLike) -> bool:
+    """True iff evaluating ``query`` needs more than transient point values.
+
+    MTTF and steady-state unavailability read the generator itself; every
+    other measure is assembled from the failed-state occupancy curve alone.
+    The rate-sweep kernel uses this to skip building a concrete CTMC per
+    sample whenever the query is purely transient.
+    """
+    return any(_measure_needs_model(measure) for measure in _as_query(query))
+
+
+def measures_from_curves(
+    model: Optional[Union[CTMC, CTMDP]],
+    query: Query,
+    point_values: Dict[float, float],
+    bound_curves: Dict[float, Tuple[float, float]],
+    on_error: str = "raise",
+) -> Tuple[MeasureResult, ...]:
+    """Assemble every measure of ``query`` from precomputed curve values.
+
+    ``model`` may be ``None`` when the query is purely transient (see
+    :func:`query_needs_model`); measures that do need the model then fail
+    individually under ``on_error="record"``.
+    """
+    if on_error not in ("raise", "record"):
+        raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    evaluated = []
+    for measure in query:
+        try:
+            if model is None and _measure_needs_model(measure):
+                raise AnalysisError(
+                    f"measure {measure.kind!r} needs the concrete Markov model, "
+                    "which was not instantiated"
+                )
+            evaluated.append(
+                _evaluate_measure(model, measure, point_values, bound_curves)
+            )
+        except AnalysisError as error:
+            if on_error == "raise":
+                raise
+            evaluated.append(MeasureResult(kind=measure.kind, error=str(error)))
+    return tuple(evaluated)
+
+
 def evaluate_query_on_model(
     model: Union[CTMC, CTMDP],
     query: QueryLike,
@@ -227,17 +278,9 @@ def evaluate_query_on_model(
     else:
         point_values = {}
         bound_curves = _ctmdp_bound_values(model, query, tolerance)
-    evaluated = []
-    for measure in query:
-        try:
-            evaluated.append(
-                _evaluate_measure(model, measure, point_values, bound_curves)
-            )
-        except AnalysisError as error:
-            if on_error == "raise":
-                raise
-            evaluated.append(MeasureResult(kind=measure.kind, error=str(error)))
-    return tuple(evaluated)
+    return measures_from_curves(
+        model, query, point_values, bound_curves, on_error=on_error
+    )
 
 
 class Study:
@@ -476,7 +519,7 @@ class BatchStudy:
         return len(self._items)
 
     def _resolve_workers(self, processes: Optional[int]) -> int:
-        workers = int(processes) if processes else 1
+        workers = 1 if processes is None else int(processes)
         if workers < 1:
             raise AnalysisError(f"processes must be >= 1, got {processes}")
         return workers if len(self._items) > 1 else 1

@@ -18,6 +18,7 @@ from .builders import (
 )
 from .ctmc import CTMC
 from .ctmdp import CTMDP
+from .kernel import CsrBuffer, TransientKernel
 from .steady_state import (
     bottom_strongly_connected_components,
     steady_state_distribution,
@@ -36,9 +37,11 @@ from .transient import (
 __all__ = [
     "CTMC",
     "CTMDP",
+    "CsrBuffer",
     "CtmcSkeleton",
     "CtmdpSkeleton",
     "PoissonTermCache",
+    "TransientKernel",
     "bottom_strongly_connected_components",
     "ctmc_from_ioimc",
     "ctmc_skeleton_from_ioimc",

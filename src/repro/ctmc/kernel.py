@@ -1,0 +1,383 @@
+"""Shared-structure uniformisation kernel for repeated rate instantiations.
+
+A rate sweep instantiates the same :class:`~repro.ctmc.builders.CtmcSkeleton`
+hundreds of times with different parameter assignments.  The skeleton's
+*structure* — which states exist, which transitions connect them, where the
+``failed`` label sits — never changes between samples; only the transition
+rates do.  Building a fresh :class:`~repro.ctmc.ctmc.CTMC` and a fresh scipy
+CSR matrix per sample therefore re-pays, on every sample, sparse setup work
+whose result is bit-for-bit identical in everything except the ``data`` array.
+
+This module eliminates that rebuild:
+
+* :class:`CsrBuffer` precomputes the CSR *pattern* (``indptr``/``indices``)
+  of the uniformised matrix ``P = I + Q/Lambda`` once, together with a
+  vectorised linear-form representation of every edge rate
+  (``rate_e = const_e + sum_p coeff_ep * param_p``).  Refilling under a new
+  assignment is two dense matvecs and a scatter-add into the **same**
+  ``data`` array — zero sparse-structure allocations.  The buffer also keeps
+  the matvec operator the solver actually steps with: a preallocated dense
+  copy of ``P`` for small chains (sparse dispatch overhead dwarfs the
+  arithmetic there) or a once-built CSR of ``P^T`` whose data is refreshed by
+  a precomputed permutation (``x @ P`` through scipy would otherwise
+  construct a fresh transposed matrix on *every* step).
+* :class:`TransientKernel` owns one buffer plus the Poisson term cache and
+  the ``pi(0) * P^k`` workspace, and evaluates label-probability curves with
+  the same adaptive-truncation sweep as
+  :func:`repro.ctmc.transient.probability_of_label_curve`.
+
+The rate-sweep engine (:mod:`repro.core.sweep`) drives one kernel per worker
+process; after the first sample every further sample costs only the refill
+and the uniformisation sweep itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import AnalysisError, ModelError
+from ..ioimc.rates import ParametricRate
+from .builders import CtmcSkeleton
+from .transient import PoissonTermCache, validate_times
+
+#: Below this state count the kernel steps with a preallocated dense matrix:
+#: a CSR matvec costs ~10-20us of scipy dispatch regardless of size, which
+#: dominates the arithmetic of aggregated DFT models (tens of states).
+DENSE_STATE_LIMIT = 256
+
+
+class CsrBuffer:
+    """Preallocated CSR pattern of a skeleton's uniformised matrix.
+
+    The pattern (``indptr``/``indices``, including a diagonal entry per row)
+    and the scatter map from skeleton edges into ``data`` slots are computed
+    once in :meth:`__init__`; :meth:`refill` only evaluates the edge rates
+    under an assignment and rewrites ``data`` (and the dense or transposed
+    stepping operator) in place.  ``structure_builds`` and ``refills`` count
+    exactly that split, so regression tests can pin "no pattern rebuild
+    after the first sample".
+    """
+
+    __slots__ = (
+        "skeleton",
+        "matrix",
+        "dense",
+        "transposed",
+        "structure_builds",
+        "refills",
+        "uniformisation_rate",
+        "_params",
+        "_const",
+        "_coeffs",
+        "_nominals",
+        "_slots",
+        "_sources",
+        "_diag",
+        "_dense_slots",
+        "_dense_diag",
+        "_transpose_perm",
+        "_edge_values",
+        "_exit",
+    )
+
+    def __init__(self, skeleton: CtmcSkeleton, dense_limit: int = DENSE_STATE_LIMIT):
+        self.skeleton = skeleton
+        num_states = skeleton.num_states
+        edges = skeleton.edges
+
+        # --- CSR pattern: per row the sorted unique targets plus the diagonal.
+        row_targets: List[set] = [set() for _ in range(num_states)]
+        for source, target, _rate in edges:
+            row_targets[source].add(target)
+        indptr = np.zeros(num_states + 1, dtype=np.int64)
+        indices: List[int] = []
+        diag = np.empty(num_states, dtype=np.int64)
+        slot_of: Dict[Tuple[int, int], int] = {}
+        for row in range(num_states):
+            columns = sorted(row_targets[row] | {row})
+            base = len(indices)
+            for offset, column in enumerate(columns):
+                if column == row:
+                    diag[row] = base + offset
+                else:
+                    slot_of[(row, column)] = base + offset
+            indices.extend(columns)
+            indptr[row + 1] = len(indices)
+        self._diag = diag
+        self._slots = np.fromiter(
+            (slot_of[(source, target)] for source, target, _rate in edges),
+            dtype=np.int64,
+            count=len(edges),
+        )
+        self._sources = np.fromiter(
+            (source for source, _target, _rate in edges),
+            dtype=np.int64,
+            count=len(edges),
+        )
+
+        # --- vectorised linear forms: rate_e = const_e + coeffs[e] @ params.
+        params = skeleton.parameters
+        index = {name: position for position, name in enumerate(params)}
+        const = np.zeros(len(edges))
+        coeffs = np.zeros((len(edges), len(params)))
+        nominals = np.zeros(len(params))
+        for edge, (_source, _target, rate) in enumerate(edges):
+            if isinstance(rate, ParametricRate):
+                const[edge] = rate.const
+                for name, coefficient in rate.coeffs.items():
+                    coeffs[edge, index[name]] = coefficient
+                    nominals[index[name]] = rate.nominals[name]
+            else:
+                const[edge] = float(rate)
+        self._params = params
+        self._const = const
+        self._coeffs = coeffs
+        self._nominals = nominals
+        self._edge_values = np.empty(len(edges))
+        self._exit = np.empty(num_states)
+
+        data = np.zeros(len(indices))
+        self.matrix = sparse.csr_matrix(
+            (data, np.asarray(indices, dtype=np.int64), indptr),
+            shape=(num_states, num_states),
+        )
+
+        # --- the stepping operator (refreshed in place by every refill).
+        if num_states <= dense_limit:
+            self.dense: Optional[np.ndarray] = np.zeros((num_states, num_states))
+            self._dense_slots = self._sources * num_states + np.fromiter(
+                (target for _source, target, _rate in edges),
+                dtype=np.int64,
+                count=len(edges),
+            )
+            self._dense_diag = np.arange(num_states, dtype=np.int64) * (num_states + 1)
+            self.transposed: Optional[sparse.csr_matrix] = None
+            self._transpose_perm = None
+        else:
+            self.dense = None
+            self._dense_slots = None
+            self._dense_diag = None
+            # CSC of P shares the pattern of CSR of P^T; tag the data with
+            # positions once to learn the CSR -> transposed-CSR permutation.
+            tagged = sparse.csr_matrix(
+                (np.arange(len(indices), dtype=np.int64), self.matrix.indices, indptr),
+                shape=(num_states, num_states),
+            ).tocsc()
+            self._transpose_perm = np.asarray(tagged.data, dtype=np.int64)
+            self.transposed = sparse.csr_matrix(
+                (np.zeros(len(indices)), tagged.indices, tagged.indptr),
+                shape=(num_states, num_states),
+            )
+
+        self.uniformisation_rate = 1.0
+        self.structure_builds = 1
+        self.refills = 0
+
+    def refill(
+        self, assignment: Optional[Dict[str, float]] = None
+    ) -> Tuple[sparse.csr_matrix, float]:
+        """Rewrite the matrix data for ``assignment``; return (matrix, Lambda).
+
+        Raises :class:`~repro.errors.ModelError` if any edge rate evaluates
+        to a non-positive value, exactly like the non-buffered
+        :meth:`CtmcSkeleton.instantiate` path; a failed refill leaves the
+        buffer reusable (the next refill rewrites everything).
+        """
+        values = self._edge_values
+        if len(self._params):
+            if assignment is None:
+                point = self._nominals
+            else:
+                point = np.fromiter(
+                    (
+                        assignment.get(name, nominal)
+                        for name, nominal in zip(self._params, self._nominals)
+                    ),
+                    dtype=float,
+                    count=len(self._params),
+                )
+            np.dot(self._coeffs, point, out=values)
+            values += self._const
+        else:
+            values[:] = self._const
+        if not np.all(values > 0.0):
+            worst = float(values.min()) if len(values) else 0.0
+            raise ModelError(
+                f"instantiating a parametric rate produced a non-positive value "
+                f"({worst}); rate-sweep samples must keep every rate positive"
+            )
+
+        exit_rates = self._exit
+        exit_rates[:] = 0.0
+        np.add.at(exit_rates, self._sources, values)
+        rate = float(exit_rates.max()) if len(exit_rates) else 0.0
+        if rate <= 0.0:
+            rate = 1.0  # chain with no transitions at all
+
+        data = self.matrix.data
+        data[:] = 0.0
+        np.add.at(data, self._slots, values)
+        data /= rate
+        # Edges never target their own source (the skeleton eliminates
+        # self-loops), so the diagonal slots received no scatter contribution.
+        data[self._diag] = 1.0 - exit_rates / rate
+
+        if self.dense is not None:
+            flat = self.dense.reshape(-1)
+            flat[:] = 0.0
+            np.add.at(flat, self._dense_slots, values)
+            flat /= rate
+            flat[self._dense_diag] = data[self._diag]
+        else:
+            self.transposed.data[:] = data[self._transpose_perm]
+
+        self.uniformisation_rate = rate
+        self.refills += 1
+        return self.matrix, rate
+
+    def step(self, current: np.ndarray, workspace: np.ndarray) -> np.ndarray:
+        """One uniformised step ``current @ P`` using the in-place operator.
+
+        Returns the resulting vector — ``workspace`` on the dense path (the
+        caller swaps the two buffers), a fresh array on the sparse path.
+        """
+        if self.dense is not None:
+            np.matmul(current, self.dense, out=workspace)
+            return workspace
+        # CSR-of-P^T matvec: computes x @ P without scipy materialising a
+        # transposed matrix per step (which `vector @ csr` would do).
+        return self.transposed @ current
+
+
+class TransientKernel:
+    """One skeleton's reusable transient solver across many rate samples.
+
+    Owns the shared CSR buffer, the Poisson term cache and the ``pi(0)``
+    workspace; :meth:`load` switches the kernel to a parameter assignment
+    and :meth:`probability_of_label_curve` runs the uniformisation sweep on
+    the in-place refreshed matrix.
+    """
+
+    __slots__ = ("skeleton", "buffer", "term_cache", "_goal", "_work_a", "_work_b", "_loaded")
+
+    def __init__(self, skeleton: CtmcSkeleton):
+        self.skeleton = skeleton
+        self.buffer = CsrBuffer(skeleton)
+        self.term_cache = PoissonTermCache()
+        self._goal: Dict[str, np.ndarray] = {}
+        self._work_a = np.zeros(skeleton.num_states)
+        self._work_b = np.zeros(skeleton.num_states)
+        self._loaded = False
+
+    # ----------------------------------------------------------- structure
+    @property
+    def structure_builds(self) -> int:
+        """How many times the CSR pattern was built (pinned to one)."""
+        return self.buffer.structure_builds
+
+    @property
+    def refills(self) -> int:
+        """How many rate instantiations reused the shared pattern."""
+        return self.buffer.refills
+
+    def goal_indices(self, label: str) -> np.ndarray:
+        """Sorted state indices carrying ``label`` (cached; structure-only)."""
+        cached = self._goal.get(label)
+        if cached is None:
+            cached = np.fromiter(
+                (
+                    state
+                    for state, labels in enumerate(self.skeleton.labels)
+                    if label in labels
+                ),
+                dtype=np.int64,
+            )
+            self._goal[label] = cached
+        return cached
+
+    # ------------------------------------------------------------- samples
+    def load(self, assignment: Optional[Dict[str, float]] = None) -> float:
+        """Refill the shared matrix for ``assignment``; return Lambda."""
+        _matrix, rate = self.skeleton.instantiate(assignment, into=self.buffer)
+        # The uniformisation rate (and hence every rate*time cache key)
+        # changes with the sample, so entries from previous samples would
+        # accumulate forever without ever hitting; the cache's value is
+        # sharing *within* one sample's curve/bound evaluation.
+        self.term_cache.clear()
+        self._loaded = True
+        return rate
+
+    def probability_of_label_curve(
+        self,
+        label: str,
+        times: Sequence[float],
+        tolerance: float = 1e-12,
+    ) -> np.ndarray:
+        """Probability of occupying a ``label``-state at each time, one sweep.
+
+        The numerical scheme is identical to
+        :func:`repro.ctmc.transient.probability_of_label_curve`; only the
+        matrix comes from the shared buffer (call :meth:`load` first), the
+        Poisson term arrays are cached across samples, and the per-time
+        weights are applied after the shared matvec series instead of inside
+        the step loop.
+        """
+        if not self._loaded:
+            raise AnalysisError(
+                "the transient kernel has no sample loaded; call load() first"
+            )
+        times_list = validate_times(times)
+        goal = self.goal_indices(label)
+        if not len(goal) or not times_list:
+            return np.zeros(len(times_list))
+
+        buffer = self.buffer
+        rate = buffer.uniformisation_rate
+        terms = [self.term_cache.get(rate * time, tolerance) for time in times_list]
+        depth = max(len(array) for array in terms)
+
+        # Shared matvec series: per step only the goal and total masses are
+        # needed, so record those two scalars instead of every iterate.
+        goal_series = np.empty(depth)
+        total_series = np.empty(depth)
+        current = self._work_a
+        current[:] = 0.0
+        current[self.skeleton.initial] = 1.0
+        workspace = self._work_b
+        for step in range(depth):
+            goal_series[step] = current[goal].sum()
+            total_series[step] = current.sum()
+            if step + 1 < depth:
+                previous = current
+                current = buffer.step(current, workspace)
+                workspace = previous
+
+        goal_mass = np.fromiter(
+            (array @ goal_series[: len(array)] for array in terms),
+            dtype=float,
+            count=len(terms),
+        )
+        total_mass = np.fromiter(
+            (array @ total_series[: len(array)] for array in terms),
+            dtype=float,
+            count=len(terms),
+        )
+        # Renormalise the (tiny) truncated mass, as transient_distributions does.
+        np.divide(goal_mass, total_mass, out=goal_mass, where=total_mass > 0.0)
+        return goal_mass
+
+    def point_values(
+        self,
+        label: str,
+        times: Sequence[float],
+        assignment: Optional[Dict[str, float]] = None,
+        tolerance: float = 1e-12,
+    ) -> Dict[float, float]:
+        """Load ``assignment`` and map each time to its label probability."""
+        self.load(assignment)
+        times_list = validate_times(times)
+        curve = self.probability_of_label_curve(label, times_list, tolerance)
+        return dict(zip(times_list, (float(value) for value in curve)))

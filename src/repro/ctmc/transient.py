@@ -100,6 +100,10 @@ class PoissonTermCache:
             self._cache[key] = terms
         return terms
 
+    def clear(self) -> None:
+        """Drop all memoised term arrays (start of a new evaluation sweep)."""
+        self._cache.clear()
+
 
 class SweepWeights:
     """Per-time Poisson weight arrays for one shared uniformisation sweep.

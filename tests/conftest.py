@@ -7,10 +7,31 @@ many test modules.  Analytical ground-truth helpers live in
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.dft import FaultTreeBuilder
 from repro.ioimc import IOIMC, signature
+
+# Hypothesis profiles for the two suite tiers.  Tests that pin their own
+# @settings keep them; profile-driven suites (the cross-engine differential
+# matrix) draw few examples in tier-1 and many in the CI full-matrix job
+# (`HYPOTHESIS_PROFILE=full pytest -m slow`).
+settings.register_profile(
+    "tier1",
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "full",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
 
 
 @pytest.fixture

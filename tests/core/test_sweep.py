@@ -174,10 +174,15 @@ class TestSweepEngine:
         tree = parametric_spare_tree()
         result = sweep(tree, RateSweep(Unreliability([1.0]), [{"lam": 1.0}]))
         payload = result.to_dict()
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
         assert payload["parameters"] == ["lam"]
-        assert payload["aggregate"] == {"samples": 1, "failed": 0}
+        assert payload["aggregate"] == {"samples": 1, "failed": 0, "processes": 1}
         assert payload["rows"][0]["sample"] == {"lam": 1.0}
+        # The kernel's per-row split is part of the /2 schema.
+        assert payload["rows"][0]["instantiate_seconds"] >= 0.0
+        assert payload["rows"][0]["solve_seconds"] >= 0.0
+        assert payload["timings"]["instantiate"] >= 0.0
+        assert payload["timings"]["solve"] >= 0.0
 
 
 class TestTreeHelpers:

@@ -1,0 +1,160 @@
+"""Property tests: parallel sweep output is bit-identical to serial output.
+
+`SweepStudy.run(..., processes=N)` fans samples out over a chunked process
+pool; every worker runs the identical per-sample kernel code, so the rows —
+sample dicts, measure values, error strings and their ordering — must be
+**bit-identical** to a serial run for every worker count.  Only wall-clock
+fields may differ, so the JSON comparison strips exactly those.
+"""
+
+import pytest
+
+from repro import Query, RateSweep, SweepStudy, Unreliability, UnreliabilityBounds
+from repro.core.measures import MTTF
+from repro.core.sweep import _SweepPlan, iter_sweep_rows
+from repro.ctmc.builders import CtmcSkeleton
+from repro.dft import FaultTreeBuilder
+from repro.errors import AnalysisError
+from repro.ioimc.rates import ParametricRate
+
+PROCESS_COUNTS = [1, 2, 4]
+
+
+def parametric_tree():
+    builder = FaultTreeBuilder("parallel-param")
+    builder.parameter("lam", 0.5)
+    builder.parameter("mu", 2.0)
+    builder.basic_event("A", param="lam")
+    builder.basic_event("B", failure_rate=1.5)
+    builder.basic_event("S", param="mu", dormancy=0.3)
+    builder.spare_gate("G", primary="A", spares=["S"])
+    builder.and_gate("top", ["G", "B"])
+    return builder.build(top="top")
+
+
+def strip_timings(payload):
+    """Drop wall-clock and worker metadata from a SweepResult payload.
+
+    Everything else — samples, measure values, error rows, ordering — must
+    be bit-identical between serial and parallel runs.
+    """
+    timing_keys = {
+        "wall_seconds",
+        "instantiate_seconds",
+        "solve_seconds",
+        "timings",
+        "processes",
+    }
+    if isinstance(payload, dict):
+        return {
+            key: strip_timings(value)
+            for key, value in payload.items()
+            if key not in timing_keys
+        }
+    if isinstance(payload, list):
+        return [strip_timings(entry) for entry in payload]
+    return payload
+
+
+def assert_rows_bit_identical(serial_rows, parallel_rows):
+    assert len(serial_rows) == len(parallel_rows)
+    for mine, theirs in zip(serial_rows, parallel_rows):
+        assert mine.sample == theirs.sample
+        # Tuple equality on MeasureResult dataclasses compares every float
+        # exactly — bit-identical, not approximately equal.
+        assert mine.measures == theirs.measures
+        assert mine.error == theirs.error
+
+
+class TestParallelEqualsSerial:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        sweep = RateSweep.grid(
+            Unreliability([0.5, 1.0]) + UnreliabilityBounds([1.0]) + MTTF(),
+            lam=[0.1, 0.4, 0.9, 1.6, 2.5],
+            mu=[0.5, 3.0],
+        )
+        return SweepStudy(parametric_tree()).run(sweep), sweep
+
+    @pytest.mark.parametrize("processes", PROCESS_COUNTS)
+    def test_rows_and_json_are_bit_identical(self, serial_result, processes):
+        serial, sweep = serial_result
+        parallel = SweepStudy(parametric_tree()).run(
+            sweep, processes=processes, chunk_size=3
+        )
+        assert parallel.processes == processes
+        assert_rows_bit_identical(serial.rows, parallel.rows)
+        assert strip_timings(serial.to_dict()) == strip_timings(parallel.to_dict())
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 100])
+    def test_chunking_never_reorders_rows(self, serial_result, chunk_size):
+        serial, sweep = serial_result
+        parallel = SweepStudy(parametric_tree()).run(
+            sweep, processes=2, chunk_size=chunk_size
+        )
+        assert_rows_bit_identical(serial.rows, parallel.rows)
+
+    def test_invalid_worker_and_chunk_counts_are_rejected(self, serial_result):
+        _serial, sweep = serial_result
+        study = SweepStudy(parametric_tree())
+        for processes in (0, -1):
+            with pytest.raises(AnalysisError, match="processes must be >= 1"):
+                study.run(sweep, processes=processes)
+        with pytest.raises(AnalysisError, match="chunk_size must be >= 1"):
+            study.run(sweep, processes=2, chunk_size=0)
+
+
+class TestErrorRowOrdering:
+    """Failing samples keep their position and error text across all paths.
+
+    A linear rate form with a negative constant part turns non-positive for
+    small parameter values, so instantiation genuinely fails *inside the
+    worker process* for exactly those samples.
+    """
+
+    @staticmethod
+    def failing_skeleton():
+        dipping = ParametricRate(-0.5, {"lam": 1.0}, {"lam": 1.0})
+        return CtmcSkeleton(
+            num_states=3,
+            initial=0,
+            labels=(frozenset(), frozenset(), frozenset({"failed"})),
+            state_names=(None, None, None),
+            edges=((0, 1, dipping), (1, 2, 2.0)),
+        )
+
+    @pytest.mark.parametrize("use_kernel", [True, False])
+    @pytest.mark.parametrize("processes", PROCESS_COUNTS)
+    def test_error_rows_keep_sample_order(self, processes, use_kernel):
+        plan = _SweepPlan(
+            skeleton=self.failing_skeleton(),
+            declared={"lam": 1.0},
+            query=Query(Unreliability([1.0])),
+            tolerance=1e-12,
+            use_kernel=use_kernel,
+        )
+        # Samples 1 and 3 (lam <= 0.5) drive the edge rate non-positive.
+        samples = [{"lam": 2.0}, {"lam": 0.2}, {"lam": 1.5}, {"lam": 0.5}, {"lam": 3.0}]
+        rows = list(iter_sweep_rows(plan, samples, processes=processes, chunk_size=2))
+        assert [row.sample for row in rows] == samples
+        assert [row.ok for row in rows] == [True, False, True, False, True]
+        for row in rows:
+            if not row.ok:
+                assert "non-positive" in row.error
+                assert row.measures == ()
+
+    def test_error_rows_identical_across_worker_counts(self):
+        plan = _SweepPlan(
+            skeleton=self.failing_skeleton(),
+            declared={"lam": 1.0},
+            query=Query(Unreliability([1.0])),
+            tolerance=1e-12,
+        )
+        samples = [{"lam": 0.1 * step} for step in range(1, 26)]
+        serial = list(iter_sweep_rows(plan, samples, processes=1))
+        for processes in (2, 4):
+            parallel = list(
+                iter_sweep_rows(plan, samples, processes=processes, chunk_size=3)
+            )
+            assert_rows_bit_identical(serial, parallel)
+            assert [row.error for row in serial] == [row.error for row in parallel]

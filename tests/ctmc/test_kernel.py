@@ -1,0 +1,221 @@
+"""Unit and regression tests of the shared-structure uniformisation kernel.
+
+The kernel's contract has two halves:
+
+* **numerics** — refilled matrices and label-probability curves must agree
+  with the fully instantiated per-sample path (`CtmcSkeleton.instantiate`
+  + :func:`repro.ctmc.transient.probability_of_label_curve`);
+* **structure reuse** — after the first sample a sweep performs **zero**
+  sparse-structure allocations: the CSR pattern is built exactly once and
+  every further sample only rewrites ``data``.  Pinned here with constructor
+  counters so the optimisation cannot silently regress.
+"""
+
+import numpy as np
+import pytest
+
+import repro.ctmc.builders as builders_module
+import repro.ctmc.kernel as kernel_module
+from repro import RateSweep, SweepStudy, Unreliability
+from repro.core.sweep import with_rate_parameters
+from repro.ctmc.builders import ctmc_skeleton_from_ioimc
+from repro.ctmc.kernel import CsrBuffer, TransientKernel
+from repro.ctmc.transient import probability_of_label_curve
+from repro.dft import FaultTreeBuilder
+from repro.errors import AnalysisError, ModelError
+from repro.systems import cascaded_pand_system
+
+TIMES = [0.25, 1.0, 3.0]
+
+
+def parametric_tree():
+    builder = FaultTreeBuilder("kernel-param")
+    builder.parameter("lam", 0.5)
+    builder.parameter("mu", 2.0)
+    builder.basic_event("A", param="lam")
+    builder.basic_event("B", failure_rate=1.5)
+    builder.basic_event("S", param="mu", dormancy=0.3)
+    builder.spare_gate("G", primary="A", spares=["S"])
+    builder.and_gate("top", ["G", "B"])
+    return builder.build(top="top")
+
+
+def tree_skeleton(tree):
+    study = SweepStudy(tree)
+    return study.skeleton, dict(tree.parameters)
+
+
+ASSIGNMENTS = [
+    None,
+    {"lam": 0.1, "mu": 0.7},
+    {"lam": 2.5, "mu": 0.2},
+    {"lam": 0.9, "mu": 4.0},
+]
+
+
+class TestCsrBuffer:
+    @pytest.mark.parametrize("dense_limit", [kernel_module.DENSE_STATE_LIMIT, 0])
+    @pytest.mark.parametrize("assignment", ASSIGNMENTS)
+    def test_refill_matches_uniformized_matrix(self, assignment, dense_limit):
+        skeleton, _ = tree_skeleton(parametric_tree())
+        buffer = CsrBuffer(skeleton, dense_limit=dense_limit)
+        matrix, rate = skeleton.instantiate(assignment, into=buffer)
+        reference, ref_rate = skeleton.instantiate(assignment).uniformized_matrix()
+        assert rate == ref_rate
+        assert np.allclose(matrix.toarray(), reference.toarray(), atol=1e-15)
+        if dense_limit == 0:
+            assert buffer.dense is None
+            assert np.allclose(
+                buffer.transposed.toarray().T, reference.toarray(), atol=1e-15
+            )
+        else:
+            assert buffer.transposed is None
+            assert np.allclose(buffer.dense, reference.toarray(), atol=1e-15)
+
+    def test_refill_is_in_place(self):
+        skeleton, _ = tree_skeleton(parametric_tree())
+        buffer = CsrBuffer(skeleton)
+        matrix_a, _ = buffer.refill({"lam": 0.3})
+        data_id = id(matrix_a.data)
+        matrix_b, _ = buffer.refill({"lam": 1.7})
+        assert matrix_b is matrix_a
+        assert id(matrix_b.data) == data_id
+        assert buffer.structure_builds == 1
+        assert buffer.refills == 2
+
+    def test_non_positive_rate_raises_and_buffer_stays_usable(self):
+        # A negative constant part can drive a linear form non-positive for
+        # small parameter values — exactly what the positivity check guards.
+        from repro.ioimc.rates import ParametricRate
+
+        from repro.ctmc.builders import CtmcSkeleton
+
+        bad = ParametricRate(-0.5, {"lam": 1.0}, {"lam": 1.0})
+        skeleton = CtmcSkeleton(
+            num_states=2,
+            initial=0,
+            labels=(frozenset(), frozenset({"failed"})),
+            state_names=(None, None),
+            edges=((0, 1, bad),),
+        )
+        buffer = CsrBuffer(skeleton)
+        with pytest.raises(ModelError, match="non-positive"):
+            buffer.refill({"lam": 0.2})
+        matrix, rate = buffer.refill({"lam": 2.0})
+        assert rate == pytest.approx(1.5)
+        assert matrix.toarray()[0, 1] == pytest.approx(1.0)
+
+    def test_buffer_rejects_foreign_skeleton(self):
+        skeleton_a, _ = tree_skeleton(parametric_tree())
+        skeleton_b, _ = tree_skeleton(parametric_tree())
+        buffer = CsrBuffer(skeleton_a)
+        with pytest.raises(ModelError, match="different skeleton"):
+            skeleton_b.instantiate(into=buffer)
+
+
+class TestTransientKernel:
+    @pytest.mark.parametrize("assignment", ASSIGNMENTS)
+    def test_curve_matches_per_sample_instantiation(self, assignment):
+        skeleton, declared = tree_skeleton(parametric_tree())
+        kernel = TransientKernel(skeleton)
+        full = dict(declared)
+        full.update(assignment or {})
+        kernel.load(full)
+        curve = kernel.probability_of_label_curve("failed", TIMES)
+        reference = probability_of_label_curve(
+            skeleton.instantiate(full), "failed", TIMES
+        )
+        assert curve == pytest.approx(reference, abs=1e-12)
+
+    def test_sparse_path_curve_matches_dense_path(self):
+        events = {f"{m}{i}": "lam" for m in ("A", "C", "D") for i in range(1, 5)}
+        tree = with_rate_parameters(cascaded_pand_system(), events)
+        skeleton, declared = tree_skeleton(tree)
+        dense_kernel = TransientKernel(skeleton)
+        sparse_kernel = TransientKernel(skeleton)
+        sparse_kernel.buffer = CsrBuffer(skeleton, dense_limit=0)
+        assignment = dict(declared)
+        assignment["lam"] = 0.8
+        dense_kernel.load(assignment)
+        sparse_kernel.load(assignment)
+        dense_curve = dense_kernel.probability_of_label_curve("failed", TIMES)
+        sparse_curve = sparse_kernel.probability_of_label_curve("failed", TIMES)
+        assert dense_curve == pytest.approx(sparse_curve, abs=1e-12)
+
+    def test_curve_requires_a_loaded_sample(self):
+        skeleton, _ = tree_skeleton(parametric_tree())
+        kernel = TransientKernel(skeleton)
+        with pytest.raises(AnalysisError, match="no sample loaded"):
+            kernel.probability_of_label_curve("failed", TIMES)
+
+    def test_unlabelled_goal_yields_zeros(self):
+        skeleton, _ = tree_skeleton(parametric_tree())
+        kernel = TransientKernel(skeleton)
+        kernel.load()
+        assert kernel.probability_of_label_curve("no-such-label", TIMES) == pytest.approx(
+            np.zeros(len(TIMES))
+        )
+
+
+class _CountingSparse:
+    """Stand-in for the `scipy.sparse` module that counts constructor calls."""
+
+    def __init__(self, real):
+        self._real = real
+        self.csr_calls = 0
+
+    def csr_matrix(self, *args, **kwargs):
+        self.csr_calls += 1
+        return self._real.csr_matrix(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class _CountingCTMC:
+    calls = 0
+
+    def __init__(self, real):
+        self._real = real
+
+    def __call__(self, *args, **kwargs):
+        type(self).calls += 1
+        return self._real(*args, **kwargs)
+
+
+class TestStructureReuseRegression:
+    """The optimisation's pin: no CSR pattern rebuild after the first sample."""
+
+    def test_sweep_builds_the_sparse_structure_exactly_once(self, monkeypatch):
+        counting = _CountingSparse(kernel_module.sparse)
+        monkeypatch.setattr(kernel_module, "sparse", counting)
+        skeleton, declared = tree_skeleton(parametric_tree())
+        kernel = TransientKernel(skeleton)
+        built = counting.csr_calls
+        assert built >= 1  # the one-off pattern build
+        for index in range(10):
+            assignment = dict(declared)
+            assignment["lam"] = 0.2 + 0.3 * index
+            kernel.load(assignment)
+            kernel.probability_of_label_curve("failed", TIMES)
+        assert counting.csr_calls == built, "a sample rebuilt the CSR pattern"
+        assert kernel.structure_builds == 1
+        assert kernel.refills == 10
+        # The Poisson term cache must not accumulate entries across samples
+        # (every sample's uniformisation rate produces fresh cache keys).
+        assert len(kernel.term_cache._cache) <= len(TIMES)
+
+    def test_transient_only_sweep_instantiates_no_ctmc(self, monkeypatch):
+        counting = _CountingCTMC(builders_module.CTMC)
+        _CountingCTMC.calls = 0
+        monkeypatch.setattr(builders_module, "CTMC", counting)
+        tree = parametric_tree()
+        study = SweepStudy(tree)
+        result = study.run(
+            RateSweep.grid(Unreliability(TIMES), lam=[0.2, 0.5, 1.0, 2.0])
+        )
+        assert result.num_failed == 0
+        assert _CountingCTMC.calls == 0, (
+            "a purely transient sweep built a full CTMC per sample instead of "
+            "reusing the kernel's shared structure"
+        )

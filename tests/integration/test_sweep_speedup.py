@@ -1,10 +1,18 @@
-"""The PR's acceptance check: a 50-sample rate sweep on the CPS is >= 5x
-faster than 50 independent full-pipeline evaluations, with equal results.
+"""The PR's acceptance check: a 50-sample rate sweep on the CPS beats 50
+independent full-pipeline evaluations by a wide margin, with equal results.
 
-The sweep engine runs conversion + aggregation once and re-instantiates only
-the CTMC generator per sample; the naive path re-runs the whole pipeline per
-sample.  The same numbers are recorded per PR in BENCH_fig2.json (section
-``sweep``) by ``benchmarks/smoke_fig2.py``.
+The sweep engine runs conversion + aggregation once and, via the
+shared-structure kernel, refills one preallocated CSR pattern per sample; the
+naive path re-runs the whole pipeline per sample.  Two ratios are pinned:
+
+* sweep vs naive — the end-to-end acceptance number (measured ~30x; the PR 4
+  per-sample-instantiation engine managed ~12x, so the floor below also
+  catches a regression to that path);
+* kernel vs legacy per-sample cost — the shared-structure refill must beat a
+  full CTMC instantiation per sample by >= 1.5x (measured ~4-7x).
+
+The same numbers are recorded per PR in BENCH_fig2.json (section ``sweep``)
+by ``benchmarks/smoke_fig2.py``, where CI gates the end-to-end ratio at 20x.
 """
 
 import time
@@ -17,9 +25,12 @@ from repro.systems import cascaded_pand_system
 
 NUM_SAMPLES = 50
 MISSION_TIME = 1.0
-#: The ISSUE's acceptance floor.  Measured ~10-40x on development machines;
-#: the margin absorbs CPU steal on shared CI runners.
-REQUIRED_SPEEDUP = 5.0
+#: The ISSUE's acceptance floor is 20x (gated in the CI smoke benchmark);
+#: this in-suite floor keeps margin for CPU steal on shared CI runners while
+#: still tripping on a regression to the ~12x PR 4 engine.
+REQUIRED_SPEEDUP = 15.0
+#: Shared-structure refills vs per-sample CTMC instantiation.
+REQUIRED_STRUCTURE_SPEEDUP = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -28,8 +39,12 @@ def parametric_cps():
     return with_rate_parameters(cascaded_pand_system(), events)
 
 
-def test_cps_sweep_is_5x_faster_and_equal(parametric_cps):
-    samples = [{"lam": 0.1 + 0.04 * index} for index in range(NUM_SAMPLES)]
+@pytest.fixture(scope="module")
+def samples():
+    return [{"lam": 0.1 + 0.04 * index} for index in range(NUM_SAMPLES)]
+
+
+def test_cps_sweep_is_20x_faster_and_equal(parametric_cps, samples):
     query = Unreliability([MISSION_TIME])
 
     start = time.perf_counter()
@@ -55,4 +70,39 @@ def test_cps_sweep_is_5x_faster_and_equal(parametric_cps):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"rate sweep is only {speedup:.1f}x faster than {NUM_SAMPLES} naive "
         f"evaluations ({sweep_seconds:.3f}s vs {naive_seconds:.3f}s)"
+    )
+
+
+def test_kernel_beats_per_sample_instantiation(parametric_cps, samples):
+    """The shared-structure path must stay >= 1.5x over the PR 4 path."""
+    query = Unreliability([MISSION_TIME])
+    study = SweepStudy(parametric_cps)
+    study.skeleton  # pay the shared pipeline outside both measurements
+
+    def best_of(fn, repeats=3):
+        best = None
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return result, best
+
+    kernel_result, kernel_seconds = best_of(
+        lambda: study.run(RateSweep(query, samples))
+    )
+    legacy_result, legacy_seconds = best_of(
+        lambda: study.run(RateSweep(query, samples), use_kernel=False)
+    )
+    worst = max(
+        abs(mine["unreliability"].values[0] - theirs["unreliability"].values[0])
+        for mine, theirs in zip(kernel_result.rows, legacy_result.rows)
+    )
+    assert worst <= 1e-9
+
+    structure_speedup = legacy_seconds / kernel_seconds
+    assert structure_speedup >= REQUIRED_STRUCTURE_SPEEDUP, (
+        f"shared-structure kernel is only {structure_speedup:.2f}x faster than "
+        f"per-sample instantiation ({kernel_seconds:.3f}s vs {legacy_seconds:.3f}s)"
     )

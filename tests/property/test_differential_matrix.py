@@ -1,0 +1,228 @@
+"""Cross-engine differential test matrix for the rate-sweep pipeline.
+
+The reusable backbone for every future engine variant: a fixture corpus
+(paper systems + seeded ``random_dft`` trees including FDEP and shared-spare
+patterns) crossed with
+
+* the two bisimulation engines — ``splitter`` and ``signature`` — and
+* the three sweep paths — serial shared-structure kernel, chunked process
+  pool, and naive full-pipeline re-runs per sample —
+
+asserting row-for-row agreement to ``<= 1e-9`` (and bit-identity between the
+serial and parallel kernel paths).  The figure 2 composition example is
+covered at the I/O-IMC level, where the sweep kernel's refilled matrix must
+reproduce a numeric rebuild of the whole compose + hide + minimise pipeline.
+
+The full matrix is heavy, so everything except a tier-1 smoke slice carries
+the ``slow`` marker; the CI full-matrix job runs it under the ``full``
+Hypothesis profile (``HYPOTHESIS_PROFILE=full pytest -m slow``).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    RateSweep,
+    StudyOptions,
+    SweepStudy,
+    Unreliability,
+    UnreliabilityBounds,
+    evaluate,
+)
+from repro.core.sweep import substitute_parameters, with_rate_parameters
+from repro.ctmc.builders import ctmc_skeleton_from_ioimc
+from repro.ctmc.kernel import TransientKernel
+from repro.ioimc import AggregationOptions, minimize_weak, parallel
+from repro.systems import (
+    cardiac_assist_system,
+    cascaded_pand_system,
+    figure2_models,
+    mutually_exclusive_switch,
+    random_dft,
+)
+
+MISSION_TIMES = (0.5, 1.0)
+TOLERANCE = 1e-9
+MINIMISERS = ("splitter", "signature")
+
+
+def _options(minimiser):
+    return StudyOptions(aggregation=AggregationOptions(minimiser=minimiser))
+
+
+def _corpus_tree(name):
+    if name == "cas":
+        return with_rate_parameters(cardiac_assist_system(), ["P", "MA", "PA"])
+    if name == "cps":
+        events = {f"{m}{i}": "lam" for m in ("A", "C", "D") for i in range(1, 5)}
+        return with_rate_parameters(cascaded_pand_system(), events)
+    if name == "mutex":
+        return with_rate_parameters(mutually_exclusive_switch(), ["SO", "SC", "Pump"])
+    raise AssertionError(name)
+
+
+def _corpus_samples(tree, count=4):
+    """A deterministic spread of per-parameter scalings around the nominals."""
+    scales = [0.35, 0.8, 1.6, 2.9, 0.55, 2.2][:count]
+    return [
+        {
+            name: max(0.05, min(5.0, nominal * scale))
+            for name, nominal in tree.parameters.items()
+        }
+        for scale in scales
+    ]
+
+# Shared pipelines: one conversion + aggregation per (system, minimiser) cell
+# for the whole module; the matrix only re-runs the cheap per-sample paths.
+_STUDIES = {}
+
+
+def _study(name, minimiser):
+    key = (name, minimiser)
+    if key not in _STUDIES:
+        _STUDIES[key] = SweepStudy(_corpus_tree(name), _options(minimiser))
+    return _STUDIES[key]
+
+
+def assert_matrix_cell(tree, study, query, samples, bounds=False):
+    """One corpus x engine cell: serial == parallel (bit), both == naive (1e-9)."""
+    sweep = RateSweep(query, samples)
+    serial = study.run(sweep)
+    parallel_run = study.run(sweep, processes=2, chunk_size=2)
+    assert serial.num_failed == 0
+    for mine, theirs in zip(serial.rows, parallel_run.rows):
+        assert mine.sample == theirs.sample
+        assert mine.measures == theirs.measures  # bit-identical floats
+        assert mine.error == theirs.error
+    for row, sample in zip(serial.rows, samples):
+        reference = evaluate(
+            substitute_parameters(tree, sample), query, study.study.options
+        )
+        for kind in (m.kind for m in row.measures):
+            if bounds:
+                assert row[kind].lower == pytest.approx(
+                    reference[kind].lower, abs=TOLERANCE
+                )
+                assert row[kind].upper == pytest.approx(
+                    reference[kind].upper, abs=TOLERANCE
+                )
+            else:
+                assert row[kind].values == pytest.approx(
+                    reference[kind].values, abs=TOLERANCE
+                )
+
+
+class TestTier1Smoke:
+    """The matrix's tier-1 slice: one small system, both engines."""
+
+    @pytest.mark.parametrize("minimiser", MINIMISERS)
+    def test_mutex_cell(self, minimiser):
+        tree = _corpus_tree("mutex")
+        assert_matrix_cell(
+            tree,
+            _study("mutex", minimiser),
+            Unreliability(MISSION_TIMES),
+            _corpus_samples(tree, count=3),
+        )
+
+
+@pytest.mark.slow
+class TestPaperSystemMatrix:
+    @pytest.mark.parametrize("minimiser", MINIMISERS)
+    @pytest.mark.parametrize("system", ["cas", "cps", "mutex"])
+    def test_cell(self, system, minimiser):
+        tree = _corpus_tree(system)
+        assert_matrix_cell(
+            tree,
+            _study(system, minimiser),
+            Unreliability(MISSION_TIMES),
+            _corpus_samples(tree, count=6),
+        )
+
+
+@pytest.mark.slow
+class TestFigure2Matrix:
+    """Figure 2 at the I/O-IMC level: the kernel's refilled matrix reproduces
+    a full numeric rebuild of compose + hide + minimisation, per engine."""
+
+    @pytest.mark.parametrize("minimiser", MINIMISERS)
+    @given(rate=st.floats(min_value=0.05, max_value=5.0))
+    def test_kernel_curve_equals_numeric_rebuild(self, minimiser, rate):
+        from repro.ioimc import ParametricRate
+
+        def build(lam):
+            model_a, _ = figure2_models(rate=1.0)
+            from repro.ioimc import IOIMC, signature
+
+            model_b = IOIMC("B", signature(inputs=["a"], outputs=["b"]))
+            states = [
+                model_b.add_state(name=str(i + 1), initial=(i == 0)) for i in range(5)
+            ]
+            model_b.add_markovian(states[0], lam, states[1])
+            model_b.add_interactive(states[0], "a", states[2])
+            model_b.add_interactive(states[1], "a", states[3])
+            model_b.add_markovian(states[2], lam, states[3])
+            model_b.add_interactive(states[3], "b", states[4])
+            composed = parallel(model_a, model_b).hide(["a"])
+            return minimize_weak(composed, algorithm=minimiser).hide(["b"])
+
+        symbolic = build(ParametricRate.for_parameter("lam", 1.0))
+        kernel = TransientKernel(ctmc_skeleton_from_ioimc(symbolic))
+        kernel.load({"lam": rate})
+        curve = kernel.probability_of_label_curve("failed", MISSION_TIMES)
+
+        numeric = ctmc_skeleton_from_ioimc(build(rate)).instantiate()
+        reference = numeric.probability_of_label_curve("failed", MISSION_TIMES)
+        assert curve == pytest.approx(reference, abs=TOLERANCE)
+
+
+@pytest.mark.slow
+class TestRandomTreeMatrix:
+    """Seeded random trees, including FDEP / shared-spare patterns (where the
+    model may be a CTMDP, compared on bound envelopes)."""
+
+    @pytest.mark.parametrize("minimiser", MINIMISERS)
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        num_events=st.integers(min_value=4, max_value=6),
+        scale=st.floats(min_value=0.1, max_value=4.0),
+    )
+    def test_plain_tree_cell(self, minimiser, seed, num_events, scale):
+        tree = with_rate_parameters(random_dft(num_events, seed=seed))
+        samples = [
+            {
+                name: max(0.05, min(5.0, nominal * factor))
+                for name, nominal in tree.parameters.items()
+            }
+            for factor in (scale, 1.0, 2.0 / (1.0 + scale))
+        ]
+        assert_matrix_cell(
+            tree,
+            SweepStudy(tree, _options(minimiser)),
+            Unreliability(MISSION_TIMES),
+            samples,
+        )
+
+    @pytest.mark.parametrize("minimiser", MINIMISERS)
+    @given(
+        seed=st.integers(min_value=0, max_value=15),
+        scale=st.floats(min_value=0.1, max_value=4.0),
+    )
+    def test_pattern_tree_cell_bounds(self, minimiser, seed, scale):
+        tree = with_rate_parameters(
+            random_dft(5, seed=seed, fdep=True, shared_spares=True)
+        )
+        samples = [
+            {
+                name: max(0.05, min(5.0, nominal * factor))
+                for name, nominal in tree.parameters.items()
+            }
+            for factor in (scale, 1.0)
+        ]
+        assert_matrix_cell(
+            tree,
+            SweepStudy(tree, _options(minimiser)),
+            UnreliabilityBounds(MISSION_TIMES),
+            samples,
+            bounds=True,
+        )

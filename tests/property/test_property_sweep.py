@@ -111,7 +111,12 @@ class TestPaperSystems:
         )
 
 
+@pytest.mark.slow
 class TestRandomCorpora:
+    """Heavy Hypothesis differential suite: runs in the CI full-matrix job
+    (``-m slow``); the seeded corpus in ``test_differential_matrix.py`` and
+    the paper systems above keep tier-1 coverage."""
+
     @given(
         seed=st.integers(min_value=0, max_value=40),
         num_events=st.integers(min_value=4, max_value=6),

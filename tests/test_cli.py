@@ -329,10 +329,34 @@ class TestSweepCommand:
             main(["sweep", parametric_file, "--param", "lam=0.25,0.75", "--json"]) == 0
         )
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
         assert payload["parameters"] == ["lam"]
-        assert payload["aggregate"] == {"samples": 2, "failed": 0}
+        assert payload["aggregate"] == {"samples": 2, "failed": 0, "processes": 1}
         assert [row["sample"]["lam"] for row in payload["rows"]] == [0.25, 0.75]
+
+    def test_sweep_parallel_json_is_bit_identical_to_serial(
+        self, parametric_file, capsys
+    ):
+        def run(extra):
+            assert (
+                main(
+                    ["sweep", parametric_file, "--param", "lam=0.1:2.0:6", "--json"]
+                    + extra
+                )
+                == 0
+            )
+            payload = json.loads(capsys.readouterr().out)
+            payload.pop("timings")
+            payload["aggregate"].pop("processes")
+            for row in payload["rows"]:
+                row.pop("wall_seconds")
+                row.pop("instantiate_seconds", None)
+                row.pop("solve_seconds", None)
+            return payload
+
+        serial = run([])
+        parallel = run(["--processes", "2", "--chunk-size", "2"])
+        assert parallel == serial
 
     def test_sweep_results_match_analyze(self, parametric_file, capsys):
         assert main(["sweep", parametric_file, "--param", "lam=0.5", "--json"]) == 0
