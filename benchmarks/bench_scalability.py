@@ -9,17 +9,18 @@ peak stays small (the per-module chains lump to their failure-count skeleton).
 """
 
 import os
+import resource
 import time
 
 import pytest
 
 from repro import AnalysisOptions, CompositionalAnalyzer
 from repro.baselines import MonolithicMarkovGenerator
-from repro.ioimc import minimize_weak
+from repro.ioimc import minimize_strong, minimize_weak
 from repro.systems import cascaded_pand_family
 
 from conftest import record
-from workloads import largest_minimisation_workload
+from workloads import largest_minimisation_workload, tau_heavy_chain
 
 MISSION_TIME = 1.0
 
@@ -40,10 +41,22 @@ MINIMISATION_SWEEP = [(3, 5), (3, 6)]
 #: ``RUN_BIG_BENCH=1 pytest benchmarks/bench_scalability.py``.
 BIG_MINIMISATION_SWEEP = [(3, 7), (4, 6)]
 
+#: Tau-heavy chain sizes for the growth tier: each size quadruples the
+#: refinement work of the previous one (the chain quotient is the input
+#: itself, so the engines split to singletons).  Grown until the *state
+#: count* — not wall time — is the practical limit on a CI runner; peak RSS
+#: is recorded alongside so the memory trajectory is tracked per PR.
+GROWTH_SWEEP = [8_581, 20_000, 40_000]
+
 big_tier = pytest.mark.skipif(
     os.environ.get("RUN_BIG_BENCH") != "1",
     reason="biggest scalability tier; set RUN_BIG_BENCH=1 to run",
 )
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 @pytest.mark.benchmark(group="scalability-compositional")
@@ -232,6 +245,7 @@ def test_large_configurations_full_pipeline(benchmark, num_modules, events_per_m
         peak_minimisation_input_states=workload.num_states,
         peak_minimisation_output_states=minimised.num_states,
         peak_weak_minimisation_wall_seconds=peak_minimisation_seconds,
+        peak_rss_kb=_peak_rss_kb(),
     )
     assert 0.0 <= value <= 1.0
     assert statistics.peak_product_states < 60 * events_per_module * num_modules
@@ -269,6 +283,7 @@ def _minimisation_comparison(benchmark, num_modules, events_per_module, repeats=
         splitter_wall_seconds=splitter_seconds,
         signature_wall_seconds=signature_seconds,
         speedup=signature_seconds / splitter_seconds if splitter_seconds else None,
+        peak_rss_kb=_peak_rss_kb(),
     )
     # Both engines must compute the identical quotient; the wall-clock gap is
     # recorded rather than asserted (timing assertions flake on loaded CI).
@@ -291,6 +306,36 @@ def test_weak_minimisation_biggest_tier(benchmark, num_modules, events_per_modul
     # The signature reference needs ~a minute per run here; two repeats keep
     # the opt-in tier under a few minutes while still discarding one outlier.
     _minimisation_comparison(benchmark, num_modules, events_per_module, repeats=2)
+
+
+@big_tier
+@pytest.mark.benchmark(group="scalability-minimisation-growth")
+@pytest.mark.parametrize("num_states", GROWTH_SWEEP)
+def test_strong_minimisation_growth(benchmark, num_states):
+    """E15 — grow the chain until the state count is the limit.
+
+    The strong smaller-half engine on the singleton-quotient tau chain: each
+    state is a distinct distance from the sink, so refinement cannot stop
+    early and the cost is a pure function of the state count.  One timed run
+    per size (the workload is deterministic and seconds long — calibration
+    rounds would only multiply the tier's runtime), with the process's peak
+    RSS recorded next to the wall time.
+    """
+    chain = tau_heavy_chain(num_states)
+    minimised = benchmark.pedantic(
+        lambda: minimize_strong(chain), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        experiment="E15 (strong minimisation growth, tau-heavy chain)",
+        input_states=chain.num_states,
+        input_transitions=chain.num_transitions,
+        minimised_states=minimised.num_states,
+        wall_seconds=benchmark.stats.stats.min,
+        peak_rss_kb=_peak_rss_kb(),
+    )
+    # No two chain states are bisimilar: the quotient must be the input.
+    assert minimised.num_states == chain.num_states
 
 
 @pytest.mark.benchmark(group="scalability-comparison")

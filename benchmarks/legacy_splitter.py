@@ -1,0 +1,1093 @@
+"""Vendored PR 3 minimisation engine — benchmark baseline ONLY.
+
+This module freezes the splitter engine exactly as it shipped in PR 3
+(pure-Python refinable partition, per-predicate BFS tau-closures, no
+composite codes, no Paige-Tarjan compound discipline), so the
+"minimisation-v2" section of ``smoke_fig2`` can measure the current engine
+against the genuine historical baseline on the same machine and Python
+build.  Never import this from library code: ``repro.ioimc.bisimulation``
+is the live implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.ioimc.rates import ParametricRate
+
+#: Default number of significant digits used when comparing aggregate
+#: Markovian rates during bisimulation refinement.  Surfaced on
+#: :class:`repro.ioimc.reduction.AggregationOptions` as ``rate_digits``.
+DEFAULT_RATE_DIGITS = 10
+
+
+def canonical_rate(value, digits: int = DEFAULT_RATE_DIGITS):
+    """Canonical, hashable key of an aggregate rate for refinement.
+
+    Plain floats are rounded to ``digits`` significant digits, so
+    floating-point noise from rate aggregation cannot split blocks; both the
+    splitter and the signature refinement engines share this tolerance.
+
+    :class:`~repro.ioimc.rates.ParametricRate` forms are keyed *structurally*
+    (each coefficient rounded the same way): two rates whose nominal values
+    coincide but whose parameter dependencies differ stay in different rate
+    classes.  This is what keeps the minimised quotient of a parametric model
+    valid for every positive parameter assignment — the rate-sweep engine
+    relies on it.
+    """
+    if isinstance(value, ParametricRate):
+        return value.canonical_key(lambda v: _round_significant(v, digits))
+    return _round_significant(value, digits)
+
+
+def _round_significant(value: float, digits: int) -> float:
+    if value == 0.0:
+        return 0.0
+    magnitude = int(math.floor(math.log10(abs(value))))
+    return round(value, digits - magnitude)
+
+
+class RefinablePartition:
+    """A partition of ``0 .. num_elements - 1`` supporting cheap splits.
+
+    Blocks are numbered ``0 .. num_blocks - 1``; new blocks produced by a
+    split receive fresh ids (ids are never reused and member sets only ever
+    shrink, which the refinement algorithms rely on).
+    """
+
+    __slots__ = ("_elems", "_loc", "_block_of", "_start", "_end", "_marked", "_touched")
+
+    def __init__(self, num_elements: int):
+        self._elems: List[int] = list(range(num_elements))
+        self._loc: List[int] = list(range(num_elements))
+        self._block_of: List[int] = [0] * num_elements
+        self._start: List[int] = [0] if num_elements else []
+        self._end: List[int] = [num_elements] if num_elements else []
+        #: Per block: number of marked elements (they occupy the block prefix).
+        self._marked: List[int] = [0] if num_elements else []
+        #: Blocks currently holding at least one marked element.
+        self._touched: List[int] = []
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_elements(self) -> int:
+        return len(self._elems)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._start)
+
+    def blocks(self) -> range:
+        return range(len(self._start))
+
+    def block_of(self, element: int) -> int:
+        return self._block_of[element]
+
+    def size(self, block: int) -> int:
+        return self._end[block] - self._start[block]
+
+    def members(self, block: int) -> List[int]:
+        """The elements of ``block`` (a snapshot copy, safe across splits)."""
+        return self._elems[self._start[block] : self._end[block]]
+
+    def as_sets(self) -> List[FrozenSet[int]]:
+        """The partition as frozensets, ordered by smallest member."""
+        return sorted(
+            (frozenset(self.members(block)) for block in self.blocks()),
+            key=min,
+        )
+
+    # ----------------------------------------------------------------- splits
+    def mark(self, element: int) -> None:
+        """Move ``element`` into the marked prefix of its block (idempotent)."""
+        block = self._block_of[element]
+        position = self._loc[element]
+        boundary = self._start[block] + self._marked[block]
+        if position < boundary:
+            return  # already marked
+        if self._marked[block] == 0:
+            self._touched.append(block)
+        other = self._elems[boundary]
+        self._elems[boundary] = element
+        self._elems[position] = other
+        self._loc[element] = boundary
+        self._loc[other] = position
+        self._marked[block] += 1
+
+    def split_marked(self) -> List[Tuple[int, int]]:
+        """Split every touched block into its marked and unmarked part.
+
+        Returns one ``(marked_block, unmarked_block)`` pair per touched
+        block.  The marked part receives a fresh block id and the original
+        id keeps the unmarked remainder; a fully marked block is left whole
+        and reported as ``(block, -1)``.  All marks are cleared.
+        """
+        result: List[Tuple[int, int]] = []
+        for block in self._touched:
+            marked = self._marked[block]
+            self._marked[block] = 0
+            start = self._start[block]
+            if marked == self._end[block] - start:
+                result.append((block, -1))
+                continue
+            new_block = len(self._start)
+            self._start.append(start)
+            self._end.append(start + marked)
+            self._marked.append(0)
+            for position in range(start, start + marked):
+                self._block_of[self._elems[position]] = new_block
+            self._start[block] = start + marked
+            result.append((new_block, block))
+        self._touched.clear()
+        return result
+
+    def split_by_key(self, block: int, key_of: Callable[[int], Hashable]) -> List[int]:
+        """Split ``block`` into its groups of equal ``key_of(element)``.
+
+        The first group (in first-seen key order) keeps the block id; the
+        remaining groups receive fresh ids, which are returned.  Used for the
+        multi-way Markovian rate splits (Valmari-Franceschinis) and for the
+        initial label partition.
+        """
+        start, end = self._start[block], self._end[block]
+        groups: Dict[Hashable, List[int]] = {}
+        for position in range(start, end):
+            element = self._elems[position]
+            groups.setdefault(key_of(element), []).append(element)
+        if len(groups) <= 1:
+            return []
+        new_blocks: List[int] = []
+        position = start
+        target = block
+        for index, group in enumerate(groups.values()):
+            if index > 0:
+                target = len(self._start)
+                self._start.append(position)
+                self._end.append(position)
+                self._marked.append(0)
+                new_blocks.append(target)
+            self._start[target] = position
+            for element in group:
+                self._elems[position] = element
+                self._loc[element] = position
+                self._block_of[element] = target
+                position += 1
+            self._end[target] = position
+        return new_blocks
+
+
+def refine(
+    splitters: Iterable[Hashable],
+    process: Callable[[Hashable, Callable[[Hashable], None]], None],
+) -> None:
+    """Run a worklist-of-splitters refinement loop until stable.
+
+    ``process(splitter, push)`` performs the marking and splitting for one
+    pending splitter and must ``push`` every splitter whose defining set
+    changed (typically both halves of every split block).  Pushes of items
+    already pending are dropped, so re-enqueueing liberally is cheap.  The
+    loop terminates because blocks only ever split: the number of distinct
+    splitter versions is finite.
+    """
+    queue: deque = deque()
+    pending: Set[Hashable] = set()
+
+    def push(item: Hashable) -> None:
+        if item not in pending:
+            pending.add(item)
+            queue.append(item)
+
+    for item in splitters:
+        push(item)
+    while queue:
+        item = queue.popleft()
+        pending.discard(item)
+        process(item, push)
+
+
+class TauCondensation:
+    """Condensation of a model's internal-transition graph.
+
+    Computed with an iterative Tarjan pass (explicit stack — the fused
+    products this runs on routinely exceed Python's recursion limit).  SCC
+    ids are assigned in reverse topological order: every tau successor of an
+    SCC has a *smaller* id, so a single id-ordered sweep visits successors
+    before their predecessors — the property the weak-bisimulation engine
+    uses to share tau-closure information per SCC instead of materialising a
+    closure frozenset per state.
+    """
+
+    __slots__ = ("scc_of", "members", "tau_succ", "tau_pred")
+
+    def __init__(self, model) -> None:
+        internal = model.signature.internal_ids
+        num_states = model.num_states
+        succ: List[List[int]] = [
+            [target for aid, target in model.interactive_pairs(state) if aid in internal]
+            for state in range(num_states)
+        ]
+
+        #: SCC id of every state.
+        self.scc_of: List[int] = [-1] * num_states
+        #: Member states of every SCC.
+        self.members: List[List[int]] = []
+
+        index = [-1] * num_states
+        low = [0] * num_states
+        on_stack = [False] * num_states
+        tarjan_stack: List[int] = []
+        counter = 0
+        for root in range(num_states):
+            if index[root] != -1:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                state, edge = work[-1]
+                if edge == 0:
+                    index[state] = low[state] = counter
+                    counter += 1
+                    tarjan_stack.append(state)
+                    on_stack[state] = True
+                descended = False
+                edges = succ[state]
+                while edge < len(edges):
+                    target = edges[edge]
+                    edge += 1
+                    if index[target] == -1:
+                        work[-1] = (state, edge)
+                        work.append((target, 0))
+                        descended = True
+                        break
+                    if on_stack[target] and index[target] < low[state]:
+                        low[state] = index[target]
+                if descended:
+                    continue
+                work.pop()
+                if low[state] == index[state]:
+                    scc = len(self.members)
+                    group: List[int] = []
+                    while True:
+                        member = tarjan_stack.pop()
+                        on_stack[member] = False
+                        self.scc_of[member] = scc
+                        group.append(member)
+                        if member == state:
+                            break
+                    self.members.append(group)
+                if work:
+                    parent = work[-1][0]
+                    if low[state] < low[parent]:
+                        low[parent] = low[state]
+
+        num_sccs = len(self.members)
+        succ_sets: List[Set[int]] = [set() for _ in range(num_sccs)]
+        for state in range(num_states):
+            source = self.scc_of[state]
+            for target in succ[state]:
+                target_scc = self.scc_of[target]
+                if target_scc != source:
+                    succ_sets[source].add(target_scc)
+        #: Condensed tau edges (deduplicated, no self edges).
+        self.tau_succ: List[List[int]] = [sorted(targets) for targets in succ_sets]
+        self.tau_pred: List[List[int]] = [[] for _ in range(num_sccs)]
+        for source, targets in enumerate(self.tau_succ):
+            for target in targets:
+                self.tau_pred[target].append(source)
+
+    @property
+    def num_sccs(self) -> int:
+        return len(self.members)
+
+    def backward_closure(self, seeds: Iterable[int]) -> Set[int]:
+        """All SCCs that tau-reach one of ``seeds`` (seeds included)."""
+        seen: Set[int] = set(seeds)
+        frontier: List[int] = list(seen)
+        while frontier:
+            scc = frontier.pop()
+            for predecessor in self.tau_pred[scc]:
+                if predecessor not in seen:
+                    seen.add(predecessor)
+                    frontier.append(predecessor)
+        return seen
+
+
+# ---------------------------------------------------------------------------
+# PR 3 bisimulation engine (verbatim)
+# ---------------------------------------------------------------------------
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ModelError
+from repro.ioimc.actions import intern_action
+from repro.ioimc.model import IOIMC
+
+Partition = List[FrozenSet[int]]
+
+#: The available refinement engines.
+ALGORITHMS = ("splitter", "signature")
+
+
+def _check_algorithm(algorithm: str) -> None:
+    if algorithm not in ALGORITHMS:
+        raise ModelError(
+            f"unknown bisimulation algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+        )
+
+
+def _canonical_partition(blocks: Sequence[FrozenSet[int]]) -> Partition:
+    """Blocks ordered by smallest member — one canonical form for both engines."""
+    return sorted((frozenset(block) for block in blocks), key=min)
+
+
+def _initial_blocks(model: IOIMC, respect_labels: bool) -> Dict[int, int]:
+    """Initial partition map: states grouped by their label sets."""
+    if not respect_labels:
+        return {state: 0 for state in model.states()}
+    block_ids: Dict[FrozenSet[str], int] = {}
+    block_of: Dict[int, int] = {}
+    for state in model.states():
+        labels = model.labels(state)
+        if labels not in block_ids:
+            block_ids[labels] = len(block_ids)
+        block_of[state] = block_ids[labels]
+    return block_of
+
+
+def _blocks_from_map(block_of: Dict[int, int]) -> Partition:
+    grouped: Dict[int, set] = {}
+    for state, block in block_of.items():
+        grouped.setdefault(block, set()).add(state)
+    return _canonical_partition([frozenset(states) for states in grouped.values()])
+
+
+def _refine_by_signature(
+    block_of: Dict[int, int], signatures: Dict[int, object]
+) -> Tuple[Dict[int, int], bool]:
+    """Split blocks by signature; return the new map and whether it changed."""
+    next_ids: Dict[Tuple[int, object], int] = {}
+    new_map: Dict[int, int] = {}
+    for state, old_block in block_of.items():
+        key = (old_block, signatures[state])
+        if key not in next_ids:
+            next_ids[key] = len(next_ids)
+        new_map[state] = next_ids[key]
+    changed = len(next_ids) != len(set(block_of.values()))
+    return new_map, changed
+
+
+# ---------------------------------------------------------------------------
+# strong bisimulation
+# ---------------------------------------------------------------------------
+
+def strong_bisimulation_partition(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> Partition:
+    """Coarsest strong bisimulation partition of ``model``.
+
+    Two states are equivalent iff (respecting labels) they enable the same
+    actions into the same equivalence classes (implicit input self-loops
+    included) and their aggregate Markovian rates into every *other* class
+    coincide (ordinary lumpability).
+    """
+    _check_algorithm(algorithm)
+    if algorithm == "signature":
+        return _strong_partition_signature(model, respect_labels, rate_digits)
+    return _strong_partition_splitter(model, respect_labels, rate_digits)
+
+
+def _strong_partition_signature(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Signature-refinement reference implementation (seed algorithm)."""
+    block_of = _initial_blocks(model, respect_labels)
+    input_ids = model.signature.input_ids
+    while True:
+        signatures: Dict[int, object] = {}
+        for state in model.states():
+            interactive: Dict[int, set] = {}
+            enabled = model.enabled_ids(state)
+            for aid, target in model.interactive_pairs(state):
+                interactive.setdefault(aid, set()).add(block_of[target])
+            for aid in input_ids:
+                if aid not in enabled:
+                    interactive.setdefault(aid, set()).add(block_of[state])
+            # Ordinary lumpability: rates into the state's own class are
+            # irrelevant (movement inside the class does not change the class,
+            # and the rates towards every other class are required to agree).
+            rates: Dict[int, float] = {}
+            own_block = block_of[state]
+            for target, rate in model.markovian_dict(state).items():
+                if block_of[target] == own_block:
+                    continue
+                rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+            signatures[state] = (
+                frozenset((aid, frozenset(blocks)) for aid, blocks in interactive.items()),
+                frozenset(
+                    (block, canonical_rate(total, rate_digits))
+                    for block, total in rates.items()
+                ),
+            )
+        block_of, changed = _refine_by_signature(block_of, signatures)
+        if not changed:
+            return _blocks_from_map(block_of)
+
+
+def _strong_partition_splitter(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Worklist-of-splitters refinement (Paige-Tarjan style on states)."""
+    num_states = model.num_states
+    if num_states == 0:
+        return []
+    part = RefinablePartition(num_states)
+    if respect_labels:
+        part.split_by_key(0, model.labels)
+
+    # Reverse adjacencies: everything a splitter needs is reachable from its
+    # member states' in-edges.
+    interactive_pred: List[List[Tuple[int, int]]] = [[] for _ in range(num_states)]
+    markovian_pred: List[List[Tuple[int, float]]] = [[] for _ in range(num_states)]
+    input_ids = model.signature.input_ids
+    input_gaps: List[Tuple[int, ...]] = [()] * num_states
+    for state in range(num_states):
+        for aid, target in model.interactive_pairs(state):
+            interactive_pred[target].append((aid, state))
+        for target, rate in model.markovian_dict(state).items():
+            markovian_pred[target].append((state, rate))
+        if input_ids:
+            enabled = model.enabled_ids(state)
+            input_gaps[state] = tuple(aid for aid in input_ids if aid not in enabled)
+
+    def process(splitter: int, push) -> None:
+        states = part.members(splitter)  # snapshot: valid across splits
+        splitter_set = set(states)
+
+        # Interactive: split every block by "has an a-transition into the
+        # splitter", one action at a time.  Implicit input self-loops make a
+        # splitter member without an explicit input transition its own
+        # predecessor.
+        buckets: Dict[int, List[int]] = {}
+        for target in states:
+            for aid, source in interactive_pred[target]:
+                buckets.setdefault(aid, []).append(source)
+            for aid in input_gaps[target]:
+                buckets.setdefault(aid, []).append(target)
+        for sources in buckets.values():
+            for source in sources:
+                part.mark(source)
+            for marked, rest in part.split_marked():
+                if rest >= 0:
+                    push(marked)
+                    push(rest)
+
+        # Markovian: aggregate each predecessor's rate into the splitter and
+        # split the touched blocks by the canonical rate value.  Rates from
+        # states inside the splitter are skipped — ordinary lumpability does
+        # not constrain movement within a class (the signature engine skips
+        # the own-block rates for the same reason).
+        weights: Dict[int, float] = {}
+        for target in states:
+            for source, rate in markovian_pred[target]:
+                if source in splitter_set:
+                    continue
+                weights[source] = weights.get(source, 0.0) + rate
+        if not weights:
+            return
+        for source in weights:
+            part.mark(source)
+
+        def rate_key(source: int) -> float:
+            return canonical_rate(weights[source], rate_digits)
+
+        for marked, rest in part.split_marked():
+            # The marked part holds exactly the positive-weight states of one
+            # former block; subdivide it further by rate value.  Only blocks
+            # whose membership actually changed re-enter the worklist.
+            created = part.split_by_key(marked, rate_key)
+            if rest >= 0:
+                push(rest)
+            if rest >= 0 or created:
+                push(marked)
+            for block in created:
+                push(block)
+
+    refine(list(part.blocks()), process)
+    return part.as_sets()
+
+
+# ---------------------------------------------------------------------------
+# weak bisimulation
+# ---------------------------------------------------------------------------
+
+def _internal_closure(model: IOIMC) -> List[FrozenSet[int]]:
+    """Per-state tau-closure frozensets — **signature reference engine only**.
+
+    The splitter engine never calls this: it shares closure information per
+    tau-SCC via :class:`~repro.ioimc.partition.TauCondensation`, which keeps
+    the weak path linear in states + transitions where these frozensets are
+    quadratic on tau-chains.
+    """
+    closures: List[FrozenSet[int]] = []
+    internal_succ = [model.internal_successors(state) for state in model.states()]
+    for start in model.states():
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for target in internal_succ[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        closures.append(frozenset(seen))
+    return closures
+
+
+def _weak_visible_reach(
+    model: IOIMC, closures: Sequence[FrozenSet[int]]
+) -> List[Dict[int, FrozenSet[int]]]:
+    """Per-state ``τ* a τ*`` reach sets — **signature reference engine only**.
+
+    Implicit input self-loops are taken into account: a state that has no
+    explicit transition for an input action can still (weakly) perform it and
+    stay (modulo trailing internal moves).
+    """
+    input_ids = model.signature.input_ids
+    internal_ids = model.signature.internal_ids
+    reach: List[Dict[int, FrozenSet[int]]] = []
+    for state in model.states():
+        per_action: Dict[int, set] = {}
+        for mid in closures[state]:
+            enabled = model.enabled_ids(mid)
+            for aid, target in model.interactive_pairs(mid):
+                if aid in internal_ids:
+                    continue
+                per_action.setdefault(aid, set()).update(closures[target])
+            for aid in input_ids:
+                if aid not in enabled:
+                    per_action.setdefault(aid, set()).update(closures[mid])
+        reach.append({aid: frozenset(states) for aid, states in per_action.items()})
+    return reach
+
+
+def weak_bisimulation_partition(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> Partition:
+    """Coarsest weak bisimulation partition of ``model``.
+
+    Two states are equivalent iff (respecting labels)
+
+    * for every visible action, the classes reachable via a weak move
+      (``τ* a τ*``, implicit input self-loops included) coincide,
+    * the classes reachable via internal moves alone coincide,
+    * the sets of canonical Markovian rate vectors of the *stable* states
+      reachable via internal moves coincide (maximal progress means only
+      those states can let time pass).
+    """
+    _check_algorithm(algorithm)
+    if algorithm == "signature":
+        return _weak_partition_signature(model, respect_labels, rate_digits)
+    if _has_no_internal_transitions(model):
+        # Without internal moves every tau-closure is a singleton and every
+        # state is stable: weak and strong bisimulation coincide, and the
+        # strong splitter avoids the condensation and rate-class machinery.
+        return _strong_partition_splitter(model, respect_labels, rate_digits)
+    return _WeakSplitterEngine(model, respect_labels, rate_digits).state_partition()
+
+
+def _has_no_internal_transitions(model: IOIMC) -> bool:
+    internal_mask = model.signature.internal_mask
+    if not internal_mask:
+        return True
+    return not any(model.enabled_mask(state) & internal_mask for state in model.states())
+
+
+def _weak_partition_signature(
+    model: IOIMC, respect_labels: bool, rate_digits: int
+) -> Partition:
+    """Signature-refinement reference implementation (seed algorithm)."""
+    closures = _internal_closure(model)
+    visible_reach = _weak_visible_reach(model, closures)
+    stable = [model.is_stable(state) for state in model.states()]
+
+    block_of = _initial_blocks(model, respect_labels)
+    while True:
+        signatures: Dict[int, object] = {}
+        for state in model.states():
+            visible_sig = frozenset(
+                (action, frozenset(block_of[target] for target in targets))
+                for action, targets in visible_reach[state].items()
+            )
+            tau_sig = frozenset(block_of[target] for target in closures[state])
+            rate_vectors = set()
+            for target in closures[state]:
+                if not stable[target]:
+                    continue
+                rates: Dict[int, float] = {}
+                own_block = block_of[target]
+                for succ, rate in model.markovian_dict(target).items():
+                    if block_of[succ] == own_block:
+                        continue  # ordinary lumpability: ignore intra-class rates
+                    rates[block_of[succ]] = rates.get(block_of[succ], 0.0) + rate
+                rate_vectors.add(
+                    frozenset(
+                        (block, canonical_rate(total, rate_digits))
+                        for block, total in rates.items()
+                    )
+                )
+            signatures[state] = (visible_sig, tau_sig, frozenset(rate_vectors))
+        block_of, changed = _refine_by_signature(block_of, signatures)
+        if not changed:
+            return _blocks_from_map(block_of)
+
+
+class _WeakSplitterEngine:
+    """Worklist-of-splitters weak bisimulation on the tau-SCC condensation.
+
+    The refinement works on *units* — the states of one tau-SCC sharing one
+    label set.  All states of a unit are trivially weakly bisimilar (they
+    tau-reach each other), so units are the finest granularity a split can
+    ever need; on tau-heavy fused products they are far fewer than states.
+
+    Splitters come in two kinds:
+
+    * a partition block ``B``: split every block by "can tau-reach ``B``" and,
+      per visible action ``a``, by "can weakly do ``a`` into ``B``" — both are
+      backward tau-reachability sweeps over the condensation from the SCCs
+      owning ``B`` (weak in-edges of the splitter only, never the whole
+      model);
+    * a Markovian *rate class* (stable states with equal canonical rate
+      vectors): split every block by "can tau-reach a member of the class".
+
+    When a block splits, the rate vectors of the stable states pointing into
+    the moved states (and of the moved/remaining stable states themselves,
+    whose own-class exclusion changed) are recomputed and re-bucketed; every
+    class whose membership changed re-enters the worklist.  The fixpoint is
+    stable under all three predicate families, which is exactly the signature
+    engine's equivalence.
+    """
+
+    def __init__(self, model: IOIMC, respect_labels: bool, rate_digits: int):
+        self.model = model
+        self.rate_digits = rate_digits
+        self.condensation = TauCondensation(model)
+        cond = self.condensation
+        num_states = model.num_states
+        num_sccs = cond.num_sccs
+
+        # ---- units: (SCC, label set) groups ------------------------------
+        self.unit_of_state: List[int] = [0] * num_states
+        self.unit_states: List[List[int]] = []
+        self.unit_scc: List[int] = []
+        self.unit_labels: List[FrozenSet[str]] = []
+        self.scc_units: List[List[int]] = [[] for _ in range(num_sccs)]
+        for scc in range(num_sccs):
+            if respect_labels:
+                groups: Dict[FrozenSet[str], List[int]] = {}
+                for state in cond.members[scc]:
+                    groups.setdefault(model.labels(state), []).append(state)
+                ordered = sorted(groups.items(), key=lambda item: min(item[1]))
+            else:
+                members = cond.members[scc]
+                ordered = [(model.labels(members[0]), list(members))]
+            for labels, states in ordered:
+                unit = len(self.unit_states)
+                self.unit_states.append(states)
+                self.unit_scc.append(scc)
+                self.unit_labels.append(labels)
+                self.scc_units[scc].append(unit)
+                for state in states:
+                    self.unit_of_state[state] = unit
+
+        # ---- static per-SCC indexes --------------------------------------
+        internal_ids = model.signature.internal_ids
+        input_ids = model.signature.input_ids
+        #: Visible in-edges per SCC: (action id, source SCC), deduplicated.
+        self.visible_in: List[Set[Tuple[int, int]]] = [set() for _ in range(num_sccs)]
+        #: Input actions some member of the SCC has no explicit transition for
+        #: (those members carry an implicit weak self-loop).
+        self.input_gaps: List[Set[int]] = [set() for _ in range(num_sccs)]
+        #: Stable Markovian predecessors per state (only stable states carry
+        #: rate vectors in the weak signature).
+        self.stable_pred: List[List[Tuple[int, float]]] = [[] for _ in range(num_states)]
+        self.unit_stable: List[bool] = [
+            all(model.is_stable(state) for state in states)
+            for states in self.unit_states
+        ]
+        for state in range(num_states):
+            scc = cond.scc_of[state]
+            for aid, target in model.interactive_pairs(state):
+                if aid in internal_ids:
+                    continue
+                self.visible_in[cond.scc_of[target]].add((aid, scc))
+            if input_ids:
+                enabled = model.enabled_ids(state)
+                for aid in input_ids:
+                    if aid not in enabled:
+                        self.input_gaps[scc].add(aid)
+            if model.is_stable(state):
+                for target, rate in model.markovian_dict(state).items():
+                    self.stable_pred[target].append((state, rate))
+
+        # ---- partition over units ----------------------------------------
+        self.part = RefinablePartition(len(self.unit_states))
+        if respect_labels and self.part.num_elements:
+            self.part.split_by_key(0, lambda unit: self.unit_labels[unit])
+
+        # ---- rate classes over stable units ------------------------------
+        self.class_of: Dict[int, int] = {}
+        self.class_members: List[Set[int]] = []
+        self.class_by_key: Dict[FrozenSet[Tuple[int, float]], int] = {}
+        #: Stable units whose rate vector may be stale (re-bucketed in batch
+        #: when the next rate-class splitter is processed).
+        self._dirty: Set[int] = set()
+        for unit, stable in enumerate(self.unit_stable):
+            if stable:
+                self._assign_rate_class(unit)
+
+        self._refined = False
+
+    # ------------------------------------------------------------ rate classes
+    def _vector_key(self, unit: int) -> FrozenSet[Tuple[int, float]]:
+        """Canonical rate vector of a stable unit under the current partition."""
+        state = self.unit_states[unit][0]  # stable units are singletons
+        own_block = self.part.block_of(unit)
+        rates: Dict[int, float] = {}
+        for target, rate in self.model.markovian_dict(state).items():
+            block = self.part.block_of(self.unit_of_state[target])
+            if block == own_block:
+                continue  # ordinary lumpability: ignore intra-class rates
+            rates[block] = rates.get(block, 0.0) + rate
+        return frozenset(
+            (block, canonical_rate(total, self.rate_digits))
+            for block, total in rates.items()
+        )
+
+    def _assign_rate_class(self, unit: int) -> Optional[Tuple[int, ...]]:
+        """(Re)bucket a stable unit by rate vector; return the changed classes."""
+        key = self._vector_key(unit)
+        new_class = self.class_by_key.get(key)
+        if new_class is None:
+            new_class = len(self.class_members)
+            self.class_members.append(set())
+            self.class_by_key[key] = new_class
+        old_class = self.class_of.get(unit)
+        if old_class == new_class:
+            return None
+        self.class_of[unit] = new_class
+        self.class_members[new_class].add(unit)
+        if old_class is None:
+            return (new_class,)
+        self.class_members[old_class].discard(unit)
+        return (old_class, new_class)
+
+    # ---------------------------------------------------------------- refining
+    def _mark_and_split(self, sccs: Set[int], push) -> None:
+        """Split every block by membership in the given predicate SCC set."""
+        part = self.part
+        for scc in sccs:
+            for unit in self.scc_units[scc]:
+                part.mark(unit)
+        dirty = self._dirty
+        for marked, rest in part.split_marked():
+            if rest < 0:
+                continue  # the whole block satisfied the predicate
+            push(("block", marked))
+            push(("block", rest))
+            # Exactly the rate vectors referencing the moved states change:
+            # their stable Markovian predecessors (wherever those live — this
+            # covers stable units left behind in `rest` with rates into the
+            # moved half), plus the moved stable units themselves (their
+            # own-class exclusion now ends at the new block boundary).  They
+            # are re-bucketed lazily, in batch, when the next rate-class
+            # splitter is dequeued.
+            freshly_dirty = []
+            for unit in part.members(marked):
+                if self.unit_stable[unit] and unit not in dirty:
+                    dirty.add(unit)
+                    freshly_dirty.append(unit)
+                for state in self.unit_states[unit]:
+                    for source, _rate in self.stable_pred[state]:
+                        source_unit = self.unit_of_state[source]
+                        if source_unit not in dirty:
+                            dirty.add(source_unit)
+                            freshly_dirty.append(source_unit)
+            for unit in freshly_dirty:
+                push(("rates", self.class_of[unit]))
+
+    def _flush_dirty(self, push) -> None:
+        """Re-bucket every stale stable unit; re-enqueue the changed classes."""
+        for unit in self._dirty:
+            changed = self._assign_rate_class(unit)
+            if changed:
+                for rate_class in changed:
+                    push(("rates", rate_class))
+        self._dirty.clear()
+
+    def _process(self, splitter, push) -> None:
+        cond = self.condensation
+        kind, index = splitter
+        if kind == "rates":
+            self._flush_dirty(push)
+            members = self.class_members[index]
+            if not members:
+                return  # class emptied by re-bucketing
+            seeds = {self.unit_scc[unit] for unit in members}
+            self._mark_and_split(cond.backward_closure(seeds), push)
+            return
+
+        units = self.part.members(index)  # snapshot
+        seeds = {self.unit_scc[unit] for unit in units}
+        reach = cond.backward_closure(seeds)
+        # tau predicate: can reach the splitter via internal moves alone.
+        self._mark_and_split(set(reach), push)
+        # visible predicates: a weak `a` move into the splitter is an `a`
+        # transition whose target tau-reaches the splitter (reach), taken
+        # from any state that tau-reaches the transition's source; implicit
+        # input self-loops contribute the gap SCCs inside `reach` themselves.
+        buckets: Dict[int, Set[int]] = {}
+        for scc in reach:
+            for aid, source in self.visible_in[scc]:
+                buckets.setdefault(aid, set()).add(source)
+            for aid in self.input_gaps[scc]:
+                buckets.setdefault(aid, set()).add(scc)
+        for sources in buckets.values():
+            self._mark_and_split(cond.backward_closure(sources), push)
+
+    def _run(self) -> None:
+        if self._refined:
+            return
+        splitters = [("block", block) for block in self.part.blocks()]
+        splitters.extend(("rates", index) for index in range(len(self.class_members)))
+        refine(splitters, self._process)
+        self._refined = True
+
+    # ----------------------------------------------------------------- results
+    def state_partition(self) -> Partition:
+        self._run()
+        blocks = [
+            frozenset(
+                state
+                for unit in self.part.members(block)
+                for state in self.unit_states[unit]
+            )
+            for block in self.part.blocks()
+        ]
+        return _canonical_partition(blocks)
+
+    def quotient(self, name: Optional[str] = None) -> IOIMC:
+        return _build_weak_quotient(
+            self.model, self.condensation, self.state_partition(), name
+        )
+
+
+# ---------------------------------------------------------------------------
+# quotient construction
+# ---------------------------------------------------------------------------
+
+def _block_map(partition: Partition) -> Dict[int, int]:
+    block_of: Dict[int, int] = {}
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_id
+    return block_of
+
+
+def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
+    """Quotient of ``model`` under a strong bisimulation partition."""
+    block_of = _block_map(partition)
+    input_ids = model.signature.input_ids
+    quotient = IOIMC(name if name is not None else model.name, model.signature)
+    representatives = [min(block) for block in partition]
+    for block_id, block in enumerate(partition):
+        rep = representatives[block_id]
+        quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
+    for block_id, block in enumerate(partition):
+        rep = representatives[block_id]
+        for aid, target in model.interactive_pairs(rep):
+            target_block = block_of[target]
+            if target_block == block_id and aid in input_ids:
+                continue  # implicit input self-loop
+            quotient.add_interactive_id(block_id, aid, target_block)
+        rates: Dict[int, float] = {}
+        for target, rate in model.markovian_dict(rep).items():
+            if block_of[target] == block_id:
+                continue  # intra-class movement is invisible in the quotient
+            rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+        for target_block, total in rates.items():
+            quotient.add_markovian(block_id, total, target_block)
+    quotient.set_initial(block_of[model.initial])
+    return quotient
+
+
+def _build_weak_quotient(
+    model: IOIMC,
+    condensation: TauCondensation,
+    partition: Partition,
+    name: str | None = None,
+) -> IOIMC:
+    """Weak quotient from a partition and the shared tau-SCC condensation.
+
+    One id-ordered sweep over the condensation (tau successors first, see
+    :class:`~repro.ioimc.partition.TauCondensation`) computes, per SCC, the
+    blocks reachable via internal moves and via ``τ* a τ*`` per visible
+    action.  The per-SCC sets contain block ids and are interned, so shared
+    tails of tau-chains cost one object — no per-state closure frozensets.
+    """
+    block_of = _block_map(partition)
+    input_ids = model.signature.input_ids
+    internal_ids = model.signature.internal_ids
+    scc_of = condensation.scc_of
+
+    interned: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+    def intern(blocks: Set[int]) -> FrozenSet[int]:
+        key = frozenset(blocks)
+        return interned.setdefault(key, key)
+
+    num_sccs = condensation.num_sccs
+    # First pass, in id order (tau successors first): blocks reachable via
+    # internal moves alone.  Visible targets may live in later SCCs, so the
+    # visible reach needs a second pass once every tau closure is known.
+    tau_blocks: List[FrozenSet[int]] = [frozenset()] * num_sccs
+    for scc in range(num_sccs):
+        reach: Set[int] = {block_of[state] for state in condensation.members[scc]}
+        for successor in condensation.tau_succ[scc]:
+            reach |= tau_blocks[successor]
+        tau_blocks[scc] = intern(reach)
+    visible: List[Dict[int, FrozenSet[int]]] = [{} for _ in range(num_sccs)]
+    for scc in range(num_sccs):  # id order again: tau successors come first
+        per_action: Dict[int, Set[int]] = {}
+        for successor in condensation.tau_succ[scc]:
+            for aid, blocks in visible[successor].items():
+                per_action.setdefault(aid, set()).update(blocks)
+        closure_blocks = tau_blocks[scc]
+        for state in condensation.members[scc]:
+            for aid, target in model.interactive_pairs(state):
+                if aid in internal_ids:
+                    continue
+                per_action.setdefault(aid, set()).update(tau_blocks[scc_of[target]])
+            if input_ids:
+                enabled = model.enabled_ids(state)
+                for aid in input_ids:
+                    if aid not in enabled:
+                        per_action.setdefault(aid, set()).update(closure_blocks)
+        visible[scc] = {aid: intern(blocks) for aid, blocks in per_action.items()}
+
+    stable = [model.is_stable(state) for state in model.states()]
+    internal_actions = sorted(model.signature.internals)
+    tau_id = intern_action(internal_actions[0]) if internal_actions else None
+
+    quotient = IOIMC(name if name is not None else model.name, model.signature)
+    for block_id, block in enumerate(partition):
+        rep = min(block)
+        quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
+
+    for block_id, block in enumerate(partition):
+        rep = min(block)
+        rep_scc = scc_of[rep]
+
+        for aid, target_blocks in visible[rep_scc].items():
+            is_input = aid in input_ids
+            for target_block in sorted(target_blocks):
+                if target_block == block_id and is_input:
+                    continue  # implicit input self-loop
+                quotient.add_interactive_id(block_id, aid, target_block)
+
+        tau_targets = set(tau_blocks[rep_scc]) - {block_id}
+        if tau_targets and tau_id is None:
+            raise AssertionError(
+                "internal moves present but the signature declares no internal action"
+            )
+        for target_block in sorted(tau_targets):
+            quotient.add_interactive_id(block_id, tau_id, target_block)
+
+        stable_member = next((state for state in sorted(block) if stable[state]), None)
+        if stable_member is not None:
+            rates: Dict[int, float] = {}
+            for target, rate in model.markovian_dict(stable_member).items():
+                if block_of[target] == block_id:
+                    continue  # intra-class movement is invisible in the quotient
+                rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+            for target_block, total in rates.items():
+                quotient.add_markovian(block_id, total, target_block)
+
+    quotient.set_initial(block_of[model.initial])
+    return quotient
+
+
+def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -> IOIMC:
+    """Quotient of ``model`` under a weak bisimulation partition.
+
+    Per block the construction uses a representative's *weak* transitions:
+
+    * visible actions: one transition per block weakly reachable (input
+      self-block loops stay implicit);
+    * internal moves: one ``τ`` transition per distinct block reachable via
+      internal moves (self-block loops are dropped — weak bisimulation is
+      insensitive to them);
+    * Markovian transitions: blocks containing a stable state carry that
+      state's aggregate rate vector (all stable members of a block agree);
+      blocks without stable states are vanishing and get no rates.
+
+    The weak reach sets are derived from the tau-SCC condensation; prefer
+    :func:`minimize_weak`, which shares one condensation between the
+    partition refinement and this construction.
+    """
+    return _build_weak_quotient(model, TauCondensation(model), partition, name)
+
+
+def minimize_strong(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> IOIMC:
+    """Minimise ``model`` modulo strong bisimulation."""
+    partition = strong_bisimulation_partition(
+        model, respect_labels=respect_labels, algorithm=algorithm, rate_digits=rate_digits
+    )
+    return quotient_strong(model, partition).restrict_to_reachable(model.name)
+
+
+def minimize_weak(
+    model: IOIMC,
+    respect_labels: bool = True,
+    algorithm: str = "splitter",
+    rate_digits: int = DEFAULT_RATE_DIGITS,
+) -> IOIMC:
+    """Minimise ``model`` modulo weak bisimulation.
+
+    With the default splitter engine one tau-SCC condensation is shared
+    between the partition refinement and the quotient construction, so the
+    internal-closure work happens exactly once per minimisation.
+    """
+    _check_algorithm(algorithm)
+    if algorithm == "splitter":
+        if _has_no_internal_transitions(model):
+            partition = _strong_partition_splitter(model, respect_labels, rate_digits)
+            quotient = _build_weak_quotient(model, TauCondensation(model), partition)
+        else:
+            engine = _WeakSplitterEngine(model, respect_labels, rate_digits)
+            quotient = engine.quotient()
+    else:
+        partition = _weak_partition_signature(model, respect_labels, rate_digits)
+        quotient = quotient_weak(model, partition)
+    return quotient.restrict_to_reachable(model.name)

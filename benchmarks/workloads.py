@@ -6,7 +6,7 @@ measure the *same* workload — only :mod:`repro` imports allowed here.
 """
 
 from repro.core import convert
-from repro.ioimc import parallel
+from repro.ioimc import IOIMC, parallel, signature
 from repro.systems import cascaded_pand_family
 
 
@@ -39,3 +39,24 @@ def largest_minimisation_workload(num_modules: int, events_per_module: int):
             external |= other.signature.inputs
     hideable = product.signature.outputs - external
     return product.hide(hideable) if hideable else product
+
+
+def tau_heavy_chain(num_states: int) -> IOIMC:
+    """A long interactive chain, two internal steps for every visible one.
+
+    Every state sits at a distinct distance from the chain's end, so no two
+    states are bisimilar and the quotient equals the input — the refinement
+    loop must split all the way down to singletons.  That makes the chain the
+    adversarial case for splitter scheduling: the PR 3 engine reprocesses
+    ever-larger blocks (quadratic splitter work) where the Paige-Tarjan
+    smaller-half discipline only ever queues the lighter side.
+    """
+    model = IOIMC(
+        "tau-chain", signature(outputs=("observe",), internals=("tick",))
+    )
+    for _ in range(num_states):
+        model.add_state()
+    for state in range(num_states - 1):
+        model.add_interactive(state, "tick" if state % 3 else "observe", state + 1)
+    model.set_initial(0)
+    return model

@@ -91,6 +91,7 @@ def _analysis_options(args: argparse.Namespace) -> StudyOptions:
         ),
         fuse=not getattr(args, "no_fuse", False),
         tolerance=getattr(args, "tolerance", 1e-12),
+        aggregation_processes=getattr(args, "aggregation_processes", 1),
     )
 
 
@@ -474,6 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
             default="splitter",
             help="bisimulation refinement engine (default: splitter; "
             "'signature' is the slower reference implementation)",
+        )
+        sub.add_argument(
+            "--aggregation-processes",
+            type=int,
+            default=1,
+            help="worker processes for collapsing independent module groups "
+            "under --ordering modular (default: 1, serial; the result is "
+            "identical to a serial run)",
         )
 
     def add_measures(sub: argparse.ArgumentParser) -> None:

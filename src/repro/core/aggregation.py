@@ -44,7 +44,8 @@ Ordering strategies
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CompositionError
@@ -147,12 +148,20 @@ class CompositionalAggregationOptions:
     #: composition exploration (lowers peak product sizes; disable to measure
     #: the compose-then-reduce baseline).
     fuse: bool = True
+    #: Worker processes for collapsing independent module groups of the
+    #: ``modular`` plan in parallel (1 = serial; ignored by the flat
+    #: orderings, which have no independent groups to fan out).
+    processes: int = 1
 
     def __post_init__(self) -> None:
         if self.ordering not in ORDERING_STRATEGIES:
             raise CompositionError(
                 f"unknown ordering strategy {self.ordering!r}; "
                 f"choose one of {ORDERING_STRATEGIES}"
+            )
+        if int(self.processes) < 1:
+            raise CompositionError(
+                f"processes must be >= 1, got {self.processes}"
             )
 
 
@@ -226,7 +235,12 @@ class CompositionalAggregator:
 
         plan = self._plan(keys)
         if plan is not None:
-            final_key = self._collapse(plan.root, workspace, statistics, keys)
+            if self.options.processes > 1:
+                final_key = self._collapse_parallel(
+                    plan.root, workspace, statistics, keys
+                )
+            else:
+                final_key = self._collapse(plan.root, workspace, statistics, keys)
         else:
             final_key = self._collapse_group(keys, workspace, statistics)
 
@@ -254,6 +268,74 @@ class CompositionalAggregator:
     ) -> int:
         """Collapse a plan node (children first) to a single model key."""
         group = [self._collapse(child, workspace, statistics, keys) for child in node.children]
+        group.extend(keys[index] for index in node.member_indices)
+        return self._collapse_group(group, workspace, statistics)
+
+    def _collapse_parallel(
+        self,
+        node: PlanNode,
+        workspace: _Workspace,
+        statistics: CompositionStatistics,
+        keys: Sequence[int],
+    ) -> int:
+        """Collapse the root node with its module children fanned out to workers.
+
+        Independent module groups of the modular plan share no live state: a
+        module talks to the rest of the tree only through its root's firing
+        signal, and community outputs are unique, so an input of a model
+        *outside* a subtree can never be composed away by outside-only steps.
+        Handing each worker the union of the outside models' original inputs
+        therefore reproduces the serial engine's hiding decisions exactly, and
+        worker-local workspace keys are assigned in the same relative order as
+        the serial run's — the parallel result is identical, step for step.
+
+        Only the root's children fan out (one job per module subtree); nested
+        modules collapse serially inside their worker.
+        """
+        eligible: Dict[int, List[int]] = {}
+        for position, child in enumerate(node.children):
+            indices = sorted(
+                index for sub in child.walk() for index in sub.member_indices
+            )
+            if len(indices) >= 2:  # a one-member subtree has nothing to compose
+                eligible[position] = indices
+        if len(eligible) < 2:
+            # At most one parallelisable group: no fan-out to be had.
+            return self._collapse(node, workspace, statistics, keys)
+
+        input_sets = [model.signature.inputs for model in self._models]
+        jobs: Dict[int, Tuple[PlanNode, List[IOIMC], Tuple[str, ...]]] = {}
+        for position, indices in eligible.items():
+            inside = set(indices)
+            outside_inputs: set = set()
+            for index, inputs in enumerate(input_sets):
+                if index not in inside:
+                    outside_inputs |= inputs
+            mapping = {index: local for local, index in enumerate(indices)}
+            local_node = _localise_node(node.children[position], mapping)
+            models = [workspace.pop(keys[index]) for index in indices]
+            jobs[position] = (local_node, models, tuple(sorted(outside_inputs)))
+
+        workers = min(self.options.processes, len(jobs))
+        worker_options = replace(self.options, processes=1)
+        group: List[int] = []
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_aggregation_worker,
+            initargs=(worker_options,),
+        ) as pool:
+            futures = {
+                position: pool.submit(_collapse_subtree, job)
+                for position, job in jobs.items()
+            }
+            for position, child in enumerate(node.children):
+                future = futures.get(position)
+                if future is None:
+                    group.append(self._collapse(child, workspace, statistics, keys))
+                else:
+                    model, steps = future.result()
+                    statistics.steps.extend(steps)
+                    group.append(workspace.add(model))
         group.extend(keys[index] for index in node.member_indices)
         return self._collapse_group(group, workspace, statistics)
 
@@ -365,6 +447,56 @@ class CompositionalAggregator:
         return best
 
 
+# ---------------------------------------------------------------------------
+# module-group worker machinery (the PR 5 initializer pattern from core.sweep)
+# ---------------------------------------------------------------------------
+
+def _localise_node(node: PlanNode, mapping: Dict[int, int]) -> PlanNode:
+    """A copy of ``node`` with member indices remapped into a subtree-local
+    model list (models travel to the worker as a dense list)."""
+    return PlanNode(
+        root=node.root,
+        member_indices=[mapping[index] for index in node.member_indices],
+        children=[_localise_node(child, mapping) for child in node.children],
+    )
+
+
+_WORKER_AGG_OPTIONS: Optional[CompositionalAggregationOptions] = None
+
+
+def _init_aggregation_worker(options: CompositionalAggregationOptions) -> None:
+    """Pool initializer: ship the (serial) engine options once per process."""
+    global _WORKER_AGG_OPTIONS
+    _WORKER_AGG_OPTIONS = options
+
+
+def _collapse_subtree(
+    job: Tuple[PlanNode, List[IOIMC], Tuple[str, ...]],
+) -> Tuple[IOIMC, List[CompositionStep]]:
+    """Worker entry point: serially collapse one independent module subtree.
+
+    ``outside_inputs`` — the original inputs of every community model outside
+    the subtree — joins ``keep_visible``, so the hide step sees exactly the
+    listeners the serial engine would see (outside inputs of a subtree output
+    can never be composed away by outside-only steps; see
+    :meth:`CompositionalAggregator._collapse_parallel`).
+    """
+    assert _WORKER_AGG_OPTIONS is not None
+    node, models, outside_inputs = job
+    options = replace(
+        _WORKER_AGG_OPTIONS,
+        keep_visible=tuple(
+            sorted(set(_WORKER_AGG_OPTIONS.keep_visible) | set(outside_inputs))
+        ),
+    )
+    aggregator = CompositionalAggregator(models, options)
+    workspace = _Workspace()
+    keys = [workspace.add(model) for model in models]
+    statistics = CompositionStatistics()
+    final_key = aggregator._collapse(node, workspace, statistics, keys)
+    return workspace.models[final_key], statistics.steps
+
+
 def compositional_aggregate(
     models: Sequence[IOIMC],
     ordering: str = "linked",
@@ -372,6 +504,7 @@ def compositional_aggregate(
     keep_visible: Iterable[str] = (),
     community=None,
     fuse: bool = True,
+    processes: int = 1,
 ) -> Tuple[IOIMC, CompositionStatistics]:
     """Convenience wrapper around :class:`CompositionalAggregator`."""
     options = CompositionalAggregationOptions(
@@ -379,5 +512,6 @@ def compositional_aggregate(
         aggregation=aggregation or AggregationOptions(),
         keep_visible=tuple(keep_visible),
         fuse=fuse,
+        processes=processes,
     )
     return CompositionalAggregator(models, options, community=community).run()

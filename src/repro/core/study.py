@@ -85,11 +85,18 @@ class StudyOptions:
     fuse: bool = True
     #: Truncation tolerance of the uniformisation series.
     tolerance: float = 1e-12
+    #: Worker processes for collapsing independent module groups of the
+    #: ``modular`` plan in parallel (1 = serial; flat orderings ignore it).
+    aggregation_processes: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.tolerance < 1.0:
             raise AnalysisError(
                 f"the truncation tolerance must be in (0, 1), got {self.tolerance}"
+            )
+        if int(self.aggregation_processes) < 1:
+            raise AnalysisError(
+                f"aggregation_processes must be >= 1, got {self.aggregation_processes}"
             )
 
     def composition_options(self) -> CompositionalAggregationOptions:
@@ -97,6 +104,7 @@ class StudyOptions:
             ordering=self.ordering,
             aggregation=self.aggregation,
             fuse=self.fuse,
+            processes=self.aggregation_processes,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -106,6 +114,7 @@ class StudyOptions:
             "minimiser": self.aggregation.minimiser,
             "fuse": self.fuse,
             "tolerance": self.tolerance,
+            "aggregation_processes": self.aggregation_processes,
         }
 
 

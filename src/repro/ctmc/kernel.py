@@ -33,6 +33,7 @@ and the uniformisation sweep itself.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,7 +47,36 @@ from .transient import PoissonTermCache, validate_times
 #: Below this state count the kernel steps with a preallocated dense matrix:
 #: a CSR matvec costs ~10-20us of scipy dispatch regardless of size, which
 #: dominates the arithmetic of aggregated DFT models (tens of states).
+#: Overridable per buffer (``dense_limit=``) or process-wide via the
+#: ``REPRO_DENSE_STATE_LIMIT`` environment variable, so the big-bench tier
+#: can probe the dense/sparse crossover without editing source.
 DENSE_STATE_LIMIT = 256
+
+#: Environment variable overriding :data:`DENSE_STATE_LIMIT`.
+DENSE_LIMIT_ENV = "REPRO_DENSE_STATE_LIMIT"
+
+
+def resolve_dense_limit(dense_limit: Optional[int] = None) -> int:
+    """The effective dense/sparse crossover for a new buffer.
+
+    Resolution order: an explicit ``dense_limit`` argument, then the
+    ``REPRO_DENSE_STATE_LIMIT`` environment variable, then the module default.
+    """
+    if dense_limit is not None:
+        limit = int(dense_limit)
+    else:
+        override = os.environ.get(DENSE_LIMIT_ENV)
+        if override is None:
+            return DENSE_STATE_LIMIT
+        try:
+            limit = int(override)
+        except ValueError:
+            raise AnalysisError(
+                f"{DENSE_LIMIT_ENV} must be an integer, got {override!r}"
+            ) from None
+    if limit < 0:
+        raise AnalysisError(f"the dense state limit must be >= 0, got {limit}")
+    return limit
 
 
 class CsrBuffer:
@@ -83,7 +113,8 @@ class CsrBuffer:
         "_exit",
     )
 
-    def __init__(self, skeleton: CtmcSkeleton, dense_limit: int = DENSE_STATE_LIMIT):
+    def __init__(self, skeleton: CtmcSkeleton, dense_limit: Optional[int] = None):
+        dense_limit = resolve_dense_limit(dense_limit)
         self.skeleton = skeleton
         num_states = skeleton.num_states
         edges = skeleton.edges
@@ -258,14 +289,16 @@ class TransientKernel:
     Owns the shared CSR buffer, the Poisson term cache and the ``pi(0)``
     workspace; :meth:`load` switches the kernel to a parameter assignment
     and :meth:`probability_of_label_curve` runs the uniformisation sweep on
-    the in-place refreshed matrix.
+    the in-place refreshed matrix.  ``dense_limit`` (or the
+    ``REPRO_DENSE_STATE_LIMIT`` environment variable) overrides the
+    dense/sparse stepping crossover of the underlying buffer.
     """
 
     __slots__ = ("skeleton", "buffer", "term_cache", "_goal", "_work_a", "_work_b", "_loaded")
 
-    def __init__(self, skeleton: CtmcSkeleton):
+    def __init__(self, skeleton: CtmcSkeleton, dense_limit: Optional[int] = None):
         self.skeleton = skeleton
-        self.buffer = CsrBuffer(skeleton)
+        self.buffer = CsrBuffer(skeleton, dense_limit=dense_limit)
         self.term_cache = PoissonTermCache()
         self._goal: Dict[str, np.ndarray] = {}
         self._work_a = np.zeros(skeleton.num_states)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, FrozenSet, Iterable, List, Mapping
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
 
 from ..errors import SignatureError
 
@@ -210,6 +210,20 @@ class ActionSignature:
     def urgent_mask(self) -> int:
         """Bitset over action ids: output and internal (urgent) actions."""
         return _mask_of(self.urgent_ids)
+
+    # ---------------------------------------------------------------- pickling
+    # Only the name sets travel: the cached id views live in ``__dict__``
+    # (``functools.cached_property``) and are meaningless under the receiving
+    # process's interner, so they are dropped and lazily recomputed there.
+
+    def __getstate__(self) -> Tuple[frozenset, frozenset, frozenset]:
+        return (self.inputs, self.outputs, self.internals)
+
+    def __setstate__(self, state: Tuple[frozenset, frozenset, frozenset]) -> None:
+        inputs, outputs, internals = state
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "outputs", outputs)
+        object.__setattr__(self, "internals", internals)
 
     def classify_id(self, aid: int) -> ActionType:
         """Return the :class:`ActionType` of an interned action id."""

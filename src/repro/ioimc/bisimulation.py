@@ -23,11 +23,16 @@ Two refinement engines compute each partition:
     Worklist-of-splitters partition refinement on the refinable partition of
     :mod:`repro.ioimc.partition` (Paige-Tarjan / Valmari-Franceschinis style):
     one refinement step touches only the splitter block's (weak) in-edges
-    instead of recomputing every state's signature.  The weak variant first
-    condenses the internal-transition graph into its tau-SCCs
-    (:class:`~repro.ioimc.partition.TauCondensation`) and runs entirely on the
-    condensation — tau-closures are shared per SCC, never materialised per
-    state.
+    instead of recomputing every state's signature.  The strong variant runs
+    the full Paige-Tarjan smaller-half discipline — compound splitter
+    families with per-(compound, action, state) edge counts, so only the
+    smaller extracted sub-block's in-edges are ever scanned and the
+    interactive refinement is O(m log n).  The weak variant first condenses
+    the internal-transition graph into its tau-SCCs
+    (:class:`~repro.ioimc.partition.TauCondensation`) and runs entirely on
+    the condensation — tau-closures are shared per SCC, never materialised
+    per state, and the backward closures of recurring splitter seed sets are
+    memoised in a bounded cache.
 ``algorithm="signature"``
     The seed implementation: every round recomputes every state's full
     signature and splits blocks by signature equality.  Kept as the reference
@@ -50,6 +55,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import ModelError
 from .actions import intern_action
 from .model import IOIMC
@@ -65,6 +72,44 @@ Partition = List[FrozenSet[int]]
 
 #: The available refinement engines.
 ALGORITHMS = ("splitter", "signature")
+
+#: Up to this many tau-SCCs the weak engine precomputes a bit-packed
+#: backward-reachability matrix over the condensation (num_sccs^2 bits,
+#: 32 MiB at the limit); larger condensations fall back to the memoised
+#: per-query BFS of :class:`~repro.ioimc.partition.TauCondensation`.
+_DENSE_REACH_LIMIT = 16384
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Bit masks of the MSB-first packed rows: mask of bit ``i`` within a byte.
+_BIT_MASK = np.array([128, 64, 32, 16, 8, 4, 2, 1], dtype=np.uint8)
+
+#: Per-predicate weights of the composite codes (bit per predicate).
+_CODE_WEIGHTS = np.left_shift(np.int64(1), np.arange(62, dtype=np.int64))
+
+#: Bit offsets set in each byte value, MSB-first (mirrors ``np.unpackbits``):
+#: decoding a sparse packed row walks only its non-zero bytes through this
+#: table instead of unpacking all ``num_sccs`` bits.
+_BYTE_BITS = tuple(
+    tuple(offset for offset in range(8) if byte & (0x80 >> offset))
+    for byte in range(256)
+)
+
+
+def _csr_flat(offsets: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Flat positions of the CSR rows ``idx``: ``concat(range(off[i], off[i+1]))``.
+
+    The standard repeat/cumsum trick — one vectorised expression, no Python
+    loop over rows.
+    """
+    counts = offsets[idx + 1] - offsets[idx]
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_I64
+    cum = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) + np.repeat(
+        offsets[idx] - cum + counts, counts
+    )
 
 
 def _check_algorithm(algorithm: str) -> None:
@@ -178,7 +223,29 @@ def _strong_partition_signature(
 def _strong_partition_splitter(
     model: IOIMC, respect_labels: bool, rate_digits: int
 ) -> Partition:
-    """Worklist-of-splitters refinement (Paige-Tarjan style on states)."""
+    """Paige-Tarjan three-way smaller-half refinement (on states).
+
+    The interactive relation runs the textbook Paige-Tarjan discipline: past
+    splitters are grouped into *compound* families (unions of current
+    blocks), and processing a compound extracts one sub-block ``B`` of at
+    most half the family's size, scans **only** ``B``'s in-edges, and splits
+    every predecessor block three ways — into ``B`` only, into the remainder
+    ``C - B`` only, or into both.  The third way is funded by per
+    ``(compound, action, state)`` edge counts (implicit input self-loops
+    count as edges): a state marked for ``B`` still has an edge into the
+    remainder iff its count in ``C`` exceeds its count in ``B``, so the
+    larger half's in-edges are never walked.  Every state's in-edges are
+    scanned only when its block is the extracted half, whose size at least
+    halves each time — the O(m log n) bound of Paige and Tarjan.
+
+    Markovian rates keep the simpler per-block worklist (both halves of a
+    split re-enter): the rate predicate is function-valued and a rate round
+    costs only the splitter's Markovian in-edges, which profiling shows is
+    a small fraction of the interactive work on composition intermediates.
+    The fixpoint — every current block processed as a rate splitter in its
+    final membership, the partition stable under every compound family —
+    is exactly the signature engine's equivalence.
+    """
     num_states = model.num_states
     if num_states == 0:
         return []
@@ -201,33 +268,111 @@ def _strong_partition_splitter(
             enabled = model.enabled_ids(state)
             input_gaps[state] = tuple(aid for aid in input_ids if aid not in enabled)
 
-    def process(splitter: int, push) -> None:
-        states = part.members(splitter)  # snapshot: valid across splits
-        splitter_set = set(states)
+    # Stability w.r.t. the universe family: states must agree on which
+    # actions they can take at all.  Every state weakly has every *input*
+    # action (explicitly or as an implicit self-loop), so only the enabled
+    # non-input actions distinguish at this level.
+    def universe_key(state: int) -> FrozenSet[int]:
+        return frozenset(aid for aid in model.enabled_ids(state) if aid not in input_ids)
 
-        # Interactive: split every block by "has an a-transition into the
-        # splitter", one action at a time.  Implicit input self-loops make a
-        # splitter member without an explicit input transition its own
-        # predecessor.
-        buckets: Dict[int, List[int]] = {}
-        for target in states:
+    for block in list(part.blocks()):
+        part.split_by_key(block, universe_key)
+
+    # counts[(compound, action)][state] = number of `action`-edges from
+    # `state` into the compound family (implicit input self-loops included).
+    # Keyed by compound, not block: Q-splits inside a family leave them
+    # valid.  The two-level layout keeps the per-edge work of a compound
+    # round to plain int-keyed dict hits instead of 3-tuple hashing.
+    counts: Dict[Tuple[int, int], Dict[int, int]] = {}
+    for state in range(num_states):
+        for aid, _target in model.interactive_pairs(state):
+            per_state = counts.get((0, aid))
+            if per_state is None:
+                per_state = counts[(0, aid)] = {}
+            per_state[state] = per_state.get(state, 0) + 1
+        for aid in input_gaps[state]:
+            per_state = counts.get((0, aid))
+            if per_state is None:
+                per_state = counts[(0, aid)] = {}
+            per_state[state] = per_state.get(state, 0) + 1
+
+    compound_of: Dict[int, int] = {block: 0 for block in part.blocks()}
+    compound_blocks: List[Set[int]] = [set(part.blocks())]
+
+    def register_split(parent: int, new_block: int, push) -> None:
+        """Bookkeeping for one Q-split: compound membership + rate worklist."""
+        cid = compound_of[parent]
+        compound_of[new_block] = cid
+        family = compound_blocks[cid]
+        family.add(new_block)
+        if len(family) == 2:
+            push(("compound", cid))
+        push(("rates", parent))
+        push(("rates", new_block))
+
+    def process_compound(cid: int, push) -> None:
+        family = compound_blocks[cid]
+        if len(family) < 2:
+            return  # family already drained by earlier processings
+        iterator = iter(family)
+        first, second = next(iterator), next(iterator)
+        small = first if part.size(first) <= part.size(second) else second
+        family.discard(small)
+        new_cid = len(compound_blocks)
+        compound_blocks.append({small})
+        compound_of[small] = new_cid
+        if len(family) >= 2:
+            push(("compound", cid))
+
+        # Scan only the extracted half's in-edges, bucketing per action.
+        buckets: Dict[int, Dict[int, int]] = {}
+        for target in part.members(small):
             for aid, source in interactive_pred[target]:
-                buckets.setdefault(aid, []).append(source)
+                per_source = buckets.setdefault(aid, {})
+                per_source[source] = per_source.get(source, 0) + 1
             for aid in input_gaps[target]:
-                buckets.setdefault(aid, []).append(target)
-        for sources in buckets.values():
-            for source in sources:
-                part.mark(source)
+                per_source = buckets.setdefault(aid, {})
+                per_source[target] = per_source.get(target, 0) + 1
+        for aid, into_small in buckets.items():
+            # Move the scanned edges' counts from the old family to the new
+            # singleton family; what remains keyed on `cid` counts edges into
+            # the remainder.
+            counts[(new_cid, aid)] = into_small
+            remainder = counts[(cid, aid)]
+            for source, edge_count in into_small.items():
+                remaining = remainder.pop(source) - edge_count
+                if remaining:
+                    remainder[source] = remaining
+            if not remainder:
+                # Every counted edge went into `small`: nothing points at
+                # the remainder, so the three-way key below is constant.
+                del counts[(cid, aid)]
+
+            part.mark_all(list(into_small), assume_unique=True)
+            if not remainder:
+                for marked, rest in part.split_marked():
+                    if rest >= 0:
+                        register_split(rest, marked, push)
+                continue
             for marked, rest in part.split_marked():
                 if rest >= 0:
-                    push(marked)
-                    push(rest)
+                    register_split(rest, marked, push)
+                # Three-way: the marked part (edges into `small`) still
+                # splits by "also has edges into the remainder".
+                created = part.split_by_key(
+                    marked, lambda source: source in remainder
+                )
+                for block in created:
+                    register_split(marked, block, push)
 
-        # Markovian: aggregate each predecessor's rate into the splitter and
-        # split the touched blocks by the canonical rate value.  Rates from
-        # states inside the splitter are skipped — ordinary lumpability does
-        # not constrain movement within a class (the signature engine skips
-        # the own-block rates for the same reason).
+    def process_rates(splitter: int, push) -> None:
+        # Aggregate each predecessor's rate into the splitter and split the
+        # touched blocks by the canonical rate value.  Rates from states
+        # inside the splitter are skipped — ordinary lumpability does not
+        # constrain movement within a class (the signature engine skips the
+        # own-block rates for the same reason).
+        states = part.members(splitter)  # snapshot: valid across splits
+        splitter_set = set(states)
         weights: Dict[int, float] = {}
         for target in states:
             for source, rate in markovian_pred[target]:
@@ -236,25 +381,32 @@ def _strong_partition_splitter(
                 weights[source] = weights.get(source, 0.0) + rate
         if not weights:
             return
-        for source in weights:
-            part.mark(source)
+        part.mark_all(list(weights), assume_unique=True)
 
         def rate_key(source: int) -> float:
             return canonical_rate(weights[source], rate_digits)
 
         for marked, rest in part.split_marked():
             # The marked part holds exactly the positive-weight states of one
-            # former block; subdivide it further by rate value.  Only blocks
-            # whose membership actually changed re-enter the worklist.
-            created = part.split_by_key(marked, rate_key)
+            # former block; subdivide it further by rate value.
             if rest >= 0:
-                push(rest)
-            if rest >= 0 or created:
-                push(marked)
+                register_split(rest, marked, push)
+            created = part.split_by_key(marked, rate_key)
             for block in created:
-                push(block)
+                register_split(marked, block, push)
 
-    refine(list(part.blocks()), process)
+    def process(splitter, push) -> None:
+        kind, index = splitter
+        if kind == "compound":
+            process_compound(index, push)
+        else:
+            process_rates(index, push)
+
+    seeds: List[Tuple[str, int]] = []
+    if len(compound_blocks[0]) >= 2:
+        seeds.append(("compound", 0))
+    seeds.extend(("rates", block) for block in part.blocks())
+    refine(seeds, process)
     return part.as_sets()
 
 
@@ -474,6 +626,73 @@ class _WeakSplitterEngine:
                 for target, rate in model.markovian_dict(state).items():
                     self.stable_pred[target].append((state, rate))
 
+        # ---- CSR indexes for the vectorised refinement loop --------------
+        # Visible in-edges grouped by target SCC (already deduplicated per
+        # target by the set build above): one flat (aid, source) array pair
+        # plus offsets, so "all in-edges of a closure" is a single
+        # repeat/cumsum gather instead of a Python loop over SCCs.
+        edge_aid: List[int] = []
+        edge_src: List[int] = []
+        edge_counts = np.zeros(num_sccs + 1, dtype=np.int64)
+        for target in range(num_sccs):
+            edges = self.visible_in[target]
+            edge_counts[target + 1] = len(edges)
+            for aid, source in edges:
+                edge_aid.append(aid)
+                edge_src.append(source)
+        self._edge_aid = np.asarray(edge_aid, dtype=np.int64)
+        self._edge_src = np.asarray(edge_src, dtype=np.int64)
+        self._edge_off = np.cumsum(edge_counts)
+        # Input gaps per SCC, same layout (the "source" of a gap edge is the
+        # SCC itself — the implicit input self-loop).
+        gap_aid: List[int] = []
+        gap_scc: List[int] = []
+        gap_counts = np.zeros(num_sccs + 1, dtype=np.int64)
+        for scc in range(num_sccs):
+            gaps = self.input_gaps[scc]
+            gap_counts[scc + 1] = len(gaps)
+            for aid in gaps:
+                gap_aid.append(aid)
+                gap_scc.append(scc)
+        self._gap_aid = np.asarray(gap_aid, dtype=np.int64)
+        self._gap_scc = np.asarray(gap_scc, dtype=np.int64)
+        self._gap_off = np.cumsum(gap_counts)
+        # Exclusive upper bound on the action ids above (the boolean
+        # dedup/group scatter of the vectorised path is (bound, num_sccs)).
+        top = 0
+        if self._edge_aid.size:
+            top = int(self._edge_aid.max()) + 1
+        if self._gap_aid.size:
+            top = max(top, int(self._gap_aid.max()) + 1)
+        self._aid_bound = top
+        # Units are created in ascending-SCC order, so the units of SCC `s`
+        # are exactly the contiguous id range [_unit_off[s], _unit_off[s+1]).
+        unit_counts = np.zeros(num_sccs + 1, dtype=np.int64)
+        for scc, units in enumerate(self.scc_units):
+            unit_counts[scc + 1] = len(units)
+        self._unit_off = np.cumsum(unit_counts)
+        self._unit_scc_arr = np.asarray(self.unit_scc, dtype=np.int64)
+        #: Scratch: composite predicate code per unit, valid for the units
+        #: scattered during the current mark/split round only.
+        self._unit_code = np.zeros(len(self.unit_states), dtype=np.int64)
+        # Dense backward tau-reachability: bit-packed row `s` holds the SCCs
+        # that tau-reach `s` (uint8 words, MSB-first to match `unpackbits`).
+        # One descending-id sweep (predecessors carry larger ids) ORs each
+        # predecessor row in place, so every later closure query is a word-OR
+        # reduction plus one `unpackbits` instead of a Python BFS.  Memory is
+        # num_sccs^2 *bits*; above the limit the engine falls back to the
+        # memoised BFS on the condensation.
+        self._ancestors: Optional[np.ndarray] = None
+        if 0 < num_sccs <= _DENSE_REACH_LIMIT:
+            width = (num_sccs + 7) >> 3
+            ancestors = np.zeros((num_sccs, width), dtype=np.uint8)
+            for scc in range(num_sccs - 1, -1, -1):
+                row = ancestors[scc]
+                row[scc >> 3] |= 0x80 >> (scc & 7)
+                for predecessor in cond.tau_pred[scc]:
+                    row |= ancestors[predecessor]
+            self._ancestors = ancestors
+
         # ---- partition over units ----------------------------------------
         self.part = RefinablePartition(len(self.unit_states))
         if respect_labels and self.part.num_elements:
@@ -527,27 +746,38 @@ class _WeakSplitterEngine:
         return (old_class, new_class)
 
     # ---------------------------------------------------------------- refining
-    def _mark_and_split(self, sccs: Set[int], push) -> None:
-        """Split every block by membership in the given predicate SCC set."""
+    def _closure_idx(self, seeds) -> np.ndarray:
+        """Backward tau-closure of the seed SCCs as an index array."""
+        ancestors = self._ancestors
+        if ancestors is not None:
+            seed_list = seeds if isinstance(seeds, np.ndarray) else list(seeds)
+            if len(seed_list) == 1:
+                packed = ancestors[int(seed_list[0])]
+            else:
+                packed = np.bitwise_or.reduce(ancestors[seed_list], axis=0)
+            bits = np.unpackbits(packed, count=self.condensation.num_sccs)
+            return np.flatnonzero(bits)
+        closure = self.condensation.backward_closure_cached(
+            seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
+        )
+        return np.fromiter(closure, dtype=np.int64, count=len(closure))
+
+    def _track_dirty(self, moved: List[int], push) -> None:
+        """Queue rate-vector re-bucketing after the pieces in ``moved`` split off.
+
+        Exactly the rate vectors referencing the moved states change: their
+        stable Markovian predecessors (wherever those live — this covers
+        stable units left behind in the id-keeping remainder with rates into
+        a moved piece), plus the moved stable units themselves (their
+        own-class exclusion now ends at the new block boundary).  They are
+        re-bucketed lazily, in batch, when the next rate-class splitter is
+        dequeued.
+        """
         part = self.part
-        for scc in sccs:
-            for unit in self.scc_units[scc]:
-                part.mark(unit)
         dirty = self._dirty
-        for marked, rest in part.split_marked():
-            if rest < 0:
-                continue  # the whole block satisfied the predicate
-            push(("block", marked))
-            push(("block", rest))
-            # Exactly the rate vectors referencing the moved states change:
-            # their stable Markovian predecessors (wherever those live — this
-            # covers stable units left behind in `rest` with rates into the
-            # moved half), plus the moved stable units themselves (their
-            # own-class exclusion now ends at the new block boundary).  They
-            # are re-bucketed lazily, in batch, when the next rate-class
-            # splitter is dequeued.
-            freshly_dirty = []
-            for unit in part.members(marked):
+        freshly_dirty = []
+        for piece in moved:
+            for unit in part.members(piece):
                 if self.unit_stable[unit] and unit not in dirty:
                     dirty.add(unit)
                     freshly_dirty.append(unit)
@@ -557,8 +787,209 @@ class _WeakSplitterEngine:
                         if source_unit not in dirty:
                             dirty.add(source_unit)
                             freshly_dirty.append(source_unit)
-            for unit in freshly_dirty:
-                push(("rates", self.class_of[unit]))
+        for unit in freshly_dirty:
+            push(("rates", self.class_of[unit]))
+
+    #: Composite codes carry one predicate per bit of an int64 scatter
+    #: buffer; splitters with more predicates fall back to sequential
+    #: chunks (equivalent refinement, one extra mark/split round per chunk).
+    _CODE_BITS = 62
+
+    #: A splitter whose packed tau-closure has at most this many non-zero
+    #: bytes takes the scalar path: dict/set bookkeeping beats the
+    #: vectorised gather pipeline's fixed per-call numpy overhead on the
+    #: small closures that dominate refinement of bushy products, while
+    #: deep tau-chains (large closures) keep the vectorised path.
+    _SPARSE_BYTES = 48
+
+    def _finish_binary(self, push) -> None:
+        """Split every touched block into marked/unmarked and re-enqueue."""
+        for marked, rest in self.part.split_marked():
+            if rest < 0:
+                continue  # the whole block satisfied the predicate
+            push(("block", marked))
+            push(("block", rest))
+            self._track_dirty([marked], push)
+
+    def _finish_codes(self, key_of, push) -> None:
+        """Split every touched block by its members' codes and re-enqueue.
+
+        Splitting each dirty block by its members' composite codes is
+        equivalent to splitting by each predicate in sequence — both reach
+        the common refinement and every created piece is re-enqueued — but
+        costs a single mark/split cycle per splitter instead of one per
+        predicate.
+        """
+        part = self.part
+        for marked, rest in part.split_marked():
+            created = part.split_by_key(marked, key_of)
+            if rest < 0:
+                if not created:
+                    continue  # uniform codes across the whole block
+                pieces = [marked, *created]
+                moved = created
+            else:
+                pieces = [rest, marked, *created]
+                moved = [marked, *created]
+            for piece in pieces:
+                push(("block", piece))
+            self._track_dirty(moved, push)
+
+    def _or_rows(self, ids: List[int]) -> np.ndarray:
+        """OR of the packed ancestor rows ``ids`` (chained ``|`` for small
+        sets — ``ufunc.reduce`` carries ~10x the fixed overhead there)."""
+        ancestors = self._ancestors
+        if len(ids) == 1:
+            return ancestors[ids[0]]
+        if len(ids) <= 8:
+            acc = ancestors[ids[0]] | ancestors[ids[1]]
+            for scc in ids[2:]:
+                acc |= ancestors[scc]
+            return acc
+        return np.bitwise_or.reduce(ancestors[ids], axis=0)
+
+    @staticmethod
+    def _decode(packed: np.ndarray, nzb: np.ndarray) -> List[int]:
+        """Set bits of a packed row as a sorted id list (sparse byte walk)."""
+        out: List[int] = []
+        extend = out.extend
+        for base, byte in zip((nzb << 3).tolist(), packed[nzb].tolist()):
+            extend(base + offset for offset in _BYTE_BITS[byte])
+        return out
+
+    def _apply_binary(self, sccs: np.ndarray, push) -> None:
+        """Split every block by membership in the single predicate ``sccs``."""
+        units = _csr_flat(self._unit_off, sccs)
+        if units.size:
+            self.part.mark_all(units, assume_unique=True)
+            self._finish_binary(push)
+
+    def _apply_binary_seq(self, reach, push) -> None:
+        """Binary split by a small iterable of closure SCCs (scalar marks)."""
+        mark = self.part.mark
+        scc_units = self.scc_units
+        for scc in reach:
+            for unit in scc_units[scc]:
+                mark(unit)
+        self._finish_binary(push)
+
+    def _scatter_and_split(self, sccs: np.ndarray, codes: np.ndarray, push) -> None:
+        """One vectorised mark/split round over the touched SCCs and codes."""
+        part = self.part
+        unit_off = self._unit_off
+        units = _csr_flat(unit_off, sccs)
+        if not units.size:
+            return
+        counts = unit_off[sccs + 1] - unit_off[sccs]
+        unit_code = self._unit_code
+        unit_code[units] = np.repeat(codes, counts)
+        part.mark_all(units, assume_unique=True)
+        self._finish_codes(unit_code.__getitem__, push)
+
+    def _apply_codes(self, predicates: List[np.ndarray], push) -> None:
+        """Fold closure index-array ``predicates`` into codes and split."""
+        for begin in range(0, len(predicates), self._CODE_BITS):
+            chunk = predicates[begin : begin + self._CODE_BITS]
+            if len(chunk) == 1:
+                self._apply_binary(chunk[0], push)
+                continue
+            idx = np.concatenate(chunk)
+            if not idx.size:
+                continue
+            bits = np.concatenate(
+                [
+                    np.full(pred.size, 1 << position, dtype=np.int64)
+                    for position, pred in enumerate(chunk)
+                ]
+            )
+            order = np.argsort(idx, kind="stable")
+            idx = idx[order]
+            bits = bits[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(idx[1:] != idx[:-1]) + 1)
+            )
+            self._scatter_and_split(
+                idx[starts], np.bitwise_or.reduceat(bits, starts), push
+            )
+
+    def _process_sparse(self, reach: List[int], push) -> None:
+        """Scalar path for splitters with small tau-closures.
+
+        Builds the visible-action predicates with dict/set bookkeeping and
+        marks units one by one — on the ~tens-of-SCCs closures that dominate
+        refinement this beats the vectorised pipeline's fixed numpy call
+        overhead — then runs the same composite-code mark/split rounds as
+        the dense path.
+        """
+        visible_in = self.visible_in
+        input_gaps = self.input_gaps
+        buckets: Dict[int, Set[int]] = {}
+        for scc in reach:
+            for aid, source in visible_in[scc]:
+                bucket = buckets.get(aid)
+                if bucket is None:
+                    buckets[aid] = {source}
+                else:
+                    bucket.add(source)
+            for aid in input_gaps[scc]:
+                bucket = buckets.get(aid)
+                if bucket is None:
+                    buckets[aid] = {scc}
+                else:
+                    bucket.add(scc)
+        if not buckets:
+            self._apply_binary_seq(reach, push)
+            return
+        predicates: List[List[int]] = [reach]
+        for sources in buckets.values():
+            packed = self._or_rows(list(sources))
+            predicates.append(self._decode(packed, packed.nonzero()[0]))
+        mark = self.part.mark
+        scc_units = self.scc_units
+        for begin in range(0, len(predicates), self._CODE_BITS):
+            chunk = predicates[begin : begin + self._CODE_BITS]
+            if len(chunk) == 1:
+                self._apply_binary_seq(chunk[0], push)
+                continue
+            codes: Dict[int, int] = {}
+            get = codes.get
+            bit = 1
+            for predicate in chunk:
+                for scc in predicate:
+                    codes[scc] = get(scc, 0) | bit
+                bit <<= 1
+            unit_code: Dict[int, int] = {}
+            for scc, value in codes.items():
+                for unit in scc_units[scc]:
+                    mark(unit)
+                    unit_code[unit] = value
+            self._finish_codes(unit_code.__getitem__, push)
+
+    def _apply_codes(self, predicates: List[np.ndarray], push) -> None:
+        """Fold closure index-array ``predicates`` into codes and split."""
+        for begin in range(0, len(predicates), self._CODE_BITS):
+            chunk = predicates[begin : begin + self._CODE_BITS]
+            if len(chunk) == 1:
+                self._apply_binary(chunk[0], push)
+                continue
+            idx = np.concatenate(chunk)
+            if not idx.size:
+                continue
+            bits = np.concatenate(
+                [
+                    np.full(pred.size, 1 << position, dtype=np.int64)
+                    for position, pred in enumerate(chunk)
+                ]
+            )
+            order = np.argsort(idx, kind="stable")
+            idx = idx[order]
+            bits = bits[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(idx[1:] != idx[:-1]) + 1)
+            )
+            self._scatter_and_split(
+                idx[starts], np.bitwise_or.reduceat(bits, starts), push
+            )
 
     def _flush_dirty(self, push) -> None:
         """Re-bucket every stale stable unit; re-enqueue the changed classes."""
@@ -570,34 +1001,131 @@ class _WeakSplitterEngine:
         self._dirty.clear()
 
     def _process(self, splitter, push) -> None:
-        cond = self.condensation
         kind, index = splitter
+        ancestors = self._ancestors
         if kind == "rates":
             self._flush_dirty(push)
             members = self.class_members[index]
             if not members:
                 return  # class emptied by re-bucketing
             seeds = {self.unit_scc[unit] for unit in members}
-            self._mark_and_split(cond.backward_closure(seeds), push)
+            if ancestors is None:
+                self._apply_binary(self._closure_idx(frozenset(seeds)), push)
+                return
+            packed = self._or_rows(list(seeds))
+            nzb = packed.nonzero()[0]
+            if nzb.size <= self._SPARSE_BYTES:
+                self._apply_binary_seq(self._decode(packed, nzb), push)
+            else:
+                self._apply_binary(
+                    np.flatnonzero(
+                        np.unpackbits(packed, count=self.condensation.num_sccs)
+                    ),
+                    push,
+                )
             return
 
         units = self.part.members(index)  # snapshot
-        seeds = {self.unit_scc[unit] for unit in units}
-        reach = cond.backward_closure(seeds)
-        # tau predicate: can reach the splitter via internal moves alone.
-        self._mark_and_split(set(reach), push)
-        # visible predicates: a weak `a` move into the splitter is an `a`
-        # transition whose target tau-reaches the splitter (reach), taken
-        # from any state that tau-reaches the transition's source; implicit
-        # input self-loops contribute the gap SCCs inside `reach` themselves.
-        buckets: Dict[int, Set[int]] = {}
-        for scc in reach:
-            for aid, source in self.visible_in[scc]:
-                buckets.setdefault(aid, set()).add(source)
-            for aid in self.input_gaps[scc]:
-                buckets.setdefault(aid, set()).add(scc)
-        for sources in buckets.values():
-            self._mark_and_split(cond.backward_closure(sources), push)
+        # tau predicate (first entry): can reach the splitter via internal
+        # moves alone.  Visible predicates (one per action): a weak `a` move
+        # into the splitter is an `a` transition whose target tau-reaches the
+        # splitter, taken from any state that tau-reaches the transition's
+        # source; implicit input self-loops contribute the gap SCCs inside
+        # the reach themselves.
+        num_sccs = self.condensation.num_sccs
+        if ancestors is None:
+            self._process_fallback(units, push)
+            return
+        if len(units) == 1:
+            tau_packed = ancestors[self.unit_scc[units[0]]]
+        elif len(units) <= 8:
+            tau_packed = self._or_rows([self.unit_scc[unit] for unit in units])
+        else:
+            tau_packed = np.bitwise_or.reduce(
+                ancestors[self._unit_scc_arr[units]], axis=0
+            )
+        nzb = tau_packed.nonzero()[0]
+        if nzb.size <= self._SPARSE_BYTES:
+            self._process_sparse(self._decode(tau_packed, nzb), push)
+            return
+        # Vectorised path for large closures (deep tau structure): the CSR
+        # gathers pull every in-edge of the closure in one shot, a stable
+        # argsort groups them by action, and the packed ancestor rows are
+        # OR-reduced per group (2-D ``reduceat`` is pathologically slow
+        # here, a per-group ``reduce`` over the contiguous gather is not);
+        # membership is then tested only on the SCCs of the union, so no
+        # predicate pays an O(num_sccs) scan of its own.
+        reach = np.flatnonzero(np.unpackbits(tau_packed, count=num_sccs))
+        flat = _csr_flat(self._edge_off, reach)
+        aids = self._edge_aid[flat]
+        sources = self._edge_src[flat]
+        gap_flat = _csr_flat(self._gap_off, reach)
+        if gap_flat.size:
+            aids = np.concatenate([aids, self._gap_aid[gap_flat]])
+            sources = np.concatenate([sources, self._gap_scc[gap_flat]])
+        if not aids.size:
+            self._apply_binary(reach, push)
+            return
+        # Dedup + group by action via one boolean scatter — a hash-based
+        # `np.unique` on a combined key is far slower on the big splitters
+        # that reach this path, and the same source feeds many closure
+        # targets, so every duplicate would gather a full ancestor row in
+        # the per-group OR below.
+        seen = np.zeros((self._aid_bound, num_sccs), dtype=bool)
+        seen[aids, sources] = True
+        groups = np.flatnonzero(seen.any(axis=1))
+        group_packed = np.empty((groups.size, ancestors.shape[1]), dtype=np.uint8)
+        for position, aid in enumerate(groups.tolist()):
+            srcs = seen[aid].nonzero()[0]
+            if srcs.size == 1:
+                group_packed[position] = ancestors[srcs[0]]
+            else:
+                np.bitwise_or.reduce(
+                    ancestors[srcs], axis=0, out=group_packed[position]
+                )
+        all_packed = np.concatenate([tau_packed[None, :], group_packed], axis=0)
+        for begin in range(0, all_packed.shape[0], self._CODE_BITS):
+            chunk = all_packed[begin : begin + self._CODE_BITS]
+            if chunk.shape[0] == 1:
+                self._apply_binary(
+                    np.flatnonzero(np.unpackbits(chunk[0], count=num_sccs)), push
+                )
+                continue
+            union = np.bitwise_or.reduce(chunk, axis=0)
+            touched = np.flatnonzero(np.unpackbits(union, count=num_sccs))
+            membership = (chunk[:, touched >> 3] & _BIT_MASK[touched & 7]) != 0
+            codes = _CODE_WEIGHTS[: chunk.shape[0]] @ membership
+            self._scatter_and_split(touched, codes, push)
+
+    def _process_fallback(self, units: List[int], push) -> None:
+        """Block-splitter path when the packed reach matrix is unavailable
+        (models above ``_DENSE_REACH_LIMIT``): memoised BFS closures per
+        (action, sources) group, folded into composite codes."""
+        num_sccs = self.condensation.num_sccs
+        seeds = frozenset(self.unit_scc[unit] for unit in units)
+        reach = self._closure_idx(seeds)
+        flat = _csr_flat(self._edge_off, reach)
+        aids = self._edge_aid[flat]
+        sources = self._edge_src[flat]
+        gap_flat = _csr_flat(self._gap_off, reach)
+        if gap_flat.size:
+            aids = np.concatenate([aids, self._gap_aid[gap_flat]])
+            sources = np.concatenate([sources, self._gap_scc[gap_flat]])
+        if not aids.size:
+            self._apply_binary(reach, push)
+            return
+        key = np.unique(aids * num_sccs + sources)
+        group_src = key % num_sccs
+        group_aid = key // num_sccs
+        starts = np.concatenate(
+            ([0], np.flatnonzero(group_aid[1:] != group_aid[:-1]) + 1)
+        )
+        predicates = [reach]
+        bounds = [*starts.tolist(), key.size]
+        for position in range(len(bounds) - 1):
+            group = group_src[bounds[position] : bounds[position + 1]]
+            predicates.append(self._closure_idx(group))
+        self._apply_codes(predicates, push)
 
     def _run(self) -> None:
         if self._refined:
@@ -649,11 +1177,14 @@ def quotient_strong(model: IOIMC, partition: Partition, name: str | None = None)
         quotient.add_state(labels=model.labels(rep), name=f"B{block_id}")
     for block_id, block in enumerate(partition):
         rep = representatives[block_id]
+        pairs: Dict[Tuple[int, int], None] = {}
         for aid, target in model.interactive_pairs(rep):
             target_block = block_of[target]
             if target_block == block_id and aid in input_ids:
                 continue  # implicit input self-loop
-            quotient.add_interactive_id(block_id, aid, target_block)
+            pairs[(aid, target_block)] = None
+        if pairs:
+            quotient._add_interactive_bulk(block_id, list(pairs))
         rates: Dict[int, float] = {}
         for target, rate in model.markovian_dict(rep).items():
             if block_of[target] == block_id:
@@ -701,23 +1232,34 @@ def _build_weak_quotient(
             reach |= tau_blocks[successor]
         tau_blocks[scc] = intern(reach)
     visible: List[Dict[int, FrozenSet[int]]] = [{} for _ in range(num_sccs)]
+
+    def merge(per_action: Dict[int, FrozenSet[int]], aid: int, blocks: FrozenSet[int]) -> None:
+        # Every value is an interned frozenset, so equal sets are the same
+        # object and the identity/subset checks skip most re-unions on
+        # shared tau-chain tails.
+        current = per_action.get(aid)
+        if current is None:
+            per_action[aid] = blocks
+        elif current is not blocks and not blocks <= current:
+            per_action[aid] = intern(current | blocks)
+
     for scc in range(num_sccs):  # id order again: tau successors come first
-        per_action: Dict[int, Set[int]] = {}
+        per_action: Dict[int, FrozenSet[int]] = {}
         for successor in condensation.tau_succ[scc]:
             for aid, blocks in visible[successor].items():
-                per_action.setdefault(aid, set()).update(blocks)
+                merge(per_action, aid, blocks)
         closure_blocks = tau_blocks[scc]
         for state in condensation.members[scc]:
             for aid, target in model.interactive_pairs(state):
                 if aid in internal_ids:
                     continue
-                per_action.setdefault(aid, set()).update(tau_blocks[scc_of[target]])
+                merge(per_action, aid, tau_blocks[scc_of[target]])
             if input_ids:
                 enabled = model.enabled_ids(state)
                 for aid in input_ids:
                     if aid not in enabled:
-                        per_action.setdefault(aid, set()).update(closure_blocks)
-        visible[scc] = {aid: intern(blocks) for aid, blocks in per_action.items()}
+                        merge(per_action, aid, closure_blocks)
+        visible[scc] = per_action
 
     stable = [model.is_stable(state) for state in model.states()]
     internal_actions = sorted(model.signature.internals)
@@ -732,12 +1274,13 @@ def _build_weak_quotient(
         rep = min(block)
         rep_scc = scc_of[rep]
 
+        pairs: List[Tuple[int, int]] = []
         for aid, target_blocks in visible[rep_scc].items():
             is_input = aid in input_ids
             for target_block in sorted(target_blocks):
                 if target_block == block_id and is_input:
                     continue  # implicit input self-loop
-                quotient.add_interactive_id(block_id, aid, target_block)
+                pairs.append((aid, target_block))
 
         tau_targets = set(tau_blocks[rep_scc]) - {block_id}
         if tau_targets and tau_id is None:
@@ -745,7 +1288,9 @@ def _build_weak_quotient(
                 "internal moves present but the signature declares no internal action"
             )
         for target_block in sorted(tau_targets):
-            quotient.add_interactive_id(block_id, tau_id, target_block)
+            pairs.append((tau_id, target_block))
+        if pairs:
+            quotient._add_interactive_bulk(block_id, pairs)
 
         stable_member = next((state for state in sorted(block) if stable[state]), None)
         if stable_member is not None:

@@ -176,6 +176,22 @@ class IOIMC:
         if mask >= 0:
             self._emask_cache[source] = mask | (1 << aid)
 
+    def _add_interactive_bulk(
+        self, source: int, pairs: List[Tuple[int, int]]
+    ) -> None:
+        """Append pre-deduplicated ``(aid, target)`` pairs in one shot.
+
+        Quotient-construction fast path: the caller guarantees the pairs are
+        distinct, the targets valid and the ids in the signature, so the
+        per-pair bucket lookups of :meth:`add_interactive_id` are skipped and
+        the per-state caches are simply reset.
+        """
+        self._itrans[source].extend(pairs)
+        self._num_itrans += len(pairs)
+        self._on_cache[source] = None
+        self._enabled_cache[source] = None
+        self._emask_cache[source] = -1
+
     def add_markovian(self, source: int, rate: float, target: int) -> None:
         """Add a Markovian transition; parallel transitions accumulate rates."""
         self._check_state(source)
@@ -356,6 +372,50 @@ class IOIMC:
                     raise ModelError(
                         f"Markovian transition from {state} targets missing state {target}"
                     )
+
+    # ---------------------------------------------------------------- pickling
+    # Interned action ids are only meaningful inside the process that created
+    # them (see :class:`~repro.ioimc.actions.ActionInterner`), so a model
+    # crosses process boundaries *by name*: the state carries an
+    # ``old id -> action name`` table for every id the adjacency uses, and
+    # unpickling re-interns the names and remaps the transitions.  Under a
+    # forked worker the two tables usually coincide and the remap is a no-op.
+
+    def __getstate__(self) -> dict:
+        used = {aid for pairs in self._itrans for aid, _target in pairs}
+        names = ACTIONS.name
+        return {
+            "name": self.name,
+            "signature": self.signature,
+            "itrans": self._itrans,
+            "mtrans": self._mtrans,
+            "labels": self._labels,
+            "state_names": self._state_names,
+            "initial": self._initial,
+            "actions": {aid: names(aid) for aid in used},
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        remap = {
+            old: intern_action(name) for old, name in state["actions"].items()
+        }
+        itrans = state["itrans"]
+        if any(old != new for old, new in remap.items()):
+            itrans = [
+                [(remap[aid], target) for aid, target in pairs] for pairs in itrans
+            ]
+        self.name = state["name"]
+        self.signature = state["signature"]
+        self._itrans = itrans
+        self._mtrans = state["mtrans"]
+        self._labels = state["labels"]
+        self._state_names = state["state_names"]
+        self._initial = state["initial"]
+        self._num_itrans = sum(len(pairs) for pairs in itrans)
+        num = len(itrans)
+        self._on_cache = [None] * num
+        self._enabled_cache = [None] * num
+        self._emask_cache = [-1] * num
 
     # -------------------------------------------------------- transformations
     def _skeleton(self, name: Optional[str] = None, signature: Optional[ActionSignature] = None) -> "IOIMC":

@@ -13,33 +13,49 @@ elements (``_elems``) in which every block occupies a contiguous slice, so
 
 * membership tests, block sizes and block iteration are O(1)/O(block),
 * *marking* an element moves it into the marked prefix of its block with a
-  single swap,
+  single swap — and :meth:`RefinablePartition.mark_all` performs a whole
+  batch of marks with vectorised numpy index arithmetic instead of
+  per-element Python swaps,
 * splitting the marked elements off every touched block, or splitting one
   block into its groups of equal key (the Valmari-Franceschinis counter
-  split for Markovian rates), costs time proportional to the elements moved
-  — never to the whole state space.
+  split for Markovian rates, implemented as a stable ``np.argsort`` over
+  group codes with ``np.bincount`` group sizing), costs time proportional
+  to the elements moved — never to the whole state space.
+
+The element permutation, locations and block-membership tables are numpy
+``int64`` arrays: bulk marks, block reassignment after a split and the
+key-group reordering are single fancy-indexing operations, which is what
+keeps the per-split constant small on the multi-thousand-state intermediate
+products of compositional aggregation.
 
 On top of the structure, :func:`refine` runs a generic worklist-of-splitters
 loop: the caller processes one splitter at a time (marking predecessors and
-splitting the touched blocks) and re-enqueues the blocks it changed; the
-loop ends when no splitter is pending, i.e. the partition is stable.  Unlike
-the textbook Paige-Tarjan scheme this implementation re-enqueues *both*
-halves of every split (instead of all-but-the-largest), trading the
-O(m log n) worst case for a much simpler invariant; each round still only
-costs time proportional to the splitter's in-edges, which is what matters on
-the tau-heavy intermediate products of compositional aggregation.
+splitting the touched blocks) and enqueues the splitters its policy
+requires.  The strong engine in :mod:`repro.ioimc.bisimulation` runs the
+textbook Paige-Tarjan discipline on top of it — compound splitter families
+from which only the *smaller* sub-block's in-edges are ever scanned, with
+per-(compound, action, state) edge counts funding the three-way split — so
+the interactive refinement meets the O(m log n) bound; the weak engine
+enqueues both halves (its splitters are tau-closure sweeps, for which no
+count-based complement trick applies) but memoises the backward closures.
 
 :class:`TauCondensation` complements the partition for *weak* bisimulation:
 an iterative Tarjan pass condenses the internal(tau)-transition graph into
 its strongly connected components, so tau-closures are represented once per
 SCC (as reachability over the condensation DAG) instead of one frozenset per
 state — the quadratic-memory failure mode of tau-chains never materialises.
+Backward closures that the weak engine requests repeatedly (the same
+(tau-SCC x label) splitter units re-enter the worklist many times on
+tau-heavy products) are memoised in a bounded LRU
+(:attr:`CLOSURE_CACHE_LIMIT` entries), so the cache stays linear in the
+number of SCCs even on tau-chains where each individual closure is O(n).
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
+from array import array as _array
+from collections import OrderedDict, deque
 from typing import (
     Callable,
     Dict,
@@ -51,6 +67,8 @@ from typing import (
     Set,
     Tuple,
 )
+
+import numpy as np
 
 from .rates import ParametricRate
 
@@ -94,12 +112,36 @@ class RefinablePartition:
     shrink, which the refinement algorithms rely on).
     """
 
-    __slots__ = ("_elems", "_loc", "_block_of", "_start", "_end", "_marked", "_touched")
+    __slots__ = (
+        "_elems",
+        "_loc",
+        "_block_of",
+        "_elems_l",
+        "_loc_l",
+        "_block_l",
+        "_start",
+        "_end",
+        "_marked",
+        "_touched",
+    )
 
     def __init__(self, num_elements: int):
-        self._elems: List[int] = list(range(num_elements))
-        self._loc: List[int] = list(range(num_elements))
-        self._block_of: List[int] = [0] * num_elements
+        # Dual storage: ``array('q')`` backing plus zero-copy numpy views of
+        # the same memory.  Scalar operations (single marks, small splits)
+        # index the ``array`` — native Python ints, no numpy scalar boxing —
+        # while bulk operations fancy-index the views; writes through either
+        # side are immediately visible to the other.
+        self._elems_l = _array("q", range(num_elements))
+        self._loc_l = _array("q", range(num_elements))
+        self._block_l = _array("q", bytes(8 * num_elements))
+        if num_elements:
+            self._elems: np.ndarray = np.frombuffer(self._elems_l, dtype=np.int64)
+            self._loc: np.ndarray = np.frombuffer(self._loc_l, dtype=np.int64)
+            self._block_of: np.ndarray = np.frombuffer(self._block_l, dtype=np.int64)
+        else:
+            self._elems = np.empty(0, dtype=np.int64)
+            self._loc = np.empty(0, dtype=np.int64)
+            self._block_of = np.empty(0, dtype=np.int64)
         self._start: List[int] = [0] if num_elements else []
         self._end: List[int] = [num_elements] if num_elements else []
         #: Per block: number of marked elements (they occupy the block prefix).
@@ -120,14 +162,18 @@ class RefinablePartition:
         return range(len(self._start))
 
     def block_of(self, element: int) -> int:
-        return self._block_of[element]
+        return self._block_l[element]
 
     def size(self, block: int) -> int:
         return self._end[block] - self._start[block]
 
     def members(self, block: int) -> List[int]:
         """The elements of ``block`` (a snapshot copy, safe across splits)."""
-        return self._elems[self._start[block] : self._end[block]]
+        return self._elems_l[self._start[block] : self._end[block]].tolist()
+
+    def member_array(self, block: int) -> np.ndarray:
+        """The elements of ``block`` as a fresh ``int64`` array snapshot."""
+        return self._elems[self._start[block] : self._end[block]].copy()
 
     def as_sets(self) -> List[FrozenSet[int]]:
         """The partition as frozensets, ordered by smallest member."""
@@ -139,19 +185,101 @@ class RefinablePartition:
     # ----------------------------------------------------------------- splits
     def mark(self, element: int) -> None:
         """Move ``element`` into the marked prefix of its block (idempotent)."""
-        block = self._block_of[element]
-        position = self._loc[element]
+        block = self._block_l[element]
+        position = self._loc_l[element]
         boundary = self._start[block] + self._marked[block]
         if position < boundary:
             return  # already marked
         if self._marked[block] == 0:
             self._touched.append(block)
-        other = self._elems[boundary]
-        self._elems[boundary] = element
-        self._elems[position] = other
-        self._loc[element] = boundary
-        self._loc[other] = position
+        elems = self._elems_l
+        loc = self._loc_l
+        other = elems[boundary]
+        elems[boundary] = element
+        elems[position] = other
+        loc[element] = boundary
+        loc[other] = position
         self._marked[block] += 1
+
+    #: Batches/groups below this size take the scalar swap path: the numpy
+    #: gather/scatter only amortises its fixed call overhead on larger moves.
+    _VECTOR_THRESHOLD = 32
+
+    def mark_all(self, elements, assume_unique: bool = False) -> None:
+        """Mark a whole batch of elements (duplicates allowed) vectorised.
+
+        Equivalent to calling :meth:`mark` per element, but the group of
+        marks landing in one block is applied with numpy fancy indexing: the
+        group members are placed into the slots directly after the block's
+        current marked prefix and the displaced unmarked elements take the
+        group members' old positions — one gather/scatter per touched block
+        instead of one Python swap per element.  Small batches (and small
+        per-block groups of a large batch) fall back to the scalar swap,
+        which beats numpy's per-call overhead there; pass
+        ``assume_unique=True`` to skip the deduplication sort when the batch
+        is known duplicate-free.
+        """
+        if isinstance(elements, list):
+            # Scalar marking is idempotent, so a small list needs neither
+            # the array conversion nor the dedup sort.
+            if len(elements) < self._VECTOR_THRESHOLD:
+                mark = self.mark
+                for element in elements:
+                    mark(element)
+                return
+            batch = np.asarray(elements, dtype=np.int64)
+        else:
+            batch = np.asarray(elements, dtype=np.int64)
+        if batch.size == 0:
+            return
+        if not assume_unique:
+            batch = np.unique(batch)
+        if batch.size < self._VECTOR_THRESHOLD:
+            for element in batch.tolist():
+                self.mark(element)
+            return
+        blocks = self._block_of[batch]
+        order = np.argsort(blocks, kind="stable")
+        batch = batch[order]
+        blocks = blocks[order]
+        bounds = [0, *(np.flatnonzero(blocks[1:] != blocks[:-1]) + 1).tolist(), batch.size]
+        for index in range(len(bounds) - 1):
+            begin, finish = bounds[index], bounds[index + 1]
+            if finish - begin < self._VECTOR_THRESHOLD:
+                for element in batch[begin:finish].tolist():
+                    self.mark(element)
+            else:
+                self._mark_group(int(blocks[begin]), batch[begin:finish])
+
+    def _mark_group(self, block: int, group: np.ndarray) -> None:
+        """Mark a unique ``group`` of elements all living in ``block``."""
+        start = self._start[block]
+        already = self._marked[block]
+        boundary = start + already
+        positions = self._loc[group]
+        # Drop group members that are already marked (inside the prefix).
+        unmarked = positions >= boundary
+        group = group[unmarked]
+        positions = positions[unmarked]
+        count = int(group.size)
+        if count == 0:
+            return
+        if already == 0:
+            self._touched.append(block)
+        # Group members already inside the destination zone stay; the zone
+        # slots they do not occupy receive the movers from further out.
+        in_zone = positions < boundary + count
+        movers = group[~in_zone]
+        old_positions = positions[~in_zone]
+        occupied = np.zeros(count, dtype=bool)
+        occupied[positions[in_zone] - boundary] = True
+        vacated = np.flatnonzero(~occupied) + boundary
+        displaced = self._elems[vacated]
+        self._elems[vacated] = movers
+        self._elems[old_positions] = displaced
+        self._loc[movers] = vacated
+        self._loc[displaced] = old_positions
+        self._marked[block] = already + count
 
     def split_marked(self) -> List[Tuple[int, int]]:
         """Split every touched block into its marked and unmarked part.
@@ -173,8 +301,13 @@ class RefinablePartition:
             self._start.append(start)
             self._end.append(start + marked)
             self._marked.append(0)
-            for position in range(start, start + marked):
-                self._block_of[self._elems[position]] = new_block
+            if marked < self._VECTOR_THRESHOLD:
+                elems = self._elems_l
+                block_map = self._block_l
+                for position in range(start, start + marked):
+                    block_map[elems[position]] = new_block
+            else:
+                self._block_of[self._elems[start : start + marked]] = new_block
             self._start[block] = start + marked
             result.append((new_block, block))
         self._touched.clear()
@@ -187,31 +320,86 @@ class RefinablePartition:
         remaining groups receive fresh ids, which are returned.  Used for the
         multi-way Markovian rate splits (Valmari-Franceschinis) and for the
         initial label partition.
+
+        Keys are factorised into dense group codes (first-seen order), the
+        slice is reordered with one stable ``np.argsort`` over the codes, and
+        the group boundaries fall out of an ``np.bincount`` — the only
+        per-element Python work left is the ``key_of`` call itself.  Small
+        blocks take a scalar grouping path instead: below the vector
+        threshold the numpy argsort/bincount machinery costs more than the
+        handful of swaps it replaces.
         """
         start, end = self._start[block], self._end[block]
+        if end - start <= 1:
+            return []  # a singleton cannot split
+        if end - start <= self._VECTOR_THRESHOLD:
+            return self._split_by_key_scalar(block, start, end, key_of)
+        members = self._elems[start:end].tolist()
+        codes = [0] * len(members)
+        code_of: Dict[Hashable, int] = {}
+        for offset, element in enumerate(members):
+            codes[offset] = code_of.setdefault(key_of(element), len(code_of))
+        if len(code_of) <= 1:
+            return []
+        code_array = np.asarray(codes, dtype=np.int64)
+        order = np.argsort(code_array, kind="stable")
+        reordered = self._elems[start:end][order]  # fancy indexing: a copy
+        self._elems[start:end] = reordered
+        self._loc[reordered] = np.arange(start, end, dtype=np.int64)
+        boundaries = start + np.cumsum(np.bincount(code_array))
+        new_blocks: List[int] = []
+        previous = start
+        for index in range(len(code_of)):
+            finish = int(boundaries[index])
+            if index == 0:
+                target = block
+            else:
+                target = len(self._start)
+                self._start.append(previous)
+                self._end.append(finish)
+                self._marked.append(0)
+                new_blocks.append(target)
+                self._block_of[self._elems[previous:finish]] = target
+            self._start[target] = previous
+            self._end[target] = finish
+            previous = finish
+        return new_blocks
+
+    def _split_by_key_scalar(
+        self, block: int, start: int, end: int, key_of: Callable[[int], Hashable]
+    ) -> List[int]:
+        """Scalar grouping for small blocks — no numpy per-call overhead."""
         groups: Dict[Hashable, List[int]] = {}
-        for position in range(start, end):
-            element = self._elems[position]
-            groups.setdefault(key_of(element), []).append(element)
+        for element in self._elems_l[start:end]:
+            key = key_of(element)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [element]
+            else:
+                bucket.append(element)
         if len(groups) <= 1:
             return []
+        elems, loc, block_map = self._elems_l, self._loc_l, self._block_l
         new_blocks: List[int] = []
         position = start
-        target = block
-        for index, group in enumerate(groups.values()):
-            if index > 0:
+        first = True
+        for bucket in groups.values():
+            begin = position
+            for element in bucket:
+                elems[position] = element
+                loc[element] = position
+                position += 1
+            if first:
+                first = False
+                self._end[block] = position
+            else:
                 target = len(self._start)
-                self._start.append(position)
+                self._start.append(begin)
                 self._end.append(position)
                 self._marked.append(0)
                 new_blocks.append(target)
-            self._start[target] = position
-            for element in group:
-                self._elems[position] = element
-                self._loc[element] = position
-                self._block_of[element] = target
-                position += 1
-            self._end[target] = position
+                for element in bucket:
+                    block_map[element] = target
         return new_blocks
 
 
@@ -222,11 +410,13 @@ def refine(
     """Run a worklist-of-splitters refinement loop until stable.
 
     ``process(splitter, push)`` performs the marking and splitting for one
-    pending splitter and must ``push`` every splitter whose defining set
-    changed (typically both halves of every split block).  Pushes of items
-    already pending are dropped, so re-enqueueing liberally is cheap.  The
-    loop terminates because blocks only ever split: the number of distinct
-    splitter versions is finite.
+    pending splitter and must ``push`` every splitter its refinement policy
+    still owes a processing round — the weak engine pushes both halves of
+    every split, the strong engine runs the Paige-Tarjan compound discipline
+    (only smaller sub-blocks are ever scanned) on top of this loop.  Pushes
+    of items already pending are dropped, so re-enqueueing liberally is
+    cheap.  The loop terminates because blocks only ever split: the number
+    of distinct splitter versions is finite.
     """
     queue: deque = deque()
     pending: Set[Hashable] = set()
@@ -244,6 +434,14 @@ def refine(
         process(item, push)
 
 
+#: Upper bound on memoised backward closures per :class:`TauCondensation`.
+#: A bounded cache keeps the memory of the memo linear in the number of
+#: SCCs on tau-chains (each cached closure can itself be O(n) there) while
+#: still absorbing the repeated (tau-SCC x label) splitter reprocessing of
+#: the weak engine's worklist.
+CLOSURE_CACHE_LIMIT = 64
+
+
 class TauCondensation:
     """Condensation of a model's internal-transition graph.
 
@@ -256,7 +454,7 @@ class TauCondensation:
     closure frozenset per state.
     """
 
-    __slots__ = ("scc_of", "members", "tau_succ", "tau_pred")
+    __slots__ = ("scc_of", "members", "tau_succ", "tau_pred", "_closure_cache")
 
     def __init__(self, model) -> None:
         internal = model.signature.internal_ids
@@ -332,6 +530,7 @@ class TauCondensation:
         for source, targets in enumerate(self.tau_succ):
             for target in targets:
                 self.tau_pred[target].append(source)
+        self._closure_cache: "OrderedDict[FrozenSet[int], FrozenSet[int]]" = OrderedDict()
 
     @property
     def num_sccs(self) -> int:
@@ -348,3 +547,23 @@ class TauCondensation:
                     seen.add(predecessor)
                     frontier.append(predecessor)
         return seen
+
+    def backward_closure_cached(self, seeds: FrozenSet[int]) -> FrozenSet[int]:
+        """Memoised :meth:`backward_closure` for repeatedly requested seeds.
+
+        The weak engine's worklist re-processes the same splitter seed sets
+        many times on tau-heavy products; their closures are immutable, so
+        one frozenset can be shared.  The memo is a bounded LRU of
+        :data:`CLOSURE_CACHE_LIMIT` entries — memory stays linear in the
+        number of SCCs even on tau-chains, where one closure is O(n).
+        """
+        cache = self._closure_cache
+        cached = cache.get(seeds)
+        if cached is not None:
+            cache.move_to_end(seeds)
+            return cached
+        closure = frozenset(self.backward_closure(seeds))
+        cache[seeds] = closure
+        if len(cache) > CLOSURE_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return closure

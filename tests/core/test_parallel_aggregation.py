@@ -1,0 +1,127 @@
+"""Parallel modular aggregation: worker fan-out must be invisible in results.
+
+Independent module groups of the ``modular`` plan collapse in separate worker
+processes; the engine's contract is that the parallel run is *identical* to a
+serial one — same composition steps in the same order, same hidden actions,
+and a structurally identical final model.  Models cross the process boundary
+by pickle, which must remap interned action ids by name (the interner is
+process-local).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import compositional_aggregate, convert
+from repro.core.aggregation import CompositionalAggregationOptions
+from repro.errors import CompositionError
+from repro.ioimc import IOIMC, signature
+from repro.ioimc.actions import intern_action
+from repro.systems import (
+    cardiac_assist_system,
+    cascaded_pand_system,
+    mutually_exclusive_switch,
+)
+
+
+def _demo_model() -> IOIMC:
+    model = IOIMC("demo", signature(inputs=("a",), outputs=("b",), internals=("t",)))
+    for _ in range(3):
+        model.add_state()
+    model.set_initial(0)
+    model.add_interactive(0, "a", 1)
+    model.add_interactive(1, "b", 2)
+    model.add_interactive(0, "t", 2)
+    model.add_markovian(2, 0.5, 0)
+    return model
+
+
+class TestIoimcPickling:
+    def test_round_trip_preserves_structure(self):
+        model = _demo_model()
+        clone = pickle.loads(pickle.dumps(model))
+        clone.validate()
+        assert clone.to_dot() == model.to_dot()
+        assert clone.num_transitions == model.num_transitions
+        assert clone.initial == model.initial
+
+    def test_setstate_remaps_action_ids_by_name(self):
+        # Simulate a receiving process whose interner assigned different ids:
+        # shift every id in the pickled state; __setstate__ must recover the
+        # structure by re-interning the names.
+        model = _demo_model()
+        state = model.__getstate__()
+        shift = 100000
+        state["actions"] = {
+            aid + shift: name for aid, name in state["actions"].items()
+        }
+        state["itrans"] = [
+            [(aid + shift, target) for aid, target in pairs]
+            for pairs in state["itrans"]
+        ]
+        clone = IOIMC.__new__(IOIMC)
+        clone.__setstate__(state)
+        clone.validate()
+        assert clone.to_dot() == model.to_dot()
+
+    def test_signature_pickle_drops_cached_id_views(self):
+        sig = signature(inputs=("px",), outputs=("py",))
+        assert sig.input_ids  # populate the per-process cached view
+        clone = pickle.loads(pickle.dumps(sig))
+        assert "input_ids" not in clone.__dict__  # stale ids must not travel
+        assert clone.inputs == sig.inputs
+        assert clone.input_ids == {intern_action("px")}
+
+
+class TestOptions:
+    def test_processes_must_be_positive(self):
+        with pytest.raises(CompositionError):
+            CompositionalAggregationOptions(processes=0)
+
+    def test_serial_default(self):
+        assert CompositionalAggregationOptions().processes == 1
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [cascaded_pand_system, cardiac_assist_system],
+    ids=lambda maker: maker.__name__,
+)
+class TestParallelModularAggregation:
+    def test_identical_to_serial(self, maker):
+        community = convert(maker())
+        serial, serial_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community
+        )
+        parallel, parallel_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community, processes=2
+        )
+        # Step-for-step identity: same pairs, same hidden actions, same sizes.
+        assert [step.to_dict() for step in serial_stats.steps] == [
+            step.to_dict() for step in parallel_stats.steps
+        ]
+        # Structural identity of the final quotient, not just size equality.
+        assert parallel.to_dot() == serial.to_dot()
+
+
+class TestDegenerateFanOut:
+    def test_single_module_plan_falls_back_to_serial(self):
+        # Fewer than two parallelisable module groups: the engine must run
+        # the plain serial recursion (and still produce the serial result).
+        community = convert(mutually_exclusive_switch())
+        serial, serial_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community
+        )
+        parallel, parallel_stats = compositional_aggregate(
+            community.models(), ordering="modular", community=community, processes=4
+        )
+        assert parallel.to_dot() == serial.to_dot()
+        assert len(parallel_stats.steps) == len(serial_stats.steps)
+
+    def test_flat_orderings_ignore_processes(self):
+        community = convert(cascaded_pand_system())
+        serial, _ = compositional_aggregate(community.models(), ordering="linked")
+        parallel, _ = compositional_aggregate(
+            community.models(), ordering="linked", processes=3
+        )
+        assert parallel.to_dot() == serial.to_dot()

@@ -113,6 +113,41 @@ class TestCsrBuffer:
             skeleton_b.instantiate(into=buffer)
 
 
+class TestDenseLimitResolution:
+    """The dense/sparse crossover: argument > environment > module default."""
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(kernel_module.DENSE_LIMIT_ENV, "999")
+        assert kernel_module.resolve_dense_limit(4) == 4
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv(kernel_module.DENSE_LIMIT_ENV, "17")
+        assert kernel_module.resolve_dense_limit() == 17
+
+    def test_module_default(self, monkeypatch):
+        monkeypatch.delenv(kernel_module.DENSE_LIMIT_ENV, raising=False)
+        assert kernel_module.resolve_dense_limit() == kernel_module.DENSE_STATE_LIMIT
+
+    def test_non_integer_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel_module.DENSE_LIMIT_ENV, "not-a-number")
+        with pytest.raises(AnalysisError):
+            kernel_module.resolve_dense_limit()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(AnalysisError):
+            kernel_module.resolve_dense_limit(-1)
+
+    def test_kernel_threads_dense_limit_through(self):
+        skeleton, declared = tree_skeleton(parametric_tree())
+        forced_sparse = TransientKernel(skeleton, dense_limit=0)
+        default = TransientKernel(skeleton)
+        forced_sparse.load(declared)
+        default.load(declared)
+        sparse_curve = forced_sparse.probability_of_label_curve("failed", TIMES)
+        dense_curve = default.probability_of_label_curve("failed", TIMES)
+        assert sparse_curve == pytest.approx(dense_curve, abs=1e-12)
+
+
 class TestTransientKernel:
     @pytest.mark.parametrize("assignment", ASSIGNMENTS)
     def test_curve_matches_per_sample_instantiation(self, assignment):

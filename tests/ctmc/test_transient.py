@@ -51,6 +51,28 @@ class TestPoissonTerms:
         assert terms.sum() == pytest.approx(1.0, abs=1e-12)
 
 
+class TestPoissonTermsDifferential:
+    """The gammaln log-space path vs the per-term ``scipy.stats`` reference."""
+
+    @pytest.mark.parametrize("rate", [1e-6, 1e-3, 0.1, 1.0, 7.3, 50.0, 400.0, 2500.0])
+    @pytest.mark.parametrize("tolerance", [1e-6, 1e-12])
+    def test_matches_reference_within_1e_minus_12(self, rate, tolerance):
+        from repro.ctmc.transient import poisson_terms_reference
+
+        fast = poisson_terms(rate, tolerance)
+        reference = poisson_terms_reference(rate, tolerance)
+        assert fast.shape == reference.shape  # identical truncation point
+        assert np.max(np.abs(fast - reference)) <= 1e-12
+
+    def test_reference_rejects_bad_inputs_like_the_fast_path(self):
+        from repro.ctmc.transient import poisson_terms_reference
+
+        with pytest.raises(AnalysisError):
+            poisson_terms_reference(-1.0, 1e-12)
+        with pytest.raises(AnalysisError):
+            poisson_terms_reference(1.0, 0.0)
+
+
 class TestTransient:
     def test_matches_matrix_exponential(self):
         chain = erlang_chain()

@@ -1,0 +1,61 @@
+"""Memory regression: the memoised tau-closure cache stays linear on tau-chains.
+
+On a tau-chain of ``n`` SCCs the backward closure of a seed near the sink is
+``O(n)``; querying every singleton seed therefore creates ``O(n^2)`` closure
+*work*.  The LRU bound on :meth:`TauCondensation.backward_closure_cached`
+guarantees the *retained* memory stays ``O(CLOSURE_CACHE_LIMIT * n)`` — i.e.
+linear in the chain length, not quadratic.  Pinned with tracemalloc on two
+chain sizes: doubling the chain must scale retained bytes roughly linearly.
+"""
+
+import tracemalloc
+
+from repro.ioimc import IOIMC, signature
+from repro.ioimc.partition import CLOSURE_CACHE_LIMIT, TauCondensation
+
+
+def _tau_chain(length: int) -> IOIMC:
+    model = IOIMC("tau-chain", signature(internals=("t",)))
+    for _ in range(length):
+        model.add_state()
+    model.set_initial(0)
+    for state in range(length - 1):
+        model.add_interactive(state, "t", state + 1)
+    return model
+
+
+def _retained_cache_bytes(length: int) -> int:
+    """Bytes still allocated after querying every singleton closure once."""
+    condensation = TauCondensation(_tau_chain(length))
+    tracemalloc.start()
+    try:
+        for scc in range(condensation.num_sccs):
+            condensation.backward_closure_cached(frozenset((scc,)))
+        current, _peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(condensation._closure_cache) <= CLOSURE_CACHE_LIMIT
+    return current
+
+
+class TestClosureCacheMemory:
+    def test_cache_is_bounded(self):
+        condensation = TauCondensation(_tau_chain(CLOSURE_CACHE_LIMIT * 3))
+        for scc in range(condensation.num_sccs):
+            condensation.backward_closure_cached(frozenset((scc,)))
+        assert len(condensation._closure_cache) <= CLOSURE_CACHE_LIMIT
+
+    def test_repeated_queries_share_one_frozenset(self):
+        condensation = TauCondensation(_tau_chain(16))
+        seeds = frozenset((condensation.num_sccs - 1,))
+        first = condensation.backward_closure_cached(seeds)
+        second = condensation.backward_closure_cached(seeds)
+        assert first is second
+
+    def test_retained_memory_linear_on_tau_chains(self):
+        small = _retained_cache_bytes(600)
+        large = _retained_cache_bytes(1200)
+        # Linear retention doubles (ratio ~2); an unbounded cache would
+        # retain the full closure history and quadruple (ratio ~4).  The
+        # 3.0 threshold leaves head-room for allocator noise on either side.
+        assert large <= 3.0 * small, (small, large)

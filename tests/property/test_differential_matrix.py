@@ -29,6 +29,7 @@ from repro import (
     UnreliabilityBounds,
     evaluate,
 )
+from repro.core import Study
 from repro.core.sweep import substitute_parameters, with_rate_parameters
 from repro.ctmc.builders import ctmc_skeleton_from_ioimc
 from repro.ctmc.kernel import TransientKernel
@@ -112,6 +113,49 @@ def assert_matrix_cell(tree, study, query, samples, bounds=False):
                 )
 
 
+def _mode_study(tree, minimiser, processes):
+    return Study(
+        tree,
+        StudyOptions(
+            ordering="modular",
+            aggregation=AggregationOptions(minimiser=minimiser),
+            aggregation_processes=processes,
+        ),
+    )
+
+
+def assert_aggregation_mode_cell(tree, query, bounds=False):
+    """{serial, parallel-modular} x {smaller-half splitter, signature}.
+
+    Per engine the parallel quotient must be *structurally identical* to the
+    serial one (same dot rendering, not just equal sizes); across engines the
+    quotients agree on size and every cell agrees on the measures to
+    ``<= 1e-9``.
+    """
+    finals = {}
+    results = {}
+    for minimiser in MINIMISERS:
+        for processes in (1, 2):
+            study = _mode_study(tree, minimiser, processes)
+            finals[minimiser, processes] = study.final_ioimc
+            results[minimiser, processes] = study.evaluate(query)
+        assert finals[minimiser, 2].to_dot() == finals[minimiser, 1].to_dot(), (
+            f"parallel modular aggregation changed the {minimiser} quotient"
+        )
+    assert (
+        finals["splitter", 1].num_states == finals["signature", 1].num_states
+    ), "the two engines disagree on the quotient size"
+    baseline = results[MINIMISERS[0], 1]
+    for result in results.values():
+        for measure, reference in zip(result.measures, baseline.measures):
+            assert measure.kind == reference.kind
+            if bounds:
+                assert measure.lower == pytest.approx(reference.lower, abs=TOLERANCE)
+                assert measure.upper == pytest.approx(reference.upper, abs=TOLERANCE)
+            else:
+                assert measure.values == pytest.approx(reference.values, abs=TOLERANCE)
+
+
 class TestTier1Smoke:
     """The matrix's tier-1 slice: one small system, both engines."""
 
@@ -123,6 +167,38 @@ class TestTier1Smoke:
             _study("mutex", minimiser),
             Unreliability(MISSION_TIMES),
             _corpus_samples(tree, count=3),
+        )
+
+    def test_cps_aggregation_modes(self):
+        # Multi-module system: the modular plan actually fans out workers.
+        assert_aggregation_mode_cell(
+            cascaded_pand_system(), Unreliability(MISSION_TIMES)
+        )
+
+
+@pytest.mark.slow
+class TestAggregationModeMatrix:
+    """{serial, parallel} x {smaller-half, signature} on paper + random trees."""
+
+    @pytest.mark.parametrize("system", ["cas", "mutex"])
+    def test_paper_system_cell(self, system):
+        assert_aggregation_mode_cell(
+            _corpus_tree(system), Unreliability(MISSION_TIMES)
+        )
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_random_tree_cell(self, seed):
+        assert_aggregation_mode_cell(
+            random_dft(6, seed=seed), Unreliability(MISSION_TIMES)
+        )
+
+    @pytest.mark.parametrize("seed", [2, 7])
+    def test_pattern_tree_cell_bounds(self, seed):
+        # FDEP / shared-spare patterns may leave a CTMDP: compare bounds.
+        assert_aggregation_mode_cell(
+            random_dft(5, seed=seed, fdep=True, shared_spares=True),
+            UnreliabilityBounds(MISSION_TIMES),
+            bounds=True,
         )
 
 

@@ -121,6 +121,7 @@ class TestAnalyzeJson:
             "minimiser",
             "fuse",
             "tolerance",
+            "aggregation_processes",
         }
         assert payload["options"]["minimiser"] == "splitter"
         assert set(payload["model"]) == {
