@@ -1,0 +1,167 @@
+"""Service benchmark: cold vs warm cache, concurrent load, bit-identity.
+
+Starts the HTTP serving layer in-process (ephemeral port, temporary cache
+directory), measures a cold ``/analyze`` (full pipeline: conversion,
+aggregation, minimisation) against warm repeats served from the skeleton
+store, then drives a mixed concurrent load and reports throughput and
+latency percentiles.  The ``service`` section is merged into an existing
+``BENCH_fig2.json`` report (or a fresh one is created)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [BENCH_fig2.json]
+
+Fails (exit 1) if the warm path is not at least 10x faster than the cold
+path, if fewer than 4 clients were exercised, or if any served response is
+not bit-identical to the in-process result.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.core.measures import Unreliability
+from repro.core.study import Study, StudyOptions
+from repro.dft import galileo
+from repro.service.client import ServiceClient
+from repro.service.server import serve
+from repro.service.store import SkeletonStore
+from repro.systems import cardiac_assist_system
+
+NUM_CLIENTS = 4
+REQUESTS_PER_CLIENT = 25
+WARM_REPEATS = 5
+MISSION_TIMES = [0.5, 1.0, 2.0]
+
+
+def _strip(response: dict) -> dict:
+    slim = dict(response)
+    slim.pop("timings", None)
+    slim.pop("service", None)
+    options = dict(slim.get("options", {}))
+    options.pop("skeleton_cache", None)
+    slim["options"] = options
+    return slim
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_service() -> dict:
+    tree = cardiac_assist_system()
+    text = galileo.write(tree)
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as cache_dir:
+        server = serve(cache_dir, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+
+            start = time.perf_counter()
+            cold = client.analyze(text, times=MISSION_TIMES)
+            cold_seconds = time.perf_counter() - start
+
+            warm_seconds = float("inf")
+            warm = None
+            for _ in range(WARM_REPEATS):
+                start = time.perf_counter()
+                warm = client.analyze(text, times=MISSION_TIMES)
+                warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+            # Bit-identity: the served response must carry exactly what an
+            # in-process cached study computes on the same store.
+            local = Study(
+                galileo.parse(text, name="<request>"),
+                StudyOptions(),
+                skeleton_cache=SkeletonStore(cache_dir),
+            ).evaluate(Unreliability(MISSION_TIMES), on_error="record")
+            local_dict = _strip(local.to_dict(include_steps=False))
+            bit_identical = (
+                _strip(cold) == local_dict and _strip(warm) == local_dict
+            )
+
+            # Concurrent load: NUM_CLIENTS threads, warm requests only.
+            latencies = []
+            lock = threading.Lock()
+
+            def client_loop():
+                worker = ServiceClient(server.url)
+                mine = []
+                for _ in range(REQUESTS_PER_CLIENT):
+                    start = time.perf_counter()
+                    worker.analyze(text, times=MISSION_TIMES)
+                    mine.append(time.perf_counter() - start)
+                with lock:
+                    latencies.extend(mine)
+
+            wall_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
+                for future in [
+                    pool.submit(client_loop) for _ in range(NUM_CLIENTS)
+                ]:
+                    future.result()
+            wall_seconds = time.perf_counter() - wall_start
+
+            metrics = client.metrics()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "tree": tree.name,
+        "mission_times": MISSION_TIMES,
+        "cold_analyze_seconds": cold_seconds,
+        "warm_analyze_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "bit_identical": bit_identical,
+        "load": {
+            "clients": NUM_CLIENTS,
+            "requests": total_requests,
+            "wall_seconds": wall_seconds,
+            "requests_per_second": total_requests / wall_seconds,
+            "p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "mean_ms": statistics.fmean(latencies) * 1e3,
+        },
+        "server_metrics": metrics["endpoints"].get("/analyze", {}),
+    }
+
+
+def main(argv) -> int:
+    report_path = Path(argv[1] if len(argv) > 1 else "BENCH_fig2.json")
+    section = bench_service()
+
+    report = {}
+    if report_path.exists():
+        report = json.loads(report_path.read_text())
+    report["service"] = section
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps({"service": section}, indent=2, sort_keys=True))
+
+    failures = []
+    if section["warm_speedup"] < 10.0:
+        failures.append(
+            f"warm analyze only {section['warm_speedup']:.1f}x faster than cold "
+            "(need >= 10x)"
+        )
+    if section["load"]["clients"] < 4:
+        failures.append("load test ran fewer than 4 concurrent clients")
+    if not section["bit_identical"]:
+        failures.append("served responses differ from in-process results")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

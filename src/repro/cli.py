@@ -26,6 +26,14 @@ and report reliability measures.  Sub-commands:
     ``--output-jsonl FILE`` streams one ``repro.batch/2`` record per tree to
     disk instead of materialising the rows (``--chunk-size`` tunes the
     chunked scheduling).
+``serve``
+    Run the analysis service: a stdlib HTTP server (``POST /analyze``,
+    ``/sweep``, ``/batch``; ``GET /healthz``, ``/metrics``) backed by a
+    content-addressed skeleton store, so repeated analyses of structurally
+    identical trees skip conversion and aggregation entirely.
+``cache``
+    Inspect (``stats``), empty (``clear``) or prebuild (``warm``) a skeleton
+    store directory without starting the server.
 ``baseline``
     The DIFTree-style modular analysis of the same file, for comparison.
 ``modules``
@@ -42,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import sys
 from typing import Iterable, List, Optional, Tuple
 
@@ -140,9 +149,19 @@ def _format_measure_lines(measure: MeasureResult) -> List[str]:
 # sub-commands
 # ---------------------------------------------------------------------------
 
+def _open_skeleton_cache(args: argparse.Namespace):
+    """The SkeletonStore of ``--skeleton-cache DIR``, or None."""
+    directory = getattr(args, "skeleton_cache", None)
+    if not directory:
+        return None
+    from .service.store import SkeletonStore
+
+    return SkeletonStore(directory)
+
+
 def command_analyze(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
-    study = Study(tree, _analysis_options(args))
+    study = Study(tree, _analysis_options(args), skeleton_cache=_open_skeleton_cache(args))
     query = _build_query(args, bounds=args.bounds or study.is_nondeterministic)
     # Record per-measure failures so e.g. an unsupported MTTF still lets the
     # unreliability values the user also asked for reach the output.
@@ -152,8 +171,17 @@ def command_analyze(args: argparse.Namespace) -> int:
         print(result.to_json(indent=2))
     else:
         print(f"Fault tree : {tree.summary()}")
-        print(f"Community  : {study.community.summary()}")
-        print(f"Aggregation: {study.statistics.summary()}")
+        if study.skeleton_cache is not None:
+            # The whole point of the cache is not to run the pipeline; report
+            # the cached model shape instead of community/aggregation stats.
+            print(
+                f"Cache      : {result.options.get('skeleton_cache')} "
+                f"({args.skeleton_cache})"
+            )
+            print(f"Model      : {result.model.kind}, {result.model.states} states")
+        else:
+            print(f"Community  : {study.community.summary()}")
+            print(f"Aggregation: {study.statistics.summary()}")
         for measure in result.measures:
             for line in _format_measure_lines(measure):
                 print(line)
@@ -314,13 +342,16 @@ def command_sweep(args: argparse.Namespace) -> int:
         return 2
     placeholder = Unreliability(args.time)
     samples = RateSweep.grid(placeholder, **axes).samples
-    study = SweepStudy(tree, _analysis_options(args))
+    study = SweepStudy(
+        tree, _analysis_options(args), skeleton_cache=_open_skeleton_cache(args)
+    )
     bounds = args.bounds or isinstance(study.skeleton, CtmdpSkeleton)
     query = _build_query(args, bounds=bounds)
     result = study.run(
         RateSweep(query, samples),
         processes=args.processes,
         chunk_size=args.chunk_size,
+        share_uniformisation=args.share_uniformisation,
     )
     if args.json:
         print(result.to_json(indent=2))
@@ -390,6 +421,77 @@ def _run_batch_streaming(args: argparse.Namespace, batch: BatchStudy) -> int:
             file=sys.stderr,
         )
     return 0 if result.num_failed == 0 and counters["measure_failures"] == 0 else 1
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    server = serve(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        options=_analysis_options(args),
+        max_cache_bytes=args.max_cache_bytes,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(cache: {args.cache_dir}, {args.processes} worker process"
+        f"{'es' if args.processes != 1 else ''})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def command_cache(args: argparse.Namespace) -> int:
+    from .service.store import SkeletonStore
+
+    store = SkeletonStore(args.cache_dir, max_bytes=args.max_cache_bytes)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"Cache      : {stats['root']}")
+            print(f"Entries    : {stats['entries']}")
+            print(f"Total bytes: {stats['total_bytes']}")
+            cap = stats["max_bytes"]
+            print(f"Byte cap   : {'unlimited' if cap is None else cap}")
+            print(
+                f"Versions   : hash v{stats['hash_version']}, "
+                f"format v{stats['format_version']}"
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(
+            f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+            f"from {args.cache_dir}"
+        )
+        return 0
+    assert args.cache_command == "warm"
+    paths, unmatched = _expand_batch_sources(args.trees)
+    if unmatched:
+        for pattern in unmatched:
+            print(f"error: pattern matched no files: {pattern}", file=sys.stderr)
+        return 2
+    if not paths:
+        print("error: no input files matched", file=sys.stderr)
+        return 2
+    counters = store.warm(paths, _analysis_options(args))
+    print(
+        f"warmed {args.cache_dir}: {counters['built']} built, "
+        f"{counters['hits']} already cached, {counters['failed']} failed"
+    )
+    return 0 if counters["failed"] == 0 else 1
 
 
 def command_baseline(args: argparse.Namespace) -> int:
@@ -514,6 +616,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="emit the structured result as JSON instead of text",
         )
 
+    def add_skeleton_cache(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--skeleton-cache",
+            metavar="DIR",
+            default=None,
+            help="content-addressed skeleton store directory; a hit on the "
+            "tree's structural hash skips conversion, aggregation and "
+            "minimisation entirely (the store is created if missing)",
+        )
+
     analyze = subparsers.add_parser(
         "analyze", help="compute unreliability / bounds / MTTF / unavailability"
     )
@@ -524,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report (min, max) unreliability bounds even for deterministic trees",
     )
+    add_skeleton_cache(analyze)
     add_common(analyze)
     analyze.set_defaults(handler=command_analyze)
 
@@ -561,6 +674,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="samples per scheduling chunk (default: sized from the sample "
         "count and worker count)",
     )
+    sweep.add_argument(
+        "--share-uniformisation",
+        action="store_true",
+        help="pin one uniformisation rate (the grid's largest) for every "
+        "sample so the Poisson term table is computed once per grid; values "
+        "agree with per-sample rates to solver precision",
+    )
+    add_skeleton_cache(sweep)
     add_common(sweep)
     sweep.set_defaults(handler=command_sweep)
 
@@ -595,6 +716,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(batch)
     batch.set_defaults(handler=command_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the analysis service (HTTP + content-addressed skeleton store)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="skeleton store directory backing the service (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8357,
+        help="bind port (default: 8357; 0 picks a free ephemeral port)",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="worker processes for /analyze requests, each holding its own "
+        "warm kernel pool (default: 0, evaluate in-process)",
+    )
+    serve.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        help="LRU byte cap of the skeleton store (default: unlimited)",
+    )
+    serve.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-12,
+        help="truncation tolerance of the uniformisation series (default: 1e-12)",
+    )
+    add_common(serve)
+    serve.set_defaults(handler=command_serve)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect, clear or prebuild a skeleton store directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            required=True,
+            metavar="DIR",
+            help="skeleton store directory (created if missing)",
+        )
+        sub.add_argument(
+            "--max-cache-bytes",
+            type=int,
+            default=None,
+            help="LRU byte cap to enforce while touching the store",
+        )
+
+    cache_stats = cache_sub.add_parser("stats", help="show entry count, disk usage and versions")
+    add_cache_dir(cache_stats)
+    cache_stats.add_argument(
+        "--json", action="store_true", help="emit the stats as JSON"
+    )
+    cache_stats.set_defaults(handler=command_cache)
+
+    cache_clear = cache_sub.add_parser("clear", help="delete every cached entry")
+    add_cache_dir(cache_clear)
+    cache_clear.set_defaults(handler=command_cache)
+
+    cache_warm = cache_sub.add_parser(
+        "warm", help="prebuild entries for a corpus of .dft files (globs allowed)"
+    )
+    cache_warm.add_argument(
+        "trees", nargs="+", help="paths or glob patterns of Galileo .dft files"
+    )
+    add_cache_dir(cache_warm)
+    cache_warm.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-12,
+        help="truncation tolerance recorded with the built entries",
+    )
+    add_common(cache_warm)
+    cache_warm.set_defaults(handler=command_cache)
 
     baseline = subparsers.add_parser("baseline", help="run the DIFTree-style modular baseline")
     _add_tree_argument(baseline)

@@ -29,11 +29,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Deque,
     Dict,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     TextIO,
@@ -42,6 +44,12 @@ from typing import (
 )
 
 from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
+from ..ctmc.builders import CtmcSkeleton, CtmdpSkeleton
+from ..ctmc.kernel import TransientKernel
+from ..dft.hashing import canonical_assignment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from ..service.store import SkeletonStore
 from ..dft import galileo
 from ..dft.tree import DynamicFaultTree
 from ..errors import AnalysisError, NondeterminismError, ReproError
@@ -67,6 +75,7 @@ from .results import (
     BatchRow,
     MeasureResult,
     ModelInfo,
+    RestoredStatistics,
     StudyResult,
     write_batch_jsonl,
 )
@@ -292,17 +301,75 @@ def evaluate_query_on_model(
     )
 
 
-class Study:
-    """Plans and runs the compositional pipeline for one fault tree."""
+def evaluate_skeleton_query(
+    skeleton: Union[CtmcSkeleton, CtmdpSkeleton],
+    query: QueryLike,
+    assignment: Optional[Mapping[str, float]] = None,
+    tolerance: float = 1e-12,
+    on_error: str = "raise",
+    kernel: Optional[TransientKernel] = None,
+) -> Tuple[MeasureResult, ...]:
+    """Evaluate ``query`` on a rate-independent skeleton under ``assignment``.
 
-    def __init__(self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None):
+    This is the cached-pipeline analogue of :func:`evaluate_query_on_model`:
+    CTMC skeletons run on a shared-structure :class:`TransientKernel` (pass
+    ``kernel`` to reuse one across calls — its CSR pattern and Poisson terms
+    then survive between requests), instantiating a concrete CTMC only when a
+    measure reads the generator itself; CTMDP skeletons fall back to a full
+    instantiation.  The skeleton store's serving paths and ``Study``'s
+    ``skeleton_cache=`` mode both evaluate through here, which is what makes
+    a served response bit-identical to the in-process result.
+    """
+    query = _as_query(query)
+    if isinstance(skeleton, CtmcSkeleton):
+        if kernel is not None and kernel.skeleton is not skeleton:
+            raise AnalysisError("the transient kernel belongs to a different skeleton")
+        if kernel is None:
+            kernel = TransientKernel(skeleton)
+        kernel.load(None if assignment is None else dict(assignment))
+        times = query.transient_times()
+        curve = kernel.probability_of_label_curve(
+            signals.FAILED_LABEL, times, tolerance
+        )
+        point_values = dict(zip(times, (float(value) for value in curve)))
+        bound_curves = {time: (value, value) for time, value in point_values.items()}
+        model: Optional[Union[CTMC, CTMDP]] = None
+        if query_needs_model(query):
+            model = skeleton.instantiate(assignment)
+        return measures_from_curves(
+            model, query, point_values, bound_curves, on_error=on_error
+        )
+    model = skeleton.instantiate(assignment)
+    return evaluate_query_on_model(model, query, tolerance=tolerance, on_error=on_error)
+
+
+class Study:
+    """Plans and runs the compositional pipeline for one fault tree.
+
+    With a ``skeleton_cache`` (a :class:`~repro.service.store.SkeletonStore`)
+    the pipeline is content-addressed: a hit on the tree's structural hash
+    skips conversion, aggregation and minimisation entirely and evaluates on
+    the cached skeleton under the tree's canonical rate assignment; a miss
+    builds and persists the entry for every later tree of the same structure.
+    """
+
+    def __init__(
+        self,
+        tree: DynamicFaultTree,
+        options: Optional[StudyOptions] = None,
+        skeleton_cache: Optional["SkeletonStore"] = None,
+    ):
         self.tree = tree
         self.options = options or StudyOptions()
+        self.skeleton_cache = skeleton_cache
         self._community: Optional[Community] = None
         self._final: Optional[IOIMC] = None
         self._statistics: Optional[CompositionStatistics] = None
         self._markov: Optional[Union[CTMC, CTMDP]] = None
         self._timings: Dict[str, float] = {}
+        self._cache_entry = None
+        self._cache_hit = False
+        self._cache_kernel: Optional[TransientKernel] = None
 
     # ------------------------------------------------------------- pipeline
     @property
@@ -353,7 +420,48 @@ class Study:
     @property
     def is_nondeterministic(self) -> bool:
         """True iff the aggregated model is a CTMDP rather than a CTMC."""
+        if self.skeleton_cache is not None:
+            return self._cached_entry().nondeterministic
         return isinstance(self.markov_model, CTMDP)
+
+    # ----------------------------------------------------------- cached path
+    def _cached_entry(self):
+        """The store entry of this tree's structural class (fetched once)."""
+        if self._cache_entry is None:
+            assert self.skeleton_cache is not None
+            start = _time.perf_counter()
+            self._cache_entry, self._cache_hit = self.skeleton_cache.get_or_build(
+                self.tree, self.options
+            )
+            self._timings["cache"] = _time.perf_counter() - start
+        return self._cache_entry
+
+    def _evaluate_cached(self, query: Query, on_error: str) -> StudyResult:
+        entry = self._cached_entry()
+        start = _time.perf_counter()
+        if self._cache_kernel is None and isinstance(entry.skeleton, CtmcSkeleton):
+            self._cache_kernel = TransientKernel(entry.skeleton, buffer=entry.buffer)
+        measures = evaluate_skeleton_query(
+            entry.skeleton,
+            query,
+            canonical_assignment(self.tree),
+            tolerance=self.options.tolerance,
+            on_error=on_error,
+            kernel=self._cache_kernel,
+        )
+        self._timings["evaluation"] = _time.perf_counter() - start
+        self._timings["total"] = self._timings.get("cache", 0.0) + self._timings["evaluation"]
+        options = self.options.to_dict()
+        options["skeleton_cache"] = "hit" if self._cache_hit else "miss"
+        return StudyResult(
+            tree_name=self.tree.name,
+            tree_summary=self.tree.summary(),
+            measures=measures,
+            model=entry.model,
+            statistics=RestoredStatistics(dict(entry.statistics)),
+            options=options,
+            timings=self.timings,
+        )
 
     @property
     def timings(self) -> Dict[str, float]:
@@ -372,6 +480,8 @@ class Study:
         the batch runner use this mode).
         """
         query = _as_query(query)
+        if self.skeleton_cache is not None:
+            return self._evaluate_cached(query, on_error)
         model = self.markov_model
         start = _time.perf_counter()
         measures = evaluate_query_on_model(

@@ -47,6 +47,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import (
+    TYPE_CHECKING,
     Deque,
     Dict,
     Iterable,
@@ -59,14 +60,22 @@ from typing import (
     Union,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from ..service.store import SkeletonStore
+
 from ..ctmc.builders import (
     CtmcSkeleton,
     CtmdpSkeleton,
     ctmc_skeleton_from_ioimc,
     ctmdp_skeleton_from_ioimc,
 )
-from ..ctmc.kernel import TransientKernel
+from ..ctmc.kernel import CsrBuffer, TransientKernel
 from ..dft.elements import BasicEvent
+from ..dft.hashing import (
+    canonical_assignment,
+    canonical_parameter_map,
+    translate_sample,
+)
 from ..dft.tree import DynamicFaultTree
 from ..errors import AnalysisError, FaultTreeError, NondeterminismError, ReproError
 from . import signals
@@ -180,6 +189,27 @@ class _SweepPlan:
     query: Query
     tolerance: float
     use_kernel: bool = True
+    #: One uniformisation rate for the whole grid (>= every sample's natural
+    #: maximal exit rate): the kernel then reuses one Poisson term table
+    #: across all samples instead of rebuilding it per sample.
+    shared_rate: Optional[float] = None
+    #: For cached (canonically parametrised) skeletons: user parameter name
+    #: -> the canonical per-event parameters it fans out to.  ``None`` means
+    #: the samples already name the skeleton's own parameters.
+    parameter_map: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def assignment_of(self, sample: Mapping[str, float]) -> Dict[str, float]:
+        """The skeleton-level assignment of one user sample.
+
+        Unswept declared parameters keep their nominal value, so every
+        parametric form is totally assigned.
+        """
+        assignment = dict(self.declared)
+        if self.parameter_map is None:
+            assignment.update(sample)
+        else:
+            assignment.update(translate_sample(sample, self.parameter_map))
+        return assignment
 
 
 class _SampleEvaluator:
@@ -209,15 +239,12 @@ class _SampleEvaluator:
     def evaluate(self, sample: Mapping[str, float]) -> SweepRow:
         """One sample's row; any pipeline error becomes the row's error."""
         plan = self.plan
-        # Unswept declared parameters keep their nominal value, so every
-        # parametric form is totally assigned.
-        assignment = dict(plan.declared)
-        assignment.update(sample)
+        assignment = plan.assignment_of(sample)
         start = _time.perf_counter()
         instantiate_seconds = 0.0
         try:
             if self._kernel is not None:
-                self._kernel.load(assignment)
+                self._kernel.load(assignment, rate_floor=plan.shared_rate)
                 instantiate_seconds = _time.perf_counter() - start
                 times = plan.query.transient_times()
                 curve = self._kernel.probability_of_label_curve(
@@ -273,6 +300,27 @@ def _evaluate_sweep_chunk(samples: Sequence[Sample]) -> List[SweepRow]:
     return [_WORKER_EVALUATOR.evaluate(sample) for sample in samples]
 
 
+def _scan_shared_rate(plan: _SweepPlan, samples: Sequence[Sample]) -> Optional[float]:
+    """The largest natural uniformisation rate over the whole sample grid.
+
+    Scans every sample's maximal exit rate on one scratch CSR buffer (rate
+    evaluation only — no stepping matrix is built).  Samples whose rates fail
+    to evaluate are skipped here; their rows fail identically with or without
+    a shared rate, so the scan never changes which rows error.
+    """
+    assert isinstance(plan.skeleton, CtmcSkeleton)
+    buffer = CsrBuffer(plan.skeleton)
+    shared: Optional[float] = None
+    for sample in samples:
+        try:
+            rate = buffer.max_exit_rate(plan.assignment_of(sample))
+        except ReproError:
+            continue
+        if shared is None or rate > shared:
+            shared = rate
+    return shared
+
+
 def _resolve_sweep_workers(processes: Optional[int], num_samples: int) -> int:
     workers = 1 if processes is None else int(processes)
     if workers < 1:
@@ -325,18 +373,37 @@ def iter_sweep_rows(
 
 
 class SweepStudy:
-    """Plans a rate sweep: one pipeline run, one skeleton, N instantiations."""
+    """Plans a rate sweep: one pipeline run, one skeleton, N instantiations.
 
-    def __init__(self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None):
+    With a ``skeleton_cache`` (a :class:`~repro.service.store.SkeletonStore`)
+    even that one pipeline run is amortised across processes and sessions: a
+    hit on the tree's structural hash loads the canonically parametrised
+    skeleton from disk and the sweep's samples are translated onto the
+    canonical parameters — conversion, aggregation and minimisation never
+    run at all.
+    """
+
+    def __init__(
+        self,
+        tree: DynamicFaultTree,
+        options: Optional[StudyOptions] = None,
+        skeleton_cache: Optional["SkeletonStore"] = None,
+    ):
         self.tree = tree
         self.study = Study(tree, options)
+        self.skeleton_cache = skeleton_cache
         self._skeleton: Optional[Union[CtmcSkeleton, CtmdpSkeleton]] = None
         self._skeleton_seconds = 0.0
+        self._cache_entry = None
+        self._cache_hit = False
+        self._cache_seconds = 0.0
 
     # ------------------------------------------------------------- skeleton
     @property
     def skeleton(self) -> Union[CtmcSkeleton, CtmdpSkeleton]:
         """The rate-independent final-model structure (cached)."""
+        if self.skeleton_cache is not None:
+            return self._cached_entry().skeleton
         if self._skeleton is None:
             final = self.study.final_ioimc
             start = _time.perf_counter()
@@ -347,6 +414,16 @@ class SweepStudy:
             self._skeleton_seconds = _time.perf_counter() - start
         return self._skeleton
 
+    def _cached_entry(self):
+        if self._cache_entry is None:
+            assert self.skeleton_cache is not None
+            start = _time.perf_counter()
+            self._cache_entry, self._cache_hit = self.skeleton_cache.get_or_build(
+                self.tree, self.study.options
+            )
+            self._cache_seconds = _time.perf_counter() - start
+        return self._cache_entry
+
     # ------------------------------------------------------------------ run
     def run(
         self,
@@ -354,6 +431,7 @@ class SweepStudy:
         processes: Optional[int] = None,
         chunk_size: Optional[int] = None,
         use_kernel: bool = True,
+        share_uniformisation: bool = False,
     ) -> SweepResult:
         """Evaluate the sweep; sample failures become per-row errors.
 
@@ -363,6 +441,14 @@ class SweepStudy:
         bit-identical to a serial run.  ``use_kernel=False`` forces the
         legacy per-sample full instantiation — kept for differential tests
         and the benchmark's kernel-vs-legacy split.
+
+        ``share_uniformisation=True`` scans the grid for the largest natural
+        uniformisation rate and pins that one Lambda for every sample, so the
+        kernel's Poisson term table is computed once for the whole grid
+        instead of once per sample (the solve itself is unchanged:
+        uniformisation is exact for any Lambda >= the maximal exit rate, and
+        the differential tests pin agreement with per-sample rates to 1e-9).
+        Rows stay bit-identical between serial and parallel runs either way.
         """
         declared = self.tree.parameters
         unknown = [name for name in sweep.parameters if name not in declared]
@@ -374,14 +460,29 @@ class SweepStudy:
                 "DynamicFaultTree.declare_parameter)"
             )
         skeleton = self.skeleton
+        if self.skeleton_cache is not None:
+            # The cached skeleton speaks canonical per-event parameters;
+            # translate the user's declared parameters onto them.
+            plan_declared = canonical_assignment(self.tree)
+            parameter_map: Optional[Dict[str, Tuple[str, ...]]] = (
+                canonical_parameter_map(self.tree)
+            )
+        else:
+            plan_declared = dict(declared)
+            parameter_map = None
         workers = _resolve_sweep_workers(processes, len(sweep.samples))
         plan = _SweepPlan(
             skeleton=skeleton,
-            declared=dict(declared),
+            declared=plan_declared,
             query=sweep.query,
             tolerance=self.study.options.tolerance,
             use_kernel=use_kernel,
+            parameter_map=parameter_map,
         )
+        if share_uniformisation and use_kernel and isinstance(skeleton, CtmcSkeleton):
+            shared_rate = _scan_shared_rate(plan, sweep.samples)
+            if shared_rate is not None:
+                plan = replace(plan, shared_rate=shared_rate)
         samples_start = _time.perf_counter()
         rows = list(iter_sweep_rows(plan, sweep.samples, workers, chunk_size))
         samples_seconds = _time.perf_counter() - samples_start
@@ -391,6 +492,7 @@ class SweepStudy:
             study_timings.get("conversion", 0.0)
             + study_timings.get("aggregation", 0.0)
             + self._skeleton_seconds
+            + self._cache_seconds
         )
         timings = {
             "conversion": study_timings.get("conversion", 0.0),
@@ -402,17 +504,26 @@ class SweepStudy:
             "solve": sum(row.solve_seconds or 0.0 for row in rows),
             "total": shared + samples_seconds,
         }
+        if self.skeleton_cache is not None:
+            timings["cache"] = self._cache_seconds
+        options = self.study.options.to_dict()
+        if self.skeleton_cache is not None:
+            options["skeleton_cache"] = "hit" if self._cache_hit else "miss"
+        if plan.shared_rate is not None:
+            options["shared_uniformisation_rate"] = plan.shared_rate
         return SweepResult(
             tree_name=self.tree.name,
             parameters=sweep.parameters,
             rows=tuple(rows),
             model=self._model_info(skeleton),
-            options=self.study.options.to_dict(),
+            options=options,
             timings=timings,
             processes=workers,
         )
 
     def _model_info(self, skeleton: Union[CtmcSkeleton, CtmdpSkeleton]) -> ModelInfo:
+        if self.skeleton_cache is not None:
+            return self._cached_entry().model
         final = self.study.final_ioimc
         nondeterministic = isinstance(skeleton, CtmdpSkeleton)
         return ModelInfo(
@@ -431,10 +542,15 @@ def sweep(
     options: Optional[StudyOptions] = None,
     processes: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    skeleton_cache: Optional["SkeletonStore"] = None,
+    share_uniformisation: bool = False,
 ) -> SweepResult:
     """Evaluate ``rate_sweep`` on ``tree`` with a fresh :class:`SweepStudy`."""
-    return SweepStudy(tree, options).run(
-        rate_sweep, processes=processes, chunk_size=chunk_size
+    return SweepStudy(tree, options, skeleton_cache=skeleton_cache).run(
+        rate_sweep,
+        processes=processes,
+        chunk_size=chunk_size,
+        share_uniformisation=share_uniformisation,
     )
 
 

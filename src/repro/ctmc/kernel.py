@@ -207,15 +207,12 @@ class CsrBuffer:
         self.structure_builds = 1
         self.refills = 0
 
-    def refill(
-        self, assignment: Optional[Dict[str, float]] = None
-    ) -> Tuple[sparse.csr_matrix, float]:
-        """Rewrite the matrix data for ``assignment``; return (matrix, Lambda).
+    def _evaluate_rates(self, assignment: Optional[Dict[str, float]]) -> np.ndarray:
+        """Evaluate every edge rate under ``assignment`` into the shared scratch.
 
         Raises :class:`~repro.errors.ModelError` if any edge rate evaluates
         to a non-positive value, exactly like the non-buffered
-        :meth:`CtmcSkeleton.instantiate` path; a failed refill leaves the
-        buffer reusable (the next refill rewrites everything).
+        :meth:`CtmcSkeleton.instantiate` path.
         """
         values = self._edge_values
         if len(self._params):
@@ -240,6 +237,39 @@ class CsrBuffer:
                 f"instantiating a parametric rate produced a non-positive value "
                 f"({worst}); rate-sweep samples must keep every rate positive"
             )
+        return values
+
+    def max_exit_rate(self, assignment: Optional[Dict[str, float]] = None) -> float:
+        """The natural uniformisation rate (max exit rate) under ``assignment``.
+
+        Only the evaluation scratch is touched — the matrix data and the
+        stepping operator keep whatever the last :meth:`refill` wrote — so a
+        sweep can scan its whole grid for the largest Lambda before refilling
+        (the shared-rate path of :class:`TransientKernel`).
+        """
+        values = self._evaluate_rates(assignment)
+        exit_rates = self._exit
+        exit_rates[:] = 0.0
+        np.add.at(exit_rates, self._sources, values)
+        rate = float(exit_rates.max()) if len(exit_rates) else 0.0
+        return rate if rate > 0.0 else 1.0
+
+    def refill(
+        self,
+        assignment: Optional[Dict[str, float]] = None,
+        rate_floor: Optional[float] = None,
+    ) -> Tuple[sparse.csr_matrix, float]:
+        """Rewrite the matrix data for ``assignment``; return (matrix, Lambda).
+
+        ``rate_floor`` raises the uniformisation rate to at least that value:
+        uniformisation is exact for any Lambda >= the maximal exit rate, and a
+        sweep that fixes one Lambda for a whole grid reuses one Poisson term
+        table across all samples (see :meth:`TransientKernel.load`).
+
+        A failed refill (non-positive rate) leaves the buffer reusable — the
+        next refill rewrites everything.
+        """
+        values = self._evaluate_rates(assignment)
 
         exit_rates = self._exit
         exit_rates[:] = 0.0
@@ -247,6 +277,8 @@ class CsrBuffer:
         rate = float(exit_rates.max()) if len(exit_rates) else 0.0
         if rate <= 0.0:
             rate = 1.0  # chain with no transitions at all
+        if rate_floor is not None and float(rate_floor) > rate:
+            rate = float(rate_floor)
 
         data = self.matrix.data
         data[:] = 0.0
@@ -294,16 +326,40 @@ class TransientKernel:
     dense/sparse stepping crossover of the underlying buffer.
     """
 
-    __slots__ = ("skeleton", "buffer", "term_cache", "_goal", "_work_a", "_work_b", "_loaded")
+    __slots__ = (
+        "skeleton",
+        "buffer",
+        "term_cache",
+        "_goal",
+        "_work_a",
+        "_work_b",
+        "_loaded",
+        "_loaded_rate",
+    )
 
-    def __init__(self, skeleton: CtmcSkeleton, dense_limit: Optional[int] = None):
+    def __init__(
+        self,
+        skeleton: CtmcSkeleton,
+        dense_limit: Optional[int] = None,
+        buffer: Optional[CsrBuffer] = None,
+    ):
         self.skeleton = skeleton
-        self.buffer = CsrBuffer(skeleton, dense_limit=dense_limit)
+        if buffer is not None:
+            # A prebuilt buffer (e.g. the CSR pattern a skeleton store cached
+            # alongside the skeleton) skips the pattern build entirely.
+            if buffer.skeleton is not skeleton:
+                raise ModelError(
+                    "the CSR buffer was preallocated for a different skeleton"
+                )
+            self.buffer = buffer
+        else:
+            self.buffer = CsrBuffer(skeleton, dense_limit=dense_limit)
         self.term_cache = PoissonTermCache()
         self._goal: Dict[str, np.ndarray] = {}
         self._work_a = np.zeros(skeleton.num_states)
         self._work_b = np.zeros(skeleton.num_states)
         self._loaded = False
+        self._loaded_rate: Optional[float] = None
 
     # ----------------------------------------------------------- structure
     @property
@@ -332,14 +388,29 @@ class TransientKernel:
         return cached
 
     # ------------------------------------------------------------- samples
-    def load(self, assignment: Optional[Dict[str, float]] = None) -> float:
-        """Refill the shared matrix for ``assignment``; return Lambda."""
-        _matrix, rate = self.skeleton.instantiate(assignment, into=self.buffer)
-        # The uniformisation rate (and hence every rate*time cache key)
-        # changes with the sample, so entries from previous samples would
-        # accumulate forever without ever hitting; the cache's value is
-        # sharing *within* one sample's curve/bound evaluation.
-        self.term_cache.clear()
+    def load(
+        self,
+        assignment: Optional[Dict[str, float]] = None,
+        rate_floor: Optional[float] = None,
+    ) -> float:
+        """Refill the shared matrix for ``assignment``; return Lambda.
+
+        With a ``rate_floor`` (>= every sample's natural maximal exit rate)
+        the uniformisation rate is pinned across samples, so the Poisson term
+        table of each requested time survives from one load to the next — a
+        grid sweep then builds its term arrays once instead of per sample.
+        """
+        _matrix, rate = self.buffer.refill(
+            None if assignment is None else dict(assignment), rate_floor=rate_floor
+        )
+        # Every rate*time cache key changes with the uniformisation rate, so
+        # entries from a sample with a different Lambda would accumulate
+        # forever without ever hitting.  With an unchanged Lambda (a shared
+        # rate floor, or samples that happen to agree) the cached term arrays
+        # are exactly the ones the next curve evaluation needs — keep them.
+        if rate != self._loaded_rate:
+            self.term_cache.clear()
+            self._loaded_rate = rate
         self._loaded = True
         return rate
 

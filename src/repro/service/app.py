@@ -1,0 +1,513 @@
+"""The transport-free analysis application: request dict in, response dict out.
+
+:class:`AnalysisService` owns one :class:`~repro.service.store.SkeletonStore`
+and serves the same result schemas the CLI emits (``repro.study/1``,
+``repro.sweep/2``, ``repro.batch/1``) over plain dictionaries, so the HTTP
+layer (:mod:`repro.service.server`) is a thin JSON shell and every endpoint is
+testable without a socket.
+
+Bit-identity is the design invariant: a served ``/analyze`` response carries
+exactly the measures an in-process ``Study(tree, skeleton_cache=store)``
+computes, because both paths evaluate through
+:func:`repro.core.study.evaluate_skeleton_query` on the same store entry.
+With ``processes > 0`` single-tree analyses fan out over a pool of worker
+processes, each holding its own store handle and a small pool of per-key
+transient kernels (CSR pattern + Poisson terms survive between requests); a
+worker failure of any kind falls back to the in-process path, never to an
+error response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Deque, Dict, Mapping, Optional, Tuple
+
+from ..core.measures import (
+    MTTF,
+    Query,
+    Unavailability,
+    Unreliability,
+    UnreliabilityBounds,
+)
+from ..core.results import (
+    BatchResult,
+    BatchRow,
+    MeasureResult,
+    RestoredStatistics,
+    StudyResult,
+)
+from ..core.study import StudyOptions, evaluate_skeleton_query
+from ..core.sweep import RateSweep, SweepStudy, with_rate_parameters
+from ..ctmc.builders import CtmcSkeleton
+from ..ctmc.kernel import TransientKernel
+from ..dft import galileo
+from ..dft.elements import BasicEvent
+from ..dft.hashing import canonical_assignment
+from ..errors import AnalysisError, ReproError
+from .store import SkeletonStore
+
+#: Service response envelope version (additive ``service`` key on results).
+SERVICE_SCHEMA = "repro.service/1"
+
+
+def query_from_payload(
+    payload: Optional[Mapping[str, object]], nondeterministic: bool = False
+) -> Query:
+    """Build a measure :class:`Query` from the wire query payload.
+
+    Keys (all optional): ``times`` — mission times for the unreliability
+    curve (default ``[1.0]``); ``bounds`` — report (min, max) envelopes;
+    ``mttf`` / ``unavailability`` — extra scalar measures.  When the target
+    model is non-deterministic the unreliability measure is upgraded to
+    bounds automatically, mirroring the CLI.
+    """
+    payload = {} if payload is None else dict(payload)
+    known = {"times", "bounds", "mttf", "unavailability"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise AnalysisError(
+            "unknown query field(s): " + ", ".join(unknown)
+            + f" (expected a subset of {sorted(known)})"
+        )
+    raw_times = payload.get("times", [1.0])
+    if not isinstance(raw_times, (list, tuple)) or not raw_times:
+        raise AnalysisError("query 'times' must be a non-empty list of mission times")
+    try:
+        times = [float(value) for value in raw_times]
+    except (TypeError, ValueError):
+        raise AnalysisError(f"query 'times' must be numbers, got {raw_times!r}") from None
+    bounds = bool(payload.get("bounds", False)) or nondeterministic
+    measures = [UnreliabilityBounds(times) if bounds else Unreliability(times)]
+    if payload.get("mttf"):
+        measures.append(MTTF())
+    if payload.get("unavailability"):
+        measures.append(Unavailability())
+    return Query(measures)
+
+
+def _percentile(samples: Tuple[float, ...], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class ServiceMetrics:
+    """Thread-safe per-endpoint request metrics with a bounded latency window."""
+
+    def __init__(self, window: int = 1024):
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._latencies: Dict[str, Deque[float]] = {}
+        self._window = int(window)
+        self._started = _time.time()
+
+    def record(self, endpoint: str, seconds: float, ok: bool = True) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if not ok:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+            window = self._latencies.setdefault(
+                endpoint, deque(maxlen=self._window)
+            )
+            window.append(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            endpoints = {}
+            for endpoint in sorted(self._requests):
+                samples = tuple(self._latencies.get(endpoint, ()))
+                endpoints[endpoint] = {
+                    "requests": self._requests[endpoint],
+                    "errors": self._errors.get(endpoint, 0),
+                    "p50_ms": _percentile(samples, 0.50) * 1000.0,
+                    "p95_ms": _percentile(samples, 0.95) * 1000.0,
+                }
+            return {
+                "uptime_seconds": _time.time() - self._started,
+                "endpoints": endpoints,
+            }
+
+
+# ---------------------------------------------------------------------------
+# worker-pool plumbing (per-process kernel pool)
+# ---------------------------------------------------------------------------
+
+class _WorkerKernels:
+    """Per-process serving state: a store handle + an LRU of warm kernels."""
+
+    def __init__(self, root: str, max_bytes: Optional[int], capacity: int = 8):
+        self.store = SkeletonStore(root, max_bytes=max_bytes)
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def evaluate(
+        self,
+        key: str,
+        assignment: Dict[str, float],
+        query_payload: Optional[Dict[str, object]],
+        tolerance: float,
+        on_error: str,
+    ) -> Tuple[MeasureResult, ...]:
+        cached = self._entries.get(key)
+        if cached is None:
+            entry = self.store.load(key)
+            if entry is None:
+                # Evicted between the parent's get_or_build and our load
+                # (cap pressure): signal the parent to evaluate inline.
+                raise KeyError(key)
+            kernel = (
+                TransientKernel(entry.skeleton, buffer=entry.buffer)
+                if isinstance(entry.skeleton, CtmcSkeleton)
+                else None
+            )
+            self._entries[key] = cached = (entry, kernel)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        entry, kernel = cached
+        query = query_from_payload(query_payload, nondeterministic=entry.nondeterministic)
+        return evaluate_skeleton_query(
+            entry.skeleton,
+            query,
+            assignment,
+            tolerance=tolerance,
+            on_error=on_error,
+            kernel=kernel,
+        )
+
+
+_WORKER_KERNELS: Optional[_WorkerKernels] = None
+
+
+def _init_service_worker(root: str, max_bytes: Optional[int]) -> None:
+    global _WORKER_KERNELS
+    _WORKER_KERNELS = _WorkerKernels(root, max_bytes)
+
+
+def _service_evaluate(
+    key: str,
+    assignment: Dict[str, float],
+    query_payload: Optional[Dict[str, object]],
+    tolerance: float,
+    on_error: str,
+) -> Tuple[MeasureResult, ...]:
+    assert _WORKER_KERNELS is not None
+    return _WORKER_KERNELS.evaluate(key, assignment, query_payload, tolerance, on_error)
+
+
+# ---------------------------------------------------------------------------
+# the application object
+# ---------------------------------------------------------------------------
+
+class AnalysisService:
+    """Serves analyses from a skeleton store; every handler is dict -> dict.
+
+    ``processes > 0`` attaches a pool of worker processes for ``/analyze``
+    requests (each worker keeps its own kernel pool warm); ``processes = 0``
+    evaluates inline with one warm kernel per cache key.  Sweeps and batches
+    always run in-process (the sweep engine parallelises internally).
+    """
+
+    def __init__(
+        self,
+        store: SkeletonStore,
+        options: Optional[StudyOptions] = None,
+        processes: int = 0,
+    ):
+        if int(processes) < 0:
+            raise AnalysisError(f"processes must be >= 0, got {processes}")
+        self.store = store
+        self.options = options or StudyOptions()
+        self.processes = int(processes)
+        self.metrics = ServiceMetrics()
+        self._build_lock = threading.Lock()
+        self._eval_lock = threading.Lock()
+        self._kernels: "OrderedDict[str, tuple]" = OrderedDict()
+        self._kernel_capacity = 8
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.processes > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.processes,
+                initializer=_init_service_worker,
+                initargs=(str(store.root), store.max_bytes),
+            )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -------------------------------------------------------------- dispatch
+    def handle(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]],
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request; returns ``(http_status, response_dict)``.
+
+        Domain errors (bad trees, bad queries) become 400 responses; unknown
+        paths 404; method mismatches 405.  Every request is recorded in
+        :attr:`metrics` under its endpoint.
+        """
+        endpoint = path.rstrip("/") or "/"
+        routes = {
+            ("POST", "/analyze"): self.analyze,
+            ("POST", "/sweep"): self.sweep,
+            ("POST", "/batch"): self.batch,
+            ("GET", "/healthz"): lambda _payload: self.healthz(),
+            ("GET", "/metrics"): lambda _payload: self.metrics_payload(),
+        }
+        handler = routes.get((method, endpoint))
+        if handler is None:
+            if any(route_path == endpoint for _, route_path in routes):
+                return 405, {"error": f"method {method} not allowed on {endpoint}"}
+            return 404, {"error": f"unknown endpoint: {endpoint}"}
+        start = _time.perf_counter()
+        try:
+            response = handler(payload)
+        except ReproError as error:
+            self.metrics.record(endpoint, _time.perf_counter() - start, ok=False)
+            return 400, {"error": str(error)}
+        self.metrics.record(endpoint, _time.perf_counter() - start, ok=True)
+        return 200, response
+
+    # -------------------------------------------------------------- handlers
+    def _parse_tree(self, payload: Optional[Mapping[str, object]], field: str = "tree"):
+        if payload is None or field not in payload:
+            raise AnalysisError(f"the request body needs a {field!r} field "
+                                "holding a Galileo fault-tree description")
+        text = payload[field]
+        if not isinstance(text, str) or not text.strip():
+            raise AnalysisError(f"request field {field!r} must be a non-empty "
+                                "Galileo description string")
+        return galileo.parse(text, name="<request>")
+
+    def _get_entry(self, tree):
+        with self._build_lock:
+            return self.store.get_or_build(tree, self.options)
+
+    def _evaluate_inline(
+        self, entry, assignment, query_payload, on_error: str
+    ) -> Tuple[MeasureResult, ...]:
+        with self._eval_lock:
+            cached = self._kernels.get(entry.key)
+            if cached is None:
+                kernel = (
+                    TransientKernel(entry.skeleton, buffer=entry.buffer)
+                    if isinstance(entry.skeleton, CtmcSkeleton)
+                    else None
+                )
+                self._kernels[entry.key] = cached = (entry, kernel)
+                while len(self._kernels) > self._kernel_capacity:
+                    self._kernels.popitem(last=False)
+            else:
+                self._kernels.move_to_end(entry.key)
+            held_entry, kernel = cached
+            query = query_from_payload(
+                query_payload, nondeterministic=held_entry.nondeterministic
+            )
+            return evaluate_skeleton_query(
+                held_entry.skeleton,
+                query,
+                assignment,
+                tolerance=self.options.tolerance,
+                on_error=on_error,
+                kernel=kernel,
+            )
+
+    def _evaluate(
+        self, entry, assignment, query_payload, on_error: str = "record"
+    ) -> Tuple[MeasureResult, ...]:
+        if self._pool is not None:
+            try:
+                return self._pool.submit(
+                    _service_evaluate,
+                    entry.key,
+                    dict(assignment),
+                    None if query_payload is None else dict(query_payload),
+                    self.options.tolerance,
+                    on_error,
+                ).result()
+            except ReproError:
+                raise
+            except Exception:
+                # Broken pool, unpicklable surprise, worker-side cache
+                # eviction — the response must not depend on pool health.
+                pass
+        return self._evaluate_inline(entry, assignment, query_payload, on_error)
+
+    def _study_result(self, tree, payload, entry, hit) -> StudyResult:
+        query_payload = payload.get("query") if payload else None
+        if query_payload is not None and not isinstance(query_payload, Mapping):
+            raise AnalysisError("the 'query' field must be an object")
+        start = _time.perf_counter()
+        measures = self._evaluate(
+            entry, canonical_assignment(tree), query_payload, on_error="record"
+        )
+        evaluation = _time.perf_counter() - start
+        options = self.options.to_dict()
+        options["skeleton_cache"] = "hit" if hit else "miss"
+        return StudyResult(
+            tree_name=tree.name,
+            tree_summary=tree.summary(),
+            measures=measures,
+            model=entry.model,
+            statistics=RestoredStatistics(dict(entry.statistics)),
+            options=options,
+            timings={"evaluation": evaluation, "total": evaluation},
+        )
+
+    def analyze(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
+        """``POST /analyze``: one tree, one query -> ``repro.study/1``."""
+        tree = self._parse_tree(payload)
+        entry, hit = self._get_entry(tree)
+        result = self._study_result(tree, payload, entry, hit)
+        response = result.to_dict(include_steps=False)
+        response["service"] = {
+            "schema": SERVICE_SCHEMA,
+            "cache": "hit" if hit else "miss",
+            "key": entry.key,
+        }
+        return response
+
+    def sweep(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
+        """``POST /sweep``: one tree, axes or samples -> ``repro.sweep/2``."""
+        tree = self._parse_tree(payload)
+        assert payload is not None
+        axes = payload.get("axes")
+        samples = payload.get("samples")
+        if (axes is None) == (samples is None):
+            raise AnalysisError(
+                "a sweep request needs exactly one of 'axes' "
+                "(parameter -> value list) or 'samples' (list of assignments)"
+            )
+        if axes is not None and isinstance(axes, Mapping):
+            swept = [str(name) for name in axes]
+        elif isinstance(samples, (list, tuple)):
+            swept = sorted(
+                {
+                    str(name)
+                    for sample in samples
+                    if isinstance(sample, Mapping)
+                    for name in sample
+                }
+            )
+        else:
+            swept = []
+        # Mirror the CLI: an axis naming a basic event (not a declared
+        # parameter) attaches a parameter of the same name to that event.
+        attach = [
+            name
+            for name in swept
+            if name not in tree.parameters
+            and name in tree
+            and isinstance(tree.element(name), BasicEvent)
+        ]
+        if attach:
+            tree = with_rate_parameters(tree, {name: name for name in attach})
+        entry, hit = self._get_entry(tree)
+        query = query_from_payload(
+            payload.get("query"), nondeterministic=entry.nondeterministic  # type: ignore[arg-type]
+        )
+        if axes is not None:
+            if not isinstance(axes, Mapping) or not axes:
+                raise AnalysisError("'axes' must map parameter names to value lists")
+            rate_sweep = RateSweep.grid(query, **{str(k): v for k, v in axes.items()})  # type: ignore[arg-type]
+        else:
+            if not isinstance(samples, (list, tuple)):
+                raise AnalysisError("'samples' must be a list of parameter assignments")
+            rate_sweep = RateSweep(query, samples)  # type: ignore[arg-type]
+        study = SweepStudy(tree, self.options, skeleton_cache=self.store)
+        result = study.run(
+            rate_sweep,
+            processes=int(payload.get("processes", 1)),  # type: ignore[arg-type]
+            share_uniformisation=bool(payload.get("share_uniformisation", False)),
+        )
+        response = result.to_dict()
+        response["service"] = {
+            "schema": SERVICE_SCHEMA,
+            "cache": "hit" if hit else "miss",
+            "key": entry.key,
+        }
+        return response
+
+    def batch(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
+        """``POST /batch``: many trees, one query -> ``repro.batch/1``."""
+        if payload is None or not isinstance(payload.get("trees"), (list, tuple)):
+            raise AnalysisError(
+                "a batch request needs a 'trees' list of Galileo descriptions"
+            )
+        trees = payload["trees"]
+        if not trees:
+            raise AnalysisError("a batch request needs at least one tree")
+        rows = []
+        hits = 0
+        misses = 0
+        start = _time.perf_counter()
+        for index, text in enumerate(trees):  # type: ignore[union-attr]
+            row_start = _time.perf_counter()
+            try:
+                if not isinstance(text, str) or not text.strip():
+                    raise AnalysisError(
+                        f"batch tree #{index} must be a non-empty Galileo string"
+                    )
+                tree = galileo.parse(text, name=f"<batch#{index}>")
+                entry, hit = self._get_entry(tree)
+                hits += 1 if hit else 0
+                misses += 0 if hit else 1
+                result = self._study_result(tree, payload, entry, hit)
+                rows.append(
+                    BatchRow(
+                        name=tree.name,
+                        source=None,
+                        result=result,
+                        error=None,
+                        wall_seconds=_time.perf_counter() - row_start,
+                    )
+                )
+            except ReproError as error:
+                rows.append(
+                    BatchRow(
+                        name=f"<batch#{index}>",
+                        source=None,
+                        result=None,
+                        error=str(error),
+                        wall_seconds=_time.perf_counter() - row_start,
+                    )
+                )
+        batch_result = BatchResult(
+            rows=tuple(rows),
+            wall_seconds=_time.perf_counter() - start,
+            processes=1,
+        )
+        response = batch_result.to_dict()
+        response["service"] = {
+            "schema": SERVICE_SCHEMA,
+            "cache_hits": hits,
+            "cache_misses": misses,
+        }
+        return response
+
+    def healthz(self) -> Dict[str, object]:
+        stats = self.store.stats()
+        return {
+            "status": "ok",
+            "schema": SERVICE_SCHEMA,
+            "store": stats["root"],
+            "entries": stats["entries"],
+            "processes": self.processes,
+        }
+
+    def metrics_payload(self) -> Dict[str, object]:
+        payload = self.metrics.snapshot()
+        payload["schema"] = SERVICE_SCHEMA
+        payload["store"] = self.store.stats()
+        return payload

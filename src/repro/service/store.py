@@ -1,0 +1,408 @@
+"""Content-addressed on-disk store of aggregated skeletons.
+
+The expensive half of the pipeline (conversion, composition, minimisation)
+depends only on a fault tree's *structure* — :mod:`repro.dft.hashing` defines
+the equivalence and its canonical hash.  This module caches the expensive
+half's output under that hash:
+
+* one cache entry = the :class:`~repro.ctmc.builders.CtmcSkeleton` /
+  :class:`~repro.ctmc.builders.CtmdpSkeleton` of the tree's *canonical
+  parametrisation* (every rate bound to a canonical per-event parameter, so
+  the entry serves **every** tree of the hash class), plus the prebuilt CSR
+  pattern (:class:`~repro.ctmc.kernel.CsrBuffer`), the aggregation statistics
+  summary and the build timings;
+* the on-disk format is ``MAGIC | format version | sha256(payload) | payload``
+  with the payload a pickle of the entry — any truncation, bit flip, version
+  mismatch or unpicklable payload is detected, logged, **evicted** and
+  silently recomputed, never crashing a request and never serving a stale or
+  corrupt structure;
+* writes are atomic (temp file + ``os.replace``) so concurrent builders and
+  readers only ever observe complete entries;
+* an optional byte cap turns the directory into an mtime-LRU: loads touch the
+  entry, stores evict the oldest entries beyond the cap.
+
+:class:`~repro.core.study.Study` and :class:`~repro.core.sweep.SweepStudy`
+accept a store via ``skeleton_cache=`` and skip conversion + aggregation +
+minimisation entirely on a hit; the HTTP serving layer
+(:mod:`repro.service.server`) is built on the same entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.results import ModelInfo
+from ..core.study import Study, StudyOptions
+from ..ctmc.builders import (
+    CtmcSkeleton,
+    CtmdpSkeleton,
+    ctmc_skeleton_from_ioimc,
+    ctmdp_skeleton_from_ioimc,
+)
+from ..ctmc.kernel import CsrBuffer
+from ..dft import galileo
+from ..dft.hashing import HASH_VERSION, canonical_parametrisation, structural_hash
+from ..dft.tree import DynamicFaultTree
+from ..errors import AnalysisError, NondeterminismError, ReproError
+
+LOGGER = logging.getLogger("repro.service.store")
+
+#: Leading bytes of every cache file ("Repro SKeleton Cache").
+MAGIC = b"RSKC"
+#: On-disk format version; bump on any layout change so old files are evicted.
+FORMAT_VERSION = 1
+#: Bytes before the pickled payload: magic, version, payload checksum.
+_HEADER_SIZE = len(MAGIC) + 4 + 32
+#: File suffix of cache entries.
+ENTRY_SUFFIX = ".skel"
+
+
+def _options_fingerprint(options: Optional[StudyOptions]) -> str:
+    """A short digest of the options that shape the cached structure.
+
+    Tolerance and worker counts do not: the truncation tolerance only affects
+    evaluation, and parallel aggregation is pinned identical to serial.
+    """
+    payload = (options or StudyOptions()).to_dict()
+    payload.pop("tolerance", None)
+    payload.pop("aggregation_processes", None)
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def cache_key(tree: DynamicFaultTree, options: Optional[StudyOptions] = None) -> str:
+    """The store key of ``tree``: structural hash + options fingerprint."""
+    return f"{structural_hash(tree)}-{_options_fingerprint(options)}"
+
+
+@dataclass
+class SkeletonEntry:
+    """One cached structure: skeleton, CSR pattern, statistics, provenance.
+
+    The skeleton belongs to the *canonical parametrisation* of the hash
+    class, so instantiating it under
+    :func:`repro.dft.hashing.canonical_assignment` of any member tree yields
+    that tree's Markov model.  ``buffer`` (CTMC entries only) shares the
+    skeleton object, an identity pickling preserves.
+    """
+
+    key: str
+    tree_hash: str
+    hash_version: int
+    skeleton: Union[CtmcSkeleton, CtmdpSkeleton]
+    buffer: Optional[CsrBuffer]
+    model: ModelInfo
+    statistics: Dict[str, object]
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nondeterministic(self) -> bool:
+        return isinstance(self.skeleton, CtmdpSkeleton)
+
+
+def build_entry(
+    tree: DynamicFaultTree,
+    options: Optional[StudyOptions] = None,
+    key: Optional[str] = None,
+) -> SkeletonEntry:
+    """Run the expensive pipeline once for ``tree``'s structural class.
+
+    The pipeline runs on the canonical parametrisation, so the resulting
+    skeleton is rate-free: concrete rates of the source tree never leak into
+    the cached structure.
+    """
+    tree_hash = structural_hash(tree)
+    if key is None:
+        key = f"{tree_hash}-{_options_fingerprint(options)}"
+    canonical = canonical_parametrisation(tree)
+    study = Study(canonical, options)
+    final = study.final_ioimc
+    start = _time.perf_counter()
+    buffer: Optional[CsrBuffer] = None
+    skeleton: Union[CtmcSkeleton, CtmdpSkeleton]
+    try:
+        skeleton = ctmc_skeleton_from_ioimc(final)
+        buffer = CsrBuffer(skeleton)
+    except NondeterminismError:
+        skeleton = ctmdp_skeleton_from_ioimc(final)
+    skeleton_seconds = _time.perf_counter() - start
+    nondeterministic = isinstance(skeleton, CtmdpSkeleton)
+    model = ModelInfo(
+        kind="ctmdp" if nondeterministic else "ctmc",
+        states=skeleton.num_states,
+        nondeterministic=nondeterministic,
+        final_ioimc_states=final.num_states,
+        final_ioimc_transitions=final.num_transitions,
+        community_size=len(study.community.members),
+    )
+    study_timings = study.timings
+    timings = {
+        "conversion": study_timings.get("conversion", 0.0),
+        "aggregation": study_timings.get("aggregation", 0.0),
+        "skeleton": skeleton_seconds,
+        "build": (
+            study_timings.get("conversion", 0.0)
+            + study_timings.get("aggregation", 0.0)
+            + skeleton_seconds
+        ),
+    }
+    return SkeletonEntry(
+        key=key,
+        tree_hash=tree_hash,
+        hash_version=HASH_VERSION,
+        skeleton=skeleton,
+        buffer=buffer,
+        model=model,
+        statistics=dict(study.statistics.to_dict(include_steps=False)),
+        timings=timings,
+    )
+
+
+class SkeletonStore:
+    """A directory of content-addressed skeleton entries with an LRU byte cap.
+
+    Thread/process safety relies on the atomicity of ``os.replace`` and on
+    entries being immutable once written: concurrent builders of the same key
+    race benignly (last write wins, both writes are identical up to timings)
+    and readers only ever see complete files.  Counters (hits, misses,
+    corrupt evictions, ...) are per-store-object.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], max_bytes: Optional[int] = None
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and int(max_bytes) <= 0:
+            raise AnalysisError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt_evictions = 0
+
+    # ------------------------------------------------------------------ paths
+    def path_of(self, key: str) -> Path:
+        return self.root / f"{key}{ENTRY_SUFFIX}"
+
+    def _entries_on_disk(self) -> List[Path]:
+        return [
+            path
+            for path in self.root.glob(f"*{ENTRY_SUFFIX}")
+            if not path.name.startswith(".")
+        ]
+
+    # ------------------------------------------------------------------- load
+    def load(self, key: str) -> Optional[SkeletonEntry]:
+        """The entry under ``key``, or None (miss / evicted-corrupt entry)."""
+        path = self.path_of(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            LOGGER.warning("skeleton cache: cannot read %s (%s)", path, error)
+            self.misses += 1
+            return None
+        entry = self._decode(raw, path, key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.hits += 1
+        return entry
+
+    def _decode(
+        self, raw: bytes, path: Path, key: str
+    ) -> Optional[SkeletonEntry]:
+        """Decode one cache file; evict (and log) anything not pristine."""
+        if len(raw) < _HEADER_SIZE or raw[: len(MAGIC)] != MAGIC:
+            return self._evict_corrupt(path, "truncated or foreign header")
+        version = int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 4], "big")
+        if version != FORMAT_VERSION:
+            return self._evict_corrupt(
+                path, f"format version {version} != {FORMAT_VERSION}"
+            )
+        checksum = raw[len(MAGIC) + 4 : _HEADER_SIZE]
+        payload = raw[_HEADER_SIZE:]
+        if hashlib.sha256(payload).digest() != checksum:
+            return self._evict_corrupt(path, "payload checksum mismatch")
+        try:
+            entry = pickle.loads(payload)
+        except Exception as error:  # noqa: BLE001 - any unpickling failure
+            return self._evict_corrupt(path, f"unpicklable payload ({error})")
+        if not isinstance(entry, SkeletonEntry):
+            return self._evict_corrupt(path, "payload is not a skeleton entry")
+        if entry.hash_version != HASH_VERSION:
+            return self._evict_corrupt(
+                path,
+                f"structural-hash version {entry.hash_version} != {HASH_VERSION}",
+            )
+        if entry.key != key:
+            return self._evict_corrupt(path, f"entry key {entry.key!r} != {key!r}")
+        return entry
+
+    def _evict_corrupt(self, path: Path, reason: str) -> None:
+        LOGGER.warning(
+            "skeleton cache: evicting %s (%s); the structure will be recomputed",
+            path,
+            reason,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.corrupt_evictions += 1
+        return None
+
+    # ------------------------------------------------------------------ store
+    def store(self, entry: SkeletonEntry) -> Path:
+        """Atomically persist ``entry`` and enforce the byte cap."""
+        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (
+            MAGIC
+            + FORMAT_VERSION.to_bytes(4, "big")
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        path = self.path_of(entry.key)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=ENTRY_SUFFIX
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self._enforce_cap(keep=path)
+        return path
+
+    def _enforce_cap(self, keep: Optional[Path] = None) -> None:
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self._entries_on_disk():
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+            total += status.st_size
+        entries.sort()
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep and len(entries) > 1:
+                continue  # evict the newest entry only as a last resort
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    # ------------------------------------------------------------- high level
+    def get_or_build(
+        self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None
+    ) -> Tuple[SkeletonEntry, bool]:
+        """The entry of ``tree``'s class, building and persisting on a miss.
+
+        Returns ``(entry, hit)``.  A store failure (disk full, read-only
+        root) degrades to cache-less operation: the freshly built entry is
+        returned anyway.
+        """
+        key = cache_key(tree, options)
+        entry = self.load(key)
+        if entry is not None:
+            return entry, True
+        entry = build_entry(tree, options, key=key)
+        try:
+            self.store(entry)
+        except OSError as error:
+            LOGGER.warning(
+                "skeleton cache: cannot persist %s (%s); serving unpersisted",
+                key,
+                error,
+            )
+        return entry, False
+
+    def warm(
+        self,
+        sources: Iterable[Union[str, Path, DynamicFaultTree]],
+        options: Optional[StudyOptions] = None,
+    ) -> Dict[str, int]:
+        """Prebuild entries for trees / Galileo files; returns counters."""
+        built = 0
+        hits = 0
+        failed = 0
+        for source in sources:
+            try:
+                if isinstance(source, DynamicFaultTree):
+                    tree = source
+                else:
+                    tree = galileo.parse_file(str(source))
+                _entry, hit = self.get_or_build(tree, options)
+            except (ReproError, OSError) as error:
+                LOGGER.warning("skeleton cache: cannot warm %s (%s)", source, error)
+                failed += 1
+                continue
+            if hit:
+                hits += 1
+            else:
+                built += 1
+        return {"built": built, "hits": hits, "failed": failed}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self._entries_on_disk():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Disk usage and per-object counters, JSON-safe."""
+        entries = self._entries_on_disk()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": total,
+            "max_bytes": self.max_bytes,
+            "hash_version": HASH_VERSION,
+            "format_version": FORMAT_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
+        }

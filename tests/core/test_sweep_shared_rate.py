@@ -1,0 +1,115 @@
+"""Shared uniformisation across a sweep grid (one Poisson table per sweep).
+
+``share_uniformisation=True`` scans the grid for the largest natural
+uniformisation rate and loads every sample at that rate, so the transient
+kernel keeps one Poisson term table for the whole grid.  The defence is a
+differential: every row must agree with the per-sample-rate baseline to
+1e-9 — uniformisation is exact in the rate as long as the rate dominates
+every exit rate, so this is a pure performance knob.
+"""
+
+import pytest
+
+from repro import RateSweep, Unreliability
+from repro.core.sweep import SweepStudy, _SweepPlan, _scan_shared_rate
+from repro.ctmc.kernel import CsrBuffer
+from repro.dft import FaultTreeBuilder
+
+TOLERANCE = 1e-9
+MISSION_TIMES = [0.5, 1.0, 2.0]
+
+
+def wide_range_tree():
+    """Rates spanning two orders of magnitude make the rates genuinely differ."""
+    builder = FaultTreeBuilder("shared-rate")
+    builder.parameter("lam", 0.5)
+    builder.parameter("mu", 2.0)
+    builder.basic_event("A", param="lam")
+    builder.basic_event("B", failure_rate=1.0)
+    builder.basic_event("S", param="mu", dormancy=0.3)
+    builder.spare_gate("G", primary="A", spares=["S"])
+    builder.and_gate("top", ["G", "B"])
+    return builder.build(top="top")
+
+
+def _grid():
+    return RateSweep.grid(
+        Unreliability(MISSION_TIMES), lam=[0.05, 0.5, 5.0], mu=[0.2, 2.0]
+    )
+
+
+class TestSharedUniformisation:
+    def test_rows_match_per_sample_rates(self):
+        baseline = SweepStudy(wide_range_tree()).run(_grid())
+        shared = SweepStudy(wide_range_tree()).run(_grid(), share_uniformisation=True)
+        assert len(shared.rows) == len(baseline.rows)
+        for ours, theirs in zip(shared.rows, baseline.rows):
+            assert ours.sample == theirs.sample
+            for mine, ref in zip(ours.measures, theirs.measures):
+                for a, b in zip(mine.values, ref.values):
+                    assert a == pytest.approx(b, abs=TOLERANCE)
+
+    def test_parallel_rows_match_too(self):
+        baseline = SweepStudy(wide_range_tree()).run(_grid())
+        shared = SweepStudy(wide_range_tree()).run(
+            _grid(), processes=2, share_uniformisation=True
+        )
+        for ours, theirs in zip(shared.rows, baseline.rows):
+            for mine, ref in zip(ours.measures, theirs.measures):
+                for a, b in zip(mine.values, ref.values):
+                    assert a == pytest.approx(b, abs=TOLERANCE)
+
+    def test_shared_rate_dominates_every_sample(self):
+        study = SweepStudy(wide_range_tree())
+        result = study.run(_grid(), share_uniformisation=True)
+        shared_rate = result.options["shared_uniformisation_rate"]
+        skeleton = study.skeleton
+        buffer = CsrBuffer(skeleton)
+        plan = _SweepPlan(
+            skeleton=skeleton,
+            declared=dict(study.tree.parameters),
+            query=Unreliability(MISSION_TIMES),
+            tolerance=1e-12,
+        )
+        for sample in _grid().samples:
+            assert buffer.max_exit_rate(plan.assignment_of(sample)) <= (
+                shared_rate + 1e-12
+            )
+
+    def test_option_absent_without_the_flag(self):
+        result = SweepStudy(wide_range_tree()).run(_grid())
+        assert "shared_uniformisation_rate" not in result.options
+
+    def test_nondeterministic_sweep_ignores_the_flag(self):
+        # CTMDP skeletons have no single uniformisation table; the flag must
+        # be a silent no-op, not a crash.
+        builder = FaultTreeBuilder("nondet-shared")
+        builder.parameter("lam", 1.0)
+        builder.basic_event("T", param="lam")
+        builder.basic_event("X", failure_rate=1.0)
+        builder.basic_event("Y", failure_rate=1.0)
+        builder.pand_gate("top", ["X", "Y"])
+        builder.fdep("F", trigger="T", dependents=["X", "Y"])
+        tree = builder.build(top="top")
+        from repro import UnreliabilityBounds
+
+        sweep_spec = RateSweep.grid(UnreliabilityBounds([1.0]), lam=[0.5, 1.5])
+        result = SweepStudy(tree).run(sweep_spec, share_uniformisation=True)
+        assert "shared_uniformisation_rate" not in result.options
+        assert all(row.error is None for row in result.rows)
+
+    def test_scan_helper_returns_the_maximum(self):
+        study = SweepStudy(wide_range_tree())
+        plan = _SweepPlan(
+            skeleton=study.skeleton,
+            declared=dict(study.tree.parameters),
+            query=Unreliability(MISSION_TIMES),
+            tolerance=1e-12,
+        )
+        rate = _scan_shared_rate(plan, _grid().samples)
+        buffer = CsrBuffer(study.skeleton)
+        expected = max(
+            buffer.max_exit_rate(plan.assignment_of(sample))
+            for sample in _grid().samples
+        )
+        assert rate == pytest.approx(expected)

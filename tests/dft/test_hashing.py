@@ -1,0 +1,245 @@
+"""Canonicalisation properties of the structural hash (the store's cache key).
+
+The hash must quotient out everything the skeleton store makes irrelevant —
+element names, Galileo declaration order, concrete rate values — and must
+separate everything that changes the aggregated structure: gate types, PAND
+child order, parameter axes (which events share a swept parameter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sweep import with_rate_parameters
+from repro.dft import galileo
+from repro.dft.builder import FaultTreeBuilder
+from repro.dft.elements import AndGate, BasicEvent, OrGate
+from repro.dft.hashing import (
+    canonical_assignment,
+    canonical_parameter_map,
+    canonical_parametrisation,
+    structural_hash,
+    translate_sample,
+)
+from repro.dft.tree import DynamicFaultTree
+from repro.systems import random_dft
+
+
+def _rename_via_galileo(tree: DynamicFaultTree, prefix: str = "zz_") -> DynamicFaultTree:
+    """The same tree with every element renamed (Galileo names are quoted)."""
+    text = galileo.write(tree)
+    for name in tree.names():
+        text = text.replace(f'"{name}"', f'"{prefix}{name}"')
+    return galileo.parse(text, name=f"renamed-{tree.name}")
+
+
+def _permute_declarations(tree: DynamicFaultTree) -> DynamicFaultTree:
+    """The same tree with declarations added in reverse order."""
+    clone = DynamicFaultTree(tree.name)
+    for parameter, nominal in tree.parameters.items():
+        clone.declare_parameter(parameter, nominal)
+    for name in reversed(list(tree.names())):
+        clone.add(tree.element(name))
+    clone.set_top(tree.top)
+    return clone
+
+
+def _scale_rates(tree: DynamicFaultTree, factor: float) -> DynamicFaultTree:
+    """The same tree with every concrete rate scaled by ``factor``."""
+    clone = DynamicFaultTree(tree.name)
+    for parameter, nominal in tree.parameters.items():
+        clone.declare_parameter(parameter, nominal * factor)
+    for name in tree.names():
+        element = tree.element(name)
+        if isinstance(element, BasicEvent):
+            element = dataclasses.replace(
+                element,
+                failure_rate=element.failure_rate * factor,
+                repair_rate=(
+                    None
+                    if element.repair_rate is None
+                    else element.repair_rate * factor
+                ),
+            )
+        clone.add(element)
+    clone.set_top(tree.top)
+    return clone
+
+
+def _flip_one_gate(tree: DynamicFaultTree) -> DynamicFaultTree:
+    """The same tree with one AND flipped to OR (or OR to AND)."""
+    clone = DynamicFaultTree(tree.name)
+    for parameter, nominal in tree.parameters.items():
+        clone.declare_parameter(parameter, nominal)
+    flipped = False
+    for name in tree.names():
+        element = tree.element(name)
+        if not flipped and isinstance(element, AndGate):
+            element = OrGate(name=element.name, inputs=element.inputs)
+            flipped = True
+        elif not flipped and isinstance(element, OrGate) and len(element.inputs) > 1:
+            element = AndGate(name=element.name, inputs=element.inputs)
+            flipped = True
+        clone.add(element)
+    if not flipped:
+        return None
+    clone.set_top(tree.top)
+    return clone
+
+
+class TestHandBuiltInvariance:
+    def _pand(self, first: str, second: str) -> DynamicFaultTree:
+        # The children are structurally distinct (a plain event vs an OR
+        # gate), so swapping them genuinely changes the canonical structure.
+        builder = FaultTreeBuilder("pand")
+        builder.basic_event("x", 1.0)
+        builder.basic_event("y1", 2.0)
+        builder.basic_event("y2", 2.0)
+        builder.or_gate("y", ["y1", "y2"])
+        builder.pand_gate("top", [first, second])
+        return builder.build("top")
+
+    def test_pand_child_order_changes_hash(self):
+        assert structural_hash(self._pand("x", "y")) != structural_hash(
+            self._pand("y", "x")
+        )
+
+    def test_pand_order_of_interchangeable_children_is_positional(self):
+        # Two hot events differing only in their (hash-excluded) rates are
+        # the same structural class, so both orders share one cached
+        # skeleton; correctness is preserved because the canonical per-event
+        # parameters are assigned by position (see the store tests for the
+        # numeric differential).
+        def pand(first, second):
+            builder = FaultTreeBuilder("pand2")
+            builder.basic_event("x", 1.0)
+            builder.basic_event("y", 2.0)
+            builder.pand_gate("top", [first, second])
+            return builder.build("top")
+
+        assert structural_hash(pand("x", "y")) == structural_hash(pand("y", "x"))
+        ours = canonical_assignment(pand("x", "y"))
+        swapped = canonical_assignment(pand("y", "x"))
+        # Same canonical axes, mirrored values: the assignment carries the
+        # order the hash quotiented out.
+        assert set(ours) == set(swapped)
+        assert sorted(ours.values()) == sorted(swapped.values())
+        assert ours != swapped
+
+    def test_and_child_order_preserves_hash(self):
+        # AND is commutative only up to the children's structural classes;
+        # with distinct rates excluded from the hash both orders canonicalise
+        # to the same positional records.
+        def and_tree(first, second):
+            builder = FaultTreeBuilder("and")
+            builder.basic_event("x", 1.0)
+            builder.basic_event("y", 2.0)
+            builder.and_gate("top", [first, second])
+            return builder.build("top")
+
+        # Same child fingerprints (both plain hot events) -> same canonical
+        # DFS order regardless of input order is NOT guaranteed in general,
+        # but two structurally identical children must hash alike.
+        assert structural_hash(and_tree("x", "y")) == structural_hash(
+            and_tree("y", "x")
+        )
+
+    def test_parameter_axis_changes_hash(self, and_tree):
+        assert structural_hash(with_rate_parameters(and_tree)) != structural_hash(
+            and_tree
+        )
+
+    def test_shared_axis_differs_from_split_axes(self):
+        def tree(shared):
+            builder = FaultTreeBuilder("axes")
+            builder.basic_event("x", 1.0)
+            builder.basic_event("y", 1.0)
+            builder.and_gate("top", ["x", "y"])
+            built = builder.build("top")
+            mapping = {"x": "p", "y": "p"} if shared else {"x": "px", "y": "py"}
+            return with_rate_parameters(built, mapping)
+
+        assert structural_hash(tree(shared=True)) != structural_hash(
+            tree(shared=False)
+        )
+
+    def test_dormancy_is_structural(self):
+        def tree(dormancy):
+            builder = FaultTreeBuilder("spare")
+            builder.basic_event("p", 1.0)
+            builder.basic_event("s", 1.0, dormancy=dormancy)
+            builder.spare_gate("top", "p", ["s"])
+            return builder.build("top")
+
+        assert structural_hash(tree(0.0)) != structural_hash(tree(0.5))
+
+
+class TestRandomTreeInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_events=st.integers(min_value=3, max_value=7),
+        seed=st.integers(min_value=0, max_value=200),
+        factor=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    )
+    def test_equivalences_and_separations(self, num_events, seed, factor):
+        tree = random_dft(num_basic_events=num_events, seed=seed)
+        reference = structural_hash(tree)
+        # Invariances: names, declaration order, concrete rates.
+        assert structural_hash(_rename_via_galileo(tree)) == reference
+        assert structural_hash(_permute_declarations(tree)) == reference
+        assert structural_hash(_scale_rates(tree, factor)) == reference
+        # Parametrising events adds axes -> a different structural class.
+        assert structural_hash(with_rate_parameters(tree)) != reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_events=st.integers(min_value=3, max_value=7),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_gate_type_changes_hash(self, num_events, seed):
+        tree = random_dft(num_basic_events=num_events, seed=seed)
+        flipped = _flip_one_gate(tree)
+        assume(flipped is not None)
+        assert structural_hash(flipped) != structural_hash(tree)
+
+
+class TestCanonicalParametrisation:
+    def test_assignment_restores_source_rates(self):
+        tree = random_dft(num_basic_events=5, seed=11)
+        canonical = canonical_parametrisation(tree)
+        assignment = canonical_assignment(tree)
+        # Every canonical parameter the clone declares is assigned, at the
+        # source tree's concrete rate.
+        assert set(assignment) == set(canonical.parameters)
+        by_param = dict(canonical.parameters)
+        for name, value in assignment.items():
+            assert by_param[name] == pytest.approx(value)
+
+    def test_structurally_equal_trees_share_the_canonical_form(self):
+        tree = random_dft(num_basic_events=5, seed=11)
+        renamed = _rename_via_galileo(tree)
+        ours = canonical_parametrisation(tree)
+        theirs = canonical_parametrisation(renamed)
+        assert [e.name for e in ours.elements()] == [
+            e.name for e in theirs.elements()
+        ]
+        assert structural_hash(ours) == structural_hash(theirs)
+
+    def test_parameter_map_translates_samples(self):
+        builder = FaultTreeBuilder("mapped")
+        builder.parameter("lam", 0.5)
+        builder.basic_event("x", param="lam")
+        builder.basic_event("y", param="lam")
+        builder.basic_event("z", 2.0)
+        builder.and_gate("top", ["x", "y", "z"])
+        tree = builder.build("top")
+        mapping = canonical_parameter_map(tree)
+        assert set(mapping) == {"lam"}
+        assert len(mapping["lam"]) == 2  # lam drives two canonical axes
+        sample = translate_sample({"lam": 0.9}, mapping)
+        assert set(sample) == set(mapping["lam"])
+        assert all(value == 0.9 for value in sample.values())
