@@ -338,6 +338,80 @@ def test_strong_minimisation_growth(benchmark, num_states):
     assert minimised.num_states == chain.num_states
 
 
+#: The million-state-tier rung: chain size, wall-clock gate (seconds) and
+#: peak-RSS gate (kilobytes) of the 120k growth point below.
+GROWTH_GATE_STATES = 120_000
+GROWTH_GATE_WALL_SECONDS = 120.0
+GROWTH_GATE_RSS_KB = 450_000
+
+_GROWTH_GATE_CHILD = """
+import json, resource, sys, time
+sys.path.insert(0, {src!r}); sys.path.insert(0, {bench!r})
+from workloads import tau_heavy_chain
+from repro.ioimc import minimize_strong
+chain = tau_heavy_chain({states})
+start = time.perf_counter()
+minimised = minimize_strong(chain)
+wall = time.perf_counter() - start
+print(json.dumps({{
+    "wall_seconds": wall,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "minimised_states": minimised.num_states,
+}}))
+"""
+
+
+@big_tier
+@pytest.mark.benchmark(group="scalability-minimisation-growth")
+def test_growth_chain_120k_gated(benchmark):
+    """The 120k-state growth point, gated: < 120 s wall, < 450 MB peak RSS.
+
+    Runs in a fresh subprocess so the RSS high-water mark belongs to this
+    point alone — ``ru_maxrss`` is a process-lifetime peak, and the earlier
+    growth points would otherwise leak into (or mask) the gate.
+    """
+    import json as _json
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent
+    child = _GROWTH_GATE_CHILD.format(
+        src=str(bench_dir.parent / "src"),
+        bench=str(bench_dir),
+        states=GROWTH_GATE_STATES,
+    )
+
+    def run():
+        completed = subprocess.run(
+            [_sys.executable, "-c", child],
+            capture_output=True,
+            text=True,
+            timeout=GROWTH_GATE_WALL_SECONDS * 3,
+        )
+        assert completed.returncode == 0, completed.stderr
+        return _json.loads(completed.stdout)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        experiment="E15 (120k growth point, gated)",
+        input_states=GROWTH_GATE_STATES,
+        minimised_states=outcome["minimised_states"],
+        wall_seconds=outcome["wall_seconds"],
+        peak_rss_kb=outcome["peak_rss_kb"],
+        wall_gate_seconds=GROWTH_GATE_WALL_SECONDS,
+        rss_gate_kb=GROWTH_GATE_RSS_KB,
+    )
+    # No two chain states are bisimilar: the quotient must be the input.
+    assert outcome["minimised_states"] == GROWTH_GATE_STATES
+    # Measured ~6 s / ~330 MB on the development machine: both gates leave a
+    # wide margin for loaded CI runners while still catching a return to the
+    # pre-smaller-half scaling (quadratic work would need ~15 minutes here).
+    assert outcome["wall_seconds"] < GROWTH_GATE_WALL_SECONDS
+    assert outcome["peak_rss_kb"] < GROWTH_GATE_RSS_KB
+
+
 @pytest.mark.benchmark(group="scalability-comparison")
 def test_paper_instance_gap(benchmark):
     """The headline comparison on the paper's own instance (3 x 4)."""

@@ -37,6 +37,20 @@ NUM_CLIENTS = 4
 REQUESTS_PER_CLIENT = 25
 WARM_REPEATS = 5
 MISSION_TIMES = [0.5, 1.0, 2.0]
+SWEEP_ROWS = 48
+SWEEP_POOL_PROCESSES = 4
+
+SWEEP_TREE = """
+param lam = 0.5;
+toplevel "sys";
+"sys" and "left" "right";
+"left" or "a" "b";
+"right" or "c" "d";
+"a" lambda=lam;
+"b" lambda=0.7;
+"c" lambda=lam;
+"d" lambda=0.9;
+"""
 
 
 def _strip(response: dict) -> dict:
@@ -137,9 +151,64 @@ def bench_service() -> dict:
     }
 
 
+def _sweep_rows_per_second(processes: int) -> tuple:
+    """Warm sweep throughput against a server with ``processes`` workers."""
+    samples = [{"lam": 0.1 + 0.05 * k} for k in range(SWEEP_ROWS)]
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as cache_dir:
+        server = serve(cache_dir, port=0, processes=processes)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+            # Warm the skeleton store (and the worker kernels) first so the
+            # measurement sees only row evaluation, not the cold build.
+            client.sweep(SWEEP_TREE, samples=samples[:1], times=MISSION_TIMES)
+            best = float("inf")
+            response = None
+            for _ in range(WARM_REPEATS):
+                start = time.perf_counter()
+                response = client.sweep(
+                    SWEEP_TREE, samples=samples, times=MISSION_TIMES
+                )
+                best = min(best, time.perf_counter() - start)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    return best, response
+
+
+def bench_sweep_pool() -> dict:
+    """Satellite benchmark: `/sweep` rows through the persistent worker pool
+    vs the inline engine, same store-warm request."""
+    inline_seconds, inline_response = _sweep_rows_per_second(0)
+    pooled_seconds, pooled_response = _sweep_rows_per_second(SWEEP_POOL_PROCESSES)
+    identical = [
+        (row["sample"], row["measures"])
+        for row in inline_response["rows"]
+    ] == [
+        (row["sample"], row["measures"])
+        for row in pooled_response["rows"]
+    ]
+    return {
+        "rows": SWEEP_ROWS,
+        "pool_processes": SWEEP_POOL_PROCESSES,
+        "inline_seconds": inline_seconds,
+        "pooled_seconds": pooled_seconds,
+        "inline_rows_per_second": SWEEP_ROWS / inline_seconds,
+        "pooled_rows_per_second": SWEEP_ROWS / pooled_seconds,
+        "pooled_speedup": inline_seconds / pooled_seconds,
+        "pooled_used_service_pool": bool(
+            pooled_response["options"].get("service_pool", False)
+        ),
+        "rows_identical": identical,
+    }
+
+
 def main(argv) -> int:
     report_path = Path(argv[1] if len(argv) > 1 else "BENCH_fig2.json")
     section = bench_service()
+    section["sweep_pool"] = bench_sweep_pool()
 
     report = {}
     if report_path.exists():
@@ -149,6 +218,10 @@ def main(argv) -> int:
     print(json.dumps({"service": section}, indent=2, sort_keys=True))
 
     failures = []
+    if not section["sweep_pool"]["rows_identical"]:
+        failures.append("pooled sweep rows differ from inline sweep rows")
+    if not section["sweep_pool"]["pooled_used_service_pool"]:
+        failures.append("pooled sweep fell back to the inline engine")
     if section["warm_speedup"] < 10.0:
         failures.append(
             f"warm analyze only {section['warm_speedup']:.1f}x faster than cold "

@@ -96,7 +96,8 @@ def _analysis_options(args: argparse.Namespace) -> StudyOptions:
         ordering=args.ordering,
         aggregation=AggregationOptions(
             method=args.aggregation,
-            minimiser=getattr(args, "minimiser", "splitter"),
+            minimiser=getattr(args, "minimiser", "closure"),
+            minimisation_processes=getattr(args, "minimisation_processes", 1),
         ),
         fuse=not getattr(args, "no_fuse", False),
         tolerance=getattr(args, "tolerance", 1e-12),
@@ -465,6 +466,13 @@ def command_cache(args: argparse.Namespace) -> int:
             print(f"Total bytes: {stats['total_bytes']}")
             cap = stats["max_bytes"]
             print(f"Byte cap   : {'unlimited' if cap is None else cap}")
+            ratio = stats["compression_ratio"]
+            print(
+                f"Compression: {stats['compression']}, "
+                f"{stats['compressed_bytes']} of {stats['payload_bytes']} "
+                f"payload bytes"
+                + ("" if ratio is None else f" ({ratio}x)")
+            )
             print(
                 f"Versions   : hash v{stats['hash_version']}, "
                 f"format v{stats['format_version']}"
@@ -573,10 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--minimiser",
-            choices=["splitter", "signature"],
-            default="splitter",
-            help="bisimulation refinement engine (default: splitter; "
-            "'signature' is the slower reference implementation)",
+            choices=["closure", "splitter", "signature"],
+            default="closure",
+            help="bisimulation refinement engine (default: closure, the "
+            "saturation-free batched-frontier engine; 'splitter' is the "
+            "per-splitter engine, 'signature' the slower reference "
+            "implementation — all three compute identical quotients)",
         )
         sub.add_argument(
             "--aggregation-processes",
@@ -585,6 +595,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for collapsing independent module groups "
             "under --ordering modular (default: 1, serial; the result is "
             "identical to a serial run)",
+        )
+        sub.add_argument(
+            "--minimisation-processes",
+            type=int,
+            default=1,
+            help="worker processes for one minimisation: connected components "
+            "of the transition graph refine in parallel (default: 1; "
+            "single-component models always refine serially)",
         )
 
     def add_measures(sub: argparse.ArgumentParser) -> None:

@@ -124,6 +124,7 @@ class StudyOptions:
             "fuse": self.fuse,
             "tolerance": self.tolerance,
             "aggregation_processes": self.aggregation_processes,
+            "minimisation_processes": self.aggregation.minimisation_processes,
         }
 
 
@@ -370,6 +371,7 @@ class Study:
         self._cache_entry = None
         self._cache_hit = False
         self._cache_kernel: Optional[TransientKernel] = None
+        self._cache_assignment: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------- pipeline
     @property
@@ -441,10 +443,13 @@ class Study:
         start = _time.perf_counter()
         if self._cache_kernel is None and isinstance(entry.skeleton, CtmcSkeleton):
             self._cache_kernel = TransientKernel(entry.skeleton, buffer=entry.buffer)
+        if self._cache_assignment is None:
+            # One canonical tree walk per Study, not per evaluate() call.
+            self._cache_assignment = canonical_assignment(self.tree)
         measures = evaluate_skeleton_query(
             entry.skeleton,
             query,
-            canonical_assignment(self.tree),
+            self._cache_assignment,
             tolerance=self.options.tolerance,
             on_error=on_error,
             kernel=self._cache_kernel,

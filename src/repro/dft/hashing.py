@@ -195,14 +195,19 @@ def _parameter_axes(
     return classes
 
 
-def structural_records(tree: DynamicFaultTree) -> Tuple[Tuple, ...]:
+def structural_records(
+    tree: DynamicFaultTree, order: Optional[Tuple[str, ...]] = None
+) -> Tuple[Tuple, ...]:
     """The canonical per-element records the structural hash digests.
 
     Each record is built from canonical indices only; concrete failure and
     repair rates never appear.  The first record carries the format version
-    and the canonical index of the top event.
+    and the canonical index of the top event.  ``order`` accepts a
+    precomputed :func:`canonical_order` so one walk can feed several
+    derivations (see :func:`canonical_profile`).
     """
-    order = canonical_order(tree)
+    if order is None:
+        order = canonical_order(tree)
     index = {name: position for position, name in enumerate(order)}
     axes = _parameter_axes(tree, order)
     records: List[Tuple] = [
@@ -264,7 +269,9 @@ def structural_records(tree: DynamicFaultTree) -> Tuple[Tuple, ...]:
     return tuple(records)
 
 
-def structural_hash(tree: DynamicFaultTree) -> str:
+def structural_hash(
+    tree: DynamicFaultTree, order: Optional[Tuple[str, ...]] = None
+) -> str:
     """The canonical structural content-address of ``tree`` (hex sha256).
 
     Invariant under event renaming, declaration-order permutation and any
@@ -273,7 +280,7 @@ def structural_hash(tree: DynamicFaultTree) -> str:
     repairability and the parameter-sharing axes.
     """
     digest = hashlib.sha256()
-    for record in structural_records(tree):
+    for record in structural_records(tree, order):
         digest.update(repr(record).encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()
@@ -397,13 +404,16 @@ def canonical_parametrisation(tree: DynamicFaultTree) -> DynamicFaultTree:
     return clone
 
 
-def canonical_assignment(tree: DynamicFaultTree) -> Dict[str, float]:
+def canonical_assignment(
+    tree: DynamicFaultTree, order: Optional[Tuple[str, ...]] = None
+) -> Dict[str, float]:
     """``tree``'s concrete rates as an assignment of the canonical parameters.
 
     Instantiating the cached skeleton of ``tree``'s hash class under this
     assignment reproduces the Markov model of ``tree`` itself.
     """
-    order = canonical_order(tree)
+    if order is None:
+        order = canonical_order(tree)
     assignment: Dict[str, float] = {}
     for position, name in enumerate(order):
         element = tree.element(name)
@@ -420,7 +430,7 @@ def canonical_assignment(tree: DynamicFaultTree) -> Dict[str, float]:
 
 
 def canonical_parameter_map(
-    tree: DynamicFaultTree,
+    tree: DynamicFaultTree, order: Optional[Tuple[str, ...]] = None
 ) -> Dict[str, Tuple[str, ...]]:
     """User-declared parameter -> the canonical parameters it fans out to.
 
@@ -428,7 +438,8 @@ def canonical_parameter_map(
     ``x`` to every canonical parameter in ``map['lam']`` on the cached
     skeleton (events sharing a user parameter each own a canonical one).
     """
-    order = canonical_order(tree)
+    if order is None:
+        order = canonical_order(tree)
     mapping: Dict[str, List[str]] = {name: [] for name in tree.parameters}
     for position, name in enumerate(order):
         element = tree.element(name)
@@ -443,6 +454,37 @@ def canonical_parameter_map(
                 CANONICAL_REPAIR_PARAM.format(index=position)
             )
     return {name: tuple(targets) for name, targets in mapping.items()}
+
+
+class CanonicalProfile:
+    """Every canonical-order derivation of one tree, from a single walk.
+
+    ``structural_hash``, ``canonical_assignment`` and
+    ``canonical_parameter_map`` each start with the same pre-order walk
+    (:func:`canonical_order`); a request handler that needs two or three of
+    them — the serving layer's ``/analyze`` needs the hash for the cache key
+    and the assignment for evaluation — pays for the walk once here.
+    """
+
+    __slots__ = ("order", "hash", "assignment", "_tree", "_parameter_map")
+
+    def __init__(self, tree: DynamicFaultTree):
+        self.order = canonical_order(tree)
+        self.hash = structural_hash(tree, self.order)
+        self.assignment = canonical_assignment(tree, self.order)
+        self._tree = tree
+        self._parameter_map: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    @property
+    def parameter_map(self) -> Dict[str, Tuple[str, ...]]:
+        if self._parameter_map is None:
+            self._parameter_map = canonical_parameter_map(self._tree, self.order)
+        return self._parameter_map
+
+
+def canonical_profile(tree: DynamicFaultTree) -> CanonicalProfile:
+    """Hash + canonical assignment (+ lazy parameter map) in one tree walk."""
+    return CanonicalProfile(tree)
 
 
 def translate_sample(

@@ -17,9 +17,27 @@ Two equivalences are implemented:
   paper; it merges the interleaving diamonds created by hiding synchronised
   failure/activation signals and therefore reduces much more aggressively.
 
-Two refinement engines compute each partition:
+Three refinement engines compute each partition:
 
-``algorithm="splitter"`` (default)
+``algorithm="closure"`` (default)
+    Saturation-free weak refinement: the backward tau-closure of the tau-SCC
+    condensation is computed ONCE into CSR index rows (one descending-id
+    sweep over the condensation DAG — tau predecessors carry larger ids, so
+    every predecessor row is final when its successors fold it in), the
+    saturated weak-visible in-edge relation (``τ* a τ*`` sources per target
+    SCC, implicit input self-loops included) is derived from it by the same
+    sweep, and the refinement then runs a *strong*-style loop over the
+    precomputed predicates — no per-splitter re-closure.  Splitters are
+    processed in **batched frontiers**: every round pops all currently-dirty
+    blocks and rate classes, gathers their predicate rows as stacked CSR
+    slices, folds them into composite codes and splits every touched block
+    with vectorised :class:`~repro.ioimc.partition.RefinablePartition`
+    calls.  The retained closure entries are capped linear in the number of
+    SCCs (:data:`SATURATION_FACTOR`); deep tau-chains whose saturation would
+    be quadratic fall back to the splitter engine (identical partitions).
+    The strong path has no tau structure to saturate, so
+    ``algorithm="closure"`` delegates to the splitter engine there.
+``algorithm="splitter"``
     Worklist-of-splitters partition refinement on the refinable partition of
     :mod:`repro.ioimc.partition` (Paige-Tarjan / Valmari-Franceschinis style):
     one refinement step touches only the splitter block's (weak) in-edges
@@ -31,8 +49,8 @@ Two refinement engines compute each partition:
     the internal-transition graph into its tau-SCCs
     (:class:`~repro.ioimc.partition.TauCondensation`) and runs entirely on
     the condensation — tau-closures are shared per SCC, never materialised
-    per state, and the backward closures of recurring splitter seed sets are
-    memoised in a bounded cache.
+    per state, re-derived per splitter from a bit-packed ancestor matrix
+    (or a memoised BFS above :data:`_DENSE_REACH_LIMIT` SCCs).
 ``algorithm="signature"``
     The seed implementation: every round recomputes every state's full
     signature and splits blocks by signature equality.  Kept as the reference
@@ -40,7 +58,7 @@ Two refinement engines compute each partition:
     transitions)) and, on the weak path, quadratic in memory on tau-chains
     (per-state closure frozensets).
 
-Both engines compute the *same* coarsest partition — the property tests pin
+All engines compute the *same* coarsest partition — the property tests pin
 this on the paper's systems and on random DFT corpora.  The quotient
 constructions preserve state labels and the analysed reliability measures;
 the weak quotient is built from the tau-SCC condensation directly, so
@@ -71,7 +89,16 @@ from .partition import (
 Partition = List[FrozenSet[int]]
 
 #: The available refinement engines.
-ALGORITHMS = ("splitter", "signature")
+ALGORITHMS = ("closure", "splitter", "signature")
+
+#: The closure engine keeps at most ``max(SATURATION_FLOOR,
+#: SATURATION_FACTOR * num_sccs)`` retained closure-matrix entries
+#: (backward-closure rows plus saturated weak-edge rows).  The cap keeps the
+#: engine's memory linear in the condensation size: saturating a deep
+#: tau-chain is inherently quadratic, so models that trip the cap fall back
+#: to the splitter engine (same partition, per-splitter closures).
+SATURATION_FACTOR = 64
+SATURATION_FLOOR = 2_000_000
 
 #: Up to this many tau-SCCs the weak engine precomputes a bit-packed
 #: backward-reachability matrix over the condensation (num_sccs^2 bits,
@@ -94,6 +121,24 @@ _BYTE_BITS = tuple(
     tuple(offset for offset in range(8) if byte & (0x80 >> offset))
     for byte in range(256)
 )
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an int64 array.
+
+    Replaces ``np.unique`` on the refinement hot paths: recent numpy routes
+    integer ``unique`` through a hash table, which measures ~50x slower than
+    an explicit sort + adjacent-dedup on the multi-hundred-k key streams of
+    the batched frontier rounds (and loses the sortedness the group-boundary
+    decoding needs anyway).
+    """
+    if values.size <= 1:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
 
 
 def _csr_flat(offsets: np.ndarray, idx: np.ndarray) -> np.ndarray:
@@ -167,7 +212,7 @@ def _refine_by_signature(
 def strong_bisimulation_partition(
     model: IOIMC,
     respect_labels: bool = True,
-    algorithm: str = "splitter",
+    algorithm: str = "closure",
     rate_digits: int = DEFAULT_RATE_DIGITS,
 ) -> Partition:
     """Coarsest strong bisimulation partition of ``model``.
@@ -176,6 +221,9 @@ def strong_bisimulation_partition(
     actions into the same equivalence classes (implicit input self-loops
     included) and their aggregate Markovian rates into every *other* class
     coincide (ordinary lumpability).
+
+    The strong relation has no tau structure to saturate, so
+    ``algorithm="closure"`` delegates to the splitter engine.
     """
     _check_algorithm(algorithm)
     if algorithm == "signature":
@@ -278,6 +326,23 @@ def _strong_partition_splitter(
     for block in list(part.blocks()):
         part.split_by_key(block, universe_key)
 
+    # Rate splitters only matter for blocks containing *targets* of Markovian
+    # transitions.  Tracking that count per block (updated on every split in
+    # O(moved), funded by the same edge scans that funded the split) lets
+    # `register_split` skip the rate worklist entirely for rate-free blocks —
+    # without it a purely interactive chain re-enqueues its O(n) remainder
+    # block as a rate splitter after each of its O(n) splits and
+    # `process_rates` snapshots the whole block every time, the measured
+    # quadratic term on singleton-quotient chains.
+    has_mpred = np.fromiter(
+        (bool(markovian_pred[state]) for state in range(num_states)),
+        dtype=bool,
+        count=num_states,
+    )
+    m_count: Dict[int, int] = {}
+    for block in part.blocks():
+        m_count[block] = int(np.count_nonzero(has_mpred[part.member_array(block)]))
+
     # counts[(compound, action)][state] = number of `action`-edges from
     # `state` into the compound family (implicit input self-loops included).
     # Keyed by compound, not block: Q-splits inside a family leave them
@@ -307,8 +372,22 @@ def _strong_partition_splitter(
         family.add(new_block)
         if len(family) == 2:
             push(("compound", cid))
-        push(("rates", parent))
-        push(("rates", new_block))
+        parent_targets = m_count[parent]
+        if not parent_targets:
+            # Neither half contains a Markovian target: no rate vector can
+            # reference this split, skip the rate worklist.
+            m_count[new_block] = 0
+            return
+        if part.size(new_block) < 32:
+            moved = sum(1 for state in part.members(new_block) if has_mpred[state])
+        else:
+            moved = int(np.count_nonzero(has_mpred[part.member_array(new_block)]))
+        m_count[new_block] = moved
+        m_count[parent] = parent_targets - moved
+        if parent_targets > moved:
+            push(("rates", parent))
+        if moved:
+            push(("rates", new_block))
 
     def process_compound(cid: int, push) -> None:
         family = compound_blocks[cid]
@@ -405,7 +484,7 @@ def _strong_partition_splitter(
     seeds: List[Tuple[str, int]] = []
     if len(compound_blocks[0]) >= 2:
         seeds.append(("compound", 0))
-    seeds.extend(("rates", block) for block in part.blocks())
+    seeds.extend(("rates", block) for block in part.blocks() if m_count[block])
     refine(seeds, process)
     return part.as_sets()
 
@@ -467,7 +546,7 @@ def _weak_visible_reach(
 def weak_bisimulation_partition(
     model: IOIMC,
     respect_labels: bool = True,
-    algorithm: str = "splitter",
+    algorithm: str = "closure",
     rate_digits: int = DEFAULT_RATE_DIGITS,
 ) -> Partition:
     """Coarsest weak bisimulation partition of ``model``.
@@ -489,7 +568,25 @@ def weak_bisimulation_partition(
         # state is stable: weak and strong bisimulation coincide, and the
         # strong splitter avoids the condensation and rate-class machinery.
         return _strong_partition_splitter(model, respect_labels, rate_digits)
-    return _WeakSplitterEngine(model, respect_labels, rate_digits).state_partition()
+    return _weak_engine(model, respect_labels, rate_digits, algorithm).state_partition()
+
+
+def _weak_engine(
+    model: IOIMC, respect_labels: bool, rate_digits: int, algorithm: str
+) -> "_WeakEngineBase":
+    """The weak engine for ``algorithm`` (never ``"signature"``).
+
+    The closure engine refuses models whose saturated weak relation would be
+    superlinear in the condensation size (deep tau-chains); those fall back
+    to the splitter engine, which computes the identical partition from
+    per-splitter closures.
+    """
+    if algorithm == "closure":
+        try:
+            return _WeakClosureEngine(model, respect_labels, rate_digits)
+        except _SaturationOverflow:
+            pass
+    return _WeakSplitterEngine(model, respect_labels, rate_digits)
 
 
 def _has_no_internal_transitions(model: IOIMC) -> bool:
@@ -538,8 +635,8 @@ def _weak_partition_signature(
             return _blocks_from_map(block_of)
 
 
-class _WeakSplitterEngine:
-    """Worklist-of-splitters weak bisimulation on the tau-SCC condensation.
+class _WeakEngineBase:
+    """Shared structure of the splitter- and closure-based weak engines.
 
     The refinement works on *units* — the states of one tau-SCC sharing one
     label set.  All states of a unit are trivially weakly bisimilar (they
@@ -548,11 +645,9 @@ class _WeakSplitterEngine:
 
     Splitters come in two kinds:
 
-    * a partition block ``B``: split every block by "can tau-reach ``B``" and,
-      per visible action ``a``, by "can weakly do ``a`` into ``B``" — both are
-      backward tau-reachability sweeps over the condensation from the SCCs
-      owning ``B`` (weak in-edges of the splitter only, never the whole
-      model);
+    * a partition block ``B``: split every block by "can tau-reach ``B``"
+      and, per visible action ``a``, by "can weakly do ``a`` into ``B``"
+      (implicit input self-loops included);
     * a Markovian *rate class* (stable states with equal canonical rate
       vectors): split every block by "can tau-reach a member of the class".
 
@@ -560,8 +655,11 @@ class _WeakSplitterEngine:
     the moved states (and of the moved/remaining stable states themselves,
     whose own-class exclusion changed) are recomputed and re-bucketed; every
     class whose membership changed re-enters the worklist.  The fixpoint is
-    stable under all three predicate families, which is exactly the signature
-    engine's equivalence.
+    stable under all three predicate families, which is exactly the
+    signature engine's equivalence.  Subclasses implement :meth:`_run`; how
+    the splitter predicates are derived and scheduled is what distinguishes
+    the engines (per-splitter closure sweeps vs precomputed saturation with
+    batched frontier rounds).
     """
 
     def __init__(self, model: IOIMC, respect_labels: bool, rate_digits: int):
@@ -578,15 +676,20 @@ class _WeakSplitterEngine:
         self.unit_scc: List[int] = []
         self.unit_labels: List[FrozenSet[str]] = []
         self.scc_units: List[List[int]] = [[] for _ in range(num_sccs)]
+        model_labels = model._labels
         for scc in range(num_sccs):
-            if respect_labels:
-                groups: Dict[FrozenSet[str], List[int]] = {}
-                for state in cond.members[scc]:
-                    groups.setdefault(model.labels(state), []).append(state)
-                ordered = sorted(groups.items(), key=lambda item: min(item[1]))
+            members = cond.members[scc]
+            if not respect_labels:
+                ordered = [(model_labels[members[0]], list(members))]
+            elif len(members) == 1:
+                # Singleton SCC (the common case on bushy products): exactly
+                # one unit, no grouping dict needed.
+                ordered = [(model_labels[members[0]], list(members))]
             else:
-                members = cond.members[scc]
-                ordered = [(model.labels(members[0]), list(members))]
+                groups: Dict[FrozenSet[str], List[int]] = {}
+                for state in members:
+                    groups.setdefault(model_labels[state], []).append(state)
+                ordered = sorted(groups.items(), key=lambda item: min(item[1]))
             for labels, states in ordered:
                 unit = len(self.unit_states)
                 self.unit_states.append(states)
@@ -597,74 +700,112 @@ class _WeakSplitterEngine:
                     self.unit_of_state[state] = unit
 
         # ---- static per-SCC indexes --------------------------------------
-        internal_ids = model.signature.internal_ids
         input_ids = model.signature.input_ids
-        #: Visible in-edges per SCC: (action id, source SCC), deduplicated.
-        self.visible_in: List[Set[Tuple[int, int]]] = [set() for _ in range(num_sccs)]
-        #: Input actions some member of the SCC has no explicit transition for
-        #: (those members carry an implicit weak self-loop).
-        self.input_gaps: List[Set[int]] = [set() for _ in range(num_sccs)]
         #: Stable Markovian predecessors per state (only stable states carry
         #: rate vectors in the weak signature).
         self.stable_pred: List[List[Tuple[int, float]]] = [[] for _ in range(num_states)]
+        scc_of = cond.scc_of
+        input_id_list = sorted(input_ids)
+        internal_mask = model.signature.internal_mask
+        enabled_mask = model.enabled_mask
+        itrans = model._itrans
+        mtrans = model._mtrans
+        input_mask = model.signature.input_mask
+        vec_gaps = bool(input_id_list) and input_id_list[-1] < 63
+        vis_dst: List[int] = []
+        vis_aid: List[int] = []
+        vis_src: List[int] = []
+        imask_vals: List[int] = []
+        gap_keys: List[int] = []
+        aid_bound = input_id_list[-1] + 1 if input_id_list else 1
+        stable_flags = bytearray(num_states)
+        for state in range(num_states):
+            scc = scc_of[state]
+            for aid, target in itrans[state]:
+                if (internal_mask >> aid) & 1:
+                    continue
+                vis_dst.append(scc_of[target])
+                vis_aid.append(aid)
+                vis_src.append(scc)
+            mask = enabled_mask(state)
+            if vec_gaps:
+                imask_vals.append(mask & input_mask)
+            else:
+                for aid in input_id_list:
+                    if not (mask >> aid) & 1:
+                        gap_keys.append(scc * aid_bound + aid)
+            if not mask & internal_mask:  # stable state
+                stable_flags[state] = 1
+                for target, rate in mtrans[state].items():
+                    self.stable_pred[target].append((state, rate))
         self.unit_stable: List[bool] = [
-            all(model.is_stable(state) for state in states)
+            all(stable_flags[state] for state in states)
             for states in self.unit_states
         ]
-        for state in range(num_states):
-            scc = cond.scc_of[state]
-            for aid, target in model.interactive_pairs(state):
-                if aid in internal_ids:
-                    continue
-                self.visible_in[cond.scc_of[target]].add((aid, scc))
-            if input_ids:
-                enabled = model.enabled_ids(state)
-                for aid in input_ids:
-                    if aid not in enabled:
-                        self.input_gaps[scc].add(aid)
-            if model.is_stable(state):
-                for target, rate in model.markovian_dict(state).items():
-                    self.stable_pred[target].append((state, rate))
+        #: Per-state stability flags, handed to the quotient builder so it
+        #: skips its own transition walk.
+        self._stable_flags = stable_flags
 
-        # ---- CSR indexes for the vectorised refinement loop --------------
-        # Visible in-edges grouped by target SCC (already deduplicated per
-        # target by the set build above): one flat (aid, source) array pair
-        # plus offsets, so "all in-edges of a closure" is a single
-        # repeat/cumsum gather instead of a Python loop over SCCs.
-        edge_aid: List[int] = []
-        edge_src: List[int] = []
-        edge_counts = np.zeros(num_sccs + 1, dtype=np.int64)
-        for target in range(num_sccs):
-            edges = self.visible_in[target]
-            edge_counts[target + 1] = len(edges)
-            for aid, source in edges:
-                edge_aid.append(aid)
-                edge_src.append(source)
-        self._edge_aid = np.asarray(edge_aid, dtype=np.int64)
-        self._edge_src = np.asarray(edge_src, dtype=np.int64)
-        self._edge_off = np.cumsum(edge_counts)
-        # Input gaps per SCC, same layout (the "source" of a gap edge is the
-        # SCC itself — the implicit input self-loop).
-        gap_aid: List[int] = []
-        gap_scc: List[int] = []
-        gap_counts = np.zeros(num_sccs + 1, dtype=np.int64)
-        for scc in range(num_sccs):
-            gaps = self.input_gaps[scc]
-            gap_counts[scc + 1] = len(gaps)
-            for aid in gaps:
-                gap_aid.append(aid)
-                gap_scc.append(scc)
-        self._gap_aid = np.asarray(gap_aid, dtype=np.int64)
-        self._gap_scc = np.asarray(gap_scc, dtype=np.int64)
-        self._gap_off = np.cumsum(gap_counts)
-        # Exclusive upper bound on the action ids above (the boolean
-        # dedup/group scatter of the vectorised path is (bound, num_sccs)).
-        top = 0
-        if self._edge_aid.size:
-            top = int(self._edge_aid.max()) + 1
-        if self._gap_aid.size:
-            top = max(top, int(self._gap_aid.max()) + 1)
-        self._aid_bound = top
+        # Input gaps — input actions some member of the SCC has no explicit
+        # transition for (those members carry an implicit weak self-loop) —
+        # are detected with one vectorised bit-test per input action over
+        # the states' input-restricted masks and kept as one (scc, action)
+        # CSR sorted by (SCC, action id).
+        scc_arr = np.fromiter(scc_of, dtype=np.int64, count=num_states)
+        gap_parts: List[np.ndarray] = []
+        if vec_gaps:
+            imask_arr = np.fromiter(imask_vals, dtype=np.int64, count=num_states)
+            for aid in input_id_list:
+                missing = np.flatnonzero(~(imask_arr >> aid) & 1)
+                if missing.size:
+                    gap_parts.append(scc_arr[missing] * aid_bound + aid)
+        elif gap_keys:
+            gap_parts.append(np.asarray(gap_keys, dtype=np.int64))
+        #: Per-SCC tuples of gap action ids (ascending), plus the same data
+        #: as flat CSR arrays for the vectorised engines.
+        self.input_gaps: List[Tuple[int, ...]] = [()] * num_sccs
+        if gap_parts:
+            keys = _sorted_unique(np.concatenate(gap_parts))
+            self._gap_scc = keys // aid_bound
+            self._gap_aid = keys - self._gap_scc * aid_bound
+            gap_counts = np.bincount(self._gap_scc, minlength=num_sccs)
+            self._gap_off = np.concatenate(([0], np.cumsum(gap_counts)))
+            gap_aid_l = self._gap_aid.tolist()
+            gap_off_l = self._gap_off.tolist()
+            for scc in np.flatnonzero(gap_counts).tolist():
+                self.input_gaps[scc] = tuple(
+                    gap_aid_l[gap_off_l[scc] : gap_off_l[scc + 1]]
+                )
+        else:
+            self._gap_scc = _EMPTY_I64
+            self._gap_aid = _EMPTY_I64
+            self._gap_off = np.zeros(num_sccs + 1, dtype=np.int64)
+
+        # Visible in-edges as one flat CSR keyed by target SCC, deduplicated
+        # by (target, source, action) with a lexsort — both engines consume
+        # stacked row gathers of this, so the per-SCC tuple sets of the
+        # original design never materialise.
+        if vis_dst:
+            dst = np.asarray(vis_dst, dtype=np.int64)
+            aid = np.asarray(vis_aid, dtype=np.int64)
+            src = np.asarray(vis_src, dtype=np.int64)
+            order = np.lexsort((aid, src, dst))
+            dst, aid, src = dst[order], aid[order], src[order]
+            keep = np.ones(dst.size, dtype=bool)
+            keep[1:] = (
+                (dst[1:] != dst[:-1]) | (src[1:] != src[:-1]) | (aid[1:] != aid[:-1])
+            )
+            dst, aid, src = dst[keep], aid[keep], src[keep]
+            counts = np.bincount(dst, minlength=num_sccs)
+        else:
+            aid = src = _EMPTY_I64
+            counts = np.zeros(num_sccs, dtype=np.int64)
+        #: Flat visible in-edge arrays: the in-edges of SCC ``t`` are the
+        #: ``(action, source SCC)`` pairs in rows ``_vis_off[t]:_vis_off[t+1]``.
+        self._vis_aid = aid
+        self._vis_src = src
+        self._vis_off = np.concatenate(([0], np.cumsum(counts)))
+
         # Units are created in ascending-SCC order, so the units of SCC `s`
         # are exactly the contiguous id range [_unit_off[s], _unit_off[s+1]).
         unit_counts = np.zeros(num_sccs + 1, dtype=np.int64)
@@ -675,23 +816,6 @@ class _WeakSplitterEngine:
         #: Scratch: composite predicate code per unit, valid for the units
         #: scattered during the current mark/split round only.
         self._unit_code = np.zeros(len(self.unit_states), dtype=np.int64)
-        # Dense backward tau-reachability: bit-packed row `s` holds the SCCs
-        # that tau-reach `s` (uint8 words, MSB-first to match `unpackbits`).
-        # One descending-id sweep (predecessors carry larger ids) ORs each
-        # predecessor row in place, so every later closure query is a word-OR
-        # reduction plus one `unpackbits` instead of a Python BFS.  Memory is
-        # num_sccs^2 *bits*; above the limit the engine falls back to the
-        # memoised BFS on the condensation.
-        self._ancestors: Optional[np.ndarray] = None
-        if 0 < num_sccs <= _DENSE_REACH_LIMIT:
-            width = (num_sccs + 7) >> 3
-            ancestors = np.zeros((num_sccs, width), dtype=np.uint8)
-            for scc in range(num_sccs - 1, -1, -1):
-                row = ancestors[scc]
-                row[scc >> 3] |= 0x80 >> (scc & 7)
-                for predecessor in cond.tau_pred[scc]:
-                    row |= ancestors[predecessor]
-            self._ancestors = ancestors
 
         # ---- partition over units ----------------------------------------
         self.part = RefinablePartition(len(self.unit_states))
@@ -746,22 +870,6 @@ class _WeakSplitterEngine:
         return (old_class, new_class)
 
     # ---------------------------------------------------------------- refining
-    def _closure_idx(self, seeds) -> np.ndarray:
-        """Backward tau-closure of the seed SCCs as an index array."""
-        ancestors = self._ancestors
-        if ancestors is not None:
-            seed_list = seeds if isinstance(seeds, np.ndarray) else list(seeds)
-            if len(seed_list) == 1:
-                packed = ancestors[int(seed_list[0])]
-            else:
-                packed = np.bitwise_or.reduce(ancestors[seed_list], axis=0)
-            bits = np.unpackbits(packed, count=self.condensation.num_sccs)
-            return np.flatnonzero(bits)
-        closure = self.condensation.backward_closure_cached(
-            seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
-        )
-        return np.fromiter(closure, dtype=np.int64, count=len(closure))
-
     def _track_dirty(self, moved: List[int], push) -> None:
         """Queue rate-vector re-bucketing after the pieces in ``moved`` split off.
 
@@ -835,43 +943,12 @@ class _WeakSplitterEngine:
                 push(("block", piece))
             self._track_dirty(moved, push)
 
-    def _or_rows(self, ids: List[int]) -> np.ndarray:
-        """OR of the packed ancestor rows ``ids`` (chained ``|`` for small
-        sets — ``ufunc.reduce`` carries ~10x the fixed overhead there)."""
-        ancestors = self._ancestors
-        if len(ids) == 1:
-            return ancestors[ids[0]]
-        if len(ids) <= 8:
-            acc = ancestors[ids[0]] | ancestors[ids[1]]
-            for scc in ids[2:]:
-                acc |= ancestors[scc]
-            return acc
-        return np.bitwise_or.reduce(ancestors[ids], axis=0)
-
-    @staticmethod
-    def _decode(packed: np.ndarray, nzb: np.ndarray) -> List[int]:
-        """Set bits of a packed row as a sorted id list (sparse byte walk)."""
-        out: List[int] = []
-        extend = out.extend
-        for base, byte in zip((nzb << 3).tolist(), packed[nzb].tolist()):
-            extend(base + offset for offset in _BYTE_BITS[byte])
-        return out
-
     def _apply_binary(self, sccs: np.ndarray, push) -> None:
         """Split every block by membership in the single predicate ``sccs``."""
         units = _csr_flat(self._unit_off, sccs)
         if units.size:
             self.part.mark_all(units, assume_unique=True)
             self._finish_binary(push)
-
-    def _apply_binary_seq(self, reach, push) -> None:
-        """Binary split by a small iterable of closure SCCs (scalar marks)."""
-        mark = self.part.mark
-        scc_units = self.scc_units
-        for scc in reach:
-            for unit in scc_units[scc]:
-                mark(unit)
-        self._finish_binary(push)
 
     def _scatter_and_split(self, sccs: np.ndarray, codes: np.ndarray, push) -> None:
         """One vectorised mark/split round over the touched SCCs and codes."""
@@ -912,6 +989,159 @@ class _WeakSplitterEngine:
                 idx[starts], np.bitwise_or.reduceat(bits, starts), push
             )
 
+    def _flush_dirty(self, push) -> None:
+        """Re-bucket every stale stable unit; re-enqueue the changed classes."""
+        for unit in self._dirty:
+            changed = self._assign_rate_class(unit)
+            if changed:
+                for rate_class in changed:
+                    push(("rates", rate_class))
+        self._dirty.clear()
+
+    def _run(self) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    # ----------------------------------------------------------------- results
+    def state_partition(self) -> Partition:
+        self._run()
+        blocks = [
+            frozenset(
+                state
+                for unit in self.part.members(block)
+                for state in self.unit_states[unit]
+            )
+            for block in self.part.blocks()
+        ]
+        return _canonical_partition(blocks)
+
+    def quotient(self, name: Optional[str] = None) -> IOIMC:
+        return _build_weak_quotient(
+            self.model,
+            self.condensation,
+            self.state_partition(),
+            name,
+            precomputed=(
+                self._vis_src,
+                self._vis_aid,
+                self._vis_off,
+                self._gap_scc,
+                self._gap_aid,
+                self._stable_flags,
+            ),
+        )
+
+
+class _WeakSplitterEngine(_WeakEngineBase):
+    """Worklist-of-splitters weak engine (the PR 6 design).
+
+    One splitter is processed per worklist iteration; its predicates — the
+    backward tau-closure of the splitter's SCCs and, per visible action, the
+    weak in-edge sources of that closure — are re-derived on every round
+    from a bit-packed backward-reachability matrix over the condensation
+    (``num_sccs^2`` bits, built once; above :data:`_DENSE_REACH_LIMIT` SCCs
+    a memoised per-query BFS takes over).  Kept both as the fallback for
+    models whose saturated weak relation would be superlinear (the closure
+    engine's cap) and for differential testing against the closure engine.
+    """
+
+    def __init__(self, model: IOIMC, respect_labels: bool, rate_digits: int):
+        super().__init__(model, respect_labels, rate_digits)
+        cond = self.condensation
+        num_sccs = cond.num_sccs
+        # Visible in-edges grouped by target SCC: the base class already
+        # keeps them as one deduplicated flat (aid, source) CSR, so "all
+        # in-edges of a closure" is a single repeat/cumsum gather instead of
+        # a Python loop over SCCs.  The scalar sparse path below walks plain
+        # Python lists of the same rows — no numpy scalar boxing.
+        self._edge_aid = self._vis_aid
+        self._edge_src = self._vis_src
+        self._edge_off = self._vis_off
+        self._edge_aid_l = self._vis_aid.tolist()
+        self._edge_src_l = self._vis_src.tolist()
+        self._edge_off_l = self._vis_off.tolist()
+        # Input gaps arrive from the base class in the same layout (the
+        # "source" of a gap edge is the SCC itself — the implicit input
+        # self-loop): ``_gap_aid``/``_gap_scc``/``_gap_off``.
+        # Exclusive upper bound on the action ids above (the boolean
+        # dedup/group scatter of the vectorised path is (bound, num_sccs)).
+        top = 0
+        if self._edge_aid.size:
+            top = int(self._edge_aid.max()) + 1
+        if self._gap_aid.size:
+            top = max(top, int(self._gap_aid.max()) + 1)
+        self._aid_bound = top
+        # Dense backward tau-reachability: bit-packed row `s` holds the SCCs
+        # that tau-reach `s` (uint8 words, MSB-first to match `unpackbits`).
+        # One descending-id sweep (predecessors carry larger ids) ORs each
+        # predecessor row in place, so every later closure query is a word-OR
+        # reduction plus one `unpackbits` instead of a Python BFS.  Memory is
+        # num_sccs^2 *bits*; above the limit the engine falls back to the
+        # memoised BFS on the condensation.
+        self._ancestors: Optional[np.ndarray] = None
+        if 0 < num_sccs <= _DENSE_REACH_LIMIT:
+            width = (num_sccs + 7) >> 3
+            ancestors = np.zeros((num_sccs, width), dtype=np.uint8)
+            for scc in range(num_sccs - 1, -1, -1):
+                row = ancestors[scc]
+                row[scc >> 3] |= 0x80 >> (scc & 7)
+                for predecessor in cond.tau_pred[scc]:
+                    row |= ancestors[predecessor]
+            self._ancestors = ancestors
+
+    #: A splitter whose packed tau-closure has at most this many non-zero
+    #: bytes takes the scalar path: dict/set bookkeeping beats the
+    #: vectorised gather pipeline's fixed per-call numpy overhead on the
+    #: small closures that dominate refinement of bushy products, while
+    #: deep tau-chains (large closures) keep the vectorised path.
+    _SPARSE_BYTES = 48
+
+    def _closure_idx(self, seeds) -> np.ndarray:
+        """Backward tau-closure of the seed SCCs as an index array."""
+        ancestors = self._ancestors
+        if ancestors is not None:
+            seed_list = seeds if isinstance(seeds, np.ndarray) else list(seeds)
+            if len(seed_list) == 1:
+                packed = ancestors[int(seed_list[0])]
+            else:
+                packed = np.bitwise_or.reduce(ancestors[seed_list], axis=0)
+            bits = np.unpackbits(packed, count=self.condensation.num_sccs)
+            return np.flatnonzero(bits)
+        closure = self.condensation.backward_closure_cached(
+            seeds if isinstance(seeds, frozenset) else frozenset(int(s) for s in seeds)
+        )
+        return np.fromiter(closure, dtype=np.int64, count=len(closure))
+
+    def _or_rows(self, ids: List[int]) -> np.ndarray:
+        """OR of the packed ancestor rows ``ids`` (chained ``|`` for small
+        sets — ``ufunc.reduce`` carries ~10x the fixed overhead there)."""
+        ancestors = self._ancestors
+        if len(ids) == 1:
+            return ancestors[ids[0]]
+        if len(ids) <= 8:
+            acc = ancestors[ids[0]] | ancestors[ids[1]]
+            for scc in ids[2:]:
+                acc |= ancestors[scc]
+            return acc
+        return np.bitwise_or.reduce(ancestors[ids], axis=0)
+
+    @staticmethod
+    def _decode(packed: np.ndarray, nzb: np.ndarray) -> List[int]:
+        """Set bits of a packed row as a sorted id list (sparse byte walk)."""
+        out: List[int] = []
+        extend = out.extend
+        for base, byte in zip((nzb << 3).tolist(), packed[nzb].tolist()):
+            extend(base + offset for offset in _BYTE_BITS[byte])
+        return out
+
+    def _apply_binary_seq(self, reach, push) -> None:
+        """Binary split by a small iterable of closure SCCs (scalar marks)."""
+        mark = self.part.mark
+        scc_units = self.scc_units
+        for scc in reach:
+            for unit in scc_units[scc]:
+                mark(unit)
+        self._finish_binary(push)
+
     def _process_sparse(self, reach: List[int], push) -> None:
         """Scalar path for splitters with small tau-closures.
 
@@ -921,11 +1151,15 @@ class _WeakSplitterEngine:
         overhead — then runs the same composite-code mark/split rounds as
         the dense path.
         """
-        visible_in = self.visible_in
+        edge_aid = self._edge_aid_l
+        edge_src = self._edge_src_l
+        edge_off = self._edge_off_l
         input_gaps = self.input_gaps
         buckets: Dict[int, Set[int]] = {}
         for scc in reach:
-            for aid, source in visible_in[scc]:
+            for position in range(edge_off[scc], edge_off[scc + 1]):
+                aid = edge_aid[position]
+                source = edge_src[position]
                 bucket = buckets.get(aid)
                 if bucket is None:
                     buckets[aid] = {source}
@@ -964,41 +1198,6 @@ class _WeakSplitterEngine:
                     mark(unit)
                     unit_code[unit] = value
             self._finish_codes(unit_code.__getitem__, push)
-
-    def _apply_codes(self, predicates: List[np.ndarray], push) -> None:
-        """Fold closure index-array ``predicates`` into codes and split."""
-        for begin in range(0, len(predicates), self._CODE_BITS):
-            chunk = predicates[begin : begin + self._CODE_BITS]
-            if len(chunk) == 1:
-                self._apply_binary(chunk[0], push)
-                continue
-            idx = np.concatenate(chunk)
-            if not idx.size:
-                continue
-            bits = np.concatenate(
-                [
-                    np.full(pred.size, 1 << position, dtype=np.int64)
-                    for position, pred in enumerate(chunk)
-                ]
-            )
-            order = np.argsort(idx, kind="stable")
-            idx = idx[order]
-            bits = bits[order]
-            starts = np.concatenate(
-                ([0], np.flatnonzero(idx[1:] != idx[:-1]) + 1)
-            )
-            self._scatter_and_split(
-                idx[starts], np.bitwise_or.reduceat(bits, starts), push
-            )
-
-    def _flush_dirty(self, push) -> None:
-        """Re-bucket every stale stable unit; re-enqueue the changed classes."""
-        for unit in self._dirty:
-            changed = self._assign_rate_class(unit)
-            if changed:
-                for rate_class in changed:
-                    push(("rates", rate_class))
-        self._dirty.clear()
 
     def _process(self, splitter, push) -> None:
         kind, index = splitter
@@ -1135,23 +1334,346 @@ class _WeakSplitterEngine:
         refine(splitters, self._process)
         self._refined = True
 
-    # ----------------------------------------------------------------- results
-    def state_partition(self) -> Partition:
-        self._run()
-        blocks = [
-            frozenset(
-                state
-                for unit in self.part.members(block)
-                for state in self.unit_states[unit]
-            )
-            for block in self.part.blocks()
-        ]
-        return _canonical_partition(blocks)
 
-    def quotient(self, name: Optional[str] = None) -> IOIMC:
-        return _build_weak_quotient(
-            self.model, self.condensation, self.state_partition(), name
+class _SaturationOverflow(Exception):
+    """The saturated weak relation exceeded the closure engine's linear cap."""
+
+
+class _WeakClosureEngine(_WeakEngineBase):
+    """Closure-then-strong weak engine with batched-frontier refinement.
+
+    Saturation happens exactly once, at construction: a descending-id sweep
+    over the condensation DAG (tau predecessors carry larger SCC ids, so
+    every predecessor row is final when a successor folds it in)
+    materialises, per SCC,
+
+    * its backward tau-closure — the SCCs that tau-reach it — and
+    * its saturated weak-visible in-edges: every ``(action, source SCC)``
+      pair whose source weakly performs the action into the SCC
+      (``τ* a τ*``: direct in-edges with backward-closed sources, implicit
+      input self-loops as the gap SCC's backward closure, everything the
+      tau predecessors accumulated), encoded
+      ``action_slot * num_sccs + source``.
+
+    Both live in flat CSR arrays, so a splitter's predicates are plain
+    stacked row gathers — no per-splitter closure re-derivation, which is
+    what the splitter engine spends most of its refinement time on.
+    Refinement then runs in **batched frontier rounds**: every round pops
+    all pending blocks and rate classes together, gathers their predicate
+    rows in bulk, folds them into composite codes (one bit per predicate,
+    :data:`_WeakEngineBase._CODE_BITS` per chunk) and applies them with the
+    vectorised mark/split machinery — one round costs O(frontier weak
+    in-edges) instead of one Python worklist iteration per splitter.
+
+    Construction raises :class:`_SaturationOverflow` once the retained
+    entries exceed ``max(SATURATION_FLOOR, SATURATION_FACTOR * num_sccs)``
+    — saturating a deep tau-chain is inherently quadratic — and the caller
+    falls back to the splitter engine, which computes the identical
+    partition from per-splitter closures.
+    """
+
+    def __init__(self, model: IOIMC, respect_labels: bool, rate_digits: int):
+        super().__init__(model, respect_labels, rate_digits)
+        cond = self.condensation
+        num_sccs = cond.num_sccs
+        tau_pred = cond.tau_pred
+        budget = max(SATURATION_FLOOR, SATURATION_FACTOR * num_sccs)
+        total = 0
+
+        # Backward tau-closure rows (sorted, self included).  SCCs with no
+        # tau predecessors — the vast majority on bushy products — get a
+        # zero-copy view into one shared arange instead of a fresh array.
+        arange = np.arange(num_sccs, dtype=np.int64)
+        bck: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+        nontrivial = False
+        for scc in range(num_sccs - 1, -1, -1):
+            preds = tau_pred[scc]
+            if not preds:
+                bck[scc] = arange[scc : scc + 1]
+                total += 1
+                continue
+            nontrivial = True
+            row = _sorted_unique(
+                np.concatenate([arange[scc : scc + 1], *(bck[p] for p in preds)])
+            )
+            bck[scc] = row
+            total += row.size
+            if total > budget:
+                raise _SaturationOverflow(total)
+        sizes = np.fromiter((row.size for row in bck), dtype=np.int64, count=num_sccs)
+        self._bck_off = np.concatenate(([0], np.cumsum(sizes)))
+        if not num_sccs:
+            self._bck_val = _EMPTY_I64
+        elif nontrivial:
+            self._bck_val = np.concatenate(bck)
+        else:
+            self._bck_val = arange
+
+        # Compact action table: only actions occurring as weak-visible moves
+        # (or input gaps) get a code slot, keeping the packed keys small.
+        gap_scc = self._gap_scc
+        gap_aid = self._gap_aid
+        sat = _sorted_unique(np.concatenate([self._vis_aid, gap_aid]))
+        #: Action id of each saturated-edge slot (sorted for determinism).
+        self.sat_actions: List[int] = sat.tolist()
+        num_actions = sat.size
+        if num_actions and num_actions * num_sccs * num_sccs >= 2**62:
+            # The packed (target, action, source) keys of the vectorised
+            # direct-edge build would overflow int64; treat like a blown
+            # saturation cap and let the splitter engine take over.
+            raise _SaturationOverflow(total)
+
+        # Direct weak-visible arrivals, globally vectorised: every explicit
+        # in-edge (and input gap, whose "source" is the SCC itself)
+        # contributes ``slot * num_sccs + c`` for each SCC ``c`` backward-
+        # closing into its source, keyed by target SCC — one sort over the
+        # expanded edge set replaces the per-edge array arithmetic of the
+        # original per-SCC build.
+        aid_all = np.concatenate([self._vis_aid, gap_aid])
+        src_all = np.concatenate([self._vis_src, gap_scc])
+        dst_all = np.concatenate(
+            [np.repeat(arange, np.diff(self._vis_off)), gap_scc]
         )
+        direct: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+        if aid_all.size:
+            cnt = self._bck_off[src_all + 1] - self._bck_off[src_all]
+            expanded = int(cnt.sum())
+            if expanded > 8 * budget:
+                raise _SaturationOverflow(expanded)
+            slot_all = np.searchsorted(sat, aid_all)
+            codes = np.repeat(slot_all, cnt) * num_sccs + self._bck_val[
+                _csr_flat(self._bck_off, src_all)
+            ]
+            span = num_actions * num_sccs
+            keys = _sorted_unique(np.repeat(dst_all, cnt) * span + codes)
+            dsts = keys // span
+            sorted_codes = keys - dsts * span
+            bounds = np.concatenate(
+                ([0], np.flatnonzero(dsts[1:] != dsts[:-1]) + 1, [keys.size])
+            )
+            lows = bounds[:-1]
+            for target, low, high in zip(
+                dsts[lows].tolist(), lows.tolist(), bounds[1:].tolist()
+            ):
+                direct[target] = sorted_codes[low:high]
+
+        # Saturated weak-visible in-edge rows: everything arriving directly
+        # plus everything the tau predecessors accumulated (their rows are
+        # final first — descending ids).
+        win: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+        for scc in range(num_sccs - 1, -1, -1):
+            preds = tau_pred[scc]
+            row = direct[scc]
+            if preds:
+                parts = [row] if row.size else []
+                parts.extend(win[p] for p in preds if win[p].size)
+                if not parts:
+                    row = _EMPTY_I64
+                elif len(parts) == 1:
+                    row = parts[0]
+                else:
+                    row = _sorted_unique(np.concatenate(parts))
+            win[scc] = row
+            total += row.size
+            if total > budget:
+                raise _SaturationOverflow(total)
+
+        #: Retained closure-matrix entries — the benchmark tier pins this
+        #: linear on tau-chains with a tracemalloc test.
+        self.saturation_entries = total
+        sizes = np.fromiter((row.size for row in win), dtype=np.int64, count=num_sccs)
+        self._win_off = np.concatenate(([0], np.cumsum(sizes)))
+        self._win_val = np.concatenate(win) if num_sccs else _EMPTY_I64
+
+    def _gather(self, offsets: np.ndarray, values: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Stacked CSR row slice: the concatenated rows ``idx``."""
+        return values[_csr_flat(offsets, idx)]
+
+    def _refine_round(self, blocks: List[int], classes: List[int], push) -> None:
+        """One batched frontier round over all pending splitters at once.
+
+        Every predicate of the round — per rate class the backward closure
+        of its members' SCCs, per block its backward closure plus one
+        saturated in-edge set per visible action — is an SCC set, so all
+        units of one SCC satisfy exactly the same predicates.  The round
+        therefore tags each closure/in-edge entry with its predicate id
+        (``scc * P + pred``), deduplicates the whole frontier with a single
+        ``np.unique``, and reads each touched SCC's *signature* (its sorted
+        predicate list) straight off the group boundaries.  Splitting every
+        touched block by signature id reaches the same common refinement as
+        splitting by each predicate in sequence, for one vectorised
+        mark/split pass per round instead of one per splitter — the
+        per-splitter ``np.unique`` storm of the chunked path is gone.
+        """
+        num_sccs = self.condensation.num_sccs
+        num_actions = len(self.sat_actions)
+        unit_scc = self._unit_scc_arr
+        bck_off, bck_val = self._bck_off, self._bck_val
+        class_seeds: List[np.ndarray] = []
+        for index in classes:
+            members = self.class_members[index]
+            if not members:
+                continue  # class emptied by re-bucketing
+            class_seeds.append(
+                _sorted_unique(
+                    unit_scc[np.fromiter(members, dtype=np.int64, count=len(members))]
+                )
+            )
+        k_cls = len(class_seeds)
+        k_blk = len(blocks)
+        preds_total = k_cls + k_blk + k_blk * num_actions
+        if not preds_total:
+            return
+        if num_sccs and preds_total >= 2**62 // num_sccs:
+            # Packed (scc, predicate) keys would overflow int64: process the
+            # splitters through the chunked per-predicate path instead.
+            predicates = self._frontier_predicates(blocks, classes)
+            if predicates:
+                self._apply_codes(predicates, push)
+            return
+        streams: List[np.ndarray] = []
+        if k_cls:
+            seeds = np.concatenate(class_seeds)
+            owner = np.repeat(
+                np.arange(k_cls, dtype=np.int64),
+                np.fromiter((s.size for s in class_seeds), dtype=np.int64, count=k_cls),
+            )
+            cnt = bck_off[seeds + 1] - bck_off[seeds]
+            streams.append(
+                bck_val[_csr_flat(bck_off, seeds)] * preds_total
+                + np.repeat(owner, cnt)
+            )
+        if k_blk:
+            member_units, member_counts = self.part.members_flat(blocks)
+            sccs = unit_scc[member_units]
+            owner = np.repeat(np.arange(k_blk, dtype=np.int64), member_counts)
+            cnt = bck_off[sccs + 1] - bck_off[sccs]
+            streams.append(
+                bck_val[_csr_flat(bck_off, sccs)] * preds_total
+                + np.repeat(owner + k_cls, cnt)
+            )
+            win_off, win_val = self._win_off, self._win_val
+            wcnt = win_off[sccs + 1] - win_off[sccs]
+            wvals = win_val[_csr_flat(win_off, sccs)]
+            if wvals.size:
+                slots = wvals // num_sccs
+                sources = wvals - slots * num_sccs
+                vis_base = k_cls + k_blk
+                streams.append(
+                    sources * preds_total
+                    + (vis_base + np.repeat(owner, wcnt) * num_actions + slots)
+                )
+        codes = _sorted_unique(np.concatenate(streams))
+        sccs = codes // preds_total
+        preds = codes - sccs * preds_total
+        bounds = np.concatenate(
+            ([0], np.flatnonzero(sccs[1:] != sccs[:-1]) + 1, [codes.size])
+        )
+        lows = bounds[:-1]
+        touched = sccs[lows]
+        group_sizes = np.diff(bounds)
+        # Signature ids must be injective on signature equality (two units of
+        # one block with equal signatures must NOT separate): single-predicate
+        # groups are factorised vectorised, longer groups — never equal to a
+        # singleton — hash their predicate slice into a disjoint id range.
+        sig_ids = np.empty(touched.size, dtype=np.int64)
+        single = group_sizes == 1
+        single_idx = np.flatnonzero(single)
+        next_id = 0
+        if single_idx.size:
+            singles = preds[lows[single_idx]]
+            uniq = _sorted_unique(singles)
+            sig_ids[single_idx] = np.searchsorted(uniq, singles)
+            next_id = uniq.size
+        multi_idx = np.flatnonzero(~single)
+        if multi_idx.size:
+            highs = bounds[1:]
+            sig_of: Dict[bytes, int] = {}
+            for position in multi_idx.tolist():
+                key = preds[lows[position] : highs[position]].tobytes()
+                code = sig_of.get(key)
+                if code is None:
+                    code = next_id + len(sig_of)
+                    sig_of[key] = code
+                sig_ids[position] = code
+        unit_off = self._unit_off
+        units = _csr_flat(unit_off, touched)
+        if not units.size:
+            return
+        self._unit_code[units] = np.repeat(
+            sig_ids, unit_off[touched + 1] - unit_off[touched]
+        )
+        self.part.mark_all(units, assume_unique=True)
+        pieces, moved = self.part.split_marked_by_codes(self._unit_code)
+        for piece in pieces:
+            push(("block", piece))
+        if moved:
+            self._track_dirty(moved, push)
+
+    def _frontier_predicates(
+        self, blocks: List[int], classes: List[int]
+    ) -> List[np.ndarray]:
+        """Predicate index arrays (sets of satisfying SCCs) for one round.
+
+        Chunked fallback of :meth:`_refine_round` for frontiers whose packed
+        (scc, predicate) keys would overflow int64.  Rate-class predicates
+        are the backward closures of the class members' SCCs; block
+        predicates are the backward closure of the block's SCCs (the
+        weak-tau predicate) plus, per visible action, the saturated in-edge
+        sources — read straight out of the precomputed CSR rows, grouped by
+        the action slot of their packed keys.
+        """
+        num_sccs = self.condensation.num_sccs
+        part = self.part
+        unit_scc = self._unit_scc_arr
+        predicates: List[np.ndarray] = []
+        for index in classes:
+            members = self.class_members[index]
+            if not members:
+                continue  # class emptied by re-bucketing
+            seeds = np.unique(
+                unit_scc[np.fromiter(members, dtype=np.int64, count=len(members))]
+            )
+            row = self._gather(self._bck_off, self._bck_val, seeds)
+            predicates.append(np.unique(row) if seeds.size > 1 else row)
+        for block in blocks:
+            sccs = unit_scc[part.member_array(block)]
+            if sccs.size > 1:
+                sccs = np.unique(sccs)
+            row = self._gather(self._bck_off, self._bck_val, sccs)
+            predicates.append(np.unique(row) if sccs.size > 1 else row)
+            keys = self._gather(self._win_off, self._win_val, sccs)
+            if not keys.size:
+                continue
+            keys = np.unique(keys)  # sorted by (action slot, source SCC)
+            slots = keys // num_sccs
+            starts = [0, *(np.flatnonzero(slots[1:] != slots[:-1]) + 1).tolist(), keys.size]
+            for position in range(len(starts) - 1):
+                group = keys[starts[position] : starts[position + 1]]
+                predicates.append(group - slots[starts[position]] * num_sccs)
+        return predicates
+
+    def _run(self) -> None:
+        if self._refined:
+            return
+        pending_blocks: Set[int] = set(self.part.blocks())
+        pending_classes: Set[int] = set(range(len(self.class_members)))
+
+        def push(splitter) -> None:
+            kind, index = splitter
+            if kind == "block":
+                pending_blocks.add(index)
+            else:
+                pending_classes.add(index)
+
+        while pending_blocks or pending_classes or self._dirty:
+            self._flush_dirty(push)
+            blocks = sorted(pending_blocks)
+            classes = sorted(pending_classes)
+            pending_blocks.clear()
+            pending_classes.clear()
+            self._refine_round(blocks, classes, push)
+        self._refined = True
 
 
 # ---------------------------------------------------------------------------
@@ -1201,14 +1723,253 @@ def _build_weak_quotient(
     condensation: TauCondensation,
     partition: Partition,
     name: str | None = None,
+    precomputed: Optional[tuple] = None,
 ) -> IOIMC:
     """Weak quotient from a partition and the shared tau-SCC condensation.
 
-    One id-ordered sweep over the condensation (tau successors first, see
-    :class:`~repro.ioimc.partition.TauCondensation`) computes, per SCC, the
-    blocks reachable via internal moves and via ``τ* a τ*`` per visible
-    action.  The per-SCC sets contain block ids and are interned, so shared
-    tails of tau-chains cost one object — no per-state closure frozensets.
+    The forward analogue of the closure engine's saturation sweep: one
+    ascending-id pass over the condensation (tau successors carry smaller
+    ids, so successor rows are final first) folds, per SCC, the blocks
+    reachable via internal moves into sorted numpy rows; visible reach is
+    one global edge expansion (every visible edge and input gap contributes
+    ``slot * num_blocks + block`` for each block in its target's tau row,
+    keyed by source SCC, one sort-dedup total) followed by the same
+    ascending accumulation.  Assembly is one global decode of the
+    representatives' rows into pair lists — no per-state closure frozensets
+    and no per-SCC Python set unions.
+
+    ``precomputed``, when given, is the weak engines' already-extracted
+    ``(vis_src, vis_aid, vis_off, gap_scc, gap_aid, stable_flags)`` edge
+    data (visible in-edge CSR keyed by target SCC, input-gap pairs, a
+    per-state stability bytearray) — skipping the transition re-walk.
+    """
+    num_states = model.num_states
+    num_blocks = len(partition)
+    num_sccs = condensation.num_sccs
+    block_arr = np.empty(num_states, dtype=np.int64)
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_arr[state] = block_id
+    scc_of = condensation.scc_of
+    tau_succ = condensation.tau_succ
+    internal_mask = model.signature.internal_mask
+    input_ids = model.signature.input_ids
+    mtrans = model._mtrans
+
+    scc_arr = np.asarray(scc_of, dtype=np.int64)
+    if precomputed is not None:
+        vis_src, vis_aid, vis_off, gap_scc, gap_aid, stable_flags = precomputed
+        src = np.concatenate([vis_src, gap_scc])
+        aid = np.concatenate([vis_aid, gap_aid])
+        dst = np.concatenate(
+            [np.repeat(np.arange(num_sccs, dtype=np.int64), np.diff(vis_off)), gap_scc]
+        )
+        stable_idx = np.flatnonzero(np.frombuffer(bytes(stable_flags), dtype=np.uint8))
+    else:
+        # Flat visible forward edges (source SCC, action, target SCC); input
+        # gaps ride along as self-edges (the implicit weak self-loop reaches
+        # the state's own tau closure).  Gap detection records one
+        # input-restricted mask int per state and runs one vectorised
+        # bit-test per input action afterwards — not one Python test per
+        # (state, input) pair.
+        input_id_list = sorted(input_ids)
+        input_mask = model.signature.input_mask
+        enabled_mask = model.enabled_mask
+        itrans = model._itrans
+        vec_gaps = bool(input_id_list) and input_id_list[-1] < 63
+        e_src: List[int] = []
+        e_aid: List[int] = []
+        e_dst: List[int] = []
+        imask_vals: List[int] = []
+        stable = bytearray(num_states)
+        for state in range(num_states):
+            scc = scc_of[state]
+            for aid_, target in itrans[state]:
+                if (internal_mask >> aid_) & 1:
+                    continue
+                e_src.append(scc)
+                e_aid.append(aid_)
+                e_dst.append(scc_of[target])
+            mask = enabled_mask(state)
+            if not mask & internal_mask:
+                stable[state] = 1
+            if vec_gaps:
+                imask_vals.append(mask & input_mask)
+            else:
+                for aid_ in input_id_list:
+                    if not (mask >> aid_) & 1:
+                        e_src.append(scc)
+                        e_aid.append(aid_)
+                        e_dst.append(scc)
+        gap_src_parts: List[np.ndarray] = []
+        gap_aid_parts: List[np.ndarray] = []
+        if vec_gaps:
+            imask_arr = np.fromiter(imask_vals, dtype=np.int64, count=num_states)
+            for aid_ in input_id_list:
+                missing = np.flatnonzero(~(imask_arr >> aid_) & 1)
+                if missing.size:
+                    gap_src_parts.append(scc_arr[missing])
+                    gap_aid_parts.append(np.full(missing.size, aid_, dtype=np.int64))
+        gap_src = np.concatenate(gap_src_parts) if gap_src_parts else _EMPTY_I64
+        gap_aid_arr = np.concatenate(gap_aid_parts) if gap_aid_parts else _EMPTY_I64
+        src = np.concatenate([np.asarray(e_src, dtype=np.int64), gap_src])
+        aid = np.concatenate([np.asarray(e_aid, dtype=np.int64), gap_aid_arr])
+        dst = np.concatenate([np.asarray(e_dst, dtype=np.int64), gap_src])
+        stable_idx = np.flatnonzero(np.frombuffer(bytes(stable), dtype=np.uint8))
+
+    # Pass 1 — blocks reachable via internal moves, ascending SCC ids.
+    order = np.argsort(scc_arr, kind="stable")
+    mem_blocks = block_arr[order]
+    mem_off = np.concatenate(
+        ([0], np.cumsum(np.bincount(scc_arr, minlength=num_sccs)))
+    )
+    tau_rows: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+    for scc in range(num_sccs):
+        row = mem_blocks[mem_off[scc] : mem_off[scc + 1]]
+        succs = tau_succ[scc]
+        if succs:
+            row = np.concatenate([row, *(tau_rows[s] for s in succs)])
+        tau_rows[scc] = _sorted_unique(row) if row.size > 1 else row
+    tau_sizes = np.fromiter(
+        (row.size for row in tau_rows), dtype=np.int64, count=num_sccs
+    )
+    tau_off = np.concatenate(([0], np.cumsum(tau_sizes)))
+    tau_val = np.concatenate(tau_rows) if num_sccs else _EMPTY_I64
+
+    # Pass 2 — direct weak-visible departures per source SCC, globally
+    # expanded over the targets' tau rows, then accumulated ascending.
+    direct: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+    if src.size:
+        sat = _sorted_unique(aid)
+        span = sat.size * num_blocks
+        if num_sccs and span >= 2**62 // num_sccs:
+            # Packed (source, slot, block) keys would overflow int64.
+            return _build_weak_quotient_scalar(model, condensation, partition, name)
+        slot = np.searchsorted(sat, aid)
+        cnt = tau_off[dst + 1] - tau_off[dst]
+        codes = np.repeat(slot, cnt) * num_blocks + tau_val[_csr_flat(tau_off, dst)]
+        keys = _sorted_unique(np.repeat(src, cnt) * span + codes)
+        srcs = keys // span
+        key_codes = keys - srcs * span
+        bounds = np.concatenate(
+            ([0], np.flatnonzero(srcs[1:] != srcs[:-1]) + 1, [keys.size])
+        )
+        lows = bounds[:-1]
+        for source, low, high in zip(
+            srcs[lows].tolist(), lows.tolist(), bounds[1:].tolist()
+        ):
+            direct[source] = key_codes[low:high]
+    else:
+        sat = _EMPTY_I64
+    vis_rows: List[np.ndarray] = [_EMPTY_I64] * num_sccs
+    for scc in range(num_sccs):
+        row = direct[scc]
+        succs = tau_succ[scc]
+        if succs:
+            parts = [row] if row.size else []
+            parts.extend(vis_rows[s] for s in succs if vis_rows[s].size)
+            if not parts:
+                row = _EMPTY_I64
+            elif len(parts) == 1:
+                row = parts[0]
+            else:
+                row = _sorted_unique(np.concatenate(parts))
+        vis_rows[scc] = row
+
+    internal_actions = sorted(model.signature.internals)
+    tau_id = intern_action(internal_actions[0]) if internal_actions else None
+
+    quotient = IOIMC(name if name is not None else model.name, model.signature)
+    model_labels = model._labels
+    reps = [min(block) for block in partition]
+    for block_id, rep in enumerate(reps):
+        quotient.add_state(labels=model_labels[rep], name=f"B{block_id}")
+
+    # Minimal stable representative per block: a descending scatter makes
+    # the smallest stable state win the last write.
+    stable_rep = np.full(num_blocks, -1, dtype=np.int64)
+    if stable_idx.size:
+        rev = stable_idx[::-1]
+        stable_rep[block_arr[rev]] = rev
+
+    # Global assembly: decode every representative's visible and tau rows at
+    # once, drop implicit input self-loops and tau self-block moves with
+    # boolean masks, and materialise the pair lists with two C-level zips —
+    # the only per-block Python work left is list slicing and the bulk adds.
+    rep_scc_arr = scc_arr[np.fromiter(reps, dtype=np.int64, count=num_blocks)]
+    block_ids = np.arange(num_blocks, dtype=np.int64)
+
+    vis_sizes = np.fromiter(
+        (row.size for row in vis_rows), dtype=np.int64, count=num_sccs
+    )
+    vis_off = np.concatenate(([0], np.cumsum(vis_sizes)))
+    vis_val = np.concatenate(vis_rows) if num_sccs else _EMPTY_I64
+    vflat = vis_val[_csr_flat(vis_off, rep_scc_arr)]
+    vowner = np.repeat(block_ids, vis_sizes[rep_scc_arr])
+    if vflat.size:
+        vslots = vflat // num_blocks
+        vtargets = vflat - vslots * num_blocks
+        input_slot = np.fromiter(
+            ((slot_aid in input_ids) for slot_aid in sat.tolist()),
+            dtype=bool,
+            count=sat.size,
+        )
+        keep = ~((vtargets == vowner) & input_slot[vslots])
+        vowner = vowner[keep]
+        vis_pairs = list(zip(sat[vslots[keep]].tolist(), vtargets[keep].tolist()))
+    else:
+        vis_pairs = []
+    voff = np.concatenate(
+        ([0], np.cumsum(np.bincount(vowner, minlength=num_blocks)))
+    ).tolist()
+
+    tflat = tau_val[_csr_flat(tau_off, rep_scc_arr)]
+    towner = np.repeat(block_ids, tau_sizes[rep_scc_arr])
+    tkeep = tflat != towner
+    ttargets = tflat[tkeep]
+    towner = towner[tkeep]
+    if ttargets.size and tau_id is None:
+        raise AssertionError(
+            "internal moves present but the signature declares no internal action"
+        )
+    tau_pairs = list(zip([tau_id] * ttargets.size, ttargets.tolist()))
+    toff = np.concatenate(
+        ([0], np.cumsum(np.bincount(towner, minlength=num_blocks)))
+    ).tolist()
+
+    for block_id in range(num_blocks):
+        pairs = (
+            vis_pairs[voff[block_id] : voff[block_id + 1]]
+            + tau_pairs[toff[block_id] : toff[block_id + 1]]
+        )
+        if pairs:
+            quotient._add_interactive_bulk(block_id, pairs)
+
+        stable_member = int(stable_rep[block_id])
+        if stable_member >= 0:
+            rates: Dict[int, float] = {}
+            for target, rate in mtrans[stable_member].items():
+                target_block = int(block_arr[target])
+                if target_block == block_id:
+                    continue  # intra-class movement is invisible in the quotient
+                rates[target_block] = rates.get(target_block, 0.0) + rate
+            for target_block, total in rates.items():
+                quotient.add_markovian(block_id, total, target_block)
+
+    quotient.set_initial(int(block_arr[model.initial]))
+    return quotient
+
+
+def _build_weak_quotient_scalar(
+    model: IOIMC,
+    condensation: TauCondensation,
+    partition: Partition,
+    name: str | None = None,
+) -> IOIMC:
+    """Interned-frozenset fallback of :func:`_build_weak_quotient`.
+
+    Kept for models whose packed ``(source, action, block)`` keys would
+    overflow int64 — same sweeps, Python sets instead of packed rows.
     """
     block_of = _block_map(partition)
     input_ids = model.signature.input_ids
@@ -1327,13 +2088,56 @@ def quotient_weak(model: IOIMC, partition: Partition, name: str | None = None) -
     return _build_weak_quotient(model, TauCondensation(model), partition, name)
 
 
+def _strong_quotient_unrestricted(
+    model: IOIMC,
+    respect_labels: bool,
+    algorithm: str,
+    rate_digits: int,
+) -> IOIMC:
+    """Strong quotient over *all* states (no reachability restriction)."""
+    partition = strong_bisimulation_partition(
+        model, respect_labels=respect_labels, algorithm=algorithm, rate_digits=rate_digits
+    )
+    return quotient_strong(model, partition)
+
+
+def _weak_quotient_unrestricted(
+    model: IOIMC,
+    respect_labels: bool,
+    algorithm: str,
+    rate_digits: int,
+) -> IOIMC:
+    """Weak quotient over *all* states (no reachability restriction)."""
+    _check_algorithm(algorithm)
+    if algorithm == "signature":
+        partition = _weak_partition_signature(model, respect_labels, rate_digits)
+        return quotient_weak(model, partition)
+    if _has_no_internal_transitions(model):
+        partition = _strong_partition_splitter(model, respect_labels, rate_digits)
+        return _build_weak_quotient(model, TauCondensation(model), partition)
+    engine = _weak_engine(model, respect_labels, rate_digits, algorithm)
+    return engine.quotient()
+
+
 def minimize_strong(
     model: IOIMC,
     respect_labels: bool = True,
-    algorithm: str = "splitter",
+    algorithm: str = "closure",
     rate_digits: int = DEFAULT_RATE_DIGITS,
+    processes: int = 1,
 ) -> IOIMC:
-    """Minimise ``model`` modulo strong bisimulation."""
+    """Minimise ``model`` modulo strong bisimulation.
+
+    ``processes > 1`` refines connected components of the transition graph in
+    worker processes (see :func:`minimize_weak` for the decomposition and its
+    limits); a single-component model always refines serially.
+    """
+    if processes > 1:
+        reduced = _minimize_components_parallel(
+            model, "strong", respect_labels, algorithm, rate_digits, processes
+        )
+        if reduced is not None:
+            return reduced
     partition = strong_bisimulation_partition(
         model, respect_labels=respect_labels, algorithm=algorithm, rate_digits=rate_digits
     )
@@ -1343,24 +2147,175 @@ def minimize_strong(
 def minimize_weak(
     model: IOIMC,
     respect_labels: bool = True,
-    algorithm: str = "splitter",
+    algorithm: str = "closure",
     rate_digits: int = DEFAULT_RATE_DIGITS,
+    processes: int = 1,
 ) -> IOIMC:
     """Minimise ``model`` modulo weak bisimulation.
 
-    With the default splitter engine one tau-SCC condensation is shared
+    With the closure and splitter engines one tau-SCC condensation is shared
     between the partition refinement and the quotient construction, so the
     internal-closure work happens exactly once per minimisation.
+
+    ``processes > 1`` enables intra-minimisation multi-core: the transition
+    graph is split into (undirected) connected components, each component is
+    refined and quotiented in a worker process, and the disjoint union of the
+    component quotients gets one serial merge pass (which coarsens
+    cross-component equivalent blocks) before the usual reachability
+    restriction.  States in different components never share a transition, so
+    the composed partition reaches the same coarsest fixpoint as a global
+    serial run; on models with divergent vanishing states (tau self-loops or
+    cycles that never reach stability) the merge pass performs one extra
+    normalisation step — the same step the aggregation pipeline's
+    iterate-to-fixpoint loop applies after a serial minimisation.  The
+    decomposition only pays off on genuinely disconnected models (scenario
+    unions, batch corpora): a reachability-restricted product of one root is
+    a single component and always refines serially.
     """
     _check_algorithm(algorithm)
-    if algorithm == "splitter":
-        if _has_no_internal_transitions(model):
-            partition = _strong_partition_splitter(model, respect_labels, rate_digits)
-            quotient = _build_weak_quotient(model, TauCondensation(model), partition)
-        else:
-            engine = _WeakSplitterEngine(model, respect_labels, rate_digits)
-            quotient = engine.quotient()
-    else:
-        partition = _weak_partition_signature(model, respect_labels, rate_digits)
-        quotient = quotient_weak(model, partition)
+    if processes > 1:
+        reduced = _minimize_components_parallel(
+            model, "weak", respect_labels, algorithm, rate_digits, processes
+        )
+        if reduced is not None:
+            return reduced
+    quotient = _weak_quotient_unrestricted(model, respect_labels, algorithm, rate_digits)
     return quotient.restrict_to_reachable(model.name)
+
+
+# ---------------------------------------------------------------------------
+# intra-minimisation multi-core: connected-component fan-out
+# ---------------------------------------------------------------------------
+
+def _connected_components(model: IOIMC) -> List[List[int]]:
+    """Undirected connected components of the full transition graph.
+
+    Interactive and Markovian edges both connect; the components are exactly
+    the finest grouping with no cross-group transitions, so refinement
+    signatures never cross a component boundary.
+    """
+    num_states = model.num_states
+    parent = list(range(num_states))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for state in range(num_states):
+        for _aid, target in model._itrans[state]:
+            ra, rb = find(state), find(target)
+            if ra != rb:
+                parent[rb] = ra
+        for target in model._mtrans[state]:
+            ra, rb = find(state), find(target)
+            if ra != rb:
+                parent[rb] = ra
+    groups: Dict[int, List[int]] = {}
+    for state in range(num_states):
+        groups.setdefault(find(state), []).append(state)
+    return [groups[root] for root in sorted(groups)]
+
+
+def _extract_component(model: IOIMC, states: List[int]) -> IOIMC:
+    """The submodel induced by ``states`` (a transition-closed set).
+
+    The component keeps the full action signature (worker results are
+    re-unioned under it) and uses its smallest member as the initial state
+    when the model's initial lies elsewhere — the per-component quotient is
+    built over *all* component states, so the placeholder never influences
+    the result.
+    """
+    remap = {old: new for new, old in enumerate(states)}
+    sub = IOIMC(model.name, model.signature)
+    for old in states:
+        sub.add_state(labels=model.labels(old), name=model.state_name(old))
+    for old in states:
+        new = remap[old]
+        sub._set_interactive_raw(
+            new, [(aid, remap[target]) for aid, target in model._itrans[old]]
+        )
+        sub._set_markovian_raw(
+            new, {remap[target]: rate for target, rate in model._mtrans[old].items()}
+        )
+    initial = model._initial
+    sub.set_initial(remap[initial] if initial is not None and initial in remap else 0)
+    return sub
+
+
+def _minimize_component_job(
+    job: Tuple[str, IOIMC, bool, str, int],
+) -> IOIMC:
+    """Worker entry point: quotient one component, no reachability restriction."""
+    kind, sub, respect_labels, algorithm, rate_digits = job
+    if kind == "weak":
+        return _weak_quotient_unrestricted(sub, respect_labels, algorithm, rate_digits)
+    return _strong_quotient_unrestricted(sub, respect_labels, algorithm, rate_digits)
+
+
+def _minimize_components_parallel(
+    model: IOIMC,
+    kind: str,
+    respect_labels: bool,
+    algorithm: str,
+    rate_digits: int,
+    processes: int,
+) -> Optional[IOIMC]:
+    """Fan per-component quotients out to worker processes, then merge.
+
+    Returns ``None`` when the model is a single connected component (nothing
+    to fan out — the caller runs the serial path).  Models cross the process
+    boundary by action *name* (see ``IOIMC.__getstate__``), the same
+    plan-shipping discipline as the parallel modular aggregator.
+    """
+    components = _connected_components(model)
+    if len(components) < 2:
+        return None
+    jobs = [
+        (kind, _extract_component(model, states), respect_labels, algorithm, rate_digits)
+        for states in components
+    ]
+    workers = min(processes, len(jobs))
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        quotients = list(pool.map(_minimize_component_job, jobs))
+
+    # Disjoint union of the component quotients, then one serial merge pass:
+    # per-component refinement cannot merge equivalent states of *different*
+    # components, so the union is re-minimised (it is already small) to reach
+    # the global coarsest partition before the reachability restriction.
+    union = IOIMC(model.name, model.signature)
+    offsets: List[int] = []
+    for quotient in quotients:
+        offsets.append(union.num_states)
+        base = union.num_states
+        for state in range(quotient.num_states):
+            union.add_state(
+                labels=quotient.labels(state), name=quotient.state_name(state)
+            )
+        for state in range(quotient.num_states):
+            union._set_interactive_raw(
+                base + state,
+                [(aid, base + target) for aid, target in quotient._itrans[state]],
+            )
+            union._set_markovian_raw(
+                base + state,
+                {base + target: rate for target, rate in quotient._mtrans[state].items()},
+            )
+    initial = model._initial
+    if initial is not None:
+        for index, states in enumerate(components):
+            if initial in set(states):
+                union.set_initial(offsets[index] + quotients[index].initial)
+                break
+    else:
+        union.set_initial(0)
+    if kind == "weak":
+        merged = _weak_quotient_unrestricted(union, respect_labels, algorithm, rate_digits)
+    else:
+        merged = _strong_quotient_unrestricted(union, respect_labels, algorithm, rate_digits)
+    return merged.restrict_to_reachable(model.name)

@@ -175,6 +175,28 @@ class RefinablePartition:
         """The elements of ``block`` as a fresh ``int64`` array snapshot."""
         return self._elems[self._start[block] : self._end[block]].copy()
 
+    def members_flat(self, blocks: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated member snapshot of several blocks, vectorised.
+
+        Returns ``(elements, counts)``: the members of every block in
+        ``blocks`` back to back (block order preserved) and the per-block
+        member counts.  Blocks are contiguous ``_elems`` slices, so the whole
+        gather is one fancy-indexing pass — the batched-frontier refinement
+        rounds of the weak closure engine pull every pending splitter's
+        membership through this instead of one :meth:`member_array` call per
+        block.
+        """
+        k = len(blocks)
+        starts = np.fromiter((self._start[b] for b in blocks), dtype=np.int64, count=k)
+        ends = np.fromiter((self._end[b] for b in blocks), dtype=np.int64, count=k)
+        counts = ends - starts
+        total = int(counts.sum())
+        if not total:
+            return np.empty(0, dtype=np.int64), counts
+        shifted = np.repeat(np.cumsum(counts) - counts - starts, counts)
+        positions = np.arange(total, dtype=np.int64) - shifted
+        return self._elems[positions], counts
+
     def as_sets(self) -> List[FrozenSet[int]]:
         """The partition as frozensets, ordered by smallest member."""
         return sorted(
@@ -312,6 +334,108 @@ class RefinablePartition:
             result.append((new_block, block))
         self._touched.clear()
         return result
+
+    def split_marked_by_codes(
+        self, codes: np.ndarray
+    ) -> Tuple[List[int], List[int]]:
+        """Split every touched block by marked/unmarked, then by code.
+
+        ``codes`` is an array indexed by element, valid for the currently
+        marked elements.  Per touched block this is exactly
+        :meth:`split_marked` followed by a code-keyed split of the marked
+        part, fused: the marked prefix is grouped by code in one argsort (or
+        scalar dict) pass — no per-element ``key_of`` callback.  A fully
+        marked block's first code group keeps the block id; an unmarked
+        remainder keeps the block id and every marked group gets a fresh id.
+
+        Returns ``(pieces, moved)`` aggregated over all touched blocks:
+        ``pieces`` are all block ids whose membership may have changed (for
+        re-enqueueing), ``moved`` are the ids whose members left their old
+        block (for rate-vector re-bucketing).  An unchanged block (fully
+        marked, one code group) contributes neither.  All marks are cleared.
+        """
+        pieces: List[int] = []
+        moved: List[int] = []
+        elems = self._elems
+        elems_l = self._elems_l
+        loc_l = self._loc_l
+        block_l = self._block_l
+        for block in self._touched:
+            marked = self._marked[block]
+            self._marked[block] = 0
+            start = self._start[block]
+            full = marked == self._end[block] - start
+            if marked <= self._VECTOR_THRESHOLD:
+                # Scalar grouping (first-seen order) for small marked sets.
+                groups: Dict[int, List[int]] = {}
+                for element in elems_l[start : start + marked]:
+                    key = codes[element]
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [element]
+                    else:
+                        bucket.append(element)
+                if full and len(groups) == 1:
+                    continue  # unchanged
+                position = start
+                first = full
+                for bucket in groups.values():
+                    if first:
+                        # First group of a fully marked block keeps the id
+                        # (its members keep their block label, but still move
+                        # into the leading slots).
+                        first = False
+                        for element in bucket:
+                            elems_l[position] = element
+                            loc_l[element] = position
+                            position += 1
+                        self._end[block] = position
+                        pieces.append(block)
+                        continue
+                    target = len(self._start)
+                    begin = position
+                    for element in bucket:
+                        elems_l[position] = element
+                        loc_l[element] = position
+                        block_l[element] = target
+                        position += 1
+                    self._start.append(begin)
+                    self._end.append(position)
+                    self._marked.append(0)
+                    pieces.append(target)
+                    moved.append(target)
+            else:
+                seg = elems[start : start + marked].copy()
+                seg_codes = codes[seg]
+                order = np.argsort(seg_codes, kind="stable")
+                distinct = np.flatnonzero(
+                    seg_codes[order][1:] != seg_codes[order][:-1]
+                )
+                if full and not distinct.size:
+                    continue  # unchanged
+                seg = seg[order]
+                elems[start : start + marked] = seg
+                self._loc[seg] = np.arange(start, start + marked, dtype=np.int64)
+                bounds = [0, *(distinct + 1).tolist(), marked]
+                for index in range(len(bounds) - 1):
+                    begin = start + bounds[index]
+                    finish = start + bounds[index + 1]
+                    if full and index == 0:
+                        self._end[block] = finish
+                        pieces.append(block)
+                        continue
+                    target = len(self._start)
+                    self._start.append(begin)
+                    self._end.append(finish)
+                    self._marked.append(0)
+                    self._block_of[elems[begin:finish]] = target
+                    pieces.append(target)
+                    moved.append(target)
+            if not full:
+                self._start[block] = start + marked
+                pieces.append(block)
+        self._touched.clear()
+        return pieces, moved
 
     def split_by_key(self, block: int, key_of: Callable[[int], Hashable]) -> List[int]:
         """Split ``block`` into its groups of equal ``key_of(element)``.

@@ -44,21 +44,30 @@ class AggregationOptions:
     respect_labels:
         Keep differently labelled states apart during minimisation.
     minimiser:
-        Bisimulation refinement engine: ``"splitter"`` (default, splitter-
-        based partition refinement on the tau-SCC condensation) or
-        ``"signature"`` (the seed signature-refinement reference).
+        Bisimulation refinement engine: ``"closure"`` (default, saturation-free
+        closure-then-strong refinement with batched frontiers),
+        ``"splitter"`` (per-splitter partition refinement on the tau-SCC
+        condensation) or ``"signature"`` (the seed signature-refinement
+        reference).  All three compute identical quotients.
     rate_digits:
         Significant digits compared when two aggregate Markovian rates are
         tested for equality during refinement (default
-        :data:`~repro.ioimc.partition.DEFAULT_RATE_DIGITS`); both engines
+        :data:`~repro.ioimc.partition.DEFAULT_RATE_DIGITS`); all engines
         honour the same precision.
+    minimisation_processes:
+        Worker processes for intra-minimisation multi-core (1 = serial).
+        Connected components of the transition graph refine in parallel; a
+        single-component model — every reachability-restricted product of one
+        root — always refines serially, so this only pays off on disconnected
+        scenario unions.
     """
 
     method: str = "weak"
     urgent_outputs: bool = True
     respect_labels: bool = True
-    minimiser: str = "splitter"
+    minimiser: str = "closure"
     rate_digits: int = DEFAULT_RATE_DIGITS
+    minimisation_processes: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in {"weak", "strong", "tau", "none"}:
@@ -70,6 +79,11 @@ class AggregationOptions:
         if not isinstance(self.rate_digits, int) or self.rate_digits < 1:
             raise ModelError(
                 f"rate_digits must be a positive integer, got {self.rate_digits!r}"
+            )
+        if int(self.minimisation_processes) < 1:
+            raise ModelError(
+                "minimisation_processes must be >= 1, got "
+                f"{self.minimisation_processes!r}"
             )
 
 
@@ -215,6 +229,7 @@ def aggregate(
                     respect_labels=options.respect_labels,
                     algorithm=options.minimiser,
                     rate_digits=options.rate_digits,
+                    processes=options.minimisation_processes,
                 )
             elif options.method == "strong":
                 reduced = minimize_strong(
@@ -222,6 +237,7 @@ def aggregate(
                     respect_labels=options.respect_labels,
                     algorithm=options.minimiser,
                     rate_digits=options.rate_digits,
+                    processes=options.minimisation_processes,
                 )
             # re-run maximal progress: quotienting may have exposed new urgency
             reduced = apply_maximal_progress(reduced, urgent_outputs=options.urgent_outputs)

@@ -23,7 +23,7 @@ import threading
 import time as _time
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Deque, Dict, Mapping, Optional, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from ..core.measures import (
     MTTF,
@@ -38,6 +38,8 @@ from ..core.results import (
     MeasureResult,
     RestoredStatistics,
     StudyResult,
+    SweepResult,
+    SweepRow,
 )
 from ..core.study import StudyOptions, evaluate_skeleton_query
 from ..core.sweep import RateSweep, SweepStudy, with_rate_parameters
@@ -45,7 +47,7 @@ from ..ctmc.builders import CtmcSkeleton
 from ..ctmc.kernel import TransientKernel
 from ..dft import galileo
 from ..dft.elements import BasicEvent
-from ..dft.hashing import canonical_assignment
+from ..dft.hashing import CanonicalProfile, canonical_profile, translate_sample
 from ..errors import AnalysisError, ReproError
 from .store import SkeletonStore
 
@@ -202,6 +204,22 @@ def _service_evaluate(
     return _WORKER_KERNELS.evaluate(key, assignment, query_payload, tolerance, on_error)
 
 
+def _service_evaluate_row(
+    key: str,
+    assignment: Dict[str, float],
+    query_payload: Optional[Dict[str, object]],
+    tolerance: float,
+    on_error: str,
+) -> Tuple[Tuple[MeasureResult, ...], float]:
+    """One sweep/batch row in a pool worker, with its worker-side wall time."""
+    assert _WORKER_KERNELS is not None
+    start = _time.perf_counter()
+    measures = _WORKER_KERNELS.evaluate(
+        key, assignment, query_payload, tolerance, on_error
+    )
+    return measures, _time.perf_counter() - start
+
+
 # ---------------------------------------------------------------------------
 # the application object
 # ---------------------------------------------------------------------------
@@ -290,9 +308,9 @@ class AnalysisService:
                                 "Galileo description string")
         return galileo.parse(text, name="<request>")
 
-    def _get_entry(self, tree):
+    def _get_entry(self, tree, profile: Optional[CanonicalProfile] = None):
         with self._build_lock:
-            return self.store.get_or_build(tree, self.options)
+            return self.store.get_or_build(tree, self.options, profile=profile)
 
     def _evaluate_inline(
         self, entry, assignment, query_payload, on_error: str
@@ -344,15 +362,25 @@ class AnalysisService:
                 pass
         return self._evaluate_inline(entry, assignment, query_payload, on_error)
 
-    def _study_result(self, tree, payload, entry, hit) -> StudyResult:
+    @staticmethod
+    def _query_payload(payload) -> Optional[Mapping[str, object]]:
         query_payload = payload.get("query") if payload else None
         if query_payload is not None and not isinstance(query_payload, Mapping):
             raise AnalysisError("the 'query' field must be an object")
+        return query_payload
+
+    def _study_result(
+        self, tree, payload, entry, hit, assignment: Dict[str, float]
+    ) -> StudyResult:
+        query_payload = self._query_payload(payload)
         start = _time.perf_counter()
-        measures = self._evaluate(
-            entry, canonical_assignment(tree), query_payload, on_error="record"
-        )
+        measures = self._evaluate(entry, assignment, query_payload, on_error="record")
         evaluation = _time.perf_counter() - start
+        return self._wrap_study_result(tree, entry, hit, measures, evaluation)
+
+    def _wrap_study_result(
+        self, tree, entry, hit, measures, evaluation: float
+    ) -> StudyResult:
         options = self.options.to_dict()
         options["skeleton_cache"] = "hit" if hit else "miss"
         return StudyResult(
@@ -366,10 +394,17 @@ class AnalysisService:
         )
 
     def analyze(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
-        """``POST /analyze``: one tree, one query -> ``repro.study/1``."""
+        """``POST /analyze``: one tree, one query -> ``repro.study/1``.
+
+        The tree is walked once: the request's
+        :class:`~repro.dft.hashing.CanonicalProfile` supplies both the cache
+        key's structural hash and the canonical rate assignment, so a cache
+        hit evaluates without touching the tree again.
+        """
         tree = self._parse_tree(payload)
-        entry, hit = self._get_entry(tree)
-        result = self._study_result(tree, payload, entry, hit)
+        profile = canonical_profile(tree)
+        entry, hit = self._get_entry(tree, profile)
+        result = self._study_result(tree, payload, entry, hit, profile.assignment)
         response = result.to_dict(include_steps=False)
         response["service"] = {
             "schema": SERVICE_SCHEMA,
@@ -413,7 +448,8 @@ class AnalysisService:
         ]
         if attach:
             tree = with_rate_parameters(tree, {name: name for name in attach})
-        entry, hit = self._get_entry(tree)
+        profile = canonical_profile(tree)
+        entry, hit = self._get_entry(tree, profile)
         query = query_from_payload(
             payload.get("query"), nondeterministic=entry.nondeterministic  # type: ignore[arg-type]
         )
@@ -425,12 +461,17 @@ class AnalysisService:
             if not isinstance(samples, (list, tuple)):
                 raise AnalysisError("'samples' must be a list of parameter assignments")
             rate_sweep = RateSweep(query, samples)  # type: ignore[arg-type]
-        study = SweepStudy(tree, self.options, skeleton_cache=self.store)
-        result = study.run(
-            rate_sweep,
-            processes=int(payload.get("processes", 1)),  # type: ignore[arg-type]
-            share_uniformisation=bool(payload.get("share_uniformisation", False)),
-        )
+        share = bool(payload.get("share_uniformisation", False))
+        result = None
+        if self._pool is not None and not share:
+            result = self._sweep_pooled(tree, profile, entry, hit, rate_sweep, payload)
+        if result is None:
+            study = SweepStudy(tree, self.options, skeleton_cache=self.store)
+            result = study.run(
+                rate_sweep,
+                processes=int(payload.get("processes", 1)),  # type: ignore[arg-type]
+                share_uniformisation=share,
+            )
         response = result.to_dict()
         response["service"] = {
             "schema": SERVICE_SCHEMA,
@@ -438,6 +479,79 @@ class AnalysisService:
             "key": entry.key,
         }
         return response
+
+    def _sweep_pooled(
+        self, tree, profile: CanonicalProfile, entry, hit, rate_sweep, payload
+    ) -> Optional[SweepResult]:
+        """Fan the sweep's rows out over the service worker pool.
+
+        All rows are submitted concurrently, so one big ``POST /sweep``
+        saturates every pool worker (each holding a warm per-key kernel)
+        instead of spinning up a fresh per-request pool.  Rows come back in
+        sample order with the same per-row measures as the inline engine.
+        Returns ``None`` on any pool failure — the caller falls back to the
+        inline sweep engine (``share_uniformisation`` requests take the
+        inline path up front: the pinned Poisson table is per-plan state the
+        pooled rows do not share).
+        """
+        declared = tree.parameters
+        unknown = [name for name in rate_sweep.parameters if name not in declared]
+        if unknown:
+            raise AnalysisError(
+                "the sweep varies parameters the tree does not declare: "
+                + ", ".join(sorted(unknown))
+                + " (declare them with 'param <name> = <value>;' or "
+                "DynamicFaultTree.declare_parameter)"
+            )
+        query_payload = self._query_payload(payload)
+        parameter_map = profile.parameter_map
+        base = profile.assignment
+        pool = self._pool
+        assert pool is not None
+        start = _time.perf_counter()
+        try:
+            futures = []
+            for sample in rate_sweep.samples:
+                assignment = dict(base)
+                assignment.update(translate_sample(sample, parameter_map))
+                futures.append(
+                    pool.submit(
+                        _service_evaluate_row,
+                        entry.key,
+                        assignment,
+                        None if query_payload is None else dict(query_payload),
+                        self.options.tolerance,
+                        "record",
+                    )
+                )
+            rows = []
+            for sample, future in zip(rate_sweep.samples, futures):
+                measures, seconds = future.result()
+                rows.append(
+                    SweepRow(
+                        sample=dict(sample),
+                        measures=measures,
+                        wall_seconds=seconds,
+                    )
+                )
+        except ReproError:
+            raise
+        except Exception:
+            # Broken pool / worker-side eviction: inline engine takes over.
+            return None
+        samples_seconds = _time.perf_counter() - start
+        options = self.options.to_dict()
+        options["skeleton_cache"] = "hit" if hit else "miss"
+        options["service_pool"] = True
+        return SweepResult(
+            tree_name=tree.name,
+            parameters=rate_sweep.parameters,
+            rows=tuple(rows),
+            model=entry.model,
+            options=options,
+            timings={"samples": samples_seconds, "total": samples_seconds},
+            processes=self.processes,
+        )
 
     def batch(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
         """``POST /batch``: many trees, one query -> ``repro.batch/1``."""
@@ -448,10 +562,14 @@ class AnalysisService:
         trees = payload["trees"]
         if not trees:
             raise AnalysisError("a batch request needs at least one tree")
-        rows = []
+        query_payload = self._query_payload(payload)
         hits = 0
         misses = 0
         start = _time.perf_counter()
+        # First pass (serial): parse every tree and resolve its skeleton.
+        # Each slot holds either an error row or the material an evaluation
+        # needs, so the pooled pass can submit all rows before gathering any.
+        prepared: List[object] = []
         for index, text in enumerate(trees):  # type: ignore[union-attr]
             row_start = _time.perf_counter()
             try:
@@ -460,10 +578,63 @@ class AnalysisService:
                         f"batch tree #{index} must be a non-empty Galileo string"
                     )
                 tree = galileo.parse(text, name=f"<batch#{index}>")
-                entry, hit = self._get_entry(tree)
+                profile = canonical_profile(tree)
+                entry, hit = self._get_entry(tree, profile)
                 hits += 1 if hit else 0
                 misses += 0 if hit else 1
-                result = self._study_result(tree, payload, entry, hit)
+                prepared.append((tree, profile, entry, hit, row_start))
+            except ReproError as error:
+                prepared.append(
+                    BatchRow(
+                        name=f"<batch#{index}>",
+                        source=None,
+                        result=None,
+                        error=str(error),
+                        wall_seconds=_time.perf_counter() - row_start,
+                    )
+                )
+        # Second pass: evaluate the parsed rows — concurrently over the
+        # service pool when it is healthy, inline otherwise.
+        futures: Dict[int, object] = {}
+        if self._pool is not None:
+            for index, item in enumerate(prepared):
+                if isinstance(item, BatchRow):
+                    continue
+                tree, profile, entry, hit, row_start = item
+                try:
+                    futures[index] = self._pool.submit(
+                        _service_evaluate_row,
+                        entry.key,
+                        dict(profile.assignment),
+                        None if query_payload is None else dict(query_payload),
+                        self.options.tolerance,
+                        "record",
+                    )
+                except Exception:
+                    # Broken pool: leave the row to the inline path below.
+                    break
+        rows = []
+        for index, item in enumerate(prepared):
+            if isinstance(item, BatchRow):
+                rows.append(item)
+                continue
+            tree, profile, entry, hit, row_start = item
+            try:
+                future = futures.get(index)
+                if future is not None:
+                    try:
+                        measures, evaluation = future.result()  # type: ignore[attr-defined]
+                    except ReproError:
+                        raise
+                    except Exception:
+                        future = None
+                if future is None:
+                    eval_start = _time.perf_counter()
+                    measures = self._evaluate_inline(
+                        entry, profile.assignment, query_payload, "record"
+                    )
+                    evaluation = _time.perf_counter() - eval_start
+                result = self._wrap_study_result(tree, entry, hit, measures, evaluation)
                 rows.append(
                     BatchRow(
                         name=tree.name,
@@ -476,7 +647,7 @@ class AnalysisService:
             except ReproError as error:
                 rows.append(
                     BatchRow(
-                        name=f"<batch#{index}>",
+                        name=tree.name,
                         source=None,
                         result=None,
                         error=str(error),
@@ -486,7 +657,7 @@ class AnalysisService:
         batch_result = BatchResult(
             rows=tuple(rows),
             wall_seconds=_time.perf_counter() - start,
-            processes=1,
+            processes=self.processes if futures else 1,
         )
         response = batch_result.to_dict()
         response["service"] = {

@@ -36,6 +36,7 @@ import os
 import pickle
 import tempfile
 import time as _time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -50,7 +51,12 @@ from ..ctmc.builders import (
 )
 from ..ctmc.kernel import CsrBuffer
 from ..dft import galileo
-from ..dft.hashing import HASH_VERSION, canonical_parametrisation, structural_hash
+from ..dft.hashing import (
+    HASH_VERSION,
+    CanonicalProfile,
+    canonical_parametrisation,
+    structural_hash,
+)
 from ..dft.tree import DynamicFaultTree
 from ..errors import AnalysisError, NondeterminismError, ReproError
 
@@ -58,8 +64,16 @@ LOGGER = logging.getLogger("repro.service.store")
 
 #: Leading bytes of every cache file ("Repro SKeleton Cache").
 MAGIC = b"RSKC"
-#: On-disk format version; bump on any layout change so old files are evicted.
-FORMAT_VERSION = 1
+#: On-disk format version written by :meth:`SkeletonStore.store`.  Version 2
+#: compresses the payload with zlib level 1 and adds the cached canonical
+#: parameter list to the entry; version 1 (uncompressed) files remain
+#: readable — the checksum always covers the *uncompressed* pickle bytes.
+FORMAT_VERSION = 2
+#: Versions :meth:`SkeletonStore.load` still accepts.
+READABLE_VERSIONS = (1, 2)
+#: zlib compression level of version-2 payloads (pickled CSR buffers are
+#: highly compressible; level 1 is nearly free next to a pipeline run).
+COMPRESSION_LEVEL = 1
 #: Bytes before the pickled payload: magic, version, payload checksum.
 _HEADER_SIZE = len(MAGIC) + 4 + 32
 #: File suffix of cache entries.
@@ -79,9 +93,20 @@ def _options_fingerprint(options: Optional[StudyOptions]) -> str:
     return hashlib.sha256(blob).hexdigest()[:12]
 
 
-def cache_key(tree: DynamicFaultTree, options: Optional[StudyOptions] = None) -> str:
-    """The store key of ``tree``: structural hash + options fingerprint."""
-    return f"{structural_hash(tree)}-{_options_fingerprint(options)}"
+def cache_key(
+    tree: DynamicFaultTree,
+    options: Optional[StudyOptions] = None,
+    tree_hash: Optional[str] = None,
+) -> str:
+    """The store key of ``tree``: structural hash + options fingerprint.
+
+    ``tree_hash`` accepts a precomputed :func:`structural_hash` (e.g. from a
+    :class:`~repro.dft.hashing.CanonicalProfile`) so callers that already
+    walked the tree do not walk it again.
+    """
+    if tree_hash is None:
+        tree_hash = structural_hash(tree)
+    return f"{tree_hash}-{_options_fingerprint(options)}"
 
 
 @dataclass
@@ -103,6 +128,10 @@ class SkeletonEntry:
     model: ModelInfo
     statistics: Dict[str, object]
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Canonical parameter names declared by the class's canonical
+    #: parametrisation, in canonical order (format version 2; empty on
+    #: entries restored from version-1 files).
+    canonical_params: Tuple[str, ...] = ()
 
     @property
     def nondeterministic(self) -> bool:
@@ -113,6 +142,7 @@ def build_entry(
     tree: DynamicFaultTree,
     options: Optional[StudyOptions] = None,
     key: Optional[str] = None,
+    tree_hash: Optional[str] = None,
 ) -> SkeletonEntry:
     """Run the expensive pipeline once for ``tree``'s structural class.
 
@@ -120,7 +150,8 @@ def build_entry(
     skeleton is rate-free: concrete rates of the source tree never leak into
     the cached structure.
     """
-    tree_hash = structural_hash(tree)
+    if tree_hash is None:
+        tree_hash = structural_hash(tree)
     if key is None:
         key = f"{tree_hash}-{_options_fingerprint(options)}"
     canonical = canonical_parametrisation(tree)
@@ -164,6 +195,7 @@ def build_entry(
         model=model,
         statistics=dict(study.statistics.to_dict(include_steps=False)),
         timings=timings,
+        canonical_params=tuple(canonical.parameters),
     )
 
 
@@ -233,12 +265,17 @@ class SkeletonStore:
         if len(raw) < _HEADER_SIZE or raw[: len(MAGIC)] != MAGIC:
             return self._evict_corrupt(path, "truncated or foreign header")
         version = int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 4], "big")
-        if version != FORMAT_VERSION:
+        if version not in READABLE_VERSIONS:
             return self._evict_corrupt(
-                path, f"format version {version} != {FORMAT_VERSION}"
+                path, f"format version {version} not in {READABLE_VERSIONS}"
             )
         checksum = raw[len(MAGIC) + 4 : _HEADER_SIZE]
         payload = raw[_HEADER_SIZE:]
+        if version >= 2:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as error:
+                return self._evict_corrupt(path, f"undecompressable payload ({error})")
         if hashlib.sha256(payload).digest() != checksum:
             return self._evict_corrupt(path, "payload checksum mismatch")
         try:
@@ -247,6 +284,8 @@ class SkeletonStore:
             return self._evict_corrupt(path, f"unpicklable payload ({error})")
         if not isinstance(entry, SkeletonEntry):
             return self._evict_corrupt(path, "payload is not a skeleton entry")
+        if not hasattr(entry, "canonical_params"):
+            entry.canonical_params = ()  # restored from a version-1 file
         if entry.hash_version != HASH_VERSION:
             return self._evict_corrupt(
                 path,
@@ -271,13 +310,19 @@ class SkeletonStore:
 
     # ------------------------------------------------------------------ store
     def store(self, entry: SkeletonEntry) -> Path:
-        """Atomically persist ``entry`` and enforce the byte cap."""
+        """Atomically persist ``entry`` and enforce the byte cap.
+
+        The payload is zlib-compressed (level :data:`COMPRESSION_LEVEL`); the
+        header checksum stays over the *uncompressed* pickle bytes, so the
+        integrity check survives any future compression change.
+        """
         payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        compressed = zlib.compress(payload, COMPRESSION_LEVEL)
         blob = (
             MAGIC
             + FORMAT_VERSION.to_bytes(4, "big")
             + hashlib.sha256(payload).digest()
-            + payload
+            + compressed
         )
         path = self.path_of(entry.key)
         descriptor, tmp_name = tempfile.mkstemp(
@@ -324,19 +369,25 @@ class SkeletonStore:
 
     # ------------------------------------------------------------- high level
     def get_or_build(
-        self, tree: DynamicFaultTree, options: Optional[StudyOptions] = None
+        self,
+        tree: DynamicFaultTree,
+        options: Optional[StudyOptions] = None,
+        profile: Optional[CanonicalProfile] = None,
     ) -> Tuple[SkeletonEntry, bool]:
         """The entry of ``tree``'s class, building and persisting on a miss.
 
         Returns ``(entry, hit)``.  A store failure (disk full, read-only
         root) degrades to cache-less operation: the freshly built entry is
-        returned anyway.
+        returned anyway.  ``profile`` accepts the tree's precomputed
+        :class:`~repro.dft.hashing.CanonicalProfile` so a hit costs no
+        further tree walk.
         """
-        key = cache_key(tree, options)
+        tree_hash = None if profile is None else profile.hash
+        key = cache_key(tree, options, tree_hash=tree_hash)
         entry = self.load(key)
         if entry is not None:
             return entry, True
-        entry = build_entry(tree, options, key=key)
+        entry = build_entry(tree, options, key=key, tree_hash=tree_hash)
         try:
             self.store(entry)
         except OSError as error:
@@ -384,6 +435,35 @@ class SkeletonStore:
             removed += 1
         return removed
 
+    def _compression_on_disk(self, entries: List[Path]) -> Dict[str, int]:
+        """Uncompressed vs stored payload bytes, measured from the files.
+
+        Measured on demand rather than accumulated at write time so a fresh
+        ``repro cache stats`` process reports the real on-disk figures.
+        Entries that cannot be read or inflated are skipped here — ``load``
+        is the path that evicts them.
+        """
+        payload = compressed = 0
+        for path in entries:
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if len(raw) < _HEADER_SIZE or raw[: len(MAGIC)] != MAGIC:
+                continue
+            version = int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 4], "big")
+            body = len(raw) - _HEADER_SIZE
+            if version == 1:  # stored uncompressed
+                payload += body
+                compressed += body
+            elif version in READABLE_VERSIONS:
+                try:
+                    payload += len(zlib.decompress(raw[_HEADER_SIZE:]))
+                except zlib.error:
+                    continue
+                compressed += body
+        return {"payload_bytes": payload, "compressed_bytes": compressed}
+
     def stats(self) -> Dict[str, object]:
         """Disk usage and per-object counters, JSON-safe."""
         entries = self._entries_on_disk()
@@ -393,6 +473,7 @@ class SkeletonStore:
                 total += path.stat().st_size
             except OSError:
                 continue
+        compression = self._compression_on_disk(entries)
         return {
             "root": str(self.root),
             "entries": len(entries),
@@ -400,6 +481,18 @@ class SkeletonStore:
             "max_bytes": self.max_bytes,
             "hash_version": HASH_VERSION,
             "format_version": FORMAT_VERSION,
+            "compression": f"zlib-{COMPRESSION_LEVEL}",
+            "payload_bytes": compression["payload_bytes"],
+            "compressed_bytes": compression["compressed_bytes"],
+            "compression_ratio": (
+                round(
+                    compression["payload_bytes"]
+                    / compression["compressed_bytes"],
+                    3,
+                )
+                if compression["compressed_bytes"]
+                else None
+            ),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,

@@ -1,0 +1,184 @@
+"""Intra-minimisation multi-core: per-component refinement vs the serial run.
+
+``minimize_weak(..., processes=N)`` refines the (undirected) connected
+components of the transition graph in worker processes, disjoint-unions the
+component quotients and coarsens the union with one serial merge pass before
+the reachability restriction.  These tests pin the contract:
+
+* a single-component model always takes the serial path (byte-identical
+  output — the parallel branch returns ``None``);
+* on multi-component models the strong quotient matches the serial one
+  exactly, and the weak quotient matches at the minimisation *fixpoint*
+  up to state renumbering (on divergent vanishing states the merge pass
+  performs one normalisation step the serial run only reaches on its next
+  iteration — the aggregation pipeline iterates to that fixpoint anyway);
+* transient measures are preserved bit-for-bit either way.
+
+State renumbering: ``restrict_to_reachable`` keeps ascending block ids, and
+block order depends on the component order inside the union, so isomorphic
+results may number states differently — comparisons below canonicalise by a
+deterministic BFS relabelling instead of comparing raw dots.
+"""
+
+import pytest
+
+from repro.ctmc.builders import ctmc_skeleton_from_ioimc
+from repro.errors import ModelError
+from repro.ioimc import (
+    AggregationOptions,
+    IOIMC,
+    minimize_strong,
+    minimize_weak,
+    signature,
+)
+from repro.ioimc.actions import action_name
+
+MISSION_TIMES = (0.5, 1.0, 2.0)
+
+
+def _add_chain(model, rates, label):
+    """One Markovian chain component; returns its entry state."""
+    first = model.add_state()
+    current = first
+    for rate in rates:
+        nxt = model.add_state()
+        model.add_markovian(current, rate, nxt)
+        current = nxt
+    model.set_labels(current, {label})
+    return first
+
+
+def two_chain_model():
+    """Two disconnected Markovian chains with different rates and labels."""
+    model = IOIMC("two-chains", signature())
+    entry = _add_chain(model, [1.0, 2.0, 3.0], "failed")
+    _add_chain(model, [5.0, 5.0], "other")
+    model.set_initial(entry)
+    return model
+
+
+def twin_model():
+    """Two identical components: cross-component blocks must merge."""
+    model = IOIMC("twins", signature())
+    entry = _add_chain(model, [2.0, 2.0], "failed")
+    _add_chain(model, [2.0, 2.0], "failed")
+    model.set_initial(entry)
+    return model
+
+
+def divergent_union_model():
+    """A component with a tau self-loop next to a plain chain."""
+    model = IOIMC("divergent-union", signature(internals=("tau",)))
+    entry = _add_chain(model, [1.0, 1.0], "failed")
+    spinner = model.add_state()
+    model.add_interactive(spinner, "tau", spinner)
+    stop = model.add_state()
+    model.add_markovian(spinner, 4.0, stop)
+    model.set_labels(stop, {"done"})
+    model.set_initial(entry)
+    return model
+
+
+def connected_model():
+    """A single weakly-connected component (the common, post-product case)."""
+    model = IOIMC("connected", signature(internals=("tau",)))
+    states = [model.add_state() for _ in range(5)]
+    model.add_interactive(states[0], "tau", states[1])
+    model.add_markovian(states[1], 1.5, states[2])
+    model.add_markovian(states[0], 1.5, states[3])
+    model.add_interactive(states[3], "tau", states[2])
+    model.add_markovian(states[2], 2.5, states[4])
+    model.set_labels(states[4], {"failed"})
+    model.set_initial(states[0])
+    return model
+
+
+def canonical_form(model):
+    """A renumbering-invariant rendering: BFS order over sorted edge keys."""
+    order = {model.initial: 0}
+    queue = [model.initial]
+    while queue:
+        state = queue.pop(0)
+        moves = sorted(
+            [("i", action_name(aid), target) for aid, target in model._itrans[state]]
+            + [("m", rate, target) for target, rate in model._mtrans[state].items()]
+        )
+        for _kind, _key, target in moves:
+            if target not in order:
+                order[target] = len(order)
+                queue.append(target)
+    assert len(order) == model.num_states  # restricted models are reachable
+    lines = []
+    for state in sorted(order, key=order.get):
+        moves = sorted(
+            [("i", action_name(aid), order[target]) for aid, target in model._itrans[state]]
+            + [("m", rate, order[target]) for target, rate in model._mtrans[state].items()]
+        )
+        lines.append((order[state], sorted(model.labels(state)), moves))
+    return lines
+
+
+def weak_fixpoint(model, processes=1):
+    current = minimize_weak(model, processes=processes)
+    while True:
+        nxt = minimize_weak(current)
+        if (
+            nxt.num_states == current.num_states
+            and nxt.num_transitions == current.num_transitions
+        ):
+            return nxt
+        current = nxt
+
+
+def failure_curve(model, label="failed"):
+    skeleton = ctmc_skeleton_from_ioimc(model)
+    return skeleton.instantiate().probability_of_label_curve(label, MISSION_TIMES)
+
+
+class TestParallelMatchesSerial:
+    def test_single_component_takes_serial_path(self):
+        model = connected_model()
+        serial = minimize_weak(model)
+        fanned = minimize_weak(model, processes=4)
+        assert fanned.to_dot() == serial.to_dot()  # byte-identical fallback
+
+    @pytest.mark.parametrize("factory", [two_chain_model, twin_model])
+    def test_strong_components_match(self, factory):
+        model = factory()
+        serial = minimize_strong(model)
+        fanned = minimize_strong(model, processes=2)
+        assert canonical_form(fanned) == canonical_form(serial)
+
+    @pytest.mark.parametrize(
+        "factory", [two_chain_model, twin_model, divergent_union_model]
+    )
+    def test_weak_components_match_at_fixpoint(self, factory):
+        model = factory()
+        serial = weak_fixpoint(model)
+        fanned = weak_fixpoint(model, processes=2)
+        assert canonical_form(fanned) == canonical_form(serial)
+
+    def test_twin_components_coarsen_across_the_boundary(self):
+        # Per-component refinement cannot merge the twins; the serial merge
+        # pass over the union must.
+        model = twin_model()
+        serial = minimize_weak(model)
+        fanned = minimize_weak(model, processes=2)
+        assert fanned.num_states == serial.num_states
+
+    def test_measures_preserved(self):
+        model = two_chain_model()
+        serial = failure_curve(minimize_weak(model))
+        fanned = failure_curve(minimize_weak(model, processes=2))
+        assert fanned == pytest.approx(serial, abs=1e-12)
+
+
+class TestOptionsSurface:
+    def test_minimisation_processes_validated(self):
+        with pytest.raises(ModelError):
+            AggregationOptions(minimisation_processes=0)
+        with pytest.raises(ModelError):
+            AggregationOptions(minimisation_processes=-2)
+
+    def test_minimisation_processes_default_serial(self):
+        assert AggregationOptions().minimisation_processes == 1

@@ -240,3 +240,84 @@ class TestWarm:
         with caplog.at_level(logging.WARNING, logger="repro.service.store"):
             assert store.load(other_key) is None
         assert store.stats()["corrupt_evictions"] >= 1
+
+
+class TestFormatVersions:
+    """Format v2 (compressed, canonical params) must keep reading v1 files."""
+
+    def _as_v1_file(self, store, entry):
+        """Rewrite ``entry`` on disk in the version-1 layout: uncompressed
+        payload pickled without the ``canonical_params`` field."""
+        import copy
+        import hashlib
+
+        old = copy.copy(entry)
+        del old.canonical_params  # v1 pickles predate the field
+        payload = pickle.dumps(old, protocol=pickle.HIGHEST_PROTOCOL)
+        store.path_of(entry.key).write_bytes(
+            MAGIC + (1).to_bytes(4, "big") + hashlib.sha256(payload).digest() + payload
+        )
+
+    def test_v2_entry_round_trips_canonical_params(self, store):
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        assert entry.canonical_params  # canonical parametrisation declares them
+        restored = store.load(entry.key)
+        assert restored.canonical_params == entry.canonical_params
+
+    def test_v1_file_still_readable(self, store):
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        self._as_v1_file(store, entry)
+        restored = store.load(entry.key)
+        assert restored is not None
+        assert restored.key == entry.key
+        assert restored.canonical_params == ()  # backfilled, never missing
+        assert store.stats()["corrupt_evictions"] == 0
+
+    def test_v1_and_v2_serve_identical_measures(self, store):
+        tree = _tree()
+        entry, _ = store.get_or_build(tree, StudyOptions())
+        fresh = Study(tree, StudyOptions(), skeleton_cache=store).evaluate(
+            Unreliability([1.0])
+        )
+        self._as_v1_file(store, entry)
+        legacy = Study(tree, StudyOptions(), skeleton_cache=store).evaluate(
+            Unreliability([1.0])
+        )
+        assert legacy.options["skeleton_cache"] == "hit"
+        assert legacy.measures[0].values == fresh.measures[0].values
+
+    def test_v2_payload_is_compressed(self, store):
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        stats = store.stats()
+        assert stats["compression"].startswith("zlib-")
+        assert 0 < stats["compressed_bytes"] < stats["payload_bytes"]
+        assert stats["compression_ratio"] > 1.0
+        on_disk = store.path_of(entry.key).stat().st_size
+        assert on_disk < stats["payload_bytes"]
+
+    def test_undecompressable_v2_payload_evicted(self, store, caplog):
+        import hashlib
+
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        path = store.path_of(entry.key)
+        garbage = b"definitely not a zlib stream"
+        path.write_bytes(
+            MAGIC
+            + FORMAT_VERSION.to_bytes(4, "big")
+            + hashlib.sha256(garbage).digest()
+            + garbage
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+            assert store.load(entry.key) is None
+        assert any("undecompressable" in r.message for r in caplog.records)
+        assert not path.exists()
+        assert store.stats()["corrupt_evictions"] == 1
+
+    def test_future_version_evicted_not_crashed(self, store, caplog):
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        path = store.path_of(entry.key)
+        blob = path.read_bytes()
+        path.write_bytes(MAGIC + (99).to_bytes(4, "big") + blob[len(MAGIC) + 4 :])
+        with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+            assert store.load(entry.key) is None
+        assert store.stats()["corrupt_evictions"] == 1

@@ -122,8 +122,9 @@ class TestAnalyzeJson:
             "fuse",
             "tolerance",
             "aggregation_processes",
+            "minimisation_processes",
         }
-        assert payload["options"]["minimiser"] == "splitter"
+        assert payload["options"]["minimiser"] == "closure"
         assert set(payload["model"]) == {
             "kind",
             "states",

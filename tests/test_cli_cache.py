@@ -21,6 +21,10 @@ STATS_KEYS = {
     "stores",
     "evictions",
     "corrupt_evictions",
+    "compression",
+    "payload_bytes",
+    "compressed_bytes",
+    "compression_ratio",
 }
 
 
@@ -47,7 +51,11 @@ class TestCacheStats:
             "total_bytes": 0,
             "max_bytes": None,
             "hash_version": 1,
-            "format_version": 1,
+            "format_version": 2,
+            "compression": "zlib-1",
+            "payload_bytes": 0,
+            "compressed_bytes": 0,
+            "compression_ratio": None,
             "hits": 0,
             "misses": 0,
             "stores": 0,
@@ -72,7 +80,9 @@ class TestCacheStats:
         output = capsys.readouterr().out
         assert "Entries    : 0" in output
         assert "Byte cap   : unlimited" in output
+        assert "Compression: zlib-1" in output
         assert "hash v1" in output
+        assert "format v2" in output
 
 
 class TestCacheWarm:
