@@ -14,10 +14,20 @@ import time
 
 import pytest
 
-from repro import AnalysisOptions, CompositionalAnalyzer
+import numpy as np
+
+from repro import (
+    AnalysisOptions,
+    CompositionalAnalyzer,
+    RateSweep,
+    SweepStudy,
+    UnreliabilityBounds,
+)
 from repro.baselines import MonolithicMarkovGenerator
+from repro.core import signals
+from repro.core.sweep import with_rate_parameters
 from repro.ioimc import minimize_strong, minimize_weak
-from repro.systems import cascaded_pand_family
+from repro.systems import cascaded_pand_family, pand_race_bank
 
 from conftest import record
 from workloads import largest_minimisation_workload, tau_heavy_chain
@@ -410,6 +420,81 @@ def test_growth_chain_120k_gated(benchmark):
     # pre-smaller-half scaling (quadratic work would need ~15 minutes here).
     assert outcome["wall_seconds"] < GROWTH_GATE_WALL_SECONDS
     assert outcome["peak_rss_kb"] < GROWTH_GATE_RSS_KB
+
+
+#: The opt-in CTMDP sweep configuration: (race-bank channels, samples).  Six
+#: channels put the aggregated envelope around 1.4k states — big enough that
+#: the legacy dense per-sample engine needs seconds per sample.
+BIG_CTMDP_SWEEP = (6, 6)
+
+
+@big_tier
+@pytest.mark.benchmark(group="scalability-ctmdp-sweep")
+def test_ctmdp_kernel_sweep_big_tier(benchmark):
+    """One CTMDP bound-sweep configuration (needs ``RUN_BIG_BENCH=1``).
+
+    The shared-structure ``CtmdpKernel`` sweep vs the legacy per-sample
+    reference engine (full ``instantiate`` plus the dense round-robin
+    backward sweep, both directions) on a six-channel FDEP/PAND race bank —
+    a genuine CTMDP whose vanishing-choice count grows with the channels.
+    Bounds must agree to 1e-9 on every row and the kernel must stay >= 10x
+    faster (measured ~20x one tier down, and the gap widens with size).
+    """
+    channels, num_samples = BIG_CTMDP_SWEEP
+    tree = with_rate_parameters(pand_race_bank(channels))
+    times = (0.25, 0.5, 1.0, 2.0)
+    scales = [0.35, 0.7, 1.0, 1.4, 2.0, 2.9][:num_samples]
+    samples = [
+        {
+            name: max(0.05, min(5.0, nominal * scale))
+            for name, nominal in tree.parameters.items()
+        }
+        for scale in scales
+    ]
+    study = SweepStudy(tree)
+    skeleton = study.skeleton  # shared pipeline warmed outside the timing
+    sweep = RateSweep(UnreliabilityBounds(times), samples)
+
+    result = benchmark.pedantic(lambda: study.run(sweep), rounds=1, iterations=1)
+    kernel_seconds = benchmark.stats.stats.min
+    assert result.num_failed == 0
+
+    legacy_start = time.perf_counter()
+    legacy_rows = []
+    for sample in samples:
+        model = skeleton.instantiate(sample)
+        legacy_rows.append(
+            tuple(
+                model.time_bounded_reachability_curve_reference(
+                    signals.FAILED_LABEL, times, maximize=maximize
+                )
+                for maximize in (False, True)
+            )
+        )
+    legacy_seconds = time.perf_counter() - legacy_start
+
+    worst = 0.0
+    for row, (low, high) in zip(result.rows, legacy_rows):
+        bounds = row["unreliability_bounds"]
+        worst = max(
+            worst,
+            float(np.max(np.abs(np.asarray(bounds.lower) - low))),
+            float(np.max(np.abs(np.asarray(bounds.upper) - high))),
+        )
+    record(
+        benchmark,
+        experiment="CTMDP kernel sweep vs legacy reference (big tier)",
+        channels=channels,
+        states=skeleton.num_states,
+        num_samples=num_samples,
+        kernel_wall_seconds=kernel_seconds,
+        legacy_wall_seconds=legacy_seconds,
+        speedup=legacy_seconds / kernel_seconds if kernel_seconds else None,
+        max_abs_difference=worst,
+        peak_rss_kb=_peak_rss_kb(),
+    )
+    assert worst <= 1e-9
+    assert legacy_seconds / kernel_seconds >= 10.0
 
 
 @pytest.mark.benchmark(group="scalability-comparison")

@@ -39,6 +39,7 @@ from . import ctmc, dft, errors, ioimc
 from .core import (
     MTTF,
     AnalysisOptions,
+    ImportanceRanking,
     BatchResult,
     BatchStudy,
     CompositionalAnalyzer,
@@ -75,6 +76,7 @@ __all__ = [
     "CompositionalAnalyzer",
     "DynamicFaultTree",
     "FaultTreeBuilder",
+    "ImportanceRanking",
     "MTTF",
     "MeasureResult",
     "Query",

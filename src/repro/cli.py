@@ -18,7 +18,7 @@ and report reliability measures.  Sub-commands:
     a shared-structure uniformisation kernel and fan out over worker
     processes with ``--processes N`` (``--chunk-size`` tunes the chunked
     scheduling; rows are bit-identical to a serial run).  ``--json`` emits
-    schema ``repro.sweep/2``.
+    schema ``repro.sweep/3``.
 ``batch``
     Evaluate the same query over a corpus of ``.dft`` files (shell-style
     globs are expanded) with optional process parallelism, printing per-tree
@@ -59,6 +59,7 @@ from .baselines import DiftreeAnalyzer
 from .core import (
     MTTF,
     BatchStudy,
+    ImportanceRanking,
     MeasureResult,
     Query,
     RateSweep,
@@ -112,6 +113,8 @@ def _build_query(args: argparse.Namespace, bounds: bool) -> Query:
         measures.append(MTTF())
     if args.unavailability:
         measures.append(Unavailability())
+    if getattr(args, "importance", False):
+        measures.append(ImportanceRanking(args.time))
     return Query(measures)
 
 
@@ -132,6 +135,16 @@ def _format_measure_lines(measure: MeasureResult) -> List[str]:
                 lines.append(f"Unreliability(t={time:g}) = {low:.6f}")
             else:
                 lines.append(f"Unreliability(t={time:g}) in [{low:.6f}, {high:.6f}]")
+    elif measure.kind == "importance_ranking":
+        assert measure.ranking is not None and measure.gradients is not None
+        assert measure.times is not None
+        lines.append("Importance ranking: " + " > ".join(measure.ranking))
+        for index, time in enumerate(measure.times):
+            gradients = ", ".join(
+                f"{name}={measure.gradients[name][index]:+.4g}"
+                for name in measure.ranking
+            )
+            lines.append(f"dUnreliability/dRate(t={time:g}): {gradients}")
     elif measure.kind == "mttf":
         lines.append(f"Mean time to failure = {measure.value:.6f}")
     elif measure.kind == "unavailability":
@@ -162,6 +175,10 @@ def _open_skeleton_cache(args: argparse.Namespace):
 
 def command_analyze(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
+    if args.importance and not tree.parameters:
+        # Rankings differentiate w.r.t. declared rate parameters; attach one
+        # per basic event so plain Galileo files can be ranked directly.
+        tree = with_rate_parameters(tree)
     study = Study(tree, _analysis_options(args), skeleton_cache=_open_skeleton_cache(args))
     query = _build_query(args, bounds=args.bounds or study.is_nondeterministic)
     # Record per-measure failures so e.g. an unsupported MTTF still lets the
@@ -353,6 +370,7 @@ def command_sweep(args: argparse.Namespace) -> int:
         processes=args.processes,
         chunk_size=args.chunk_size,
         share_uniformisation=args.share_uniformisation,
+        gradients=args.gradients,
     )
     if args.json:
         print(result.to_json(indent=2))
@@ -369,6 +387,12 @@ def command_sweep(args: argparse.Namespace) -> int:
                 for measure in row.measures
                 for line in _format_measure_lines(measure)
             )
+            if row.gradients:
+                gradient_text = ", ".join(
+                    f"d/d{name}={curve[-1]:+.4g}"
+                    for name, curve in sorted(row.gradients.items())
+                )
+                values = f"{values}  [{gradient_text}]"
             print(f"[{point}]  {values}")
     row_failures = result.num_failed
     measure_failures = sum(
@@ -654,6 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report (min, max) unreliability bounds even for deterministic trees",
     )
+    analyze.add_argument(
+        "--importance",
+        action="store_true",
+        help="rank every failure-rate parameter by the analytic gradient of "
+        "the (worst-case) unreliability at the mission times; trees without "
+        "declared parameters get one per basic event",
+    )
     add_skeleton_cache(analyze)
     add_common(analyze)
     analyze.set_defaults(handler=command_analyze)
@@ -698,6 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin one uniformisation rate (the grid's largest) for every "
         "sample so the Poisson term table is computed once per grid; values "
         "agree with per-sample rates to solver precision",
+    )
+    sweep.add_argument(
+        "--gradients",
+        action="store_true",
+        help="attach analytic d(measure)/d(parameter) curves to every row "
+        "(the worst-case bound's gradient on non-deterministic trees)",
     )
     add_skeleton_cache(sweep)
     add_common(sweep)

@@ -37,6 +37,7 @@ from .conversion import (
 )
 from .measures import (
     MTTF,
+    ImportanceRanking,
     Measure,
     Query,
     Unavailability,
@@ -85,6 +86,7 @@ __all__ = [
     "CompositionalAnalyzer",
     "ConversionOptions",
     "DftToIoimcConverter",
+    "ImportanceRanking",
     "MTTF",
     "Measure",
     "MeasureResult",

@@ -117,6 +117,35 @@ class Unavailability(Measure):
 
 
 @dataclass(frozen=True)
+class ImportanceRanking(_TimedMeasure):
+    """Birnbaum-style importance of every rate parameter at each mission time.
+
+    The engine differentiates the (bound on the) unreliability with respect to
+    every declared rate parameter — exactly, via the parametric-rate linear
+    forms, not by finite differences — and ranks the parameters by the
+    magnitude of their gradient at the last mission time.  ``direction``
+    selects which bound of a non-deterministic model is differentiated
+    ("max" = worst-case unreliability, "min" = best case); deterministic
+    models give the same answer either way.
+    """
+
+    kind: ClassVar[str] = "importance_ranking"
+    direction: str = "max"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.direction not in ("max", "min"):
+            raise AnalysisError(
+                f"importance direction must be 'max' or 'min', not {self.direction!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["direction"] = self.direction
+        return payload
+
+
+@dataclass(frozen=True)
 class MTTF(Measure):
     """Mean time to failure (expected time until the system first fails)."""
 

@@ -35,8 +35,10 @@ BATCH_SCHEMA = "repro.batch/1"
 BATCH_ROW_SCHEMA = "repro.batch/2"
 #: ``repro.sweep/2`` adds the shared-structure kernel's per-row
 #: instantiate/solve timing split and the worker-process metadata of
-#: parallel sweeps; rows are otherwise unchanged from ``repro.sweep/1``.
-SWEEP_SCHEMA = "repro.sweep/2"
+#: parallel sweeps; ``repro.sweep/3`` adds the optional per-row parametric
+#: ``gradients`` payload (∂measure/∂parameter curves) of gradient-enabled
+#: sweeps; rows without gradients are unchanged from ``repro.sweep/2``.
+SWEEP_SCHEMA = "repro.sweep/3"
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,11 @@ class MeasureResult:
     lower: Optional[Tuple[float, ...]] = None
     upper: Optional[Tuple[float, ...]] = None
     steady_state: Optional[bool] = None
+    #: Parameter name -> gradient curve (∂value/∂parameter at each time),
+    #: carried by importance-ranking measures.
+    gradients: Optional[Dict[str, Tuple[float, ...]]] = None
+    #: Parameters ordered by decreasing |gradient| at the last mission time.
+    ranking: Optional[Tuple[str, ...]] = None
     #: Set instead of values when the engine ran with ``on_error="record"``
     #: and this measure could not be evaluated (the others still were).
     error: Optional[str] = None
@@ -97,6 +104,12 @@ class MeasureResult:
             payload["lower"] = list(self.lower)
         if self.upper is not None:
             payload["upper"] = list(self.upper)
+        if self.gradients is not None:
+            payload["gradients"] = {
+                name: list(curve) for name, curve in self.gradients.items()
+            }
+        if self.ranking is not None:
+            payload["ranking"] = list(self.ranking)
         return payload
 
     @classmethod
@@ -105,6 +118,8 @@ class MeasureResult:
             raw = payload.get(key)
             return None if raw is None else tuple(float(v) for v in raw)  # type: ignore[union-attr]
 
+        raw_gradients = payload.get("gradients")
+        raw_ranking = payload.get("ranking")
         return cls(
             kind=str(payload["kind"]),
             times=floats("times"),
@@ -112,6 +127,19 @@ class MeasureResult:
             lower=floats("lower"),
             upper=floats("upper"),
             steady_state=payload.get("steady_state"),  # type: ignore[arg-type]
+            gradients=(
+                None
+                if raw_gradients is None
+                else {
+                    str(name): tuple(float(v) for v in curve)
+                    for name, curve in raw_gradients.items()  # type: ignore[union-attr]
+                }
+            ),
+            ranking=(
+                None
+                if raw_ranking is None
+                else tuple(str(name) for name in raw_ranking)  # type: ignore[union-attr]
+            ),
             error=payload.get("error"),  # type: ignore[arg-type]
         )
 
@@ -458,7 +486,7 @@ def read_batch_jsonl(handle: IO[str]) -> BatchResult:
 
 
 # ---------------------------------------------------------------------------
-# rate-sweep results (schema repro.sweep/2)
+# rate-sweep results (schema repro.sweep/3)
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -477,6 +505,9 @@ class SweepRow:
     error: Optional[str] = None
     instantiate_seconds: Optional[float] = None
     solve_seconds: Optional[float] = None
+    #: Parameter name -> gradient curve (∂measure/∂parameter at the query's
+    #: mission times), present only on gradient-enabled sweeps.
+    gradients: Optional[Dict[str, Tuple[float, ...]]] = None
 
     @property
     def ok(self) -> bool:
@@ -500,6 +531,10 @@ class SweepRow:
             payload["solve_seconds"] = self.solve_seconds
         if self.measures:
             payload["measures"] = [measure.to_dict() for measure in self.measures]
+        if self.gradients is not None:
+            payload["gradients"] = {
+                name: list(curve) for name, curve in self.gradients.items()
+            }
         if self.error is not None:
             payload["error"] = self.error
         return payload
@@ -510,6 +545,7 @@ class SweepRow:
             raw = payload.get(key)
             return None if raw is None else float(raw)  # type: ignore[arg-type]
 
+        raw_gradients = payload.get("gradients")
         return cls(
             sample={str(k): float(v) for k, v in payload.get("sample", {}).items()},  # type: ignore[union-attr]
             measures=tuple(
@@ -520,6 +556,14 @@ class SweepRow:
             error=payload.get("error"),  # type: ignore[arg-type]
             instantiate_seconds=seconds("instantiate_seconds"),
             solve_seconds=seconds("solve_seconds"),
+            gradients=(
+                None
+                if raw_gradients is None
+                else {
+                    str(name): tuple(float(v) for v in curve)
+                    for name, curve in raw_gradients.items()  # type: ignore[union-attr]
+                }
+            ),
         )
 
 

@@ -44,8 +44,8 @@ from typing import (
 )
 
 from ..ctmc import CTMC, CTMDP, ctmc_from_ioimc, ctmdp_from_ioimc
-from ..ctmc.builders import CtmcSkeleton, CtmdpSkeleton
-from ..ctmc.kernel import TransientKernel
+from ..ctmc.builders import CtmcSkeleton, CtmdpSkeleton, ctmdp_skeleton_from_ioimc
+from ..ctmc.kernel import CtmdpKernel, TransientKernel
 from ..dft.hashing import canonical_assignment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
@@ -64,6 +64,7 @@ from .aggregation import (
 from .conversion import Community, ConversionOptions, DftToIoimcConverter
 from .measures import (
     MTTF,
+    ImportanceRanking,
     Measure,
     Query,
     Unavailability,
@@ -149,11 +150,9 @@ def _ctmc_point_values(
     return dict(zip(times, (float(value) for value in curve)))
 
 
-def _ctmdp_bound_values(
-    model: CTMDP, query: Query, tolerance: float
-) -> Dict[float, Tuple[float, float]]:
-    """Reachability bounds at the union of all bound times (one sweep pair)."""
-    times = tuple(
+def _query_bound_times(query: Query) -> Tuple[float, ...]:
+    """Sorted union of the mission times of every bound measure in ``query``."""
+    return tuple(
         sorted(
             {
                 time
@@ -163,6 +162,13 @@ def _ctmdp_bound_values(
             }
         )
     )
+
+
+def _ctmdp_bound_values(
+    model: CTMDP, query: Query, tolerance: float
+) -> Dict[float, Tuple[float, float]]:
+    """Reachability bounds at the union of all bound times (one sweep pair)."""
+    times = _query_bound_times(query)
     if not times:
         return {}
     lower, upper = model.reachability_bounds_curve(
@@ -174,14 +180,61 @@ def _ctmdp_bound_values(
     }
 
 
+#: Per-direction gradient payload of the parametric CTMDP kernel:
+#: direction ("max"/"min") -> (bound curve by time, parameter -> gradient by
+#: time).  Assembled by :func:`gradient_values_from_kernel`, consumed by the
+#: importance-ranking branch of :func:`_evaluate_measure`.
+GradientValues = Dict[
+    str, Tuple[Dict[float, float], Dict[str, Dict[float, float]]]
+]
+
+
+def gradient_values_from_kernel(
+    kernel: CtmdpKernel, query: Query, tolerance: float
+) -> Optional[GradientValues]:
+    """Run one gradient sweep per direction the query's rankings need.
+
+    The kernel must already hold a loaded sample.  Returns ``None`` when the
+    query contains no :class:`~repro.core.measures.ImportanceRanking`.
+    """
+    needed: Dict[str, set] = {}
+    for measure in query:
+        if isinstance(measure, ImportanceRanking):
+            needed.setdefault(measure.direction, set()).update(measure.times)  # type: ignore[arg-type]
+    if not needed:
+        return None
+    payload: GradientValues = {}
+    for direction, time_set in sorted(needed.items()):
+        times = tuple(sorted(time_set))
+        curve, grads = kernel.gradient_curve(
+            signals.FAILED_LABEL,
+            times,
+            maximize=(direction == "max"),
+            tolerance=tolerance,
+        )
+        payload[direction] = (
+            {time: float(value) for time, value in zip(times, curve)},
+            {
+                name: {
+                    time: float(grads[i, j]) for i, time in enumerate(times)
+                }
+                for j, name in enumerate(kernel.parameters)
+            },
+        )
+    return payload
+
+
 def _evaluate_measure(
     model: Optional[Union[CTMC, CTMDP]],
     measure: Measure,
     point_values: Dict[float, float],
     bound_curves: Dict[float, Tuple[float, float]],
+    nondeterministic: bool = False,
+    gradient_values: Optional[GradientValues] = None,
 ) -> MeasureResult:
+    nondeterministic = nondeterministic or isinstance(model, CTMDP)
     if isinstance(measure, Unreliability):
-        if isinstance(model, CTMDP):
+        if nondeterministic:
             raise AnalysisError(
                 "the model is non-deterministic (CTMDP); use UnreliabilityBounds "
                 "to obtain the interval of possible values"
@@ -197,8 +250,36 @@ def _evaluate_measure(
         lower = tuple(bound_curves[time][0] for time in times)
         upper = tuple(bound_curves[time][1] for time in times)
         return MeasureResult(kind=measure.kind, times=times, lower=lower, upper=upper)
+    if isinstance(measure, ImportanceRanking):
+        if gradient_values is None or measure.direction not in gradient_values:
+            raise AnalysisError(
+                "importance rankings need the parametric gradient engine, "
+                "which was not run for this evaluation"
+            )
+        curve_by_time, per_param = gradient_values[measure.direction]
+        if not per_param:
+            raise AnalysisError(
+                "the model has no declared rate parameters; wrap the tree with "
+                "with_rate_parameters(...) to rank its failure rates"
+            )
+        times = measure.times  # type: ignore[assignment]
+        gradients = {
+            name: tuple(per_param[name][time] for time in times)
+            for name in sorted(per_param)
+        }
+        last = times[-1]
+        ranking = tuple(
+            sorted(per_param, key=lambda name: (-abs(per_param[name][last]), name))
+        )
+        return MeasureResult(
+            kind=measure.kind,
+            times=times,
+            values=tuple(curve_by_time[time] for time in times),
+            gradients=gradients,
+            ranking=ranking,
+        )
     if isinstance(measure, Unavailability):
-        if isinstance(model, CTMDP):
+        if nondeterministic:
             raise AnalysisError(
                 "unavailability of non-deterministic models is not supported"
             )
@@ -215,7 +296,7 @@ def _evaluate_measure(
             steady_state=False,
         )
     if isinstance(measure, MTTF):
-        if isinstance(model, CTMDP):
+        if nondeterministic:
             raise AnalysisError("MTTF of non-deterministic models is not supported")
         value = model.mean_time_to_label(signals.FAILED_LABEL)
         return MeasureResult(kind=measure.kind, values=(float(value),))
@@ -246,25 +327,37 @@ def measures_from_curves(
     point_values: Dict[float, float],
     bound_curves: Dict[float, Tuple[float, float]],
     on_error: str = "raise",
+    nondeterministic: bool = False,
+    gradient_values: Optional[GradientValues] = None,
 ) -> Tuple[MeasureResult, ...]:
     """Assemble every measure of ``query`` from precomputed curve values.
 
     ``model`` may be ``None`` when the query is purely transient (see
     :func:`query_needs_model`); measures that do need the model then fail
-    individually under ``on_error="record"``.
+    individually under ``on_error="record"``.  ``nondeterministic=True``
+    marks a model-free evaluation as a CTMDP one (the kernel path), so
+    deterministic-only measures fail with the CTMDP diagnostics rather than
+    the missing-model one.  ``gradient_values`` feeds importance rankings.
     """
     if on_error not in ("raise", "record"):
         raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     evaluated = []
     for measure in query:
         try:
-            if model is None and _measure_needs_model(measure):
+            if model is None and not nondeterministic and _measure_needs_model(measure):
                 raise AnalysisError(
                     f"measure {measure.kind!r} needs the concrete Markov model, "
                     "which was not instantiated"
                 )
             evaluated.append(
-                _evaluate_measure(model, measure, point_values, bound_curves)
+                _evaluate_measure(
+                    model,
+                    measure,
+                    point_values,
+                    bound_curves,
+                    nondeterministic=nondeterministic,
+                    gradient_values=gradient_values,
+                )
             )
         except AnalysisError as error:
             if on_error == "raise":
@@ -278,13 +371,16 @@ def evaluate_query_on_model(
     query: QueryLike,
     tolerance: float = 1e-12,
     on_error: str = "raise",
+    gradient_values: Optional[GradientValues] = None,
 ) -> Tuple[MeasureResult, ...]:
     """Evaluate every measure of ``query`` directly on a Markov model.
 
     This is the planning core of :meth:`Study.evaluate` without the pipeline:
     one vectorised transient sweep over the union of all mission times (or one
     bound-curve sweep pair for CTMDPs), then each measure reads its values.
-    The rate-sweep engine calls it once per instantiated sample.
+    The rate-sweep engine calls it once per instantiated sample.  Importance
+    rankings need ``gradient_values`` from a parametric kernel (a concrete
+    model carries evaluated floats, so it cannot be differentiated itself).
     """
     if on_error not in ("raise", "record"):
         raise AnalysisError(f"on_error must be 'raise' or 'record', got {on_error!r}")
@@ -298,7 +394,31 @@ def evaluate_query_on_model(
         point_values = {}
         bound_curves = _ctmdp_bound_values(model, query, tolerance)
     return measures_from_curves(
-        model, query, point_values, bound_curves, on_error=on_error
+        model,
+        query,
+        point_values,
+        bound_curves,
+        on_error=on_error,
+        gradient_values=gradient_values,
+    )
+
+
+def _query_wants_gradients(query: Query) -> bool:
+    return any(isinstance(measure, ImportanceRanking) for measure in query)
+
+
+def _degenerate_envelope(skeleton: CtmcSkeleton) -> CtmdpSkeleton:
+    """The choice-free CTMDP view of a CTMC skeleton (bounds coincide).
+
+    Used to differentiate deterministic models: the CTMDP kernel's gradient
+    sweep works unchanged on a skeleton with no vanishing choices.
+    """
+    return CtmdpSkeleton(
+        num_states=skeleton.num_states,
+        initial=skeleton.initial,
+        labels=skeleton.labels,
+        choices=((),) * skeleton.num_states,
+        edges=skeleton.edges,
     )
 
 
@@ -308,21 +428,23 @@ def evaluate_skeleton_query(
     assignment: Optional[Mapping[str, float]] = None,
     tolerance: float = 1e-12,
     on_error: str = "raise",
-    kernel: Optional[TransientKernel] = None,
+    kernel: Optional[Union[TransientKernel, CtmdpKernel]] = None,
 ) -> Tuple[MeasureResult, ...]:
     """Evaluate ``query`` on a rate-independent skeleton under ``assignment``.
 
     This is the cached-pipeline analogue of :func:`evaluate_query_on_model`:
-    CTMC skeletons run on a shared-structure :class:`TransientKernel` (pass
-    ``kernel`` to reuse one across calls — its CSR pattern and Poisson terms
-    then survive between requests), instantiating a concrete CTMC only when a
-    measure reads the generator itself; CTMDP skeletons fall back to a full
-    instantiation.  The skeleton store's serving paths and ``Study``'s
+    CTMC skeletons run on a shared-structure :class:`TransientKernel` and
+    CTMDP skeletons on a :class:`CtmdpKernel` (pass ``kernel`` to reuse one
+    across calls — its CSR pattern and Poisson terms then survive between
+    requests), instantiating a concrete model only when a measure reads the
+    generator itself.  The skeleton store's serving paths and ``Study``'s
     ``skeleton_cache=`` mode both evaluate through here, which is what makes
     a served response bit-identical to the in-process result.
     """
     query = _as_query(query)
     if isinstance(skeleton, CtmcSkeleton):
+        if isinstance(kernel, CtmdpKernel):
+            raise AnalysisError("a CTMC skeleton needs a TransientKernel, not a CtmdpKernel")
         if kernel is not None and kernel.skeleton is not skeleton:
             raise AnalysisError("the transient kernel belongs to a different skeleton")
         if kernel is None:
@@ -334,14 +456,51 @@ def evaluate_skeleton_query(
         )
         point_values = dict(zip(times, (float(value) for value in curve)))
         bound_curves = {time: (value, value) for time, value in point_values.items()}
+        gradient_values: Optional[GradientValues] = None
+        if _query_wants_gradients(query):
+            envelope_kernel = _degenerate_envelope(skeleton).ctmdp_kernel()
+            envelope_kernel.load(None if assignment is None else dict(assignment))
+            gradient_values = gradient_values_from_kernel(
+                envelope_kernel, query, tolerance
+            )
         model: Optional[Union[CTMC, CTMDP]] = None
         if query_needs_model(query):
             model = skeleton.instantiate(assignment)
         return measures_from_curves(
-            model, query, point_values, bound_curves, on_error=on_error
+            model,
+            query,
+            point_values,
+            bound_curves,
+            on_error=on_error,
+            gradient_values=gradient_values,
         )
-    model = skeleton.instantiate(assignment)
-    return evaluate_query_on_model(model, query, tolerance=tolerance, on_error=on_error)
+    if isinstance(kernel, TransientKernel):
+        raise AnalysisError("a CTMDP skeleton needs a CtmdpKernel, not a TransientKernel")
+    if kernel is not None and kernel.skeleton is not skeleton:
+        raise AnalysisError("the CTMDP kernel belongs to a different skeleton")
+    if kernel is None:
+        kernel = skeleton.ctmdp_kernel()
+    kernel.load(None if assignment is None else dict(assignment))
+    bound_times = _query_bound_times(query)
+    bound_curves = {}
+    if bound_times:
+        lower, upper = kernel.reachability_bounds_curve(
+            signals.FAILED_LABEL, bound_times, tolerance=tolerance
+        )
+        bound_curves = {
+            time: (float(low), float(high))
+            for time, low, high in zip(bound_times, lower, upper)
+        }
+    gradient_values = gradient_values_from_kernel(kernel, query, tolerance)
+    return measures_from_curves(
+        None,
+        query,
+        {},
+        bound_curves,
+        on_error=on_error,
+        nondeterministic=True,
+        gradient_values=gradient_values,
+    )
 
 
 class Study:
@@ -370,8 +529,9 @@ class Study:
         self._timings: Dict[str, float] = {}
         self._cache_entry = None
         self._cache_hit = False
-        self._cache_kernel: Optional[TransientKernel] = None
+        self._cache_kernel: Optional[Union[TransientKernel, CtmdpKernel]] = None
         self._cache_assignment: Optional[Dict[str, float]] = None
+        self._gradient_kernel: Optional[CtmdpKernel] = None
 
     # ------------------------------------------------------------- pipeline
     @property
@@ -441,8 +601,11 @@ class Study:
     def _evaluate_cached(self, query: Query, on_error: str) -> StudyResult:
         entry = self._cached_entry()
         start = _time.perf_counter()
-        if self._cache_kernel is None and isinstance(entry.skeleton, CtmcSkeleton):
-            self._cache_kernel = TransientKernel(entry.skeleton, buffer=entry.buffer)
+        if self._cache_kernel is None:
+            if isinstance(entry.skeleton, CtmcSkeleton):
+                self._cache_kernel = TransientKernel(entry.skeleton, buffer=entry.buffer)
+            elif isinstance(entry.skeleton, CtmdpSkeleton):
+                self._cache_kernel = entry.skeleton.ctmdp_kernel()
         if self._cache_assignment is None:
             # One canonical tree walk per Study, not per evaluate() call.
             self._cache_assignment = canonical_assignment(self.tree)
@@ -489,8 +652,26 @@ class Study:
             return self._evaluate_cached(query, on_error)
         model = self.markov_model
         start = _time.perf_counter()
+        gradient_values: Optional[GradientValues] = None
+        if _query_wants_gradients(query):
+            # Differentiation needs the symbolic rates, which the concrete
+            # model no longer carries: run the parametric CTMDP kernel on the
+            # aggregated I/O-IMC's envelope (deterministic models included —
+            # their envelope has no choices and both bounds coincide).
+            if self._gradient_kernel is None:
+                self._gradient_kernel = ctmdp_skeleton_from_ioimc(
+                    self.final_ioimc
+                ).ctmdp_kernel()
+                self._gradient_kernel.load()
+            gradient_values = gradient_values_from_kernel(
+                self._gradient_kernel, query, self.options.tolerance
+            )
         measures = evaluate_query_on_model(
-            model, query, tolerance=self.options.tolerance, on_error=on_error
+            model,
+            query,
+            tolerance=self.options.tolerance,
+            on_error=on_error,
+            gradient_values=gradient_values,
         )
         self._timings["evaluation"] = _time.perf_counter() - start
         self._timings["total"] = sum(

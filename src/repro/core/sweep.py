@@ -69,7 +69,7 @@ from ..ctmc.builders import (
     ctmc_skeleton_from_ioimc,
     ctmdp_skeleton_from_ioimc,
 )
-from ..ctmc.kernel import CsrBuffer, TransientKernel
+from ..ctmc.kernel import CsrBuffer, CtmdpKernel, TransientKernel
 from ..dft.elements import BasicEvent
 from ..dft.hashing import (
     canonical_assignment,
@@ -82,11 +82,16 @@ from . import signals
 from .measures import Query
 from .results import ModelInfo, SweepResult, SweepRow
 from .study import (
+    GradientValues,
     QueryLike,
     Study,
     StudyOptions,
     _as_query,
+    _degenerate_envelope,
+    _query_bound_times,
+    _query_wants_gradients,
     evaluate_query_on_model,
+    gradient_values_from_kernel,
     measures_from_curves,
     query_needs_model,
 )
@@ -197,6 +202,9 @@ class _SweepPlan:
     #: -> the canonical per-event parameters it fans out to.  ``None`` means
     #: the samples already name the skeleton's own parameters.
     parameter_map: Optional[Dict[str, Tuple[str, ...]]] = None
+    #: Attach per-row parametric gradients (∂measure/∂parameter via the CTMDP
+    #: kernel's analytic forward pass) to every row.
+    gradients: bool = False
 
     def assignment_of(self, sample: Mapping[str, float]) -> Dict[str, float]:
         """The skeleton-level assignment of one user sample.
@@ -213,15 +221,19 @@ class _SweepPlan:
 
 
 class _SampleEvaluator:
-    """Per-process sweep state: the plan plus a lazily built transient kernel.
+    """Per-process sweep state: the plan plus lazily built solver kernels.
 
-    The kernel allocates the shared CSR pattern once (on construction) and
+    The kernels allocate the shared CSR pattern once (on construction) and
     every :meth:`evaluate` call only refills rate data — the whole point of
-    the shared-structure engine.  CTMDP skeletons (and ``use_kernel=False``)
-    fall back to a full per-sample instantiation.
+    the shared-structure engine.  CTMC skeletons run on a
+    :class:`TransientKernel`, CTMDP skeletons on a :class:`CtmdpKernel`;
+    ``use_kernel=False`` falls back to a full per-sample instantiation.
+    A gradient-enabled plan additionally keeps a parametric CTMDP kernel
+    (the skeleton's own, or the choice-free envelope of a CTMC skeleton)
+    for the analytic ∂measure/∂parameter sweeps.
     """
 
-    __slots__ = ("plan", "_kernel", "_needs_model")
+    __slots__ = ("plan", "_kernel", "_ctmdp_kernel", "_gradient_kernel", "_needs_model")
 
     def __init__(self, plan: _SweepPlan):
         self.plan = plan
@@ -230,11 +242,36 @@ class _SampleEvaluator:
             if plan.use_kernel and isinstance(plan.skeleton, CtmcSkeleton)
             else None
         )
+        self._ctmdp_kernel: Optional[CtmdpKernel] = (
+            plan.skeleton.ctmdp_kernel()
+            if plan.use_kernel and isinstance(plan.skeleton, CtmdpSkeleton)
+            else None
+        )
+        self._gradient_kernel: Optional[CtmdpKernel] = None
+        if plan.gradients or _query_wants_gradients(plan.query):
+            if self._ctmdp_kernel is not None:
+                self._gradient_kernel = self._ctmdp_kernel
+            elif isinstance(plan.skeleton, CtmdpSkeleton):
+                self._gradient_kernel = plan.skeleton.ctmdp_kernel()
+            else:
+                self._gradient_kernel = _degenerate_envelope(
+                    plan.skeleton
+                ).ctmdp_kernel()
         self._needs_model = query_needs_model(plan.query)
 
     @property
     def kernel(self) -> Optional[TransientKernel]:
         return self._kernel
+
+    def _load_gradient_kernel(
+        self, assignment: Dict[str, float], already_loaded: bool
+    ) -> CtmdpKernel:
+        assert self._gradient_kernel is not None
+        if not already_loaded:
+            self._gradient_kernel.load(
+                assignment, rate_floor=self.plan.shared_rate
+            )
+        return self._gradient_kernel
 
     def evaluate(self, sample: Mapping[str, float]) -> SweepRow:
         """One sample's row; any pipeline error becomes the row's error."""
@@ -242,7 +279,11 @@ class _SampleEvaluator:
         assignment = plan.assignment_of(sample)
         start = _time.perf_counter()
         instantiate_seconds = 0.0
+        # The gradient kernel is the CTMDP kernel itself when the measure path
+        # already runs on it, so one refill serves both sweeps.
+        gradient_loaded = False
         try:
+            gradient_values: Optional[GradientValues] = None
             if self._kernel is not None:
                 self._kernel.load(assignment, rate_floor=plan.shared_rate)
                 instantiate_seconds = _time.perf_counter() - start
@@ -259,15 +300,88 @@ class _SampleEvaluator:
                     model_start = _time.perf_counter()
                     model = plan.skeleton.instantiate(assignment)
                     instantiate_seconds += _time.perf_counter() - model_start
+                if self._gradient_kernel is not None and _query_wants_gradients(
+                    plan.query
+                ):
+                    gradient_values = gradient_values_from_kernel(
+                        self._load_gradient_kernel(assignment, gradient_loaded),
+                        plan.query,
+                        plan.tolerance,
+                    )
+                    gradient_loaded = True
                 measures = measures_from_curves(
-                    model, plan.query, point_values, bound_curves, on_error="record"
+                    model,
+                    plan.query,
+                    point_values,
+                    bound_curves,
+                    on_error="record",
+                    gradient_values=gradient_values,
+                )
+            elif self._ctmdp_kernel is not None:
+                self._ctmdp_kernel.load(assignment, rate_floor=plan.shared_rate)
+                instantiate_seconds = _time.perf_counter() - start
+                gradient_loaded = self._gradient_kernel is self._ctmdp_kernel
+                bound_times = _query_bound_times(plan.query)
+                bound_curves = {}
+                if bound_times:
+                    lower, upper = self._ctmdp_kernel.reachability_bounds_curve(
+                        signals.FAILED_LABEL, bound_times, tolerance=plan.tolerance
+                    )
+                    bound_curves = {
+                        time: (float(low), float(high))
+                        for time, low, high in zip(bound_times, lower, upper)
+                    }
+                if self._gradient_kernel is not None and _query_wants_gradients(
+                    plan.query
+                ):
+                    gradient_values = gradient_values_from_kernel(
+                        self._load_gradient_kernel(assignment, gradient_loaded),
+                        plan.query,
+                        plan.tolerance,
+                    )
+                    gradient_loaded = True
+                measures = measures_from_curves(
+                    None,
+                    plan.query,
+                    {},
+                    bound_curves,
+                    on_error="record",
+                    nondeterministic=True,
+                    gradient_values=gradient_values,
                 )
             else:
                 model = plan.skeleton.instantiate(assignment)
                 instantiate_seconds = _time.perf_counter() - start
+                if self._gradient_kernel is not None and _query_wants_gradients(
+                    plan.query
+                ):
+                    gradient_values = gradient_values_from_kernel(
+                        self._load_gradient_kernel(assignment, gradient_loaded),
+                        plan.query,
+                        plan.tolerance,
+                    )
+                    gradient_loaded = True
                 measures = evaluate_query_on_model(
-                    model, plan.query, tolerance=plan.tolerance, on_error="record"
+                    model,
+                    plan.query,
+                    tolerance=plan.tolerance,
+                    on_error="record",
+                    gradient_values=gradient_values,
                 )
+            row_gradients: Optional[Dict[str, Tuple[float, ...]]] = None
+            if plan.gradients and self._gradient_kernel is not None:
+                times = plan.query.transient_times()
+                kernel = self._load_gradient_kernel(assignment, gradient_loaded)
+                _curve, grads = kernel.gradient_curve(
+                    signals.FAILED_LABEL,
+                    times,
+                    maximize=True,
+                    tolerance=plan.tolerance,
+                )
+                row_gradients = {
+                    name: tuple(float(value) for value in grads[:, j])
+                    for j, name in enumerate(kernel.parameters)
+                }
             wall = _time.perf_counter() - start
             return SweepRow(
                 sample=dict(sample),
@@ -275,6 +389,7 @@ class _SampleEvaluator:
                 wall_seconds=wall,
                 instantiate_seconds=instantiate_seconds,
                 solve_seconds=wall - instantiate_seconds,
+                gradients=row_gradients,
             )
         except ReproError as error:
             return SweepRow(
@@ -306,9 +421,9 @@ def _scan_shared_rate(plan: _SweepPlan, samples: Sequence[Sample]) -> Optional[f
     Scans every sample's maximal exit rate on one scratch CSR buffer (rate
     evaluation only — no stepping matrix is built).  Samples whose rates fail
     to evaluate are skipped here; their rows fail identically with or without
-    a shared rate, so the scan never changes which rows error.
+    a shared rate, so the scan never changes which rows error.  Works for
+    both skeleton kinds: the buffer only reads states, edges and parameters.
     """
-    assert isinstance(plan.skeleton, CtmcSkeleton)
     buffer = CsrBuffer(plan.skeleton)
     shared: Optional[float] = None
     for sample in samples:
@@ -432,6 +547,7 @@ class SweepStudy:
         chunk_size: Optional[int] = None,
         use_kernel: bool = True,
         share_uniformisation: bool = False,
+        gradients: bool = False,
     ) -> SweepResult:
         """Evaluate the sweep; sample failures become per-row errors.
 
@@ -449,6 +565,13 @@ class SweepStudy:
         uniformisation is exact for any Lambda >= the maximal exit rate, and
         the differential tests pin agreement with per-sample rates to 1e-9).
         Rows stay bit-identical between serial and parallel runs either way.
+
+        ``gradients=True`` attaches analytic ∂measure/∂parameter curves to
+        every row (:attr:`~repro.core.results.SweepRow.gradients`), computed
+        by the parametric CTMDP kernel's forward pass at the query's mission
+        times — differentiating the worst-case (max) bound on
+        non-deterministic models, the plain unreliability on deterministic
+        ones.
         """
         declared = self.tree.parameters
         unknown = [name for name in sweep.parameters if name not in declared]
@@ -470,6 +593,12 @@ class SweepStudy:
         else:
             plan_declared = dict(declared)
             parameter_map = None
+        if gradients and self.skeleton_cache is not None:
+            raise AnalysisError(
+                "per-row gradients on a cached skeleton would rank the store's "
+                "canonical per-event parameters, not the tree's; run the sweep "
+                "without a skeleton cache to get gradients"
+            )
         workers = _resolve_sweep_workers(processes, len(sweep.samples))
         plan = _SweepPlan(
             skeleton=skeleton,
@@ -478,8 +607,9 @@ class SweepStudy:
             tolerance=self.study.options.tolerance,
             use_kernel=use_kernel,
             parameter_map=parameter_map,
+            gradients=gradients,
         )
-        if share_uniformisation and use_kernel and isinstance(skeleton, CtmcSkeleton):
+        if share_uniformisation and use_kernel:
             shared_rate = _scan_shared_rate(plan, sweep.samples)
             if shared_rate is not None:
                 plan = replace(plan, shared_rate=shared_rate)
@@ -511,6 +641,8 @@ class SweepStudy:
             options["skeleton_cache"] = "hit" if self._cache_hit else "miss"
         if plan.shared_rate is not None:
             options["shared_uniformisation_rate"] = plan.shared_rate
+        if gradients:
+            options["gradients"] = True
         return SweepResult(
             tree_name=self.tree.name,
             parameters=sweep.parameters,
@@ -544,6 +676,7 @@ def sweep(
     chunk_size: Optional[int] = None,
     skeleton_cache: Optional["SkeletonStore"] = None,
     share_uniformisation: bool = False,
+    gradients: bool = False,
 ) -> SweepResult:
     """Evaluate ``rate_sweep`` on ``tree`` with a fresh :class:`SweepStudy`."""
     return SweepStudy(tree, options, skeleton_cache=skeleton_cache).run(
@@ -551,6 +684,7 @@ def sweep(
         processes=processes,
         chunk_size=chunk_size,
         share_uniformisation=share_uniformisation,
+        gradients=gradients,
     )
 
 

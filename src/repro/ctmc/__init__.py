@@ -17,8 +17,8 @@ from .builders import (
     markov_model_from_ioimc,
 )
 from .ctmc import CTMC
-from .ctmdp import CTMDP
-from .kernel import CsrBuffer, TransientKernel
+from .ctmdp import CTMDP, VanishingResolver
+from .kernel import CsrBuffer, CtmdpKernel, TransientKernel
 from .steady_state import (
     bottom_strongly_connected_components,
     steady_state_distribution,
@@ -39,9 +39,11 @@ __all__ = [
     "CTMDP",
     "CsrBuffer",
     "CtmcSkeleton",
+    "CtmdpKernel",
     "CtmdpSkeleton",
     "PoissonTermCache",
     "TransientKernel",
+    "VanishingResolver",
     "bottom_strongly_connected_components",
     "ctmc_from_ioimc",
     "ctmc_skeleton_from_ioimc",

@@ -29,7 +29,7 @@ from ..errors import ModelError, NondeterminismError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel imports us)
     from scipy import sparse
 
-    from .kernel import CsrBuffer, TransientKernel
+    from .kernel import CsrBuffer, CtmdpKernel, TransientKernel
 from ..ioimc.model import IOIMC
 from ..ioimc.rates import RateLike, evaluate_rate, rate_parameters
 from .ctmc import CTMC
@@ -151,6 +151,12 @@ class CtmdpSkeleton:
         for source, target, rate in self.edges:
             ctmdp.add_rate(source, target, _instantiate_edge_rate(rate, assignment))
         return ctmdp
+
+    def ctmdp_kernel(self) -> "CtmdpKernel":
+        """A fresh shared-structure bound/gradient solver for this skeleton."""
+        from .kernel import CtmdpKernel
+
+        return CtmdpKernel(self)
 
 
 def ctmdp_skeleton_from_ioimc(model: IOIMC) -> CtmdpSkeleton:

@@ -34,14 +34,15 @@ and the uniformisation sweep itself.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
 from ..errors import AnalysisError, ModelError
 from ..ioimc.rates import ParametricRate
-from .builders import CtmcSkeleton
+from .builders import CtmcSkeleton, CtmdpSkeleton
+from .ctmdp import VanishingResolver
 from .transient import PoissonTermCache, validate_times
 
 #: Below this state count the kernel steps with a preallocated dense matrix:
@@ -105,6 +106,7 @@ class CsrBuffer:
         "_nominals",
         "_slots",
         "_sources",
+        "_targets",
         "_diag",
         "_dense_slots",
         "_dense_diag",
@@ -113,7 +115,16 @@ class CsrBuffer:
         "_exit",
     )
 
-    def __init__(self, skeleton: CtmcSkeleton, dense_limit: Optional[int] = None):
+    def __init__(
+        self,
+        skeleton: Union[CtmcSkeleton, CtmdpSkeleton],
+        dense_limit: Optional[int] = None,
+    ):
+        # The buffer only reads num_states / edges / parameters, which CTMC
+        # and CTMDP skeletons share: vanishing states of a CTMDP skeleton
+        # simply have no outgoing edges, so their uniformised rows come out
+        # as identity rows and the backward kernel overwrites them through
+        # its vanishing-state resolver.
         dense_limit = resolve_dense_limit(dense_limit)
         self.skeleton = skeleton
         num_states = skeleton.num_states
@@ -148,6 +159,11 @@ class CsrBuffer:
             dtype=np.int64,
             count=len(edges),
         )
+        self._targets = np.fromiter(
+            (target for _source, target, _rate in edges),
+            dtype=np.int64,
+            count=len(edges),
+        )
 
         # --- vectorised linear forms: rate_e = const_e + coeffs[e] @ params.
         params = skeleton.parameters
@@ -179,11 +195,7 @@ class CsrBuffer:
         # --- the stepping operator (refreshed in place by every refill).
         if num_states <= dense_limit:
             self.dense: Optional[np.ndarray] = np.zeros((num_states, num_states))
-            self._dense_slots = self._sources * num_states + np.fromiter(
-                (target for _source, target, _rate in edges),
-                dtype=np.int64,
-                count=len(edges),
-            )
+            self._dense_slots = self._sources * num_states + self._targets
             self._dense_diag = np.arange(num_states, dtype=np.int64) * (num_states + 1)
             self.transposed: Optional[sparse.csr_matrix] = None
             self._transpose_perm = None
@@ -239,6 +251,20 @@ class CsrBuffer:
             )
         return values
 
+    def _accumulate_exit(self, values: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Per-state exit rates of the evaluated edges, plus the natural Lambda.
+
+        The single accumulation point behind :meth:`max_exit_rate` and
+        :meth:`refill`, so the two cannot drift: both scatter the same edge
+        values into the shared scratch and apply the same ``Lambda = 1.0``
+        fallback for a chain with no transitions at all.
+        """
+        exit_rates = self._exit
+        exit_rates[:] = 0.0
+        np.add.at(exit_rates, self._sources, values)
+        rate = float(exit_rates.max()) if len(exit_rates) else 0.0
+        return exit_rates, (rate if rate > 0.0 else 1.0)
+
     def max_exit_rate(self, assignment: Optional[Dict[str, float]] = None) -> float:
         """The natural uniformisation rate (max exit rate) under ``assignment``.
 
@@ -247,12 +273,7 @@ class CsrBuffer:
         sweep can scan its whole grid for the largest Lambda before refilling
         (the shared-rate path of :class:`TransientKernel`).
         """
-        values = self._evaluate_rates(assignment)
-        exit_rates = self._exit
-        exit_rates[:] = 0.0
-        np.add.at(exit_rates, self._sources, values)
-        rate = float(exit_rates.max()) if len(exit_rates) else 0.0
-        return rate if rate > 0.0 else 1.0
+        return self._accumulate_exit(self._evaluate_rates(assignment))[1]
 
     def refill(
         self,
@@ -271,12 +292,7 @@ class CsrBuffer:
         """
         values = self._evaluate_rates(assignment)
 
-        exit_rates = self._exit
-        exit_rates[:] = 0.0
-        np.add.at(exit_rates, self._sources, values)
-        rate = float(exit_rates.max()) if len(exit_rates) else 0.0
-        if rate <= 0.0:
-            rate = 1.0  # chain with no transitions at all
+        exit_rates, rate = self._accumulate_exit(values)
         if rate_floor is not None and float(rate_floor) > rate:
             rate = float(rate_floor)
 
@@ -313,6 +329,19 @@ class CsrBuffer:
         # CSR-of-P^T matvec: computes x @ P without scipy materialising a
         # transposed matrix per step (which `vector @ csr` would do).
         return self.transposed @ current
+
+    def step_forward(self, current: np.ndarray, workspace: np.ndarray) -> np.ndarray:
+        """One backward value-iteration step ``P @ current``.
+
+        The CTMDP kernel sweeps values backwards, so it multiplies from the
+        left — the plain CSR (or the dense copy) is already the right
+        operator, no transpose needed.  Returns ``workspace`` on the dense
+        path, a fresh array on the sparse path.
+        """
+        if self.dense is not None:
+            np.matmul(self.dense, current, out=workspace)
+            return workspace
+        return self.matrix @ current
 
 
 class TransientKernel:
@@ -485,3 +514,311 @@ class TransientKernel:
         times_list = validate_times(times)
         curve = self.probability_of_label_curve(label, times_list, tolerance)
         return dict(zip(times_list, (float(value) for value in curve)))
+
+
+class CtmdpKernel:
+    """One CTMDP skeleton's reusable bound solver across many rate samples.
+
+    The backward-sweep analogue of :class:`TransientKernel`: the uniformised
+    CSR pattern and the vectorised linear-form rate table live in a shared
+    :class:`CsrBuffer`, :meth:`load` refills the data in place per sample, and
+    :meth:`time_bounded_reachability_curve` replaces the per-state Python
+    value iteration of :meth:`repro.ctmc.ctmdp.CTMDP` with sparse (or small-
+    dense) matvecs plus a topologically-ordered vanishing-state resolution
+    (:class:`~repro.ctmc.ctmdp.VanishingResolver`).
+
+    Because every edge rate is an exact linear form
+    ``rate_e = const_e + coeffs[e] @ params``, the derivative of the
+    uniformised generator w.r.t. each parameter is a *constant* sparse
+    matrix; :meth:`gradient_curve` rides an ``(states x params)`` derivative
+    block along the same sweep and returns the gradient of the bound curve
+    w.r.t. every failure-rate parameter in one extra pass (Birnbaum-style
+    component importance).
+
+    Numerical conventions (both differ from the reference engine only within
+    the truncation tolerance, which the differential tests pin):
+
+    * the uniformisation rate is the maximal exit rate over *all* tangible
+      states (label-independent, so one Lambda serves every label and both
+      bound directions, and the Poisson term cache survives across them);
+    * the truncated Poisson tail adds ``1 - accumulated`` on the maximise
+      branch and ``(1 - accumulated) * v_final`` on the minimise branch — the
+      iterates are non-decreasing in the step count, so the deepest computed
+      iterate is a valid lower bound on every truncated term.
+    """
+
+    __slots__ = (
+        "skeleton",
+        "buffer",
+        "resolver",
+        "term_cache",
+        "_goal",
+        "_update",
+        "_work_a",
+        "_work_b",
+        "_loaded",
+        "_loaded_rate",
+    )
+
+    def __init__(
+        self,
+        skeleton: CtmdpSkeleton,
+        dense_limit: Optional[int] = None,
+    ):
+        self.skeleton = skeleton
+        self.buffer = CsrBuffer(skeleton, dense_limit=dense_limit)
+        self.resolver = VanishingResolver(skeleton.num_states, skeleton.choices)
+        self.term_cache = PoissonTermCache()
+        self._goal: Dict[str, np.ndarray] = {}
+        self._update: Dict[str, np.ndarray] = {}
+        self._work_a = np.zeros(skeleton.num_states)
+        self._work_b = np.zeros(skeleton.num_states)
+        self._loaded = False
+        self._loaded_rate: Optional[float] = None
+
+    # ----------------------------------------------------------- structure
+    @property
+    def structure_builds(self) -> int:
+        """How many times the CSR pattern was built (pinned to one)."""
+        return self.buffer.structure_builds
+
+    @property
+    def refills(self) -> int:
+        """How many rate instantiations reused the shared pattern."""
+        return self.buffer.refills
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        """The skeleton's sorted rate-parameter names (gradient column order)."""
+        return self.buffer._params
+
+    def goal_indices(self, label: str) -> np.ndarray:
+        """Sorted state indices carrying ``label`` (cached; structure-only)."""
+        cached = self._goal.get(label)
+        if cached is None:
+            cached = np.fromiter(
+                (
+                    state
+                    for state, labels in enumerate(self.skeleton.labels)
+                    if label in labels
+                ),
+                dtype=np.int64,
+            )
+            self._goal[label] = cached
+        return cached
+
+    def update_indices(self, label: str) -> np.ndarray:
+        """Tangible non-``label`` states — the rows the matvec step rewrites.
+
+        Goal states stay absorbing at value 1 and vanishing states are
+        rewritten by the resolver, so neither takes the Markovian update.
+        """
+        cached = self._update.get(label)
+        if cached is None:
+            choices = self.skeleton.choices
+            cached = np.fromiter(
+                (
+                    state
+                    for state, labels in enumerate(self.skeleton.labels)
+                    if label not in labels and not choices[state]
+                ),
+                dtype=np.int64,
+            )
+            self._update[label] = cached
+        return cached
+
+    # ------------------------------------------------------------- samples
+    def max_exit_rate(self, assignment: Optional[Dict[str, float]] = None) -> float:
+        """The natural uniformisation rate under ``assignment`` (scan only)."""
+        return self.buffer.max_exit_rate(assignment)
+
+    def load(
+        self,
+        assignment: Optional[Dict[str, float]] = None,
+        rate_floor: Optional[float] = None,
+    ) -> float:
+        """Refill the shared matrix for ``assignment``; return Lambda.
+
+        Exactly like :meth:`TransientKernel.load`: with a ``rate_floor``
+        (>= every sample's natural maximal exit rate) the Poisson term table
+        survives from one sample to the next.
+        """
+        _matrix, rate = self.buffer.refill(
+            None if assignment is None else dict(assignment), rate_floor=rate_floor
+        )
+        if rate != self._loaded_rate:
+            self.term_cache.clear()
+            self._loaded_rate = rate
+        self._loaded = True
+        return rate
+
+    # --------------------------------------------------------------- curves
+    def _initial_values(self, goal: np.ndarray, maximize: bool) -> np.ndarray:
+        values = np.zeros(self.skeleton.num_states)
+        values[goal] = 1.0
+        self.resolver.resolve(values, maximize)
+        return values
+
+    def time_bounded_reachability_curve(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+        term_cache: Optional[PoissonTermCache] = None,
+    ) -> np.ndarray:
+        """Optimal reach-``label`` probability at each of ``times``, one sweep.
+
+        All time points share one backward value iteration up to the deepest
+        Poisson truncation; the per-time weights are applied to the recorded
+        initial-state series afterwards (the backward analogue of
+        :meth:`TransientKernel.probability_of_label_curve`).
+        """
+        curve, _gradients = self._sweep(
+            label, times, maximize, tolerance, term_cache, with_gradients=False
+        )
+        return curve
+
+    def gradient_curve(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+        term_cache: Optional[PoissonTermCache] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The bound curve plus its gradient w.r.t. every rate parameter.
+
+        Returns ``(curve, gradients)`` where ``gradients[i, j]`` is the
+        partial derivative of ``curve[i]`` w.r.t. ``self.parameters[j]``,
+        computed forward-mode: ``dP/dparam_j`` is a constant sparse matrix
+        (linear-form rates), so a ``(states x params)`` derivative block
+        propagates alongside the value iteration, following the max/min
+        successor selection through vanishing states.  The uniformisation
+        rate is held fixed under differentiation, which is exact in the limit
+        because the uniformised value is Lambda-invariant for any
+        Lambda >= the maximal exit rate.
+        """
+        curve, gradients = self._sweep(
+            label, times, maximize, tolerance, term_cache, with_gradients=True
+        )
+        assert gradients is not None
+        return curve, gradients
+
+    def reachability_bounds_curve(
+        self,
+        label: str,
+        times: Sequence[float],
+        tolerance: float = 1e-10,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(minimum, maximum) reach-``label`` curves over ``times``.
+
+        Both directions share the loaded sample, the uniformisation rate and
+        therefore every cached Poisson term array.
+        """
+        lower = self.time_bounded_reachability_curve(
+            label, times, maximize=False, tolerance=tolerance
+        )
+        upper = self.time_bounded_reachability_curve(
+            label, times, maximize=True, tolerance=tolerance
+        )
+        return lower, upper
+
+    def _sweep(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool,
+        tolerance: float,
+        term_cache: Optional[PoissonTermCache],
+        with_gradients: bool,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if not self._loaded:
+            raise AnalysisError(
+                "the CTMDP kernel has no sample loaded; call load() first"
+            )
+        times_list = validate_times(times)
+        num_params = len(self.buffer._params)
+        empty = np.zeros((len(times_list), num_params)) if with_gradients else None
+        if not times_list:
+            return np.zeros(0), empty
+        goal = self.goal_indices(label)
+        if not len(goal):
+            return np.zeros(len(times_list)), empty
+        values = self._initial_values(goal, maximize)
+        initial = self.skeleton.initial
+        if not len(self.buffer._sources):
+            # No Markovian transitions anywhere: nothing ever moves.
+            return np.full(len(times_list), float(values[initial])), empty
+
+        buffer = self.buffer
+        rate = buffer.uniformisation_rate
+        cache = term_cache if term_cache is not None else self.term_cache
+        terms = [cache.get(rate * time, tolerance) for time in times_list]
+        depth = max(len(array) for array in terms)
+        update = self.update_indices(label)
+
+        gradients = with_gradients and num_params > 0
+        current = self._work_a
+        current[:] = values
+        workspace = self._work_b
+        series = np.empty(depth)
+        if gradients:
+            derivative = np.zeros((self.skeleton.num_states, num_params))
+            derivative_series = np.empty((depth, num_params))
+            scatter = np.empty_like(derivative)
+            sources = buffer._sources
+            targets = buffer._targets
+            coeffs = buffer._coeffs
+        for step in range(depth):
+            series[step] = current[initial]
+            if gradients:
+                derivative_series[step] = derivative[initial]
+            if step + 1 == depth:
+                break
+            nxt = buffer.step_forward(current, workspace)
+            if gradients:
+                # d(P v)/dparam = P dv + (dP/dparam) v, and dP/dparam has
+                # off-diagonal entries coeff_e/Lambda with the matching
+                # -sum(coeff)/Lambda on the diagonal, so its action on v is a
+                # scatter of coeff_e * (v[target] - v[source]) / Lambda.
+                contrib = coeffs * ((current[targets] - current[sources]) / rate)[:, None]
+                scatter[:] = 0.0
+                np.add.at(scatter, sources, contrib)
+                if buffer.dense is not None:
+                    propagated = buffer.dense @ derivative
+                else:
+                    propagated = buffer.matrix @ derivative
+                derivative[update] = propagated[update] + scatter[update]
+            current[update] = nxt[update]
+            self.resolver.resolve(
+                current, maximize, companion=derivative if gradients else None
+            )
+
+        results = np.fromiter(
+            (array @ series[: len(array)] for array in terms),
+            dtype=float,
+            count=len(terms),
+        )
+        accumulated = np.fromiter(
+            (array.sum() for array in terms), dtype=float, count=len(terms)
+        )
+        tail = 1.0 - accumulated
+        gradient_rows: Optional[np.ndarray] = None
+        if with_gradients:
+            gradient_rows = np.zeros((len(times_list), num_params))
+            if gradients:
+                for row, array in enumerate(terms):
+                    gradient_rows[row] = array @ derivative_series[: len(array)]
+        if maximize:
+            raw = results + tail
+            if gradient_rows is not None:
+                # min(1, .) clips: where the tail pushed past 1 the bound is
+                # locally constant, so its gradient vanishes.
+                gradient_rows[raw > 1.0] = 0.0
+            results = np.minimum(1.0, raw)
+        else:
+            results = results + tail * float(series[depth - 1])
+            if gradient_rows is not None and gradients:
+                gradient_rows += tail[:, None] * derivative_series[depth - 1]
+        return np.clip(results, 0.0, 1.0), gradient_rows

@@ -14,7 +14,7 @@ query).  This package exploits that split for traffic:
   optional pool of per-process kernels;
 * :mod:`repro.service.server` — a stdlib-only threading HTTP server exposing
   ``POST /analyze``, ``/sweep``, ``/batch`` and ``GET /healthz``, ``/metrics``
-  with the existing ``repro.study/1`` / ``repro.sweep/2`` JSON schemas as the
+  with the existing ``repro.study/1`` / ``repro.sweep/3`` JSON schemas as the
   wire format;
 * :mod:`repro.service.client` — a retry/backoff HTTP client mirroring the
   endpoints.

@@ -2,7 +2,7 @@
 
 :class:`AnalysisService` owns one :class:`~repro.service.store.SkeletonStore`
 and serves the same result schemas the CLI emits (``repro.study/1``,
-``repro.sweep/2``, ``repro.batch/1``) over plain dictionaries, so the HTTP
+``repro.sweep/3``, ``repro.batch/1``) over plain dictionaries, so the HTTP
 layer (:mod:`repro.service.server`) is a thin JSON shell and every endpoint is
 testable without a socket.
 
@@ -414,7 +414,7 @@ class AnalysisService:
         return response
 
     def sweep(self, payload: Optional[Mapping[str, object]]) -> Dict[str, object]:
-        """``POST /sweep``: one tree, axes or samples -> ``repro.sweep/2``."""
+        """``POST /sweep``: one tree, axes or samples -> ``repro.sweep/3``."""
         tree = self._parse_tree(payload)
         assert payload is not None
         axes = payload.get("axes")

@@ -158,7 +158,7 @@ class ServiceClient:
         processes: int = 1,
         share_uniformisation: bool = False,
     ) -> Dict[str, object]:
-        """``POST /sweep``: the raw ``repro.sweep/2`` response dict."""
+        """``POST /sweep``: the raw ``repro.sweep/3`` response dict."""
         payload: Dict[str, object] = {"tree": _tree_text(tree)}
         if axes is not None:
             payload["axes"] = {str(k): [float(x) for x in v] for k, v in axes.items()}

@@ -5,7 +5,7 @@ handler forwards every request to an :class:`~repro.service.app.AnalysisService`
 (dict in, dict out) and speaks JSON on the wire:
 
 * ``POST /analyze`` — one tree, one query (``repro.study/1`` + ``service``);
-* ``POST /sweep``   — one tree, a sample grid (``repro.sweep/2`` + ``service``);
+* ``POST /sweep``   — one tree, a sample grid (``repro.sweep/3`` + ``service``);
 * ``POST /batch``   — many trees, one query (``repro.batch/1`` + ``service``);
 * ``GET /healthz``  — liveness + store shape;
 * ``GET /metrics``  — per-endpoint counts/latency percentiles + store stats.

@@ -20,8 +20,8 @@ from .generators import (
     random_dft,
     spare_chain_family,
 )
-from .mutex import inhibition_pair, mutually_exclusive_switch
-from .nondeterminism import pand_race_system, shared_spare_race_system
+from .mutex import inhibition_pair, mutex_switch_bank, mutually_exclusive_switch
+from .nondeterminism import pand_race_bank, pand_race_system, shared_spare_race_system
 from .repairable import repairable_and_system, repairable_plant, repairable_voting_system
 
 __all__ = [
@@ -45,8 +45,10 @@ __all__ = [
     "inhibition_pair",
     "model_a",
     "model_b",
+    "mutex_switch_bank",
     "mutually_exclusive_switch",
     "nested_spare_system",
+    "pand_race_bank",
     "pand_race_system",
     "random_corpus",
     "random_dft",

@@ -29,6 +29,39 @@ def inhibition_pair(
     return builder.build(top="system")
 
 
+def mutex_switch_bank(
+    channels: int = 4,
+    fail_open_rate: float = 0.3,
+    fail_closed_rate: float = 0.7,
+    pump_rate: float = 1.0,
+) -> DynamicFaultTree:
+    """``channels`` independent mutually-exclusive switches, ANDed together.
+
+    A scaled variant of :func:`mutually_exclusive_switch` for benchmarking
+    the CTMDP bound engine: each channel contributes its own exclusive
+    failure-mode pair (and therefore its own vanishing choices after
+    aggregation), so the closed model's state space grows with ``channels``
+    while staying non-deterministic.  Rates are staggered per channel so no
+    two channels are symmetric.
+    """
+    if channels < 1:
+        raise ValueError(f"a switch bank needs at least one channel, got {channels}")
+    builder = FaultTreeBuilder(f"mutex-switch-bank-{channels}")
+    names = []
+    for index in range(channels):
+        stagger = 1.0 + 0.25 * index
+        so, sc, pump = f"SO{index}", f"SC{index}", f"Pump{index}"
+        builder.basic_event(so, fail_open_rate * stagger)
+        builder.basic_event(sc, fail_closed_rate * stagger)
+        builder.basic_event(pump, pump_rate * stagger)
+        builder.mutual_exclusion(f"modes{index}", so, sc)
+        builder.and_gate(f"open_and_pump{index}", [so, pump])
+        builder.or_gate(f"channel{index}", [sc, f"open_and_pump{index}"])
+        names.append(f"channel{index}")
+    builder.and_gate("system", names)
+    return builder.build(top="system")
+
+
 def mutually_exclusive_switch(
     fail_open_rate: float = 0.3,
     fail_closed_rate: float = 0.7,

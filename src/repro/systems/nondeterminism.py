@@ -32,6 +32,35 @@ def pand_race_system(
     return builder.build(top="system")
 
 
+def pand_race_bank(
+    channels: int = 3,
+    trigger_rate: float = 1.0,
+    component_rate: float = 1.0,
+) -> DynamicFaultTree:
+    """``channels`` independent FDEP/PAND races, ANDed together.
+
+    A scaled variant of :func:`pand_race_system` for exercising the CTMDP
+    bound engine: every channel keeps its own unresolved simultaneity race,
+    so the aggregated model is a genuine CTMDP whose state count (and number
+    of non-deterministic vanishing states) grows with ``channels``.  Rates
+    are staggered per channel so no two channels are symmetric.
+    """
+    if channels < 1:
+        raise ValueError(f"a race bank needs at least one channel, got {channels}")
+    builder = FaultTreeBuilder(f"pand-race-bank-{channels}")
+    names = []
+    for index in range(channels):
+        stagger = 1.0 + 0.25 * index
+        builder.basic_event(f"T{index}", trigger_rate * stagger)
+        builder.basic_event(f"A{index}", 0.8 * component_rate * stagger)
+        builder.basic_event(f"B{index}", 1.2 * component_rate * stagger)
+        builder.pand_gate(f"race{index}", [f"A{index}", f"B{index}"])
+        builder.fdep(f"F{index}", trigger=f"T{index}", dependents=[f"A{index}", f"B{index}"])
+        names.append(f"race{index}")
+    builder.and_gate("system", names)
+    return builder.build(top="system")
+
+
 def shared_spare_race_system(
     trigger_rate: float = 1.0,
     component_rate: float = 1.0,

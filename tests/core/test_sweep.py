@@ -174,7 +174,7 @@ class TestSweepEngine:
         tree = parametric_spare_tree()
         result = sweep(tree, RateSweep(Unreliability([1.0]), [{"lam": 1.0}]))
         payload = result.to_dict()
-        assert payload["schema"] == "repro.sweep/2"
+        assert payload["schema"] == "repro.sweep/3"
         assert payload["parameters"] == ["lam"]
         assert payload["aggregate"] == {"samples": 1, "failed": 0, "processes": 1}
         assert payload["rows"][0]["sample"] == {"lam": 1.0}

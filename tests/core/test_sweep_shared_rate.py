@@ -80,9 +80,11 @@ class TestSharedUniformisation:
         result = SweepStudy(wide_range_tree()).run(_grid())
         assert "shared_uniformisation_rate" not in result.options
 
-    def test_nondeterministic_sweep_ignores_the_flag(self):
-        # CTMDP skeletons have no single uniformisation table; the flag must
-        # be a silent no-op, not a crash.
+    def test_nondeterministic_sweep_shares_the_rate_too(self):
+        # Since the CTMDP kernel landed, non-deterministic sweeps also share
+        # one uniformisation rate across the grid (it is a rate *floor* for
+        # the backward sweep); the rows must agree with the per-sample-rate
+        # baseline on both bounds.
         builder = FaultTreeBuilder("nondet-shared")
         builder.parameter("lam", 1.0)
         builder.basic_event("T", param="lam")
@@ -94,9 +96,16 @@ class TestSharedUniformisation:
         from repro import UnreliabilityBounds
 
         sweep_spec = RateSweep.grid(UnreliabilityBounds([1.0]), lam=[0.5, 1.5])
-        result = SweepStudy(tree).run(sweep_spec, share_uniformisation=True)
-        assert "shared_uniformisation_rate" not in result.options
-        assert all(row.error is None for row in result.rows)
+        shared = SweepStudy(tree).run(sweep_spec, share_uniformisation=True)
+        baseline = SweepStudy(tree).run(sweep_spec)
+        assert shared.options["shared_uniformisation_rate"] > 0.0
+        assert all(row.error is None for row in shared.rows)
+        for ours, theirs in zip(shared.rows, baseline.rows):
+            assert ours.sample == theirs.sample
+            bounds = ours["unreliability_bounds"]
+            reference = theirs["unreliability_bounds"]
+            assert bounds.lower == pytest.approx(reference.lower, abs=TOLERANCE)
+            assert bounds.upper == pytest.approx(reference.upper, abs=TOLERANCE)
 
     def test_scan_helper_returns_the_maximum(self):
         study = SweepStudy(wide_range_tree())

@@ -18,6 +18,7 @@ the ``slow`` marker; the CI full-matrix job runs it under the ``full``
 Hypothesis profile (``HYPOTHESIS_PROFILE=full pytest -m slow``).
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -29,9 +30,9 @@ from repro import (
     UnreliabilityBounds,
     evaluate,
 )
-from repro.core import Study
+from repro.core import Study, signals
 from repro.core.sweep import substitute_parameters, with_rate_parameters
-from repro.ctmc.builders import ctmc_skeleton_from_ioimc
+from repro.ctmc.builders import ctmc_skeleton_from_ioimc, ctmdp_skeleton_from_ioimc
 from repro.ctmc.kernel import TransientKernel
 from repro.ioimc import AggregationOptions, minimize_weak, parallel
 from repro.systems import (
@@ -39,7 +40,10 @@ from repro.systems import (
     cascaded_pand_system,
     figure2_models,
     mutually_exclusive_switch,
+    pand_race_bank,
+    pand_race_system,
     random_dft,
+    shared_spare_race_system,
 )
 
 MISSION_TIMES = (0.5, 1.0)
@@ -156,6 +160,87 @@ def assert_aggregation_mode_cell(tree, query, bounds=False):
                 assert measure.values == pytest.approx(reference.values, abs=TOLERANCE)
 
 
+# --- CTMDP cells: shared-structure kernel vs legacy per-sample reference ---
+
+_CTMDP_TREES = {
+    "mutex-envelope": lambda: with_rate_parameters(mutually_exclusive_switch()),
+    "pand-race": lambda: with_rate_parameters(pand_race_system()),
+    "shared-spare": lambda: with_rate_parameters(shared_spare_race_system()),
+    "race-bank-2": lambda: with_rate_parameters(pand_race_bank(2)),
+    "rand-fdep-3": lambda: with_rate_parameters(
+        random_dft(5, seed=3, fdep=True, shared_spares=True)
+    ),
+    "rand-fdep-11": lambda: with_rate_parameters(
+        random_dft(6, seed=11, fdep=True, shared_spares=True)
+    ),
+}
+
+
+def _ctmdp_central_fd(kernel, assignment, maximize):
+    """Central finite differences of the kernel's bound curve per parameter."""
+    columns = []
+    for name in kernel.parameters:
+        h = 1e-4 * max(assignment[name], 1.0)
+        shifted = dict(assignment)
+        shifted[name] = assignment[name] + h
+        kernel.load(shifted)
+        plus = kernel.time_bounded_reachability_curve(
+            signals.FAILED_LABEL, MISSION_TIMES, maximize=maximize, tolerance=1e-12
+        )
+        shifted[name] = assignment[name] - h
+        kernel.load(shifted)
+        minus = kernel.time_bounded_reachability_curve(
+            signals.FAILED_LABEL, MISSION_TIMES, maximize=maximize, tolerance=1e-12
+        )
+        columns.append((plus - minus) / (2.0 * h))
+    return np.column_stack(columns)
+
+
+def assert_ctmdp_cell(tree, samples, gradient_samples=0):
+    """One CTMDP corpus cell: kernel == legacy reference engine per sample and
+    direction to ``<= 1e-9``; on the first ``gradient_samples`` samples the
+    analytic gradients also match central finite differences to ``<= 1e-6``."""
+    skeleton = ctmdp_skeleton_from_ioimc(Study(tree).final_ioimc)
+    kernel = skeleton.ctmdp_kernel()
+    for index, sample in enumerate(samples):
+        legacy = skeleton.instantiate(sample)
+        for maximize in (True, False):
+            kernel.load(sample)
+            fast = kernel.time_bounded_reachability_curve(
+                signals.FAILED_LABEL, MISSION_TIMES, maximize=maximize, tolerance=1e-12
+            )
+            slow = legacy.time_bounded_reachability_curve_reference(
+                signals.FAILED_LABEL, MISSION_TIMES, maximize=maximize, tolerance=1e-12
+            )
+            assert np.max(np.abs(fast - slow)) <= TOLERANCE
+            if index < gradient_samples:
+                _curve, grads = kernel.gradient_curve(
+                    signals.FAILED_LABEL,
+                    MISSION_TIMES,
+                    maximize=maximize,
+                    tolerance=1e-12,
+                )
+                fd = _ctmdp_central_fd(kernel, sample, maximize)
+                assert np.max(np.abs(grads - fd)) <= 1e-6
+
+
+def assert_ctmdp_sweep_cell(tree, samples):
+    """The sweep paths over a CTMDP skeleton: shared-structure kernel rows vs
+    legacy per-sample instantiation rows agree on both bounds."""
+    study = SweepStudy(tree)
+    sweep = RateSweep(UnreliabilityBounds(MISSION_TIMES), samples)
+    fast = study.run(sweep)
+    slow = study.run(sweep, use_kernel=False)
+    assert fast.num_failed == 0
+    assert slow.num_failed == 0
+    for mine, theirs in zip(fast.rows, slow.rows):
+        assert mine.sample == theirs.sample
+        bounds = mine["unreliability_bounds"]
+        reference = theirs["unreliability_bounds"]
+        assert bounds.lower == pytest.approx(reference.lower, abs=TOLERANCE)
+        assert bounds.upper == pytest.approx(reference.upper, abs=TOLERANCE)
+
+
 class TestTier1Smoke:
     """The matrix's tier-1 slice: one small system, both engines."""
 
@@ -174,6 +259,12 @@ class TestTier1Smoke:
         assert_aggregation_mode_cell(
             cascaded_pand_system(), Unreliability(MISSION_TIMES)
         )
+
+    def test_pand_race_ctmdp_cell(self):
+        # One genuinely non-deterministic cell in tier 1: kernel vs legacy
+        # reference in both directions, plus a gradient-vs-FD sample.
+        tree = _CTMDP_TREES["pand-race"]()
+        assert_ctmdp_cell(tree, _corpus_samples(tree, count=2), gradient_samples=1)
 
 
 @pytest.mark.slow
@@ -302,3 +393,25 @@ class TestRandomTreeMatrix:
             samples,
             bounds=True,
         )
+
+
+@pytest.mark.slow
+class TestCtmdpMatrix:
+    """CTMDP corpus x {kernel, legacy per-sample reference} x {max, min}.
+
+    Every cell checks the bound curves to ``<= 1e-9``; gradient cells check
+    the analytic derivatives against central finite differences to
+    ``<= 1e-6``.  The mutex envelope cell covers the degenerate case where
+    aggregation removes all non-determinism (the bounds coincide but still
+    have to match the reference engine).
+    """
+
+    @pytest.mark.parametrize("system", sorted(_CTMDP_TREES))
+    def test_kernel_vs_reference_cell(self, system):
+        tree = _CTMDP_TREES[system]()
+        assert_ctmdp_cell(tree, _corpus_samples(tree, count=4), gradient_samples=2)
+
+    @pytest.mark.parametrize("system", ["pand-race", "race-bank-2", "rand-fdep-3"])
+    def test_sweep_path_cell(self, system):
+        tree = _CTMDP_TREES[system]()
+        assert_ctmdp_sweep_cell(tree, _corpus_samples(tree, count=4))

@@ -331,7 +331,7 @@ class TestSweepCommand:
             main(["sweep", parametric_file, "--param", "lam=0.25,0.75", "--json"]) == 0
         )
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "repro.sweep/2"
+        assert payload["schema"] == "repro.sweep/3"
         assert payload["parameters"] == ["lam"]
         assert payload["aggregate"] == {"samples": 2, "failed": 0, "processes": 1}
         assert [row["sample"]["lam"] for row in payload["rows"]] == [0.25, 0.75]
