@@ -20,7 +20,11 @@ the first argument) recording the numbers the perf trajectory tracks:
 * a 50-sample failure-rate sweep on the CPS: the sweep engine (one
   aggregation, per-sample CTMC instantiation) vs 50 naive full-pipeline
   evaluations — results must agree to 1e-9 and CI gates the speedup at
-  >= 5x.
+  >= 5x,
+* design-space optimisation on the seeded CAS spares scenario: the pruned
+  Russian-doll branch-and-bound vs the exhaustive reference — identical
+  optimum gated exactly, leaf evaluations gated at <= 50% of the feasible
+  designs.
 
 Runs on a plain Python interpreter — no pytest-benchmark required — so CI can
 execute it as a single cheap step::
@@ -576,6 +580,47 @@ def bench_ctmdp_kernel(channels: int = 5, num_samples: int = 8) -> dict:
     }
 
 
+def bench_optimize() -> dict:
+    """Design-space optimisation on the seeded CAS spares scenario.
+
+    Runs the Russian-doll branch-and-bound and the exhaustive reference on
+    the same 72-design (36 feasible) problem.  CI gates that the pruned
+    search returns the *identical* optimal design and value while evaluating
+    at most 50% of the feasible leaves (measured ~22%); the recorded
+    pruning ratio is what the trajectory tracks.
+    """
+    from repro import optimize
+    from repro.systems import cas_spares_scenario
+
+    pruned, pruned_seconds = _timed(
+        lambda: optimize(cas_spares_scenario()), repeats=1
+    )
+    exhaustive, exhaustive_seconds = _timed(
+        lambda: optimize(cas_spares_scenario(), exhaustive=True), repeats=1
+    )
+    return {
+        "space_size": cas_spares_scenario().space_size,
+        "leaves_feasible": pruned.leaves_feasible,
+        "leaves_evaluated": pruned.leaves_evaluated,
+        "bound_evaluations": pruned.bound_evaluations,
+        "pruned_by_cost": pruned.pruned_by_cost,
+        "pruned_by_table": pruned.pruned_by_table,
+        "pruned_by_envelope": pruned.pruned_by_envelope,
+        "pruning_ratio": pruned.pruning_ratio,
+        "best_value": pruned.best_value,
+        "best_design": [choice.option_index for choice in pruned.best_design],
+        "exhaustive_value": exhaustive.best_value,
+        "exhaustive_design": [
+            choice.option_index for choice in exhaustive.best_design
+        ],
+        "pruned_wall_seconds": pruned_seconds,
+        "exhaustive_wall_seconds": exhaustive_seconds,
+        "speedup": (
+            exhaustive_seconds / pruned_seconds if pruned_seconds else None
+        ),
+    }
+
+
 def main(argv) -> int:
     output_path = argv[1] if len(argv) > 1 else "BENCH_fig2.json"
     report = {
@@ -591,6 +636,7 @@ def main(argv) -> int:
         "batch": bench_batch(),
         "sweep": bench_sweep(),
         "ctmdp_kernel": bench_ctmdp_kernel(),
+        "optimize": bench_optimize(),
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -745,6 +791,34 @@ def main(argv) -> int:
         print(
             "FAIL: the CTMDP kernel sweep is not >= 10x faster than the "
             f"legacy per-sample engine (got {ctmdp['speedup']})",
+            file=sys.stderr,
+        )
+        return 1
+    opt = report["optimize"]
+    # Acceptance gates of the design-space optimisation PR: the pruned
+    # branch-and-bound must return exactly the brute-force optimum...
+    if opt["best_design"] != opt["exhaustive_design"]:
+        print(
+            "FAIL: pruned optimisation picked a different design than the "
+            f"exhaustive reference ({opt['best_design']} vs "
+            f"{opt['exhaustive_design']})",
+            file=sys.stderr,
+        )
+        return 1
+    if abs(opt["best_value"] - opt["exhaustive_value"]) > 1e-12:
+        print(
+            "FAIL: pruned optimisation value deviates from the exhaustive "
+            f"reference ({opt['best_value']} vs {opt['exhaustive_value']})",
+            file=sys.stderr,
+        )
+        return 1
+    # ...while evaluating at most half the feasible leaves (measured ~22%
+    # on the seeded CAS scenario — 8 of 36).
+    if opt["leaves_evaluated"] > 0.5 * opt["leaves_feasible"]:
+        print(
+            "FAIL: the branch-and-bound evaluated more than 50% of the "
+            f"feasible leaves ({opt['leaves_evaluated']} of "
+            f"{opt['leaves_feasible']})",
             file=sys.stderr,
         )
         return 1

@@ -43,8 +43,12 @@ from .core import (
     BatchResult,
     BatchStudy,
     CompositionalAnalyzer,
+    DesignProblem,
     MeasureResult,
+    OptimizeResult,
     Query,
+    RepairChoice,
+    SpareCountChoice,
     Study,
     StudyOptions,
     StudyResult,
@@ -54,8 +58,10 @@ from .core import (
     Unavailability,
     Unreliability,
     UnreliabilityBounds,
+    apply_design,
     detect_nondeterminism,
     evaluate,
+    optimize,
     run_sweep,
     substitute_parameters,
     with_rate_parameters,
@@ -74,12 +80,16 @@ __all__ = [
     "BatchResult",
     "BatchStudy",
     "CompositionalAnalyzer",
+    "DesignProblem",
     "DynamicFaultTree",
     "FaultTreeBuilder",
     "ImportanceRanking",
     "MTTF",
     "MeasureResult",
+    "OptimizeResult",
     "Query",
+    "RepairChoice",
+    "SpareCountChoice",
     "Study",
     "StudyOptions",
     "StudyResult",
@@ -90,12 +100,14 @@ __all__ = [
     "Unreliability",
     "UnreliabilityBounds",
     "__version__",
+    "apply_design",
     "ctmc",
     "detect_nondeterminism",
     "dft",
     "errors",
     "evaluate",
     "ioimc",
+    "optimize",
     "substitute_parameters",
     "run_sweep",
     "sweep",

@@ -26,6 +26,12 @@ and report reliability measures.  Sub-commands:
     ``--output-jsonl FILE`` streams one ``repro.batch/2`` record per tree to
     disk instead of materialising the rows (``--chunk-size`` tunes the
     chunked scheduling).
+``optimize``
+    Russian-doll branch-and-bound over a discrete design space (spare counts,
+    repair-crew allocation) minimising the mission-time unreliability under a
+    cost budget.  ``PROBLEM`` is a built-in seeded scenario (``cas``, ``cps``)
+    or a JSON spec; ``--exhaustive`` disables pruning for differential
+    checks.  ``--json`` emits schema ``repro.optimize/1``.
 ``serve``
     Run the analysis service: a stdlib HTTP server (``POST /analyze``,
     ``/sweep``, ``/batch``; ``GET /healthz``, ``/metrics``) backed by a
@@ -51,6 +57,7 @@ from __future__ import annotations
 import argparse
 import glob
 import json
+import os
 import sys
 from typing import Iterable, List, Optional, Tuple
 
@@ -448,6 +455,135 @@ def _run_batch_streaming(args: argparse.Namespace, batch: BatchStudy) -> int:
     return 0 if result.num_failed == 0 and counters["measure_failures"] == 0 else 1
 
 
+def _load_design_problem(args: argparse.Namespace):
+    """The DesignProblem named by ``repro optimize PROBLEM``.
+
+    ``PROBLEM`` is either a built-in seeded scenario (``cas``, ``cps``) or a
+    path to a JSON spec ``{"tree": "model.dft", "budget": ..., "choices":
+    [...]}`` whose tree path resolves relative to the spec file.
+    """
+    import dataclasses
+
+    from .core.optimize import DesignProblem, RepairChoice, SpareCountChoice
+
+    if args.problem in ("cas", "cps"):
+        from .systems import cas_spares_scenario, cps_spares_scenario
+
+        factory = cas_spares_scenario if args.problem == "cas" else cps_spares_scenario
+        problem = factory()
+    else:
+        with open(args.problem, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        tree_path = spec["tree"]
+        if tree_path != "-" and not os.path.isabs(tree_path):
+            tree_path = os.path.join(os.path.dirname(os.path.abspath(args.problem)), tree_path)
+        tree = _load_tree(tree_path)
+        choices = []
+        for entry in spec["choices"]:
+            kind = entry.get("kind")
+            costs = tuple(float(cost) for cost in entry.get("costs", ()))
+            if kind == "spares":
+                gate = entry.get("gates", entry.get("gate"))
+                if isinstance(gate, list):
+                    gate = tuple(gate)
+                choices.append(
+                    SpareCountChoice(
+                        gate,
+                        counts=tuple(int(c) for c in entry["counts"]),
+                        costs=costs or None,
+                    )
+                )
+            elif kind == "repair":
+                choices.append(
+                    RepairChoice(
+                        entry["event"],
+                        rates=tuple(
+                            None if rate is None else float(rate)
+                            for rate in entry["rates"]
+                        ),
+                        costs=costs or None,
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown design choice kind {kind!r}; expected 'spares' or 'repair'"
+                )
+        problem = DesignProblem(
+            tree=tree,
+            choices=tuple(choices),
+            mission_time=float(spec.get("mission_time", 1.0)),
+            budget=spec.get("budget"),
+        )
+    overrides = {}
+    if getattr(args, "time", None) is not None:
+        overrides["mission_time"] = args.time
+    if getattr(args, "budget", None) is not None:
+        overrides["budget"] = args.budget
+    if overrides:
+        problem = dataclasses.replace(problem, **overrides)
+    return problem
+
+
+def command_optimize(args: argparse.Namespace) -> int:
+    from .core.optimize import monotonicity_warnings, optimize
+
+    problem = _load_design_problem(args)
+    warnings = monotonicity_warnings(problem)
+    result = optimize(
+        problem,
+        options=_analysis_options(args),
+        skeleton_cache=_open_skeleton_cache(args),
+        exhaustive=args.exhaustive,
+        tolerance=args.tolerance,
+    )
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(f"Fault tree : {problem.tree.summary()}")
+    space = problem.space_size
+    budget = "unconstrained" if problem.budget is None else f"budget {problem.budget:g}"
+    print(
+        f"Design space: {len(problem.choices)} choices, {space} designs "
+        f"({result.leaves_feasible} feasible, {budget})"
+    )
+    print(result.summary())
+    for choice in result.best_design:
+        print(f"  {choice.name} = {choice.option} (cost {choice.cost:g})")
+    if result.nondeterministic:
+        print(
+            f"Worst-case bounds: [{result.best_lower:.6f}, {result.best_upper:.6f}]"
+        )
+    for table in result.module_tables:
+        print(
+            f"Module table {table.module}: {table.records} records over "
+            f"({', '.join(table.choices)}), best unreliability "
+            f"{table.best_upper:.6f} at cost {table.best_cost:g}"
+        )
+    if not result.exhaustive:
+        print(
+            f"Pruning    : {result.pruned_by_cost} by cost, "
+            f"{result.pruned_by_table} by module table, "
+            f"{result.pruned_by_envelope} by bound envelope "
+            f"({result.bound_evaluations} bound evaluations)"
+        )
+    for choice in result.scheduler:
+        print(
+            f"Scheduler  : state {choice.state} -> {choice.successor} "
+            f"(agreement {choice.agreement:.0%})"
+        )
+    cache = result.cache
+    print(
+        f"Evaluations: {cache.get('builds', 0)} skeletons built, "
+        f"{cache.get('hits', 0)} cache hits; "
+        f"tables {result.timings.get('tables', 0.0):.3f}s, "
+        f"search {result.timings.get('search', 0.0):.3f}s, "
+        f"total {result.timings.get('total', 0.0):.3f}s"
+    )
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
 def command_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
@@ -739,6 +875,51 @@ def build_parser() -> argparse.ArgumentParser:
     add_skeleton_cache(sweep)
     add_common(sweep)
     sweep.set_defaults(handler=command_sweep)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="branch-and-bound design-space optimisation under a cost budget",
+    )
+    optimize.add_argument(
+        "problem",
+        help="built-in seeded scenario ('cas', 'cps') or path to a JSON "
+        "design-problem spec {\"tree\": \"model.dft\", \"budget\": ..., "
+        "\"choices\": [{\"kind\": \"spares\"|\"repair\", ...}, ...]}",
+    )
+    optimize.add_argument(
+        "--time",
+        type=float,
+        default=None,
+        help="mission time of the unreliability objective "
+        "(default: the problem's own mission time)",
+    )
+    optimize.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="override the problem's cost budget",
+    )
+    optimize.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="evaluate every feasible design instead of pruning "
+        "(differential reference for the branch-and-bound)",
+    )
+    optimize.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-12,
+        help="truncation tolerance of the uniformisation series (default: 1e-12)",
+    )
+    optimize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured result as JSON instead of text "
+        "(schema repro.optimize/1)",
+    )
+    add_skeleton_cache(optimize)
+    add_common(optimize)
+    optimize.set_defaults(handler=command_optimize)
 
     batch = subparsers.add_parser(
         "batch", help="analyse a corpus of .dft files (globs allowed)"

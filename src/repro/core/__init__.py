@@ -43,14 +43,27 @@ from .measures import (
     Unavailability,
     Unreliability,
     UnreliabilityBounds,
+    objective_measure,
 )
 from .nondeterminism import NondeterminismReport, detect_nondeterminism
+from .optimize import (
+    DesignProblem,
+    RepairChoice,
+    SpareCountChoice,
+    apply_design,
+    monotonicity_warnings,
+    optimize,
+)
 from .planning import AggregationPlan, PlanNode, SharedActionIndex, build_plan
 from .results import (
     BatchResult,
     BatchRow,
     MeasureResult,
     ModelInfo,
+    ModuleTableInfo,
+    OptimizeChoice,
+    OptimizeResult,
+    SchedulerChoice,
     StudyResult,
     SweepResult,
     SweepRow,
@@ -85,28 +98,39 @@ __all__ = [
     "CompositionalAggregator",
     "CompositionalAnalyzer",
     "ConversionOptions",
+    "DesignProblem",
     "DftToIoimcConverter",
     "ImportanceRanking",
     "MTTF",
     "Measure",
     "MeasureResult",
     "ModelInfo",
+    "ModuleTableInfo",
     "NondeterminismReport",
+    "OptimizeChoice",
+    "OptimizeResult",
     "PlanNode",
     "Query",
+    "RepairChoice",
+    "SchedulerChoice",
     "SharedActionIndex",
+    "SpareCountChoice",
     "Study",
     "StudyOptions",
     "StudyResult",
     "Unavailability",
     "Unreliability",
     "UnreliabilityBounds",
+    "apply_design",
     "build_plan",
     "compositional_aggregate",
     "convert",
     "detect_nondeterminism",
     "evaluate",
     "evaluate_query_on_model",
+    "monotonicity_warnings",
+    "objective_measure",
+    "optimize",
     "with_rate_parameters",
     "run_sweep",
     "sweep",

@@ -145,6 +145,20 @@ class ImportanceRanking(_TimedMeasure):
         return payload
 
 
+def objective_measure(nondeterministic: bool, times: TimesLike) -> Measure:
+    """The measure a design-space objective should request at ``times``.
+
+    A deterministic (CTMC) candidate design is scored by its plain
+    unreliability curve; a candidate whose aggregated model keeps
+    non-determinism is scored by its worst-case bound, so the optimiser
+    (:mod:`repro.core.optimize`) compares every design by the same
+    pessimistic yardstick.
+    """
+    if nondeterministic:
+        return UnreliabilityBounds(times)
+    return Unreliability(times)
+
+
 @dataclass(frozen=True)
 class MTTF(Measure):
     """Mean time to failure (expected time until the system first fails)."""

@@ -39,6 +39,10 @@ BATCH_ROW_SCHEMA = "repro.batch/2"
 #: ``gradients`` payload (∂measure/∂parameter curves) of gradient-enabled
 #: sweeps; rows without gradients are unchanged from ``repro.sweep/2``.
 SWEEP_SCHEMA = "repro.sweep/3"
+#: Design-space optimisation report of :func:`repro.core.optimize.optimize`:
+#: the winning design, its unreliability bounds, Russian-doll module tables,
+#: pruning statistics and (for CTMDP designs) the extracted argbest scheduler.
+OPTIMIZE_SCHEMA = "repro.optimize/1"
 
 
 @dataclass(frozen=True)
@@ -626,3 +630,246 @@ class SweepResult:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# design-space optimisation results (repro.optimize/1)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OptimizeChoice:
+    """One design choice's selected option in the winning design."""
+
+    name: str
+    option_index: int
+    option: str
+    cost: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "option_index": self.option_index,
+            "option": self.option,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "OptimizeChoice":
+        return cls(
+            name=str(payload["name"]),
+            option_index=int(payload["option_index"]),  # type: ignore[arg-type]
+            option=str(payload["option"]),
+            cost=float(payload["cost"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class ModuleTableInfo:
+    """Summary of one Russian-doll module table (innermost-first records)."""
+
+    module: str
+    choices: Tuple[str, ...]
+    records: int
+    best_lower: float
+    best_upper: float
+    best_cost: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module,
+            "choices": list(self.choices),
+            "records": self.records,
+            "best_lower": self.best_lower,
+            "best_upper": self.best_upper,
+            "best_cost": self.best_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleTableInfo":
+        return cls(
+            module=str(payload["module"]),
+            choices=tuple(str(name) for name in payload["choices"]),  # type: ignore[union-attr]
+            records=int(payload["records"]),  # type: ignore[arg-type]
+            best_lower=float(payload["best_lower"]),  # type: ignore[arg-type]
+            best_upper=float(payload["best_upper"]),  # type: ignore[arg-type]
+            best_cost=float(payload["best_cost"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerChoice:
+    """One contested CTMDP state's argbest pick in a reported bound.
+
+    ``agreement`` is the fraction of backward-sweep steps whose argbest
+    matched the reported (deepest-iterate) ``successor``; 1.0 means the
+    scheduler is time-abstract for this state.
+    """
+
+    state: int
+    successor: int
+    agreement: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "successor": self.successor,
+            "agreement": self.agreement,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SchedulerChoice":
+        return cls(
+            state=int(payload["state"]),  # type: ignore[arg-type]
+            successor=int(payload["successor"]),  # type: ignore[arg-type]
+            agreement=float(payload["agreement"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Everything one design-space optimisation computed."""
+
+    tree_name: str
+    mission_time: float
+    budget: Optional[float]
+    exhaustive: bool
+    best_design: Tuple[OptimizeChoice, ...]
+    #: The objective of the winner: its worst-case unreliability at the
+    #: mission time (== ``best_upper``; equals ``best_lower`` for CTMCs).
+    best_value: float
+    best_lower: float
+    best_upper: float
+    best_cost: float
+    nondeterministic: bool
+    #: Exact within-budget assignment count (None when the raw space is too
+    #: large to count), the denominator of :attr:`pruning_ratio`.
+    leaves_feasible: Optional[int]
+    leaves_evaluated: int
+    bound_evaluations: int
+    pruned_by_cost: int
+    pruned_by_table: int
+    pruned_by_envelope: int
+    module_tables: Tuple[ModuleTableInfo, ...] = ()
+    #: Argbest scheduler of the winner's worst-case bound (CTMDP winners).
+    scheduler: Tuple[SchedulerChoice, ...] = ()
+    #: Argbest scheduler of the root pruning bound (the all-optimistic
+    #: completion's lower envelope), when that completion is a CTMDP.
+    pruning_scheduler: Tuple[SchedulerChoice, ...] = ()
+    warnings: Tuple[str, ...] = ()
+    cache: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pruning_ratio(self) -> Optional[float]:
+        """Evaluated leaves / feasible leaves (None if the count is unknown)."""
+        if not self.leaves_feasible:
+            return None
+        return self.leaves_evaluated / self.leaves_feasible
+
+    def summary(self) -> str:
+        design = ", ".join(
+            f"{choice.name}={choice.option}" for choice in self.best_design
+        )
+        ratio = self.pruning_ratio
+        pruning = (
+            "exhaustive"
+            if self.exhaustive
+            else f"{self.leaves_evaluated}/{self.leaves_feasible} leaves"
+            + (f" ({ratio:.0%})" if ratio is not None else "")
+        )
+        return (
+            f"best design [{design}] cost {self.best_cost:g}: "
+            f"unreliability(t={self.mission_time:g}) = {self.best_value:.6f}; "
+            f"{pruning}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": OPTIMIZE_SCHEMA,
+            "tree": self.tree_name,
+            "mission_time": self.mission_time,
+            "budget": self.budget,
+            "exhaustive": self.exhaustive,
+            "best": {
+                "design": [choice.to_dict() for choice in self.best_design],
+                "value": self.best_value,
+                "lower": self.best_lower,
+                "upper": self.best_upper,
+                "cost": self.best_cost,
+                "nondeterministic": self.nondeterministic,
+            },
+            "search": {
+                "leaves_feasible": self.leaves_feasible,
+                "leaves_evaluated": self.leaves_evaluated,
+                "bound_evaluations": self.bound_evaluations,
+                "pruned_by_cost": self.pruned_by_cost,
+                "pruned_by_table": self.pruned_by_table,
+                "pruned_by_envelope": self.pruned_by_envelope,
+                "pruning_ratio": self.pruning_ratio,
+            },
+            "module_tables": [table.to_dict() for table in self.module_tables],
+            "scheduler": [choice.to_dict() for choice in self.scheduler],
+            "pruning_scheduler": [
+                choice.to_dict() for choice in self.pruning_scheduler
+            ],
+            "warnings": list(self.warnings),
+            "cache": dict(self.cache),
+            "timings": dict(self.timings),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "OptimizeResult":
+        schema = payload.get("schema")
+        if schema != OPTIMIZE_SCHEMA:
+            raise AnalysisError(
+                f"unsupported optimize schema {schema!r}; "
+                f"expected {OPTIMIZE_SCHEMA!r}"
+            )
+        best = payload["best"]
+        search = payload["search"]
+        raw_budget = payload.get("budget")
+        raw_feasible = search.get("leaves_feasible")  # type: ignore[union-attr]
+        return cls(
+            tree_name=str(payload["tree"]),
+            mission_time=float(payload["mission_time"]),  # type: ignore[arg-type]
+            budget=None if raw_budget is None else float(raw_budget),  # type: ignore[arg-type]
+            exhaustive=bool(payload["exhaustive"]),
+            best_design=tuple(
+                OptimizeChoice.from_dict(entry) for entry in best["design"]  # type: ignore[index]
+            ),
+            best_value=float(best["value"]),  # type: ignore[index]
+            best_lower=float(best["lower"]),  # type: ignore[index]
+            best_upper=float(best["upper"]),  # type: ignore[index]
+            best_cost=float(best["cost"]),  # type: ignore[index]
+            nondeterministic=bool(best["nondeterministic"]),  # type: ignore[index]
+            leaves_feasible=None if raw_feasible is None else int(raw_feasible),
+            leaves_evaluated=int(search["leaves_evaluated"]),  # type: ignore[index]
+            bound_evaluations=int(search["bound_evaluations"]),  # type: ignore[index]
+            pruned_by_cost=int(search["pruned_by_cost"]),  # type: ignore[index]
+            pruned_by_table=int(search["pruned_by_table"]),  # type: ignore[index]
+            pruned_by_envelope=int(search["pruned_by_envelope"]),  # type: ignore[index]
+            module_tables=tuple(
+                ModuleTableInfo.from_dict(entry)
+                for entry in payload.get("module_tables", [])  # type: ignore[union-attr]
+            ),
+            scheduler=tuple(
+                SchedulerChoice.from_dict(entry)
+                for entry in payload.get("scheduler", [])  # type: ignore[union-attr]
+            ),
+            pruning_scheduler=tuple(
+                SchedulerChoice.from_dict(entry)
+                for entry in payload.get("pruning_scheduler", [])  # type: ignore[union-attr]
+            ),
+            warnings=tuple(str(entry) for entry in payload.get("warnings", [])),  # type: ignore[union-attr]
+            cache={
+                str(key): int(value)  # type: ignore[arg-type]
+                for key, value in payload.get("cache", {}).items()  # type: ignore[union-attr]
+            },
+            timings={
+                str(key): float(value)  # type: ignore[arg-type]
+                for key, value in payload.get("timings", {}).items()  # type: ignore[union-attr]
+            },
+        )

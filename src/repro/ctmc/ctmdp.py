@@ -166,18 +166,22 @@ class VanishingResolver:
         values: np.ndarray,
         maximize: bool,
         companion: Optional[np.ndarray] = None,
+        choice_out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Overwrite vanishing states with their optimal successor value.
 
         ``values`` is mutated in place (and returned).  ``companion`` is an
         optional ``(num_states, k)`` array whose rows follow the same
         successor selection — the CTMDP kernel's gradient block rides along
-        through it.
+        through it.  ``choice_out`` is an optional ``(num_states,)`` integer
+        array that receives, for every vanishing state, the first successor
+        attaining the optimum — the per-state argbest the scheduler
+        extraction records.
         """
         for entry in self._plan:
             if entry[0] == "wave":
                 _tag, states, targets, offsets, counts, scalar = entry
-                if scalar is not None and companion is None:
+                if scalar is not None and companion is None and choice_out is None:
                     best_of = max if maximize else min
                     for state, successors in scalar:
                         values[state] = best_of(values[t] for t in successors)
@@ -185,7 +189,7 @@ class VanishingResolver:
                 picked = values[targets]
                 reducer = np.maximum if maximize else np.minimum
                 best = reducer.reduceat(picked, offsets)
-                if companion is not None:
+                if companion is not None or choice_out is not None:
                     # First successor attaining the optimum, per segment.
                     matches = np.where(
                         picked == np.repeat(best, counts),
@@ -193,10 +197,13 @@ class VanishingResolver:
                         len(targets),
                     )
                     chosen = targets[np.minimum.reduceat(matches, offsets)]
-                    companion[states] = companion[chosen]
+                    if companion is not None:
+                        companion[states] = companion[chosen]
+                    if choice_out is not None:
+                        choice_out[states] = chosen
                 values[states] = best
             else:
-                self._resolve_cycle(values, maximize, entry[1], companion)
+                self._resolve_cycle(values, maximize, entry[1], companion, choice_out)
         return values
 
     @staticmethod
@@ -205,6 +212,7 @@ class VanishingResolver:
         maximize: bool,
         members: Tuple[Tuple[int, Tuple[int, ...]], ...],
         companion: Optional[np.ndarray],
+        choice_out: Optional[np.ndarray] = None,
     ) -> None:
         best_of = max if maximize else min
         for _round in range(len(members) + 1):
@@ -221,7 +229,7 @@ class VanishingResolver:
                 "vanishing states do not stabilise: the model contains a cycle of "
                 "instantaneous internal moves"
             )
-        if companion is not None:
+        if companion is not None or choice_out is not None:
             # Follow the converged selection; rows need as many hops to settle
             # as the cycle's diameter, hence the same round cap.
             for _round in range(len(members) + 1):
@@ -231,7 +239,10 @@ class VanishingResolver:
                         if values[target] == values[state]:
                             chosen = target
                             break
-                    companion[state] = companion[chosen]
+                    if companion is not None:
+                        companion[state] = companion[chosen]
+                    if choice_out is not None:
+                        choice_out[state] = chosen
 
 
 class CTMDP:
@@ -496,6 +507,25 @@ class CTMDP:
             label, [time], maximize=maximize, tolerance=tolerance
         )
         return float(curve[0])
+
+    def optimal_scheduler(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+    ) -> Dict[int, Tuple[int, float]]:
+        """Which successor each contested choice state picks in the bound.
+
+        Delegates to :meth:`repro.ctmc.kernel.CtmdpKernel.optimal_choices`:
+        for every vanishing state with more than one successor, the successor
+        the backward sweep's argbest selects at the deepest iterate, together
+        with the fraction of sweep steps that agreed with it (1.0 means the
+        same choice at every step — a time-abstract scheduler).
+        """
+        return self._kernel().optimal_choices(
+            label, times, maximize=maximize, tolerance=tolerance
+        )
 
     def reachability_bounds_curve(
         self, label: str, times: Sequence[float], tolerance: float = 1e-10

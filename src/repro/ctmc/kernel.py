@@ -724,6 +724,77 @@ class CtmdpKernel:
         )
         return lower, upper
 
+    def optimal_choices(
+        self,
+        label: str,
+        times: Sequence[float],
+        maximize: bool = True,
+        tolerance: float = 1e-10,
+    ) -> Dict[int, Tuple[int, float]]:
+        """The scheduler behind the bound: per-state argbest of the sweep.
+
+        Re-runs the backward value iteration of
+        :meth:`time_bounded_reachability_curve` with the resolver recording,
+        at every step, which successor each contested vanishing state (more
+        than one choice) picks.  Returns ``{state: (chosen, agreement)}``
+        where ``chosen`` is the successor selected at the deepest iterate —
+        the long-horizon decision the reported bound actually takes — and
+        ``agreement`` is the fraction of sweep steps whose argbest matched
+        it, a stability indicator across the time horizon (1.0 = the same
+        choice at every step, i.e. a genuinely time-abstract scheduler).
+        """
+        if not self._loaded:
+            raise AnalysisError(
+                "the CTMDP kernel has no sample loaded; call load() first"
+            )
+        times_list = validate_times(times)
+        choices = self.skeleton.choices
+        contested = [
+            state
+            for state in range(self.skeleton.num_states)
+            if len(choices[state]) > 1
+        ]
+        if not contested or not times_list:
+            return {}
+        goal = self.goal_indices(label)
+        if not len(goal):
+            return {}
+        values = np.zeros(self.skeleton.num_states)
+        values[goal] = 1.0
+        choice_now = np.full(self.skeleton.num_states, -1, dtype=np.int64)
+        self.resolver.resolve(values, maximize, choice_out=choice_now)
+        counts: Dict[int, Dict[int, int]] = {state: {} for state in contested}
+
+        def record() -> None:
+            for state in contested:
+                picked = int(choice_now[state])
+                counts[state][picked] = counts[state].get(picked, 0) + 1
+
+        record()
+        steps = 1
+        if len(self.buffer._sources):
+            buffer = self.buffer
+            rate = buffer.uniformisation_rate
+            terms = [self.term_cache.get(rate * time, tolerance) for time in times_list]
+            depth = max(len(array) for array in terms)
+            update = self.update_indices(label)
+            current = self._work_a
+            current[:] = values
+            workspace = self._work_b
+            for _step in range(depth - 1):
+                nxt = buffer.step_forward(current, workspace)
+                current[update] = nxt[update]
+                self.resolver.resolve(current, maximize, choice_out=choice_now)
+                record()
+                steps += 1
+        return {
+            state: (
+                int(choice_now[state]),
+                counts[state][int(choice_now[state])] / steps,
+            )
+            for state in contested
+        }
+
     def _sweep(
         self,
         label: str,

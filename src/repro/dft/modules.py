@@ -121,6 +121,31 @@ def independent_modules(tree: DynamicFaultTree) -> Tuple[str, ...]:
     return tuple(modules)
 
 
+def module_subtree(tree: DynamicFaultTree, root: str) -> DynamicFaultTree:
+    """A standalone fault tree containing exactly the module rooted at ``root``.
+
+    The new tree carries the module's members (in the original insertion
+    order, so canonical hashing stays stable across extractions), declares
+    every parameter a member basic event references, and sets ``root`` as its
+    top event.  Only meaningful for an independent module — for any other
+    root the members may reference elements outside the returned tree and
+    ``validate()`` will say so.
+    """
+    members = module_members(tree, root)
+    subtree = DynamicFaultTree(name=f"{tree.name}.{root}", top=None)
+    for name in tree.names():
+        if name not in members:
+            continue
+        element = tree.element(name)
+        if isinstance(element, BasicEvent):
+            for param in (element.failure_rate_param, element.repair_rate_param):
+                if param is not None and param not in subtree.parameters:
+                    subtree.declare_parameter(param, tree.parameter(param))
+        subtree.add(element)
+    subtree.set_top(root)
+    return subtree
+
+
 @dataclass(frozen=True)
 class Module:
     """A module as used by the DIFTree-style analysis."""

@@ -78,6 +78,10 @@ COMPRESSION_LEVEL = 1
 _HEADER_SIZE = len(MAGIC) + 4 + 32
 #: File suffix of cache entries.
 ENTRY_SUFFIX = ".skel"
+#: Temp files (``.tmp-*``) older than this are considered orphans of a
+#: crashed writer and reclaimed on the next store; younger ones may belong
+#: to a live concurrent writer and are left alone.
+TEMP_GRACE_SECONDS = 3600.0
 
 
 def _options_fingerprint(options: Optional[StudyOptions]) -> str:
@@ -222,6 +226,8 @@ class SkeletonStore:
         self.stores = 0
         self.evictions = 0
         self.corrupt_evictions = 0
+        self.temp_reclaimed = 0
+        self._utime_warned = False
 
     # ------------------------------------------------------------------ paths
     def path_of(self, key: str) -> Path:
@@ -253,8 +259,20 @@ class SkeletonStore:
             return None
         try:
             os.utime(path)  # LRU touch
-        except OSError:
-            pass
+        except OSError as error:
+            # A read-only or shared (NFS) store cannot take the LRU touch;
+            # the entry itself is perfectly good, so serve it anyway and say
+            # so once per store object instead of failing (or staying silent
+            # about degraded LRU ordering) on every hit.
+            if not self._utime_warned:
+                self._utime_warned = True
+                LOGGER.warning(
+                    "skeleton cache: cannot touch %s for LRU ordering (%s); "
+                    "entries are served anyway but eviction order degrades to "
+                    "write time",
+                    path,
+                    error,
+                )
         self.hits += 1
         return entry
 
@@ -339,8 +357,41 @@ class SkeletonStore:
                 pass
             raise
         self.stores += 1
+        self._reclaim_stale_temps()
         self._enforce_cap(keep=path)
         return path
+
+    def _reclaim_stale_temps(self, now: Optional[float] = None) -> int:
+        """Unlink orphaned ``.tmp-*`` files left behind by crashed writers.
+
+        A writer that dies between ``mkstemp`` and ``os.replace`` leaks its
+        temp file forever: the dot prefix hides it from ``_entries_on_disk``,
+        so neither the byte cap nor ``clear`` ever touches it.  Temp files
+        younger than :data:`TEMP_GRACE_SECONDS` may belong to a *live*
+        concurrent writer and are left alone; older ones are reclaimed.
+        """
+        if now is None:
+            now = _time.time()
+        reclaimed = 0
+        for path in self.root.glob(f".tmp-*{ENTRY_SUFFIX}"):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age < TEMP_GRACE_SECONDS:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            reclaimed += 1
+            LOGGER.warning(
+                "skeleton cache: reclaimed stale temp file %s (%.0fs old)",
+                path,
+                age,
+            )
+        self.temp_reclaimed += reclaimed
+        return reclaimed
 
     def _enforce_cap(self, keep: Optional[Path] = None) -> None:
         if self.max_bytes is None:
@@ -498,4 +549,5 @@ class SkeletonStore:
             "stores": self.stores,
             "evictions": self.evictions,
             "corrupt_evictions": self.corrupt_evictions,
+            "temp_reclaimed": self.temp_reclaimed,
         }

@@ -22,6 +22,7 @@ from .generators import (
 )
 from .mutex import inhibition_pair, mutex_switch_bank, mutually_exclusive_switch
 from .nondeterminism import pand_race_bank, pand_race_system, shared_spare_race_system
+from .optimization import cas_spares_scenario, cps_spares_scenario
 from .repairable import repairable_and_system, repairable_plant, repairable_voting_system
 
 __all__ = [
@@ -37,8 +38,10 @@ __all__ = [
     "and_of_or_family",
     "and_spare_system",
     "cardiac_assist_system",
+    "cas_spares_scenario",
     "cascaded_pand_family",
     "cascaded_pand_system",
+    "cps_spares_scenario",
     "fdep_cascade_family",
     "fdep_gate_trigger_system",
     "figure2_models",

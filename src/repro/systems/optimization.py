@@ -1,0 +1,139 @@
+"""Seeded design-space optimisation scenarios on the paper's case studies.
+
+These are the benchmark/test instances of :mod:`repro.core.optimize`: each
+scenario extends a case-study tree with *candidate* redundancy (extra spare
+events listed by the spare gates) and bundles it with the discrete choices, a
+cost model and a maintenance budget into a
+:class:`~repro.core.optimize.DesignProblem`.
+
+The choices are deliberately placed where improvement is reliability-monotone
+for the system — spare gates and repair crews feeding OR/AND contexts, or the
+*first* input of a PAND — so the Russian-doll pruning bounds are sound
+(:func:`~repro.core.optimize.monotonicity_warnings` stays empty on both
+scenarios and the property suite pins pruned == exhaustive).  Repair choices
+additionally respect the conversion layer's Section-7.2 limitation: a
+repairable event may only feed static gates, so the CAS scenario houses them
+in a static monitoring unit rather than under the spare/PAND units.
+"""
+
+from __future__ import annotations
+
+from ..core.optimize import DesignProblem, RepairChoice, SpareCountChoice
+from ..dft.builder import FaultTreeBuilder
+from .cas import CAS_RATES
+
+
+def cas_spares_scenario(
+    budget: float = 3.0, mission_time: float = 1.0
+) -> DesignProblem:
+    """Spares-and-maintenance allocation on the cardiac assist system.
+
+    The CAS of Figure 7 with candidate redundancy added to every unit, plus a
+    fourth (static) monitoring unit whose failure also brings the system
+    down:
+
+    * a second warm spare CPU ``B2`` (not wired to the common-cause FDEP —
+      a premium isolated spare),
+    * a second cold spare motor ``MB2``,
+    * up to two extra cold pumps ``PS2``/``PS3`` in the shared pool,
+    * optional repair crews for the two monitor channels ``M1``/``M2``
+      (an AND under the OR top — the static context the repairable
+      extension supports), with two staffing levels for ``M2`` so the
+      search also allocates the maintenance *rate* budget.
+
+    Each extra spare and each repair-crew staffing step costs 1 unit; the
+    default budget of 3 cannot afford everything (the maximal configuration
+    costs 7), so the optimiser has to trade the units off against each other.
+    """
+    builder = FaultTreeBuilder("cas-spares-scenario")
+
+    builder.basic_event("CS", CAS_RATES["CS"])
+    builder.basic_event("SS", CAS_RATES["SS"])
+    builder.basic_event("P", CAS_RATES["P"])
+    builder.basic_event("B", CAS_RATES["B"], dormancy=0.5)
+    builder.basic_event("B2", CAS_RATES["B"], dormancy=0.5)
+    builder.basic_event("MS", CAS_RATES["MS"])
+    builder.basic_event("MA", CAS_RATES["MA"])
+    builder.basic_event("MB", CAS_RATES["MB"], dormancy=0.0)
+    builder.basic_event("MB2", CAS_RATES["MB"], dormancy=0.0)
+    builder.basic_event("PA", CAS_RATES["PA"])
+    builder.basic_event("PB", CAS_RATES["PB"])
+    builder.basic_event("PS", CAS_RATES["PS"], dormancy=0.0)
+    builder.basic_event("PS2", CAS_RATES["PS"], dormancy=0.0)
+    builder.basic_event("PS3", CAS_RATES["PS"], dormancy=0.0)
+    builder.basic_event("M1", 0.8)
+    builder.basic_event("M2", 0.8)
+
+    builder.or_gate("Trigger", ["CS", "SS"])
+    builder.spare_gate("CPU_unit", primary="P", spares=["B", "B2"])
+    builder.fdep("CPU_fdep", trigger="Trigger", dependents=["P", "B"])
+
+    builder.pand_gate("Switch", ["MS", "MA"])
+    builder.spare_gate("Motors", primary="MA", spares=["MB", "MB2"])
+    builder.or_gate("Motor_unit", ["Switch", "Motors"])
+
+    builder.spare_gate("Pump_A", primary="PA", spares=["PS", "PS2", "PS3"])
+    builder.spare_gate("Pump_B", primary="PB", spares=["PS", "PS2", "PS3"])
+    builder.and_gate("Pump_unit", ["Pump_A", "Pump_B"])
+
+    builder.and_gate("Monitor_unit", ["M1", "M2"])
+
+    builder.or_gate(
+        "system", ["CPU_unit", "Motor_unit", "Pump_unit", "Monitor_unit"]
+    )
+    tree = builder.build(top="system")
+
+    return DesignProblem(
+        tree=tree,
+        choices=(
+            SpareCountChoice("CPU_unit", counts=(1, 2), costs=(0.0, 1.0)),
+            SpareCountChoice("Motors", counts=(1, 2), costs=(0.0, 1.0)),
+            SpareCountChoice(
+                ("Pump_A", "Pump_B"), counts=(1, 2, 3), costs=(0.0, 1.0, 2.0)
+            ),
+            RepairChoice("M1", rates=(None, 2.0), costs=(0.0, 1.0)),
+            RepairChoice("M2", rates=(None, 2.0, 8.0), costs=(0.0, 1.0, 2.0)),
+        ),
+        mission_time=mission_time,
+        budget=budget,
+    )
+
+
+def cps_spares_scenario(
+    budget: float = 1.0, mission_time: float = 1.0
+) -> DesignProblem:
+    """Nested sparing inside module A of the cascaded PAND system.
+
+    The CPS of Figure 8 with module ``A`` upgraded: its first and fourth
+    events become spare gates with candidate cold spares.  All choices live
+    inside ``A`` — the *first* input of the top PAND, the one placement
+    where improvement is always monotone-safe — and both spare gates are
+    independent modules nested inside module ``A``, so the Russian-doll
+    table phase records three nested subproblems.  The default budget of 1
+    affords exactly one of the two extra spares.
+    """
+    builder = FaultTreeBuilder("cps-spares-scenario")
+    for module in ("A", "C", "D"):
+        names = [f"{module}{i}" for i in range(1, 5)]
+        builder.basic_events(names, failure_rate=1.0)
+        if module == "A":
+            for spare in ("A5", "A6", "A7", "A8"):
+                builder.basic_event(spare, 1.0, dormancy=0.0)
+            builder.spare_gate("Spare_A1", primary="A1", spares=["A5", "A6"])
+            builder.spare_gate("Spare_A4", primary="A4", spares=["A7", "A8"])
+            builder.and_gate("A", ["Spare_A1", "A2", "A3", "Spare_A4"])
+        else:
+            builder.and_gate(module, names)
+    builder.pand_gate("B", ["C", "D"])
+    builder.pand_gate("system", ["A", "B"])
+    tree = builder.build(top="system")
+
+    return DesignProblem(
+        tree=tree,
+        choices=(
+            SpareCountChoice("Spare_A1", counts=(1, 2), costs=(0.0, 1.0)),
+            SpareCountChoice("Spare_A4", counts=(1, 2), costs=(0.0, 1.0)),
+        ),
+        mission_time=mission_time,
+        budget=budget,
+    )

@@ -1,0 +1,372 @@
+"""Tests for the Russian-doll design-space optimiser (`repro.core.optimize`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.measures import UnreliabilityBounds
+from repro.core.optimize import (
+    DesignProblem,
+    RepairChoice,
+    SpareCountChoice,
+    apply_design,
+    monotonicity_warnings,
+    optimize,
+)
+from repro.core.results import OPTIMIZE_SCHEMA, OptimizeResult
+from repro.core.study import Study
+from repro.dft.builder import FaultTreeBuilder
+from repro.dft.hashing import structural_hash
+from repro.errors import AnalysisError
+from repro.service.store import SkeletonStore
+from repro.systems import cas_spares_scenario, cps_spares_scenario
+
+TOLERANCE = 1e-12
+
+
+def small_tree():
+    """OR of a spare unit (2 candidate spares) and a repairable AND unit."""
+    builder = FaultTreeBuilder("small-design")
+    builder.basic_event("P1", 1.0)
+    builder.basic_event("S1", 1.0, dormancy=0.0)
+    builder.basic_event("S2", 1.0, dormancy=0.0)
+    builder.basic_event("E1", 0.5)
+    builder.basic_event("E2", 0.5)
+    builder.spare_gate("U1", primary="P1", spares=["S1", "S2"])
+    builder.and_gate("U2", ["E1", "E2"])
+    builder.or_gate("sys", ["U1", "U2"])
+    return builder.build(top="sys")
+
+
+def small_problem(budget=1.0):
+    return DesignProblem(
+        tree=small_tree(),
+        choices=(
+            SpareCountChoice("U1", counts=(1, 2), costs=(0.0, 1.0)),
+            RepairChoice("E1", rates=(None, 2.0), costs=(0.0, 1.0)),
+        ),
+        mission_time=1.0,
+        budget=budget,
+    )
+
+
+def brute_force(problem):
+    """(best_upper, best_assignment) by direct evaluation of every design."""
+    best_value, best_assignment = None, None
+    counts = [choice.num_options for choice in problem.choices]
+    assignment = [0] * len(counts)
+    while True:
+        cost = problem.assignment_cost(assignment)
+        if problem.budget is None or cost <= problem.budget + 1e-9:
+            tree = apply_design(problem, assignment)
+            result = Study(tree).evaluate(
+                UnreliabilityBounds([problem.mission_time])
+            )
+            upper = result.measures[0].upper[0]
+            if best_value is None or upper < best_value:
+                best_value = upper
+                best_assignment = tuple(assignment)
+        for slot in range(len(counts) - 1, -1, -1):
+            assignment[slot] += 1
+            if assignment[slot] < counts[slot]:
+                break
+            assignment[slot] = 0
+        else:
+            return best_value, best_assignment
+
+
+class TestChoiceModel:
+    def test_spare_choice_names_and_costs(self):
+        pool = SpareCountChoice(("G1", "G2"), counts=(1, 3), costs=(0, 2))
+        assert pool.name == "spares:G1+G2"
+        assert pool.gates == ("G1", "G2")
+        assert pool.num_options == 2
+        assert pool.cost(1) == 2.0
+        assert pool.describe(0) == "1 spare"
+        assert pool.describe(1) == "3 spares"
+
+    def test_repair_choice_names_and_costs(self):
+        repair = RepairChoice("E", rates=(None, 1.5), costs=(0, 1))
+        assert repair.name == "repair:E"
+        assert repair.describe(0) == "no repair"
+        assert repair.describe(1) == "repair rate 1.5"
+        assert repair.rates == (None, 1.5)
+
+    def test_choice_validation(self):
+        with pytest.raises(AnalysisError, match="at least one gate"):
+            SpareCountChoice((), counts=(1,), costs=(0,))
+        with pytest.raises(AnalysisError, match="parallel tuples"):
+            SpareCountChoice("G", counts=(1, 2), costs=(0,))
+        with pytest.raises(AnalysisError, match=">= 1 spare"):
+            SpareCountChoice("G", counts=(0, 1), costs=(0, 1))
+        with pytest.raises(AnalysisError, match="parallel tuples"):
+            RepairChoice("E", rates=(), costs=())
+
+
+class TestDesignProblem:
+    def test_space_size_and_cost(self):
+        problem = small_problem()
+        assert problem.space_size == 4
+        assert problem.assignment_cost((1, 1)) == 2.0
+        assert problem.assignment_cost((0, 0)) == 0.0
+
+    def test_validation(self):
+        tree = small_tree()
+        choice = SpareCountChoice("U1", counts=(1, 2), costs=(0, 1))
+        with pytest.raises(AnalysisError, match="at least one choice"):
+            DesignProblem(tree=tree, choices=())
+        with pytest.raises(AnalysisError, match="unknown spare gate"):
+            DesignProblem(
+                tree=tree,
+                choices=(SpareCountChoice("nope", counts=(1,), costs=(0,)),),
+            )
+        with pytest.raises(AnalysisError, match="is not a spare gate"):
+            DesignProblem(
+                tree=tree,
+                choices=(SpareCountChoice("U2", counts=(1,), costs=(0,)),),
+            )
+        with pytest.raises(AnalysisError, match="candidate spares"):
+            DesignProblem(
+                tree=tree,
+                choices=(SpareCountChoice("U1", counts=(1, 3), costs=(0, 1)),),
+            )
+        with pytest.raises(AnalysisError, match="unknown basic event"):
+            DesignProblem(
+                tree=tree,
+                choices=(RepairChoice("nope", rates=(None,), costs=(0,)),),
+            )
+        with pytest.raises(AnalysisError, match="duplicate design choice"):
+            DesignProblem(tree=tree, choices=(choice, choice))
+        with pytest.raises(AnalysisError, match="mission time"):
+            DesignProblem(tree=tree, choices=(choice,), mission_time=0.0)
+
+
+class TestApplyDesign:
+    def test_truncation_garbage_collects_orphans(self):
+        problem = small_problem()
+        tree = apply_design(problem, (0, 0))
+        assert "S2" not in tree  # orphaned by counts[0] == 1
+        assert "S1" in tree
+        full = apply_design(problem, (1, 0))
+        assert "S2" in full
+
+    def test_repair_option_sets_rate(self):
+        problem = small_problem()
+        tree = apply_design(problem, (0, 1))
+        assert tree.element("E1").repair_rate == 2.0
+        assert apply_design(problem, (0, 0)).element("E1").repair_rate is None
+
+    def test_shared_pool_truncates_every_gate(self):
+        problem = cas_spares_scenario()
+        tree = apply_design(problem, (0, 0, 0, 0, 0))
+        assert tree.element("Pump_A").spares == ("PS",)
+        assert tree.element("Pump_B").spares == ("PS",)
+        assert "PS2" not in tree and "PS3" not in tree
+
+    def test_identical_designs_share_a_structural_class(self):
+        problem = small_problem()
+        assert structural_hash(apply_design(problem, (0, 0))) == structural_hash(
+            apply_design(problem, (0, 0))
+        )
+        assert structural_hash(apply_design(problem, (0, 0))) != structural_hash(
+            apply_design(problem, (1, 0))
+        )
+
+    def test_bad_assignments_rejected(self):
+        problem = small_problem()
+        with pytest.raises(AnalysisError, match="2 choices"):
+            apply_design(problem, (0,))
+        with pytest.raises(AnalysisError, match="no option"):
+            apply_design(problem, (5, 0))
+
+
+class TestMonotonicityWarnings:
+    def test_seeded_scenarios_are_clean(self):
+        assert monotonicity_warnings(cas_spares_scenario()) == ()
+        assert monotonicity_warnings(cps_spares_scenario()) == ()
+
+    def test_second_pand_input_choice_warns(self):
+        builder = FaultTreeBuilder("pand-trap")
+        builder.basic_event("X", 1.0)
+        builder.basic_event("P", 1.0)
+        builder.basic_event("S", 1.0, dormancy=0.0)
+        builder.spare_gate("U", primary="P", spares=["S"])
+        builder.pand_gate("sys", ["X", "U"])
+        problem = DesignProblem(
+            tree=builder.build(top="sys"),
+            choices=(SpareCountChoice("U", counts=(1,), costs=(0,)),),
+        )
+        warnings = monotonicity_warnings(problem)
+        assert len(warnings) == 1
+        assert "input 2 of PandGate 'sys'" in warnings[0]
+
+    def test_first_pand_input_choice_is_safe(self):
+        builder = FaultTreeBuilder("pand-safe")
+        builder.basic_event("X", 1.0)
+        builder.basic_event("P", 1.0)
+        builder.basic_event("S", 1.0, dormancy=0.0)
+        builder.spare_gate("U", primary="P", spares=["S"])
+        builder.pand_gate("sys", ["U", "X"])
+        problem = DesignProblem(
+            tree=builder.build(top="sys"),
+            choices=(SpareCountChoice("U", counts=(1,), costs=(0,)),),
+        )
+        assert monotonicity_warnings(problem) == ()
+
+
+class TestOptimizeSmall:
+    def test_matches_brute_force(self):
+        problem = small_problem()
+        expected_value, expected_assignment = brute_force(problem)
+        result = optimize(problem)
+        chosen = tuple(c.option_index for c in result.best_design)
+        assert chosen == expected_assignment
+        assert result.best_value == pytest.approx(expected_value, abs=TOLERANCE)
+        assert result.best_cost <= problem.budget + 1e-9
+        assert not result.nondeterministic
+
+    def test_exhaustive_equals_pruned(self):
+        problem = small_problem()
+        pruned = optimize(problem)
+        exhaustive = optimize(problem, exhaustive=True)
+        assert exhaustive.exhaustive and not pruned.exhaustive
+        assert [c.option_index for c in pruned.best_design] == [
+            c.option_index for c in exhaustive.best_design
+        ]
+        assert abs(pruned.best_value - exhaustive.best_value) <= TOLERANCE
+        assert exhaustive.leaves_evaluated == exhaustive.leaves_feasible == 3
+        assert pruned.leaves_evaluated <= exhaustive.leaves_evaluated
+        assert exhaustive.module_tables == ()  # tables are a pruning device
+
+    def test_module_tables_cover_choice_bearing_modules(self):
+        result = optimize(small_problem())
+        tables = {info.module: info for info in result.module_tables}
+        assert set(tables) == {"U1", "U2"}
+        assert tables["U1"].choices == ("spares:U1",)
+        assert tables["U1"].records == 2
+        assert tables["U2"].choices == ("repair:E1",)
+        assert tables["U1"].best_lower <= tables["U1"].best_upper
+
+    def test_unconstrained_budget_picks_every_upgrade(self):
+        result = optimize(small_problem(budget=None))
+        assert [c.option_index for c in result.best_design] == [1, 1]
+        assert result.leaves_feasible == 4
+        assert result.pruned_by_cost == 0
+
+    def test_infeasible_budget_raises(self):
+        tree = small_tree()
+        problem = DesignProblem(
+            tree=tree,
+            choices=(SpareCountChoice("U1", counts=(1, 2), costs=(5.0, 9.0)),),
+            budget=1.0,
+        )
+        with pytest.raises(AnalysisError, match="no design fits the budget"):
+            optimize(problem)
+
+    def test_structural_dedup_reuses_entries(self):
+        # 3 feasible leaves + bound evaluations, but only a handful of
+        # structural classes: the evaluator must reuse entries rather than
+        # rebuild the pipeline per visit.
+        result = optimize(small_problem())
+        assert result.cache["builds"] <= 6
+        assert result.timings["total"] >= result.timings["search"]
+
+    def test_skeleton_store_round_trip(self, tmp_path):
+        store = SkeletonStore(tmp_path / "cache")
+        problem = small_problem()
+        first = optimize(problem, skeleton_cache=store)
+        second = optimize(problem, skeleton_cache=store)
+        assert second.best_value == first.best_value
+        assert second.cache["builds"] == 0  # everything served from the store
+        assert [c.option_index for c in second.best_design] == [
+            c.option_index for c in first.best_design
+        ]
+
+
+class TestNondeterministicObjective:
+    def test_bounds_objective_and_scheduler(self):
+        # A fixed FDEP/PAND race ORed with the spare unit under choice: the
+        # aggregated model is a CTMDP, the objective is the upper envelope
+        # and the winner carries a worst-case scheduler for the contested
+        # vanishing states.
+        builder = FaultTreeBuilder("race-plus-spares")
+        builder.basic_event("T", 1.0)
+        builder.basic_event("A", 1.0)
+        builder.basic_event("B", 1.0)
+        builder.pand_gate("race", ["A", "B"])
+        builder.fdep("F", trigger="T", dependents=["A", "B"])
+        builder.basic_event("P", 1.0)
+        builder.basic_event("S1", 1.0, dormancy=0.0)
+        builder.basic_event("S2", 1.0, dormancy=0.0)
+        builder.spare_gate("U", primary="P", spares=["S1", "S2"])
+        builder.or_gate("sys", ["race", "U"])
+        problem = DesignProblem(
+            tree=builder.build(top="sys"),
+            choices=(SpareCountChoice("U", counts=(1, 2), costs=(0.0, 1.0)),),
+            budget=1.0,
+        )
+        result = optimize(problem)
+        assert result.nondeterministic
+        assert result.best_lower <= result.best_value == result.best_upper
+        assert result.best_lower < result.best_upper  # a genuine race
+        assert [c.option_index for c in result.best_design] == [1]
+        assert result.scheduler  # contested states were pinned
+        for choice in result.scheduler:
+            assert 0.0 < choice.agreement <= 1.0
+        exhaustive = optimize(problem, exhaustive=True)
+        assert exhaustive.best_value == pytest.approx(
+            result.best_value, abs=TOLERANCE
+        )
+
+
+class TestResultSchema:
+    def test_round_trip_and_summary(self):
+        result = optimize(small_problem())
+        payload = json.loads(result.to_json())
+        assert payload["schema"] == OPTIMIZE_SCHEMA
+        restored = OptimizeResult.from_dict(payload)
+        assert restored.best_value == result.best_value
+        assert restored.best_design == result.best_design
+        assert restored.module_tables == result.module_tables
+        assert restored.to_dict() == result.to_dict()
+        summary = result.summary()
+        assert "best design" in summary
+        assert "unreliability(t=1)" in summary
+
+    def test_wrong_schema_rejected(self):
+        result = optimize(small_problem())
+        payload = result.to_dict()
+        payload["schema"] = "repro.other/1"
+        with pytest.raises(AnalysisError, match="schema"):
+            OptimizeResult.from_dict(payload)
+
+    def test_pruning_ratio(self):
+        result = optimize(small_problem())
+        assert result.pruning_ratio == result.leaves_evaluated / 3
+
+
+class TestSeededScenarios:
+    def test_cas_scenario_shape(self):
+        problem = cas_spares_scenario()
+        assert problem.space_size == 72
+        assert problem.budget == 3.0
+        names = [choice.name for choice in problem.choices]
+        assert names == [
+            "spares:CPU_unit",
+            "spares:Motors",
+            "spares:Pump_A+Pump_B",
+            "repair:M1",
+            "repair:M2",
+        ]
+        problem.tree.validate()
+
+    def test_cps_scenario_shape(self):
+        problem = cps_spares_scenario()
+        assert problem.space_size == 4
+        assert [choice.name for choice in problem.choices] == [
+            "spares:Spare_A1",
+            "spares:Spare_A4",
+        ]
+        problem.tree.validate()

@@ -63,6 +63,7 @@ def assert_rows_bit_identical(serial_rows, parallel_rows):
         # Tuple equality on MeasureResult dataclasses compares every float
         # exactly — bit-identical, not approximately equal.
         assert mine.measures == theirs.measures
+        assert mine.gradients == theirs.gradients
         assert mine.error == theirs.error
 
 
@@ -102,6 +103,40 @@ class TestParallelEqualsSerial:
                 study.run(sweep, processes=processes)
         with pytest.raises(AnalysisError, match="chunk_size must be >= 1"):
             study.run(sweep, processes=2, chunk_size=0)
+
+
+class TestParallelGradientsEqualSerial:
+    """`run(gradients=True, processes=N)` rows match serial bit-for-bit.
+
+    The gradient path ships the CTMDP gradient kernel into the workers along
+    with the transient kernel; its per-sample derivative curves go through
+    the same chunked scheduling, so `SweepRow.gradients` dictionaries —
+    keys, ordering and every float — must be exactly the serial ones.
+    """
+
+    @pytest.fixture(scope="class")
+    def serial_gradients(self):
+        sweep = RateSweep.grid(
+            Unreliability([0.5, 1.0]) + MTTF(),
+            lam=[0.1, 0.4, 0.9, 1.6, 2.5],
+            mu=[0.5, 3.0],
+        )
+        return SweepStudy(parametric_tree()).run(sweep, gradients=True), sweep
+
+    @pytest.mark.parametrize("processes", PROCESS_COUNTS)
+    def test_gradient_rows_are_bit_identical(self, serial_gradients, processes):
+        serial, sweep = serial_gradients
+        parallel = SweepStudy(parametric_tree()).run(
+            sweep, gradients=True, processes=processes, chunk_size=3
+        )
+        assert all(row.gradients is not None for row in serial.rows)
+        assert_rows_bit_identical(serial.rows, parallel.rows)
+        assert strip_timings(serial.to_dict()) == strip_timings(parallel.to_dict())
+
+    def test_gradient_keys_cover_declared_parameters(self, serial_gradients):
+        serial, _sweep = serial_gradients
+        for row in serial.rows:
+            assert set(row.gradients) == {"lam", "mu"}
 
 
 class TestErrorRowOrdering:

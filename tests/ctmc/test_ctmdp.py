@@ -104,3 +104,61 @@ class TestReachability:
         low, high = model.reachability_bounds("failed", 5.0)
         assert low == pytest.approx(0.0)
         assert high == pytest.approx(1.0)
+
+
+class TestOptimalScheduler:
+    """Per-state argbest extraction for contested vanishing states."""
+
+    def test_racing_max_picks_failing_branch(self):
+        scheduler = racing_ctmdp().optimal_scheduler("failed", [1.5], maximize=True)
+        assert set(scheduler) == {1}
+        successor, agreement = scheduler[1]
+        assert successor == 3
+        assert agreement == pytest.approx(1.0)
+
+    def test_racing_min_picks_safe_branch(self):
+        scheduler = racing_ctmdp().optimal_scheduler("failed", [1.5], maximize=False)
+        successor, agreement = scheduler[1]
+        assert successor == 2
+        assert agreement == pytest.approx(1.0)
+
+    def test_deterministic_model_has_no_contested_states(self):
+        assert deterministic_ctmdp().optimal_scheduler("failed", [1.0]) == {}
+
+    def test_no_goal_states_yields_empty_scheduler(self):
+        assert racing_ctmdp().optimal_scheduler("nothing", [1.0]) == {}
+
+    def test_three_way_choice(self):
+        # choices: 2 safe sink, 3 slow path to failure, 4 immediately failed.
+        model = CTMDP(6, initial=0)
+        model.add_rate(0, 1, 1.0)
+        model.set_choices(1, [2, 3, 4])
+        model.add_rate(3, 5, 0.5)
+        model.set_labels(4, ["failed"])
+        model.set_labels(5, ["failed"])
+        top = model.optimal_scheduler("failed", [2.0], maximize=True)
+        assert top[1][0] == 4
+        bottom = model.optimal_scheduler("failed", [2.0], maximize=False)
+        assert bottom[1][0] == 2
+
+    def test_scheduler_is_consistent_with_bounds(self):
+        # Pinning the chosen successor as the *only* choice must reproduce
+        # the corresponding bound of the nondeterministic model.
+        model = racing_ctmdp()
+        t = 1.5
+        low, high = model.reachability_bounds("failed", t)
+        for maximize, expected in ((True, high), (False, low)):
+            choice = model.optimal_scheduler("failed", [t], maximize=maximize)[1][0]
+            pinned = CTMDP(4, initial=0)
+            pinned.add_rate(0, 1, 1.0)
+            pinned.set_choices(1, [choice])
+            pinned.set_labels(3, ["failed"])
+            value = pinned.time_bounded_reachability("failed", t)
+            assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_agreement_is_a_fraction(self):
+        model = racing_ctmdp()
+        scheduler = model.optimal_scheduler("failed", [0.1, 1.0, 5.0])
+        for successor, agreement in scheduler.values():
+            assert successor in (2, 3)
+            assert 0.0 < agreement <= 1.0

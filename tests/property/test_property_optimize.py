@@ -1,0 +1,133 @@
+"""Differential property: pruned branch-and-bound == exhaustive enumeration.
+
+The optimiser's claim (`repro.core.optimize`): with monotone-safe choice
+placements, the Russian-doll table prescreen and the optimistic-completion
+envelope only ever cut subtrees that cannot contain the optimum, and both
+modes enumerate leaves in the same order with strict incumbent updates — so
+the pruned search returns the *identical* optimal design and value (to
+1e-12) as brute force.  Pinned here on seeded random fdep/shared-spare
+trees with and without repair choices, and (in the slow suite) on the
+seeded CAS/CPS scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.optimize import (
+    DesignProblem,
+    RepairChoice,
+    SpareCountChoice,
+    monotonicity_warnings,
+    optimize,
+)
+from repro.dft.builder import FaultTreeBuilder
+from repro.systems import cas_spares_scenario, cps_spares_scenario
+
+TOLERANCE = 1e-12
+
+
+def random_problem(seed: int, with_repair: bool) -> DesignProblem:
+    """A small seeded tree with spare pools, an FDEP and optional repair.
+
+    Units hang off an OR top (improvement is monotone everywhere), so the
+    pruning bounds are sound by construction; repair choices go on events
+    inside a static AND unit, the placement the conversion layer's
+    repairable extension supports.
+    """
+    rng = random.Random(seed)
+    builder = FaultTreeBuilder(f"random-opt-{seed}-{int(with_repair)}")
+    units = []
+    choices = []
+
+    # One spare unit with two candidate spares; sometimes a second gate
+    # shares the pool (the Figure 6b shared-spare pattern).
+    rate = rng.uniform(0.5, 2.0)
+    builder.basic_event("P1", rate)
+    builder.basic_event("SP1", rate, dormancy=rng.choice([0.0, 0.5]))
+    builder.basic_event("SP2", rate, dormancy=0.0)
+    builder.spare_gate("W1", primary="P1", spares=["SP1", "SP2"])
+    units.append("W1")
+    if rng.random() < 0.5:
+        builder.basic_event("P2", rng.uniform(0.5, 2.0))
+        builder.spare_gate("W2", primary="P2", spares=["SP1", "SP2"])
+        units.append("W2")
+        choices.append(
+            SpareCountChoice(("W1", "W2"), counts=(1, 2), costs=(0.0, 1.0))
+        )
+    else:
+        choices.append(SpareCountChoice("W1", counts=(1, 2), costs=(0.0, 1.0)))
+
+    # An FDEP-wired pair under an OR (common-cause unit).
+    builder.basic_event("T", rng.uniform(0.3, 1.5))
+    builder.basic_event("D1", rng.uniform(0.3, 1.5))
+    builder.basic_event("D2", rng.uniform(0.3, 1.5))
+    builder.fdep("F", trigger="T", dependents=["D1", "D2"])
+    builder.and_gate("CC", ["D1", "D2"])
+    units.append("CC")
+
+    # A static AND unit carrying the repair choices.
+    builder.basic_event("E1", rng.uniform(0.4, 1.2))
+    builder.basic_event("E2", rng.uniform(0.4, 1.2))
+    builder.and_gate("ST", ["E1", "E2"])
+    units.append("ST")
+    if with_repair:
+        choices.append(
+            RepairChoice("E1", rates=(None, rng.uniform(1.0, 3.0)), costs=(0.0, 1.0))
+        )
+        choices.append(
+            RepairChoice(
+                "E2",
+                rates=(None, rng.uniform(0.5, 1.5), rng.uniform(2.0, 4.0)),
+                costs=(0.0, 1.0, 2.0),
+            )
+        )
+
+    builder.or_gate("sys", units)
+    tree = builder.build(top="sys")
+    max_cost = sum(max(choice.costs) for choice in choices)
+    return DesignProblem(
+        tree=tree,
+        choices=tuple(choices),
+        mission_time=rng.choice([0.5, 1.0]),
+        budget=max_cost / 2,
+    )
+
+
+def assert_pruned_equals_exhaustive(problem: DesignProblem) -> None:
+    assert monotonicity_warnings(problem) == ()
+    pruned = optimize(problem)
+    exhaustive = optimize(problem, exhaustive=True)
+    assert [c.option_index for c in pruned.best_design] == [
+        c.option_index for c in exhaustive.best_design
+    ]
+    assert abs(pruned.best_value - exhaustive.best_value) <= TOLERANCE
+    assert abs(pruned.best_lower - exhaustive.best_lower) <= TOLERANCE
+    assert pruned.best_cost == exhaustive.best_cost
+    assert pruned.leaves_feasible == exhaustive.leaves_feasible
+    assert pruned.leaves_evaluated <= exhaustive.leaves_evaluated
+    assert exhaustive.leaves_evaluated == exhaustive.leaves_feasible
+
+
+class TestRandomTrees:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_without_repair(self, seed):
+        assert_pruned_equals_exhaustive(random_problem(seed, with_repair=False))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_with_repair(self, seed):
+        assert_pruned_equals_exhaustive(random_problem(seed, with_repair=True))
+
+
+@pytest.mark.slow
+class TestSeededScenarios:
+    def test_cps_scenario(self):
+        assert_pruned_equals_exhaustive(cps_spares_scenario())
+
+    def test_cas_scenario(self):
+        assert_pruned_equals_exhaustive(cas_spares_scenario())
+
+    def test_cas_scenario_tight_budget(self):
+        assert_pruned_equals_exhaustive(cas_spares_scenario(budget=1.0))

@@ -321,3 +321,98 @@ class TestFormatVersions:
         with caplog.at_level(logging.WARNING, logger="repro.service.store"):
             assert store.load(entry.key) is None
         assert store.stats()["corrupt_evictions"] == 1
+
+
+class TestReadOnlyStore:
+    """A store on a read-only or shared mount keeps serving cache hits.
+
+    The LRU touch after a successful read is a best-effort optimisation;
+    when the filesystem rejects it (read-only remount, NFS without write
+    access) the entry must still be served, with a single warning per store
+    object rather than one per hit (or a crash).
+    """
+
+    def test_utime_failure_serves_entry_and_warns_once(
+        self, store, caplog, monkeypatch
+    ):
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+
+        def deny(path, *args, **kwargs):
+            raise PermissionError(13, "Read-only file system", str(path))
+
+        monkeypatch.setattr("repro.service.store.os.utime", deny)
+        with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+            first = store.load(entry.key)
+            second = store.load(entry.key)
+        assert first is not None and first.key == entry.key
+        assert second is not None and second.key == entry.key
+        assert store.stats()["hits"] == 2
+        touch_warnings = [
+            record for record in caplog.records if "LRU" in record.message
+        ]
+        assert len(touch_warnings) == 1  # warn once, not per hit
+
+    def test_chmod_0500_store_still_serves(self, store):
+        # Drop write permission on the store directory after populating it.
+        # (With CAP_DAC_OVERRIDE — e.g. running as root — the kernel may let
+        # the touch through anyway; the invariant under test is that load()
+        # serves the entry and never raises, whichever way utime goes.)
+        entry, _ = store.get_or_build(_tree(), StudyOptions())
+        store.root.chmod(0o500)
+        try:
+            loaded = store.load(entry.key)
+            assert loaded is not None
+            assert loaded.key == entry.key
+            assert store.stats()["hits"] == 1
+        finally:
+            store.root.chmod(0o700)
+
+
+class TestStaleTempReclaim:
+    """Orphaned ``.tmp-*`` spill files are reclaimed on the next store().
+
+    The dot prefix hides them from the byte cap and ``clear``, so a writer
+    crashing between mkstemp and the atomic rename used to leak the file
+    forever.  Temps older than the grace age are unlinked; young ones may
+    belong to a live concurrent writer and must survive.
+    """
+
+    def test_stale_temp_reclaimed_fresh_temp_kept(self, store, caplog):
+        from repro.service.store import ENTRY_SUFFIX, TEMP_GRACE_SECONDS
+
+        store.root.mkdir(parents=True, exist_ok=True)
+        stale = store.root / f".tmp-deadbeef{ENTRY_SUFFIX}"
+        stale.write_bytes(b"half-written")
+        backdated = stale.stat().st_mtime - 2 * TEMP_GRACE_SECONDS
+        os.utime(stale, (backdated, backdated))
+        fresh = store.root / f".tmp-cafef00d{ENTRY_SUFFIX}"
+        fresh.write_bytes(b"live writer")
+
+        with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+            store.get_or_build(_tree(), StudyOptions())  # triggers store()
+
+        assert not stale.exists()
+        assert fresh.exists()
+        assert store.temp_reclaimed == 1
+        assert store.stats()["temp_reclaimed"] == 1
+        assert any("reclaimed stale temp" in r.message for r in caplog.records)
+
+    def test_normal_store_leaves_no_temps_and_reclaims_nothing(self, store):
+        store.get_or_build(_tree(), StudyOptions())
+        leftovers = list(store.root.glob(".tmp-*"))
+        assert leftovers == []
+        assert store.temp_reclaimed == 0
+
+    def test_reclaim_is_direct_and_age_gated(self, store, tmp_path):
+        from repro.service.store import ENTRY_SUFFIX, TEMP_GRACE_SECONDS
+
+        store.root.mkdir(parents=True, exist_ok=True)
+        temp = store.root / f".tmp-0123abcd{ENTRY_SUFFIX}"
+        temp.write_bytes(b"x")
+        mtime = temp.stat().st_mtime
+        # Just inside the grace window: kept.
+        assert store._reclaim_stale_temps(now=mtime + TEMP_GRACE_SECONDS - 1) == 0
+        assert temp.exists()
+        # Just past it: reclaimed.
+        assert store._reclaim_stale_temps(now=mtime + TEMP_GRACE_SECONDS + 1) == 1
+        assert not temp.exists()

@@ -21,6 +21,7 @@ STATS_KEYS = {
     "stores",
     "evictions",
     "corrupt_evictions",
+    "temp_reclaimed",
     "compression",
     "payload_bytes",
     "compressed_bytes",
@@ -61,6 +62,7 @@ class TestCacheStats:
             "stores": 0,
             "evictions": 0,
             "corrupt_evictions": 0,
+            "temp_reclaimed": 0,
         }
         assert stats == golden
 
